@@ -1,0 +1,84 @@
+"""Construction cost of the paper's reductions.
+
+The reductions are polynomial constructions; these benchmarks record how the
+size of the constructed guarded form (schema fields + rule formulas) and the
+construction time grow with the source-instance size, confirming the
+"polynomial reduction" claims that Table 1's hardness entries rest on.
+"""
+
+import pytest
+
+from repro.benchgen.families import qsat_semisoundness_family
+from repro.logic.propositional import random_cnf
+from repro.reductions.counter_machine import counting_machine
+from repro.reductions.deadlock import deadlock_to_completability, random_deadlock_problem
+from repro.reductions.sat_reductions import sat_to_completability, sat_to_non_semisoundness
+from repro.reductions.transformations import (
+    completability_to_semisoundness,
+    eliminate_deletions,
+)
+from repro.reductions.two_counter import two_counter_to_guarded_form
+from repro.fbwis.catalog import leave_application
+
+
+def form_size(form) -> int:
+    """A simple size measure: schema fields plus total rule-formula size."""
+    total = form.schema.size() - 1
+    for _, _, formula in form.rules.items():
+        total += formula.size()
+    return total + form.completion.size()
+
+
+@pytest.mark.benchmark(group="Reduction construction: Theorem 4.1 (two-counter machine)")
+@pytest.mark.parametrize("states", [2, 4, 8])
+def test_two_counter_construction(benchmark, states):
+    machine = counting_machine(states - 2) if states > 2 else counting_machine(1)
+    form = benchmark(lambda: two_counter_to_guarded_form(machine))
+    assert form.schema_depth() == 2
+    assert form_size(form) > 0
+
+
+@pytest.mark.benchmark(group="Reduction construction: Theorem 5.1 (SAT)")
+@pytest.mark.parametrize("variables", [10, 20, 40])
+def test_sat_completability_construction(benchmark, variables):
+    cnf = random_cnf(variables, 4 * variables, seed=variables)
+    form = benchmark(lambda: sat_to_completability(cnf))
+    assert form.schema.size() - 1 == variables
+
+
+@pytest.mark.benchmark(group="Reduction construction: Theorem 5.6 (SAT, semi-soundness)")
+@pytest.mark.parametrize("variables", [10, 20, 40])
+def test_sat_semisoundness_construction(benchmark, variables):
+    cnf = random_cnf(variables, 2 * variables, seed=variables)
+    form = benchmark(lambda: sat_to_non_semisoundness(cnf))
+    assert form.schema.size() - 1 == 2 * variables
+
+
+@pytest.mark.benchmark(group="Reduction construction: Theorem 4.6 (reachable deadlock)")
+@pytest.mark.parametrize("components", [2, 4, 8])
+def test_deadlock_construction(benchmark, components):
+    problem = random_deadlock_problem(components, 4, 3 * components, seed=components)
+    form = benchmark(lambda: deadlock_to_completability(problem))
+    assert form.schema_depth() == 1
+
+
+@pytest.mark.benchmark(group="Reduction construction: Theorem 5.3 (QSAT_2k)")
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_qsat_construction(benchmark, k):
+    form, _ = benchmark(lambda: qsat_semisoundness_family(k, block_size=2, num_clauses=6, seed=k))
+    assert form.schema_depth() == max(1, k)
+
+
+@pytest.mark.benchmark(group="Reduction construction: transformations (Cor 4.2 / Cor 4.7)")
+def test_deletion_elimination_construction(benchmark):
+    form = leave_application()
+    transformed = benchmark(lambda: eliminate_deletions(form))
+    assert transformed.schema_depth() == form.schema_depth() + 1
+
+
+@pytest.mark.benchmark(group="Reduction construction: transformations (Cor 4.2 / Cor 4.7)")
+def test_reset_build_construction(benchmark):
+    cnf = random_cnf(12, 30, seed=3)
+    form = sat_to_completability(cnf)
+    transformed = benchmark(lambda: completability_to_semisoundness(form))
+    assert transformed.schema.size() == form.schema.size() + 2

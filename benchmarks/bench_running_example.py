@@ -1,0 +1,124 @@
+"""Figures 1–3 and Example 3.12: the running example as a benchmark.
+
+The paper's figures are model illustrations rather than measurements; these
+benchmarks regenerate them (ASCII renderings of the schema, the Figure 2
+instances and a canonical-instance computation) and time the full analysis of
+Example 3.12 and its Section 3.5 variants, so the cost of analysing a
+realistic form is on record next to the synthetic Table 1 workloads.
+"""
+
+import pytest
+
+from conftest import assert_decided
+from repro.analysis.completability import decide_completability
+from repro.analysis.invariants import can_reach
+from repro.analysis.results import ExplorationLimits
+from repro.analysis.semisoundness import decide_semisoundness
+from repro.core.canonical import canonical_instance
+from repro.core.instance import Instance
+from repro.fbwis.catalog import (
+    leave_application,
+    leave_application_incompletable,
+    leave_application_not_semisound,
+)
+from repro.io.render import render_instance, render_rule_table, render_schema
+from repro.workflow.extraction import extract_workflow
+
+LIMITS = ExplorationLimits(max_states=40_000, max_instance_nodes=30)
+
+
+def _figure2a_instance() -> Instance:
+    form = leave_application()
+    instance = form.initial_instance()
+    application = instance.add_field(instance.root, "a")
+    instance.add_field(application, "n")
+    instance.add_field(application, "d")
+    for _ in range(2):
+        period = instance.add_field(application, "p")
+        instance.add_field(period, "b")
+        instance.add_field(period, "e")
+    instance.add_field(instance.root, "s")
+    return instance
+
+
+@pytest.mark.benchmark(group="Figures 1-3: renderings and canonical instance")
+def test_figure1_schema_rendering(benchmark):
+    """Figure 1: the leave-application schema."""
+    schema = leave_application().schema
+    text = benchmark(lambda: render_schema(schema, "Figure 1"))
+    assert "application" not in text  # labels are abbreviated, as in the paper
+    assert "`-- f" in text or "|-- f" in text
+
+
+@pytest.mark.benchmark(group="Figures 1-3: renderings and canonical instance")
+def test_figure2_instance_rendering(benchmark):
+    """Figure 2(a): a submitted application with two periods."""
+    instance = _figure2a_instance()
+    text = benchmark(lambda: render_instance(instance, "Figure 2(a)"))
+    assert text.count("-- p") == 2
+
+
+@pytest.mark.benchmark(group="Figures 1-3: renderings and canonical instance")
+def test_figure3_canonical_instance(benchmark):
+    """Figure 3: computing the canonical instance collapses the duplicated
+    period subtrees of the Figure 2(a) instance."""
+    instance = _figure2a_instance()
+    canonical = benchmark(lambda: canonical_instance(instance))
+    assert canonical.size() < instance.size()
+    application = canonical.find_path("a")
+    assert len(application.children_with_label("p")) == 1
+
+
+@pytest.mark.benchmark(group="Example 3.12: rule table")
+def test_example312_rule_rendering(benchmark):
+    """The access-rule table of Example 3.12."""
+    form = leave_application()
+    text = benchmark(lambda: render_rule_table(form.rules))
+    assert "A(add, s)" in text
+
+
+@pytest.mark.benchmark(group="Example 3.12: analysis of the leave application")
+@pytest.mark.parametrize(
+    "variant,expected_completable,expected_semisound",
+    [
+        ("original", True, True),
+        ("completion f and not s", False, False),
+        ("weakened rules", True, False),
+    ],
+)
+def test_example312_analysis(benchmark, variant, expected_completable, expected_semisound):
+    """Completability and semi-soundness of Example 3.12 and both Section 3.5
+    variants (single-period restriction, so the analysis is exhaustive)."""
+    factories = {
+        "original": leave_application,
+        "completion f and not s": leave_application_incompletable,
+        "weakened rules": leave_application_not_semisound,
+    }
+    form = factories[variant](single_period=True)
+
+    def analyse():
+        return (
+            decide_completability(form, limits=LIMITS),
+            decide_semisoundness(form, limits=LIMITS),
+        )
+
+    completability, semisoundness = benchmark.pedantic(analyse, rounds=2, iterations=1)
+    assert_decided(completability, expected_completable)
+    assert_decided(semisoundness, expected_semisound)
+
+
+@pytest.mark.benchmark(group="Example 3.12: analysis of the leave application")
+def test_example312_invariant_query(benchmark):
+    """The Section 3.5 invariant query: can a decision ever contain both an
+    approval and a rejection?"""
+    form = leave_application(single_period=True)
+    result = benchmark(lambda: can_reach(form, "d[a ∧ r]", limits=LIMITS))
+    assert_decided(result, False)
+
+
+@pytest.mark.benchmark(group="Example 3.12: implied workflow extraction")
+def test_example312_workflow_extraction(benchmark):
+    """Materialising the workflow implied by the Example 3.12 rules."""
+    form = leave_application(single_period=True)
+    lts = benchmark(lambda: extract_workflow(form, limits=LIMITS))
+    assert lts.accepting

@@ -1,0 +1,82 @@
+"""Corollary 4.5: formula satisfiability (NP-complete / PSPACE-complete).
+
+Two series:
+
+* propositional (depth-1-style) formulas, whose satisfiability the corollary
+  places in NP — measured both with the general witness-tree search and with
+  the dedicated propositional fast path (Tseitin + DPLL);
+* the QBF encodings of the corollary's PSPACE-hardness proof, whose witness
+  models must contain a subtree per universal assignment — the measured
+  growth with the number of quantifier levels illustrates the jump from NP to
+  PSPACE.
+"""
+
+import pytest
+
+from repro.benchgen.random_forms import random_formula
+from repro.core.formulas.satisfiability import (
+    is_satisfiable,
+    is_satisfiable_propositional,
+)
+from repro.logic.propositional import PropAnd, PropAtom, PropNot, PropOr
+from repro.logic.qbf import QBF, QuantifierBlock, evaluate_qbf
+from repro.reductions.qsat_reductions import qbf_to_satisfiability_formula
+
+
+@pytest.mark.benchmark(group="Cor 4.5 satisfiability: propositional (NP)")
+@pytest.mark.parametrize("size", [8, 16, 32, 64])
+def test_propositional_witness_search(benchmark, size):
+    """The general witness-tree search on growing random propositional
+    formulas (the bounded-depth / NP regime)."""
+    labels = [f"v{i}" for i in range(max(4, size // 4))]
+    formula = random_formula(labels, seed=size, size=size, allow_negation=True)
+    result = benchmark(lambda: is_satisfiable(formula, max_nodes=5_000))
+    assert result.decided
+
+
+@pytest.mark.benchmark(group="Cor 4.5 satisfiability: propositional fast path (DPLL)")
+@pytest.mark.parametrize("size", [8, 16, 32, 64])
+def test_propositional_fast_path(benchmark, size):
+    """The dedicated propositional route (Tseitin encoding + DPLL) on the same
+    formulas, as the baseline the NP membership argument suggests."""
+    labels = [f"v{i}" for i in range(max(4, size // 4))]
+    formula = random_formula(labels, seed=size, size=size, allow_negation=True)
+    benchmark(lambda: is_satisfiable_propositional(formula))
+
+
+def _alternating_qbf(levels: int) -> QBF:
+    """∃x1 ∀x2 ∃x3 … with the matrix (x1 ∨ x2 ∨ …) ∧ (¬x_levels ∨ x1)."""
+    blocks = []
+    for index in range(levels):
+        quantifier = "exists" if index % 2 == 0 else "forall"
+        blocks.append(QuantifierBlock(quantifier, (f"q{index}",)))
+    big_or = None
+    for index in range(levels):
+        atom = PropAtom(f"q{index}")
+        big_or = atom if big_or is None else PropOr(big_or, atom)
+    matrix = PropAnd(big_or, PropOr(PropNot(PropAtom(f"q{levels - 1}")), PropAtom("q0")))
+    return QBF(blocks, matrix)
+
+
+@pytest.mark.benchmark(group="Cor 4.5 satisfiability: QBF encodings (PSPACE)")
+@pytest.mark.parametrize("levels", [1, 2, 3])
+def test_qbf_encoding_witness_search(benchmark, levels):
+    """Satisfiability of the Corollary 4.5 encodings: the witness tree has to
+    branch for every universal level, so the search cost grows much faster
+    than for the NP series above."""
+    qbf = _alternating_qbf(levels)
+    expected = evaluate_qbf(qbf)
+    formula = qbf_to_satisfiability_formula(qbf)
+    result = benchmark.pedantic(
+        lambda: is_satisfiable(formula, max_nodes=20_000), rounds=2, iterations=1
+    )
+    assert result.decided
+    assert result.satisfiable == expected
+
+
+@pytest.mark.benchmark(group="Cor 4.5 satisfiability: QBF oracle (reference)")
+@pytest.mark.parametrize("levels", [1, 2, 3])
+def test_qbf_oracle_reference(benchmark, levels):
+    """Reference series: the recursive QBF evaluator on the same instances."""
+    qbf = _alternating_qbf(levels)
+    benchmark(lambda: evaluate_qbf(qbf))

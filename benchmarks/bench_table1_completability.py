@@ -1,0 +1,113 @@
+"""Table 1, completability column: per-fragment scaling benchmarks.
+
+Each benchmark group corresponds to one row (or a pair of collapsing rows) of
+the paper's Table 1 and sweeps a size parameter so the growth of the running
+time can be compared against the complexity class the paper proves:
+
+==============================  =====================  =========================
+group                           paper's complexity     workload family
+==============================  =====================  =========================
+``A+,phi+,1 (P)``               P                      positive chains
+``A+,phi+,deep (P)``            P                      positive nested documents
+``A+,phi-,1 (NP-complete)``     NP-complete            Theorem 5.1 SAT reduction
+``A-,phi-,1 (PSPACE-complete)`` PSPACE-complete        Theorem 4.6 deadlock
+                                                       reduction
+``A-,phi-,k (undecidable)``     undecidable            Theorem 4.1 counter-
+                                                       machine simulation
+==============================  =====================  =========================
+"""
+
+import pytest
+
+from conftest import BENCH_LIMITS, assert_decided
+from repro.analysis.completability import decide_completability
+from repro.analysis.results import ExplorationLimits
+from repro.benchgen.families import (
+    counter_machine_family,
+    deadlock_family,
+    positive_chain_family,
+    positive_deep_family,
+    sat_completability_family,
+)
+from repro.logic.dpll import dpll_satisfiable
+from repro.reductions.deadlock import deadlock_reachable
+from repro.reductions.two_counter import two_counter_to_guarded_form
+from repro.reductions.counter_machine import diverging_machine
+
+
+@pytest.mark.benchmark(group="Table1 completability: A+,phi+,1 (P)")
+@pytest.mark.parametrize("length", [8, 16, 32, 64])
+def test_positive_positive_depth1(benchmark, length):
+    """Row (A+, φ+, 1): polynomial saturation on chains of growing length."""
+    form = positive_chain_family(length)
+    result = benchmark(lambda: decide_completability(form))
+    assert_decided(result, True)
+    assert result.procedure == "positive_saturation"
+
+
+@pytest.mark.benchmark(group="Table1 completability: A+,phi+,k (P)")
+@pytest.mark.parametrize("depth", [2, 3, 4, 5])
+def test_positive_positive_deep(benchmark, depth):
+    """Rows (A+, φ+, k/∞): saturation stays polynomial regardless of depth."""
+    form = positive_deep_family(depth, width=2)
+    result = benchmark(lambda: decide_completability(form))
+    assert_decided(result, True)
+
+
+@pytest.mark.benchmark(group="Table1 completability: A+,phi-,1 (NP-complete)")
+@pytest.mark.parametrize("variables", [4, 6, 8, 10])
+def test_positive_unrestricted_sat(benchmark, variables):
+    """Row (A+, φ−, 1): the Theorem 5.1 reduction; the exact procedure explores
+    the canonical-state space, which grows exponentially with the variable
+    count (NP-completeness)."""
+    form, cnf = sat_completability_family(variables, seed=variables)
+    expected = dpll_satisfiable(cnf) is not None
+    result = benchmark(lambda: decide_completability(form))
+    assert_decided(result, expected)
+
+
+@pytest.mark.benchmark(group="Table1 completability: A+,phi-,1 (DPLL reference)")
+@pytest.mark.parametrize("variables", [4, 6, 8, 10])
+def test_dpll_reference(benchmark, variables):
+    """Reference series: the dedicated DPLL solver on the same CNFs, showing
+    the guarded-form procedure pays for its generality but follows the same
+    growth trend."""
+    _, cnf = sat_completability_family(variables, seed=variables)
+    benchmark(lambda: dpll_satisfiable(cnf))
+
+
+@pytest.mark.benchmark(group="Table1 completability: A-,phi-,1 (PSPACE-complete)")
+@pytest.mark.parametrize("components", [2, 3, 4])
+def test_unrestricted_depth1_deadlock(benchmark, components):
+    """Row (A−, φ−, 1): the Theorem 4.6 reduction from reachable deadlock."""
+    form, problem = deadlock_family(components, seed=components)
+    expected = deadlock_reachable(problem)
+    result = benchmark(lambda: decide_completability(form))
+    assert_decided(result, expected)
+
+
+@pytest.mark.benchmark(group="Table1 completability: A-,phi-,k (undecidable)")
+@pytest.mark.parametrize("target", [1, 2, 3])
+def test_undecidable_counter_machines(benchmark, target):
+    """Rows (A−, φ±, ≥2): Theorem 4.1's two-counter simulation.  Halting
+    machines yield completable forms whose witness search grows with the
+    machine's running time; the undecidability of the fragment shows up as the
+    absence of any bound on this growth."""
+    form, machine = counter_machine_family(target)
+    assert machine.reaches_accepting_state(10_000)
+    result = benchmark.pedantic(
+        lambda: decide_completability(form, limits=BENCH_LIMITS), rounds=2, iterations=1
+    )
+    assert_decided(result, True)
+
+
+@pytest.mark.benchmark(group="Table1 completability: A-,phi-,k (undecidable)")
+def test_undecidable_diverging_machine(benchmark):
+    """The diverging machine: every bounded exploration budget is exhausted
+    without an answer — the executable face of undecidability."""
+    form = two_counter_to_guarded_form(diverging_machine())
+    limits = ExplorationLimits(max_states=1_500, max_instance_nodes=16)
+    result = benchmark.pedantic(
+        lambda: decide_completability(form, limits=limits), rounds=2, iterations=1
+    )
+    assert not result.decided

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  Since the paper's only table is the
+complexity map (Table 1), the benchmarks measure how the library's decision
+procedures scale on workload families chosen per fragment row; the *shape* of
+the scaling (polynomial vs. combinatorial growth, which procedure wins where)
+is the reproducible content.  EXPERIMENTS.md records the paper-vs-measured
+comparison produced from these runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.results import ExplorationLimits
+
+#: Limits used by benchmarks that exercise the bounded explorer.
+BENCH_LIMITS = ExplorationLimits(max_states=400_000, max_instance_nodes=40)
+
+
+@pytest.fixture(scope="session")
+def bench_limits() -> ExplorationLimits:
+    """Exploration limits shared by all benchmarks."""
+    return BENCH_LIMITS
+
+
+def assert_decided(result, expected=None):
+    """Benchmarks also assert the analysed answer so a wrong result cannot
+    silently pass as a fast result."""
+    assert result.decided, f"analysis was inconclusive: {result.describe()}"
+    if expected is not None:
+        assert result.answer == expected, (
+            f"analysis answered {result.answer}, expected {expected}"
+        )
+    return result

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's leave application from definition to analysis.
+
+This example reproduces the running example of the paper end to end:
+
+1. the schema of Figure 1 and the access rules of Example 3.12;
+2. the two instances of Figure 2;
+3. an interactive editing session that walks the implied workflow
+   (staff fills the form, submits, a manager decides, the form is finalised);
+4. the automatic analysis — completability and semi-soundness — for the
+   correct form and for the two incorrect variants discussed in Section 3.5;
+5. the fb-wis engine rejecting the incorrect variants at registration time.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    ExplorationLimits,
+    FormEngine,
+    FormPolicy,
+    decide_completability,
+    decide_semisoundness,
+    leave_application,
+    leave_application_incompletable,
+    leave_application_not_semisound,
+    render_instance,
+    render_rule_table,
+    render_schema,
+)
+from repro.exceptions import EngineError
+from repro.fbwis.session import FormSession
+
+LIMITS = ExplorationLimits(max_states=40_000, max_instance_nodes=30)
+
+
+def show_figures() -> None:
+    """Print Figure 1 (the schema) and Figure 2 (two instances)."""
+    form = leave_application()
+    print(render_schema(form.schema, "Figure 1 — the leave application schema"))
+    print()
+
+    submitted = form.initial_instance()
+    application = submitted.add_field(submitted.root, "a")
+    submitted.add_field(application, "n")
+    submitted.add_field(application, "d")
+    for _ in range(2):  # two periods, as in Figure 2(a)
+        period = submitted.add_field(application, "p")
+        submitted.add_field(period, "b")
+        submitted.add_field(period, "e")
+    submitted.add_field(submitted.root, "s")
+    print(render_instance(submitted, "Figure 2(a) — a submitted two-period application"))
+    print()
+
+    rejected = leave_application().initial_instance()
+    app = rejected.add_field(rejected.root, "a")
+    rejected.add_field(app, "n")
+    rejected.add_field(app, "d")
+    p = rejected.add_field(app, "p")
+    rejected.add_field(p, "b")
+    rejected.add_field(p, "e")
+    rejected.add_field(rejected.root, "s")
+    decision = rejected.add_field(rejected.root, "d")
+    rejected.add_field(decision, "r")
+    rejected.add_field(rejected.root, "f")
+    print(render_instance(rejected, "Figure 2(b) — a rejected, finalised application"))
+    print()
+
+
+def show_rules() -> None:
+    """Print the access rules of Example 3.12."""
+    form = leave_application()
+    print(render_rule_table(form.rules, title="Example 3.12 — access rules"))
+    print(f"\ncompletion formula: {form.completion.to_text()}")
+    print()
+
+
+def walk_the_workflow() -> None:
+    """Drive the implied workflow through a user-facing editing session."""
+    print("== walking the implied workflow ==")
+    session = FormSession(leave_application(single_period=True), actor="staff")
+    steps = [
+        ("staff", "", "a"), ("staff", "a", "n"), ("staff", "a", "d"),
+        ("staff", "a", "p"), ("staff", "a/p", "b"), ("staff", "a/p", "e"),
+        ("staff", "", "s"),
+        ("manager", "", "d"), ("manager", "d", "a"), ("manager", "", "f"),
+    ]
+    for actor, parent, label in steps:
+        session.add_field(parent, label, actor=actor)
+        print(f"  {actor:8s} {session.audit_trail()[-1].description:22s} "
+              f"-> permitted next: {len(session.permitted_updates())} updates")
+    print(f"  form complete? {session.is_complete()}")
+    print()
+
+
+def analyse_everything() -> None:
+    """Run the paper's two analyses on the correct and incorrect variants."""
+    print("== analysis (Definitions 3.13 / 3.14) ==")
+    variants = [
+        ("leave application (Example 3.12)", leave_application(single_period=True)),
+        ("completion f ∧ ¬s (Section 3.5)", leave_application_incompletable(single_period=True)),
+        ("weakened rules (Section 3.5)", leave_application_not_semisound(single_period=True)),
+    ]
+    for name, form in variants:
+        completability = decide_completability(form, limits=LIMITS)
+        semisoundness = decide_semisoundness(form, limits=LIMITS)
+        print(f"  {name:38s} completable={completability.answer!s:5s} "
+              f"semi-sound={semisoundness.answer}")
+        if semisoundness.answer is False and semisoundness.counterexample is not None:
+            fields = sorted(
+                "/".join(node.label_path())
+                for node in semisoundness.counterexample.nodes()
+                if not node.is_root()
+            )
+            print(f"      stuck reachable instance: {{{', '.join(fields)}}}")
+    print()
+
+
+def engine_rejects_incorrect_forms() -> None:
+    """The fb-wis registers correct forms and rejects incorrect ones."""
+    print("== fb-wis registration policy ==")
+    engine = FormEngine(policy=FormPolicy.STRICT, limits=LIMITS)
+    engine.register("leave", leave_application(single_period=True))
+    print("  'leave' registered (completable and semi-sound)")
+    for name, form in [
+        ("leave-incompletable", leave_application_incompletable(single_period=True)),
+        ("leave-not-semisound", leave_application_not_semisound(single_period=True)),
+    ]:
+        try:
+            engine.register(name, form)
+        except EngineError as error:
+            print(f"  {name!r} rejected: {error}")
+    print()
+
+
+def main() -> None:
+    show_figures()
+    show_rules()
+    walk_the_workflow()
+    analyse_everything()
+    engine_rejects_incorrect_forms()
+
+
+if __name__ == "__main__":
+    main()

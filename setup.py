@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The canonical project metadata lives in ``pyproject.toml``; this shim exists
+so that editable installs keep working on minimal environments that lack the
+``wheel`` package (offline machines cannot build PEP 660 editable wheels).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,138 @@
+"""guarded-forms: analyzing workflows implied by instance-dependent access rules.
+
+This library is a from-scratch reproduction of
+
+    Toon Calders, Stijn Dekeyser, Jan Hidders, Jan Paredaens.
+    *Analyzing Workflows implied by Instance-Dependent Access Rules.*
+    PODS 2006.
+
+It implements the paper's model (tree-structured form schemas, instances,
+XPath-like access rules and completion formulas — *guarded forms*), the two
+analysis problems (*completability* and *semi-soundness*), the decision
+procedures behind the paper's complexity map (Table 1), and every reduction
+used in the hardness proofs, together with the substrates those reductions
+need (two-counter machines, a DPLL SAT solver, a QBF evaluator, an
+explicit-state deadlock checker) and an application layer modelled on the
+form-based web information system that motivates the paper.
+
+Quickstart::
+
+    from repro import leave_application, decide_completability, decide_semisoundness
+
+    form = leave_application(single_period=True)
+    print(decide_completability(form).describe())
+    print(decide_semisoundness(form).describe())
+
+The public API re-exported here is organised by sub-package:
+
+* :mod:`repro.core` — schemas, instances, formulas, guarded forms, fragments;
+* :mod:`repro.analysis` — the completability / semi-soundness procedures;
+* :mod:`repro.reductions` — the paper's reductions and their substrates;
+* :mod:`repro.workflow` — explicit workflow (LTS / workflow-net) views;
+* :mod:`repro.fbwis` — the form-engine application layer and example forms;
+* :mod:`repro.io` — serialisation, ASCII rendering and DOT export;
+* :mod:`repro.benchgen` — benchmark workload generators.
+"""
+
+from repro.analysis import (
+    AnalysisResult,
+    ExplorationLimits,
+    always_holds,
+    can_reach,
+    decide_completability,
+    decide_semisoundness,
+    explore_bounded,
+    explore_depth1,
+)
+from repro.core import (
+    TABLE1,
+    AccessRight,
+    Addition,
+    Deletion,
+    Fragment,
+    GuardedForm,
+    Instance,
+    Run,
+    RuleTable,
+    Schema,
+    SchemaEdge,
+    canonical_instance,
+    classify,
+    depth_one_schema,
+    guarded_form_from_dicts,
+    lookup_complexity,
+    table1_rows,
+)
+from repro.core.formulas import parse_formula
+from repro.fbwis import (
+    FormEngine,
+    FormPolicy,
+    FormSession,
+    leave_application,
+    leave_application_incompletable,
+    leave_application_not_semisound,
+    purchase_order,
+    tax_declaration,
+)
+from repro.io import (
+    load_guarded_form,
+    render_instance,
+    render_rule_table,
+    render_schema,
+    render_table1,
+    save_guarded_form,
+)
+from repro.workflow import analyse_workflow, extract_workflow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # analysis
+    "AnalysisResult",
+    "ExplorationLimits",
+    "decide_completability",
+    "decide_semisoundness",
+    "can_reach",
+    "always_holds",
+    "explore_depth1",
+    "explore_bounded",
+    # core
+    "Schema",
+    "SchemaEdge",
+    "Instance",
+    "RuleTable",
+    "AccessRight",
+    "GuardedForm",
+    "Addition",
+    "Deletion",
+    "Run",
+    "Fragment",
+    "classify",
+    "lookup_complexity",
+    "table1_rows",
+    "TABLE1",
+    "canonical_instance",
+    "depth_one_schema",
+    "guarded_form_from_dicts",
+    "parse_formula",
+    # application layer
+    "FormEngine",
+    "FormPolicy",
+    "FormSession",
+    "leave_application",
+    "leave_application_incompletable",
+    "leave_application_not_semisound",
+    "tax_declaration",
+    "purchase_order",
+    # io
+    "render_schema",
+    "render_instance",
+    "render_rule_table",
+    "render_table1",
+    "save_guarded_form",
+    "load_guarded_form",
+    # workflow
+    "extract_workflow",
+    "analyse_workflow",
+]

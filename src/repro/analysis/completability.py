@@ -1,0 +1,235 @@
+"""The form completability problem (Definition 3.13).
+
+``decide_completability`` dispatches on the guarded form's fragment:
+
+=====================================  ======================================
+fragment                               procedure
+=====================================  ======================================
+``F(A+, φ+, ·)``                       :func:`completability_by_saturation`
+                                       (polynomial — Theorem 5.5)
+``F(·, ·, 1)``                         :func:`completability_depth1`
+                                       (exact canonical-state search — the
+                                       PSPACE procedure of Theorem 4.6)
+everything else                        :func:`completability_bounded`
+                                       (bounded explicit-state search; the
+                                       problem is NP-complete for
+                                       ``F(A+, φ−, k)`` — Theorems 5.1/5.2 —
+                                       and undecidable for ``F(A−, ·, ≥2)`` —
+                                       Theorem 4.1)
+=====================================  ======================================
+
+For positive access rules the bounded search is *complete* when the sibling
+copy bound is at least the size of the completion formula: the witness
+argument of Theorem 5.2 (via Lemma 4.4) shows a completable form has a
+complete run whose intermediate instances never need more same-label siblings
+under one node than the completion formula can distinguish.  The dispatcher
+sets the bound accordingly and reports the negative answer as decided; for
+unrestricted access rules an exhausted bounded search is reported as
+*undecided* unless it exhausted the reachable space outright.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.results import AnalysisResult, ExplorationLimits
+from repro.analysis.statespace import explore_bounded, explore_depth1
+from repro.core.fragments import classify
+from repro.core.guarded_form import Addition, GuardedForm
+from repro.core.instance import Instance
+from repro.core.runs import Run
+from repro.exceptions import AnalysisError
+
+_PROBLEM = "completability"
+
+
+def completability_by_saturation(
+    guarded_form: GuardedForm, start: Optional[Instance] = None
+) -> AnalysisResult:
+    """Polynomial-time completability for positive rules and positive
+    completion formulas (Theorem 5.5).
+
+    The procedure adds as many edges as possible without ever creating a
+    second same-label sibling under a node.  Positive access rules are
+    monotone under additions, so a greedy order is as good as any; positive
+    completion formulas are monotone too, so the saturated instance satisfies
+    ``φ`` iff some reachable instance does.
+
+    Raises:
+        AnalysisError: when the guarded form is not in an ``F(A+, φ+, ·)``
+            fragment (the argument above would be unsound).
+    """
+    if not guarded_form.has_positive_access_rules():
+        raise AnalysisError(
+            "saturation requires positive access rules (fragment A+)"
+        )
+    if not guarded_form.has_positive_completion():
+        raise AnalysisError(
+            "saturation requires a positive completion formula (fragment phi+)"
+        )
+    instance = (start or guarded_form.initial_instance()).copy()
+    run = Run(guarded_form, [], start=instance.copy())
+    steps = 0
+    changed = True
+    while changed:
+        changed = False
+        for node in list(instance.nodes()):
+            schema_node = guarded_form.schema.node_at(node.label_path())
+            for schema_child in schema_node.children:
+                label = schema_child.label
+                if node.has_child_with_label(label):
+                    continue
+                if guarded_form.is_addition_allowed(instance, node, label):
+                    update = Addition(node.node_id, label)
+                    run.updates.append(update)
+                    guarded_form.apply_unchecked(instance, update, in_place=True)
+                    steps += 1
+                    changed = True
+    completable = guarded_form.is_complete(instance)
+    return AnalysisResult(
+        problem=_PROBLEM,
+        decided=True,
+        answer=completable,
+        procedure="positive_saturation",
+        witness_run=run if completable else None,
+        stats={"saturation_steps": steps, "saturated_size": instance.size()},
+    )
+
+
+def completability_depth1(
+    guarded_form: GuardedForm, start: Optional[Instance] = None
+) -> AnalysisResult:
+    """Exact completability for depth-1 guarded forms (Theorem 4.6).
+
+    Explores the full graph of reachable canonical states (label sets below
+    the root, Lemma 4.3) and reports whether any of them satisfies the
+    completion formula.  Always terminates; worst case ``2^n`` states.
+    """
+    graph = explore_depth1(guarded_form, start=start)
+    complete_states = graph.satisfying_states(guarded_form.is_complete)
+    reachable = graph.reachable_from(graph.initial)
+    witnesses = sorted(reachable & complete_states, key=sorted)
+    answer = bool(witnesses)
+    witness_run = graph.run_to(witnesses[0]) if witnesses else None
+    return AnalysisResult(
+        problem=_PROBLEM,
+        decided=True,
+        answer=answer,
+        procedure="depth1_canonical_search",
+        witness_run=witness_run,
+        stats={
+            "canonical_states": len(graph.states),
+            "complete_states": len(complete_states & reachable),
+        },
+    )
+
+
+def completability_bounded(
+    guarded_form: GuardedForm,
+    start: Optional[Instance] = None,
+    limits: Optional[ExplorationLimits] = None,
+    copy_bound_is_sufficient: bool = False,
+) -> AnalysisResult:
+    """Bounded explicit-state completability for arbitrary guarded forms.
+
+    A positive answer (a reachable complete instance was found) is always
+    exact.  A negative answer is exact when the exploration exhausted the
+    reachable space; when only the sibling-copy bound truncated the search
+    the negative answer is still exact provided *copy_bound_is_sufficient*
+    (the dispatcher sets this for positive access rules with a bound derived
+    from the completion formula, per Theorem 5.2's witness argument).
+    Otherwise the result is reported as undecided.
+    """
+    limits = limits or ExplorationLimits()
+    graph = explore_bounded(guarded_form, start=start, limits=limits)
+    complete_states = graph.satisfying_states(guarded_form.is_complete)
+    stats = {
+        "states_explored": len(graph.representatives),
+        "truncated": graph.truncated,
+        "truncated_by_states": graph.truncated_by_states,
+        "truncated_by_size": graph.truncated_by_size,
+        "truncated_by_copies": graph.truncated_by_copies,
+        "skipped_successors": graph.skipped_successors,
+        "limits": limits,
+    }
+    if complete_states:
+        key = next(iter(complete_states))
+        return AnalysisResult(
+            problem=_PROBLEM,
+            decided=True,
+            answer=True,
+            procedure="bounded_exploration",
+            witness_run=graph.run_to(key),
+            stats=stats,
+        )
+    exhaustive = not graph.truncated
+    only_copies = (
+        graph.truncated_by_copies
+        and not graph.truncated_by_states
+        and not graph.truncated_by_size
+    )
+    negative_is_decided = exhaustive or (only_copies and copy_bound_is_sufficient)
+    return AnalysisResult(
+        problem=_PROBLEM,
+        decided=negative_is_decided,
+        answer=False if negative_is_decided else None,
+        procedure="bounded_exploration",
+        stats=stats,
+    )
+
+
+def positive_rules_copy_bound(guarded_form: GuardedForm) -> int:
+    """Sibling-copy bound sufficient for completeness under positive rules.
+
+    The witness construction of Theorem 5.2 (through Lemma 4.4) bounds the
+    branching of the witness tree by the size of the completion formula; a
+    complete run never needs more same-label copies than that under a single
+    node, and positive access rules never require extra copies to stay
+    enabled (they are monotone).
+    """
+    return max(1, guarded_form.completion.size())
+
+
+def decide_completability(
+    guarded_form: GuardedForm,
+    start: Optional[Instance] = None,
+    strategy: str = "auto",
+    limits: Optional[ExplorationLimits] = None,
+) -> AnalysisResult:
+    """Decide completability, selecting a procedure from the fragment.
+
+    Args:
+        guarded_form: the guarded form to analyse.
+        start: analyse completability *from this instance* instead of the
+            initial instance (used by the semi-soundness procedures).
+        strategy: ``"auto"`` (fragment-based dispatch) or one of
+            ``"saturation"``, ``"depth1"``, ``"bounded"``.
+        limits: exploration limits for the bounded procedure.
+    """
+    if strategy == "saturation":
+        return completability_by_saturation(guarded_form, start)
+    if strategy == "depth1":
+        return completability_depth1(guarded_form, start)
+    if strategy == "bounded":
+        return completability_bounded(guarded_form, start, limits)
+    if strategy != "auto":
+        raise AnalysisError(f"unknown completability strategy {strategy!r}")
+
+    fragment = classify(guarded_form)
+    if fragment.positive_access and fragment.positive_completion:
+        return completability_by_saturation(guarded_form, start)
+    if guarded_form.schema_depth() <= 1:
+        return completability_depth1(guarded_form, start)
+    if fragment.positive_access:
+        copy_bound = positive_rules_copy_bound(guarded_form)
+        effective = limits or ExplorationLimits(max_sibling_copies=copy_bound)
+        if effective.max_sibling_copies is None:
+            effective = ExplorationLimits(
+                max_states=effective.max_states,
+                max_instance_nodes=effective.max_instance_nodes,
+                max_sibling_copies=copy_bound,
+            )
+        return completability_bounded(
+            guarded_form, start, effective, copy_bound_is_sufficient=True
+        )
+    return completability_bounded(guarded_form, start, limits)

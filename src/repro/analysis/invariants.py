@@ -1,0 +1,68 @@
+"""Invariant checking via completability queries (Section 3.5).
+
+The paper notes that completability "is not only interesting as a correctness
+requirement but also important for deciding invariants": whether some state
+satisfying a formula ``ψ`` is ever reachable is exactly the completability of
+the guarded form with completion formula ``ψ``.  For example, checking
+completability for ``d[a ∧ r]`` asks whether a decision field can ever contain
+both an approval and a rejection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.completability import decide_completability
+from repro.analysis.results import AnalysisResult, ExplorationLimits
+from repro.core.formulas.ast import Formula, Not
+from repro.core.formulas.parser import parse_formula
+from repro.core.guarded_form import GuardedForm
+from repro.core.instance import Instance
+
+
+def can_reach(
+    guarded_form: GuardedForm,
+    condition: "Formula | str",
+    start: Optional[Instance] = None,
+    limits: Optional[ExplorationLimits] = None,
+) -> AnalysisResult:
+    """Whether some reachable instance satisfies *condition* (at the root).
+
+    Implemented as completability of the guarded form with *condition* as its
+    completion formula; the result's witness run leads to a satisfying
+    instance when the answer is positive.
+    """
+    probe = guarded_form.with_completion(
+        parse_formula(condition), name=f"{guarded_form.name} [reach probe]"
+    )
+    result = decide_completability(probe, start=start, limits=limits)
+    result.stats["query"] = "can_reach"
+    return result
+
+
+def always_holds(
+    guarded_form: GuardedForm,
+    invariant: "Formula | str",
+    start: Optional[Instance] = None,
+    limits: Optional[ExplorationLimits] = None,
+) -> AnalysisResult:
+    """Whether *invariant* holds at the root of **every** reachable instance.
+
+    This is the complement of :func:`can_reach` applied to the negated
+    invariant.  The returned result keeps the reachability witness (a run to
+    a violating instance) as its ``witness_run`` when the invariant fails.
+    """
+    violation = can_reach(guarded_form, Not(parse_formula(invariant)), start, limits)
+    answer: Optional[bool]
+    if violation.decided:
+        answer = not violation.answer
+    else:
+        answer = None
+    return AnalysisResult(
+        problem="invariant",
+        decided=violation.decided,
+        answer=answer,
+        procedure=violation.procedure,
+        witness_run=violation.witness_run,
+        stats={"query": "always_holds", **violation.stats},
+    )

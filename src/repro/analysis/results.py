@@ -1,0 +1,90 @@
+"""Result and configuration types shared by the analysis procedures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.instance import Instance
+from repro.core.runs import Run
+from repro.exceptions import AnalysisError
+
+
+@dataclass(frozen=True)
+class ExplorationLimits:
+    """Resource bounds for the explicit-state explorers.
+
+    The general completability / semi-soundness problems are undecidable
+    (Theorem 4.1), so any terminating procedure for the unrestricted fragments
+    must be bounded.  These limits control the bounded explorer; when a limit
+    is hit the affected analysis reports ``decided=False`` instead of
+    guessing.
+
+    Attributes:
+        max_states: maximum number of distinct states (isomorphism classes of
+            instances) to visit.
+        max_instance_nodes: successors larger than this number of nodes are
+            not expanded (``None`` = unlimited).
+        max_sibling_copies: additions creating more than this many same-label
+            siblings under a single node are not explored (``None`` =
+            unlimited).  For positive access rules a bound derived from the
+            completion formula is sufficient for completeness (Theorem 5.2's
+            witness argument); the dispatchers set it accordingly.
+    """
+
+    max_states: int = 20_000
+    max_instance_nodes: Optional[int] = 60
+    max_sibling_copies: Optional[int] = None
+
+    def allows_instance_size(self, size: int) -> bool:
+        """Whether an instance with *size* nodes may still be expanded."""
+        return self.max_instance_nodes is None or size <= self.max_instance_nodes
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of a completability or semi-soundness analysis.
+
+    Attributes:
+        problem: ``"completability"`` or ``"semisoundness"``.
+        decided: whether the procedure reached a definite answer.  Bounded
+            procedures report ``False`` when they hit their limits.
+        answer: the decision (``None`` when undecided).
+        procedure: name of the procedure that produced the result (matches
+            :func:`repro.core.fragments.recommended_procedures`).
+        witness_run: for a positive completability answer, a complete run; for
+            a negative semi-soundness answer, a run leading to an
+            incompletable instance.
+        counterexample: for a negative semi-soundness answer, the reachable
+            instance from which the form cannot be completed.
+        stats: free-form statistics (states explored, saturation steps, …).
+    """
+
+    problem: str
+    decided: bool
+    answer: Optional[bool]
+    procedure: str
+    witness_run: Optional[Run] = None
+    counterexample: Optional[Instance] = None
+    stats: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        """Truthiness is the answer; raises when the analysis was undecided."""
+        if not self.decided or self.answer is None:
+            raise AnalysisError(
+                f"the {self.problem} analysis did not reach a decision; inspect "
+                "`.decided` before using the result as a boolean"
+            )
+        return self.answer
+
+    def require_decided(self) -> bool:
+        """Return the answer, raising :class:`AnalysisError` if undecided."""
+        return bool(self)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if not self.decided:
+            status = "undecided (limits reached)"
+        else:
+            status = "yes" if self.answer else "no"
+        return f"{self.problem} [{self.procedure}]: {status}"

@@ -1,0 +1,181 @@
+"""The form semi-soundness problem (Definition 3.14).
+
+A guarded form is semi-sound when every reachable instance is still
+completable.  ``decide_semisoundness`` dispatches on the fragment:
+
+* depth-1 forms — :func:`semisoundness_depth1`: build the complete reachable
+  canonical-state graph (Lemma 4.3) and check that every reachable state lies
+  in the backward closure of the completion states.  This realises the
+  PSPACE procedures of Corollary 4.7 and the coNP procedure of
+  Corollary 5.7 (for positive/positive forms the graph is small because
+  deletions are the only way to leave the monotone add-lattice).
+
+* deeper forms — :func:`semisoundness_bounded`: bounded exploration of the
+  reachable instances, then a completability check from every explored state.
+  Negative answers require an exact incompletability verdict for the
+  offending state; positive answers require the reachability exploration to
+  have been exhaustive.  Anything else is undecided — unavoidable, since the
+  problem is Π₂ᵏ-hard for positive rules (Theorem 5.3) and undecidable in
+  general (Theorem 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.completability import (
+    decide_completability,
+    positive_rules_copy_bound,
+)
+from repro.analysis.results import AnalysisResult, ExplorationLimits
+from repro.analysis.statespace import explore_bounded, explore_depth1
+from repro.core.canonical import depth1_state_to_instance
+from repro.core.fragments import classify
+from repro.core.guarded_form import GuardedForm
+from repro.core.instance import Instance
+from repro.exceptions import AnalysisError
+
+_PROBLEM = "semisoundness"
+
+
+def semisoundness_depth1(
+    guarded_form: GuardedForm, start: Optional[Instance] = None
+) -> AnalysisResult:
+    """Exact semi-soundness for depth-1 guarded forms.
+
+    The reachable canonical states are enumerated once; the form is semi-sound
+    iff every reachable state can reach a state satisfying the completion
+    formula (a backward-closure computation on the same graph).
+    """
+    graph = explore_depth1(guarded_form, start=start)
+    reachable = graph.reachable_from(graph.initial)
+    complete_states = graph.satisfying_states(guarded_form.is_complete)
+    can_complete = graph.backward_closure(complete_states & graph.states)
+    stuck = sorted(reachable - can_complete, key=sorted)
+    answer = not stuck
+    counterexample = None
+    witness_run = None
+    if stuck:
+        counterexample = depth1_state_to_instance(guarded_form.schema, stuck[0])
+        witness_run = graph.run_to(stuck[0])
+    return AnalysisResult(
+        problem=_PROBLEM,
+        decided=True,
+        answer=answer,
+        procedure="depth1_canonical_graph",
+        witness_run=witness_run,
+        counterexample=counterexample,
+        stats={
+            "canonical_states": len(graph.states),
+            "reachable_states": len(reachable),
+            "incompletable_reachable_states": len(stuck),
+        },
+    )
+
+
+def semisoundness_bounded(
+    guarded_form: GuardedForm,
+    start: Optional[Instance] = None,
+    limits: Optional[ExplorationLimits] = None,
+    completability_limits: Optional[ExplorationLimits] = None,
+) -> AnalysisResult:
+    """Bounded semi-soundness for guarded forms of arbitrary depth.
+
+    The reachable space is explored up to *limits*; from every explored state
+    the graph itself answers "can this state reach a complete state?", and
+    states that cannot within the explored graph are re-checked with a
+    dedicated completability analysis (so a negative verdict is based on an
+    exact incompletability proof for the counterexample state).  Unless
+    overridden, those per-state checks reuse the same *limits* so the total
+    work stays proportional to the configured exploration budget.
+    """
+    limits = limits or ExplorationLimits()
+    completability_limits = completability_limits or limits
+    graph = explore_bounded(guarded_form, start=start, limits=limits)
+    complete_states = graph.satisfying_states(guarded_form.is_complete)
+    can_complete = graph.backward_closure(complete_states)
+    suspicious = [key for key in graph.states if key not in can_complete]
+    stats = {
+        "states_explored": len(graph.representatives),
+        "truncated": graph.truncated,
+        "suspicious_states": len(suspicious),
+        "limits": limits,
+    }
+
+    for key in suspicious:
+        instance = graph.instance_of(key)
+        check = decide_completability(
+            guarded_form,
+            start=instance,
+            limits=completability_limits,
+        )
+        if check.decided and check.answer is False:
+            return AnalysisResult(
+                problem=_PROBLEM,
+                decided=True,
+                answer=False,
+                procedure="bounded_exploration",
+                witness_run=graph.run_to(key),
+                counterexample=instance,
+                stats=stats,
+            )
+
+    if not graph.truncated and not suspicious:
+        return AnalysisResult(
+            problem=_PROBLEM,
+            decided=True,
+            answer=True,
+            procedure="bounded_exploration",
+            stats=stats,
+        )
+    if not graph.truncated and suspicious:
+        # every suspicious state turned out to be completable through states
+        # outside the explored graph?  impossible when the graph is exhaustive
+        # — the backward closure is exact — so being here means the per-state
+        # completability checks were undecided.
+        return AnalysisResult(
+            problem=_PROBLEM,
+            decided=False,
+            answer=None,
+            procedure="bounded_exploration",
+            stats=stats,
+        )
+    return AnalysisResult(
+        problem=_PROBLEM,
+        decided=False,
+        answer=None,
+        procedure="bounded_exploration",
+        stats=stats,
+    )
+
+
+def decide_semisoundness(
+    guarded_form: GuardedForm,
+    start: Optional[Instance] = None,
+    strategy: str = "auto",
+    limits: Optional[ExplorationLimits] = None,
+) -> AnalysisResult:
+    """Decide semi-soundness, selecting a procedure from the fragment.
+
+    Args:
+        guarded_form: the guarded form to analyse.
+        start: use this instance instead of the initial instance.
+        strategy: ``"auto"``, ``"depth1"`` or ``"bounded"``.
+        limits: exploration limits for the bounded procedure.
+    """
+    if strategy == "depth1":
+        return semisoundness_depth1(guarded_form, start)
+    if strategy == "bounded":
+        return semisoundness_bounded(guarded_form, start, limits)
+    if strategy != "auto":
+        raise AnalysisError(f"unknown semi-soundness strategy {strategy!r}")
+
+    if guarded_form.schema_depth() <= 1:
+        return semisoundness_depth1(guarded_form, start)
+
+    fragment = classify(guarded_form)
+    if fragment.positive_access and limits is None:
+        limits = ExplorationLimits(
+            max_sibling_copies=positive_rules_copy_bound(guarded_form)
+        )
+    return semisoundness_bounded(guarded_form, start, limits)

@@ -1,0 +1,323 @@
+"""Explicit-state exploration of the instance space of a guarded form.
+
+Two explorers are provided, matching the two regimes the paper distinguishes:
+
+* :func:`explore_depth1` — for depth-1 guarded forms.  By Lemma 4.3 the
+  reachable *canonical* instances (sets of labels below the root) form a
+  sound and complete abstraction of the reachable instances, so the explorer
+  works directly on label sets and always terminates (at most ``2^n`` states
+  for ``n`` depth-1 fields).  This is the executable counterpart of the
+  (N)PSPACE procedures of Theorem 4.6 / Corollary 4.7.
+
+* :func:`explore_bounded` — for arbitrary guarded forms.  The reachable space
+  is infinite in general and the analysis problems are undecidable
+  (Theorem 4.1), so this explorer deduplicates states by *isomorphism* (the
+  canonical-instance quotient is not a congruence for updates once the depth
+  exceeds 1 — see :mod:`repro.core.canonical`) and enforces the limits of
+  :class:`~repro.analysis.results.ExplorationLimits`.  The resulting graph
+  records whether any successor was skipped, so callers know whether the
+  exploration was exhaustive.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.analysis.results import ExplorationLimits
+from repro.core.canonical import canonical_depth1_state, depth1_state_to_instance
+from repro.core.guarded_form import Addition, Deletion, GuardedForm, Update
+from repro.core.instance import Instance
+from repro.core.runs import Run
+from repro.core.tree import Shape
+
+#: A depth-1 canonical state: the set of labels present below the root.
+Depth1State = frozenset
+
+
+@dataclass(frozen=True)
+class Depth1Transition:
+    """A transition between depth-1 canonical states."""
+
+    kind: str  # "add" or "del"
+    label: str
+    source: Depth1State
+    target: Depth1State
+
+
+@dataclass
+class Depth1StateGraph:
+    """The complete reachable canonical-state graph of a depth-1 guarded form."""
+
+    guarded_form: GuardedForm
+    initial: Depth1State
+    states: set = field(default_factory=set)
+    transitions: dict = field(default_factory=dict)  # state -> list[Depth1Transition]
+
+    def successors(self, state: Depth1State) -> list[Depth1Transition]:
+        """Outgoing transitions of *state*."""
+        return self.transitions.get(state, [])
+
+    def reachable_from(self, start: Depth1State) -> set:
+        """All states reachable from *start* inside the graph."""
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            state = frontier.popleft()
+            for transition in self.successors(state):
+                if transition.target not in seen:
+                    seen.add(transition.target)
+                    frontier.append(transition.target)
+        return seen
+
+    def backward_closure(self, targets: set) -> set:
+        """All states from which some state in *targets* is reachable."""
+        predecessors: dict[Depth1State, set] = {}
+        for state, transitions in self.transitions.items():
+            for transition in transitions:
+                predecessors.setdefault(transition.target, set()).add(state)
+        closure = set(targets)
+        frontier = deque(targets)
+        while frontier:
+            state = frontier.popleft()
+            for predecessor in predecessors.get(state, ()):
+                if predecessor not in closure:
+                    closure.add(predecessor)
+                    frontier.append(predecessor)
+        return closure
+
+    def satisfying_states(self, predicate: Callable[[Instance], bool]) -> set:
+        """States whose materialised instance satisfies *predicate*."""
+        schema = self.guarded_form.schema
+        return {
+            state
+            for state in self.states
+            if predicate(depth1_state_to_instance(schema, state))
+        }
+
+    def path_to(self, target: Depth1State) -> Optional[list[Depth1Transition]]:
+        """A shortest transition path from the initial state to *target*."""
+        if target == self.initial:
+            return []
+        parents: dict[Depth1State, Depth1Transition] = {}
+        frontier = deque([self.initial])
+        seen = {self.initial}
+        while frontier:
+            state = frontier.popleft()
+            for transition in self.successors(state):
+                if transition.target in seen:
+                    continue
+                seen.add(transition.target)
+                parents[transition.target] = transition
+                if transition.target == target:
+                    return self._unwind(parents, target)
+                frontier.append(transition.target)
+        return None
+
+    def _unwind(self, parents: dict, target: Depth1State) -> list[Depth1Transition]:
+        path: list[Depth1Transition] = []
+        state = target
+        while state != self.initial:
+            transition = parents[state]
+            path.append(transition)
+            state = transition.source
+        path.reverse()
+        return path
+
+    def run_to(self, target: Depth1State) -> Optional[Run]:
+        """A run of the guarded form (started from the canonical initial
+        instance) whose final instance has canonical state *target*."""
+        path = self.path_to(target)
+        if path is None:
+            return None
+        schema = self.guarded_form.schema
+        start = depth1_state_to_instance(schema, self.initial)
+        run = Run(self.guarded_form, [], start=start)
+        current = start.copy()
+        for transition in path:
+            if transition.kind == "add":
+                update: Update = Addition(current.root.node_id, transition.label)
+            else:
+                node = next(
+                    child
+                    for child in current.root.children
+                    if child.label == transition.label
+                )
+                update = Deletion(node.node_id)
+            run.updates.append(update)
+            current = self.guarded_form.apply_unchecked(current, update, in_place=True)
+        return run
+
+
+def explore_depth1(guarded_form: GuardedForm, start: Optional[Instance] = None) -> Depth1StateGraph:
+    """Build the complete canonical-state graph of a depth-1 guarded form.
+
+    Raises:
+        ValueError: when the schema has depth greater than 1.
+    """
+    if guarded_form.schema_depth() > 1:
+        raise ValueError(
+            "explore_depth1 only applies to depth-1 guarded forms; use "
+            "explore_bounded for deeper schemas"
+        )
+    schema = guarded_form.schema
+    start_instance = start if start is not None else guarded_form.initial_instance()
+    initial = canonical_depth1_state(start_instance)
+    graph = Depth1StateGraph(guarded_form, initial)
+
+    frontier = deque([initial])
+    graph.states.add(initial)
+    while frontier:
+        state = frontier.popleft()
+        instance = depth1_state_to_instance(schema, state)
+        transitions: list[Depth1Transition] = []
+        root = instance.root
+        for schema_child in schema.root.children:
+            label = schema_child.label
+            if guarded_form.is_addition_allowed(instance, root, label):
+                target = Depth1State(state | {label})
+                if target != state:
+                    transitions.append(Depth1Transition("add", label, state, target))
+        for child in root.children:
+            if guarded_form.is_deletion_allowed(instance, child):
+                target = Depth1State(state - {child.label})
+                transitions.append(Depth1Transition("del", child.label, state, target))
+        graph.transitions[state] = transitions
+        for transition in transitions:
+            if transition.target not in graph.states:
+                graph.states.add(transition.target)
+                frontier.append(transition.target)
+    return graph
+
+
+# --------------------------------------------------------------------------- #
+# bounded exploration for arbitrary depth
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class StateGraph:
+    """A (possibly truncated) explicit-state graph over instance shapes.
+
+    States are isomorphism classes of instances, keyed by
+    :meth:`~repro.core.tree.LabelledTree.shape`; for each state a concrete
+    representative instance is kept so formulas can be evaluated and runs can
+    be reconstructed.
+    """
+
+    guarded_form: GuardedForm
+    initial_key: Shape
+    representatives: dict = field(default_factory=dict)  # Shape -> Instance
+    transitions: dict = field(default_factory=dict)  # Shape -> list[(Update, Shape)]
+    parents: dict = field(default_factory=dict)  # Shape -> (parent Shape, Update)
+    truncated_by_states: bool = False
+    truncated_by_size: bool = False
+    truncated_by_copies: bool = False
+    skipped_successors: int = 0
+
+    @property
+    def truncated(self) -> bool:
+        """Whether any state or successor was skipped for any reason."""
+        return self.truncated_by_states or self.truncated_by_size or self.truncated_by_copies
+
+    @property
+    def states(self) -> set:
+        """All state keys in the graph."""
+        return set(self.representatives)
+
+    def instance_of(self, key: Shape) -> Instance:
+        """The representative instance of a state."""
+        return self.representatives[key].copy()
+
+    def satisfying_states(self, predicate: Callable[[Instance], bool]) -> set:
+        """States whose representative satisfies *predicate*."""
+        return {
+            key
+            for key, instance in self.representatives.items()
+            if predicate(instance)
+        }
+
+    def backward_closure(self, targets: set) -> set:
+        """States from which some state in *targets* is reachable within the
+        explored graph."""
+        predecessors: dict[Shape, set] = {}
+        for source, edges in self.transitions.items():
+            for _, target in edges:
+                predecessors.setdefault(target, set()).add(source)
+        closure = set(targets)
+        frontier = deque(targets)
+        while frontier:
+            state = frontier.popleft()
+            for predecessor in predecessors.get(state, ()):
+                if predecessor not in closure:
+                    closure.add(predecessor)
+                    frontier.append(predecessor)
+        return closure
+
+    def run_to(self, key: Shape) -> Run:
+        """A run from the exploration's start instance to the state *key*."""
+        updates: list[Update] = []
+        current = key
+        while current != self.initial_key:
+            parent, update = self.parents[current]
+            updates.append(update)
+            current = parent
+        updates.reverse()
+        return Run(self.guarded_form, updates, start=self.representatives[self.initial_key].copy())
+
+    def iter_states(self) -> Iterator[tuple[Shape, Instance]]:
+        """Iterate over (key, representative) pairs."""
+        return iter(self.representatives.items())
+
+
+def explore_bounded(
+    guarded_form: GuardedForm,
+    start: Optional[Instance] = None,
+    limits: Optional[ExplorationLimits] = None,
+) -> StateGraph:
+    """Breadth-first exploration of the reachable instances of a guarded form.
+
+    States are deduplicated by isomorphism.  The exploration honours the
+    supplied :class:`~repro.analysis.results.ExplorationLimits`; the returned
+    graph's ``truncated`` flag is set when *any* state or successor was
+    skipped, in which case the graph is an under-approximation of the
+    reachable space.
+    """
+    limits = limits or ExplorationLimits()
+    start_instance = start if start is not None else guarded_form.initial_instance()
+    initial_key = start_instance.shape()
+    graph = StateGraph(guarded_form, initial_key)
+    graph.representatives[initial_key] = start_instance.copy()
+
+    frontier = deque([initial_key])
+    while frontier:
+        key = frontier.popleft()
+        instance = graph.representatives[key]
+        edges: list[tuple[Update, Shape]] = []
+        for update in guarded_form.enabled_updates(instance):
+            if isinstance(update, Addition):
+                if not limits.allows_instance_size(instance.size() + 1):
+                    graph.truncated_by_size = True
+                    graph.skipped_successors += 1
+                    continue
+                if limits.max_sibling_copies is not None:
+                    parent = instance.node(update.parent_id)
+                    copies = len(parent.children_with_label(update.label))
+                    if copies >= limits.max_sibling_copies:
+                        graph.truncated_by_copies = True
+                        graph.skipped_successors += 1
+                        continue
+            successor = guarded_form.apply_unchecked(instance, update)
+            successor_key = successor.shape()
+            if successor_key not in graph.representatives:
+                if len(graph.representatives) >= limits.max_states:
+                    graph.truncated_by_states = True
+                    graph.skipped_successors += 1
+                    continue
+                graph.representatives[successor_key] = successor
+                graph.parents[successor_key] = (key, update)
+                frontier.append(successor_key)
+            edges.append((update, successor_key))
+        graph.transitions[key] = edges
+    return graph

@@ -1,0 +1,39 @@
+"""Benchmark workload generators.
+
+The paper's Table 1 is a complexity table, so the reproduction benchmarks
+measure how the library's decision procedures scale on parameterised workload
+families chosen to exercise each fragment row.  The families live in
+:mod:`repro.benchgen.families`; seeded random generators for schemas, rules
+and formulas (used by property-based tests as well) live in
+:mod:`repro.benchgen.random_forms`.
+"""
+
+from repro.benchgen.families import (
+    counter_machine_family,
+    deadlock_family,
+    positive_chain_family,
+    positive_deep_family,
+    qsat_semisoundness_family,
+    sat_completability_family,
+    sat_semisoundness_family,
+)
+from repro.benchgen.random_forms import (
+    random_depth1_guarded_form,
+    random_formula,
+    random_instance,
+    random_schema,
+)
+
+__all__ = [
+    "positive_chain_family",
+    "positive_deep_family",
+    "sat_completability_family",
+    "sat_semisoundness_family",
+    "deadlock_family",
+    "counter_machine_family",
+    "qsat_semisoundness_family",
+    "random_schema",
+    "random_instance",
+    "random_formula",
+    "random_depth1_guarded_form",
+]

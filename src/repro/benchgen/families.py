@@ -1,0 +1,160 @@
+"""Parameterised workload families for the Table 1 benchmarks.
+
+Each family returns a guarded form (or a related object) whose analysis
+exercises one row of Table 1; the benchmark harness in ``benchmarks/`` sweeps
+the size parameter and records how the corresponding decision procedure
+scales.  The families either instantiate the paper's own reductions (SAT,
+QSAT, reachable deadlock, two-counter machines) or simple structured forms
+(chains, nested documents) for the polynomial rows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.access import RuleTable
+from repro.core.formulas.builders import child_path, conj_all, label
+from repro.core.guarded_form import GuardedForm
+from repro.core.instance import Instance
+from repro.core.schema import Schema, depth_one_schema
+from repro.logic.propositional import CnfFormula, random_cnf
+from repro.logic.qbf import QBF, qsat_2k
+from repro.reductions.counter_machine import TwoCounterMachine, counting_machine
+from repro.reductions.deadlock import DeadlockProblem, deadlock_to_completability, random_deadlock_problem
+from repro.reductions.qsat_reductions import qsat2k_to_semisoundness
+from repro.reductions.sat_reductions import sat_to_completability, sat_to_non_semisoundness
+from repro.reductions.two_counter import two_counter_to_guarded_form
+
+
+def positive_chain_family(length: int) -> GuardedForm:
+    """Row (A+, φ+, 1): a depth-1 form whose fields must be added in a chain.
+
+    Field ``f_i`` may only be added once ``f_{i-1}`` is present; the completion
+    formula requires every field.  Completability is decided by the
+    polynomial saturation procedure of Theorem 5.5, and the saturation length
+    grows linearly with *length*.
+    """
+    labels = [f"f{i}" for i in range(length)]
+    schema = depth_one_schema(labels)
+    rules = RuleTable(schema)
+    for index, name in enumerate(labels):
+        if index == 0:
+            rules.set_add_rule(name, "true")
+        else:
+            rules.set_add_rule(name, label(labels[index - 1]))
+    completion = conj_all(label(name) for name in labels)
+    return GuardedForm(
+        schema,
+        rules,
+        completion=completion,
+        initial_instance=Instance.empty(schema),
+        name=f"positive chain (length {length})",
+    )
+
+
+def positive_deep_family(depth: int, width: int = 2) -> GuardedForm:
+    """Rows (A+, φ+, k/∞): a nested document of the given depth and width.
+
+    Every field may be added once its parent exists (a positive, structural
+    requirement); the completion formula asks for one full root-to-leaf path
+    per subtree.  The saturation procedure remains polynomial regardless of
+    the depth, which is the point of the (A+, φ+, ·) rows.
+    """
+    def level(current: int) -> dict:
+        if current >= depth:
+            return {}
+        return {f"n{current}_{i}": level(current + 1) for i in range(width)}
+
+    schema = Schema.from_dict(level(0))
+    rules = RuleTable.from_dict(schema, {}, default="true")
+
+    def deepest_path(current: int, prefix: list) -> list:
+        if current >= depth:
+            return prefix
+        return deepest_path(current + 1, prefix + [f"n{current}_0"])
+
+    completion = child_path(*deepest_path(0, []))
+    return GuardedForm(
+        schema,
+        rules,
+        completion=completion,
+        initial_instance=Instance.empty(schema),
+        name=f"positive nested document (depth {depth}, width {width})",
+    )
+
+
+def sat_completability_family(
+    num_variables: int, clause_ratio: float = 4.0, seed: Optional[int] = 0
+) -> tuple[GuardedForm, CnfFormula]:
+    """Row (A+, φ−, 1/k): Theorem 5.1's SAT reduction on random 3-CNF.
+
+    Returns both the guarded form and the CNF so benchmarks can compare the
+    guarded-form procedure against the DPLL oracle.
+    """
+    cnf = random_cnf(num_variables, max(1, int(round(clause_ratio * num_variables))), seed=seed)
+    return sat_to_completability(cnf), cnf
+
+
+def sat_semisoundness_family(
+    num_variables: int, clause_ratio: float = 2.0, seed: Optional[int] = 0
+) -> tuple[GuardedForm, CnfFormula]:
+    """Row (A+, φ+, 1) semi-soundness: Theorem 5.6's reduction on random 3-CNF."""
+    cnf = random_cnf(num_variables, max(1, int(round(clause_ratio * num_variables))), seed=seed)
+    return sat_to_non_semisoundness(cnf), cnf
+
+
+def deadlock_family(
+    num_components: int,
+    vertices_per_component: int = 3,
+    transitions_per_component: int = 3,
+    seed: Optional[int] = 0,
+) -> tuple[GuardedForm, DeadlockProblem]:
+    """Row (A−, φ−, 1): Theorem 4.6's reachable-deadlock reduction."""
+    problem = random_deadlock_problem(
+        num_components,
+        vertices_per_component,
+        transitions_per_component * num_components,
+        seed=seed,
+    )
+    return deadlock_to_completability(problem), problem
+
+
+def counter_machine_family(target: int) -> tuple[GuardedForm, TwoCounterMachine]:
+    """Rows (A−, φ±, k/∞): Theorem 4.1's two-counter simulation.
+
+    The machine increments a counter *target* times and accepts, so the
+    guarded form is completable; the length of the witness run (and the size
+    of the explored state space) grows with *target*, illustrating why no
+    bound on the exploration can work for all machines — the fragment is
+    undecidable.
+    """
+    machine = counting_machine(target)
+    return two_counter_to_guarded_form(machine), machine
+
+
+def qsat_semisoundness_family(
+    k: int, block_size: int = 1, num_clauses: int = 4, seed: Optional[int] = 0
+) -> tuple[GuardedForm, QBF]:
+    """Row (A+, φ−, k) semi-soundness: Theorem 5.3's QSAT₂ₖ reduction."""
+    variables = []
+    exist_blocks = []
+    forall_blocks = []
+    for level in range(k):
+        exist_blocks.append([f"x{level}_{j}" for j in range(block_size)])
+        forall_blocks.append([f"y{level}_{j}" for j in range(block_size)])
+        variables.extend(exist_blocks[-1])
+        variables.extend(forall_blocks[-1])
+    cnf = random_cnf(
+        len(variables), num_clauses, clause_size=min(3, len(variables)), seed=seed
+    )
+    mapping = {f"x{i + 1}": variables[i] for i in range(len(variables))}
+    from repro.logic.propositional import Clause, Literal
+
+    remapped = CnfFormula(
+        [
+            Clause(Literal(mapping[lit.variable], lit.positive) for lit in clause)
+            for clause in cnf
+        ]
+    )
+    qbf = qsat_2k(exist_blocks, forall_blocks, remapped)
+    return qsat2k_to_semisoundness(qbf), qbf

@@ -1,0 +1,150 @@
+"""Seeded random generators for schemas, instances, formulas and guarded forms.
+
+These generators serve two purposes:
+
+* benchmark workloads where the paper's own reductions are not the natural
+  workload (e.g. "random positive depth-1 forms" for the ``P`` rows of
+  Table 1);
+* randomised cross-checks in the test-suite (e.g. "the saturation procedure
+  agrees with the exhaustive depth-1 procedure on random positive forms").
+
+All generators take an explicit ``seed`` so workloads are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.access import RuleTable
+from repro.core.formulas.ast import And, Exists, Formula, Not, Or, Step, Top
+from repro.core.guarded_form import GuardedForm
+from repro.core.instance import Instance
+from repro.core.schema import Schema, depth_one_schema
+from repro.exceptions import ReductionError
+
+
+def random_schema(
+    num_fields: int,
+    max_depth: int = 3,
+    seed: Optional[int] = None,
+    label_prefix: str = "f",
+) -> Schema:
+    """A random schema with *num_fields* fields and depth at most *max_depth*.
+
+    Fields are attached to uniformly chosen existing nodes whose depth allows
+    another level; sibling labels are kept unique by construction.
+    """
+    if num_fields < 1:
+        raise ReductionError("a random schema needs at least one field")
+    rng = random.Random(seed)
+    schema = Schema()
+    nodes = [schema.root]
+    for index in range(num_fields):
+        candidates = [node for node in nodes if node.depth() < max_depth]
+        parent = rng.choice(candidates)
+        label = f"{label_prefix}{index}"
+        child = schema.add_leaf(parent, label)
+        nodes.append(child)
+    schema.validate()
+    return schema
+
+
+def random_instance(
+    schema: Schema, seed: Optional[int] = None, density: float = 0.5, max_copies: int = 1
+) -> Instance:
+    """A random instance of *schema*: each schema field is instantiated with
+    probability *density* (up to *max_copies* copies), provided its parent was
+    instantiated."""
+    rng = random.Random(seed)
+    instance = Instance.empty(schema)
+
+    def populate(schema_node, instance_node):
+        for schema_child in schema_node.children:
+            for _ in range(max_copies):
+                if rng.random() < density:
+                    child = instance.add_field(instance_node, schema_child.label)
+                    populate(schema_child, child)
+
+    populate(schema.root, instance.root)
+    return instance
+
+
+def random_formula(
+    labels: list[str],
+    seed: Optional[int] = None,
+    size: int = 6,
+    allow_negation: bool = True,
+) -> Formula:
+    """A random formula over plain label atoms (depth-1 style).
+
+    The formula has roughly *size* connectives; with ``allow_negation=False``
+    the result is positive.
+    """
+    if not labels:
+        return Top()
+    rng = random.Random(seed)
+
+    def build(budget: int) -> Formula:
+        if budget <= 1:
+            return Exists(Step(rng.choice(labels)))
+        choices = ["and", "or", "atom"]
+        if allow_negation:
+            choices.append("not")
+        kind = rng.choice(choices)
+        if kind == "atom":
+            return Exists(Step(rng.choice(labels)))
+        if kind == "not":
+            return Not(build(budget - 1))
+        left = build(budget // 2)
+        right = build(budget - budget // 2 - 1)
+        return And(left, right) if kind == "and" else Or(left, right)
+
+    return build(size)
+
+
+def random_depth1_guarded_form(
+    num_fields: int,
+    seed: Optional[int] = None,
+    positive_access: bool = True,
+    positive_completion: bool = True,
+    rule_size: int = 3,
+    completion_size: int = 5,
+) -> GuardedForm:
+    """A random depth-1 guarded form in the requested fragment.
+
+    Access rules and the completion formula are random formulas over the field
+    labels; negation is only used where the fragment allows it.
+    """
+    rng = random.Random(seed)
+    labels = [f"f{i}" for i in range(num_fields)]
+    schema = depth_one_schema(labels)
+    rules = RuleTable(schema)
+    for label_name in labels:
+        rules.set_add_rule(
+            label_name,
+            random_formula(
+                labels, seed=rng.randint(0, 2**30), size=rule_size, allow_negation=not positive_access
+            ),
+        )
+        rules.set_delete_rule(
+            label_name,
+            random_formula(
+                labels, seed=rng.randint(0, 2**30), size=rule_size, allow_negation=not positive_access
+            ),
+        )
+    completion = random_formula(
+        labels,
+        seed=rng.randint(0, 2**30),
+        size=completion_size,
+        allow_negation=not positive_completion,
+    )
+    # ensure at least one field can always be added so the form is not frozen
+    rules.set_add_rule(labels[0], Top())
+    return GuardedForm(
+        schema,
+        rules,
+        completion=completion,
+        initial_instance=Instance.empty(schema),
+        name=f"random depth-1 form ({num_fields} fields, seed={seed})",
+    )

@@ -1,0 +1,307 @@
+"""Command-line interface for the guarded-forms library.
+
+The CLI exposes the workflows a form designer needs without writing Python:
+
+``guarded-forms catalog``
+    list the built-in example forms, or export one to JSON;
+``guarded-forms render FORM.json``
+    print the schema (Figure 1 style), the access-rule table (Example 3.12
+    style) and the completion formula;
+``guarded-forms analyze FORM.json``
+    decide completability and semi-soundness, printing witnesses and
+    counterexamples;
+``guarded-forms invariant FORM.json "¬d[a ∧ r]"``
+    check that a formula holds at the root of every reachable instance;
+``guarded-forms workflow FORM.json --dot out.dot``
+    extract the implied workflow, print its diagnostics and optionally export
+    it to Graphviz DOT;
+``guarded-forms table1``
+    print the paper's complexity table.
+
+``FORM.json`` is the JSON format of :mod:`repro.io.serialization`; built-in
+catalogue names (``leave-application``, ``tax-declaration``, …) are accepted
+wherever a file path is expected.
+
+The module is usable both through the ``guarded-forms`` console script and as
+``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.completability import decide_completability
+from repro.analysis.invariants import always_holds
+from repro.analysis.results import AnalysisResult, ExplorationLimits
+from repro.analysis.semisoundness import decide_semisoundness
+from repro.core.fragments import classify
+from repro.core.guarded_form import GuardedForm
+from repro.exceptions import ReproError
+from repro.fbwis.catalog import (
+    leave_application,
+    leave_application_incompletable,
+    leave_application_not_semisound,
+    purchase_order,
+    tax_declaration,
+)
+from repro.io.dot import lts_to_dot
+from repro.io.render import render_rule_table, render_schema, render_table1
+from repro.io.serialization import guarded_form_to_dict, load_guarded_form, save_guarded_form
+from repro.workflow.extraction import extract_workflow
+from repro.workflow.soundness import analyse_workflow
+
+#: Built-in forms addressable by name on the command line.
+CATALOG: dict[str, Callable[[], GuardedForm]] = {
+    "leave-application": lambda: leave_application(single_period=False),
+    "leave-application-finite": lambda: leave_application(single_period=True),
+    "leave-application-incompletable": lambda: leave_application_incompletable(single_period=True),
+    "leave-application-not-semisound": lambda: leave_application_not_semisound(single_period=True),
+    "tax-declaration": tax_declaration,
+    "purchase-order": purchase_order,
+}
+
+
+def _load_form(source: str) -> GuardedForm:
+    """Load a guarded form from a catalogue name or a JSON file path."""
+    if source in CATALOG:
+        return CATALOG[source]()
+    path = Path(source)
+    if not path.exists():
+        raise ReproError(
+            f"{source!r} is neither a catalogue form ({', '.join(sorted(CATALOG))}) "
+            "nor an existing file"
+        )
+    return load_guarded_form(path)
+
+
+def _limits_from_args(args: argparse.Namespace) -> ExplorationLimits:
+    return ExplorationLimits(
+        max_states=args.max_states,
+        max_instance_nodes=args.max_instance_nodes,
+        max_sibling_copies=args.max_sibling_copies,
+    )
+
+
+def _add_limit_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        default=50_000,
+        help="state budget for the bounded explorer (default: 50000)",
+    )
+    parser.add_argument(
+        "--max-instance-nodes",
+        type=int,
+        default=40,
+        help="largest instance (in nodes) the explorer will expand (default: 40)",
+    )
+    parser.add_argument(
+        "--max-sibling-copies",
+        type=int,
+        default=None,
+        help="cap on same-label siblings under one node (default: unlimited)",
+    )
+
+
+def _describe(result: AnalysisResult, out) -> None:
+    print(f"  {result.describe()}", file=out)
+    if result.witness_run is not None and result.answer:
+        print("  witness run:", file=out)
+        for step in result.witness_run.describe():
+            print(f"    - {step}", file=out)
+    if result.counterexample is not None:
+        fields = sorted(
+            "/".join(node.label_path())
+            for node in result.counterexample.nodes()
+            if not node.is_root()
+        )
+        print(f"  stuck reachable instance: {{{', '.join(fields)}}}", file=out)
+        if result.witness_run is not None:
+            print("  reached by:", file=out)
+            for step in result.witness_run.describe():
+                print(f"    - {step}", file=out)
+
+
+# --------------------------------------------------------------------------- #
+# sub-commands
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_catalog(args: argparse.Namespace, out) -> int:
+    if args.name is None:
+        print("built-in forms:", file=out)
+        for name in sorted(CATALOG):
+            form = CATALOG[name]()
+            print(
+                f"  {name:34s} depth={form.schema_depth()} "
+                f"fields={form.schema.size() - 1}",
+                file=out,
+            )
+        return 0
+    if args.name not in CATALOG:
+        print(f"unknown catalogue form {args.name!r}", file=sys.stderr)
+        return 2
+    form = CATALOG[args.name]()
+    if args.output is not None:
+        save_guarded_form(form, args.output)
+        print(f"wrote {args.output}", file=out)
+    else:
+        import json
+
+        print(json.dumps(guarded_form_to_dict(form), indent=2, sort_keys=True), file=out)
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace, out) -> int:
+    form = _load_form(args.form)
+    print(render_schema(form.schema, f"Schema of {form.name}"), file=out)
+    print("", file=out)
+    print(render_rule_table(form.rules, title="Access rules"), file=out)
+    print("", file=out)
+    print(f"completion formula: {form.completion.to_text()}", file=out)
+    initial = form.initial_instance()
+    fields = sorted(
+        "/".join(node.label_path()) for node in initial.nodes() if not node.is_root()
+    )
+    print(f"initial instance:   {{{', '.join(fields)}}}" if fields else "initial instance:   (empty)", file=out)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace, out) -> int:
+    form = _load_form(args.form)
+    limits = _limits_from_args(args)
+    print(f"analysing {form.name!r} (fragment {classify(form).name})", file=out)
+
+    completability = decide_completability(form, limits=limits)
+    print("completability:", file=out)
+    _describe(completability, out)
+
+    exit_code = 0
+    if completability.decided and completability.answer is False:
+        exit_code = 1
+    if not completability.decided:
+        exit_code = 3
+
+    if not args.skip_semisoundness:
+        semisoundness = decide_semisoundness(form, limits=limits)
+        print("semi-soundness:", file=out)
+        _describe(semisoundness, out)
+        if semisoundness.decided and semisoundness.answer is False:
+            exit_code = max(exit_code, 1)
+        if not semisoundness.decided:
+            exit_code = max(exit_code, 3)
+    return exit_code
+
+
+def _cmd_invariant(args: argparse.Namespace, out) -> int:
+    form = _load_form(args.form)
+    result = always_holds(form, args.formula, limits=_limits_from_args(args))
+    print(f"invariant {args.formula!r} on {form.name!r}:", file=out)
+    if not result.decided:
+        print("  undecided within the exploration limits", file=out)
+        return 3
+    if result.answer:
+        print("  holds on every reachable instance", file=out)
+        return 0
+    print("  VIOLATED; a run reaching a violating instance:", file=out)
+    for step in result.witness_run.describe():
+        print(f"    - {step}", file=out)
+    return 1
+
+
+def _cmd_workflow(args: argparse.Namespace, out) -> int:
+    form = _load_form(args.form)
+    lts = extract_workflow(form, limits=_limits_from_args(args))
+    report = analyse_workflow(lts)
+    meta = lts.state_annotations.get("__meta__", {})
+    print(f"workflow implied by {form.name!r}:", file=out)
+    print(f"  states      : {len(lts)}", file=out)
+    print(f"  transitions : {len(lts.transitions)}", file=out)
+    print(f"  complete    : {len(lts.accepting)}", file=out)
+    print(f"  exhaustive  : {not meta.get('truncated', False)}", file=out)
+    print(f"  diagnostics : {report.summary()}", file=out)
+    if args.dot is not None:
+        Path(args.dot).write_text(lts_to_dot(lts, form.name), encoding="utf-8")
+        print(f"  DOT written to {args.dot}", file=out)
+    return 0 if report.semi_sound else 1
+
+
+def _cmd_table1(args: argparse.Namespace, out) -> int:
+    del args
+    print(render_table1(), file=out)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="guarded-forms",
+        description="Analyse workflows implied by instance-dependent access rules (PODS 2006).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    catalog = subparsers.add_parser("catalog", help="list or export the built-in example forms")
+    catalog.add_argument("name", nargs="?", help="catalogue form to export")
+    catalog.add_argument("--output", "-o", help="write the form as JSON to this file")
+    catalog.set_defaults(handler=_cmd_catalog)
+
+    render = subparsers.add_parser("render", help="print a form's schema, rules and completion formula")
+    render.add_argument("form", help="catalogue name or JSON file")
+    render.set_defaults(handler=_cmd_render)
+
+    analyze = subparsers.add_parser("analyze", help="decide completability and semi-soundness")
+    analyze.add_argument("form", help="catalogue name or JSON file")
+    analyze.add_argument(
+        "--skip-semisoundness", action="store_true", help="only check completability"
+    )
+    _add_limit_arguments(analyze)
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    invariant = subparsers.add_parser("invariant", help="check an invariant on every reachable instance")
+    invariant.add_argument("form", help="catalogue name or JSON file")
+    invariant.add_argument("formula", help="the invariant formula (evaluated at the root)")
+    _add_limit_arguments(invariant)
+    invariant.set_defaults(handler=_cmd_invariant)
+
+    workflow = subparsers.add_parser("workflow", help="extract and analyse the implied workflow")
+    workflow.add_argument("form", help="catalogue name or JSON file")
+    workflow.add_argument("--dot", help="write the workflow as Graphviz DOT to this file")
+    _add_limit_arguments(workflow)
+    workflow.set_defaults(handler=_cmd_workflow)
+
+    table1 = subparsers.add_parser("table1", help="print the paper's Table 1")
+    table1.set_defaults(handler=_cmd_table1)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Exit codes: 0 = analysis positive / command succeeded, 1 = the analysed
+    property fails, 2 = usage error, 3 = the analysis was inconclusive within
+    the configured limits.
+    """
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse handles --help / usage errors
+        return int(exc.code or 0)
+    try:
+        return args.handler(args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Core formalism of the paper: schemas, instances, formulas, guarded forms.
+
+This package implements Section 3 of the paper (the model) and the supporting
+machinery used by the decision procedures of Sections 4 and 5:
+
+* :mod:`repro.core.schema` / :mod:`repro.core.instance` — Definition 3.1;
+* :mod:`repro.core.homomorphism` — Proposition 3.3;
+* :mod:`repro.core.formulas` — Definitions 3.4/3.5 and Lemma 4.4;
+* :mod:`repro.core.equivalence` / :mod:`repro.core.canonical` —
+  Definitions 3.7/3.8 and Lemma 3.9;
+* :mod:`repro.core.access` / :mod:`repro.core.guarded_form` /
+  :mod:`repro.core.runs` — Section 3.4 and Definition 3.11;
+* :mod:`repro.core.fragments` — Section 3.5 and Table 1.
+"""
+
+from repro.core.access import AccessRight, RuleTable
+from repro.core.canonical import (
+    canonical_depth1_state,
+    canonical_instance,
+    canonical_shape,
+    depth1_state_to_instance,
+    is_canonical,
+)
+from repro.core.equivalence import (
+    are_formula_equivalent,
+    formula_equivalent_nodes,
+    largest_formula_equivalence,
+    node_equivalence_classes,
+)
+from repro.core.fragments import (
+    TABLE1,
+    ComplexityEntry,
+    Fragment,
+    classify,
+    fragment_for_depth,
+    lookup_complexity,
+    recommended_procedures,
+    table1_rows,
+)
+from repro.core.guarded_form import (
+    Addition,
+    Deletion,
+    GuardedForm,
+    Update,
+    guarded_form_from_dicts,
+)
+from repro.core.homomorphism import find_homomorphism, is_instance_of
+from repro.core.instance import Instance
+from repro.core.labels import ROOT_LABEL
+from repro.core.runs import Run, greedy_random_run, is_complete_run, is_run, replay
+from repro.core.schema import Schema, SchemaEdge, depth_one_schema
+from repro.core.tree import LabelledTree, Node, Shape
+
+__all__ = [
+    "AccessRight",
+    "RuleTable",
+    "canonical_depth1_state",
+    "canonical_instance",
+    "canonical_shape",
+    "depth1_state_to_instance",
+    "is_canonical",
+    "are_formula_equivalent",
+    "formula_equivalent_nodes",
+    "largest_formula_equivalence",
+    "node_equivalence_classes",
+    "TABLE1",
+    "ComplexityEntry",
+    "Fragment",
+    "classify",
+    "fragment_for_depth",
+    "lookup_complexity",
+    "recommended_procedures",
+    "table1_rows",
+    "Addition",
+    "Deletion",
+    "GuardedForm",
+    "Update",
+    "guarded_form_from_dicts",
+    "find_homomorphism",
+    "is_instance_of",
+    "Instance",
+    "ROOT_LABEL",
+    "Run",
+    "greedy_random_run",
+    "is_complete_run",
+    "is_run",
+    "replay",
+    "Schema",
+    "SchemaEdge",
+    "depth_one_schema",
+    "LabelledTree",
+    "Node",
+    "Shape",
+]

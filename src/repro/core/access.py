@@ -1,0 +1,223 @@
+"""Access rights and access-rule tables (Section 3.4).
+
+The paper postulates the access rights ``R = {add, del}`` and defines the
+access-rule function ``A : R × E → F`` mapping each right and schema edge to
+a formula.  The formula for ``(add, e)`` (resp. ``(del, e)``) is evaluated at
+the *parent* node of the edge being added (resp. deleted) in the current
+instance.
+
+:class:`RuleTable` implements ``A``.  Edges are addressed by the schema path
+of their end node, exactly like the paper's Example 3.12 (``A(add, a/p/b) =
+¬../../s ∧ ¬b``).  Edges without an explicit rule default to
+:class:`~repro.core.formulas.ast.Bottom` — "no access right", which is how
+the paper's constructions phrase "there are no other access rights"
+(Theorem 4.6).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.formulas.ast import Bottom, Formula
+from repro.core.formulas.parser import parse_formula
+from repro.core.schema import Schema, SchemaEdge, SchemaPath, format_schema_path, parse_schema_path
+from repro.exceptions import AccessRuleError
+
+
+class AccessRight(enum.Enum):
+    """The two access rights of Section 3.4."""
+
+    ADD = "add"
+    DEL = "del"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Accepted spellings for rights in dict-style rule specifications.
+_RIGHT_ALIASES = {
+    "add": AccessRight.ADD,
+    "create": AccessRight.ADD,
+    "del": AccessRight.DEL,
+    "delete": AccessRight.DEL,
+}
+
+
+def parse_access_right(value: "AccessRight | str") -> AccessRight:
+    """Normalise an access-right argument."""
+    if isinstance(value, AccessRight):
+        return value
+    try:
+        return _RIGHT_ALIASES[value.lower()]
+    except (KeyError, AttributeError) as exc:
+        raise AccessRuleError(f"unknown access right {value!r}") from exc
+
+
+class RuleTable:
+    """The access-rule function ``A`` of a guarded form.
+
+    A rule table is bound to a schema so that rules can only be attached to
+    edges that actually exist.  Rules are formulas (or strings parsed as
+    formulas); missing rules default to ``false``.
+
+    The most convenient constructor is :meth:`from_dict`::
+
+        rules = RuleTable.from_dict(schema, {
+            "a":     ("¬a",           "¬a"),
+            "a/n":   ("¬../s ∧ ¬n",   "¬../s"),
+            "s":     ("¬s ∧ a[n ∧ d ∧ p] ∧ ¬a/p[¬b ∨ ¬e]", "¬s"),
+        })
+
+    where each value is an ``(add_rule, delete_rule)`` pair; a single value is
+    accepted as a shorthand for using the same formula for both rights.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._rules: dict[tuple[AccessRight, SchemaPath], Formula] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_dict(
+        cls,
+        schema: Schema,
+        rules: Mapping[str, "object"],
+        default: "Formula | str | None" = None,
+    ) -> "RuleTable":
+        """Build a rule table from a mapping of edge paths to rules.
+
+        Each value may be a single formula/string (used for both rights), or a
+        pair ``(add_rule, delete_rule)``.  When *default* is given, every edge
+        not mentioned in *rules* receives it for both rights (e.g. ``"true"``
+        for the fully permissive forms of Theorem 5.1).
+        """
+        table = cls(schema)
+        if default is not None:
+            default_formula = parse_formula(default)
+            for edge in schema.edges_list():
+                table.set_rule(AccessRight.ADD, edge.path, default_formula)
+                table.set_rule(AccessRight.DEL, edge.path, default_formula)
+        for path, value in rules.items():
+            if isinstance(value, (tuple, list)):
+                if len(value) != 2:
+                    raise AccessRuleError(
+                        f"rule for edge {path!r} must be a single formula or an "
+                        "(add, delete) pair"
+                    )
+                add_rule, del_rule = value
+            else:
+                add_rule = del_rule = value
+            table.set_rule(AccessRight.ADD, path, parse_formula(add_rule))
+            table.set_rule(AccessRight.DEL, path, parse_formula(del_rule))
+        return table
+
+    def set_rule(
+        self,
+        right: "AccessRight | str",
+        edge: "SchemaEdge | SchemaPath | str",
+        formula: "Formula | str",
+    ) -> None:
+        """Attach *formula* as the rule for (*right*, *edge*)."""
+        resolved_right = parse_access_right(right)
+        path = self._resolve_edge(edge)
+        self._rules[(resolved_right, path)] = parse_formula(formula)
+
+    def set_add_rule(self, edge: "SchemaEdge | SchemaPath | str", formula: "Formula | str") -> None:
+        """Shorthand for :meth:`set_rule` with the ``add`` right."""
+        self.set_rule(AccessRight.ADD, edge, formula)
+
+    def set_delete_rule(self, edge: "SchemaEdge | SchemaPath | str", formula: "Formula | str") -> None:
+        """Shorthand for :meth:`set_rule` with the ``del`` right."""
+        self.set_rule(AccessRight.DEL, edge, formula)
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+
+    @property
+    def schema(self) -> Schema:
+        """The schema whose edges this table guards."""
+        return self._schema
+
+    def rule(self, right: "AccessRight | str", edge: "SchemaEdge | SchemaPath | str") -> Formula:
+        """The formula ``A(right, edge)`` (``false`` when unspecified)."""
+        resolved_right = parse_access_right(right)
+        path = self._resolve_edge(edge)
+        return self._rules.get((resolved_right, path), Bottom())
+
+    def add_rule(self, edge: "SchemaEdge | SchemaPath | str") -> Formula:
+        """``A(add, edge)``."""
+        return self.rule(AccessRight.ADD, edge)
+
+    def delete_rule(self, edge: "SchemaEdge | SchemaPath | str") -> Formula:
+        """``A(del, edge)``."""
+        return self.rule(AccessRight.DEL, edge)
+
+    def has_explicit_rule(self, right: "AccessRight | str", edge: "SchemaEdge | SchemaPath | str") -> bool:
+        """Whether a rule was explicitly set for (*right*, *edge*)."""
+        resolved_right = parse_access_right(right)
+        path = self._resolve_edge(edge)
+        return (resolved_right, path) in self._rules
+
+    def items(self) -> Iterator[tuple[AccessRight, SchemaPath, Formula]]:
+        """Iterate over all explicitly set rules."""
+        for (right, path), formula in sorted(
+            self._rules.items(), key=lambda item: (item[0][1], item[0][0].value)
+        ):
+            yield right, path, formula
+
+    def formulas(self) -> list[Formula]:
+        """All explicitly set rule formulas (used by fragment classification)."""
+        return list(self._rules.values())
+
+    def is_positive(self) -> bool:
+        """``True`` when every rule formula is positive (the ``A+`` fragments).
+
+        Unspecified rules default to ``false``, which is treated as positive —
+        an absent right can never become enabled, matching the monotonicity
+        property the positive fragments rely on.
+        """
+        return all(formula.is_positive() for formula in self._rules.values())
+
+    def copy(self, schema: "Schema | None" = None) -> "RuleTable":
+        """Copy the table, optionally rebinding it to a (compatible) schema."""
+        target = schema if schema is not None else self._schema
+        clone = RuleTable(target)
+        for (right, path), formula in self._rules.items():
+            clone.set_rule(right, path, formula)
+        return clone
+
+    def to_dict(self) -> dict[str, tuple[str, str]]:
+        """Serialise to the :meth:`from_dict` format (formulas as text)."""
+        result: dict[str, tuple[str, str]] = {}
+        edges = {path for (_, path) in self._rules}
+        for path in sorted(edges):
+            result[format_schema_path(path)] = (
+                self.add_rule(path).to_text(),
+                self.delete_rule(path).to_text(),
+            )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def _resolve_edge(self, edge: "SchemaEdge | SchemaPath | str | Iterable[str]") -> SchemaPath:
+        if isinstance(edge, SchemaEdge):
+            path = edge.path
+        else:
+            path = parse_schema_path(edge)
+        if not path:
+            raise AccessRuleError("access rules cannot be attached to the root")
+        if not self._schema.has_path(path):
+            raise AccessRuleError(
+                f"schema has no edge at path {format_schema_path(path)!r}"
+            )
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RuleTable(rules={len(self._rules)})"

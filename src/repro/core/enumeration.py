@@ -1,0 +1,76 @@
+"""Exhaustive enumeration of schema instances.
+
+Several exact (but exponential) procedures in the library — brute-force
+satisfiability over a schema, cross-checks of the state-space explorers, the
+coNP semi-soundness certificate search of Corollary 5.7 — need to enumerate
+all instances of a schema up to a bound on how many copies of each field may
+appear under a single parent node.  This module provides that enumeration in
+terms of :data:`~repro.core.tree.Shape` values (isomorphism classes), so no
+two yielded instances are isomorphic.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement, product
+from typing import Iterator
+
+from repro.core.instance import Instance
+from repro.core.labels import ROOT_LABEL
+from repro.core.schema import Schema
+from repro.core.tree import Node, Shape
+
+
+def enumerate_instance_shapes(schema: Schema, max_copies: int = 1) -> Iterator[Shape]:
+    """Yield the shapes of all instances of *schema* in which every schema
+    field occurs at most *max_copies* times under any single parent node.
+
+    Shapes are isomorphism classes, so the enumeration never yields two
+    isomorphic instances.  The number of shapes grows doubly exponentially
+    with schema depth; this is intended for small schemas (exact oracles and
+    tests).
+    """
+    for children in _subtree_combinations(schema.root, max_copies):
+        yield (ROOT_LABEL, children)
+
+
+def enumerate_instances(schema: Schema, max_copies: int = 1) -> Iterator[Instance]:
+    """Yield :class:`~repro.core.instance.Instance` objects for every shape of
+    :func:`enumerate_instance_shapes`."""
+    for shape in enumerate_instance_shapes(schema, max_copies):
+        yield Instance.from_shape(schema, shape)
+
+
+def count_instances(schema: Schema, max_copies: int = 1) -> int:
+    """Number of pairwise non-isomorphic instances within the copy bound."""
+    return sum(1 for _ in enumerate_instance_shapes(schema, max_copies))
+
+
+def _subtree_variants(schema_node: Node, max_copies: int) -> list[Shape]:
+    """All shapes a single instance node mapped to *schema_node* can take."""
+    variants: list[Shape] = []
+    for children in _subtree_combinations(schema_node, max_copies):
+        variants.append((schema_node.label, children))
+    return variants
+
+
+def _subtree_combinations(schema_node: Node, max_copies: int) -> Iterator[tuple[Shape, ...]]:
+    """All sorted child-tuples an instance node mapped to *schema_node* can have."""
+    per_child_options: list[list[tuple[Shape, ...]]] = []
+    for schema_child in schema_node.children:
+        variants = _subtree_variants(schema_child, max_copies)
+        options: list[tuple[Shape, ...]] = []
+        for count in range(max_copies + 1):
+            if count == 0:
+                options.append(())
+                continue
+            for combo in combinations_with_replacement(variants, count):
+                options.append(tuple(combo))
+        per_child_options.append(options)
+    if not per_child_options:
+        yield ()
+        return
+    for choice in product(*per_child_options):
+        merged: list[Shape] = []
+        for group in choice:
+            merged.extend(group)
+        yield tuple(sorted(merged))

@@ -1,0 +1,166 @@
+"""Formula equivalence between instances (Definition 3.7, Lemma 3.9).
+
+Formula equivalence is bisimulation under the assumption that all edges are
+bidirectional: a relation between the nodes of two instances that relates the
+roots, preserves labels, and transfers both child edges and parent edges in
+both directions.  Lemma 3.9 states that formula-equivalent nodes satisfy
+exactly the same formulas, which makes this the right notion of "the same
+state" for the workflow analyses (Lemma 4.3).
+
+This module computes:
+
+* the *largest* formula equivalence between two instances
+  (:func:`largest_formula_equivalence`) via greatest-fixpoint refinement;
+* the induced checks :func:`are_formula_equivalent` and
+  :func:`formula_equivalent_nodes`;
+* :func:`node_equivalence_classes` — the partition of a single instance's
+  nodes into classes of pairwise formula-equivalent nodes, which is the input
+  to the canonical-instance construction of Definition 3.8.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.tree import LabelledTree, Node
+
+
+def largest_formula_equivalence(
+    left: LabelledTree, right: LabelledTree
+) -> Optional[set[tuple[int, int]]]:
+    """Return the largest formula equivalence between *left* and *right*.
+
+    The result is a set of ``(left_node_id, right_node_id)`` pairs, or
+    ``None`` when no formula equivalence exists (i.e. when the largest
+    relation satisfying the transfer conditions does not relate the roots).
+    """
+    left_nodes = list(left.nodes())
+    right_nodes = list(right.nodes())
+
+    # start from all label-compatible pairs and refine
+    relation: set[tuple[int, int]] = {
+        (a.node_id, b.node_id)
+        for a in left_nodes
+        for b in right_nodes
+        if a.label == b.label
+    }
+    left_by_id = {node.node_id: node for node in left_nodes}
+    right_by_id = {node.node_id: node for node in right_nodes}
+
+    changed = True
+    while changed:
+        changed = False
+        for pair in list(relation):
+            a = left_by_id[pair[0]]
+            b = right_by_id[pair[1]]
+            if not _pair_is_consistent(a, b, relation):
+                relation.discard(pair)
+                changed = True
+
+    if (left.root.node_id, right.root.node_id) not in relation:
+        return None
+    return relation
+
+
+def _pair_is_consistent(a: Node, b: Node, relation: set[tuple[int, int]]) -> bool:
+    """Check the four transfer conditions of Definition 3.7 for a pair."""
+    # every child of a must have a related child of b, and vice versa
+    for child in a.children:
+        if not any(
+            (child.node_id, other.node_id) in relation for other in b.children
+        ):
+            return False
+    for other in b.children:
+        if not any(
+            (child.node_id, other.node_id) in relation for child in a.children
+        ):
+            return False
+    # parents must be related (or both nodes are roots)
+    if (a.parent is None) != (b.parent is None):
+        return False
+    if a.parent is not None and b.parent is not None:
+        if (a.parent.node_id, b.parent.node_id) not in relation:
+            return False
+    return True
+
+
+def are_formula_equivalent(left: LabelledTree, right: LabelledTree) -> bool:
+    """``True`` when *left* ∼ *right* (Definition 3.7)."""
+    return largest_formula_equivalence(left, right) is not None
+
+
+def is_formula_equivalence(
+    left: LabelledTree, right: LabelledTree, relation: set[tuple[int, int]]
+) -> bool:
+    """Verify that *relation* is a formula equivalence between the instances.
+
+    Used by the tests to check witnesses produced elsewhere; the conditions
+    are exactly those of Definition 3.7.
+    """
+    if (left.root.node_id, right.root.node_id) not in relation:
+        return False
+    left_by_id = {node.node_id: node for node in left.nodes()}
+    right_by_id = {node.node_id: node for node in right.nodes()}
+    for a_id, b_id in relation:
+        if a_id not in left_by_id or b_id not in right_by_id:
+            return False
+        a, b = left_by_id[a_id], right_by_id[b_id]
+        if a.label != b.label:
+            return False
+        if not _pair_is_consistent(a, b, relation):
+            return False
+    return True
+
+
+def formula_equivalent_nodes(tree: LabelledTree, first: Node, second: Node) -> bool:
+    """``True`` when two nodes of the same instance are formula equivalent
+    (related by some formula equivalence between the instance and itself)."""
+    classes = node_equivalence_classes(tree)
+    return classes[first.node_id] == classes[second.node_id]
+
+
+def node_equivalence_classes(tree: LabelledTree) -> dict[int, int]:
+    """Partition the nodes of *tree* into formula-equivalence classes.
+
+    Returns a mapping from node id to a class index.  The partition is
+    computed by refinement: start from the partition by label and repeatedly
+    split blocks whose members disagree on the multiset-free *set* of blocks
+    reachable through a child edge or through the parent edge, until stable.
+    For the symmetric (bidirectional) edge relation of Definition 3.7 this
+    fixpoint is exactly node-level formula equivalence.
+    """
+    nodes = list(tree.nodes())
+    block: dict[int, int] = {}
+    # initial partition: by label and by "is root", since the root can only be
+    # related to the root
+    signature_to_block: dict[tuple, int] = {}
+    for node in nodes:
+        signature = (node.label, node.parent is None)
+        block_id = signature_to_block.setdefault(signature, len(signature_to_block))
+        block[node.node_id] = block_id
+
+    while True:
+        signature_to_block = {}
+        new_block: dict[int, int] = {}
+        for node in nodes:
+            child_blocks = frozenset(block[child.node_id] for child in node.children)
+            parent_block = block[node.parent.node_id] if node.parent is not None else None
+            signature = (block[node.node_id], child_blocks, parent_block)
+            block_id = signature_to_block.setdefault(signature, len(signature_to_block))
+            new_block[node.node_id] = block_id
+        if _same_partition(block, new_block):
+            return new_block
+        block = new_block
+
+
+def _same_partition(first: dict[int, int], second: dict[int, int]) -> bool:
+    """Whether two block labellings induce the same partition."""
+    mapping: dict[int, int] = {}
+    for key, value in first.items():
+        other = second[key]
+        if value in mapping:
+            if mapping[value] != other:
+                return False
+        else:
+            mapping[value] = other
+    return len(set(mapping.values())) == len(mapping)

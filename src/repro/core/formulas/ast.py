@@ -1,0 +1,447 @@
+"""Abstract syntax of formulas and path expressions (Definition 3.4).
+
+The grammar of the paper is::
+
+    F ::= P | ¬F | (F ∧ F) | (F ∨ F)
+    P ::= .. | L | (P/P) | P[F]
+
+Formulas are used as access rules and completion formulas of guarded forms; a
+bare path expression ``P`` used as a formula asserts the *existence* of a node
+reachable via ``P`` (Definition 3.5), which the AST makes explicit through the
+:class:`Exists` wrapper.
+
+Two constant formulas :class:`Top` (always true) and :class:`Bottom` (always
+false) are added as a convenience: the paper frequently writes rules that are
+"always true" (e.g. Theorem 5.1, Theorem 5.3) and rules that are simply absent
+("there are no other access rights", Theorem 4.6), which correspond to ``Top``
+and ``Bottom`` respectively.  Both constants count as *positive* formulas for
+fragment classification because they are monotone under edge additions.
+
+All AST nodes are immutable and hashable, compare structurally, and support a
+small construction DSL:
+
+* ``Step("a") / Step("b")`` builds the composition ``a/b``;
+* ``Step("a")[formula]`` builds the filter ``a[formula]``;
+* ``formula & other``, ``formula | other``, ``~formula`` build conjunction,
+  disjunction and negation (path expressions are implicitly promoted to
+  :class:`Exists` formulas).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from repro.core.labels import validate_label
+from repro.exceptions import FormulaError
+
+FormulaLike = Union["Formula", "PathExpr"]
+
+
+def _as_formula(value: FormulaLike) -> "Formula":
+    """Promote a path expression to an existence formula (Definition 3.4's
+    ``F ::= P`` production)."""
+    if isinstance(value, Formula):
+        return value
+    if isinstance(value, PathExpr):
+        return Exists(value)
+    raise FormulaError(f"cannot interpret {value!r} as a formula")
+
+
+class _AstNode:
+    """Shared behaviour of formulas and path expressions."""
+
+    __slots__ = ()
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented
+        return self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def __repr__(self) -> str:
+        return self.to_text(unicode_ops=False)
+
+    def to_text(self, unicode_ops: bool = True) -> str:
+        """Render the node in the paper's concrete syntax.
+
+        With ``unicode_ops=True`` the connectives are ``¬ ∧ ∨``; otherwise the
+        ASCII forms ``! & |`` accepted by the parser are used.
+        """
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------- #
+# path expressions
+# --------------------------------------------------------------------------- #
+
+
+class PathExpr(_AstNode):
+    """Base class of path expressions ``P``."""
+
+    __slots__ = ()
+
+    def __truediv__(self, other: "PathExpr") -> "Slash":
+        if not isinstance(other, PathExpr):
+            raise FormulaError(f"cannot compose path with {other!r}")
+        return Slash(self, other)
+
+    def __getitem__(self, condition: FormulaLike) -> "Filter":
+        return Filter(self, _as_formula(condition))
+
+    # promotion to formulas --------------------------------------------------
+    def __invert__(self) -> "Not":
+        return Not(Exists(self))
+
+    def __and__(self, other: FormulaLike) -> "And":
+        return And(Exists(self), _as_formula(other))
+
+    def __rand__(self, other: FormulaLike) -> "And":
+        return And(_as_formula(other), Exists(self))
+
+    def __or__(self, other: FormulaLike) -> "Or":
+        return Or(Exists(self), _as_formula(other))
+
+    def __ror__(self, other: FormulaLike) -> "Or":
+        return Or(_as_formula(other), Exists(self))
+
+    def as_formula(self) -> "Exists":
+        """The existence formula asserting this path has at least one target."""
+        return Exists(self)
+
+    def steps(self) -> Iterator["PathExpr"]:
+        """Iterate over the top-level ``/``-separated steps of the path."""
+        if isinstance(self, Slash):
+            yield from self.left.steps()
+            yield from self.right.steps()
+        else:
+            yield self
+
+
+class Parent(PathExpr):
+    """The parent step ``..``."""
+
+    __slots__ = ()
+
+    def _key(self) -> tuple:
+        return ()
+
+    def to_text(self, unicode_ops: bool = True) -> str:
+        return ".."
+
+
+class Step(PathExpr):
+    """A child step selecting children with a given label (``L``)."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str) -> None:
+        validate_label(label)
+        self.label = label
+
+    def _key(self) -> tuple:
+        return (self.label,)
+
+    def to_text(self, unicode_ops: bool = True) -> str:
+        return self.label
+
+
+class Slash(PathExpr):
+    """Path composition ``P/P``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: PathExpr, right: PathExpr) -> None:
+        if not isinstance(left, PathExpr) or not isinstance(right, PathExpr):
+            raise FormulaError("both sides of '/' must be path expressions")
+        self.left = left
+        self.right = right
+
+    def _key(self) -> tuple:
+        return (self.left, self.right)
+
+    def to_text(self, unicode_ops: bool = True) -> str:
+        return f"{self.left.to_text(unicode_ops)}/{self.right.to_text(unicode_ops)}"
+
+
+class Filter(PathExpr):
+    """A filtered path ``P[F]``: the targets of ``P`` that satisfy ``F``."""
+
+    __slots__ = ("path", "condition")
+
+    def __init__(self, path: PathExpr, condition: FormulaLike) -> None:
+        if not isinstance(path, PathExpr):
+            raise FormulaError("the subject of a filter must be a path expression")
+        self.path = path
+        self.condition = _as_formula(condition)
+
+    def _key(self) -> tuple:
+        return (self.path, self.condition)
+
+    def to_text(self, unicode_ops: bool = True) -> str:
+        base = self.path.to_text(unicode_ops)
+        if isinstance(self.path, Slash):
+            base = f"({base})"
+        return f"{base}[{self.condition.to_text(unicode_ops)}]"
+
+
+# --------------------------------------------------------------------------- #
+# formulas
+# --------------------------------------------------------------------------- #
+
+
+class Formula(_AstNode):
+    """Base class of formulas ``F``."""
+
+    __slots__ = ()
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __and__(self, other: FormulaLike) -> "And":
+        return And(self, _as_formula(other))
+
+    def __rand__(self, other: FormulaLike) -> "And":
+        return And(_as_formula(other), self)
+
+    def __or__(self, other: FormulaLike) -> "Or":
+        return Or(self, _as_formula(other))
+
+    def __ror__(self, other: FormulaLike) -> "Or":
+        return Or(_as_formula(other), self)
+
+    # -- structural queries -------------------------------------------------
+
+    def children(self) -> tuple["Formula", ...]:
+        """Direct formula sub-terms (not descending into path expressions)."""
+        return ()
+
+    def subformulas(self) -> Iterator["Formula"]:
+        """All formula sub-terms including the formula itself and the
+        conditions nested inside path filters."""
+        yield self
+        for child in self.children():
+            yield from child.subformulas()
+        for path in self.paths():
+            yield from _path_conditions(path)
+
+    def paths(self) -> tuple[PathExpr, ...]:
+        """Path expressions occurring directly in this node."""
+        return ()
+
+    def is_positive(self) -> bool:
+        """``True`` when the formula contains no negation anywhere (including
+        inside path filters).  Positive formulas are monotone under edge
+        additions, which is what the ``A+`` / ``φ+`` fragments exploit."""
+        return all(not isinstance(sub, Not) for sub in self.subformulas())
+
+    def labels(self) -> set[str]:
+        """All node labels mentioned anywhere in the formula."""
+        result: set[str] = set()
+        for sub in self.subformulas():
+            for p in sub.paths():
+                result |= _path_labels(p)
+        return result
+
+    def size(self) -> int:
+        """Number of AST nodes (formula and path nodes)."""
+        total = 0
+        for sub in self.subformulas():
+            total += 1
+            for p in sub.paths():
+                total += _path_size(p)
+        return total
+
+
+class Top(Formula):
+    """The constant true formula (extension; see module docstring)."""
+
+    __slots__ = ()
+
+    def _key(self) -> tuple:
+        return ()
+
+    def to_text(self, unicode_ops: bool = True) -> str:
+        return "true"
+
+
+class Bottom(Formula):
+    """The constant false formula (extension; see module docstring)."""
+
+    __slots__ = ()
+
+    def _key(self) -> tuple:
+        return ()
+
+    def to_text(self, unicode_ops: bool = True) -> str:
+        return "false"
+
+
+class Exists(Formula):
+    """A path expression used as a formula: true when the path has a target."""
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: PathExpr) -> None:
+        if not isinstance(path, PathExpr):
+            raise FormulaError("Exists expects a path expression")
+        self.path = path
+
+    def _key(self) -> tuple:
+        return (self.path,)
+
+    def paths(self) -> tuple[PathExpr, ...]:
+        return (self.path,)
+
+    def to_text(self, unicode_ops: bool = True) -> str:
+        return self.path.to_text(unicode_ops)
+
+
+class Not(Formula):
+    """Negation ``¬F``."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: FormulaLike) -> None:
+        self.operand = _as_formula(operand)
+
+    def _key(self) -> tuple:
+        return (self.operand,)
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def to_text(self, unicode_ops: bool = True) -> str:
+        symbol = "¬" if unicode_ops else "!"
+        inner = self.operand.to_text(unicode_ops)
+        if isinstance(self.operand, (And, Or)):
+            inner = f"({inner})"
+        return f"{symbol}{inner}"
+
+
+class _Binary(Formula):
+    __slots__ = ("left", "right")
+    _unicode_symbol = ""
+    _ascii_symbol = ""
+
+    def __init__(self, left: FormulaLike, right: FormulaLike) -> None:
+        self.left = _as_formula(left)
+        self.right = _as_formula(right)
+
+    def _key(self) -> tuple:
+        return (self.left, self.right)
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def to_text(self, unicode_ops: bool = True) -> str:
+        symbol = self._unicode_symbol if unicode_ops else self._ascii_symbol
+        parts = []
+        for index, side in enumerate((self.left, self.right)):
+            text = side.to_text(unicode_ops)
+            mixed_operator = isinstance(side, (And, Or)) and type(side) is not type(self)
+            # the parser is left-associative, so a nested binary on the right
+            # must be parenthesised to reproduce the same tree when re-parsed
+            nested_right = index == 1 and isinstance(side, (And, Or))
+            if mixed_operator or nested_right:
+                text = f"({text})"
+            parts.append(text)
+        return f"{parts[0]} {symbol} {parts[1]}"
+
+
+class And(_Binary):
+    """Conjunction ``F ∧ F``."""
+
+    __slots__ = ()
+    _unicode_symbol = "∧"
+    _ascii_symbol = "&"
+
+
+class Or(_Binary):
+    """Disjunction ``F ∨ F``."""
+
+    __slots__ = ()
+    _unicode_symbol = "∨"
+    _ascii_symbol = "|"
+
+
+# --------------------------------------------------------------------------- #
+# path helpers
+# --------------------------------------------------------------------------- #
+
+
+def _path_conditions(path: PathExpr) -> Iterator[Formula]:
+    """Yield subformulas nested inside a path expression's filters."""
+    if isinstance(path, Slash):
+        yield from _path_conditions(path.left)
+        yield from _path_conditions(path.right)
+    elif isinstance(path, Filter):
+        yield from path.condition.subformulas()
+        yield from _path_conditions(path.path)
+
+
+def _path_labels(path: PathExpr) -> set[str]:
+    if isinstance(path, Step):
+        return {path.label}
+    if isinstance(path, Slash):
+        return _path_labels(path.left) | _path_labels(path.right)
+    if isinstance(path, Filter):
+        return _path_labels(path.path) | path.condition.labels()
+    return set()
+
+
+def _path_size(path: PathExpr) -> int:
+    if isinstance(path, Slash):
+        return 1 + _path_size(path.left) + _path_size(path.right)
+    if isinstance(path, Filter):
+        return 1 + _path_size(path.path) + path.condition.size()
+    return 1
+
+
+def path_up_depth(path: PathExpr) -> int:
+    """How many levels above the evaluation node the path can reach."""
+    if isinstance(path, Parent):
+        return 1
+    if isinstance(path, Step):
+        return 0
+    if isinstance(path, Filter):
+        return max(path_up_depth(path.path), path_up_depth_formula(path.condition))
+    if isinstance(path, Slash):
+        # a/.. can climb after descending; conservative upper bound
+        return path_up_depth(path.left) + path_up_depth(path.right)
+    return 0
+
+
+def path_up_depth_formula(formula: Formula) -> int:
+    """Upper bound on how far above the evaluation node *formula* can look."""
+    depth = 0
+    for sub in formula.subformulas():
+        for p in sub.paths():
+            depth = max(depth, path_up_depth(p))
+    return depth
+
+
+def path_down_depth(path: PathExpr) -> int:
+    """How many levels below the evaluation node the path can reach."""
+    if isinstance(path, Parent):
+        return 0
+    if isinstance(path, Step):
+        return 1
+    if isinstance(path, Filter):
+        return max(path_down_depth(path.path), formula_down_depth(path.condition))
+    if isinstance(path, Slash):
+        return path_down_depth(path.left) + path_down_depth(path.right)
+    return 0
+
+
+def formula_down_depth(formula: Formula) -> int:
+    """Upper bound on how far below the evaluation node *formula* can look."""
+    depth = 0
+    for sub in formula.subformulas():
+        for p in sub.paths():
+            depth = max(depth, path_down_depth(p))
+    return depth

@@ -1,0 +1,170 @@
+"""Convenience constructors for formulas and path expressions.
+
+Writing ASTs by hand is verbose; the reductions in :mod:`repro.reductions`
+build large formulas programmatically, so this module provides a compact DSL:
+
+>>> from repro.core.formulas.builders import label, lnot, conj, child_path
+>>> rule = conj(lnot(child_path("..", "s")), lnot(label("n")))
+>>> rule.to_text()
+'¬../s ∧ ¬n'
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable, Sequence
+
+from repro.core.formulas.ast import (
+    And,
+    Bottom,
+    Exists,
+    Filter,
+    Formula,
+    Not,
+    Or,
+    Parent,
+    PathExpr,
+    Slash,
+    Step,
+    Top,
+)
+from repro.exceptions import FormulaError
+
+FormulaLike = "Formula | PathExpr | str"
+
+
+def to_formula(value: "Formula | PathExpr | str") -> Formula:
+    """Coerce a formula, path expression or concrete-syntax string to a
+    :class:`~repro.core.formulas.ast.Formula`."""
+    from repro.core.formulas.parser import parse_formula
+
+    return parse_formula(value)
+
+
+def to_path(value: "PathExpr | str") -> PathExpr:
+    """Coerce a path expression or concrete-syntax string to a path."""
+    from repro.core.formulas.parser import parse_path
+
+    return parse_path(value)
+
+
+def label(name: str) -> Exists:
+    """The formula asserting the current node has a child labelled *name*."""
+    return Exists(Step(name))
+
+
+def up() -> Exists:
+    """The formula asserting the current node has a parent (``..``)."""
+    return Exists(Parent())
+
+
+def path(*steps: "PathExpr | str") -> PathExpr:
+    """Compose *steps* into a path expression.
+
+    Each step may be ``".."``, a label, or an already-built path expression.
+    """
+    if not steps:
+        raise FormulaError("a path needs at least one step")
+    built = [_as_step(step) for step in steps]
+    return reduce(Slash, built)
+
+
+def child_path(*steps: "PathExpr | str") -> Exists:
+    """The existence formula of :func:`path` (most common use)."""
+    return Exists(path(*steps))
+
+
+def parent_path(levels: int, *steps: "PathExpr | str") -> Exists:
+    """A formula walking *levels* ``..`` steps up and then down via *steps*.
+
+    ``parent_path(2, "s")`` is the paper's ``../../s``.  With no *steps* the
+    formula just asserts the ancestor exists.
+    """
+    if levels < 1:
+        raise FormulaError("parent_path needs at least one '..' step")
+    segments: list[PathExpr | str] = [Parent() for _ in range(levels)]
+    segments.extend(steps)
+    return Exists(path(*segments))
+
+
+def filtered(base: "PathExpr | str", condition: "Formula | PathExpr | str") -> Exists:
+    """The formula ``base[condition]``."""
+    return Exists(Filter(_as_step(base), to_formula(condition)))
+
+
+def lnot(operand: "Formula | PathExpr | str") -> Not:
+    """Negation (named ``lnot`` to avoid clashing with the builtin)."""
+    return Not(to_formula(operand))
+
+
+def conj(*operands: "Formula | PathExpr | str") -> Formula:
+    """Conjunction of any number of operands (``Top`` when empty)."""
+    formulas = [to_formula(op) for op in operands]
+    if not formulas:
+        return Top()
+    return reduce(And, formulas)
+
+
+def disj(*operands: "Formula | PathExpr | str") -> Formula:
+    """Disjunction of any number of operands (``Bottom`` when empty)."""
+    formulas = [to_formula(op) for op in operands]
+    if not formulas:
+        return Bottom()
+    return reduce(Or, formulas)
+
+
+def conj_all(operands: Iterable["Formula | PathExpr | str"]) -> Formula:
+    """:func:`conj` over an iterable."""
+    return conj(*list(operands))
+
+
+def disj_all(operands: Iterable["Formula | PathExpr | str"]) -> Formula:
+    """:func:`disj` over an iterable."""
+    return disj(*list(operands))
+
+
+def implies(antecedent: "Formula | PathExpr | str", consequent: "Formula | PathExpr | str") -> Or:
+    """Material implication ``¬a ∨ b``."""
+    return Or(Not(to_formula(antecedent)), to_formula(consequent))
+
+
+def iff(left: "Formula | PathExpr | str", right: "Formula | PathExpr | str") -> Or:
+    """Bi-implication ``(a ∧ b) ∨ (¬a ∧ ¬b)`` (used by Theorem 5.3)."""
+    lhs = to_formula(left)
+    rhs = to_formula(right)
+    return Or(And(lhs, rhs), And(Not(lhs), Not(rhs)))
+
+
+def ancestors_path(levels: int) -> PathExpr:
+    """The bare path ``../../…`` with *levels* parent steps."""
+    if levels < 1:
+        raise FormulaError("ancestors_path needs at least one level")
+    return path(*[Parent() for _ in range(levels)])
+
+
+def _as_step(step: "PathExpr | str") -> PathExpr:
+    if isinstance(step, PathExpr):
+        return step
+    if step == "..":
+        return Parent()
+    return Step(step)
+
+
+__all__ = [
+    "to_formula",
+    "to_path",
+    "label",
+    "up",
+    "path",
+    "child_path",
+    "parent_path",
+    "filtered",
+    "lnot",
+    "conj",
+    "disj",
+    "conj_all",
+    "disj_all",
+    "implies",
+    "iff",
+    "ancestors_path",
+]

@@ -1,0 +1,232 @@
+"""Formula normalisation (Lemma 4.4).
+
+Lemma 4.4 rewrites any formula into an equivalent one whose path expressions
+consist of a *single step* with an optional filter::
+
+    F' ::= P' | ¬F' | F' ∧ F' | F' ∨ F'
+    P' ::= L | .. | L[F'] | ..[F']
+
+using the equivalences::
+
+    (p1/p2)[ψ]   ≡  p1[p2[ψ]]
+    (p1[ψ1])[ψ2] ≡  p1[ψ1 ∧ ψ2]
+    (p1/p2)/p3   ≡  p1/(p2/p3)
+    (p1[ψ])/p2   ≡  p1[ψ ∧ p2]
+    l/p          ≡  l[p]
+    ../p         ≡  ..[p]
+
+This module implements that rewriting (:func:`to_single_step_form`), negation
+normal form (:func:`to_nnf`), and the *selections* of a formula used in the
+proofs of Lemma 4.4 and Corollary 4.5 (:func:`selections`): a selection is a
+set of literals (single-step atoms or negated atoms) whose joint truth at a
+node is sufficient for the truth of the original formula, and every satisfying
+node satisfies at least one selection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.formulas.ast import (
+    And,
+    Bottom,
+    Exists,
+    Filter,
+    Formula,
+    Not,
+    Or,
+    Parent,
+    PathExpr,
+    Slash,
+    Step,
+    Top,
+)
+from repro.exceptions import FormulaError
+
+
+# --------------------------------------------------------------------------- #
+# single-step normal form
+# --------------------------------------------------------------------------- #
+
+
+def to_single_step_form(formula: Formula) -> Formula:
+    """Rewrite *formula* into the ``F'``/``P'`` normal form of Lemma 4.4.
+
+    The result is logically equivalent to the input (same truth value at every
+    node of every tree) and linear in its size.
+    """
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(to_single_step_form(formula.operand))
+    if isinstance(formula, And):
+        return And(to_single_step_form(formula.left), to_single_step_form(formula.right))
+    if isinstance(formula, Or):
+        return Or(to_single_step_form(formula.left), to_single_step_form(formula.right))
+    if isinstance(formula, Exists):
+        return _normalize_path(formula.path)
+    raise FormulaError(f"cannot normalise unknown formula {formula!r}")
+
+
+def _normalize_path(path: PathExpr) -> Formula:
+    """Normalise the existence formula of *path* to single-step form."""
+    return _attach(path, None)
+
+
+def _attach(path: PathExpr, continuation: Optional[Formula]) -> Formula:
+    """Single-step formula equivalent to ``Exists(path[continuation])``.
+
+    *continuation* is an already-normalised formula that must hold at the
+    path's target (``None`` means plain existence).  The Lemma 4.4 rewrite
+    rules correspond to the three cases:
+
+    * ``(p1/p2)[ψ] ≡ p1[p2[ψ]]`` and ``(p1/p2)/p3 ≡ p1/(p2/p3)`` — the
+      ``Slash`` case threads the continuation through the right component
+      first, so left-associated parses re-associate correctly;
+    * ``(p1[ψ1])[ψ2] ≡ p1[ψ1 ∧ ψ2]`` — the ``Filter`` case merges conditions;
+    * ``l/p ≡ l[p]`` and ``../p ≡ ..[p]`` — the base case wraps the remaining
+      continuation as a filter on a single step.
+    """
+    if isinstance(path, (Step, Parent)):
+        if continuation is None:
+            return Exists(path)
+        return Exists(Filter(path, continuation))
+    if isinstance(path, Filter):
+        condition = to_single_step_form(path.condition)
+        if continuation is not None:
+            condition = And(condition, continuation)
+        return _attach(path.path, condition)
+    if isinstance(path, Slash):
+        rest = _attach(path.right, continuation)
+        return _attach(path.left, rest)
+    raise FormulaError(f"cannot normalise unknown path {path!r}")
+
+
+def is_single_step_form(formula: Formula) -> bool:
+    """Check whether *formula* is already in the ``F'``/``P'`` normal form."""
+    if isinstance(formula, (Top, Bottom)):
+        return True
+    if isinstance(formula, Not):
+        return is_single_step_form(formula.operand)
+    if isinstance(formula, (And, Or)):
+        return is_single_step_form(formula.left) and is_single_step_form(formula.right)
+    if isinstance(formula, Exists):
+        path = formula.path
+        if isinstance(path, (Step, Parent)):
+            return True
+        if isinstance(path, Filter):
+            return isinstance(path.path, (Step, Parent)) and is_single_step_form(
+                path.condition
+            )
+        return False
+    return False
+
+
+# --------------------------------------------------------------------------- #
+# negation normal form
+# --------------------------------------------------------------------------- #
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Push negations inward so they only appear directly on atoms.
+
+    Atoms are ``Top``, ``Bottom`` and ``Exists`` path formulas; ``¬true`` and
+    ``¬false`` are simplified to ``false`` / ``true``.
+    """
+    return _nnf(formula, negated=False)
+
+
+def _nnf(formula: Formula, negated: bool) -> Formula:
+    if isinstance(formula, Top):
+        return Bottom() if negated else Top()
+    if isinstance(formula, Bottom):
+        return Top() if negated else Bottom()
+    if isinstance(formula, Exists):
+        return Not(formula) if negated else formula
+    if isinstance(formula, Not):
+        return _nnf(formula.operand, not negated)
+    if isinstance(formula, And):
+        left = _nnf(formula.left, negated)
+        right = _nnf(formula.right, negated)
+        return Or(left, right) if negated else And(left, right)
+    if isinstance(formula, Or):
+        left = _nnf(formula.left, negated)
+        right = _nnf(formula.right, negated)
+        return And(left, right) if negated else Or(left, right)
+    raise FormulaError(f"cannot convert unknown formula {formula!r} to NNF")
+
+
+# --------------------------------------------------------------------------- #
+# selections (Lemma 4.4)
+# --------------------------------------------------------------------------- #
+
+#: A literal of a selection: ``(positive, path_expr)`` where the path is a
+#: single step (possibly filtered).
+SelectionLiteral = tuple[bool, PathExpr]
+Selection = frozenset
+
+
+def selections(formula: Formula) -> Iterator[Selection]:
+    """Enumerate the selections of *formula* (proof of Lemma 4.4).
+
+    The formula is first brought into single-step NNF.  Each yielded selection
+    is a frozenset of :data:`SelectionLiteral`; the formula holds at a node
+    iff at least one of its selections is fully satisfied there.
+
+    ``Top`` contributes the empty selection; ``Bottom`` contributes none.
+    """
+    normal = to_nnf(to_single_step_form(formula))
+    yield from _selections(normal)
+
+
+def _selections(formula: Formula) -> Iterator[Selection]:
+    if isinstance(formula, Top):
+        yield frozenset()
+        return
+    if isinstance(formula, Bottom):
+        return
+    if isinstance(formula, Exists):
+        yield frozenset({(True, formula.path)})
+        return
+    if isinstance(formula, Not):
+        operand = formula.operand
+        if isinstance(operand, Exists):
+            yield frozenset({(False, operand.path)})
+            return
+        if isinstance(operand, Top):
+            return
+        if isinstance(operand, Bottom):
+            yield frozenset()
+            return
+        raise FormulaError("selections expect a formula in negation normal form")
+    if isinstance(formula, And):
+        for left in _selections(formula.left):
+            for right in _selections(formula.right):
+                yield left | right
+        return
+    if isinstance(formula, Or):
+        yield from _selections(formula.left)
+        yield from _selections(formula.right)
+        return
+    raise FormulaError(f"cannot compute selections of {formula!r}")
+
+
+def literal_step(literal: SelectionLiteral) -> tuple[str | None, Optional[Formula]]:
+    """Decompose a selection literal's path into ``(label_or_None, condition)``.
+
+    ``label_or_None`` is the step label, or ``None`` when the step is the
+    parent axis ``..``; ``condition`` is the filter formula or ``None``.
+    """
+    positive, path = literal
+    del positive
+    if isinstance(path, Filter):
+        base = path.path
+        condition: Optional[Formula] = path.condition
+    else:
+        base = path
+        condition = None
+    if isinstance(base, Parent):
+        return None, condition
+    if isinstance(base, Step):
+        return base.label, condition
+    raise FormulaError(f"literal path {path!r} is not in single-step form")

@@ -1,0 +1,249 @@
+"""Parser for the concrete formula syntax of Definition 3.4.
+
+The concrete syntax follows the paper's notation as closely as plain text
+allows.  Both the Unicode connectives used in the paper and ASCII fallbacks
+are accepted:
+
+========================  =======================
+construct                 accepted spellings
+========================  =======================
+negation                  ``¬φ``, ``!φ``, ``not φ``
+conjunction               ``φ ∧ ψ``, ``φ & ψ``, ``φ and ψ``
+disjunction               ``φ ∨ ψ``, ``φ | ψ``, ``φ or ψ``
+bi-implication            ``φ <-> ψ``, ``φ ↔ ψ`` (expanded to ∧/∨/¬)
+parent step               ``..``
+child step                ``label``
+path composition          ``p/q``
+filter                    ``p[φ]``
+constants                 ``true``, ``false``
+grouping                  ``(φ)``
+========================  =======================
+
+Operator precedence (loosest to tightest): ``↔``, ``∨``, ``∧``, ``¬``.
+
+Examples from the paper parse directly::
+
+    parse_formula("¬a/p[¬b ∨ ¬e]")
+    parse_formula("¬f ∨ d[a ∨ r]")
+    parse_formula("¬../s ∧ ¬n")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import NamedTuple
+
+from repro.core.formulas.ast import (
+    And,
+    Bottom,
+    Exists,
+    Filter,
+    Formula,
+    Not,
+    Or,
+    Parent,
+    PathExpr,
+    Slash,
+    Step,
+    Top,
+)
+from repro.exceptions import FormulaParseError
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<DOTDOT>\.\.)
+  | (?P<IFF><->|↔)
+  | (?P<NOT>¬|!)
+  | (?P<AND>∧|&&|&)
+  | (?P<OR>∨|\|\||\|)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<LBRACKET>\[)
+  | (?P<RBRACKET>\])
+  | (?P<SLASH>/)
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_'\-.]*)
+    """,
+    re.VERBOSE,
+)
+
+_WORD_OPERATORS = {"and": "AND", "or": "OR", "not": "NOT", "true": "TRUE", "false": "FALSE"}
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise FormulaParseError(
+                f"unexpected character {text[position]!r} at position {position}",
+                position,
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind == "NAME" and value in _WORD_OPERATORS:
+            kind = _WORD_OPERATORS[value]
+        if kind != "WS":
+            tokens.append(_Token(kind, value, position))
+        position = match.end()
+    tokens.append(_Token("EOF", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[_Token], text: str) -> None:
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise FormulaParseError(
+                f"expected {kind} but found {token.text or 'end of input'!r} "
+                f"at position {token.position} in {self._text!r}",
+                token.position,
+            )
+        return self._advance()
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> Formula:
+        formula = self._parse_iff()
+        token = self._peek()
+        if token.kind != "EOF":
+            raise FormulaParseError(
+                f"unexpected trailing input {token.text!r} at position "
+                f"{token.position} in {self._text!r}",
+                token.position,
+            )
+        return formula
+
+    def _parse_iff(self) -> Formula:
+        left = self._parse_or()
+        while self._peek().kind == "IFF":
+            self._advance()
+            right = self._parse_or()
+            # φ ↔ ψ  ≡  (φ ∧ ψ) ∨ (¬φ ∧ ¬ψ); the paper uses ↔ in Theorem 5.3.
+            left = Or(And(left, right), And(Not(left), Not(right)))
+        return left
+
+    def _parse_or(self) -> Formula:
+        left = self._parse_and()
+        while self._peek().kind == "OR":
+            self._advance()
+            left = Or(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Formula:
+        left = self._parse_unary()
+        while self._peek().kind == "AND":
+            self._advance()
+            left = And(left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Formula:
+        token = self._peek()
+        if token.kind == "NOT":
+            self._advance()
+            return Not(self._parse_unary())
+        return self._parse_atom()
+
+    def _parse_atom(self) -> Formula:
+        token = self._peek()
+        if token.kind == "TRUE":
+            self._advance()
+            return Top()
+        if token.kind == "FALSE":
+            self._advance()
+            return Bottom()
+        if token.kind == "LPAREN":
+            self._advance()
+            inner = self._parse_iff()
+            self._expect("RPAREN")
+            # A parenthesised formula may be followed by path continuations
+            # only if it denotes a path; keep it simple: parentheses group
+            # formulas, paths are built from steps.
+            return inner
+        if token.kind in ("NAME", "DOTDOT"):
+            return Exists(self._parse_path())
+        raise FormulaParseError(
+            f"expected a formula but found {token.text or 'end of input'!r} at "
+            f"position {token.position} in {self._text!r}",
+            token.position,
+        )
+
+    def _parse_path(self) -> PathExpr:
+        path = self._parse_step()
+        while self._peek().kind == "SLASH":
+            self._advance()
+            path = Slash(path, self._parse_step())
+        return path
+
+    def _parse_step(self) -> PathExpr:
+        token = self._peek()
+        if token.kind == "DOTDOT":
+            self._advance()
+            step: PathExpr = Parent()
+        elif token.kind == "NAME":
+            self._advance()
+            step = Step(token.text)
+        else:
+            raise FormulaParseError(
+                f"expected a path step but found {token.text or 'end of input'!r} "
+                f"at position {token.position} in {self._text!r}",
+                token.position,
+            )
+        while self._peek().kind == "LBRACKET":
+            self._advance()
+            condition = self._parse_iff()
+            self._expect("RBRACKET")
+            step = Filter(step, condition)
+        return step
+
+
+def parse_formula(text: "str | Formula | PathExpr") -> Formula:
+    """Parse *text* into a :class:`~repro.core.formulas.ast.Formula`.
+
+    Already-constructed formulas are returned unchanged and path expressions
+    are promoted to existence formulas, so call sites can accept either
+    strings or AST values.
+    """
+    if isinstance(text, Formula):
+        return text
+    if isinstance(text, PathExpr):
+        return Exists(text)
+    if not isinstance(text, str):
+        raise FormulaParseError(f"cannot parse {text!r} as a formula")
+    tokens = _tokenize(text)
+    return _Parser(tokens, text).parse()
+
+
+def parse_path(text: "str | PathExpr") -> PathExpr:
+    """Parse *text* as a bare path expression (e.g. a schema-edge address)."""
+    if isinstance(text, PathExpr):
+        return text
+    formula = parse_formula(text)
+    if isinstance(formula, Exists):
+        return formula.path
+    raise FormulaParseError(f"{text!r} is a formula, not a path expression")

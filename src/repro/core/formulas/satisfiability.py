@@ -1,0 +1,515 @@
+"""Formula satisfiability (Corollary 4.5).
+
+Corollary 4.5 shows that deciding whether a formula of Definition 3.4 is
+satisfiable (some node of some tree makes it true) is NP-complete when the
+depth of instances is bounded by a constant and PSPACE-complete in general.
+This module provides three procedures with different trade-offs:
+
+* :func:`is_satisfiable` — a witness-tree search directly modelled on the
+  constructive proof of Lemma 4.4: it maintains a partially built witness
+  tree together with the outstanding obligations of each node, branching over
+  disjunctions and over whether a child requirement is met by an existing or
+  a new child.  The procedure is exact on every input it decides; a node
+  budget caps the search and an exhausted budget is reported as *undecided*
+  rather than guessed.
+* :func:`exists_instance_satisfying` — exact brute force over all instances of
+  a given schema with a bounded number of copies per field (the form of
+  satisfiability the guarded-form procedures need).
+* :func:`propositional_translation` / :func:`is_satisfiable_propositional` —
+  the fast path for purely propositional formulas (paths that are single
+  label steps), which is what the SAT reduction of Theorem 5.1 produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.enumeration import enumerate_instances
+from repro.core.formulas.ast import (
+    And,
+    Bottom,
+    Exists,
+    Filter,
+    Formula,
+    Not,
+    Or,
+    Parent,
+    PathExpr,
+    Slash,
+    Step,
+    Top,
+)
+from repro.core.formulas.normalize import to_nnf, to_single_step_form
+from repro.core.formulas.semantics import evaluate
+from repro.core.schema import Schema
+from repro.core.tree import LabelledTree
+from repro.exceptions import FormulaError
+from repro.logic.dpll import dpll_satisfiable
+from repro.logic.propositional import (
+    CnfFormula,
+    Clause,
+    Literal,
+    PropAnd,
+    PropAtom,
+    PropFalse,
+    PropFormula,
+    PropNot,
+    PropOr,
+    PropTrue,
+)
+
+
+@dataclass
+class SatisfiabilityResult:
+    """Outcome of a satisfiability check.
+
+    Attributes:
+        decided: whether the procedure reached a definite answer.
+        satisfiable: the answer (meaningful only when ``decided`` is true).
+        witness: a witness tree when one was found, with the evaluation node's
+            id stored in ``witness_node_id`` (the evaluation node need not be
+            the root because ``..`` lets formulas look upward).
+        explored_nodes: how many witness-tree nodes were materialised.
+    """
+
+    decided: bool
+    satisfiable: bool
+    witness: Optional[LabelledTree] = None
+    witness_node_id: Optional[int] = None
+    explored_nodes: int = 0
+
+
+# --------------------------------------------------------------------------- #
+# propositional fast path
+# --------------------------------------------------------------------------- #
+
+
+def propositional_translation(formula: Formula) -> PropFormula:
+    """Translate *formula* to a propositional formula over its labels.
+
+    Only valid when every path expression in the formula is a single,
+    unfiltered label step; then the formula evaluated at the root of a
+    depth-1 instance is exactly the propositional formula over "label present
+    below the root".  Theorem 5.1's reduction produces formulas of this form.
+
+    Raises:
+        FormulaError: when the formula uses ``..``, ``/`` or filters.
+    """
+    if isinstance(formula, Top):
+        return PropTrue()
+    if isinstance(formula, Bottom):
+        return PropFalse()
+    if isinstance(formula, Not):
+        return PropNot(propositional_translation(formula.operand))
+    if isinstance(formula, And):
+        return PropAnd(
+            propositional_translation(formula.left),
+            propositional_translation(formula.right),
+        )
+    if isinstance(formula, Or):
+        return PropOr(
+            propositional_translation(formula.left),
+            propositional_translation(formula.right),
+        )
+    if isinstance(formula, Exists):
+        path = formula.path
+        if isinstance(path, Step):
+            return PropAtom(path.label)
+        raise FormulaError(
+            f"path {path.to_text()!r} is not a plain label step; the formula is "
+            "not propositional"
+        )
+    raise FormulaError(f"cannot translate {formula!r}")
+
+
+def is_propositional(formula: Formula) -> bool:
+    """True when :func:`propositional_translation` would succeed."""
+    try:
+        propositional_translation(formula)
+    except FormulaError:
+        return False
+    return True
+
+
+def prop_to_cnf(formula: PropFormula) -> CnfFormula:
+    """Tseitin-style conversion of a propositional formula to CNF.
+
+    Fresh variables named ``_t<i>`` are introduced for internal nodes, so the
+    result is equisatisfiable (not equivalent) — which is all the DPLL solver
+    needs.
+    """
+    clauses: list[Clause] = []
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        return f"_t{counter[0]}"
+
+    def encode(node: PropFormula) -> Literal:
+        if isinstance(node, PropTrue):
+            name = fresh()
+            clauses.append(Clause([Literal(name, True)]))
+            return Literal(name, True)
+        if isinstance(node, PropFalse):
+            name = fresh()
+            clauses.append(Clause([Literal(name, True)]))
+            return Literal(name, False)
+        if isinstance(node, PropAtom):
+            return Literal(node.name, True)
+        if isinstance(node, PropNot):
+            inner = encode(node.operand)
+            return inner.negate()
+        if isinstance(node, (PropAnd, PropOr)):
+            left = encode(node.left)
+            right = encode(node.right)
+            name = fresh()
+            this = Literal(name, True)
+            if isinstance(node, PropAnd):
+                clauses.append(Clause([this.negate(), left]))
+                clauses.append(Clause([this.negate(), right]))
+                clauses.append(Clause([left.negate(), right.negate(), this]))
+            else:
+                clauses.append(Clause([left.negate(), this]))
+                clauses.append(Clause([right.negate(), this]))
+                clauses.append(Clause([this.negate(), left, right]))
+            return this
+        raise FormulaError(f"cannot encode propositional node {node!r}")
+
+    root = encode(formula)
+    clauses.append(Clause([root]))
+    return CnfFormula(clauses)
+
+
+def is_satisfiable_propositional(formula: Formula) -> bool:
+    """Exact satisfiability for propositional formulas via Tseitin + DPLL."""
+    prop = propositional_translation(formula)
+    return dpll_satisfiable(prop_to_cnf(prop)) is not None
+
+
+# --------------------------------------------------------------------------- #
+# exhaustive satisfiability over a schema
+# --------------------------------------------------------------------------- #
+
+
+def exists_instance_satisfying(
+    formula: Formula, schema: Schema, max_copies: int = 1
+) -> SatisfiabilityResult:
+    """Exact check whether some instance of *schema* (with at most
+    *max_copies* copies of a field under one parent) satisfies *formula* at
+    its root.
+
+    This is the notion of satisfiability the guarded-form analyses need: the
+    completion formula is evaluated at the root of instances of a known
+    schema.  The check is exhaustive and therefore exponential in the schema
+    size; it serves as the exact oracle for small inputs.
+    """
+    explored = 0
+    for instance in enumerate_instances(schema, max_copies):
+        explored += 1
+        if evaluate(instance.root, formula):
+            return SatisfiabilityResult(
+                decided=True,
+                satisfiable=True,
+                witness=instance,
+                witness_node_id=instance.root.node_id,
+                explored_nodes=explored,
+            )
+    return SatisfiabilityResult(decided=True, satisfiable=False, explored_nodes=explored)
+
+
+# --------------------------------------------------------------------------- #
+# general witness-tree search (Lemma 4.4 made executable)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class _NodeState:
+    """A node of the partially built witness tree."""
+
+    node_id: int
+    label: Optional[str]  # None = label irrelevant (will become a fresh label)
+    parent: Optional[int]
+    children: list[int] = field(default_factory=list)
+    #: the node may not acquire a parent (a ¬.. obligation was asserted)
+    root_locked: bool = False
+    #: labels that may not appear among the children (¬l obligations)
+    forbidden_child_labels: set[str] = field(default_factory=set)
+    #: for each label, conditions χ such that every l-child must satisfy ¬χ
+    negative_child_conditions: dict[str, list[Formula]] = field(default_factory=dict)
+    #: conditions χ such that a parent, if ever created, must satisfy ¬χ
+    negative_parent_conditions: list[Formula] = field(default_factory=list)
+
+    def clone(self) -> "_NodeState":
+        copy = _NodeState(self.node_id, self.label, self.parent, list(self.children))
+        copy.root_locked = self.root_locked
+        copy.forbidden_child_labels = set(self.forbidden_child_labels)
+        copy.negative_child_conditions = {
+            key: list(value) for key, value in self.negative_child_conditions.items()
+        }
+        copy.negative_parent_conditions = list(self.negative_parent_conditions)
+        return copy
+
+
+class _SearchState:
+    """The complete backtracking state of the witness search."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[int, _NodeState] = {}
+        self.obligations: list[tuple[int, Formula]] = []
+        self.next_id = 0
+
+    def clone(self) -> "_SearchState":
+        copy = _SearchState()
+        copy.nodes = {key: value.clone() for key, value in self.nodes.items()}
+        copy.obligations = list(self.obligations)
+        copy.next_id = self.next_id
+        return copy
+
+    def new_node(self, label: Optional[str], parent: Optional[int]) -> _NodeState:
+        node = _NodeState(self.next_id, label, parent)
+        self.next_id += 1
+        self.nodes[node.node_id] = node
+        if parent is not None:
+            self.nodes[parent].children.append(node.node_id)
+        return node
+
+
+class _WitnessSearch:
+    """Backtracking witness-tree construction for satisfiability."""
+
+    def __init__(self, formula: Formula, max_nodes: int) -> None:
+        self.formula = to_nnf(to_single_step_form(formula))
+        self.max_nodes = max_nodes
+        self.created_nodes = 0
+        self.budget_exhausted = False
+
+    def run(self) -> SatisfiabilityResult:
+        state = _SearchState()
+        start = state.new_node(label=None, parent=None)
+        state.obligations.append((start.node_id, self.formula))
+        solution = self._solve(state)
+        if solution is None:
+            return SatisfiabilityResult(
+                decided=not self.budget_exhausted,
+                satisfiable=False,
+                explored_nodes=self.created_nodes,
+            )
+        tree, node_id = self._materialise(solution, start.node_id)
+        return SatisfiabilityResult(
+            decided=True,
+            satisfiable=True,
+            witness=tree,
+            witness_node_id=node_id,
+            explored_nodes=self.created_nodes,
+        )
+
+    # -- the core search ----------------------------------------------------
+
+    def _solve(self, state: _SearchState) -> Optional[_SearchState]:
+        while state.obligations:
+            node_id, formula = state.obligations.pop()
+            outcome = self._process(state, node_id, formula)
+            if outcome is False:
+                return None
+            if isinstance(outcome, list):
+                # disjunctive choice: try the alternatives in order
+                for alternative in outcome:
+                    result = self._solve(alternative)
+                    if result is not None:
+                        return result
+                return None
+        return state
+
+    def _process(
+        self, state: _SearchState, node_id: int, formula: Formula
+    ) -> "bool | list[_SearchState]":
+        """Process one obligation.
+
+        Returns ``True`` when the obligation was discharged in place,
+        ``False`` when it is unsatisfiable in this branch, or a list of
+        successor states for a disjunctive choice.
+        """
+        node = state.nodes[node_id]
+        if isinstance(formula, Top):
+            return True
+        if isinstance(formula, Bottom):
+            return False
+        if isinstance(formula, And):
+            state.obligations.append((node_id, formula.left))
+            state.obligations.append((node_id, formula.right))
+            return True
+        if isinstance(formula, Or):
+            alternatives = []
+            for side in (formula.left, formula.right):
+                branch = state.clone()
+                branch.obligations.append((node_id, side))
+                alternatives.append(branch)
+            return alternatives
+        if isinstance(formula, Exists):
+            return self._process_positive(state, node, formula.path)
+        if isinstance(formula, Not):
+            operand = formula.operand
+            if isinstance(operand, Exists):
+                return self._process_negative(state, node, operand.path)
+            # NNF guarantees negation only on atoms
+            raise FormulaError(f"obligation {formula!r} is not in negation normal form")
+        raise FormulaError(f"cannot process obligation {formula!r}")
+
+    def _process_positive(
+        self, state: _SearchState, node: _NodeState, path: PathExpr
+    ) -> "bool | list[_SearchState]":
+        base, condition = _split_step(path)
+        if isinstance(base, Parent):
+            if node.parent is not None:
+                if condition is not None:
+                    state.obligations.append((node.parent, condition))
+                return True
+            if node.root_locked:
+                return False
+            if not self._may_create_node():
+                return False
+            parent = state.new_node(label=None, parent=None)
+            parent.children.append(node.node_id)
+            node.parent = parent.node_id
+            for pending in node.negative_parent_conditions:
+                state.obligations.append((parent.node_id, to_nnf(Not(pending))))
+            if condition is not None:
+                state.obligations.append((parent.node_id, condition))
+            return True
+
+        assert isinstance(base, Step)
+        label = base.label
+        alternatives: list[_SearchState] = []
+        if condition is None:
+            # plain existence: an existing child suffices, otherwise create one
+            existing = [
+                child_id
+                for child_id in node.children
+                if state.nodes[child_id].label == label
+            ]
+            if existing:
+                return True
+        else:
+            for child_id in node.children:
+                if state.nodes[child_id].label != label:
+                    continue
+                branch = state.clone()
+                branch.obligations.append((child_id, condition))
+                alternatives.append(branch)
+        # alternative: create a fresh child
+        if label not in node.forbidden_child_labels and self._may_create_node():
+            branch = state.clone()
+            branch_node = branch.nodes[node.node_id]
+            child = branch.new_node(label=label, parent=node.node_id)
+            for pending in branch_node.negative_child_conditions.get(label, []):
+                branch.obligations.append((child.node_id, to_nnf(Not(pending))))
+            if condition is not None:
+                branch.obligations.append((child.node_id, condition))
+            alternatives.append(branch)
+        if not alternatives:
+            return False
+        return alternatives
+
+    def _process_negative(
+        self, state: _SearchState, node: _NodeState, path: PathExpr
+    ) -> bool:
+        base, condition = _split_step(path)
+        if isinstance(base, Parent):
+            if condition is None:
+                if node.parent is not None:
+                    return False
+                node.root_locked = True
+                return True
+            if node.parent is not None:
+                state.obligations.append((node.parent, to_nnf(Not(condition))))
+                return True
+            node.negative_parent_conditions.append(condition)
+            return True
+
+        assert isinstance(base, Step)
+        label = base.label
+        if condition is None:
+            if any(state.nodes[child].label == label for child in node.children):
+                return False
+            node.forbidden_child_labels.add(label)
+            return True
+        for child_id in node.children:
+            if state.nodes[child_id].label == label:
+                state.obligations.append((child_id, to_nnf(Not(condition))))
+        node.negative_child_conditions.setdefault(label, []).append(condition)
+        return True
+
+    def _may_create_node(self) -> bool:
+        if self.created_nodes >= self.max_nodes:
+            self.budget_exhausted = True
+            return False
+        self.created_nodes += 1
+        return True
+
+    # -- materialisation ----------------------------------------------------
+
+    def _materialise(
+        self, state: _SearchState, start_id: int
+    ) -> tuple[LabelledTree, int]:
+        """Turn the search state into a real tree and locate the start node."""
+        # find the topmost ancestor of the start node — that is the root
+        root_id = start_id
+        while state.nodes[root_id].parent is not None:
+            root_id = state.nodes[root_id].parent  # type: ignore[assignment]
+        used_labels = {
+            node.label for node in state.nodes.values() if node.label is not None
+        }
+        fresh = "anon"
+        index = 0
+        while fresh in used_labels:
+            index += 1
+            fresh = f"anon{index}"
+
+        tree = LabelledTree(state.nodes[root_id].label or fresh)
+        mapping = {root_id: tree.root}
+        stack = [root_id]
+        while stack:
+            current = stack.pop()
+            for child_id in state.nodes[current].children:
+                child_state = state.nodes[child_id]
+                child_node = tree.add_leaf(mapping[current], child_state.label or fresh)
+                mapping[child_id] = child_node
+                stack.append(child_id)
+        return tree, mapping[start_id].node_id
+
+
+def _split_step(path: PathExpr) -> tuple[PathExpr, Optional[Formula]]:
+    """Split a single-step path into its base step and optional condition."""
+    if isinstance(path, Filter):
+        base = path.path
+        condition: Optional[Formula] = path.condition
+    else:
+        base = path
+        condition = None
+    if isinstance(base, (Step, Parent)):
+        return base, condition
+    if isinstance(base, (Slash, Filter)):
+        raise FormulaError(
+            f"path {path.to_text()!r} is not in single-step form; normalise first"
+        )
+    raise FormulaError(f"unknown path expression {path!r}")
+
+
+def is_satisfiable(formula: Formula, max_nodes: int = 2000) -> SatisfiabilityResult:
+    """General satisfiability via the witness-tree search (see module docs).
+
+    The witness, when found, is double-checked by evaluating the original
+    formula on it, so a positive answer is always sound.  A negative answer is
+    exact whenever the node budget was not exhausted.
+    """
+    search = _WitnessSearch(formula, max_nodes)
+    result = search.run()
+    if result.satisfiable and result.witness is not None:
+        node = result.witness.node(result.witness_node_id)
+        if not evaluate(node, formula):
+            raise FormulaError(
+                "internal error: witness search produced a tree that does not "
+                f"satisfy {formula.to_text()!r}"
+            )
+    return result

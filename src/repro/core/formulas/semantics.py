@@ -1,0 +1,101 @@
+"""Formula semantics (Definition 3.5).
+
+The two judgements of the paper are implemented directly:
+
+* ``n ⊨_T φ`` — :func:`evaluate`;
+* ``n —p→_T n'`` — :func:`path_targets` (returning all end nodes ``n'``).
+
+Evaluation is purely structural over the rooted node-labelled tree the node
+belongs to; there is no schema involvement (the same evaluator is used for
+instances, canonical instances and arbitrary witness trees).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.formulas.ast import (
+    And,
+    Bottom,
+    Exists,
+    Filter,
+    Formula,
+    Not,
+    Or,
+    Parent,
+    PathExpr,
+    Slash,
+    Step,
+    Top,
+)
+from repro.core.tree import Node
+from repro.exceptions import FormulaError
+
+
+def evaluate(node: Node, formula: Formula) -> bool:
+    """Return whether ``node ⊨ formula`` (Definition 3.5).
+
+    The tree is implicit: it is the tree *node* belongs to.
+    """
+    if isinstance(formula, Top):
+        return True
+    if isinstance(formula, Bottom):
+        return False
+    if isinstance(formula, Exists):
+        return _has_target(node, formula.path)
+    if isinstance(formula, Not):
+        return not evaluate(node, formula.operand)
+    if isinstance(formula, And):
+        return evaluate(node, formula.left) and evaluate(node, formula.right)
+    if isinstance(formula, Or):
+        return evaluate(node, formula.left) or evaluate(node, formula.right)
+    raise FormulaError(f"cannot evaluate unknown formula node {formula!r}")
+
+
+def path_targets(node: Node, path: PathExpr) -> Iterator[Node]:
+    """Yield every node ``n'`` with ``node —path→ n'`` (Definition 3.5).
+
+    The same node may be yielded more than once when several traversals reach
+    it; callers interested in the set of targets should deduplicate.
+    """
+    if isinstance(path, Parent):
+        if node.parent is not None:
+            yield node.parent
+        return
+    if isinstance(path, Step):
+        for child in node.children:
+            if child.label == path.label:
+                yield child
+        return
+    if isinstance(path, Slash):
+        for middle in path_targets(node, path.left):
+            yield from path_targets(middle, path.right)
+        return
+    if isinstance(path, Filter):
+        for target in path_targets(node, path.path):
+            if evaluate(target, path.condition):
+                yield target
+        return
+    raise FormulaError(f"cannot evaluate unknown path node {path!r}")
+
+
+def _has_target(node: Node, path: PathExpr) -> bool:
+    for _ in path_targets(node, path):
+        return True
+    return False
+
+
+def evaluate_at_root(tree, formula: Formula) -> bool:
+    """Evaluate *formula* at the root of *tree* (completion formulas are
+    always evaluated for the root node, Definition 3.11)."""
+    return evaluate(tree.root, formula)
+
+
+def evaluate_all(nodes: Iterable[Node], formula: Formula) -> bool:
+    """True when *formula* holds at every node in *nodes*."""
+    return all(evaluate(node, formula) for node in nodes)
+
+
+def evaluate_any(nodes: Iterable[Node], formula: Formula) -> bool:
+    """True when *formula* holds at some node in *nodes*."""
+    return any(evaluate(node, formula) for node in nodes)

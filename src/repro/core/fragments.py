@@ -1,0 +1,184 @@
+"""Fragments of guarded forms and the complexity map of Table 1.
+
+Section 3.5 defines the classes ``F(A, φ, d)`` where
+
+* ``A`` is ``A+`` (all access rules positive) or ``A−`` (unrestricted),
+* ``φ`` is ``φ+`` (positive completion formula) or ``φ−`` (unrestricted),
+* ``d`` is ``1``, a fixed constant ``k``, or ``∞`` (unrestricted depth).
+
+This module classifies guarded forms into fragments, exposes the paper's
+Table 1 as data (:data:`TABLE1`), and reports which decision procedure the
+library will dispatch to for each fragment — this is what the Table 1
+benchmark prints next to its measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.guarded_form import GuardedForm
+
+#: Depth markers used in fragment names.
+DEPTH_ONE = "1"
+DEPTH_K = "k"
+DEPTH_UNBOUNDED = "inf"
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A fragment ``F(A, φ, d)``.
+
+    Attributes:
+        positive_access: ``True`` for ``A+``, ``False`` for ``A−``.
+        positive_completion: ``True`` for ``φ+``, ``False`` for ``φ−``.
+        depth: ``"1"``, ``"k"`` or ``"inf"``.
+    """
+
+    positive_access: bool
+    positive_completion: bool
+    depth: str
+
+    def __post_init__(self) -> None:
+        if self.depth not in (DEPTH_ONE, DEPTH_K, DEPTH_UNBOUNDED):
+            raise ValueError(f"depth must be '1', 'k' or 'inf', got {self.depth!r}")
+
+    @property
+    def name(self) -> str:
+        """The paper's notation, e.g. ``F(A+, φ−, k)``."""
+        access = "A+" if self.positive_access else "A-"
+        completion = "phi+" if self.positive_completion else "phi-"
+        depth = {"1": "1", "k": "k", "inf": "inf"}[self.depth]
+        return f"F({access}, {completion}, {depth})"
+
+    def generalises(self, other: "Fragment") -> bool:
+        """Whether every guarded form of *other* also belongs to this fragment.
+
+        ``A−`` generalises ``A+``, ``φ−`` generalises ``φ+`` and the depth
+        order is ``1 ⊑ k ⊑ ∞``.
+        """
+        depth_order = {DEPTH_ONE: 0, DEPTH_K: 1, DEPTH_UNBOUNDED: 2}
+        access_ok = (not self.positive_access) or other.positive_access
+        completion_ok = (not self.positive_completion) or other.positive_completion
+        depth_ok = depth_order[self.depth] >= depth_order[other.depth]
+        return access_ok and completion_ok and depth_ok
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ComplexityEntry:
+    """One row of Table 1.
+
+    Attributes:
+        completability: the complexity of the completability problem.
+        semisoundness: the complexity of the semi-soundness problem.
+        completability_open: whether the paper leaves the exact completability
+            complexity open (only a bound is known — underlined in Table 1).
+        semisoundness_open: ditto for semi-soundness.
+    """
+
+    completability: str
+    semisoundness: str
+    completability_open: bool = False
+    semisoundness_open: bool = False
+
+
+def _row(access: bool, completion: bool, depth: str) -> Fragment:
+    return Fragment(access, completion, depth)
+
+
+#: The paper's Table 1, keyed by fragment.  "open" flags mark the underlined
+#: entries for which only a hardness bound is known.
+TABLE1: dict[Fragment, ComplexityEntry] = {
+    _row(True, True, DEPTH_ONE): ComplexityEntry("P", "coNP-complete"),
+    _row(True, True, DEPTH_K): ComplexityEntry("P", "coNP-hard", semisoundness_open=True),
+    _row(True, True, DEPTH_UNBOUNDED): ComplexityEntry("P", "coNP-hard", semisoundness_open=True),
+    _row(True, False, DEPTH_ONE): ComplexityEntry("NP-complete", "Pi^p_2-complete"),
+    _row(True, False, DEPTH_K): ComplexityEntry("NP-complete", "Pi^p_2k-hard", semisoundness_open=True),
+    _row(True, False, DEPTH_UNBOUNDED): ComplexityEntry(
+        "PSPACE-hard", "PSPACE-hard", completability_open=True, semisoundness_open=True
+    ),
+    _row(False, False, DEPTH_ONE): ComplexityEntry("PSPACE-complete", "PSPACE-complete"),
+    _row(False, False, DEPTH_K): ComplexityEntry("undecidable", "undecidable"),
+    _row(False, False, DEPTH_UNBOUNDED): ComplexityEntry("undecidable", "undecidable"),
+    _row(False, True, DEPTH_ONE): ComplexityEntry("PSPACE-complete", "PSPACE-complete"),
+    _row(False, True, DEPTH_K): ComplexityEntry("undecidable", "undecidable"),
+    _row(False, True, DEPTH_UNBOUNDED): ComplexityEntry("undecidable", "undecidable"),
+}
+
+#: The order in which Table 1 lists its rows (used when rendering the table).
+TABLE1_ROW_ORDER: list[Fragment] = [
+    _row(True, True, DEPTH_ONE),
+    _row(True, True, DEPTH_K),
+    _row(True, True, DEPTH_UNBOUNDED),
+    _row(True, False, DEPTH_ONE),
+    _row(True, False, DEPTH_K),
+    _row(True, False, DEPTH_UNBOUNDED),
+    _row(False, False, DEPTH_ONE),
+    _row(False, False, DEPTH_K),
+    _row(False, False, DEPTH_UNBOUNDED),
+    _row(False, True, DEPTH_ONE),
+    _row(False, True, DEPTH_K),
+    _row(False, True, DEPTH_UNBOUNDED),
+]
+
+
+def classify(guarded_form: GuardedForm, fixed_depth: Optional[int] = None) -> Fragment:
+    """Classify *guarded_form* into the most restrictive fragment it belongs to.
+
+    The depth component is ``"1"`` when the schema has depth at most 1 and
+    ``"k"`` otherwise — any concrete guarded form has a fixed finite depth, so
+    the ``∞`` fragments only arise for *families* of forms; pass
+    ``fixed_depth=None`` and interpret ``"k"`` accordingly, or use
+    :func:`fragment_for_depth` when talking about families.
+    """
+    del fixed_depth  # reserved for symmetry with fragment_for_depth
+    depth = DEPTH_ONE if guarded_form.schema_depth() <= 1 else DEPTH_K
+    return Fragment(
+        positive_access=guarded_form.has_positive_access_rules(),
+        positive_completion=guarded_form.has_positive_completion(),
+        depth=depth,
+    )
+
+
+def fragment_for_depth(positive_access: bool, positive_completion: bool, depth: "int | str") -> Fragment:
+    """Build a fragment from explicit components; *depth* may be an integer
+    (mapped to ``"1"`` or ``"k"``) or one of the markers ``"1"/"k"/"inf"``."""
+    if isinstance(depth, int):
+        marker = DEPTH_ONE if depth <= 1 else DEPTH_K
+    else:
+        marker = depth
+    return Fragment(positive_access, positive_completion, marker)
+
+
+def lookup_complexity(fragment: Fragment) -> ComplexityEntry:
+    """The Table 1 entry for *fragment*."""
+    return TABLE1[fragment]
+
+
+def table1_rows() -> list[tuple[Fragment, ComplexityEntry]]:
+    """Table 1 in the paper's row order (for rendering and benchmarks)."""
+    return [(fragment, TABLE1[fragment]) for fragment in TABLE1_ROW_ORDER]
+
+
+def recommended_procedures(fragment: Fragment) -> tuple[str, str]:
+    """Which decision procedures the analysis dispatchers will use for a
+    guarded form in *fragment* (completability, semi-soundness).
+
+    The names correspond to the ``procedure`` field of the analysis results in
+    :mod:`repro.analysis`.
+    """
+    if fragment.positive_access and fragment.positive_completion:
+        completability = "positive_saturation"
+    elif fragment.depth == DEPTH_ONE:
+        completability = "depth1_canonical_search"
+    else:
+        completability = "bounded_exploration"
+
+    if fragment.depth == DEPTH_ONE:
+        semisoundness = "depth1_canonical_graph"
+    else:
+        semisoundness = "bounded_exploration"
+    return completability, semisoundness

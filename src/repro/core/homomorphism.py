@@ -1,0 +1,101 @@
+"""Homomorphisms between trees and schemas (Definition 3.1, Proposition 3.3).
+
+The paper defines an instance of a schema ``M`` as a tree that admits a
+homomorphism into ``M`` and observes (Proposition 3.3) that this homomorphism
+is unique.  This module makes both facts executable:
+
+* :func:`find_homomorphism` computes the homomorphism (as a mapping from node
+  ids to schema paths) or returns ``None`` when no homomorphism exists;
+* :func:`is_instance_of` is the induced decision procedure;
+* :func:`all_homomorphisms` enumerates *all* label/edge/root-preserving
+  mappings, which the test-suite uses to verify Proposition 3.3 (uniqueness)
+  on arbitrary trees and schemas.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, Optional
+
+from repro.core.labels import ROOT_LABEL
+from repro.core.schema import Schema, SchemaPath
+from repro.core.tree import LabelledTree, Node
+
+
+def find_homomorphism(tree: LabelledTree, schema: Schema) -> Optional[dict[int, SchemaPath]]:
+    """Return the homomorphism from *tree* into *schema*, or ``None``.
+
+    The homomorphism is represented as a mapping from the node ids of *tree*
+    to schema paths.  Because sibling labels in a schema are unique, a node of
+    the tree can only map to the schema node addressed by the node's label
+    path, so the construction is deterministic (this is the content of
+    Proposition 3.3).
+    """
+    if tree.root.label != ROOT_LABEL or schema.root.label != ROOT_LABEL:
+        return None
+    mapping: dict[int, SchemaPath] = {}
+    for node in tree.nodes():
+        path = node.label_path()
+        if not schema.has_path(path):
+            return None
+        mapping[node.node_id] = path
+    return mapping
+
+
+def is_instance_of(tree: LabelledTree, schema: Schema) -> bool:
+    """Decision procedure for "``tree`` is an instance of ``schema``"."""
+    return find_homomorphism(tree, schema) is not None
+
+
+def all_homomorphisms(tree: LabelledTree, schema: Schema) -> Iterator[dict[int, SchemaPath]]:
+    """Enumerate every mapping ``h`` from the nodes of *tree* to the nodes of
+    *schema* satisfying Definition 3.1:
+
+    1. edges map to edges,
+    2. the root maps to the root,
+    3. labels are preserved.
+
+    This brute-force enumeration exists to *verify* Proposition 3.3 (that at
+    most one such mapping exists); production code should use
+    :func:`find_homomorphism`.
+    """
+    tree_nodes = list(tree.nodes())
+    candidates: list[list[SchemaPath]] = []
+    schema_paths = list(schema.paths())
+    for node in tree_nodes:
+        if node.is_root():
+            candidates.append([()])
+            continue
+        options = [
+            path
+            for path in schema_paths
+            if path and path[-1] == node.label
+        ]
+        if not options:
+            return
+        candidates.append(options)
+
+    index_of = {node.node_id: i for i, node in enumerate(tree_nodes)}
+    for assignment in product(*candidates):
+        if _is_homomorphism(tree_nodes, index_of, assignment, schema):
+            yield {
+                node.node_id: assignment[i] for i, node in enumerate(tree_nodes)
+            }
+
+
+def _is_homomorphism(
+    tree_nodes: list[Node],
+    index_of: dict[int, int],
+    assignment: tuple[SchemaPath, ...],
+    schema: Schema,
+) -> bool:
+    for node in tree_nodes:
+        image = assignment[index_of[node.node_id]]
+        if node.label != schema.node_at(image).label:
+            return False
+        if node.parent is not None:
+            parent_image = assignment[index_of[node.parent.node_id]]
+            # the edge (parent, node) must map to an edge of the schema
+            if image[:-1] != parent_image:
+                return False
+    return True

@@ -1,0 +1,192 @@
+"""Form instances (Definition 3.1, Figure 2).
+
+An *instance* of a schema ``M`` is a rooted node-labelled tree that admits a
+homomorphism into ``M`` (Definition 3.1).  Because sibling labels in a schema
+are unique, that homomorphism — when it exists — is unique (Proposition 3.3)
+and maps every instance node to the schema node addressed by the instance
+node's label path.  :class:`Instance` therefore simply validates label paths
+against its schema and exposes the homomorphism through
+:meth:`Instance.schema_node_of`.
+
+Unlike schemas, instances may contain several siblings with the same label
+(e.g. several ``period`` fields of a leave application, Figure 2(a)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.labels import ROOT_LABEL
+from repro.core.schema import Schema, SchemaEdge, SchemaPath, format_schema_path
+from repro.core.tree import LabelledTree, Node, Shape
+from repro.exceptions import InstanceError
+
+
+class Instance(LabelledTree):
+    """A form instance: a tree homomorphic to its :class:`~repro.core.schema.Schema`.
+
+    Instances are mutable; the only structural updates are leaf additions and
+    deletions, mirroring the update model of Section 3.4.  Whether a given
+    update is *allowed* is decided by the guarded form's access rules, not by
+    this class — :class:`Instance` only enforces that updates keep the tree an
+    instance of the schema.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        super().__init__(ROOT_LABEL)
+        self._schema = schema
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Instance":
+        """The instance consisting of only the root node (the usual initial
+        instance of a guarded form, Example 3.12)."""
+        return cls(schema)
+
+    @classmethod
+    def from_shape(cls, schema: Schema, shape: Shape) -> "Instance":
+        """Build an instance from a :data:`~repro.core.tree.Shape` tuple.
+
+        The shape's root label must be ``r``; every node's label path must
+        exist in *schema*.
+        """
+        instance = cls(schema)
+        label, children = shape
+        if label != ROOT_LABEL:
+            raise InstanceError(
+                f"instance root must be labelled {ROOT_LABEL!r}, got {label!r}"
+            )
+        instance._grow(instance.root, children)
+        return instance
+
+    @classmethod
+    def from_paths(cls, schema: Schema, paths: Iterable[str | SchemaPath]) -> "Instance":
+        """Build an instance containing one node for every path in *paths*
+        (plus all the ancestors those paths require).
+
+        This is a convenient way to build instances without repeated sibling
+        labels, e.g. ``Instance.from_paths(schema, ["a/n", "a/d", "s"])``.
+        """
+        instance = cls(schema)
+        for path in paths:
+            instance.ensure_path(path)
+        return instance
+
+    def _grow(self, parent: Node, children: Iterable[Shape]) -> None:
+        for label, sub in children:
+            child = self.add_field(parent, label)
+            self._grow(child, sub)
+
+    # ------------------------------------------------------------------ #
+    # schema awareness
+    # ------------------------------------------------------------------ #
+
+    @property
+    def schema(self) -> Schema:
+        """The schema this tree is an instance of."""
+        return self._schema
+
+    def schema_node_of(self, node: Node | int) -> Node:
+        """The image ``v̂`` of *node* under the unique homomorphism
+        (Proposition 3.3)."""
+        resolved = self._resolve(node)
+        return self._schema.node_at(resolved.label_path())
+
+    def schema_edge_of(self, node: Node | int) -> SchemaEdge:
+        """The schema edge ``ê`` whose end node is the image of *node*."""
+        resolved = self._resolve(node)
+        if resolved.is_root():
+            raise InstanceError("the root node is not the end of any edge")
+        return SchemaEdge(resolved.label_path())
+
+    def validate(self) -> None:
+        """Check that the tree really is an instance of its schema.
+
+        Raises:
+            InstanceError: if some node's label path does not exist in the
+                schema or the root label is wrong.
+        """
+        if self.root.label != ROOT_LABEL:
+            raise InstanceError(
+                f"instance root must be labelled {ROOT_LABEL!r}, got {self.root.label!r}"
+            )
+        for node in self.nodes():
+            path = node.label_path()
+            if not self._schema.has_path(path):
+                raise InstanceError(
+                    f"instance node with label path {format_schema_path(path)!r} "
+                    "has no corresponding schema node"
+                )
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+
+    def add_field(self, parent: Node | int, label: str) -> Node:
+        """Add a new leaf with *label* under *parent*, checking the schema.
+
+        Raises:
+            InstanceError: if the schema does not have a child with *label*
+                under the schema node corresponding to *parent*.
+        """
+        parent_node = self._resolve(parent)
+        target_path = parent_node.label_path() + (label,)
+        if not self._schema.has_path(target_path):
+            raise InstanceError(
+                f"schema has no field at path {format_schema_path(target_path)!r}"
+            )
+        return self.add_leaf(parent_node, label)
+
+    def remove_field(self, node: Node | int) -> None:
+        """Remove the leaf *node* (alias of :meth:`remove_leaf`, provided for
+        symmetry with :meth:`add_field`)."""
+        self.remove_leaf(node)
+
+    def ensure_path(self, path: str | SchemaPath) -> Node:
+        """Ensure a node with the given label path exists and return it.
+
+        Creates missing ancestors.  When several nodes already share a prefix
+        of the path the first one found is extended; this helper is meant for
+        building instances without repeated sibling labels.
+        """
+        from repro.core.schema import parse_schema_path
+
+        normalised = parse_schema_path(path)
+        if not self._schema.has_path(normalised):
+            raise InstanceError(
+                f"schema has no field at path {format_schema_path(normalised)!r}"
+            )
+        node = self.root
+        for label in normalised:
+            existing = node.children_with_label(label)
+            node = existing[0] if existing else self.add_leaf(node, label)
+        return node
+
+    def find_path(self, path: str | SchemaPath) -> Optional[Node]:
+        """Return some node with the given label path, or ``None``."""
+        from repro.core.schema import parse_schema_path
+
+        normalised = parse_schema_path(path)
+        nodes = self.nodes_with_label_path(normalised)
+        return nodes[0] if nodes else None
+
+    def has_path(self, path: str | SchemaPath) -> bool:
+        """Return ``True`` when some node has the given label path."""
+        return self.find_path(path) is not None
+
+    # ------------------------------------------------------------------ #
+    # copying
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "Instance":
+        """Deep copy sharing the (immutable in practice) schema object."""
+        clone = super().copy()
+        assert isinstance(clone, Instance)
+        clone._schema = self._schema
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Instance(size={self.size()}, depth={self.depth()})"

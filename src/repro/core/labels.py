@@ -1,0 +1,68 @@
+"""Node labels (the set ``L`` of Section 3.1).
+
+The paper assumes a set ``L`` of node labels with a distinguished label ``r``
+reserved for the roots of schemas and instances.  This module centralises the
+conventions used throughout the library:
+
+* labels are non-empty strings,
+* the reserved root label is :data:`ROOT_LABEL` (``"r"``),
+* labels may contain letters, digits, ``_``, ``'``, ``-`` and ``.`` so that the
+  gadget labels produced by the reductions (e.g. ``init(q0,0,+)`` is rendered
+  as ``init_q0_0_p``) remain expressible and parseable.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.exceptions import LabelError
+
+#: The reserved label of every schema/instance root (Definition 3.1).
+ROOT_LABEL = "r"
+
+#: Characters allowed in labels.  The apostrophe is included because the paper
+#: uses primed marks (``d'``) in the decrement gadget of Theorem 4.1.
+_LABEL_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_'\-.]*\Z")
+
+
+def is_valid_label(label: str) -> bool:
+    """Return ``True`` when *label* is a well-formed node label."""
+    return isinstance(label, str) and bool(_LABEL_RE.match(label))
+
+
+def validate_label(label: str) -> str:
+    """Validate *label* and return it.
+
+    Raises:
+        LabelError: if the label is empty or contains illegal characters.
+    """
+    if not is_valid_label(label):
+        raise LabelError(f"invalid node label: {label!r}")
+    return label
+
+
+def validate_field_label(label: str) -> str:
+    """Validate a field label (a label of a non-root schema node).
+
+    Any well-formed label is allowed — including ``r``: the paper's own
+    running example abbreviates both *reject* and *reason* to ``r``
+    (Figure 1), so the root label is reserved only in the sense that every
+    root carries it, not in the sense that fields may not reuse it.
+    """
+    return validate_label(label)
+
+
+def fresh_label(base: str, taken: set[str]) -> str:
+    """Return a label derived from *base* that does not occur in *taken*.
+
+    Used by the reductions and transformations (Corollary 4.2, Section 4.2,
+    Corollary 4.7) which need to add auxiliary fields (``deleted``, ``final``,
+    ``reset``, ``build``) without clashing with existing schema labels.
+    """
+    validate_label(base)
+    if base not in taken:
+        return base
+    index = 1
+    while f"{base}_{index}" in taken:
+        index += 1
+    return f"{base}_{index}"

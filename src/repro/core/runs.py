@@ -1,0 +1,137 @@
+"""Runs of a guarded form (Definition 3.11).
+
+A run of a guarded form ``(M, A, I0, φ)`` is a sequence ``I0, …, In`` of
+instances where each ``Ii`` is obtained from ``Ii−1`` by a single allowed
+addition or deletion; the run is *complete* when ``In`` satisfies ``φ``.
+
+Runs are represented by their update sequences (the instances are recovered
+by replay), which keeps witnesses produced by the analyses compact and
+serialisable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.core.guarded_form import Addition, Deletion, GuardedForm, Update
+from repro.core.instance import Instance
+from repro.exceptions import RunError
+
+
+@dataclass
+class Run:
+    """A run of a guarded form, stored as its update sequence.
+
+    Attributes:
+        guarded_form: the guarded form the run belongs to.
+        updates: the sequence of updates, starting from the initial instance.
+        start: the instance the run starts from; ``None`` means the guarded
+            form's initial instance (the common case — the semi-soundness
+            analysis uses explicit start instances).
+    """
+
+    guarded_form: GuardedForm
+    updates: list[Update] = field(default_factory=list)
+    start: Optional[Instance] = None
+
+    def initial_instance(self) -> Instance:
+        """The instance the run starts from."""
+        if self.start is not None:
+            return self.start.copy()
+        return self.guarded_form.initial_instance()
+
+    def instances(self) -> Iterator[Instance]:
+        """Replay the run, yielding ``I0, …, In``.
+
+        Raises:
+            RunError: when some update in the sequence is not allowed on the
+                instance it is applied to.
+        """
+        current = self.initial_instance()
+        yield current.copy()
+        for index, update in enumerate(self.updates):
+            if not self.guarded_form.is_update_allowed(current, update):
+                raise RunError(
+                    f"update #{index} ({update}) is not allowed; the sequence is "
+                    "not a run of the guarded form"
+                )
+            current = self.guarded_form.apply_unchecked(current, update, in_place=True)
+            yield current.copy()
+
+    def final_instance(self) -> Instance:
+        """The last instance ``In`` of the run."""
+        last: Optional[Instance] = None
+        for instance in self.instances():
+            last = instance
+        assert last is not None
+        return last
+
+    def is_valid(self) -> bool:
+        """Whether every update in the sequence is allowed when applied."""
+        try:
+            for _ in self.instances():
+                pass
+        except RunError:
+            return False
+        return True
+
+    def is_complete(self) -> bool:
+        """Whether the run is a complete run (``In ⊨ φ``)."""
+        return self.is_valid() and self.guarded_form.is_complete(self.final_instance())
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def describe(self) -> list[str]:
+        """Human-readable step descriptions (for reports and examples)."""
+        descriptions: list[str] = []
+        current = self.initial_instance()
+        for update in self.updates:
+            descriptions.append(update.describe(current))
+            current = self.guarded_form.apply_unchecked(current, update, in_place=True)
+        return descriptions
+
+
+def replay(guarded_form: GuardedForm, updates: Sequence[Update], start: Optional[Instance] = None) -> Instance:
+    """Replay *updates* on the guarded form and return the final instance."""
+    return Run(guarded_form, list(updates), start).final_instance()
+
+
+def is_run(guarded_form: GuardedForm, updates: Sequence[Update], start: Optional[Instance] = None) -> bool:
+    """Whether *updates* form a run of *guarded_form* (Definition 3.11)."""
+    return Run(guarded_form, list(updates), start).is_valid()
+
+
+def is_complete_run(
+    guarded_form: GuardedForm, updates: Sequence[Update], start: Optional[Instance] = None
+) -> bool:
+    """Whether *updates* form a complete run of *guarded_form*."""
+    return Run(guarded_form, list(updates), start).is_complete()
+
+
+def greedy_random_run(
+    guarded_form: GuardedForm,
+    max_steps: int,
+    seed: int = 0,
+    start: Optional[Instance] = None,
+) -> Run:
+    """Generate a random run by repeatedly applying a random enabled update.
+
+    Used by property-based tests ("every prefix of a run is a run", "states
+    visited by a run are reachable") and by the fb-wis examples to simulate
+    user behaviour.
+    """
+    import random
+
+    rng = random.Random(seed)
+    run = Run(guarded_form, [], start)
+    current = run.initial_instance()
+    for _ in range(max_steps):
+        updates = guarded_form.enabled_updates(current)
+        if not updates:
+            break
+        update = rng.choice(updates)
+        run.updates.append(update)
+        current = guarded_form.apply_unchecked(current, update, in_place=True)
+    return run

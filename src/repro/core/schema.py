@@ -1,0 +1,257 @@
+"""Form schemas (Definition 3.1).
+
+A *schema* is a rooted node-labelled tree in which no two siblings have the
+same label and the root is labelled ``r``.  Because sibling labels are unique,
+every schema node is identified by the sequence of labels on the path from the
+root to it; this sequence is called a *schema path* throughout the library and
+is the canonical way to address schema nodes and schema edges (the paper's
+Example 3.12 identifies edges "by the paths to their end nodes" in exactly
+this way, e.g. ``a/p/b``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from repro.core.labels import ROOT_LABEL, validate_field_label
+from repro.core.tree import LabelledTree, Node
+from repro.exceptions import SchemaError
+
+#: A schema path: the labels from (excluding) the root down to a schema node.
+#: The root itself is addressed by the empty path ``()``.
+SchemaPath = tuple[str, ...]
+
+
+def parse_schema_path(path: "SchemaPath | str | Iterable[str]") -> SchemaPath:
+    """Normalise a schema-path argument.
+
+    Accepts a tuple of labels, an iterable of labels, or a ``/``-separated
+    string such as ``"a/p/b"`` (the paper's notation).  The empty string and
+    the string ``"."`` denote the root (``"r"`` is *not* accepted for the
+    root because fields may legitimately be labelled ``r``, as in the paper's
+    own Figure 1).
+    """
+    if isinstance(path, str):
+        text = path.strip()
+        if text in ("", "."):
+            return ()
+        return tuple(part for part in text.split("/") if part)
+    return tuple(path)
+
+
+def format_schema_path(path: SchemaPath) -> str:
+    """Render a schema path in the paper's ``a/p/b`` notation (root = ``r``)."""
+    return "/".join(path) if path else ROOT_LABEL
+
+
+class SchemaEdge:
+    """An edge of the schema, addressed by the path to its end node.
+
+    Access rules (Section 3.4) are attached to schema edges, so these objects
+    are the keys of the access-rule function ``A``.
+    """
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: "SchemaPath | str | Iterable[str]") -> None:
+        normalised = parse_schema_path(path)
+        if not normalised:
+            raise SchemaError("a schema edge cannot end at the root")
+        self.path: SchemaPath = normalised
+
+    @property
+    def parent_path(self) -> SchemaPath:
+        """Schema path of the edge's start node."""
+        return self.path[:-1]
+
+    @property
+    def label(self) -> str:
+        """Label of the edge's end node."""
+        return self.path[-1]
+
+    @property
+    def depth(self) -> int:
+        """Depth of the edge's end node (children of the root have depth 1)."""
+        return len(self.path)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SchemaEdge):
+            return NotImplemented
+        return self.path == other.path
+
+    def __hash__(self) -> int:
+        return hash(("SchemaEdge", self.path))
+
+    def __repr__(self) -> str:
+        return f"SchemaEdge({format_schema_path(self.path)!r})"
+
+
+class Schema(LabelledTree):
+    """A form schema: a rooted node-labelled tree with unique sibling labels.
+
+    Schemas are usually built with :meth:`Schema.from_dict`::
+
+        leave = Schema.from_dict({
+            "application": {
+                "name": {}, "dept": {},
+                "period": {"begin": {}, "end": {}},
+            },
+            "submit": {},
+            "decision": {"approve": {}, "reject": {"reason": {}}},
+            "final": {},
+        })
+    """
+
+    def __init__(self) -> None:
+        super().__init__(ROOT_LABEL)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_dict(cls, nested: Mapping[str, Mapping]) -> "Schema":
+        """Build a schema from a nested mapping of field labels.
+
+        The mapping describes the children of the root; each value is a nested
+        mapping describing that field's own children (use ``{}`` or ``None``
+        for leaves).
+        """
+        schema = cls()
+        schema._grow_schema(schema.root, nested)
+        return schema
+
+    def _grow_schema(self, parent: Node, nested: Mapping[str, Mapping]) -> None:
+        for label, sub in nested.items():
+            validate_field_label(label)
+            if parent.has_child_with_label(label):
+                raise SchemaError(
+                    f"duplicate sibling label {label!r} under "
+                    f"{format_schema_path(parent.label_path())!r}"
+                )
+            child = self.add_leaf(parent, label)
+            self._grow_schema(child, sub or {})
+
+    def add_field(self, parent_path: "SchemaPath | str", label: str) -> SchemaEdge:
+        """Add a new field with *label* under the schema node at *parent_path*.
+
+        Returns the new :class:`SchemaEdge`.  Used by the transformations of
+        Corollary 4.2 / Section 4.2 / Corollary 4.7 which extend a schema with
+        auxiliary fields.
+        """
+        parent = self.node_at(parent_path)
+        validate_field_label(label)
+        if parent.has_child_with_label(label):
+            raise SchemaError(
+                f"duplicate sibling label {label!r} under "
+                f"{format_schema_path(parent.label_path())!r}"
+            )
+        child = self.add_leaf(parent, label)
+        return SchemaEdge(child.label_path())
+
+    # ------------------------------------------------------------------ #
+    # addressing
+    # ------------------------------------------------------------------ #
+
+    def node_at(self, path: "SchemaPath | str | Iterable[str]") -> Node:
+        """Return the schema node addressed by *path*.
+
+        Raises:
+            SchemaError: if the path does not exist in the schema.
+        """
+        normalised = parse_schema_path(path)
+        node = self.root
+        for label in normalised:
+            for child in node.children:
+                if child.label == label:
+                    node = child
+                    break
+            else:
+                raise SchemaError(
+                    f"schema has no node at path {format_schema_path(normalised)!r}"
+                )
+        return node
+
+    def has_path(self, path: "SchemaPath | str | Iterable[str]") -> bool:
+        """Return ``True`` when *path* addresses a schema node."""
+        try:
+            self.node_at(path)
+        except SchemaError:
+            return False
+        return True
+
+    def child_labels(self, path: "SchemaPath | str | Iterable[str]" = ()) -> list[str]:
+        """Labels of the children of the schema node at *path*."""
+        return [child.label for child in self.node_at(path).children]
+
+    def edge(self, path: "SchemaPath | str | Iterable[str]") -> SchemaEdge:
+        """Return the schema edge ending at *path* (validating it exists)."""
+        normalised = parse_schema_path(path)
+        self.node_at(normalised)
+        return SchemaEdge(normalised)
+
+    def edges_list(self) -> list[SchemaEdge]:
+        """All schema edges, in pre-order of their end nodes."""
+        result = []
+        for node in self.nodes():
+            if node.is_root():
+                continue
+            result.append(SchemaEdge(node.label_path()))
+        return result
+
+    def paths(self) -> Iterator[SchemaPath]:
+        """Iterate over all schema paths, including the root's empty path."""
+        for node in self.nodes():
+            yield node.label_path()
+
+    def field_labels(self) -> set[str]:
+        """The set of all labels used by non-root schema nodes."""
+        return {node.label for node in self.nodes() if not node.is_root()}
+
+    # ------------------------------------------------------------------ #
+    # validation and copying
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Check the schema invariants of Definition 3.1.
+
+        Raises:
+            SchemaError: if the root is not labelled ``r`` or two siblings
+                share a label.
+        """
+        if self.root.label != ROOT_LABEL:
+            raise SchemaError(
+                f"schema root must be labelled {ROOT_LABEL!r}, got {self.root.label!r}"
+            )
+        for node in self.nodes():
+            seen: set[str] = set()
+            for child in node.children:
+                if child.label in seen:
+                    raise SchemaError(
+                        f"duplicate sibling label {child.label!r} under "
+                        f"{format_schema_path(node.label_path())!r}"
+                    )
+                seen.add(child.label)
+
+    def copy(self) -> "Schema":
+        """Deep copy of the schema."""
+        clone = super().copy()
+        assert isinstance(clone, Schema)
+        return clone
+
+    def to_dict(self) -> dict:
+        """Inverse of :meth:`from_dict`."""
+
+        def build(node: Node) -> dict:
+            return {child.label: build(child) for child in node.children}
+
+        return build(self.root)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Schema(fields={self.size() - 1}, depth={self.depth()})"
+
+
+def depth_one_schema(labels: Iterable[str]) -> Schema:
+    """Convenience constructor for the depth-1 schemas used by the depth-1
+    fragments and most reductions: the root with one child per label."""
+    return Schema.from_dict({label: {} for label in labels})

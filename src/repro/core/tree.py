@@ -1,0 +1,343 @@
+"""Rooted node-labelled trees (Definition 3.1).
+
+Both schemas and form instances are rooted node-labelled trees
+``M = (V, E, r, λ)``.  This module provides the shared tree machinery:
+
+* :class:`Node` — a single tree node with a label, a parent and children;
+* :class:`LabelledTree` — a mutable rooted tree supporting leaf additions and
+  deletions (the only updates the paper considers, Section 3.4), traversal,
+  copying, and isomorphism-invariant hashing.
+
+Trees are *unordered*: the children of a node form a multiset, so two trees
+are considered equal when they are isomorphic as node-labelled rooted trees.
+The isomorphism-invariant :meth:`LabelledTree.shape` (a nested tuple with
+recursively sorted children) is the basis for state deduplication in the
+state-space explorers of :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.core.labels import ROOT_LABEL, validate_label
+from repro.exceptions import InstanceError
+
+#: A nested, order-normalised representation of a tree: ``(label, (child_shape, ...))``
+#: with the children sorted.  Equal shapes <=> isomorphic trees.
+Shape = tuple
+
+
+class Node:
+    """A single node of a rooted node-labelled tree.
+
+    Attributes:
+        label: the node label ``λ(v)``.
+        parent: the parent node, or ``None`` for the root.
+        children: the list of child nodes (unordered semantics).
+        node_id: an identifier unique within the owning tree, stable across
+            copies of the tree (copies preserve ids so that runs recorded on
+            one copy can be replayed on another).
+    """
+
+    __slots__ = ("node_id", "label", "parent", "children")
+
+    def __init__(self, node_id: int, label: str, parent: Optional["Node"]) -> None:
+        self.node_id = node_id
+        self.label = label
+        self.parent = parent
+        self.children: list[Node] = []
+
+    def is_root(self) -> bool:
+        """Return ``True`` when this node has no parent."""
+        return self.parent is None
+
+    def is_leaf(self) -> bool:
+        """Return ``True`` when this node has no children."""
+        return not self.children
+
+    def depth(self) -> int:
+        """Distance from the root (the root has depth 0)."""
+        depth = 0
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            depth += 1
+        return depth
+
+    def label_path(self) -> tuple[str, ...]:
+        """The sequence of labels from (and excluding) the root to this node.
+
+        The root itself has the empty label path.  Because sibling labels in a
+        schema are unique (Definition 3.1), the label path of an instance node
+        identifies the schema node it maps to under the unique homomorphism of
+        Proposition 3.3.
+        """
+        labels: list[str] = []
+        node = self
+        while node.parent is not None:
+            labels.append(node.label)
+            node = node.parent
+        labels.reverse()
+        return tuple(labels)
+
+    def children_with_label(self, label: str) -> list["Node"]:
+        """All children of this node carrying *label*."""
+        return [child for child in self.children if child.label == label]
+
+    def has_child_with_label(self, label: str) -> bool:
+        """Return ``True`` when some child of this node carries *label*."""
+        return any(child.label == label for child in self.children)
+
+    def iter_subtree(self) -> Iterator["Node"]:
+        """Yield this node and all its descendants (pre-order)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node(id={self.node_id}, label={self.label!r}, children={len(self.children)})"
+
+
+class LabelledTree:
+    """A mutable rooted node-labelled tree.
+
+    The tree always has a root node.  The only structural updates offered are
+    the two the paper's update model permits (Section 3.4): adding a new leaf
+    under an existing node and removing an existing leaf.
+    """
+
+    def __init__(self, root_label: str = ROOT_LABEL) -> None:
+        validate_label(root_label)
+        self._next_id = 0
+        self._nodes: dict[int, Node] = {}
+        self._root = self._make_node(root_label, parent=None)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    def _make_node(self, label: str, parent: Optional[Node]) -> Node:
+        node = Node(self._next_id, label, parent)
+        self._nodes[node.node_id] = node
+        self._next_id += 1
+        if parent is not None:
+            parent.children.append(node)
+        return node
+
+    @classmethod
+    def from_nested(cls, nested: dict | Shape, root_label: str = ROOT_LABEL) -> "LabelledTree":
+        """Build a tree from a nested description.
+
+        Two input styles are accepted:
+
+        * a nested ``dict`` mapping child labels to nested dicts, e.g.
+          ``{"a": {"n": {}, "d": {}}}`` — convenient for schemas where sibling
+          labels are unique;
+        * a :data:`Shape` tuple ``(label, (child, ...))`` — allows repeated
+          sibling labels, used for instances.
+
+        The *root_label* argument labels the root; a dict describes only the
+        children of the root.
+        """
+        tree = cls(root_label)
+        if isinstance(nested, dict):
+            tree._grow_from_dict(tree.root, nested)
+        else:
+            label, children = nested
+            if label != root_label:
+                raise InstanceError(
+                    f"shape root label {label!r} does not match requested root "
+                    f"label {root_label!r}"
+                )
+            tree._grow_from_shape(tree.root, children)
+        return tree
+
+    def _grow_from_dict(self, parent: Node, nested: dict) -> None:
+        for label, sub in nested.items():
+            child = self._make_node(validate_label(label), parent)
+            self._grow_from_dict(child, sub or {})
+
+    def _grow_from_shape(self, parent: Node, children: Iterable[Shape]) -> None:
+        for label, sub in children:
+            child = self._make_node(validate_label(label), parent)
+            self._grow_from_shape(child, sub)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def root(self) -> Node:
+        """The root node ``r``."""
+        return self._root
+
+    def node(self, node_id: int) -> Node:
+        """Return the node with identifier *node_id*.
+
+        Raises:
+            InstanceError: if no such node exists (e.g. it was deleted).
+        """
+        try:
+            return self._nodes[node_id]
+        except KeyError as exc:
+            raise InstanceError(f"no node with id {node_id} in tree") from exc
+
+    def has_node(self, node_id: int) -> bool:
+        """Return ``True`` when a node with *node_id* is present."""
+        return node_id in self._nodes
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes (pre-order from the root)."""
+        return self._root.iter_subtree()
+
+    def edges(self) -> Iterator[tuple[Node, Node]]:
+        """Iterate over all (parent, child) edges."""
+        for node in self.nodes():
+            for child in node.children:
+                yield node, child
+
+    def size(self) -> int:
+        """Number of nodes, including the root."""
+        return len(self._nodes)
+
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf path (a lone root has depth 0)."""
+        return max((node.depth() for node in self.nodes()), default=0)
+
+    def leaves(self) -> list[Node]:
+        """All leaf nodes (the root counts as a leaf when it has no children)."""
+        return [node for node in self.nodes() if node.is_leaf()]
+
+    def find(self, predicate: Callable[[Node], bool]) -> Optional[Node]:
+        """Return some node satisfying *predicate*, or ``None``."""
+        for node in self.nodes():
+            if predicate(node):
+                return node
+        return None
+
+    def nodes_with_label_path(self, path: tuple[str, ...]) -> list[Node]:
+        """All nodes whose :meth:`Node.label_path` equals *path*."""
+        if not path:
+            return [self._root]
+        return [node for node in self.nodes() if node.label_path() == path]
+
+    # ------------------------------------------------------------------ #
+    # updates (leaf additions and deletions only — Section 3.4)
+    # ------------------------------------------------------------------ #
+
+    def add_leaf(self, parent: Node | int, label: str) -> Node:
+        """Add a new leaf with *label* under *parent* and return it."""
+        parent_node = self._resolve(parent)
+        validate_label(label)
+        return self._make_node(label, parent_node)
+
+    def remove_leaf(self, node: Node | int) -> None:
+        """Remove the leaf *node* from the tree.
+
+        Raises:
+            InstanceError: if the node is not a leaf, is the root, or does not
+                belong to this tree.
+        """
+        target = self._resolve(node)
+        if target.is_root():
+            raise InstanceError("the root node cannot be deleted")
+        if not target.is_leaf():
+            raise InstanceError(
+                f"node {target.node_id} ({target.label!r}) is not a leaf; only "
+                "leaf deletions are permitted"
+            )
+        parent = target.parent
+        assert parent is not None
+        parent.children.remove(target)
+        del self._nodes[target.node_id]
+
+    def _resolve(self, node: Node | int) -> Node:
+        if isinstance(node, Node):
+            if self._nodes.get(node.node_id) is not node:
+                raise InstanceError(
+                    f"node {node.node_id} does not belong to this tree"
+                )
+            return node
+        return self.node(node)
+
+    # ------------------------------------------------------------------ #
+    # copying, shapes and isomorphism
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "LabelledTree":
+        """Return a deep copy of the tree.
+
+        Node identifiers are preserved so that updates recorded against one
+        copy (by node id) can be replayed against another.
+        """
+        clone = self.__class__.__new__(self.__class__)
+        clone._next_id = self._next_id
+        clone._nodes = {}
+        clone._root = clone._copy_subtree(self._root, None)
+        return clone
+
+    def _copy_subtree(self, node: Node, parent: Optional[Node]) -> Node:
+        copy_node = Node(node.node_id, node.label, parent)
+        self._nodes[copy_node.node_id] = copy_node
+        if parent is not None:
+            parent.children.append(copy_node)
+        for child in node.children:
+            self._copy_subtree(child, copy_node)
+        return copy_node
+
+    def shape(self) -> Shape:
+        """Isomorphism-invariant nested-tuple representation of the tree.
+
+        Two trees have equal shapes iff they are isomorphic as unordered
+        node-labelled rooted trees.
+        """
+        return _shape_of(self._root)
+
+    def subtree_shape(self, node: Node | int) -> Shape:
+        """The :meth:`shape` of the subtree rooted at *node*."""
+        return _shape_of(self._resolve(node))
+
+    def is_isomorphic_to(self, other: "LabelledTree") -> bool:
+        """Structural equality up to reordering of siblings."""
+        return self.shape() == other.shape()
+
+    def label_multiset(self) -> dict[str, int]:
+        """Mapping from label to the number of nodes carrying it."""
+        counts: dict[str, int] = {}
+        for node in self.nodes():
+            counts[node.label] = counts.get(node.label, 0) + 1
+        return counts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabelledTree):
+            return NotImplemented
+        return self.shape() == other.shape()
+
+    def __hash__(self) -> int:
+        return hash(self.shape())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}(size={self.size()}, depth={self.depth()})"
+
+
+def _shape_of(node: Node) -> Shape:
+    children = sorted(_shape_of(child) for child in node.children)
+    return (node.label, tuple(children))
+
+
+def shape_size(shape: Shape) -> int:
+    """Number of nodes described by a :data:`Shape`."""
+    label, children = shape
+    del label
+    return 1 + sum(shape_size(child) for child in children)
+
+
+def shape_depth(shape: Shape) -> int:
+    """Depth of the tree described by a :data:`Shape`."""
+    label, children = shape
+    del label
+    if not children:
+        return 0
+    return 1 + max(shape_depth(child) for child in children)

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the guarded-forms library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so that
+callers can catch library errors with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class LabelError(ReproError):
+    """An invalid node label was supplied (empty, reserved, or malformed)."""
+
+
+class SchemaError(ReproError):
+    """A schema violates Definition 3.1 (duplicate sibling labels, bad root)."""
+
+
+class InstanceError(ReproError):
+    """An instance tree is not homomorphic to its schema, or an update is
+    structurally impossible (e.g. deleting a non-leaf node)."""
+
+
+class FormulaParseError(ReproError):
+    """The formula text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class FormulaError(ReproError):
+    """A formula is malformed or used in an unsupported way."""
+
+
+class AccessRuleError(ReproError):
+    """An access-rule table refers to an unknown schema edge or right."""
+
+
+class UpdateNotAllowedError(ReproError):
+    """An update was applied that the access rules do not permit."""
+
+
+class RunError(ReproError):
+    """A run (sequence of updates) is invalid for its guarded form."""
+
+
+class AnalysisError(ReproError):
+    """A decision procedure was invoked on an unsupported fragment."""
+
+
+class ExplorationLimitError(ReproError):
+    """A bounded state-space exploration exceeded its configured limits and
+    the caller requested strict behaviour instead of an undecided result."""
+
+
+class ReductionError(ReproError):
+    """A reduction input (counter machine, CNF, QBF, deadlock problem) is
+    malformed."""
+
+
+class SerializationError(ReproError):
+    """A serialized object could not be decoded."""
+
+
+class EngineError(ReproError):
+    """The form-based web information system engine rejected an operation."""

@@ -1,0 +1,40 @@
+"""A small form-based web information system (fb-wis) built on guarded forms.
+
+The paper motivates its analysis problems with a server-side system in which
+unsophisticated users define forms (schema + instance-dependent access rules)
+and the system automatically manages the implied workflow, rejecting forms
+whose workflow is incorrect (Section 1).  This package provides that
+application layer:
+
+* :mod:`repro.fbwis.engine` — a registry of form definitions that analyses
+  every form on registration and can be configured to reject forms that are
+  not completable or not semi-sound;
+* :mod:`repro.fbwis.session` — a live editing session for one form instance,
+  exposing exactly the updates the access rules allow and keeping an audit
+  trail;
+* :mod:`repro.fbwis.catalog` — ready-made example forms, including the
+  paper's leave application (Figure 1 / Example 3.12) and its intentionally
+  broken variants from Section 3.5.
+"""
+
+from repro.fbwis.catalog import (
+    leave_application,
+    leave_application_incompletable,
+    leave_application_not_semisound,
+    purchase_order,
+    tax_declaration,
+)
+from repro.fbwis.engine import FormEngine, FormPolicy, RegisteredForm
+from repro.fbwis.session import FormSession
+
+__all__ = [
+    "leave_application",
+    "leave_application_incompletable",
+    "leave_application_not_semisound",
+    "purchase_order",
+    "tax_declaration",
+    "FormEngine",
+    "FormPolicy",
+    "RegisteredForm",
+    "FormSession",
+]

@@ -1,0 +1,212 @@
+"""Ready-made guarded forms used by the examples, tests and benchmarks.
+
+The central entry is :func:`leave_application`, a faithful transcription of
+the paper's running example (Figure 1 for the schema, Example 3.12 for the
+access rules, completion formula ``f``).  Variants reproduce the two
+"incorrect" forms discussed in Section 3.5:
+
+* :func:`leave_application_incompletable` — completion formula ``f ∧ ¬s``;
+  no complete run exists because ``s`` can never be deleted once added and
+  ``f`` requires a decision which requires ``s``.
+* :func:`leave_application_not_semisound` — the modified rules that allow
+  marking the form final before a decision is entered, after which the
+  decision can no longer be added.
+
+Each constructor accepts ``single_period=True`` to restrict the application
+to one period field (``A(add, a/p)`` additionally requires ``¬p``).  The
+faithful form allows arbitrarily many periods, which makes its reachable
+state space infinite; the single-period variant is finite-state and therefore
+amenable to exhaustive analysis, which the integration tests exploit.
+
+Two further forms (:func:`tax_declaration`, :func:`purchase_order`) model the
+e-government and procurement scenarios the introduction motivates; they are
+used by the domain-specific examples.
+"""
+
+from __future__ import annotations
+
+from repro.core.access import RuleTable
+from repro.core.guarded_form import GuardedForm
+from repro.core.instance import Instance
+from repro.core.schema import Schema
+
+#: The leave application schema of Figure 1, with labels abbreviated to their
+#: first letter exactly as the paper does (``application`` → ``a``,
+#: ``decision`` → ``d``, the ``reason`` below ``reject`` → ``r``, …).
+LEAVE_APPLICATION_SCHEMA = {
+    "a": {"n": {}, "d": {}, "p": {"b": {}, "e": {}}},
+    "s": {},
+    "d": {"a": {}, "r": {"r": {}}},
+    "f": {},
+}
+
+
+def _leave_application_schema() -> Schema:
+    return Schema.from_dict(LEAVE_APPLICATION_SCHEMA)
+
+
+def _leave_application_rules(schema: Schema, single_period: bool) -> RuleTable:
+    period_add = "¬../s ∧ ¬p" if single_period else "¬../s"
+    return RuleTable.from_dict(
+        schema,
+        {
+            "a": ("¬a", "¬a"),
+            "a/n": ("¬../s ∧ ¬n", "¬../s"),
+            "a/d": ("¬../s ∧ ¬d", "¬../s"),
+            "a/p": (period_add, "¬../s"),
+            "a/p/b": ("¬../../s ∧ ¬b", "¬../../s"),
+            "a/p/e": ("¬../../s ∧ ¬e", "¬../../s"),
+            "s": ("¬s ∧ a[n ∧ d ∧ p] ∧ ¬a/p[¬b ∨ ¬e]", "¬s"),
+            "d": ("s ∧ ¬d", "¬f"),
+            "d/a": ("¬(a ∨ r)", "¬../f"),
+            "d/r": ("¬(a ∨ r)", "¬../f"),
+            "d/r/r": ("¬r", "¬../../f"),
+            "f": ("d[a ∨ r] ∧ ¬f", "¬f"),
+        },
+    )
+
+
+def leave_application(single_period: bool = False) -> GuardedForm:
+    """The leave application of Figure 1 / Example 3.12.
+
+    The initial instance is the empty form (only the root) and the completion
+    formula is ``f`` (the final field has been marked).  This guarded form is
+    completable and, as far as the exhaustive analysis of its single-period
+    variant can tell, semi-sound.
+    """
+    schema = _leave_application_schema()
+    rules = _leave_application_rules(schema, single_period)
+    return GuardedForm(
+        schema,
+        rules,
+        completion="f",
+        initial_instance=Instance.empty(schema),
+        name="leave application" + (" (single period)" if single_period else ""),
+    )
+
+
+def leave_application_incompletable(single_period: bool = False) -> GuardedForm:
+    """The Section 3.5 variant with completion formula ``f ∧ ¬s``.
+
+    Marking the form final requires a decision, a decision requires the
+    application to have been submitted, and the submission field can never be
+    deleted afterwards (``A(del, s) = ¬s``), so no reachable instance
+    satisfies ``f ∧ ¬s`` — the form is not completable.
+    """
+    base = leave_application(single_period)
+    return base.with_completion(
+        "f ∧ ¬s",
+        name="leave application (incompletable variant)",
+    )
+
+
+def leave_application_not_semisound(single_period: bool = False) -> GuardedForm:
+    """The Section 3.5 variant that is completable but not semi-sound.
+
+    The rules are modified so that the final field only requires a decision
+    field to exist (``A(add, f) = d ∧ ¬f``) while approving or rejecting is
+    forbidden once the form is final (``… ∧ ¬../f``).  A user can therefore
+    reach an instance with ``f`` but no approval/rejection, from which the
+    completion formula ``f ∧ d[a ∨ r]`` can never be satisfied.
+    """
+    schema = _leave_application_schema()
+    rules = _leave_application_rules(schema, single_period)
+    rules.set_add_rule("f", "d ∧ ¬f")
+    rules.set_add_rule("d/a", "¬(a ∨ r) ∧ ¬../f")
+    rules.set_add_rule("d/r", "¬(a ∨ r) ∧ ¬../f")
+    return GuardedForm(
+        schema,
+        rules,
+        completion="f ∧ d[a ∨ r]",
+        initial_instance=Instance.empty(schema),
+        name="leave application (not semi-sound variant)",
+    )
+
+
+def tax_declaration() -> GuardedForm:
+    """A simplified e-government tax declaration (introduction scenario).
+
+    The citizen fills in an ``income`` section (salary and optional
+    deductions), then lodges the declaration; the administration performs an
+    ``assessment`` (either accepting it or issuing an ``audit`` with a
+    finding), after which a ``notice`` is issued and the declaration is
+    closed.  The form is finite-state: every field is single-valued.
+    """
+    schema = Schema.from_dict(
+        {
+            "income": {"salary": {}, "deduction": {"receipt": {}}},
+            "lodged": {},
+            "assessment": {"accept": {}, "audit": {"finding": {}}},
+            "notice": {},
+            "closed": {},
+        }
+    )
+    rules = RuleTable.from_dict(
+        schema,
+        {
+            "income": ("¬income", "¬lodged"),
+            "income/salary": ("¬../lodged ∧ ¬salary", "¬../lodged"),
+            "income/deduction": ("¬../lodged ∧ ¬deduction", "¬../lodged"),
+            "income/deduction/receipt": ("¬../../lodged ∧ ¬receipt", "¬../../lodged"),
+            "lodged": ("¬lodged ∧ income[salary] ∧ ¬income/deduction[¬receipt]", "¬lodged"),
+            "assessment": ("lodged ∧ ¬assessment", "¬notice"),
+            "assessment/accept": ("¬(accept ∨ audit)", "¬../notice"),
+            "assessment/audit": ("¬(accept ∨ audit)", "¬../notice"),
+            "assessment/audit/finding": ("¬finding", "¬../../notice"),
+            "notice": ("assessment[accept ∨ audit[finding]] ∧ ¬notice", "¬closed"),
+            "closed": ("notice ∧ ¬closed", "¬closed"),
+        },
+    )
+    return GuardedForm(
+        schema,
+        rules,
+        completion="closed",
+        initial_instance=Instance.empty(schema),
+        name="tax declaration",
+    )
+
+
+def purchase_order() -> GuardedForm:
+    """A purchase-order approval workflow (procurement scenario).
+
+    A requester describes the order (item and cost estimate), submits it, a
+    manager approves or declines, and for approved orders a purchase is
+    recorded before the order is archived.  Declined orders can be archived
+    immediately — the workflow has two alternative completion branches, which
+    the workflow-extraction example visualises.
+    """
+    schema = Schema.from_dict(
+        {
+            "order": {"item": {}, "estimate": {}},
+            "submitted": {},
+            "review": {"approve": {}, "decline": {"justification": {}}},
+            "purchase": {"invoice": {}},
+            "archived": {},
+        }
+    )
+    rules = RuleTable.from_dict(
+        schema,
+        {
+            "order": ("¬order", "¬submitted"),
+            "order/item": ("¬../submitted ∧ ¬item", "¬../submitted"),
+            "order/estimate": ("¬../submitted ∧ ¬estimate", "¬../submitted"),
+            "submitted": ("¬submitted ∧ order[item ∧ estimate]", "¬submitted"),
+            "review": ("submitted ∧ ¬review", "¬archived"),
+            "review/approve": ("¬(approve ∨ decline)", "¬../archived"),
+            "review/decline": ("¬(approve ∨ decline)", "¬../archived"),
+            "review/decline/justification": ("¬justification", "¬../../archived"),
+            "purchase": ("review[approve] ∧ ¬purchase", "¬archived"),
+            "purchase/invoice": ("¬invoice", "¬../archived"),
+            "archived": (
+                "(purchase[invoice] ∨ review[decline[justification]]) ∧ ¬archived",
+                "¬archived",
+            ),
+        },
+    )
+    return GuardedForm(
+        schema,
+        rules,
+        completion="archived",
+        initial_instance=Instance.empty(schema),
+        name="purchase order",
+    )

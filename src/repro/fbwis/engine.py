@@ -1,0 +1,173 @@
+"""The fb-wis form engine: registration, analysis-on-registration, sessions.
+
+The paper's premise is that forms created in an ad hoc manner by
+unsophisticated users are analysed automatically "such that forms with an
+incorrect workflow will be rejected by the fb-wis and users can be told how
+they should modify their form's definition" (Section 1).  :class:`FormEngine`
+implements that behaviour: every registered guarded form is analysed for
+completability and (optionally) semi-soundness, and the registration policy
+decides whether problematic forms are rejected, accepted with a warning, or
+accepted silently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.completability import decide_completability
+from repro.analysis.results import AnalysisResult, ExplorationLimits
+from repro.analysis.semisoundness import decide_semisoundness
+from repro.core.guarded_form import GuardedForm
+from repro.core.instance import Instance
+from repro.fbwis.session import FormSession
+from repro.exceptions import EngineError
+
+
+class FormPolicy(enum.Enum):
+    """What the engine does with forms whose analysis is negative/undecided."""
+
+    #: reject forms that are not completable or not semi-sound; undecided
+    #: analyses are treated as failures (the safest policy).
+    STRICT = "strict"
+    #: reject forms that are provably broken, accept undecided ones with a
+    #: warning recorded on the registration.
+    WARN = "warn"
+    #: register everything; analyses are still run and recorded.
+    PERMISSIVE = "permissive"
+
+
+@dataclass
+class RegisteredForm:
+    """A form accepted by the engine, together with its analysis results."""
+
+    form_id: str
+    guarded_form: GuardedForm
+    completability: AnalysisResult
+    semisoundness: Optional[AnalysisResult]
+    warnings: list[str] = field(default_factory=list)
+
+
+class FormEngine:
+    """Registry of guarded forms plus instance/session management."""
+
+    def __init__(
+        self,
+        policy: FormPolicy = FormPolicy.STRICT,
+        check_semisoundness: bool = True,
+        limits: Optional[ExplorationLimits] = None,
+    ) -> None:
+        self.policy = policy
+        self.check_semisoundness = check_semisoundness
+        self.limits = limits
+        self._forms: dict[str, RegisteredForm] = {}
+        self._sessions: dict[str, FormSession] = {}
+        self._session_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+
+    def register(self, form_id: str, guarded_form: GuardedForm) -> RegisteredForm:
+        """Analyse and register *guarded_form* under *form_id*.
+
+        Raises:
+            EngineError: when the id is taken, or when the policy rejects the
+                form because its workflow is incorrect (or could not be shown
+                correct, under the strict policy).
+        """
+        if form_id in self._forms:
+            raise EngineError(f"a form with id {form_id!r} is already registered")
+
+        completability = decide_completability(guarded_form, limits=self.limits)
+        semisoundness = (
+            decide_semisoundness(guarded_form, limits=self.limits)
+            if self.check_semisoundness
+            else None
+        )
+        warnings: list[str] = []
+
+        self._enforce_policy(form_id, "completability", completability, warnings)
+        if semisoundness is not None:
+            self._enforce_policy(form_id, "semi-soundness", semisoundness, warnings)
+
+        registered = RegisteredForm(form_id, guarded_form, completability, semisoundness, warnings)
+        self._forms[form_id] = registered
+        return registered
+
+    def _enforce_policy(
+        self,
+        form_id: str,
+        property_name: str,
+        result: AnalysisResult,
+        warnings: list[str],
+    ) -> None:
+        if result.decided and result.answer:
+            return
+        if result.decided and not result.answer:
+            message = f"form {form_id!r} fails {property_name}"
+            if self.policy in (FormPolicy.STRICT, FormPolicy.WARN):
+                raise EngineError(
+                    message + "; fix the access rules or the completion formula"
+                )
+            warnings.append(message)
+            return
+        # undecided
+        message = (
+            f"the {property_name} analysis of form {form_id!r} was inconclusive "
+            "within the configured exploration limits"
+        )
+        if self.policy is FormPolicy.STRICT:
+            raise EngineError(message)
+        warnings.append(message)
+
+    # ------------------------------------------------------------------ #
+    # lookup and sessions
+    # ------------------------------------------------------------------ #
+
+    def forms(self) -> list[str]:
+        """Identifiers of all registered forms."""
+        return sorted(self._forms)
+
+    def registration(self, form_id: str) -> RegisteredForm:
+        """The registration record of *form_id*."""
+        try:
+            return self._forms[form_id]
+        except KeyError as exc:
+            raise EngineError(f"no form registered under id {form_id!r}") from exc
+
+    def open_session(
+        self,
+        form_id: str,
+        instance: Optional[Instance] = None,
+        actor: str = "user",
+    ) -> tuple[str, FormSession]:
+        """Open an editing session for a new (or supplied) instance of a form.
+
+        Returns ``(session_id, session)``.
+        """
+        registration = self.registration(form_id)
+        self._session_counter += 1
+        session_id = f"{form_id}#{self._session_counter}"
+        session = FormSession(registration.guarded_form, instance=instance, actor=actor)
+        self._sessions[session_id] = session
+        return session_id, session
+
+    def session(self, session_id: str) -> FormSession:
+        """Look up an open session."""
+        try:
+            return self._sessions[session_id]
+        except KeyError as exc:
+            raise EngineError(f"no session with id {session_id!r}") from exc
+
+    def sessions(self) -> list[str]:
+        """Identifiers of all open sessions."""
+        return sorted(self._sessions)
+
+    def close_session(self, session_id: str) -> FormSession:
+        """Close a session and return its final state."""
+        try:
+            return self._sessions.pop(session_id)
+        except KeyError as exc:
+            raise EngineError(f"no session with id {session_id!r}") from exc

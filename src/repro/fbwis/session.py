@@ -1,0 +1,146 @@
+"""Live editing sessions for a form instance.
+
+A :class:`FormSession` wraps one instance of a guarded form and enforces the
+access rules on every user update.  It is the executable counterpart of the
+paper's usage scenario — staff edit a web form and the system only offers the
+fields that the instance-dependent access rules currently allow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.guarded_form import Addition, Deletion, GuardedForm, Update
+from repro.core.instance import Instance
+from repro.core.runs import Run
+from repro.core.schema import format_schema_path
+from repro.core.tree import Node
+from repro.exceptions import EngineError, UpdateNotAllowedError
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One entry of a session's audit trail."""
+
+    step: int
+    actor: str
+    description: str
+
+
+class FormSession:
+    """An editing session over one instance of a guarded form.
+
+    The session keeps the current instance, the run (update sequence) that
+    produced it, and an audit trail.  All mutation goes through
+    :meth:`add_field` / :meth:`delete_field` / :meth:`apply`, which refuse
+    updates the access rules do not allow.
+    """
+
+    def __init__(
+        self,
+        guarded_form: GuardedForm,
+        instance: Optional[Instance] = None,
+        actor: str = "user",
+    ) -> None:
+        self._form = guarded_form
+        self._instance = (instance or guarded_form.initial_instance()).copy()
+        self._instance.validate()
+        self._run = Run(guarded_form, [], start=self._instance.copy())
+        self._audit: list[AuditEntry] = []
+        self.default_actor = actor
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def guarded_form(self) -> GuardedForm:
+        """The guarded form this session edits."""
+        return self._form
+
+    def instance(self) -> Instance:
+        """A copy of the current instance."""
+        return self._instance.copy()
+
+    def run(self) -> Run:
+        """A copy of the run performed so far."""
+        return Run(self._form, list(self._run.updates), start=self._run.start.copy())
+
+    def audit_trail(self) -> list[AuditEntry]:
+        """The audit entries recorded so far."""
+        return list(self._audit)
+
+    def is_complete(self) -> bool:
+        """Whether the current instance satisfies the completion formula."""
+        return self._form.is_complete(self._instance)
+
+    def permitted_updates(self) -> list[Update]:
+        """The updates the access rules currently allow (what a UI would
+        offer to the user)."""
+        return self._form.enabled_updates(self._instance)
+
+    def describe_permitted_updates(self) -> list[str]:
+        """Human-readable versions of :meth:`permitted_updates`."""
+        return [update.describe(self._instance) for update in self.permitted_updates()]
+
+    def find(self, path: str) -> Optional[Node]:
+        """Find a node of the current instance by label path (first match)."""
+        return self._instance.find_path(path)
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def apply(self, update: Update, actor: Optional[str] = None) -> None:
+        """Apply *update* if the access rules allow it.
+
+        Raises:
+            UpdateNotAllowedError: when the rules forbid the update.
+        """
+        if not self._form.is_update_allowed(self._instance, update):
+            raise UpdateNotAllowedError(
+                f"{update.describe(self._instance)} is not allowed in the "
+                "current state"
+            )
+        description = update.describe(self._instance)
+        self._form.apply_unchecked(self._instance, update, in_place=True)
+        self._run.updates.append(update)
+        self._audit.append(
+            AuditEntry(len(self._audit) + 1, actor or self.default_actor, description)
+        )
+
+    def add_field(self, parent_path: str, label: str, actor: Optional[str] = None) -> Node:
+        """Add a *label* field under the (first) node at *parent_path*.
+
+        Returns the created node.
+        """
+        parent = self._instance.find_path(parent_path)
+        if parent is None:
+            raise EngineError(
+                f"the current instance has no node at path {parent_path!r}"
+            )
+        update = Addition(parent.node_id, label)
+        self.apply(update, actor=actor)
+        added = parent.children_with_label(label)[-1]
+        return added
+
+    def delete_field(self, path: str, actor: Optional[str] = None) -> None:
+        """Delete the (first) leaf node at *path*."""
+        node = self._instance.find_path(path)
+        if node is None:
+            raise EngineError(f"the current instance has no node at path {path!r}")
+        self.apply(Deletion(node.node_id), actor=actor)
+
+    def summary(self) -> str:
+        """A short textual summary of the session state."""
+        fields = sorted(
+            format_schema_path(node.label_path())
+            for node in self._instance.nodes()
+            if not node.is_root()
+        )
+        status = "complete" if self.is_complete() else "in progress"
+        return (
+            f"{self._form.name}: {status}; fields present: "
+            + (", ".join(fields) if fields else "(none)")
+        )

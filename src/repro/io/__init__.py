@@ -1,0 +1,47 @@
+"""Serialisation and rendering utilities.
+
+* :mod:`repro.io.serialization` — dict/JSON round-tripping of schemas,
+  instances, rule tables and guarded forms;
+* :mod:`repro.io.render` — ASCII rendering of trees (regenerating the paper's
+  Figures 1–3 as text), rule tables and Table 1;
+* :mod:`repro.io.dot` — Graphviz DOT export of schemas, instances and
+  extracted workflows.
+"""
+
+from repro.io.dot import instance_to_dot, lts_to_dot, schema_to_dot
+from repro.io.render import (
+    render_instance,
+    render_rule_table,
+    render_schema,
+    render_table,
+    render_table1,
+)
+from repro.io.serialization import (
+    guarded_form_from_dict,
+    guarded_form_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    load_guarded_form,
+    save_guarded_form,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+__all__ = [
+    "schema_to_dot",
+    "instance_to_dot",
+    "lts_to_dot",
+    "render_schema",
+    "render_instance",
+    "render_rule_table",
+    "render_table",
+    "render_table1",
+    "schema_to_dict",
+    "schema_from_dict",
+    "instance_to_dict",
+    "instance_from_dict",
+    "guarded_form_to_dict",
+    "guarded_form_from_dict",
+    "save_guarded_form",
+    "load_guarded_form",
+]

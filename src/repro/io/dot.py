@@ -1,0 +1,61 @@
+"""Graphviz DOT export.
+
+The fb-wis setting calls for showing users the workflow their access rules
+imply; these helpers produce DOT text for schemas, instances and extracted
+workflow LTSs that can be rendered with any Graphviz installation (the
+library itself never shells out — it only produces text).
+"""
+
+from __future__ import annotations
+
+from repro.core.tree import LabelledTree
+from repro.workflow.lts import LabelledTransitionSystem
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def tree_to_dot(tree: LabelledTree, name: str = "tree") -> str:
+    """DOT digraph of a rooted node-labelled tree."""
+    lines = [f'digraph "{_escape(name)}" {{', "  node [shape=ellipse];"]
+    for node in tree.nodes():
+        lines.append(f'  n{node.node_id} [label="{_escape(node.label)}"];')
+    for parent, child in tree.edges():
+        lines.append(f"  n{parent.node_id} -> n{child.node_id};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schema_to_dot(schema: LabelledTree, name: str = "schema") -> str:
+    """DOT rendering of a schema."""
+    return tree_to_dot(schema, name)
+
+
+def instance_to_dot(instance: LabelledTree, name: str = "instance") -> str:
+    """DOT rendering of an instance."""
+    return tree_to_dot(instance, name)
+
+
+def lts_to_dot(lts: LabelledTransitionSystem, name: str = "workflow") -> str:
+    """DOT rendering of an extracted workflow LTS.
+
+    The initial state is drawn with a double border, accepting (complete)
+    states are filled.
+    """
+    lines = [f'digraph "{_escape(name)}" {{', "  rankdir=LR;", "  node [shape=box];"]
+    ids = {state: f"s{index}" for index, state in enumerate(sorted(lts.states, key=repr))}
+    for state, node_id in ids.items():
+        attributes = [f'label="{_escape(str(state))}"']
+        if state == lts.initial:
+            attributes.append("peripheries=2")
+        if state in lts.accepting:
+            attributes.append('style=filled, fillcolor="lightgrey"')
+        lines.append(f"  {node_id} [{', '.join(attributes)}];")
+    for transition in lts.transitions:
+        lines.append(
+            f"  {ids[transition.source]} -> {ids[transition.target]} "
+            f'[label="{_escape(transition.action)}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""ASCII rendering of trees, rule tables and result tables.
+
+The paper's three figures are tree drawings (the leave-application schema and
+instances, and a canonical-instance example); :func:`render_schema` and
+:func:`render_instance` regenerate them as indented ASCII trees, which is what
+the quickstart example and the Figure benchmarks print.  :func:`render_table1`
+prints the paper's Table 1 (from :data:`repro.core.fragments.TABLE1`) and
+:func:`render_table` is a small generic column formatter used by the benchmark
+harness for its "paper vs. measured" reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.access import RuleTable
+from repro.core.fragments import table1_rows
+from repro.core.schema import format_schema_path
+from repro.core.tree import LabelledTree, Node
+
+
+def render_tree(tree: LabelledTree, title: str = "") -> str:
+    """Indented ASCII drawing of a rooted node-labelled tree."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+
+    def draw(node: Node, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(node.label)
+        else:
+            connector = "`-- " if is_last else "|-- "
+            lines.append(prefix + connector + node.label)
+        child_prefix = prefix if is_root else prefix + ("    " if is_last else "|   ")
+        children = node.children
+        for index, child in enumerate(children):
+            draw(child, child_prefix, index == len(children) - 1, False)
+
+    draw(tree.root, "", True, True)
+    return "\n".join(lines)
+
+
+def render_schema(schema: LabelledTree, title: str = "Schema") -> str:
+    """ASCII rendering of a schema (regenerates Figure 1 for the catalogue's
+    leave application)."""
+    return render_tree(schema, title)
+
+
+def render_instance(instance: LabelledTree, title: str = "Instance") -> str:
+    """ASCII rendering of an instance (regenerates Figure 2 / Figure 3)."""
+    return render_tree(instance, title)
+
+
+def render_rule_table(rules: RuleTable, title: str = "Access rules") -> str:
+    """Tabular rendering of an access-rule table (Example 3.12 style)."""
+    rows = []
+    for right, path, formula in rules.items():
+        rows.append((f"A({right}, {format_schema_path(path)})", formula.to_text()))
+    return render_table(["rule", "formula"], rows, title=title)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width text table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(format_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def render_table1() -> str:
+    """The paper's Table 1 (complexity of the two decision problems)."""
+    rows = []
+    for fragment, entry in table1_rows():
+        completability = entry.completability + (" (open)" if entry.completability_open else "")
+        semisoundness = entry.semisoundness + (" (open)" if entry.semisoundness_open else "")
+        rows.append((fragment.name, completability, semisoundness))
+    return render_table(
+        ["Fragment", "Completability", "Semi-Soundness"],
+        rows,
+        title="Table 1: Summary of the complexity results",
+    )

@@ -1,0 +1,125 @@
+"""Dict/JSON serialisation of the core objects.
+
+The serialised representations are deliberately plain (nested dicts, formula
+strings in the concrete syntax of :mod:`repro.core.formulas.parser`) so that
+form definitions can be stored, versioned and exchanged — the fb-wis setting
+assumes form definitions travel between peers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.core.access import RuleTable
+from repro.core.guarded_form import GuardedForm
+from repro.core.instance import Instance
+from repro.core.labels import ROOT_LABEL
+from repro.core.schema import Schema
+from repro.core.tree import Node, Shape
+from repro.exceptions import SerializationError
+
+
+# --------------------------------------------------------------------------- #
+# schemas
+# --------------------------------------------------------------------------- #
+
+
+def schema_to_dict(schema: Schema) -> dict:
+    """Nested-dict representation of a schema (inverse of ``Schema.from_dict``)."""
+    return schema.to_dict()
+
+
+def schema_from_dict(data: dict) -> Schema:
+    """Rebuild a schema from :func:`schema_to_dict` output."""
+    if not isinstance(data, dict):
+        raise SerializationError("a schema must be encoded as a nested dict")
+    return Schema.from_dict(data)
+
+
+# --------------------------------------------------------------------------- #
+# instances
+# --------------------------------------------------------------------------- #
+
+
+def _node_to_dict(node: Node) -> dict:
+    return {"label": node.label, "children": [_node_to_dict(child) for child in node.children]}
+
+
+def instance_to_dict(instance: Instance) -> dict:
+    """Nested-dict representation of an instance tree."""
+    return _node_to_dict(instance.root)
+
+
+def _dict_to_shape(data: dict) -> Shape:
+    try:
+        label = data["label"]
+        children = data.get("children", [])
+    except (TypeError, KeyError) as exc:
+        raise SerializationError("an instance node needs a 'label' key") from exc
+    return (label, tuple(sorted(_dict_to_shape(child) for child in children)))
+
+
+def instance_from_dict(data: dict, schema: Schema) -> Instance:
+    """Rebuild an instance (validated against *schema*)."""
+    shape = _dict_to_shape(data)
+    if shape[0] != ROOT_LABEL:
+        raise SerializationError(f"instance root must be labelled {ROOT_LABEL!r}")
+    return Instance.from_shape(schema, shape)
+
+
+# --------------------------------------------------------------------------- #
+# guarded forms
+# --------------------------------------------------------------------------- #
+
+
+def guarded_form_to_dict(guarded_form: GuardedForm) -> dict:
+    """Serialise a guarded form (schema, rules, initial instance, completion)."""
+    return {
+        "name": guarded_form.name,
+        "schema": schema_to_dict(guarded_form.schema),
+        "rules": {
+            path: list(pair) for path, pair in guarded_form.rules.to_dict().items()
+        },
+        "initial_instance": instance_to_dict(guarded_form.initial_instance()),
+        "completion": guarded_form.completion.to_text(unicode_ops=False),
+    }
+
+
+def guarded_form_from_dict(data: dict) -> GuardedForm:
+    """Rebuild a guarded form from :func:`guarded_form_to_dict` output."""
+    try:
+        schema = schema_from_dict(data["schema"])
+        rules_data = data["rules"]
+        completion = data["completion"]
+    except KeyError as exc:
+        raise SerializationError(f"guarded form serialisation misses key {exc}") from exc
+    rules = RuleTable.from_dict(schema, {path: tuple(pair) for path, pair in rules_data.items()})
+    initial: Optional[Instance] = None
+    if data.get("initial_instance") is not None:
+        initial = instance_from_dict(data["initial_instance"], schema)
+    return GuardedForm(
+        schema,
+        rules,
+        completion=completion,
+        initial_instance=initial,
+        name=data.get("name", "guarded form"),
+    )
+
+
+def save_guarded_form(guarded_form: GuardedForm, path: "str | Path") -> None:
+    """Write a guarded form to a JSON file."""
+    Path(path).write_text(
+        json.dumps(guarded_form_to_dict(guarded_form), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+
+
+def load_guarded_form(path: "str | Path") -> GuardedForm:
+    """Load a guarded form from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path} is not valid JSON: {exc}") from exc
+    return guarded_form_from_dict(data)

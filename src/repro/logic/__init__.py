@@ -1,0 +1,52 @@
+"""Propositional and quantified-Boolean logic substrates.
+
+The complexity results of the paper are established by reductions from SAT
+(Theorems 5.1 and 5.6), QSAT/QBF (Corollary 4.5, Theorem 5.3) and the halting
+problem of two-counter machines (Theorem 4.1).  To validate those reductions
+end-to-end, this package provides independent implementations of the source
+problems:
+
+* :mod:`repro.logic.propositional` — propositional formulas and CNF;
+* :mod:`repro.logic.dpll` — a DPLL SAT solver;
+* :mod:`repro.logic.qbf` — quantified Boolean formulas and a recursive
+  evaluator.
+
+The two-counter machine substrate lives in
+:mod:`repro.reductions.counter_machine` next to its reduction.
+"""
+
+from repro.logic.propositional import (
+    CnfFormula,
+    Clause,
+    Literal,
+    PropAnd,
+    PropAtom,
+    PropFalse,
+    PropFormula,
+    PropNot,
+    PropOr,
+    PropTrue,
+    random_cnf,
+)
+from repro.logic.dpll import dpll_satisfiable, enumerate_models
+from repro.logic.qbf import QBF, QuantifierBlock, evaluate_qbf, random_qbf
+
+__all__ = [
+    "CnfFormula",
+    "Clause",
+    "Literal",
+    "PropAnd",
+    "PropAtom",
+    "PropFalse",
+    "PropFormula",
+    "PropNot",
+    "PropOr",
+    "PropTrue",
+    "random_cnf",
+    "dpll_satisfiable",
+    "enumerate_models",
+    "QBF",
+    "QuantifierBlock",
+    "evaluate_qbf",
+    "random_qbf",
+]

@@ -1,0 +1,125 @@
+"""A DPLL SAT solver (independent oracle for the SAT reductions).
+
+Theorems 5.1 and 5.6 reduce SAT to completability / non-semi-soundness of
+guarded forms.  To validate those reductions the test-suite compares the
+guarded-form decision procedures against this solver, which is implemented
+independently of the rest of the library (unit propagation + pure-literal
+elimination + splitting).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.logic.propositional import Clause, CnfFormula, Literal
+
+Assignment = dict[str, bool]
+
+#: Internal clause representation: a frozenset of (variable, polarity) pairs.
+_FrozenClause = frozenset
+
+
+def dpll_satisfiable(cnf: CnfFormula) -> Optional[Assignment]:
+    """Return a satisfying assignment of *cnf*, or ``None`` if unsatisfiable.
+
+    Variables not mentioned in the formula are absent from the returned
+    assignment (callers should treat missing variables as "don't care").
+    """
+    clauses = [
+        frozenset((lit.variable, lit.positive) for lit in clause) for clause in cnf
+    ]
+    assignment: Assignment = {}
+    result = _dpll(clauses, assignment)
+    return result
+
+
+def is_satisfiable(cnf: CnfFormula) -> bool:
+    """Boolean form of :func:`dpll_satisfiable`."""
+    return dpll_satisfiable(cnf) is not None
+
+
+def _dpll(clauses: list[_FrozenClause], assignment: Assignment) -> Optional[Assignment]:
+    clauses = _simplify(clauses, assignment)
+    if clauses is None:
+        return None
+    if not clauses:
+        return dict(assignment)
+
+    # unit propagation
+    unit = next((clause for clause in clauses if len(clause) == 1), None)
+    if unit is not None:
+        variable, polarity = next(iter(unit))
+        assignment[variable] = polarity
+        result = _dpll(clauses, assignment)
+        if result is None:
+            del assignment[variable]
+        return result
+
+    # pure literal elimination
+    polarities: dict[str, set[bool]] = {}
+    for clause in clauses:
+        for variable, polarity in clause:
+            polarities.setdefault(variable, set()).add(polarity)
+    for variable, seen in polarities.items():
+        if len(seen) == 1:
+            assignment[variable] = next(iter(seen))
+            result = _dpll(clauses, assignment)
+            if result is None:
+                del assignment[variable]
+            return result
+
+    # splitting on the most frequent variable
+    counts: dict[str, int] = {}
+    for clause in clauses:
+        for variable, _ in clause:
+            counts[variable] = counts.get(variable, 0) + 1
+    variable = max(counts, key=counts.get)  # type: ignore[arg-type]
+    for value in (True, False):
+        assignment[variable] = value
+        result = _dpll(clauses, assignment)
+        if result is not None:
+            return result
+        del assignment[variable]
+    return None
+
+
+def _simplify(
+    clauses: list[_FrozenClause], assignment: Assignment
+) -> Optional[list[_FrozenClause]]:
+    """Apply *assignment* to *clauses*; return ``None`` on an empty clause."""
+    simplified: list[_FrozenClause] = []
+    for clause in clauses:
+        satisfied = False
+        remaining = []
+        for variable, polarity in clause:
+            if variable in assignment:
+                if assignment[variable] == polarity:
+                    satisfied = True
+                    break
+            else:
+                remaining.append((variable, polarity))
+        if satisfied:
+            continue
+        if not remaining:
+            return None
+        simplified.append(frozenset(remaining))
+    return simplified
+
+
+def enumerate_models(cnf: CnfFormula, variables: Optional[list[str]] = None) -> Iterator[Assignment]:
+    """Enumerate *all* total assignments over *variables* satisfying *cnf*.
+
+    Brute force (2^n); used in tests to cross-check the solver and the
+    guarded-form reductions on small inputs.
+    """
+    names = sorted(variables if variables is not None else cnf.variables())
+    total = len(names)
+    for mask in range(1 << total):
+        assignment = {name: bool(mask >> i & 1) for i, name in enumerate(names)}
+        if cnf.satisfied_by(assignment):
+            yield assignment
+
+
+def count_models(cnf: CnfFormula, variables: Optional[list[str]] = None) -> int:
+    """Number of satisfying total assignments (brute force; tests only)."""
+    return sum(1 for _ in enumerate_models(cnf, variables))

@@ -1,0 +1,274 @@
+"""Propositional formulas and CNF (substrate for Theorems 5.1 and 5.6).
+
+Two representations are provided:
+
+* a general propositional formula AST (:class:`PropFormula` and friends),
+  used when translating guarded-form formulas over depth-1 instances into
+  propositional logic;
+* a clausal representation (:class:`CnfFormula`), used by the SAT reductions
+  of the paper (which start from 3-CNF) and by the DPLL solver.
+
+A seeded random 3-CNF generator (:func:`random_cnf`) supplies benchmark
+workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import ReductionError
+
+Assignment = Mapping[str, bool]
+
+
+# --------------------------------------------------------------------------- #
+# formula AST
+# --------------------------------------------------------------------------- #
+
+
+class PropFormula:
+    """Base class of propositional formulas."""
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        """Truth value under *assignment* (missing variables default to False)."""
+        raise NotImplementedError
+
+    def variables(self) -> set[str]:
+        """The set of variable names occurring in the formula."""
+        raise NotImplementedError
+
+    def __and__(self, other: "PropFormula") -> "PropAnd":
+        return PropAnd(self, other)
+
+    def __or__(self, other: "PropFormula") -> "PropOr":
+        return PropOr(self, other)
+
+    def __invert__(self) -> "PropNot":
+        return PropNot(self)
+
+
+@dataclass(frozen=True)
+class PropTrue(PropFormula):
+    """The constant true."""
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return True
+
+    def variables(self) -> set[str]:
+        return set()
+
+
+@dataclass(frozen=True)
+class PropFalse(PropFormula):
+    """The constant false."""
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return False
+
+    def variables(self) -> set[str]:
+        return set()
+
+
+@dataclass(frozen=True)
+class PropAtom(PropFormula):
+    """A propositional variable."""
+
+    name: str
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return bool(assignment.get(self.name, False))
+
+    def variables(self) -> set[str]:
+        return {self.name}
+
+
+@dataclass(frozen=True)
+class PropNot(PropFormula):
+    """Negation."""
+
+    operand: PropFormula
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def variables(self) -> set[str]:
+        return self.operand.variables()
+
+
+@dataclass(frozen=True)
+class PropAnd(PropFormula):
+    """Conjunction."""
+
+    left: PropFormula
+    right: PropFormula
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return self.left.evaluate(assignment) and self.right.evaluate(assignment)
+
+    def variables(self) -> set[str]:
+        return self.left.variables() | self.right.variables()
+
+
+@dataclass(frozen=True)
+class PropOr(PropFormula):
+    """Disjunction."""
+
+    left: PropFormula
+    right: PropFormula
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return self.left.evaluate(assignment) or self.right.evaluate(assignment)
+
+    def variables(self) -> set[str]:
+        return self.left.variables() | self.right.variables()
+
+
+def prop_conj(formulas: Iterable[PropFormula]) -> PropFormula:
+    """Conjunction of an iterable of formulas (true when empty)."""
+    result: PropFormula | None = None
+    for formula in formulas:
+        result = formula if result is None else PropAnd(result, formula)
+    return result if result is not None else PropTrue()
+
+
+def prop_disj(formulas: Iterable[PropFormula]) -> PropFormula:
+    """Disjunction of an iterable of formulas (false when empty)."""
+    result: PropFormula | None = None
+    for formula in formulas:
+        result = formula if result is None else PropOr(result, formula)
+    return result if result is not None else PropFalse()
+
+
+# --------------------------------------------------------------------------- #
+# CNF
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A propositional literal: a variable or its negation."""
+
+    variable: str
+    positive: bool = True
+
+    def negate(self) -> "Literal":
+        """The complementary literal."""
+        return Literal(self.variable, not self.positive)
+
+    def satisfied_by(self, assignment: Assignment) -> bool:
+        """Truth of the literal under *assignment* (missing → False)."""
+        value = bool(assignment.get(self.variable, False))
+        return value if self.positive else not value
+
+    def __str__(self) -> str:
+        return self.variable if self.positive else f"¬{self.variable}"
+
+
+class Clause:
+    """A disjunction of literals."""
+
+    def __init__(self, literals: Iterable[Literal]) -> None:
+        self.literals: tuple[Literal, ...] = tuple(literals)
+        if not self.literals:
+            raise ReductionError("a clause needs at least one literal")
+
+    def variables(self) -> set[str]:
+        return {literal.variable for literal in self.literals}
+
+    def satisfied_by(self, assignment: Assignment) -> bool:
+        return any(literal.satisfied_by(assignment) for literal in self.literals)
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __str__(self) -> str:
+        return "(" + " ∨ ".join(str(lit) for lit in self.literals) + ")"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clause({self})"
+
+
+class CnfFormula:
+    """A propositional formula in conjunctive normal form."""
+
+    def __init__(self, clauses: Iterable[Clause]) -> None:
+        self.clauses: tuple[Clause, ...] = tuple(clauses)
+
+    @classmethod
+    def from_ints(cls, clause_lists: Sequence[Sequence[int]], prefix: str = "x") -> "CnfFormula":
+        """Build a CNF from DIMACS-style integer clauses.
+
+        Positive integer ``i`` denotes the variable ``f"{prefix}{i}"``; a
+        negative integer denotes its negation.
+        """
+        clauses = []
+        for ints in clause_lists:
+            literals = []
+            for value in ints:
+                if value == 0:
+                    raise ReductionError("0 is not a valid DIMACS literal")
+                literals.append(Literal(f"{prefix}{abs(value)}", value > 0))
+            clauses.append(Clause(literals))
+        return cls(clauses)
+
+    def variables(self) -> set[str]:
+        names: set[str] = set()
+        for clause in self.clauses:
+            names |= clause.variables()
+        return names
+
+    def satisfied_by(self, assignment: Assignment) -> bool:
+        return all(clause.satisfied_by(assignment) for clause in self.clauses)
+
+    def to_formula(self) -> PropFormula:
+        """The equivalent :class:`PropFormula`."""
+        return prop_conj(
+            prop_disj(
+                PropAtom(lit.variable) if lit.positive else PropNot(PropAtom(lit.variable))
+                for lit in clause
+            )
+            for clause in self.clauses
+        )
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __str__(self) -> str:
+        return " ∧ ".join(str(clause) for clause in self.clauses) if self.clauses else "true"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CnfFormula(clauses={len(self.clauses)}, variables={len(self.variables())})"
+
+
+def random_cnf(
+    num_variables: int,
+    num_clauses: int,
+    clause_size: int = 3,
+    seed: int | None = None,
+    prefix: str = "x",
+) -> CnfFormula:
+    """Generate a random k-CNF formula (benchmark workload generator).
+
+    Clauses draw *clause_size* distinct variables uniformly and negate each
+    with probability one half.  A fixed *seed* makes the workload
+    reproducible.
+    """
+    if num_variables < clause_size:
+        raise ReductionError(
+            f"cannot draw {clause_size} distinct variables from {num_variables}"
+        )
+    rng = random.Random(seed)
+    variables = [f"{prefix}{i + 1}" for i in range(num_variables)]
+    clauses = []
+    for _ in range(num_clauses):
+        chosen = rng.sample(variables, clause_size)
+        clauses.append(Clause(Literal(var, rng.random() < 0.5) for var in chosen))
+    return CnfFormula(clauses)

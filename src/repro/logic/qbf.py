@@ -1,0 +1,187 @@
+"""Quantified Boolean formulas (substrate for Corollary 4.5 and Theorem 5.3).
+
+The paper reduces QSAT (the validity problem of quantified Boolean formulas)
+to formula satisfiability (Corollary 4.5) and QSAT₂ₖ (formulas with ``2k``
+alternating quantifier blocks starting with ∃) to non-semi-soundness of
+guarded forms with positive access rules and depth ``k`` (Theorem 5.3).
+
+This module provides the QBF model in *prenex* form — an alternating list of
+quantifier blocks over a propositional matrix — plus a recursive evaluator
+used as the independent oracle when validating those reductions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.exceptions import ReductionError
+from repro.logic.propositional import CnfFormula, PropFormula, random_cnf
+
+
+@dataclass(frozen=True)
+class QuantifierBlock:
+    """A block of identically quantified variables (``∃x1…xn`` or ``∀y1…yn``)."""
+
+    quantifier: str  # "exists" or "forall"
+    variables: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.quantifier not in ("exists", "forall"):
+            raise ReductionError(
+                f"quantifier must be 'exists' or 'forall', got {self.quantifier!r}"
+            )
+        if not self.variables:
+            raise ReductionError("a quantifier block needs at least one variable")
+
+
+class QBF:
+    """A prenex quantified Boolean formula.
+
+    Attributes:
+        blocks: alternating quantifier blocks, outermost first.
+        matrix: the quantifier-free matrix (a :class:`PropFormula` or a
+            :class:`CnfFormula`).
+    """
+
+    def __init__(self, blocks: Sequence[QuantifierBlock], matrix: "PropFormula | CnfFormula") -> None:
+        self.blocks: tuple[QuantifierBlock, ...] = tuple(blocks)
+        self.matrix = matrix
+        bound = [v for block in self.blocks for v in block.variables]
+        if len(bound) != len(set(bound)):
+            raise ReductionError("a variable is bound by two quantifier blocks")
+        free = self._matrix_variables() - set(bound)
+        if free:
+            raise ReductionError(f"matrix mentions unbound variables: {sorted(free)}")
+
+    def _matrix_variables(self) -> set[str]:
+        return set(self.matrix.variables())
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of quantifier blocks."""
+        return len(self.blocks)
+
+    def is_strictly_alternating(self) -> bool:
+        """True when consecutive blocks use different quantifiers."""
+        return all(
+            self.blocks[i].quantifier != self.blocks[i + 1].quantifier
+            for i in range(len(self.blocks) - 1)
+        )
+
+    def starts_with_exists(self) -> bool:
+        """True when the outermost block is existential (QSAT₂ₖ shape)."""
+        return bool(self.blocks) and self.blocks[0].quantifier == "exists"
+
+    def matrix_satisfied_by(self, assignment: dict[str, bool]) -> bool:
+        """Truth value of the matrix under a total assignment."""
+        if isinstance(self.matrix, CnfFormula):
+            return self.matrix.satisfied_by(assignment)
+        return self.matrix.evaluate(assignment)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        blocks = " ".join(
+            ("∃" if block.quantifier == "exists" else "∀") + ",".join(block.variables)
+            for block in self.blocks
+        )
+        return f"QBF({blocks} : {self.matrix})"
+
+
+def evaluate_qbf(qbf: QBF) -> bool:
+    """Decide the truth of *qbf* by recursive expansion (the PSPACE textbook
+    algorithm).  Exponential in the number of variables — this is the
+    independent oracle used by the tests, not a competitive QBF solver."""
+    return _evaluate(qbf, 0, 0, {})
+
+
+def _evaluate(qbf: QBF, block_index: int, var_index: int, assignment: dict[str, bool]) -> bool:
+    if block_index == len(qbf.blocks):
+        return qbf.matrix_satisfied_by(assignment)
+    block = qbf.blocks[block_index]
+    if var_index == len(block.variables):
+        return _evaluate(qbf, block_index + 1, 0, assignment)
+    variable = block.variables[var_index]
+    results = []
+    for value in (False, True):
+        assignment[variable] = value
+        results.append(_evaluate(qbf, block_index, var_index + 1, assignment))
+        del assignment[variable]
+    if block.quantifier == "exists":
+        return any(results)
+    return all(results)
+
+
+def qsat_2k(
+    existential_blocks: Sequence[Sequence[str]],
+    universal_blocks: Sequence[Sequence[str]],
+    matrix: "PropFormula | CnfFormula",
+) -> QBF:
+    """Build a QSAT₂ₖ instance ``∃X₁∀Y₁ … ∃Xₖ∀Yₖ ψ`` (the input shape of
+    Theorem 5.3)."""
+    if len(existential_blocks) != len(universal_blocks):
+        raise ReductionError(
+            "QSAT_2k needs the same number of existential and universal blocks"
+        )
+    blocks: list[QuantifierBlock] = []
+    for exists_vars, forall_vars in zip(existential_blocks, universal_blocks):
+        blocks.append(QuantifierBlock("exists", tuple(exists_vars)))
+        blocks.append(QuantifierBlock("forall", tuple(forall_vars)))
+    return QBF(blocks, matrix)
+
+
+def pad_blocks_to_uniform_size(qbf: QBF) -> QBF:
+    """Return an equivalent QBF whose blocks all have the same number of
+    variables (the proof of Theorem 5.3 assumes this without loss of
+    generality); padding variables are fresh and unconstrained."""
+    if not qbf.blocks:
+        return qbf
+    width = max(len(block.variables) for block in qbf.blocks)
+    used = {v for block in qbf.blocks for v in block.variables}
+    blocks = []
+    counter = 0
+    for block in qbf.blocks:
+        variables = list(block.variables)
+        while len(variables) < width:
+            counter += 1
+            candidate = f"_pad{counter}"
+            while candidate in used:
+                counter += 1
+                candidate = f"_pad{counter}"
+            used.add(candidate)
+            variables.append(candidate)
+        blocks.append(QuantifierBlock(block.quantifier, tuple(variables)))
+    return QBF(blocks, qbf.matrix)
+
+
+def random_qbf(
+    num_blocks: int,
+    block_size: int,
+    num_clauses: int,
+    seed: int | None = None,
+) -> QBF:
+    """Generate a random prenex QBF with alternating blocks (∃ first) over a
+    random 3-CNF matrix; benchmark workload generator for Corollary 4.5."""
+    if num_blocks < 1 or block_size < 1:
+        raise ReductionError("need at least one block with at least one variable")
+    rng = random.Random(seed)
+    blocks = []
+    variables: list[str] = []
+    for index in range(num_blocks):
+        names = tuple(f"b{index}_{j}" for j in range(block_size))
+        variables.extend(names)
+        quantifier = "exists" if index % 2 == 0 else "forall"
+        blocks.append(QuantifierBlock(quantifier, names))
+    clause_size = min(3, len(variables))
+    cnf = random_cnf(len(variables), num_clauses, clause_size, seed=rng.randint(0, 2**30))
+    # remap the generated variable names onto the quantified variables
+    mapping = {f"x{i + 1}": variables[i] for i in range(len(variables))}
+    remapped = CnfFormula(
+        [
+            type(clause)(
+                type(lit)(mapping[lit.variable], lit.positive) for lit in clause
+            )
+            for clause in cnf
+        ]
+    )
+    return QBF(blocks, remapped)

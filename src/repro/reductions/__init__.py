@@ -1,0 +1,77 @@
+"""The paper's reductions, together with the source-problem substrates.
+
+Every hardness result in the paper is established by a reduction; this
+package makes each of them executable and pairs it with an independent
+implementation of the source problem so the reductions can be validated end
+to end:
+
+===========================  =================================================
+paper result                 modules
+===========================  =================================================
+Theorem 4.1 / Corollary 4.2  :mod:`repro.reductions.counter_machine` (two-
+                             counter machines + interpreter),
+                             :mod:`repro.reductions.two_counter` (reduction to
+                             completability / semi-soundness)
+Theorem 5.1 / Theorem 5.6    :mod:`repro.logic` (CNF + DPLL),
+                             :mod:`repro.reductions.sat_reductions`
+Corollary 4.5 / Theorem 5.3  :mod:`repro.logic.qbf` (QBF + evaluator),
+                             :mod:`repro.reductions.qsat_reductions`
+Theorem 4.6                  :mod:`repro.reductions.deadlock` (reachable
+                             deadlock problem + checker + reduction)
+Corollary 4.2, §4.2,         :mod:`repro.reductions.transformations`
+Corollary 4.7                (deletion elimination, positive completion,
+                             completability → semi-soundness)
+===========================  =================================================
+"""
+
+from repro.reductions.counter_machine import (
+    CounterMachineRun,
+    TwoCounterMachine,
+    counting_machine,
+    diverging_machine,
+    transfer_machine,
+)
+from repro.reductions.deadlock import (
+    DeadlockProblem,
+    deadlock_reachable,
+    deadlock_to_completability,
+    random_deadlock_problem,
+)
+from repro.reductions.qsat_reductions import (
+    qbf_to_satisfiability_formula,
+    qsat2k_to_semisoundness,
+)
+from repro.reductions.sat_reductions import (
+    sat_to_completability,
+    sat_to_non_semisoundness,
+)
+from repro.reductions.transformations import (
+    completability_to_semisoundness,
+    eliminate_deletions,
+    make_completion_positive,
+)
+from repro.reductions.two_counter import (
+    configuration_of_instance,
+    two_counter_to_guarded_form,
+)
+
+__all__ = [
+    "TwoCounterMachine",
+    "CounterMachineRun",
+    "counting_machine",
+    "diverging_machine",
+    "transfer_machine",
+    "two_counter_to_guarded_form",
+    "configuration_of_instance",
+    "sat_to_completability",
+    "sat_to_non_semisoundness",
+    "qbf_to_satisfiability_formula",
+    "qsat2k_to_semisoundness",
+    "DeadlockProblem",
+    "deadlock_reachable",
+    "deadlock_to_completability",
+    "random_deadlock_problem",
+    "eliminate_deletions",
+    "make_completion_positive",
+    "completability_to_semisoundness",
+]

@@ -1,0 +1,277 @@
+"""Two-counter machines (the source problem of Theorem 4.1).
+
+The paper models an inputless two-counter machine as a triple ``(Q, F, δ)``
+with a deterministic transition function
+
+    ``δ : Q × {0, +} × {0, +} → Q × {−, 0, +} × {−, 0, +}``
+
+read as: in state ``q``, with each counter tested for zero/non-zero, move to a
+new state and increment/decrement/keep each counter.  The halting problem of
+such machines (on empty input) is undecidable, which is what Theorem 4.1
+transfers to the completability problem.
+
+This module provides the machine model, an interpreter (the independent
+oracle used to validate the reduction of :mod:`repro.reductions.two_counter`),
+and a few concrete machines used by tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro.exceptions import ReductionError
+
+#: Zero-test outcomes for a counter.
+ZERO = "0"
+POSITIVE = "+"
+
+#: Counter actions.
+DECREMENT = -1
+KEEP = 0
+INCREMENT = 1
+
+#: A transition key: (state, counter-1 test, counter-2 test).
+TransitionKey = tuple[str, str, str]
+#: A transition effect: (next state, counter-1 action, counter-2 action).
+TransitionEffect = tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A configuration ``(q, n, m)`` of a two-counter machine."""
+
+    state: str
+    counter1: int
+    counter2: int
+
+    def __post_init__(self) -> None:
+        if self.counter1 < 0 or self.counter2 < 0:
+            raise ReductionError("counters can never become negative")
+
+    def tests(self) -> tuple[str, str]:
+        """The zero-tests ``(s1, s2)`` of the two counters."""
+        return (
+            POSITIVE if self.counter1 > 0 else ZERO,
+            POSITIVE if self.counter2 > 0 else ZERO,
+        )
+
+
+@dataclass
+class CounterMachineRun:
+    """The result of running a machine for a bounded number of steps."""
+
+    halted: bool
+    accepted: bool
+    steps: int
+    final: Configuration
+    trace: list[Configuration] = field(default_factory=list)
+
+
+class TwoCounterMachine:
+    """An inputless, deterministic two-counter machine ``(Q, F, δ)``.
+
+    The machine halts when it reaches an accepting state, or when no
+    transition is defined for the current (state, zero-test, zero-test)
+    combination; only the former counts as *accepting*.  The reduction of
+    Theorem 4.1 encodes "the machine eventually reaches an accepting state",
+    so :meth:`run` reports both notions.
+    """
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        initial_state: str,
+        accepting_states: Iterable[str],
+        transitions: Mapping[TransitionKey, TransitionEffect],
+    ) -> None:
+        self.states = tuple(dict.fromkeys(states))
+        self.initial_state = initial_state
+        self.accepting_states = frozenset(accepting_states)
+        self.transitions: dict[TransitionKey, TransitionEffect] = dict(transitions)
+        self._validate()
+
+    def _validate(self) -> None:
+        known = set(self.states)
+        if self.initial_state not in known:
+            raise ReductionError(f"initial state {self.initial_state!r} is not a state")
+        unknown_accepting = self.accepting_states - known
+        if unknown_accepting:
+            raise ReductionError(f"accepting states {sorted(unknown_accepting)} are not states")
+        for (state, test1, test2), (target, act1, act2) in self.transitions.items():
+            if state not in known or target not in known:
+                raise ReductionError(
+                    f"transition {(state, test1, test2)} -> {(target, act1, act2)} "
+                    "mentions an unknown state"
+                )
+            if test1 not in (ZERO, POSITIVE) or test2 not in (ZERO, POSITIVE):
+                raise ReductionError("zero tests must be '0' or '+'")
+            if act1 not in (DECREMENT, KEEP, INCREMENT) or act2 not in (
+                DECREMENT,
+                KEEP,
+                INCREMENT,
+            ):
+                raise ReductionError("counter actions must be -1, 0 or +1")
+            if test1 == ZERO and act1 == DECREMENT:
+                raise ReductionError(
+                    "a transition cannot decrement counter 1 when it is tested zero"
+                )
+            if test2 == ZERO and act2 == DECREMENT:
+                raise ReductionError(
+                    "a transition cannot decrement counter 2 when it is tested zero"
+                )
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def initial_configuration(self, counter1: int = 0, counter2: int = 0) -> Configuration:
+        """The starting configuration (counters default to zero, i.e. the
+        empty-input halting problem of the paper)."""
+        return Configuration(self.initial_state, counter1, counter2)
+
+    def step(self, configuration: Configuration) -> Optional[Configuration]:
+        """One transition, or ``None`` when the machine is stuck/accepting."""
+        if configuration.state in self.accepting_states:
+            return None
+        key = (configuration.state,) + configuration.tests()
+        effect = self.transitions.get(key)
+        if effect is None:
+            return None
+        target, act1, act2 = effect
+        return Configuration(
+            target,
+            configuration.counter1 + act1,
+            configuration.counter2 + act2,
+        )
+
+    def run(
+        self,
+        max_steps: int,
+        start: Optional[Configuration] = None,
+        keep_trace: bool = False,
+    ) -> CounterMachineRun:
+        """Run for at most *max_steps* transitions.
+
+        ``halted`` is true when the machine stopped (accepting state reached
+        or no transition applicable) before the step budget ran out;
+        ``accepted`` is true when it stopped in an accepting state.
+        """
+        current = start if start is not None else self.initial_configuration()
+        trace = [current] if keep_trace else []
+        for step_index in range(max_steps):
+            successor = self.step(current)
+            if successor is None:
+                return CounterMachineRun(
+                    halted=True,
+                    accepted=current.state in self.accepting_states,
+                    steps=step_index,
+                    final=current,
+                    trace=trace,
+                )
+            current = successor
+            if keep_trace:
+                trace.append(current)
+        return CounterMachineRun(
+            halted=current.state in self.accepting_states or self.step(current) is None,
+            accepted=current.state in self.accepting_states,
+            steps=max_steps,
+            final=current,
+            trace=trace,
+        )
+
+    def reaches_accepting_state(self, max_steps: int) -> Optional[bool]:
+        """Whether the machine reaches an accepting state within *max_steps*
+        transitions; ``None`` when the budget ran out without halting (the
+        question is undecidable in general, so a bounded interpreter can only
+        answer definitely-yes or give up)."""
+        outcome = self.run(max_steps)
+        if outcome.accepted:
+            return True
+        if outcome.halted:
+            return False
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TwoCounterMachine(states={len(self.states)}, "
+            f"transitions={len(self.transitions)})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# concrete machines used by tests, examples and benchmarks
+# --------------------------------------------------------------------------- #
+
+
+def counting_machine(target: int) -> TwoCounterMachine:
+    """A machine that increments counter 1 *target* times and then accepts.
+
+    Halts (accepts) after exactly *target* increment transitions; used to
+    check that the Theorem 4.1 reduction tracks counter values faithfully.
+    """
+    if target < 0:
+        raise ReductionError("target must be non-negative")
+    states = [f"q{i}" for i in range(target + 1)] + ["halt"]
+    transitions: dict[TransitionKey, TransitionEffect] = {}
+    for i in range(target):
+        for test1 in (ZERO, POSITIVE):
+            transitions[(f"q{i}", test1, ZERO)] = (f"q{i + 1}", INCREMENT, KEEP)
+            transitions[(f"q{i}", test1, POSITIVE)] = (f"q{i + 1}", INCREMENT, KEEP)
+    for test1 in (ZERO, POSITIVE):
+        for test2 in (ZERO, POSITIVE):
+            transitions[(f"q{target}", test1, test2)] = ("halt", KEEP, KEEP)
+    return TwoCounterMachine(states, "q0", ["halt"], transitions)
+
+
+def transfer_machine(initial: int) -> TwoCounterMachine:
+    """A machine started with counter 1 = *initial* that moves counter 1 into
+    counter 2 one unit at a time and accepts when counter 1 reaches zero.
+
+    Exercises both the decrement and the increment gadgets of the reduction.
+    Use ``two_counter_to_guarded_form(machine, initial_counter1=initial)``.
+    """
+    transitions: dict[TransitionKey, TransitionEffect] = {
+        ("move", POSITIVE, ZERO): ("move", DECREMENT, INCREMENT),
+        ("move", POSITIVE, POSITIVE): ("move", DECREMENT, INCREMENT),
+        ("move", ZERO, ZERO): ("done", KEEP, KEEP),
+        ("move", ZERO, POSITIVE): ("done", KEEP, KEEP),
+    }
+    del initial  # the starting counter value is supplied when running/reducing
+    return TwoCounterMachine(["move", "done"], "move", ["done"], transitions)
+
+
+def diverging_machine() -> TwoCounterMachine:
+    """A machine that increments counter 1 forever and never accepts.
+
+    Its reduction is a guarded form that is *not* completable; since the
+    property is undecidable in general, only bounded exploration is possible
+    and the benchmarks use this machine to demonstrate exactly that.
+    """
+    transitions: dict[TransitionKey, TransitionEffect] = {
+        ("loop", ZERO, ZERO): ("loop", INCREMENT, KEEP),
+        ("loop", POSITIVE, ZERO): ("loop", INCREMENT, KEEP),
+        ("loop", ZERO, POSITIVE): ("loop", INCREMENT, KEEP),
+        ("loop", POSITIVE, POSITIVE): ("loop", INCREMENT, KEEP),
+    }
+    return TwoCounterMachine(["loop", "halt"], "loop", ["halt"], transitions)
+
+
+def collatz_like_machine() -> TwoCounterMachine:
+    """A small machine with a non-trivial halting pattern: it alternately
+    moves units between the counters, dropping one unit per round, and accepts
+    when both counters are empty.  Used by the examples to show a machine
+    whose halting is not obvious from the transition table alone."""
+    transitions: dict[TransitionKey, TransitionEffect] = {
+        # move counter 1 to counter 2, losing the last unit
+        ("a", POSITIVE, ZERO): ("a", DECREMENT, INCREMENT),
+        ("a", POSITIVE, POSITIVE): ("a", DECREMENT, INCREMENT),
+        ("a", ZERO, POSITIVE): ("b", KEEP, DECREMENT),
+        ("a", ZERO, ZERO): ("halt", KEEP, KEEP),
+        # move counter 2 back to counter 1, losing the last unit
+        ("b", ZERO, POSITIVE): ("b", INCREMENT, DECREMENT),
+        ("b", POSITIVE, POSITIVE): ("b", INCREMENT, DECREMENT),
+        ("b", POSITIVE, ZERO): ("a", DECREMENT, KEEP),
+        ("b", ZERO, ZERO): ("halt", KEEP, KEEP),
+    }
+    return TwoCounterMachine(["a", "b", "halt"], "a", ["halt"], transitions)

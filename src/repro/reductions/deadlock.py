@@ -1,0 +1,269 @@
+"""The reachable-deadlock problem and its reduction to completability.
+
+Theorem 4.6 shows PSPACE-hardness of completability for ``F(A−, φ−, 1)`` by
+reducing the *reachable deadlock* problem:
+
+    given graphs ``G1 … Gk`` with disjoint vertex sets, start vertices
+    ``v1 … vk`` and a set ``T`` of pairs of edges from different graphs, where
+    a configuration ``(a1, …, ak)`` steps to ``(b1, …, bk)`` by moving two
+    components simultaneously along a pair of edges in ``T`` — is a
+    configuration without successors (a deadlock) reachable?
+
+This module provides the problem model (:class:`DeadlockProblem`), an
+explicit-state checker used as the independent oracle
+(:func:`deadlock_reachable`), a seeded random generator for benchmark
+workloads (:func:`random_deadlock_problem`), and the reduction itself
+(:func:`deadlock_to_completability`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.access import RuleTable
+from repro.core.formulas.ast import Bottom, Formula
+from repro.core.formulas.builders import conj, conj_all, disj_all, label, lnot
+from repro.core.guarded_form import GuardedForm
+from repro.core.instance import Instance
+from repro.core.schema import depth_one_schema
+from repro.exceptions import ReductionError
+
+#: A directed edge of one component graph.
+Edge = tuple[str, str]
+#: A synchronised transition: a pair of edges taken simultaneously.
+PairedTransition = tuple[Edge, Edge]
+
+
+@dataclass(frozen=True)
+class DeadlockProblem:
+    """An instance of the reachable-deadlock problem.
+
+    Attributes:
+        components: for each component, the set of its vertices (vertex names
+            must be globally unique across components).
+        initial: the start vertex of each component (``initial[i]`` belongs to
+            ``components[i]``).
+        transitions: the set ``T`` of synchronised edge pairs; both edges of a
+            pair must belong to two *different* components.
+    """
+
+    components: tuple[frozenset, ...]
+    initial: tuple[str, ...]
+    transitions: tuple[PairedTransition, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.components) != len(self.initial):
+            raise ReductionError("need exactly one start vertex per component")
+        seen: set[str] = set()
+        for vertices in self.components:
+            overlap = seen & set(vertices)
+            if overlap:
+                raise ReductionError(f"vertex names reused across components: {sorted(overlap)}")
+            seen |= set(vertices)
+        for index, vertex in enumerate(self.initial):
+            if vertex not in self.components[index]:
+                raise ReductionError(
+                    f"start vertex {vertex!r} does not belong to component {index}"
+                )
+        for (a, b), (c, d) in self.transitions:
+            first = self.component_of(a)
+            second = self.component_of(c)
+            if self.component_of(b) != first or self.component_of(d) != second:
+                raise ReductionError("each edge of a pair must stay within one component")
+            if first == second:
+                raise ReductionError("the two edges of a pair must belong to different components")
+
+    @classmethod
+    def build(
+        cls,
+        components: Sequence[Iterable[str]],
+        initial: Sequence[str],
+        transitions: Iterable[PairedTransition],
+    ) -> "DeadlockProblem":
+        """Convenience constructor accepting plain lists/sets."""
+        return cls(
+            tuple(frozenset(vertices) for vertices in components),
+            tuple(initial),
+            tuple(transitions),
+        )
+
+    def component_of(self, vertex: str) -> int:
+        """Index of the component a vertex belongs to."""
+        for index, vertices in enumerate(self.components):
+            if vertex in vertices:
+                return index
+        raise ReductionError(f"unknown vertex {vertex!r}")
+
+    def vertices(self) -> list[str]:
+        """All vertices, across all components."""
+        result: list[str] = []
+        for vertices in self.components:
+            result.extend(sorted(vertices))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # explicit-state semantics (the oracle)
+    # ------------------------------------------------------------------ #
+
+    def successors(self, configuration: tuple[str, ...]) -> list[tuple[str, ...]]:
+        """All configurations reachable in one synchronised step."""
+        result = []
+        for (a, b), (c, d) in self.transitions:
+            i = self.component_of(a)
+            j = self.component_of(c)
+            if configuration[i] == a and configuration[j] == c:
+                successor = list(configuration)
+                successor[i] = b
+                successor[j] = d
+                result.append(tuple(successor))
+        return result
+
+    def is_deadlock(self, configuration: tuple[str, ...]) -> bool:
+        """Whether *configuration* has no successor."""
+        return not self.successors(configuration)
+
+
+def deadlock_reachable(problem: DeadlockProblem) -> bool:
+    """Explicit-state check whether a deadlock configuration is reachable.
+
+    This is the independent oracle the tests compare the guarded-form
+    reduction against; it enumerates reachable configurations breadth-first
+    (exponential in the number of components, which is exactly why the
+    problem is PSPACE-complete).
+    """
+    start = tuple(problem.initial)
+    seen = {start}
+    frontier = deque([start])
+    while frontier:
+        configuration = frontier.popleft()
+        successors = problem.successors(configuration)
+        if not successors:
+            return True
+        for successor in successors:
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return False
+
+
+def random_deadlock_problem(
+    num_components: int,
+    vertices_per_component: int,
+    num_transitions: int,
+    seed: Optional[int] = None,
+) -> DeadlockProblem:
+    """Generate a random reachable-deadlock instance (benchmark workloads).
+
+    Generated edges never stay in place (``a ≠ b``); the reduction of
+    Theorem 4.6 encodes a move by deleting the source vertex and adding the
+    target vertex, which cannot express a self-loop, and the paper's
+    configuration/transition model does not need them.
+    """
+    if num_components < 2:
+        raise ReductionError("need at least two components")
+    if vertices_per_component < 2:
+        raise ReductionError("need at least two vertices per component")
+    rng = random.Random(seed)
+    components = [
+        [f"g{c}_v{i}" for i in range(vertices_per_component)]
+        for c in range(num_components)
+    ]
+    initial = [component[0] for component in components]
+    transitions: list[PairedTransition] = []
+    for _ in range(num_transitions):
+        i, j = rng.sample(range(num_components), 2)
+        first = tuple(rng.sample(components[i], 2))
+        second = tuple(rng.sample(components[j], 2))
+        transitions.append((first, second))
+    return DeadlockProblem.build(components, initial, transitions)
+
+
+# --------------------------------------------------------------------------- #
+# the reduction of Theorem 4.6
+# --------------------------------------------------------------------------- #
+
+
+def vertex_label(vertex: str) -> str:
+    """Schema label of the field representing a vertex."""
+    return f"v_{vertex}"
+
+
+def transition_node_label(index: int) -> str:
+    """Schema label of the control field of transition *index*."""
+    return f"tr{index}"
+
+
+def deadlock_to_completability(problem: DeadlockProblem) -> GuardedForm:
+    """Theorem 4.6: reduce reachable deadlock to depth-1 completability.
+
+    The resulting guarded form lies in ``F(A−, φ−, 1)`` and is completable iff
+    *problem* has a reachable deadlock.
+    """
+    transitions = list(problem.transitions)
+    vertex_labels = [vertex_label(v) for v in problem.vertices()]
+    control_labels = [transition_node_label(i) for i in range(len(transitions))]
+    schema = depth_one_schema(vertex_labels + control_labels)
+
+    #: conf — no control field is present (the instance encodes a plain
+    #: configuration rather than a transition in progress).
+    conf = (
+        lnot(disj_all(label(name) for name in control_labels))
+        if control_labels
+        else conj()
+    )
+
+    rules = RuleTable(schema)
+
+    # control fields drive the synchronised moves
+    for index, ((a, b), (c, d)) in enumerate(transitions):
+        control = transition_node_label(index)
+        rules.set_add_rule(
+            control, conj(conf, label(vertex_label(a)), label(vertex_label(c)))
+        )
+        rules.set_delete_rule(
+            control,
+            conj(
+                lnot(label(vertex_label(a))),
+                lnot(label(vertex_label(c))),
+                label(vertex_label(b)),
+                label(vertex_label(d)),
+            ),
+        )
+
+    # vertex fields are added/deleted under the direction of the control field
+    for vertex in problem.vertices():
+        added_by = []
+        deleted_by = []
+        for index, ((a, b), (c, d)) in enumerate(transitions):
+            control = label(transition_node_label(index))
+            if vertex in (b, d):
+                added_by.append(control)
+            if vertex in (a, c):
+                deleted_by.append(control)
+        field = vertex_label(vertex)
+        if added_by:
+            rules.set_add_rule(field, conj(lnot(label(field)), disj_all(added_by)))
+        if deleted_by:
+            rules.set_delete_rule(field, disj_all(deleted_by))
+
+    # the completion formula describes a deadlock: a plain configuration in
+    # which no transition pair is jointly enabled
+    blockers: list[Formula] = [conf]
+    for (a, _b), (c, _d) in transitions:
+        blockers.append(lnot(conj(label(vertex_label(a)), label(vertex_label(c)))))
+    completion = conj_all(blockers)
+
+    initial = Instance.from_paths(schema, [vertex_label(v) for v in problem.initial])
+    return GuardedForm(
+        schema,
+        rules,
+        completion=completion,
+        initial_instance=initial,
+        name=(
+            f"reachable-deadlock reduction ({len(problem.components)} components, "
+            f"{len(transitions)} transitions)"
+        ),
+    )

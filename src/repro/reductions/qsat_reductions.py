@@ -1,0 +1,307 @@
+"""QBF reductions (Corollary 4.5 and Theorem 5.3).
+
+* :func:`qbf_to_satisfiability_formula` — the Corollary 4.5 construction: a
+  quantified Boolean formula with one variable per (alternating) quantifier
+  block is true iff a certain path formula is satisfiable.  This establishes
+  PSPACE-hardness of formula satisfiability; the encoding follows the paper's
+  worked example for ``∃x∀y∃z (x ∨ y ∧ ¬z)``.
+
+* :func:`qsat2k_to_semisoundness` — the Theorem 5.3 construction: a QSAT₂ₖ
+  instance (``∃X₁∀Y₁…∃Xₖ∀Yₖ ψ`` with equal-sized blocks) is true iff the
+  constructed guarded form — which lies in ``F(A+, φ−, k)`` — is **not**
+  semi-sound.  This establishes Π₂ᵏ-hardness of semi-soundness for positive
+  access rules at depth ``k`` (and PSPACE-hardness at unbounded depth,
+  Corollary 5.4, since the construction is uniform in ``k``).
+"""
+
+from __future__ import annotations
+
+from repro.core.access import RuleTable
+from repro.core.formulas.ast import (
+    And,
+    Exists,
+    Filter,
+    Formula,
+    Not,
+    Or,
+    Parent,
+    PathExpr,
+    Slash,
+    Step,
+    Top,
+)
+from repro.core.formulas.builders import conj, conj_all, disj_all, iff, label, lnot
+from repro.core.guarded_form import GuardedForm
+from repro.core.instance import Instance
+from repro.core.schema import Schema
+from repro.exceptions import ReductionError
+from repro.logic.propositional import (
+    CnfFormula,
+    PropAnd,
+    PropAtom,
+    PropFalse,
+    PropFormula,
+    PropNot,
+    PropOr,
+    PropTrue,
+)
+from repro.logic.qbf import QBF
+
+
+# --------------------------------------------------------------------------- #
+# shared helpers
+# --------------------------------------------------------------------------- #
+
+
+def _steps_path(steps: list[PathExpr]) -> PathExpr:
+    if not steps:
+        raise ReductionError("empty path")
+    path = steps[0]
+    for step in steps[1:]:
+        path = Slash(path, step)
+    return path
+
+
+def _ancestor_then(levels: int, label_name: str) -> PathExpr:
+    """The path ``../../…/label`` with *levels* parent steps (0 = just the label)."""
+    steps: list[PathExpr] = [Parent() for _ in range(levels)]
+    steps.append(Step(label_name))
+    return _steps_path(steps)
+
+
+def _matrix_to_formula(matrix: "PropFormula | CnfFormula", mapping: dict[str, PathExpr]) -> Formula:
+    """Translate a propositional matrix into a guarded-form formula, replacing
+    each variable by the path expression *mapping* assigns to it."""
+    prop = matrix.to_formula() if isinstance(matrix, CnfFormula) else matrix
+    return _prop_to_formula(prop, mapping)
+
+
+def _prop_to_formula(prop: PropFormula, mapping: dict[str, PathExpr]) -> Formula:
+    if isinstance(prop, PropTrue):
+        return Top()
+    if isinstance(prop, PropFalse):
+        return Not(Top())
+    if isinstance(prop, PropAtom):
+        try:
+            return Exists(mapping[prop.name])
+        except KeyError as exc:
+            raise ReductionError(f"no path mapping for variable {prop.name!r}") from exc
+    if isinstance(prop, PropNot):
+        return Not(_prop_to_formula(prop.operand, mapping))
+    if isinstance(prop, PropAnd):
+        return And(
+            _prop_to_formula(prop.left, mapping), _prop_to_formula(prop.right, mapping)
+        )
+    if isinstance(prop, PropOr):
+        return Or(
+            _prop_to_formula(prop.left, mapping), _prop_to_formula(prop.right, mapping)
+        )
+    raise ReductionError(f"cannot translate propositional formula {prop!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Corollary 4.5: QBF -> formula satisfiability
+# --------------------------------------------------------------------------- #
+
+
+def assignment_node_label(level: int) -> str:
+    """Label of the assignment node for quantifier level *level* (1-based)."""
+    return f"asg{level}"
+
+
+def qbf_to_satisfiability_formula(qbf: QBF) -> Formula:
+    """Corollary 4.5: encode the truth of *qbf* as formula satisfiability.
+
+    The QBF must be in prenex form with strictly alternating single-variable
+    blocks starting with ``∃`` (the shape of the paper's example); use several
+    variables per block by currying them into consecutive blocks of the same
+    quantifier — the construction only relies on the nesting order.
+
+    Assignments for the level-*i* variable are encoded by ``asg{i}`` nodes: an
+    ``asg{i}`` node with a child labelled by the variable name represents
+    "true", one without represents "false".  The resulting formula is
+    satisfiable (by some node of some tree) iff the QBF evaluates to true.
+    """
+    if not qbf.blocks:
+        raise ReductionError("the QBF needs at least one quantifier block")
+    for block in qbf.blocks:
+        if len(block.variables) != 1:
+            raise ReductionError(
+                "qbf_to_satisfiability_formula expects one variable per block; "
+                "split larger blocks into consecutive blocks of the same quantifier"
+            )
+    if qbf.blocks[0].quantifier != "exists":
+        raise ReductionError("the outermost block must be existential")
+
+    levels = len(qbf.blocks)
+    variables = [block.variables[0] for block in qbf.blocks]
+    quantifiers = [block.quantifier for block in qbf.blocks]
+
+    conjuncts: list[Formula] = []
+
+    # (4.1)-style conjunct: along every full chain of assignment nodes the
+    # substituted matrix holds.
+    mapping = {
+        variables[i]: _ancestor_then(levels - (i + 1), variables[i])
+        for i in range(levels)
+    }
+    matrix_formula = _matrix_to_formula(qbf.matrix, mapping)
+    full_chain = _steps_path([Step(assignment_node_label(i + 1)) for i in range(levels)])
+    conjuncts.append(Not(Exists(Filter(full_chain, Not(matrix_formula)))))
+
+    # per-level structure: existential levels make one consistent choice,
+    # universal levels provide both choices — each requirement quantified over
+    # every chain of assignment nodes above it ((4.2)–(4.4) in the paper).
+    for index in range(levels):
+        level = index + 1
+        variable = variables[index]
+        node_label = assignment_node_label(level)
+        if quantifiers[index] == "exists":
+            requirement: Formula = iff(
+                Exists(Slash(Step(node_label), Step(variable))),
+                Not(Exists(Filter(Step(node_label), Not(label(variable))))),
+            )
+        else:
+            # both truth values must be represented by some assignment node
+            requirement = And(
+                Exists(Filter(Step(node_label), label(variable))),
+                Exists(Filter(Step(node_label), Not(label(variable)))),
+            )
+        conjuncts.append(_quantify_over_prefix(index, requirement))
+
+    return conj_all(conjuncts)
+
+
+def _quantify_over_prefix(level_index: int, requirement: Formula) -> Formula:
+    """Require *requirement* at every node reached by the chain of assignment
+    nodes above *level_index* (at the evaluation node itself for level 0)."""
+    if level_index == 0:
+        return requirement
+    prefix = _steps_path(
+        [Step(assignment_node_label(i + 1)) for i in range(level_index)]
+    )
+    return Not(Exists(Filter(prefix, Not(requirement))))
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 5.3: QSAT_2k -> semi-soundness
+# --------------------------------------------------------------------------- #
+
+
+def forall_label(level: int) -> str:
+    """Label of the ``∀``-assignment container node for universal block *level*."""
+    return f"forall{level}"
+
+
+def qsat2k_to_semisoundness(qbf: QBF) -> GuardedForm:
+    """Theorem 5.3: reduce a QSAT₂ₖ instance to (non-)semi-soundness.
+
+    The QBF must have ``2k`` strictly alternating blocks starting with ``∃``.
+    The resulting guarded form has schema depth ``k``, positive access rules
+    and an unrestricted completion formula; it is **not** semi-sound iff the
+    QBF is true.
+    """
+    blocks = qbf.blocks
+    if len(blocks) % 2 != 0 or not blocks:
+        raise ReductionError("QSAT_2k needs an even, positive number of blocks")
+    if not qbf.starts_with_exists() or not qbf.is_strictly_alternating():
+        raise ReductionError("QSAT_2k blocks must strictly alternate starting with ∃")
+    k = len(blocks) // 2
+    exist_blocks = [blocks[2 * i].variables for i in range(k)]
+    forall_blocks = [blocks[2 * i + 1].variables for i in range(k)]
+
+    # ---- schema -----------------------------------------------------------
+    # root: uc, X¹ variables, Yᵏ variables, and the ∀¹ container; each ∀ⁱ
+    # container holds Xⁱ⁺¹, Yⁱ and the next container.
+    def container_dict(level: int) -> dict:
+        children: dict[str, dict] = {}
+        for variable in exist_blocks[level]:
+            children[variable] = {}
+        for variable in forall_blocks[level - 1]:
+            children[variable] = {}
+        if level < k - 1:
+            children[forall_label(level + 1)] = container_dict(level + 1)
+        return children
+
+    root_children: dict[str, dict] = {"uc": {}}
+    for variable in exist_blocks[0]:
+        root_children[variable] = {}
+    for variable in forall_blocks[k - 1]:
+        root_children[variable] = {}
+    if k >= 2:
+        root_children[forall_label(1)] = container_dict(1)
+    schema = Schema.from_dict(root_children)
+
+    # ---- access rules -------------------------------------------------------
+    rules = RuleTable(schema)
+    last_universal = set(forall_blocks[k - 1])
+    for edge in schema.edges_list():
+        target = edge.label
+        if target == "uc" and edge.depth == 1:
+            rules.set_add_rule(edge, label("uc"))
+            rules.set_delete_rule(edge, Top())
+            continue
+        if edge.depth == 1 and target in last_universal:
+            rules.set_add_rule(edge, Top())
+            rules.set_delete_rule(edge, Top())
+            continue
+        # everything else: allowed while uc is present at the root
+        parent_depth = edge.depth - 1
+        if parent_depth == 0:
+            guard: Formula = label("uc")
+        else:
+            guard = Exists(_ancestor_then(parent_depth, "uc"))
+        rules.set_add_rule(edge, guard)
+        rules.set_delete_rule(edge, guard)
+
+    # ---- completion formula -------------------------------------------------
+    disjuncts: list[Formula] = [label("uc")]
+
+    # "some ∀ⁱ⁻¹ context misses an assignment of the i-th universal block":
+    # reaching a chain ∀¹/…/∀ⁱ⁻¹ whose node has no ∀ⁱ child agreeing with the
+    # values currently encoded in the root's Yᵏ fields.
+    for i in range(1, k):  # i = 1 .. k-1 (there is no ∀ᵏ container)
+        eta = conj_all(
+            iff(
+                label(variable),
+                Exists(_ancestor_then(i, last_variable)),
+            )
+            for variable, last_variable in zip(
+                forall_blocks[i - 1], forall_blocks[k - 1]
+            )
+        )
+        inner = Not(Exists(Filter(Step(forall_label(i)), eta)))
+        if i == 1:
+            disjuncts.append(inner)
+        else:
+            prefix = _steps_path([Step(forall_label(j)) for j in range(1, i)])
+            disjuncts.append(Exists(Filter(prefix, inner)))
+
+    # "the matrix is falsified at the deepest context"
+    mapping: dict[str, PathExpr] = {}
+    for i in range(k):
+        for variable in exist_blocks[i]:
+            mapping[variable] = _ancestor_then(k - (i + 1), variable)
+    for i in range(k - 1):
+        for variable in forall_blocks[i]:
+            mapping[variable] = _ancestor_then(k - 1 - (i + 1), variable)
+    for variable in forall_blocks[k - 1]:
+        mapping[variable] = _ancestor_then(k - 1, variable)
+    negated_matrix = Not(_matrix_to_formula(qbf.matrix, mapping))
+    if k == 1:
+        disjuncts.append(negated_matrix)
+    else:
+        prefix = _steps_path([Step(forall_label(j)) for j in range(1, k)])
+        disjuncts.append(Exists(Filter(prefix, negated_matrix)))
+
+    completion = disj_all(disjuncts)
+
+    initial = Instance.empty(schema)
+    initial.add_field(initial.root, "uc")
+    return GuardedForm(
+        schema,
+        rules,
+        completion=completion,
+        initial_instance=initial,
+        name=f"QSAT_2k semi-soundness reduction (k={k}, block size {len(exist_blocks[0])})",
+    )

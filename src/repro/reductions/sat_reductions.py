@@ -1,0 +1,169 @@
+"""SAT reductions (Theorem 5.1 and Theorem 5.6).
+
+* :func:`sat_to_completability` — Theorem 5.1: a propositional formula is
+  satisfiable iff a guarded form with one depth-1 field per variable,
+  all-permissive access rules and the formula itself (with variables read as
+  field labels) as completion formula is completable.  This establishes
+  NP-hardness of completability for ``F(A+, φ−, 1)``.
+
+* :func:`sat_to_non_semisoundness` — Theorem 5.6: a 3-CNF formula ``ψ`` is
+  satisfiable iff a certain positive guarded form is **not** semi-sound,
+  establishing coNP-hardness of semi-soundness for ``F(A+, φ+, 1)``.
+
+  One detail of the paper's construction is adjusted: the paper lists
+  addition rules ``A(add, xi) = x̄i`` / ``A(add, x̄i) = xi`` alongside the
+  deletion rules.  With those additions every reachable instance could grow
+  back to the initial all-literals instance, which satisfies the completion
+  formula ``neg(ψ)`` whenever ``ψ`` has at least one clause — making every
+  such form semi-sound and breaking the stated equivalence.  The proof sketch
+  only needs the deletions (choosing an assignment by deleting the
+  complementary literal), so this implementation omits the addition rules;
+  the equivalence "ψ satisfiable ⟺ form not semi-sound" is then validated
+  against the DPLL solver in the test-suite.  See DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.core.access import RuleTable
+from repro.core.formulas.ast import Bottom, Formula
+from repro.core.formulas.builders import conj_all, disj_all, label
+from repro.core.guarded_form import GuardedForm
+from repro.core.instance import Instance
+from repro.core.schema import Schema, depth_one_schema
+from repro.exceptions import ReductionError
+from repro.logic.propositional import (
+    CnfFormula,
+    PropAnd,
+    PropAtom,
+    PropFalse,
+    PropFormula,
+    PropNot,
+    PropOr,
+    PropTrue,
+)
+
+
+def _propositional_to_completion(formula: PropFormula) -> Formula:
+    """Translate a propositional formula into a guarded-form formula over
+    depth-1 field labels (variable ``x`` becomes the label ``x``)."""
+    from repro.core.formulas.ast import And, Not, Or, Top
+
+    if isinstance(formula, PropTrue):
+        return Top()
+    if isinstance(formula, PropFalse):
+        return Bottom()
+    if isinstance(formula, PropAtom):
+        return label(formula.name)
+    if isinstance(formula, PropNot):
+        return Not(_propositional_to_completion(formula.operand))
+    if isinstance(formula, PropAnd):
+        return And(
+            _propositional_to_completion(formula.left),
+            _propositional_to_completion(formula.right),
+        )
+    if isinstance(formula, PropOr):
+        return Or(
+            _propositional_to_completion(formula.left),
+            _propositional_to_completion(formula.right),
+        )
+    raise ReductionError(f"cannot translate propositional formula {formula!r}")
+
+
+def sat_to_completability(formula: "CnfFormula | PropFormula") -> GuardedForm:
+    """Theorem 5.1: reduce satisfiability of *formula* to completability.
+
+    The resulting guarded form lies in ``F(A+, φ−, 1)``: one field per
+    variable, every access rule is the (positive) constant ``true``, the
+    initial instance is empty and the completion formula is the propositional
+    formula read over field labels.
+    """
+    prop = formula.to_formula() if isinstance(formula, CnfFormula) else formula
+    variables = sorted(prop.variables())
+    if not variables:
+        raise ReductionError("the formula must mention at least one variable")
+    schema = depth_one_schema(variables)
+    rules = RuleTable.from_dict(schema, {}, default="true")
+    return GuardedForm(
+        schema,
+        rules,
+        completion=_propositional_to_completion(prop),
+        initial_instance=Instance.empty(schema),
+        name=f"SAT completability reduction ({len(variables)} variables)",
+    )
+
+
+def positive_literal_label(variable: str) -> str:
+    """Label representing "the variable is true" in Theorem 5.6's encoding."""
+    return variable
+
+
+def negative_literal_label(variable: str) -> str:
+    """Label representing "the variable is false" in Theorem 5.6's encoding."""
+    return f"{variable}_neg"
+
+
+def sat_to_non_semisoundness(cnf: CnfFormula) -> GuardedForm:
+    """Theorem 5.6: reduce satisfiability of a CNF to non-semi-soundness.
+
+    The guarded form lies in ``F(A+, φ+, 1)``.  Its initial instance contains
+    both literal fields of every variable; deleting the field ``x`` (allowed
+    while ``x_neg`` is present) commits ``x`` to *false* and vice versa, so
+    the reachable instances are exactly the partial assignments keeping at
+    least one literal per variable.  The completion formula ``neg(ψ)`` holds
+    iff some clause is already falsified; an instance encoding a satisfying
+    assignment therefore cannot be completed, and one exists iff ``ψ`` is
+    satisfiable.
+    """
+    variables = sorted(cnf.variables())
+    if not variables:
+        raise ReductionError("the CNF must mention at least one variable")
+    labels = []
+    for variable in variables:
+        labels.append(positive_literal_label(variable))
+        labels.append(negative_literal_label(variable))
+    schema = depth_one_schema(labels)
+
+    rules = RuleTable(schema)
+    for variable in variables:
+        positive = positive_literal_label(variable)
+        negative = negative_literal_label(variable)
+        # deleting one literal is allowed while the complementary literal is
+        # still present (a positive rule); additions stay forbidden — see the
+        # module docstring for why the paper's addition rules are omitted.
+        rules.set_delete_rule(positive, label(negative))
+        rules.set_delete_rule(negative, label(positive))
+
+    # neg(ψ): a clause is falsified when the complement of each of its
+    # literals is present.
+    clause_negations = []
+    for clause in cnf:
+        complements = []
+        for literal in clause:
+            if literal.positive:
+                complements.append(label(negative_literal_label(literal.variable)))
+            else:
+                complements.append(label(positive_literal_label(literal.variable)))
+        clause_negations.append(conj_all(complements))
+    completion = disj_all(clause_negations)
+
+    initial = Instance.from_paths(schema, labels)
+    return GuardedForm(
+        schema,
+        rules,
+        completion=completion,
+        initial_instance=initial,
+        name=f"SAT semi-soundness reduction ({len(variables)} variables, {len(cnf)} clauses)",
+    )
+
+
+def assignment_instance(guarded_form: GuardedForm, assignment: dict[str, bool]) -> Instance:
+    """The instance of Theorem 5.6's form encoding a total *assignment*
+    (present positive label ⟺ the variable is true).  Used by tests to check
+    that exactly the satisfying assignments are incompletable."""
+    schema: Schema = guarded_form.schema
+    paths = []
+    for variable, value in assignment.items():
+        paths.append(
+            positive_literal_label(variable) if value else negative_literal_label(variable)
+        )
+    return Instance.from_paths(schema, paths)

@@ -1,0 +1,247 @@
+"""Guarded-form transformations (Corollary 4.2, Section 4.2, Corollary 4.7).
+
+Three constructions in the paper relate fragments to one another:
+
+* :func:`eliminate_deletions` (Corollary 4.2) — replaces every deletion by the
+  addition of a ``deleted`` marker child, showing that undecidability does not
+  hinge on deletions (at the price of one extra level of depth).
+* :func:`make_completion_positive` (Section 4.2) — adds a ``final`` field whose
+  addition rule is the old completion formula, turning any completion formula
+  into the positive formula ``final`` while preserving both analysis
+  problems.  This is why every hardness result for the ``φ−`` fragments also
+  holds for ``φ+`` when the access rules are unrestricted.
+* :func:`completability_to_semisoundness` (Corollary 4.7) — for depth-1 forms,
+  builds a form that is semi-sound iff the original is completable, by adding
+  a ``reset``/``build`` phase that can always return to the initial instance.
+"""
+
+from __future__ import annotations
+
+from repro.core.access import AccessRight, RuleTable
+from repro.core.canonical import canonical_depth1_state
+from repro.core.formulas.ast import (
+    And,
+    Bottom,
+    Exists,
+    Filter,
+    Formula,
+    Not,
+    Or,
+    Parent,
+    PathExpr,
+    Slash,
+    Step,
+    Top,
+)
+from repro.core.formulas.builders import conj, conj_all, label, lnot
+from repro.core.guarded_form import GuardedForm
+from repro.core.instance import Instance
+from repro.core.labels import fresh_label
+from repro.core.schema import Schema, format_schema_path
+from repro.exceptions import ReductionError
+
+
+# --------------------------------------------------------------------------- #
+# Corollary 4.2: eliminating deletions
+# --------------------------------------------------------------------------- #
+
+
+def eliminate_deletions(guarded_form: GuardedForm, marker: str = "deleted") -> GuardedForm:
+    """Replace deletions by additions of a *marker* child (Corollary 4.2).
+
+    Every non-root schema node receives a new child labelled *marker* (made
+    fresh if the label is already in use).  A node carrying the marker is
+    treated as absent: every label step ``l`` in every formula is rewritten to
+    ``l[¬marker]``, the old deletion rule of an edge becomes the addition rule
+    of its marker child, additions below a marked node are blocked, and a node
+    may only be marked when all its children are already marked (mirroring the
+    original leaf-only deletions).  The transformed form has no deletion
+    rights at all and its depth grows by one.
+    """
+    marker_label = fresh_label(marker, guarded_form.schema.field_labels())
+
+    new_schema = guarded_form.schema.copy()
+    original_edges = guarded_form.schema.edges_list()
+    for edge in original_edges:
+        new_schema.add_field(edge.path, marker_label)
+
+    def rewrite(formula: Formula) -> Formula:
+        return _rewrite_marking(formula, marker_label)
+
+    rules = RuleTable(new_schema)
+    for edge in original_edges:
+        original_add = guarded_form.rules.add_rule(edge.path)
+        original_del = guarded_form.rules.delete_rule(edge.path)
+        # additions of the original field: as before, but never below a node
+        # that is itself marked deleted
+        rules.set_add_rule(edge.path, And(rewrite(original_add), Not(label(marker_label))))
+        # "deleting" the field: add the marker below it; the original rule was
+        # evaluated at the parent, hence the leading ``..``; the node must not
+        # be marked already and all its children must already be marked
+        child_conditions: list[Formula] = []
+        for child_label in guarded_form.schema.child_labels(edge.path):
+            child_conditions.append(
+                Not(Exists(Filter(Step(child_label), Not(label(marker_label)))))
+            )
+        guard = conj_all(
+            [
+                Exists(Filter(Parent(), rewrite(original_del))),
+                Not(label(marker_label)),
+                *child_conditions,
+            ]
+        )
+        rules.set_add_rule(edge.path + (marker_label,), guard)
+
+    initial = Instance.from_shape(new_schema, guarded_form.initial_instance().shape())
+    return GuardedForm(
+        new_schema,
+        rules,
+        completion=rewrite(guarded_form.completion),
+        initial_instance=initial,
+        name=f"{guarded_form.name} [deletion-free]",
+    )
+
+
+def _rewrite_marking(formula: Formula, marker: str) -> Formula:
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_rewrite_marking(formula.operand, marker))
+    if isinstance(formula, And):
+        return And(
+            _rewrite_marking(formula.left, marker), _rewrite_marking(formula.right, marker)
+        )
+    if isinstance(formula, Or):
+        return Or(
+            _rewrite_marking(formula.left, marker), _rewrite_marking(formula.right, marker)
+        )
+    if isinstance(formula, Exists):
+        return Exists(_rewrite_marking_path(formula.path, marker))
+    raise ReductionError(f"cannot rewrite formula {formula!r}")
+
+
+def _rewrite_marking_path(path: PathExpr, marker: str) -> PathExpr:
+    if isinstance(path, Parent):
+        return path
+    if isinstance(path, Step):
+        return Filter(path, Not(Exists(Step(marker))))
+    if isinstance(path, Slash):
+        return Slash(
+            _rewrite_marking_path(path.left, marker),
+            _rewrite_marking_path(path.right, marker),
+        )
+    if isinstance(path, Filter):
+        return Filter(
+            _rewrite_marking_path(path.path, marker),
+            _rewrite_marking(path.condition, marker),
+        )
+    raise ReductionError(f"cannot rewrite path {path!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Section 4.2: making the completion formula positive
+# --------------------------------------------------------------------------- #
+
+
+def make_completion_positive(guarded_form: GuardedForm, final_field: str = "final") -> GuardedForm:
+    """Turn the completion formula into a single positive field (Section 4.2).
+
+    A fresh *final_field* is added below the root whose addition rule is the
+    original completion formula (strengthened with ``¬final`` so the field is
+    added at most once, which keeps finite-state forms finite-state); the new
+    completion formula is just the field itself.  Completability and
+    semi-soundness are preserved because the new field is mentioned nowhere
+    else, so its presence does not influence any other rule.
+    """
+    final_label = fresh_label(final_field, guarded_form.schema.field_labels())
+    new_schema = guarded_form.schema.copy()
+    new_schema.add_field((), final_label)
+
+    rules = guarded_form.rules.copy(new_schema)
+    rules.set_add_rule(final_label, And(guarded_form.completion, Not(label(final_label))))
+    rules.set_delete_rule(final_label, Bottom())
+
+    initial = Instance.from_shape(new_schema, guarded_form.initial_instance().shape())
+    return GuardedForm(
+        new_schema,
+        rules,
+        completion=label(final_label),
+        initial_instance=initial,
+        name=f"{guarded_form.name} [positive completion]",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Corollary 4.7: completability -> semi-soundness (depth 1)
+# --------------------------------------------------------------------------- #
+
+
+def completability_to_semisoundness(
+    guarded_form: GuardedForm,
+    reset_field: str = "reset",
+    build_field: str = "build",
+) -> GuardedForm:
+    """Corollary 4.7: build a form that is semi-sound iff *guarded_form* is
+    completable (depth-1 forms only).
+
+    Two phase fields are added.  Adding ``reset`` suspends the original rules
+    and allows deleting every field; once the form is empty, ``build`` can be
+    added, ``reset`` removed, the initial instance is rebuilt field by field,
+    and ``build`` is removed when the canonical initial instance has been
+    restored.  Every reachable instance can therefore return to the initial
+    instance, so the new form is semi-sound exactly when the original can be
+    completed from its initial instance.
+    """
+    if guarded_form.schema_depth() > 1:
+        raise ReductionError(
+            "the Corollary 4.7 construction is defined for depth-1 guarded forms"
+        )
+    field_labels = sorted(guarded_form.schema.field_labels())
+    taken = set(field_labels)
+    reset_label = fresh_label(reset_field, taken)
+    taken.add(reset_label)
+    build_label = fresh_label(build_field, taken)
+
+    new_schema = guarded_form.schema.copy()
+    new_schema.add_field((), reset_label)
+    new_schema.add_field((), build_label)
+
+    normal_phase = conj(lnot(label(reset_label)), lnot(label(build_label)))
+    initial_state = canonical_depth1_state(guarded_form.initial_instance())
+
+    rules = RuleTable(new_schema)
+    for field in field_labels:
+        original_add = guarded_form.rules.add_rule(field)
+        original_del = guarded_form.rules.delete_rule(field)
+        add_guard: Formula = And(original_add, normal_phase)
+        if field in initial_state:
+            add_guard = Or(add_guard, And(label(build_label), Not(label(field))))
+        rules.set_add_rule(field, add_guard)
+        rules.set_delete_rule(field, Or(And(original_del, normal_phase), label(reset_label)))
+
+    rules.set_add_rule(reset_label, conj(lnot(label(reset_label)), lnot(label(build_label))))
+    rules.set_delete_rule(reset_label, label(build_label))
+
+    empty_of_fields = conj_all([lnot(label(field)) for field in field_labels] or [Top()])
+    rules.set_add_rule(
+        build_label,
+        conj(label(reset_label), lnot(label(build_label)), empty_of_fields),
+    )
+    is_initial_again = conj_all(
+        [lnot(label(reset_label))]
+        + [label(field) for field in sorted(initial_state)]
+        + [lnot(label(field)) for field in field_labels if field not in initial_state]
+    )
+    rules.set_delete_rule(build_label, is_initial_again)
+
+    completion = conj(
+        guarded_form.completion, lnot(label(reset_label)), lnot(label(build_label))
+    )
+    initial = Instance.from_shape(new_schema, guarded_form.initial_instance().shape())
+    return GuardedForm(
+        new_schema,
+        rules,
+        completion=completion,
+        initial_instance=initial,
+        name=f"{guarded_form.name} [reset/build]",
+    )

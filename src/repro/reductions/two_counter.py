@@ -1,0 +1,438 @@
+"""Reduction from two-counter machines to completability (Theorem 4.1).
+
+Theorem 4.1 proves the completability and semi-soundness problems undecidable
+for ``F(A−, φ−, ∞)`` (already at depth 2) by simulating an inputless
+two-counter machine with a guarded form:
+
+* a configuration ``(q, n, m)`` is represented by an instance with a child
+  ``st_q`` below the root, ``n`` children labelled ``c1`` and ``m`` children
+  labelled ``c2`` (the paper's ``Conf(q, n, m)``);
+* every machine transition becomes a family of access rules that walk the
+  instance through a *transition gadget*: a node ``t<i>`` marks the transition
+  in progress, the counters are adjusted with the marking trick the paper
+  describes (increment: mark all ``c1`` with ``d``, add the single unmarked
+  ``c1``, unmark; decrement: mark the victim with ``d``, mark all others with
+  ``dd``, unmark and delete the sole unmarked leaf, unmark the rest), the
+  state child is swapped, and the gadget cleans up after itself;
+* the completion formula is "some accepting state is present and no
+  transition is in progress".
+
+The guarded form is completable iff the machine eventually reaches an
+accepting state — an undecidable property.  The proof sketch in the paper
+gives the increment rules explicitly and describes the decrement procedure in
+prose; this module completes the construction (the per-phase guards below)
+and the test-suite validates it against the interpreter of
+:mod:`repro.reductions.counter_machine` on machines with known behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.access import AccessRight, RuleTable
+from repro.core.formulas.ast import Exists, Filter, Formula, Parent, Slash, Step
+from repro.core.formulas.builders import (
+    conj,
+    conj_all,
+    disj_all,
+    filtered,
+    label,
+    lnot,
+    parent_path,
+)
+from repro.core.guarded_form import GuardedForm
+from repro.core.instance import Instance
+from repro.core.schema import Schema
+from repro.exceptions import ReductionError
+from repro.reductions.counter_machine import (
+    Configuration,
+    DECREMENT,
+    INCREMENT,
+    KEEP,
+    POSITIVE,
+    TwoCounterMachine,
+    ZERO,
+)
+
+#: Label of a state field for machine state ``q``.
+def state_label(state: str) -> str:
+    """Schema label used for machine state *state*."""
+    return f"st_{state}"
+
+
+def transition_label(index: int) -> str:
+    """Schema label marking transition *index* as in progress."""
+    return f"t{index}"
+
+
+def _fin_label(counter: int, index: int) -> str:
+    return f"fin{counter}_t{index}"
+
+
+_COUNTER = {1: "c1", 2: "c2"}
+_MARK = "d"
+_SECOND_MARK = "dd"
+
+
+class _RuleAccumulator:
+    """Collects per-edge disjuncts and assembles the final rule table."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._disjuncts: dict[tuple[AccessRight, str], list[Formula]] = {}
+
+    def allow(self, right: AccessRight, edge: str, guard: Formula) -> None:
+        self._disjuncts.setdefault((right, edge), []).append(guard)
+
+    def build(self) -> RuleTable:
+        table = RuleTable(self.schema)
+        for (right, edge), guards in self._disjuncts.items():
+            table.set_rule(right, edge, disj_all(guards))
+        return table
+
+
+def two_counter_to_guarded_form(
+    machine: TwoCounterMachine,
+    initial_counter1: int = 0,
+    initial_counter2: int = 0,
+) -> GuardedForm:
+    """Build the guarded form of Theorem 4.1 for *machine*.
+
+    The initial instance encodes the configuration
+    ``(machine.initial_state, initial_counter1, initial_counter2)`` — the
+    paper starts from the empty input, i.e. both counters zero, but the tests
+    also exercise non-zero starts.
+
+    The resulting guarded form is completable iff the machine eventually
+    reaches an accepting state from that configuration.
+    """
+    transitions = sorted(machine.transitions.items())
+    transition_indices = list(range(len(transitions)))
+
+    schema = _build_schema(machine, transition_indices)
+    rules = _RuleAccumulator(schema)
+
+    all_transition_labels = [transition_label(i) for i in transition_indices]
+    cleanliness = _cleanliness_formula(transition_indices)
+
+    for index, ((source, test1, test2), (target, act1, act2)) in enumerate(transitions):
+        t_label = transition_label(index)
+        fin1 = _fin_label(1, index)
+        fin2 = _fin_label(2, index)
+
+        # -- initiation: only from a clean configuration matching the tests --
+        sigma1 = label(_COUNTER[1]) if test1 == POSITIVE else lnot(label(_COUNTER[1]))
+        sigma2 = label(_COUNTER[2]) if test2 == POSITIVE else lnot(label(_COUNTER[2]))
+        no_other_transition = conj_all(
+            lnot(label(other)) for other in all_transition_labels
+        )
+        rules.allow(
+            AccessRight.ADD,
+            t_label,
+            conj(label(state_label(source)), sigma1, sigma2, no_other_transition, cleanliness),
+        )
+
+        # -- counter gadgets ------------------------------------------------
+        _counter_rules(rules, counter=1, index=index, action=act1)
+        _counter_rules(rules, counter=2, index=index, action=act2)
+
+        # -- state switch -----------------------------------------------------
+        gadget_done = conj(
+            label(fin1),
+            label(fin2),
+            lnot(label("m1")),
+            lnot(label("m2")),
+            _counters_unmarked(),
+        )
+        if target != source:
+            rules.allow(
+                AccessRight.ADD,
+                state_label(target),
+                conj(label(t_label), gadget_done, lnot(label(state_label(target)))),
+            )
+            rules.allow(
+                AccessRight.DEL,
+                state_label(source),
+                conj(label(t_label), label(state_label(target))),
+            )
+            switched = conj(label(state_label(target)), lnot(label(state_label(source))))
+        else:
+            switched = label(state_label(target))
+
+        # -- cleanup ----------------------------------------------------------
+        # The gadget node is removed once both counters are done (their fin
+        # flags are present and all marks are cleaned up) and the state has
+        # been switched; the leftover fin flags are removed afterwards (they
+        # merely block the next transition's initiation until deleted).
+        rules.allow(
+            AccessRight.DEL,
+            t_label,
+            conj(switched, gadget_done),
+        )
+        rules.allow(AccessRight.DEL, fin1, lnot(label(t_label)))
+        rules.allow(AccessRight.DEL, fin2, lnot(label(t_label)))
+
+    completion = disj_all(
+        conj(
+            label(state_label(state)),
+            conj_all(lnot(label(other)) for other in all_transition_labels),
+        )
+        for state in sorted(machine.accepting_states)
+    )
+
+    initial = _initial_instance(schema, machine, initial_counter1, initial_counter2)
+    return GuardedForm(
+        schema,
+        rules.build(),
+        completion=completion,
+        initial_instance=initial,
+        name=f"two-counter simulation ({len(machine.states)} states, "
+        f"{len(transitions)} transitions)",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# construction helpers
+# --------------------------------------------------------------------------- #
+
+
+def _build_schema(machine: TwoCounterMachine, transition_indices: list[int]) -> Schema:
+    fields: dict[str, dict] = {}
+    for state in machine.states:
+        fields[state_label(state)] = {}
+    fields[_COUNTER[1]] = {_MARK: {}, _SECOND_MARK: {}}
+    fields[_COUNTER[2]] = {_MARK: {}, _SECOND_MARK: {}}
+    fields["m1"] = {}
+    fields["m2"] = {}
+    for index in transition_indices:
+        fields[transition_label(index)] = {}
+        fields[_fin_label(1, index)] = {}
+        fields[_fin_label(2, index)] = {}
+    return Schema.from_dict(fields)
+
+
+def _initial_instance(
+    schema: Schema, machine: TwoCounterMachine, counter1: int, counter2: int
+) -> Instance:
+    if counter1 < 0 or counter2 < 0:
+        raise ReductionError("initial counter values must be non-negative")
+    instance = Instance.empty(schema)
+    instance.add_field(instance.root, state_label(machine.initial_state))
+    for _ in range(counter1):
+        instance.add_field(instance.root, _COUNTER[1])
+    for _ in range(counter2):
+        instance.add_field(instance.root, _COUNTER[2])
+    return instance
+
+
+def _counters_unmarked() -> Formula:
+    """No counter node carries a mark (evaluated at the root)."""
+    return conj(
+        lnot(filtered(_COUNTER[1], disj_all([label(_MARK), label(_SECOND_MARK)]))),
+        lnot(filtered(_COUNTER[2], disj_all([label(_MARK), label(_SECOND_MARK)]))),
+    )
+
+
+def _cleanliness_formula(transition_indices: list[int]) -> Formula:
+    """No gadget artefacts are present (evaluated at the root)."""
+    parts: list[Formula] = [lnot(label("m1")), lnot(label("m2")), _counters_unmarked()]
+    for index in transition_indices:
+        parts.append(lnot(label(_fin_label(1, index))))
+        parts.append(lnot(label(_fin_label(2, index))))
+    return conj_all(parts)
+
+
+def _counter_rules(rules: _RuleAccumulator, counter: int, index: int, action: int) -> None:
+    """Install the per-transition rules adjusting one counter."""
+    t_label = transition_label(index)
+    counter_label = _COUNTER[counter]
+    mark_edge = f"{counter_label}/{_MARK}"
+    second_mark_edge = f"{counter_label}/{_SECOND_MARK}"
+    m_label = f"m{counter}"
+    fin = _fin_label(counter, index)
+
+    all_marked = lnot(filtered(counter_label, lnot(label(_MARK))))
+    some_unmarked = filtered(counter_label, lnot(label(_MARK)))
+    any_first_mark = filtered(counter_label, label(_MARK))
+    any_second_mark = filtered(counter_label, label(_SECOND_MARK))
+
+    if action == KEEP:
+        rules.allow(AccessRight.ADD, fin, conj(label(t_label), lnot(label(fin))))
+        return
+
+    if action == INCREMENT:
+        # 1. mark every existing counter node
+        rules.allow(
+            AccessRight.ADD,
+            mark_edge,
+            conj(
+                parent_path(1, t_label),
+                lnot(parent_path(1, m_label)),
+                lnot(parent_path(1, fin)),
+                lnot(label(_MARK)),
+            ),
+        )
+        # 2. declare marking finished
+        rules.allow(
+            AccessRight.ADD,
+            m_label,
+            conj(label(t_label), lnot(label(m_label)), lnot(label(fin)), all_marked),
+        )
+        # 3. add exactly one new (unmarked) counter node
+        rules.allow(
+            AccessRight.ADD,
+            counter_label,
+            conj(label(t_label), label(m_label), lnot(label(fin)), all_marked),
+        )
+        # 4. declare the increment finished once the unmarked node exists
+        rules.allow(
+            AccessRight.ADD,
+            fin,
+            conj(label(t_label), label(m_label), lnot(label(fin)), some_unmarked),
+        )
+        # 5. remove the marks and the marking flag
+        rules.allow(
+            AccessRight.DEL,
+            mark_edge,
+            conj(parent_path(1, t_label), parent_path(1, fin)),
+        )
+        rules.allow(
+            AccessRight.DEL,
+            m_label,
+            conj(label(t_label), label(fin), lnot(any_first_mark)),
+        )
+        return
+
+    # "some sibling counter node carries the (first / second) mark", evaluated
+    # at a counter node itself: ../c[mark]
+    sibling_first_mark = Exists(
+        Slash(Parent(), Filter(Step(counter_label), label(_MARK)))
+    )
+    sibling_second_mark = Exists(
+        Slash(Parent(), Filter(Step(counter_label), label(_SECOND_MARK)))
+    )
+
+    if action == DECREMENT:
+        # 1. mark exactly one counter node with the first mark
+        rules.allow(
+            AccessRight.ADD,
+            mark_edge,
+            conj(
+                parent_path(1, t_label),
+                lnot(sibling_first_mark),
+                lnot(sibling_second_mark),
+                lnot(parent_path(1, m_label)),
+                lnot(parent_path(1, fin)),
+                lnot(label(_MARK)),
+            ),
+        )
+        # 2. mark every other counter node with the second mark
+        rules.allow(
+            AccessRight.ADD,
+            second_mark_edge,
+            conj(
+                parent_path(1, t_label),
+                sibling_first_mark,
+                lnot(parent_path(1, m_label)),
+                lnot(parent_path(1, fin)),
+                lnot(label(_MARK)),
+                lnot(label(_SECOND_MARK)),
+            ),
+        )
+        # 3. declare marking finished (every node carries one of the marks)
+        rules.allow(
+            AccessRight.ADD,
+            m_label,
+            conj(
+                label(t_label),
+                any_first_mark,
+                lnot(
+                    filtered(
+                        counter_label,
+                        conj(lnot(label(_MARK)), lnot(label(_SECOND_MARK))),
+                    )
+                ),
+                lnot(label(m_label)),
+                lnot(label(fin)),
+            ),
+        )
+        # 4. unmark the victim…
+        rules.allow(
+            AccessRight.DEL,
+            mark_edge,
+            conj(parent_path(1, t_label), parent_path(1, m_label)),
+        )
+        # 5. …and delete it (it is the only counter leaf: all others carry dd)
+        rules.allow(
+            AccessRight.DEL,
+            counter_label,
+            conj(label(t_label), label(m_label), lnot(any_first_mark), lnot(label(fin))),
+        )
+        # 6. declare the decrement finished (every remaining node carries dd)
+        rules.allow(
+            AccessRight.ADD,
+            fin,
+            conj(
+                label(t_label),
+                label(m_label),
+                lnot(any_first_mark),
+                lnot(filtered(counter_label, lnot(label(_SECOND_MARK)))),
+                lnot(label(fin)),
+            ),
+        )
+        # 7. remove the second marks and the marking flag
+        rules.allow(
+            AccessRight.DEL,
+            second_mark_edge,
+            conj(parent_path(1, t_label), parent_path(1, fin)),
+        )
+        rules.allow(
+            AccessRight.DEL,
+            m_label,
+            conj(
+                label(t_label),
+                label(fin),
+                lnot(any_first_mark),
+                lnot(any_second_mark),
+            ),
+        )
+        return
+
+    raise ReductionError(f"unknown counter action {action!r}")
+
+
+# --------------------------------------------------------------------------- #
+# decoding
+# --------------------------------------------------------------------------- #
+
+
+def configuration_of_instance(
+    instance: Instance, machine: TwoCounterMachine
+) -> Optional[Configuration]:
+    """Decode the machine configuration represented by *instance*.
+
+    Returns ``None`` when the instance is not a *clean* configuration (a
+    transition gadget is in progress, marks are present, or the state child is
+    missing or ambiguous).  Used by the validation tests to compare the
+    reachable clean instances of the reduction with the interpreter's trace.
+    """
+    root = instance.root
+    states_present = [
+        state
+        for state in machine.states
+        if root.has_child_with_label(state_label(state))
+    ]
+    if len(states_present) != 1:
+        return None
+    for child in root.children:
+        if child.label.startswith("t") and child.label[1:].isdigit():
+            return None
+        if child.label in ("m1", "m2"):
+            return None
+        if child.label.startswith("fin"):
+            return None
+        if child.label in (_COUNTER[1], _COUNTER[2]) and child.children:
+            return None
+    counter1 = len(root.children_with_label(_COUNTER[1]))
+    counter2 = len(root.children_with_label(_COUNTER[2]))
+    return Configuration(states_present[0], counter1, counter2)

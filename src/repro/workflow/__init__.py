@@ -1,0 +1,40 @@
+"""Workflow views of guarded forms.
+
+The paper's central observation is that instance-dependent access rules imply
+a workflow: the states are the (canonical) instances and the transitions the
+allowed updates.  This package makes that workflow explicit:
+
+* :mod:`repro.workflow.lts` — labelled transition systems and analyses on
+  them (reachability, deadlocks, traces);
+* :mod:`repro.workflow.extraction` — extracting the LTS implied by a guarded
+  form;
+* :mod:`repro.workflow.soundness` — semi-soundness, soundness and
+  dead-transition analysis phrased on LTSs (footnote 1 relates the paper's
+  semi-soundness to the classical soundness of workflow nets);
+* :mod:`repro.workflow.petri` — a small place/transition-net substrate with
+  classical workflow-net soundness checking, used to relate the two notions.
+"""
+
+from repro.workflow.extraction import extract_workflow
+from repro.workflow.lts import LabelledTransitionSystem, Transition
+from repro.workflow.petri import PetriNet, WorkflowNet
+from repro.workflow.soundness import (
+    WorkflowDiagnostics,
+    analyse_workflow,
+    dead_transitions,
+    is_semi_sound,
+    is_sound,
+)
+
+__all__ = [
+    "LabelledTransitionSystem",
+    "Transition",
+    "extract_workflow",
+    "PetriNet",
+    "WorkflowNet",
+    "WorkflowDiagnostics",
+    "analyse_workflow",
+    "dead_transitions",
+    "is_semi_sound",
+    "is_sound",
+]

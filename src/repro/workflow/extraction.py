@@ -1,0 +1,104 @@
+"""Extracting the workflow implied by a guarded form.
+
+The access rules of a guarded form induce a transition system over instances
+(Section 3.4 / Definition 3.11).  :func:`extract_workflow` materialises it as
+a :class:`~repro.workflow.lts.LabelledTransitionSystem`:
+
+* for depth-1 forms the states are the reachable canonical instances (label
+  sets), which by Lemma 4.3 is an exact representation of the workflow;
+* for deeper forms the states are isomorphism classes of reachable instances
+  explored up to the supplied limits, mirroring
+  :func:`repro.analysis.statespace.explore_bounded`.
+
+State names are human-readable (sorted field lists for depth-1 forms, a
+numbered ``s<i>`` plus the field multiset otherwise) so the extracted LTS can
+be rendered directly with :mod:`repro.io.dot`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.results import ExplorationLimits
+from repro.analysis.statespace import explore_bounded, explore_depth1
+from repro.core.guarded_form import GuardedForm
+from repro.core.instance import Instance
+from repro.core.schema import format_schema_path
+from repro.workflow.lts import LabelledTransitionSystem
+
+
+def extract_workflow(
+    guarded_form: GuardedForm,
+    start: Optional[Instance] = None,
+    limits: Optional[ExplorationLimits] = None,
+) -> LabelledTransitionSystem:
+    """Build the labelled transition system implied by *guarded_form*.
+
+    Accepting states are those whose instance satisfies the completion
+    formula.  For non-depth-1 forms the system may be a truncated
+    under-approximation; the ``truncated`` key of the returned system's
+    ``state_annotations["__meta__"]`` records whether that happened.
+    """
+    if guarded_form.schema_depth() <= 1:
+        return _extract_depth1(guarded_form, start)
+    return _extract_bounded(guarded_form, start, limits)
+
+
+def _depth1_state_name(state: frozenset) -> str:
+    return "{" + ", ".join(sorted(state)) + "}" if state else "{}"
+
+
+def _extract_depth1(guarded_form: GuardedForm, start: Optional[Instance]) -> LabelledTransitionSystem:
+    graph = explore_depth1(guarded_form, start=start)
+    lts = LabelledTransitionSystem(initial=_depth1_state_name(graph.initial))
+    complete = graph.satisfying_states(guarded_form.is_complete)
+    for state in graph.states:
+        lts.add_state(
+            _depth1_state_name(state),
+            accepting=state in complete,
+            annotation=state,
+        )
+    for state, transitions in graph.transitions.items():
+        for transition in transitions:
+            action = f"{'add' if transition.kind == 'add' else 'delete'} {transition.label}"
+            lts.add_transition(
+                _depth1_state_name(state), action, _depth1_state_name(transition.target)
+            )
+    lts.state_annotations["__meta__"] = {"truncated": False, "representation": "canonical"}
+    return lts
+
+
+def _extract_bounded(
+    guarded_form: GuardedForm,
+    start: Optional[Instance],
+    limits: Optional[ExplorationLimits],
+) -> LabelledTransitionSystem:
+    graph = explore_bounded(guarded_form, start=start, limits=limits)
+    names: dict = {}
+    for index, key in enumerate(sorted(graph.representatives, key=repr)):
+        instance = graph.representatives[key]
+        fields = sorted(
+            format_schema_path(node.label_path())
+            for node in instance.nodes()
+            if not node.is_root()
+        )
+        names[key] = f"s{index}:" + ("{" + ", ".join(fields) + "}" if fields else "{}")
+
+    lts = LabelledTransitionSystem(initial=names[graph.initial_key])
+    for key, instance in graph.iter_states():
+        lts.add_state(
+            names[key],
+            accepting=guarded_form.is_complete(instance),
+            annotation=instance,
+        )
+    for key, edges in graph.transitions.items():
+        source_instance = graph.representatives[key]
+        for update, target_key in edges:
+            if target_key not in names:
+                continue
+            lts.add_transition(names[key], update.describe(source_instance), names[target_key])
+    lts.state_annotations["__meta__"] = {
+        "truncated": graph.truncated,
+        "representation": "isomorphism",
+    }
+    return lts

@@ -1,0 +1,222 @@
+"""A small place/transition net substrate and workflow nets.
+
+The paper's notion of semi-soundness is introduced (footnote 1) as a weaker
+version of the classical soundness of *workflow nets* [van der Aalst 1998].
+To make that connection concrete the library ships a minimal Petri-net
+implementation:
+
+* :class:`PetriNet` — places, transitions, arcs, markings, firing, and a
+  bounded reachability-graph construction;
+* :class:`WorkflowNet` — a net with a dedicated source and sink place and the
+  classical soundness check (option to complete + proper completion + no dead
+  transitions), evaluated on the reachability graph;
+* :func:`depth1_form_to_workflow_net` — a translation of depth-1 guarded
+  forms whose rules are conjunctions of presence/absence literals into an
+  equivalent workflow net, used by the examples to compare the paper's
+  analysis with the classical one.
+
+The net machinery is self-contained (it does not depend on the guarded-form
+model) so it can also be used as a plain workflow-net library.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+from repro.exceptions import AnalysisError
+from repro.workflow.lts import LabelledTransitionSystem
+
+#: A marking: multiset of tokens per place.
+Marking = tuple
+
+
+@dataclass(frozen=True)
+class NetTransition:
+    """A Petri-net transition with input and output places."""
+
+    name: str
+    inputs: frozenset
+    outputs: frozenset
+
+
+class PetriNet:
+    """A place/transition net with unit arc weights."""
+
+    def __init__(self, places: Iterable[str]) -> None:
+        self.places: tuple[str, ...] = tuple(dict.fromkeys(places))
+        self._index = {place: i for i, place in enumerate(self.places)}
+        self.transitions: list[NetTransition] = []
+
+    def add_transition(self, name: str, inputs: Iterable[str], outputs: Iterable[str]) -> NetTransition:
+        """Add a transition consuming one token from each input place and
+        producing one token on each output place."""
+        for place in list(inputs) + list(outputs):
+            if place not in self._index:
+                raise AnalysisError(f"unknown place {place!r}")
+        transition = NetTransition(name, frozenset(inputs), frozenset(outputs))
+        self.transitions.append(transition)
+        return transition
+
+    # ------------------------------------------------------------------ #
+    # markings and firing
+    # ------------------------------------------------------------------ #
+
+    def marking(self, tokens: Mapping[str, int]) -> Marking:
+        """Build a marking from a place→token-count mapping."""
+        counts = [0] * len(self.places)
+        for place, count in tokens.items():
+            counts[self._index[place]] = count
+        return tuple(counts)
+
+    def tokens(self, marking: Marking, place: str) -> int:
+        """Number of tokens on *place* in *marking*."""
+        return marking[self._index[place]]
+
+    def enabled(self, marking: Marking) -> list[NetTransition]:
+        """Transitions enabled in *marking*."""
+        return [
+            transition
+            for transition in self.transitions
+            if all(marking[self._index[place]] > 0 for place in transition.inputs)
+        ]
+
+    def fire(self, marking: Marking, transition: NetTransition) -> Marking:
+        """Fire *transition* in *marking* and return the successor marking."""
+        if transition not in self.enabled(marking):
+            raise AnalysisError(f"transition {transition.name!r} is not enabled")
+        counts = list(marking)
+        for place in transition.inputs:
+            counts[self._index[place]] -= 1
+        for place in transition.outputs:
+            counts[self._index[place]] += 1
+        return tuple(counts)
+
+    def reachability_graph(
+        self, initial: Marking, max_markings: int = 50_000
+    ) -> LabelledTransitionSystem:
+        """The reachability graph as an LTS (bounded by *max_markings*).
+
+        Raises:
+            AnalysisError: when the bound is exceeded (the net is unbounded or
+                too large for explicit exploration).
+        """
+        lts = LabelledTransitionSystem(initial=initial)
+        frontier = deque([initial])
+        seen = {initial}
+        while frontier:
+            marking = frontier.popleft()
+            for transition in self.enabled(marking):
+                successor = self.fire(marking, transition)
+                lts.add_transition(marking, transition.name, successor)
+                if successor not in seen:
+                    if len(seen) >= max_markings:
+                        raise AnalysisError(
+                            "reachability graph exceeds the configured bound"
+                        )
+                    seen.add(successor)
+                    frontier.append(successor)
+        return lts
+
+
+class WorkflowNet(PetriNet):
+    """A workflow net: a Petri net with a source place ``i`` and sink place ``o``.
+
+    Classical soundness [9] requires that from the initial marking (one token
+    on ``i``):
+
+    1. *option to complete* — the final marking (one token on ``o``) is
+       reachable from every reachable marking;
+    2. *proper completion* — whenever ``o`` is marked, it is the only marked
+       place;
+    3. *no dead transitions* — every transition is enabled in some reachable
+       marking.
+    """
+
+    def __init__(self, places: Iterable[str], source: str = "i", sink: str = "o") -> None:
+        all_places = list(places)
+        for special in (source, sink):
+            if special not in all_places:
+                all_places.append(special)
+        super().__init__(all_places)
+        self.source = source
+        self.sink = sink
+
+    def initial_marking(self) -> Marking:
+        """One token on the source place."""
+        return self.marking({self.source: 1})
+
+    def final_marking(self) -> Marking:
+        """One token on the sink place."""
+        return self.marking({self.sink: 1})
+
+    def soundness_report(self, max_markings: int = 50_000) -> dict:
+        """Evaluate the three classical soundness conditions.
+
+        Returns a dict with keys ``option_to_complete``, ``proper_completion``,
+        ``no_dead_transitions`` and ``sound``.
+        """
+        graph = self.reachability_graph(self.initial_marking(), max_markings)
+        final = self.final_marking()
+        reachable = graph.reachable()
+        to_final = graph.backward_reachable({final} if final in graph.states else set())
+        option_to_complete = final in graph.states and reachable <= to_final
+
+        sink_index = self._index[self.sink]
+        proper_completion = all(
+            sum(marking) == marking[sink_index]
+            for marking in reachable
+            if marking[sink_index] > 0
+        )
+
+        fired = {transition.action for transition in graph.transitions}
+        no_dead_transitions = fired >= {t.name for t in self.transitions}
+
+        return {
+            "option_to_complete": option_to_complete,
+            "proper_completion": proper_completion,
+            "no_dead_transitions": no_dead_transitions,
+            "sound": option_to_complete and proper_completion and no_dead_transitions,
+        }
+
+    def is_sound(self, max_markings: int = 50_000) -> bool:
+        """Classical soundness of the workflow net."""
+        return self.soundness_report(max_markings)["sound"]
+
+
+def depth1_form_to_workflow_net(guarded_form) -> WorkflowNet:
+    """Translate a depth-1 guarded form into a workflow net over its canonical
+    states.
+
+    Every reachable canonical state becomes a place; every allowed update
+    becomes a transition moving the single token between the corresponding
+    places; an extra ``complete`` transition moves the token from each
+    completion state to the sink.  The resulting net is a state-machine-shaped
+    workflow net whose *option to complete* condition coincides with the
+    paper's semi-soundness of the guarded form (proper completion holds
+    trivially because there is a single token; classical soundness adds the
+    no-dead-transition requirement on top) — the relationship footnote 1 of
+    the paper describes, demonstrated by the examples.
+    """
+    from repro.analysis.statespace import explore_depth1
+
+    graph = explore_depth1(guarded_form)
+    state_names = {state: "p_" + ("_".join(sorted(state)) or "empty") for state in graph.states}
+    net = WorkflowNet(state_names.values())
+    net.add_transition("start", [net.source], [state_names[graph.initial]])
+    seen_actions: set[str] = set()
+    for state, transitions in graph.transitions.items():
+        for index, transition in enumerate(transitions):
+            name = f"{transition.kind}_{transition.label}_from_{state_names[state]}_{index}"
+            if name in seen_actions:
+                continue
+            seen_actions.add(name)
+            net.add_transition(
+                name, [state_names[state]], [state_names[transition.target]]
+            )
+    for state in graph.satisfying_states(guarded_form.is_complete):
+        net.add_transition(
+            f"complete_{state_names[state]}", [state_names[state]], [net.sink]
+        )
+    return net

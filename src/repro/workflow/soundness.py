@@ -1,0 +1,101 @@
+"""Workflow correctness notions on labelled transition systems.
+
+Footnote 1 of the paper explains that *semi-soundness* is a weakening of the
+classical soundness of workflow nets [van der Aalst]: soundness additionally
+requires every transition to occur in at least one possible run.  On an
+explicit LTS both notions (plus a few standard diagnostics) are simple graph
+computations, which this module provides:
+
+* semi-soundness — every reachable state can reach an accepting state;
+* soundness — semi-soundness plus "no dead transitions" (every action labels
+  some transition on a path from the initial state that can still complete);
+* deadlock states, unreachable states, dead transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workflow.lts import LabelledTransitionSystem, Transition
+
+
+@dataclass
+class WorkflowDiagnostics:
+    """The full diagnostic report of :func:`analyse_workflow`."""
+
+    semi_sound: bool
+    sound: bool
+    reachable_states: int
+    accepting_reachable: int
+    stuck_states: list = field(default_factory=list)
+    deadlock_states: list = field(default_factory=list)
+    dead_transitions: list = field(default_factory=list)
+    unreachable_states: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        parts = [
+            f"semi-sound={self.semi_sound}",
+            f"sound={self.sound}",
+            f"reachable={self.reachable_states}",
+            f"accepting={self.accepting_reachable}",
+        ]
+        if self.stuck_states:
+            parts.append(f"stuck={len(self.stuck_states)}")
+        if self.dead_transitions:
+            parts.append(f"dead transitions={len(self.dead_transitions)}")
+        return ", ".join(parts)
+
+
+def is_semi_sound(lts: LabelledTransitionSystem) -> bool:
+    """Every reachable state can still reach an accepting state."""
+    reachable = lts.reachable()
+    can_complete = lts.backward_reachable(lts.accepting & lts.states)
+    return reachable <= can_complete
+
+
+def dead_transitions(lts: LabelledTransitionSystem) -> list[Transition]:
+    """Transitions that never occur in any run that can still complete.
+
+    A transition is *live* when its source is reachable and its target can
+    still reach an accepting state; everything else is dead.  (For
+    semi-sound systems this coincides with "the transition occurs in at least
+    one complete run", the extra requirement classical soundness adds.)
+    """
+    reachable = lts.reachable()
+    can_complete = lts.backward_reachable(lts.accepting & lts.states)
+    dead = []
+    for transition in lts.transitions:
+        if transition.source not in reachable or transition.target not in can_complete:
+            dead.append(transition)
+    return dead
+
+
+def is_sound(lts: LabelledTransitionSystem) -> bool:
+    """Semi-soundness plus absence of dead transitions (footnote 1 / [9])."""
+    return is_semi_sound(lts) and not dead_transitions(lts)
+
+
+def stuck_states(lts: LabelledTransitionSystem) -> list:
+    """Reachable states from which no accepting state is reachable."""
+    reachable = lts.reachable()
+    can_complete = lts.backward_reachable(lts.accepting & lts.states)
+    return sorted((state for state in reachable - can_complete), key=repr)
+
+
+def analyse_workflow(lts: LabelledTransitionSystem) -> WorkflowDiagnostics:
+    """Compute the full diagnostic report for an extracted workflow."""
+    reachable = lts.reachable()
+    can_complete = lts.backward_reachable(lts.accepting & lts.states)
+    stuck = sorted((state for state in reachable - can_complete), key=repr)
+    dead = dead_transitions(lts)
+    return WorkflowDiagnostics(
+        semi_sound=not stuck,
+        sound=not stuck and not dead,
+        reachable_states=len(reachable),
+        accepting_reachable=len(reachable & lts.accepting),
+        stuck_states=stuck,
+        deadlock_states=sorted(lts.deadlock_states(), key=repr),
+        dead_transitions=dead,
+        unreachable_states=sorted((state for state in lts.states - reachable), key=repr),
+    )

@@ -1,0 +1,182 @@
+"""Unit tests for the completability procedures (Definition 3.13, Thms 4.6/5.2/5.5)."""
+
+import pytest
+
+from repro.analysis.completability import (
+    completability_bounded,
+    completability_by_saturation,
+    completability_depth1,
+    decide_completability,
+    positive_rules_copy_bound,
+)
+from repro.analysis.results import ExplorationLimits
+from repro.benchgen.families import positive_chain_family, positive_deep_family
+from repro.benchgen.random_forms import random_depth1_guarded_form
+from repro.core.access import RuleTable
+from repro.core.guarded_form import GuardedForm
+from repro.core.instance import Instance
+from repro.core.schema import depth_one_schema
+from repro.exceptions import AnalysisError
+
+
+class TestSaturation:
+    def test_positive_chain_is_completable(self):
+        form = positive_chain_family(6)
+        result = completability_by_saturation(form)
+        assert result.decided and result.answer
+        assert result.procedure == "positive_saturation"
+        assert result.witness_run is not None and result.witness_run.is_complete()
+
+    def test_unreachable_positive_goal(self):
+        schema = depth_one_schema(["a", "b"])
+        rules = RuleTable.from_dict(schema, {"a": ("b", "false")})  # a needs b, b never addable
+        form = GuardedForm(schema, rules, completion="a")
+        result = completability_by_saturation(form)
+        assert result.decided and result.answer is False
+
+    def test_deep_positive_form(self):
+        form = positive_deep_family(4, width=2)
+        result = completability_by_saturation(form)
+        assert result.decided and result.answer
+
+    def test_rejects_non_positive_forms(self, leave_form):
+        with pytest.raises(AnalysisError):
+            completability_by_saturation(leave_form)
+
+    def test_rejects_non_positive_completion(self):
+        schema = depth_one_schema(["a"])
+        rules = RuleTable.from_dict(schema, {"a": "true"})
+        form = GuardedForm(schema, rules, completion="¬a")
+        with pytest.raises(AnalysisError):
+            completability_by_saturation(form)
+
+    def test_saturation_agrees_with_depth1_search_on_random_forms(self):
+        for seed in range(15):
+            form = random_depth1_guarded_form(
+                4, seed=seed, positive_access=True, positive_completion=True
+            )
+            saturation = completability_by_saturation(form)
+            exact = completability_depth1(form)
+            assert saturation.answer == exact.answer
+
+    def test_saturation_from_custom_start(self):
+        form = positive_chain_family(4)
+        start = Instance.from_paths(form.schema, ["f0", "f1"])
+        result = completability_by_saturation(form, start=start)
+        assert result.answer
+
+
+class TestDepth1:
+    def test_tiny_chain(self, tiny_form):
+        result = completability_depth1(tiny_form)
+        assert result.decided and result.answer
+        assert result.witness_run is not None
+        assert result.witness_run.is_complete()
+
+    def test_unreachable_completion(self):
+        schema = depth_one_schema(["a", "b"])
+        rules = RuleTable.from_dict(schema, {"a": ("¬b", "¬a")})
+        form = GuardedForm(schema, rules, completion="a ∧ b")
+        result = completability_depth1(form)
+        assert result.decided and result.answer is False
+
+    def test_requires_deletion_to_complete(self):
+        # b can only be added after a, but the completion requires a gone again
+        schema = depth_one_schema(["a", "b"])
+        rules = RuleTable.from_dict(schema, {"a": ("¬b", "b"), "b": ("a", "false")})
+        form = GuardedForm(schema, rules, completion="b ∧ ¬a")
+        result = completability_depth1(form)
+        assert result.decided and result.answer
+        assert result.witness_run.is_complete()
+
+    def test_completability_from_given_instance(self, tiny_form):
+        start = Instance.from_paths(tiny_form.schema, ["a", "b", "c"])
+        result = completability_depth1(tiny_form, start=start)
+        assert result.answer
+
+    def test_stats_reported(self, tiny_form):
+        result = completability_depth1(tiny_form)
+        assert result.stats["canonical_states"] == 4
+
+
+class TestBounded:
+    def test_leave_application_completable(self, leave_form):
+        result = completability_bounded(
+            leave_form, limits=ExplorationLimits(max_states=20_000, max_instance_nodes=30)
+        )
+        assert result.decided and result.answer
+        assert result.witness_run.is_complete()
+
+    def test_negative_exact_when_not_truncated(self, broken_completion_form):
+        result = completability_bounded(
+            broken_completion_form,
+            limits=ExplorationLimits(max_states=20_000, max_instance_nodes=30),
+        )
+        assert result.decided
+        assert result.answer is False
+        assert not result.stats["truncated"]
+
+    def test_negative_undecided_when_truncated(self, broken_completion_form):
+        result = completability_bounded(
+            broken_completion_form, limits=ExplorationLimits(max_states=10, max_instance_nodes=30)
+        )
+        assert not result.decided
+        assert result.answer is None
+
+    def test_copy_bound_negative_is_decided_when_authorised(self):
+        schema = depth_one_schema(["a", "b"])
+        rules = RuleTable.from_dict(schema, {"a": ("true", "false")})
+        form = GuardedForm(schema, rules, completion="b")
+        result = completability_bounded(
+            form,
+            limits=ExplorationLimits(max_states=100, max_instance_nodes=10, max_sibling_copies=1),
+            copy_bound_is_sufficient=True,
+        )
+        assert result.decided and result.answer is False
+
+
+class TestDispatcher:
+    def test_auto_uses_saturation_for_positive_forms(self):
+        result = decide_completability(positive_chain_family(5))
+        assert result.procedure == "positive_saturation"
+
+    def test_auto_uses_depth1_for_depth1_forms(self, tiny_form):
+        result = decide_completability(tiny_form)
+        assert result.procedure == "depth1_canonical_search"
+
+    def test_auto_uses_bounded_for_deep_unrestricted_forms(self, leave_form):
+        result = decide_completability(
+            leave_form, limits=ExplorationLimits(max_states=20_000, max_instance_nodes=30)
+        )
+        assert result.procedure == "bounded_exploration"
+        assert result.answer
+
+    def test_explicit_strategy_selection(self, tiny_form):
+        assert decide_completability(tiny_form, strategy="depth1").answer
+        assert decide_completability(tiny_form, strategy="bounded").answer
+
+    def test_unknown_strategy_rejected(self, tiny_form):
+        with pytest.raises(AnalysisError):
+            decide_completability(tiny_form, strategy="magic")
+
+    def test_copy_bound_heuristic(self, leave_form):
+        assert positive_rules_copy_bound(leave_form) >= 1
+
+    def test_positive_access_deep_form_gets_decided_negative(self):
+        # positive rules, negative completion, depth 2: the dispatcher bounds
+        # sibling copies by the completion size and may then decide negatively
+        from repro.core.schema import Schema
+
+        schema = Schema.from_dict({"a": {"b": {}}, "c": {}})
+        rules = RuleTable.from_dict(schema, {"a": ("true", "false"), "a/b": ("true", "false")})
+        form = GuardedForm(schema, rules, completion="c ∧ a[b]")
+        result = decide_completability(form)
+        assert result.decided
+        assert result.answer is False  # c is never addable
+
+    def test_paper_example_incompletable_variant(self, broken_completion_form):
+        result = decide_completability(
+            broken_completion_form,
+            limits=ExplorationLimits(max_states=20_000, max_instance_nodes=30),
+        )
+        assert result.decided and result.answer is False

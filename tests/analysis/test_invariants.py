@@ -1,0 +1,57 @@
+"""Unit tests for invariant checking via completability (Section 3.5)."""
+
+from repro.analysis.invariants import always_holds, can_reach
+from repro.analysis.results import ExplorationLimits
+
+LIMITS = ExplorationLimits(max_states=20_000, max_instance_nodes=30)
+
+
+class TestCanReach:
+    def test_paper_invariant_no_double_decision(self, leave_form):
+        """The paper's example: can a decision contain both approve and reject?"""
+        result = can_reach(leave_form, "d[a ∧ r]", limits=LIMITS)
+        assert result.decided
+        assert result.answer is False
+
+    def test_reachable_condition(self, leave_form):
+        result = can_reach(leave_form, "d[r] ∧ ¬f", limits=LIMITS)
+        assert result.decided and result.answer
+        assert result.witness_run is not None
+        final = result.witness_run.final_instance()
+        assert final.has_path("d/r") and not final.has_path("f")
+
+    def test_can_reach_on_depth1(self, tiny_form):
+        assert can_reach(tiny_form, "a ∧ b").answer
+        assert can_reach(tiny_form, "c ∧ ¬a").answer is False
+
+    def test_query_recorded_in_stats(self, tiny_form):
+        assert can_reach(tiny_form, "a").stats["query"] == "can_reach"
+
+
+class TestAlwaysHolds:
+    def test_paper_invariant_holds(self, leave_form):
+        # "the application can never be both approved and rejected"
+        result = always_holds(leave_form, "¬d[a ∧ r]", limits=LIMITS)
+        assert result.decided and result.answer
+
+    def test_violated_invariant(self, leave_form):
+        # "the application is never submitted" is clearly violated
+        result = always_holds(leave_form, "¬s", limits=LIMITS)
+        assert result.decided and result.answer is False
+        assert result.witness_run is not None
+        assert result.witness_run.final_instance().has_path("s")
+
+    def test_final_implies_decision(self, leave_form):
+        result = always_holds(leave_form, "¬f ∨ d[a ∨ r]", limits=LIMITS)
+        assert result.decided and result.answer
+
+    def test_final_does_not_imply_decision_in_broken_variant(self, broken_rules_form):
+        result = always_holds(broken_rules_form, "¬f ∨ d[a ∨ r]", limits=LIMITS)
+        assert result.decided and result.answer is False
+
+    def test_depth1_invariants(self, tiny_form):
+        assert always_holds(tiny_form, "¬b ∨ a").answer  # b needs a and a undeletable while b present
+        assert always_holds(tiny_form, "¬a").answer is False
+
+    def test_problem_field(self, tiny_form):
+        assert always_holds(tiny_form, "¬a").problem == "invariant"

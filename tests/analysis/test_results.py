@@ -1,0 +1,51 @@
+"""Unit tests for analysis result/limit types."""
+
+import pytest
+
+from repro.analysis.results import AnalysisResult, ExplorationLimits
+from repro.exceptions import AnalysisError
+
+
+class TestExplorationLimits:
+    def test_defaults(self):
+        limits = ExplorationLimits()
+        assert limits.max_states > 0
+        assert limits.allows_instance_size(10)
+
+    def test_size_limit(self):
+        limits = ExplorationLimits(max_instance_nodes=5)
+        assert limits.allows_instance_size(5)
+        assert not limits.allows_instance_size(6)
+
+    def test_unlimited_size(self):
+        limits = ExplorationLimits(max_instance_nodes=None)
+        assert limits.allows_instance_size(10**6)
+
+    def test_immutable(self):
+        limits = ExplorationLimits()
+        with pytest.raises(Exception):
+            limits.max_states = 3  # type: ignore[misc]
+
+
+class TestAnalysisResult:
+    def test_bool_of_decided_result(self):
+        positive = AnalysisResult("completability", True, True, "depth1_canonical_search")
+        negative = AnalysisResult("completability", True, False, "depth1_canonical_search")
+        assert bool(positive)
+        assert not bool(negative)
+        assert positive.require_decided() is True
+
+    def test_bool_of_undecided_result_raises(self):
+        undecided = AnalysisResult("semisoundness", False, None, "bounded_exploration")
+        with pytest.raises(AnalysisError):
+            bool(undecided)
+        with pytest.raises(AnalysisError):
+            undecided.require_decided()
+
+    def test_describe(self):
+        decided = AnalysisResult("completability", True, True, "positive_saturation")
+        assert "yes" in decided.describe()
+        undecided = AnalysisResult("completability", False, None, "bounded_exploration")
+        assert "undecided" in undecided.describe()
+        negative = AnalysisResult("semisoundness", True, False, "depth1_canonical_graph")
+        assert "no" in negative.describe()

@@ -1,0 +1,152 @@
+"""Unit tests for the semi-soundness procedures (Definition 3.14, Cor. 4.7/5.7)."""
+
+import pytest
+
+from repro.analysis.completability import decide_completability
+from repro.analysis.results import ExplorationLimits
+from repro.analysis.semisoundness import (
+    decide_semisoundness,
+    semisoundness_bounded,
+    semisoundness_depth1,
+)
+from repro.benchgen.random_forms import random_depth1_guarded_form
+from repro.core.access import RuleTable
+from repro.core.guarded_form import GuardedForm
+from repro.core.schema import depth_one_schema
+from repro.exceptions import AnalysisError
+
+
+def depth1_form(rules_dict, completion, labels=("a", "b", "c"), initial=None):
+    schema = depth_one_schema(list(labels))
+    rules = RuleTable.from_dict(schema, rules_dict)
+    from repro.core.instance import Instance
+
+    start = Instance.from_paths(schema, initial) if initial else None
+    return GuardedForm(schema, rules, completion=completion, initial_instance=start)
+
+
+class TestDepth1:
+    def test_semi_sound_chain(self, tiny_form):
+        result = semisoundness_depth1(tiny_form)
+        assert result.decided and result.answer
+        assert result.counterexample is None
+
+    def test_trap_state_detected(self):
+        # adding b disables everything and the completion needs a
+        form = depth1_form({"a": ("¬b", "false"), "b": ("true", "false")}, completion="a")
+        result = semisoundness_depth1(form)
+        assert result.decided and result.answer is False
+        assert result.counterexample is not None
+        # the counterexample contains the trap field b and not a
+        state = {child.label for child in result.counterexample.root.children}
+        assert "b" in state and "a" not in state
+        assert result.witness_run is not None and result.witness_run.is_valid()
+
+    def test_incompletable_form_is_not_semi_sound(self):
+        form = depth1_form({"a": ("b", "false")}, completion="a")
+        assert semisoundness_depth1(form).answer is False
+
+    def test_completable_everywhere_form_is_semi_sound(self):
+        form = depth1_form({"a": ("true", "true"), "b": ("true", "true")}, completion="a ∨ ¬a")
+        assert semisoundness_depth1(form).answer
+
+    def test_counterexample_is_really_incompletable(self):
+        form = depth1_form(
+            {"a": ("¬b", "false"), "b": ("true", "false"), "c": ("a", "false")},
+            completion="c",
+        )
+        result = semisoundness_depth1(form)
+        assert result.answer is False
+        check = decide_completability(form, start=result.counterexample)
+        assert check.decided and check.answer is False
+
+    def test_stats(self, tiny_form):
+        result = semisoundness_depth1(tiny_form)
+        assert result.stats["reachable_states"] == 4
+        assert result.stats["incompletable_reachable_states"] == 0
+
+
+class TestBounded:
+    def test_leave_application_semi_sound(self, leave_form):
+        result = semisoundness_bounded(
+            leave_form, limits=ExplorationLimits(max_states=20_000, max_instance_nodes=30)
+        )
+        assert result.decided and result.answer
+
+    def test_broken_rules_variant_not_semi_sound(self, broken_rules_form):
+        result = semisoundness_bounded(
+            broken_rules_form, limits=ExplorationLimits(max_states=20_000, max_instance_nodes=30)
+        )
+        assert result.decided and result.answer is False
+        assert result.counterexample is not None
+        # the counterexample has a final field but no approval/rejection
+        assert result.counterexample.has_path("f")
+        assert not result.counterexample.has_path("d/a")
+        assert not result.counterexample.has_path("d/r")
+        # and it really cannot be completed from there
+        check = decide_completability(
+            broken_rules_form,
+            start=result.counterexample,
+            limits=ExplorationLimits(max_states=20_000, max_instance_nodes=30),
+        )
+        assert check.decided and check.answer is False
+
+    def test_undecided_when_truncated_without_counterexample(self, leave_form_full):
+        result = semisoundness_bounded(
+            leave_form_full, limits=ExplorationLimits(max_states=50, max_instance_nodes=12)
+        )
+        assert not result.decided
+
+    def test_witness_run_reaches_counterexample(self, broken_rules_form):
+        result = semisoundness_bounded(
+            broken_rules_form, limits=ExplorationLimits(max_states=20_000, max_instance_nodes=30)
+        )
+        final = result.witness_run.final_instance()
+        assert final.shape() == result.counterexample.shape()
+
+
+class TestDispatcher:
+    def test_auto_uses_depth1_graph(self, tiny_form):
+        result = decide_semisoundness(tiny_form)
+        assert result.procedure == "depth1_canonical_graph"
+        assert result.answer
+
+    def test_auto_uses_bounded_for_deep_forms(self, leave_form):
+        result = decide_semisoundness(
+            leave_form, limits=ExplorationLimits(max_states=20_000, max_instance_nodes=30)
+        )
+        assert result.procedure == "bounded_exploration"
+        assert result.answer
+
+    def test_explicit_strategies(self, tiny_form):
+        assert decide_semisoundness(tiny_form, strategy="depth1").answer
+        # the bounded strategy cannot exhaust the instance space of a form
+        # whose additions may duplicate fields without bound, so it may only
+        # report "undecided" here — but it must never contradict the exact
+        # depth-1 answer
+        bounded = decide_semisoundness(tiny_form, strategy="bounded")
+        assert bounded.answer in (True, None)
+
+    def test_unknown_strategy_rejected(self, tiny_form):
+        with pytest.raises(AnalysisError):
+            decide_semisoundness(tiny_form, strategy="magic")
+
+    def test_random_positive_forms_agree_between_procedures(self):
+        for seed in range(10):
+            form = random_depth1_guarded_form(
+                3, seed=seed + 500, positive_access=True, positive_completion=True
+            )
+            exact = semisoundness_depth1(form)
+            bounded = semisoundness_bounded(
+                form, limits=ExplorationLimits(max_states=5_000, max_instance_nodes=10, max_sibling_copies=1)
+            )
+            if bounded.decided:
+                assert bounded.answer == exact.answer
+
+    def test_semisoundness_implies_completability(self, leave_form, tiny_form):
+        for form in (tiny_form, leave_form):
+            limits = ExplorationLimits(max_states=20_000, max_instance_nodes=30)
+            semi = decide_semisoundness(form, limits=limits)
+            completable = decide_completability(form, limits=limits)
+            if semi.decided and semi.answer:
+                assert completable.decided and completable.answer

@@ -1,0 +1,129 @@
+"""Unit tests for the state-space explorers (Lemma 4.3, Theorem 4.6)."""
+
+import pytest
+
+from repro.analysis.results import ExplorationLimits
+from repro.analysis.statespace import explore_bounded, explore_depth1
+from repro.core.access import RuleTable
+from repro.core.guarded_form import GuardedForm
+from repro.core.instance import Instance
+from repro.core.schema import Schema, depth_one_schema
+
+
+class TestDepth1Explorer:
+    def test_tiny_chain_states(self, tiny_form):
+        graph = explore_depth1(tiny_form)
+        assert graph.initial == frozenset()
+        # a, then b, then c; deletions of a (while no b) and b (while no c)
+        expected_states = {
+            frozenset(),
+            frozenset({"a"}),
+            frozenset({"a", "b"}),
+            frozenset({"a", "b", "c"}),
+        }
+        assert graph.states == expected_states
+
+    def test_transition_kinds(self, tiny_form):
+        graph = explore_depth1(tiny_form)
+        initial_transitions = graph.successors(frozenset())
+        assert [(t.kind, t.label) for t in initial_transitions] == [("add", "a")]
+        from_ab = {(t.kind, t.label) for t in graph.successors(frozenset({"a", "b"}))}
+        assert ("add", "c") in from_ab
+        assert ("del", "b") in from_ab
+
+    def test_reachability_and_backward_closure(self, tiny_form):
+        graph = explore_depth1(tiny_form)
+        reachable = graph.reachable_from(graph.initial)
+        assert reachable == graph.states
+        complete = graph.satisfying_states(tiny_form.is_complete)
+        assert complete == {frozenset({"a", "b", "c"})}
+        assert graph.backward_closure(complete) == graph.states
+
+    def test_run_to_reconstructs_valid_run(self, tiny_form):
+        graph = explore_depth1(tiny_form)
+        run = graph.run_to(frozenset({"a", "b", "c"}))
+        assert run is not None
+        assert run.is_valid()
+        assert tiny_form.is_complete(run.final_instance())
+
+    def test_path_to_unreachable_state_is_none(self, tiny_form):
+        graph = explore_depth1(tiny_form)
+        assert graph.path_to(frozenset({"c"})) is None
+
+    def test_depth1_explorer_rejects_deep_forms(self, leave_form):
+        with pytest.raises(ValueError):
+            explore_depth1(leave_form)
+
+    def test_custom_start_instance(self, tiny_form):
+        start = Instance.from_paths(tiny_form.schema, ["a", "b"])
+        graph = explore_depth1(tiny_form, start=start)
+        assert graph.initial == frozenset({"a", "b"})
+
+    def test_self_loops_are_not_recorded(self):
+        schema = depth_one_schema(["a"])
+        rules = RuleTable.from_dict(schema, {"a": ("true", "false")})
+        form = GuardedForm(schema, rules, completion="a")
+        graph = explore_depth1(form)
+        # adding a second copy of a keeps the canonical state unchanged and is
+        # therefore not a transition of the canonical graph
+        for transitions in graph.transitions.values():
+            for transition in transitions:
+                assert transition.source != transition.target
+
+
+class TestBoundedExplorer:
+    def test_exhaustive_on_finite_form(self, leave_form):
+        graph = explore_bounded(leave_form, limits=ExplorationLimits(max_states=10_000, max_instance_nodes=30))
+        assert not graph.truncated
+        assert len(graph.representatives) > 10
+        # the graph contains a complete state
+        assert graph.satisfying_states(leave_form.is_complete)
+
+    def test_run_reconstruction(self, leave_form):
+        graph = explore_bounded(leave_form, limits=ExplorationLimits(max_states=10_000, max_instance_nodes=30))
+        complete = graph.satisfying_states(leave_form.is_complete)
+        run = graph.run_to(next(iter(complete)))
+        assert run.is_valid()
+        assert leave_form.is_complete(run.final_instance())
+
+    def test_truncation_by_states(self, leave_form):
+        graph = explore_bounded(leave_form, limits=ExplorationLimits(max_states=5, max_instance_nodes=30))
+        assert graph.truncated_by_states
+        assert graph.truncated
+        assert len(graph.representatives) <= 5
+
+    def test_truncation_by_size(self, leave_form_full):
+        graph = explore_bounded(
+            leave_form_full, limits=ExplorationLimits(max_states=2_000, max_instance_nodes=8)
+        )
+        assert graph.truncated_by_size
+        for instance in graph.representatives.values():
+            assert instance.size() <= 9
+
+    def test_truncation_by_copies(self, leave_form_full):
+        graph = explore_bounded(
+            leave_form_full,
+            limits=ExplorationLimits(max_states=5_000, max_instance_nodes=40, max_sibling_copies=1),
+        )
+        assert graph.truncated_by_copies
+        for instance in graph.representatives.values():
+            application = instance.find_path("a")
+            if application is not None:
+                assert len(application.children_with_label("p")) <= 1
+
+    def test_isomorphic_states_are_merged(self):
+        # two identical siblings produce isomorphic instances regardless of
+        # which parent node the update targeted
+        schema = Schema.from_dict({"x": {"y": {}}})
+        rules = RuleTable.from_dict(schema, {}, default="true")
+        form = GuardedForm(schema, rules, completion="x[y]")
+        graph = explore_bounded(
+            form, limits=ExplorationLimits(max_states=500, max_instance_nodes=4)
+        )
+        shapes = set(graph.representatives.keys())
+        assert len(shapes) == len(graph.representatives)
+
+    def test_initial_state_is_start_instance(self, leave_form):
+        start = Instance.from_paths(leave_form.schema, ["a/n"])
+        graph = explore_bounded(leave_form, start=start)
+        assert graph.initial_key == start.shape()

@@ -1,0 +1,81 @@
+"""Unit tests for the Table 1 workload families."""
+
+from repro.analysis.completability import decide_completability
+from repro.analysis.results import ExplorationLimits
+from repro.analysis.semisoundness import decide_semisoundness
+from repro.benchgen.families import (
+    counter_machine_family,
+    deadlock_family,
+    positive_chain_family,
+    positive_deep_family,
+    qsat_semisoundness_family,
+    sat_completability_family,
+    sat_semisoundness_family,
+)
+from repro.core.fragments import classify
+from repro.logic.dpll import dpll_satisfiable
+from repro.logic.qbf import evaluate_qbf
+from repro.reductions.deadlock import deadlock_reachable
+
+
+class TestPolynomialFamilies:
+    def test_positive_chain(self):
+        form = positive_chain_family(10)
+        fragment = classify(form)
+        assert fragment.positive_access and fragment.positive_completion
+        result = decide_completability(form)
+        assert result.procedure == "positive_saturation"
+        assert result.answer
+        assert result.stats["saturation_steps"] == 10
+
+    def test_positive_deep(self):
+        form = positive_deep_family(4, width=2)
+        assert form.schema_depth() == 4
+        assert decide_completability(form).answer
+
+    def test_chain_scales_linearly_in_steps(self):
+        small = decide_completability(positive_chain_family(5)).stats["saturation_steps"]
+        large = decide_completability(positive_chain_family(20)).stats["saturation_steps"]
+        assert large == 4 * small
+
+
+class TestReductionFamilies:
+    def test_sat_completability_family_matches_oracle(self):
+        form, cnf = sat_completability_family(4, seed=5)
+        assert classify(form).positive_access
+        result = decide_completability(form)
+        assert result.decided
+        assert result.answer == (dpll_satisfiable(cnf) is not None)
+
+    def test_sat_semisoundness_family_matches_oracle(self):
+        form, cnf = sat_semisoundness_family(4, seed=6)
+        result = decide_semisoundness(form)
+        assert result.decided
+        assert result.answer == (dpll_satisfiable(cnf) is None)
+
+    def test_deadlock_family_matches_oracle(self):
+        form, problem = deadlock_family(2, seed=7)
+        result = decide_completability(form)
+        assert result.decided
+        assert result.answer == deadlock_reachable(problem)
+
+    def test_counter_machine_family(self):
+        form, machine = counter_machine_family(2)
+        assert machine.reaches_accepting_state(100)
+        result = decide_completability(
+            form, limits=ExplorationLimits(max_states=200_000, max_instance_nodes=40)
+        )
+        assert result.answer
+
+    def test_qsat_family_k1(self):
+        form, qbf = qsat_semisoundness_family(1, seed=8)
+        assert form.schema_depth() == 1
+        result = decide_semisoundness(form)
+        assert result.decided
+        assert result.answer == (not evaluate_qbf(qbf))
+
+    def test_qsat_family_k2_structure(self):
+        form, qbf = qsat_semisoundness_family(2, seed=9)
+        assert form.schema_depth() == 2
+        assert qbf.num_blocks == 4
+        assert classify(form).positive_access

@@ -1,0 +1,96 @@
+"""Unit tests for the random generators used by benchmarks and property tests."""
+
+import pytest
+
+from repro.benchgen.random_forms import (
+    random_depth1_guarded_form,
+    random_formula,
+    random_instance,
+    random_schema,
+)
+from repro.core.fragments import classify
+from repro.core.homomorphism import is_instance_of
+from repro.exceptions import ReductionError
+
+
+class TestRandomSchema:
+    def test_size_and_depth(self):
+        schema = random_schema(12, max_depth=3, seed=4)
+        assert schema.size() == 13
+        assert schema.depth() <= 3
+        schema.validate()
+
+    def test_deterministic(self):
+        assert random_schema(8, seed=1).shape() == random_schema(8, seed=1).shape()
+
+    def test_different_seeds_differ(self):
+        shapes = {random_schema(8, seed=seed).shape() for seed in range(5)}
+        assert len(shapes) > 1
+
+    def test_requires_fields(self):
+        with pytest.raises(ReductionError):
+            random_schema(0)
+
+
+class TestRandomInstance:
+    def test_instances_are_valid(self):
+        schema = random_schema(10, max_depth=3, seed=2)
+        for seed in range(5):
+            instance = random_instance(schema, seed=seed, density=0.7)
+            assert is_instance_of(instance, schema)
+
+    def test_density_zero_gives_empty_instance(self):
+        schema = random_schema(6, seed=3)
+        assert random_instance(schema, seed=0, density=0.0).size() == 1
+
+    def test_max_copies(self):
+        schema = random_schema(4, max_depth=1, seed=5)
+        instance = random_instance(schema, seed=1, density=1.0, max_copies=3)
+        for label in {child.label for child in instance.root.children}:
+            assert len(instance.root.children_with_label(label)) == 3
+
+
+class TestRandomFormula:
+    def test_positive_flag(self):
+        labels = ["a", "b", "c"]
+        for seed in range(10):
+            assert random_formula(labels, seed=seed, allow_negation=False).is_positive()
+
+    def test_negation_eventually_used(self):
+        labels = ["a", "b"]
+        assert any(
+            not random_formula(labels, seed=seed, size=8).is_positive() for seed in range(20)
+        )
+
+    def test_only_uses_given_labels(self):
+        labels = ["a", "b"]
+        for seed in range(10):
+            assert random_formula(labels, seed=seed).labels() <= set(labels)
+
+    def test_empty_label_pool(self):
+        assert random_formula([], seed=0).is_positive()
+
+
+class TestRandomGuardedForm:
+    def test_fragment_constraints_respected(self):
+        form = random_depth1_guarded_form(4, seed=9, positive_access=True, positive_completion=True)
+        fragment = classify(form)
+        assert fragment.positive_access and fragment.positive_completion
+        assert fragment.depth == "1"
+
+    def test_unrestricted_fragment_eventually_negative(self):
+        fragments = [
+            classify(
+                random_depth1_guarded_form(
+                    4, seed=seed, positive_access=False, positive_completion=False
+                )
+            )
+            for seed in range(10)
+        ]
+        assert any(not fragment.positive_access for fragment in fragments)
+
+    def test_deterministic(self):
+        first = random_depth1_guarded_form(5, seed=3)
+        second = random_depth1_guarded_form(5, seed=3)
+        assert first.completion == second.completion
+        assert first.rules.to_dict() == second.rules.to_dict()

@@ -1,0 +1,143 @@
+"""Unit tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import CATALOG, build_parser, main
+from repro.io.serialization import load_guarded_form, save_guarded_form
+from repro.fbwis.catalog import leave_application, leave_application_not_semisound
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    """Run the CLI with *argv* and capture its stdout."""
+    buffer = io.StringIO()
+    code = main(list(argv), out=buffer)
+    return code, buffer.getvalue()
+
+
+class TestCatalog:
+    def test_list(self):
+        code, output = run_cli("catalog")
+        assert code == 0
+        for name in CATALOG:
+            assert name in output
+
+    def test_export_to_stdout(self):
+        code, output = run_cli("catalog", "tax-declaration")
+        assert code == 0
+        data = json.loads(output)
+        assert data["completion"] == "closed"
+
+    def test_export_to_file(self, tmp_path):
+        target = tmp_path / "form.json"
+        code, _ = run_cli("catalog", "purchase-order", "--output", str(target))
+        assert code == 0
+        loaded = load_guarded_form(target)
+        assert loaded.schema.has_path("review/approve")
+
+    def test_unknown_name(self):
+        code, _ = run_cli("catalog", "does-not-exist")
+        assert code == 2
+
+
+class TestRender:
+    def test_render_catalog_form(self):
+        code, output = run_cli("render", "leave-application")
+        assert code == 0
+        assert "A(add, s)" in output
+        assert "completion formula: f" in output
+
+    def test_render_json_file(self, tmp_path):
+        path = tmp_path / "leave.json"
+        save_guarded_form(leave_application(single_period=True), path)
+        code, output = run_cli("render", str(path))
+        assert code == 0
+        assert "Access rules" in output
+
+    def test_missing_file_is_an_error(self):
+        code, _ = run_cli("render", "no-such-file.json")
+        assert code == 2
+
+
+class TestAnalyze:
+    def test_correct_form(self):
+        code, output = run_cli("analyze", "leave-application-finite")
+        assert code == 0
+        assert "completability" in output
+        assert "yes" in output
+
+    def test_incompletable_form_fails(self):
+        code, output = run_cli("analyze", "leave-application-incompletable")
+        assert code == 1
+        assert "no" in output
+
+    def test_not_semisound_form_fails(self):
+        code, output = run_cli("analyze", "leave-application-not-semisound")
+        assert code == 1
+        assert "stuck reachable instance" in output
+
+    def test_skip_semisoundness(self):
+        code, output = run_cli(
+            "analyze", "leave-application-not-semisound", "--skip-semisoundness"
+        )
+        assert code == 0
+        assert "semi-soundness" not in output
+
+    def test_inconclusive_exit_code(self):
+        code, _ = run_cli(
+            "analyze", "leave-application", "--max-states", "30", "--max-instance-nodes", "10"
+        )
+        assert code == 3
+
+
+class TestInvariant:
+    def test_holding_invariant(self):
+        code, output = run_cli("invariant", "leave-application-finite", "¬d[a ∧ r]")
+        assert code == 0
+        assert "holds" in output
+
+    def test_violated_invariant_prints_run(self, tmp_path):
+        path = tmp_path / "broken.json"
+        save_guarded_form(leave_application_not_semisound(single_period=True), path)
+        code, output = run_cli("invariant", str(path), "!f | d[a | r]")
+        assert code == 1
+        assert "VIOLATED" in output
+        assert "add f under r" in output
+
+
+class TestWorkflow:
+    def test_workflow_summary(self):
+        code, output = run_cli("workflow", "leave-application-finite")
+        assert code == 0
+        assert "states" in output
+        assert "semi-sound=True" in output
+
+    def test_workflow_dot_export(self, tmp_path):
+        target = tmp_path / "wf.dot"
+        code, output = run_cli("workflow", "purchase-order", "--dot", str(target))
+        assert code == 0
+        assert target.exists()
+        assert target.read_text(encoding="utf-8").startswith("digraph")
+
+    def test_not_semisound_workflow_exit_code(self):
+        code, _ = run_cli("workflow", "leave-application-not-semisound")
+        assert code == 1
+
+
+class TestMisc:
+    def test_table1(self):
+        code, output = run_cli("table1")
+        assert code == 0
+        assert output.count("F(") == 12
+
+    def test_help_exits_cleanly(self):
+        assert main(["--help"], out=io.StringIO()) == 0
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        assert parser.prog == "guarded-forms"
+
+    def test_missing_command_is_usage_error(self):
+        assert main([], out=io.StringIO()) == 2

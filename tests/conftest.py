@@ -1,0 +1,100 @@
+"""Shared fixtures: the paper's running example and small helper objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.access import RuleTable
+from repro.core.guarded_form import GuardedForm
+from repro.core.instance import Instance
+from repro.core.schema import Schema, depth_one_schema
+from repro.fbwis.catalog import (
+    LEAVE_APPLICATION_SCHEMA,
+    leave_application,
+    leave_application_incompletable,
+    leave_application_not_semisound,
+)
+
+
+@pytest.fixture
+def leave_schema() -> Schema:
+    """The leave-application schema of Figure 1."""
+    return Schema.from_dict(LEAVE_APPLICATION_SCHEMA)
+
+
+@pytest.fixture
+def leave_form() -> GuardedForm:
+    """The single-period leave application (finite state, exactly analysable)."""
+    return leave_application(single_period=True)
+
+
+@pytest.fixture
+def leave_form_full() -> GuardedForm:
+    """The faithful leave application (unboundedly many periods)."""
+    return leave_application(single_period=False)
+
+
+@pytest.fixture
+def broken_completion_form() -> GuardedForm:
+    """The Section 3.5 variant with completion formula ``f ∧ ¬s``."""
+    return leave_application_incompletable(single_period=True)
+
+
+@pytest.fixture
+def broken_rules_form() -> GuardedForm:
+    """The Section 3.5 variant that is completable but not semi-sound."""
+    return leave_application_not_semisound(single_period=True)
+
+
+@pytest.fixture
+def submitted_instance(leave_schema: Schema) -> Instance:
+    """Figure 2(a): a submitted application with two periods."""
+    instance = Instance.empty(leave_schema)
+    application = instance.add_field(instance.root, "a")
+    instance.add_field(application, "n")
+    instance.add_field(application, "d")
+    first = instance.add_field(application, "p")
+    instance.add_field(first, "b")
+    instance.add_field(first, "e")
+    second = instance.add_field(application, "p")
+    instance.add_field(second, "b")
+    instance.add_field(second, "e")
+    instance.add_field(instance.root, "s")
+    return instance
+
+
+@pytest.fixture
+def rejected_instance(leave_schema: Schema) -> Instance:
+    """Figure 2(b): a rejected single-period application marked final."""
+    instance = Instance.empty(leave_schema)
+    application = instance.add_field(instance.root, "a")
+    instance.add_field(application, "n")
+    instance.add_field(application, "d")
+    period = instance.add_field(application, "p")
+    instance.add_field(period, "b")
+    instance.add_field(period, "e")
+    instance.add_field(instance.root, "s")
+    decision = instance.add_field(instance.root, "d")
+    instance.add_field(decision, "r")
+    instance.add_field(instance.root, "f")
+    return instance
+
+
+@pytest.fixture
+def tiny_schema() -> Schema:
+    """A small depth-1 schema used by many unit tests."""
+    return depth_one_schema(["a", "b", "c"])
+
+
+@pytest.fixture
+def tiny_form(tiny_schema: Schema) -> GuardedForm:
+    """A small guarded form: a then b then c, complete when c present."""
+    rules = RuleTable.from_dict(
+        tiny_schema,
+        {
+            "a": ("true", "¬b"),
+            "b": ("a", "¬c"),
+            "c": ("b", "false"),
+        },
+    )
+    return GuardedForm(tiny_schema, rules, completion="c", name="tiny chain")

@@ -1,0 +1,98 @@
+"""Unit tests for access-rule tables (Section 3.4)."""
+
+import pytest
+
+from repro.core.access import AccessRight, RuleTable, parse_access_right
+from repro.core.formulas.ast import Bottom, Top
+from repro.core.formulas.parser import parse_formula
+from repro.exceptions import AccessRuleError
+
+
+class TestAccessRight:
+    def test_parse_aliases(self):
+        assert parse_access_right("add") is AccessRight.ADD
+        assert parse_access_right("create") is AccessRight.ADD
+        assert parse_access_right("del") is AccessRight.DEL
+        assert parse_access_right("delete") is AccessRight.DEL
+        assert parse_access_right(AccessRight.ADD) is AccessRight.ADD
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(AccessRuleError):
+            parse_access_right("read")
+
+
+class TestRuleTable:
+    def test_from_dict_with_pairs(self, leave_schema):
+        rules = RuleTable.from_dict(
+            leave_schema,
+            {"a": ("¬a", "¬a"), "a/n": ("¬../s ∧ ¬n", "¬../s")},
+        )
+        assert rules.add_rule("a") == parse_formula("¬a")
+        assert rules.delete_rule("a/n") == parse_formula("¬../s")
+
+    def test_single_value_used_for_both_rights(self, leave_schema):
+        rules = RuleTable.from_dict(leave_schema, {"s": "¬s"})
+        assert rules.add_rule("s") == rules.delete_rule("s") == parse_formula("¬s")
+
+    def test_default_rule(self, tiny_schema):
+        rules = RuleTable.from_dict(tiny_schema, {"a": ("b", "c")}, default="true")
+        assert rules.add_rule("b") == Top()
+        assert rules.add_rule("a") == parse_formula("b")
+
+    def test_missing_rule_defaults_to_false(self, leave_schema):
+        rules = RuleTable(leave_schema)
+        assert rules.add_rule("f") == Bottom()
+        assert rules.delete_rule("a/p/b") == Bottom()
+        assert not rules.has_explicit_rule("add", "f")
+
+    def test_set_rule_and_lookup_by_edge_object(self, leave_schema):
+        rules = RuleTable(leave_schema)
+        edge = leave_schema.edge("d/r/r")
+        rules.set_rule(AccessRight.ADD, edge, "¬r")
+        assert rules.rule("add", "d/r/r") == parse_formula("¬r")
+        assert rules.has_explicit_rule("add", edge)
+
+    def test_unknown_edge_rejected(self, leave_schema):
+        rules = RuleTable(leave_schema)
+        with pytest.raises(AccessRuleError):
+            rules.set_add_rule("a/zzz", "true")
+        with pytest.raises(AccessRuleError):
+            rules.add_rule("zzz")
+
+    def test_root_edge_rejected(self, leave_schema):
+        rules = RuleTable(leave_schema)
+        with pytest.raises(AccessRuleError):
+            rules.set_add_rule("", "true")
+
+    def test_malformed_pair_rejected(self, leave_schema):
+        with pytest.raises(AccessRuleError):
+            RuleTable.from_dict(leave_schema, {"a": ("x", "y", "z")})
+
+    def test_items_iteration(self, leave_schema):
+        rules = RuleTable.from_dict(leave_schema, {"a": ("¬a", "¬a"), "s": ("¬s", "¬s")})
+        entries = list(rules.items())
+        assert len(entries) == 4
+        assert {path for _, path, _ in entries} == {("a",), ("s",)}
+
+    def test_is_positive(self, tiny_schema):
+        positive = RuleTable.from_dict(tiny_schema, {"a": "b", "b": ("a ∧ c", "a")})
+        assert positive.is_positive()
+        negative = RuleTable.from_dict(tiny_schema, {"a": "¬b"})
+        assert not negative.is_positive()
+
+    def test_copy_and_rebind(self, leave_schema):
+        rules = RuleTable.from_dict(leave_schema, {"a": ("¬a", "¬a")})
+        clone = rules.copy()
+        clone.set_add_rule("s", "true")
+        assert not rules.has_explicit_rule("add", "s")
+        rebound = rules.copy(leave_schema.copy())
+        assert rebound.add_rule("a") == parse_formula("¬a")
+
+    def test_to_dict_roundtrip(self, leave_schema):
+        rules = RuleTable.from_dict(
+            leave_schema, {"a": ("¬a", "¬a"), "f": ("d[a ∨ r] ∧ ¬f", "¬f")}
+        )
+        data = rules.to_dict()
+        rebuilt = RuleTable.from_dict(leave_schema, data)
+        assert rebuilt.add_rule("f") == rules.add_rule("f")
+        assert rebuilt.delete_rule("a") == rules.delete_rule("a")

@@ -1,0 +1,80 @@
+"""Unit tests for the formula-construction DSL."""
+
+import pytest
+
+from repro.core.formulas import builders as b
+from repro.core.formulas.ast import And, Bottom, Exists, Not, Or, Parent, Slash, Step, Top
+from repro.core.formulas.parser import parse_formula
+from repro.exceptions import FormulaError
+
+
+class TestAtoms:
+    def test_label(self):
+        assert b.label("a") == parse_formula("a")
+
+    def test_up(self):
+        assert b.up() == parse_formula("..")
+
+    def test_child_path(self):
+        assert b.child_path("a", "p", "b") == parse_formula("a/p/b")
+
+    def test_parent_path(self):
+        assert b.parent_path(2, "s") == parse_formula("../../s")
+        assert b.parent_path(1) == parse_formula("..")
+
+    def test_parent_path_requires_levels(self):
+        with pytest.raises(FormulaError):
+            b.parent_path(0, "s")
+
+    def test_filtered(self):
+        assert b.filtered("a", "n ∧ d") == parse_formula("a[n ∧ d]")
+
+    def test_path_accepts_mixed_steps(self):
+        assert b.path("..", Step("s")) == Slash(Parent(), Step("s"))
+
+    def test_path_requires_steps(self):
+        with pytest.raises(FormulaError):
+            b.path()
+
+
+class TestConnectives:
+    def test_lnot(self):
+        assert b.lnot("a") == parse_formula("¬a")
+
+    def test_conj(self):
+        assert b.conj("a", "b", "c") == parse_formula("a ∧ b ∧ c")
+        assert b.conj() == Top()
+        assert b.conj("a") == parse_formula("a")
+
+    def test_disj(self):
+        assert b.disj("a", "b") == parse_formula("a ∨ b")
+        assert b.disj() == Bottom()
+
+    def test_conj_all_disj_all(self):
+        labels = ["a", "b", "c"]
+        assert b.conj_all(labels) == b.conj(*labels)
+        assert b.disj_all(labels) == b.disj(*labels)
+
+    def test_implies(self):
+        formula = b.implies("a", "b")
+        assert isinstance(formula, Or)
+        assert isinstance(formula.left, Not)
+
+    def test_iff_matches_parser_expansion(self):
+        assert b.iff("a", "b") == parse_formula("a <-> b")
+
+    def test_to_formula_accepts_everything(self):
+        assert b.to_formula("a ∧ b") == parse_formula("a ∧ b")
+        assert b.to_formula(Step("a")) == Exists(Step("a"))
+        formula = And(Top(), Top())
+        assert b.to_formula(formula) is formula
+
+    def test_ancestors_path(self):
+        assert b.ancestors_path(2) == Slash(Parent(), Parent())
+        with pytest.raises(FormulaError):
+            b.ancestors_path(0)
+
+    def test_docstring_example(self):
+        rule = b.conj(b.lnot(b.child_path("..", "s")), b.lnot(b.label("n")))
+        assert rule.to_text() == "¬../s ∧ ¬n"
+        assert rule == parse_formula("¬../s ∧ ¬n")

@@ -1,0 +1,110 @@
+"""Unit tests for canonical instances (Definition 3.8, Figure 3)."""
+
+import pytest
+
+from repro.core.canonical import (
+    canonical_depth1_state,
+    canonical_instance,
+    canonical_shape,
+    canonical_tree,
+    depth1_state_to_instance,
+    is_canonical,
+)
+from repro.core.equivalence import are_formula_equivalent
+from repro.core.instance import Instance
+from repro.core.schema import Schema, depth_one_schema
+from repro.core.tree import LabelledTree
+from repro.exceptions import InstanceError
+
+
+class TestCanonicalInstance:
+    def test_duplicate_siblings_collapse(self, leave_schema):
+        instance = Instance.from_shape(
+            leave_schema,
+            ("r", (("a", (("p", (("b", ()),)), ("p", (("b", ()),)))), ("s", ()), ("s", ()))),
+        )
+        canonical = canonical_instance(instance)
+        assert canonical.size() == 5  # r, a, p, b, s
+        application = canonical.find_path("a")
+        assert len(application.children_with_label("p")) == 1
+
+    def test_distinct_subtrees_are_kept(self, leave_schema):
+        instance = Instance.from_shape(
+            leave_schema,
+            ("r", (("a", (("p", (("b", ()),)), ("p", (("e", ()),)))),)),
+        )
+        canonical = canonical_instance(instance)
+        application = canonical.find_path("a")
+        assert len(application.children_with_label("p")) == 2
+
+    def test_figure3_style_example(self):
+        """An instance with repeated sibling subtrees at several levels
+        collapses level by level (the shape of Figure 3)."""
+        schema = Schema.from_dict({"a": {"c": {"e": {}}, "d": {}}, "b": {"c": {"e": {}}, "d": {}}})
+        instance = Instance.from_shape(
+            schema,
+            (
+                "r",
+                (
+                    ("a", (("c", (("e", ()),)), ("c", (("e", ()),)), ("d", ()))),
+                    ("a", (("c", (("e", ()),)), ("d", ()))),
+                    ("b", (("c", (("e", ()),)),)),
+                ),
+            ),
+        )
+        canonical = canonical_instance(instance)
+        assert len(canonical.root.children_with_label("a")) == 1
+        a_node = canonical.root.children_with_label("a")[0]
+        assert len(a_node.children_with_label("c")) == 1
+
+    def test_canonical_is_equivalent_to_original(self, leave_schema, submitted_instance):
+        canonical = canonical_instance(submitted_instance)
+        assert are_formula_equivalent(submitted_instance, canonical)
+
+    def test_canonical_idempotent(self, submitted_instance):
+        once = canonical_instance(submitted_instance)
+        twice = canonical_instance(once)
+        assert once.shape() == twice.shape()
+        assert is_canonical(once)
+
+    def test_equivalent_instances_share_canonical_shape(self, leave_schema):
+        single = Instance.from_shape(leave_schema, ("r", (("a", (("n", ()),)),)))
+        doubled = Instance.from_shape(
+            leave_schema, ("r", (("a", (("n", ()),)), ("a", (("n", ()),))))
+        )
+        assert canonical_shape(single) == canonical_shape(doubled)
+
+    def test_inequivalent_instances_have_different_canonical_shapes(self, leave_schema):
+        first = Instance.from_shape(leave_schema, ("r", (("a", (("n", ()),)),)))
+        second = Instance.from_shape(leave_schema, ("r", (("a", (("d", ()),)),)))
+        assert canonical_shape(first) != canonical_shape(second)
+
+    def test_canonical_tree_for_plain_trees(self):
+        tree = LabelledTree.from_nested({"x": {"y": {}}})
+        tree.add_leaf(tree.root, "x")
+        tree.add_leaf(tree.root.children[1], "y")
+        canonical = canonical_tree(tree)
+        assert canonical.size() == 3
+
+    def test_already_canonical_instance_unchanged(self, rejected_instance):
+        assert is_canonical(rejected_instance)
+        assert canonical_instance(rejected_instance).shape() == rejected_instance.shape()
+
+
+class TestDepth1Helpers:
+    def test_state_of_depth1_instance(self):
+        schema = depth_one_schema(["a", "b", "c"])
+        instance = Instance.from_paths(schema, ["a", "b"])
+        instance.add_field(instance.root, "a")  # duplicate collapses
+        assert canonical_depth1_state(instance) == frozenset({"a", "b"})
+
+    def test_state_rejects_deep_instances(self, submitted_instance):
+        with pytest.raises(InstanceError):
+            canonical_depth1_state(submitted_instance)
+
+    def test_roundtrip(self):
+        schema = depth_one_schema(["a", "b", "c"])
+        state = frozenset({"a", "c"})
+        instance = depth1_state_to_instance(schema, state)
+        assert canonical_depth1_state(instance) == state
+        assert instance.size() == 3

@@ -1,0 +1,57 @@
+"""Unit tests for exhaustive instance enumeration."""
+
+from repro.core.enumeration import (
+    count_instances,
+    enumerate_instance_shapes,
+    enumerate_instances,
+)
+from repro.core.homomorphism import is_instance_of
+from repro.core.schema import Schema, depth_one_schema
+
+
+class TestDepthOne:
+    def test_counts_subsets(self):
+        schema = depth_one_schema(["a", "b", "c"])
+        assert count_instances(schema, max_copies=1) == 8
+
+    def test_counts_with_two_copies(self):
+        schema = depth_one_schema(["a"])
+        # 0, 1 or 2 copies of the single field
+        assert count_instances(schema, max_copies=2) == 3
+
+    def test_no_duplicate_shapes(self):
+        schema = depth_one_schema(["a", "b"])
+        shapes = list(enumerate_instance_shapes(schema, max_copies=2))
+        assert len(shapes) == len(set(shapes))
+
+
+class TestNested:
+    def test_nested_count(self):
+        schema = Schema.from_dict({"a": {"b": {}}})
+        # instances: {}, {a}, {a[b]}
+        assert count_instances(schema, max_copies=1) == 3
+
+    def test_nested_count_two_levels(self):
+        schema = Schema.from_dict({"a": {"b": {}, "c": {}}})
+        # a absent, or a present with any subset of {b, c}
+        assert count_instances(schema, max_copies=1) == 5
+
+    def test_all_enumerated_are_instances(self, leave_schema):
+        seen = 0
+        for instance in enumerate_instances(leave_schema, max_copies=1):
+            assert is_instance_of(instance, leave_schema)
+            seen += 1
+        assert seen > 100  # the leave schema has hundreds of sub-instances
+
+    def test_enumeration_includes_empty_and_full(self):
+        schema = Schema.from_dict({"a": {"b": {}}, "c": {}})
+        shapes = set(enumerate_instance_shapes(schema, max_copies=1))
+        assert ("r", ()) in shapes
+        assert ("r", (("a", (("b", ()),)), ("c", ()))) in shapes
+
+    def test_multiplicities_respect_bound(self):
+        schema = Schema.from_dict({"a": {"b": {}}})
+        for instance in enumerate_instances(schema, max_copies=2):
+            for node in instance.nodes():
+                for label in {child.label for child in node.children}:
+                    assert len(node.children_with_label(label)) <= 2

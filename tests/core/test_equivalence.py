@@ -1,0 +1,143 @@
+"""Unit tests for formula equivalence (Definition 3.7, Lemma 3.9)."""
+
+from repro.core.enumeration import enumerate_instances
+from repro.core.equivalence import (
+    are_formula_equivalent,
+    formula_equivalent_nodes,
+    is_formula_equivalence,
+    largest_formula_equivalence,
+    node_equivalence_classes,
+)
+from repro.core.formulas.parser import parse_formula
+from repro.core.formulas.semantics import evaluate
+from repro.core.instance import Instance
+from repro.core.schema import Schema
+
+
+def make(schema, shape):
+    return Instance.from_shape(schema, shape)
+
+
+class TestEquivalenceBetweenInstances:
+    def test_isomorphic_instances_are_equivalent(self, leave_schema):
+        first = make(leave_schema, ("r", (("a", (("n", ()),)), ("s", ()))))
+        second = make(leave_schema, ("r", (("s", ()), ("a", (("n", ()),)))))
+        assert are_formula_equivalent(first, second)
+
+    def test_duplicated_sibling_subtrees_are_equivalent(self, leave_schema):
+        single = make(leave_schema, ("r", (("a", (("p", (("b", ()),)),)),)))
+        doubled = make(
+            leave_schema,
+            ("r", (("a", (("p", (("b", ()),)), ("p", (("b", ()),)))),)),
+        )
+        assert are_formula_equivalent(single, doubled)
+
+    def test_different_subtrees_not_equivalent(self, leave_schema):
+        with_begin = make(leave_schema, ("r", (("a", (("p", (("b", ()),)),)),)))
+        with_end = make(leave_schema, ("r", (("a", (("p", (("e", ()),)),)),)))
+        assert not are_formula_equivalent(with_begin, with_end)
+
+    def test_sibling_with_different_subtree_matters(self, leave_schema):
+        # one p with b and one p without b is NOT equivalent to a single p with b
+        mixed = make(
+            leave_schema, ("r", (("a", (("p", (("b", ()),)), ("p", ()))),))
+        )
+        single = make(leave_schema, ("r", (("a", (("p", (("b", ()),)),)),)))
+        assert not are_formula_equivalent(mixed, single)
+
+    def test_witness_relation_is_a_formula_equivalence(self, leave_schema):
+        first = make(leave_schema, ("r", (("a", (("n", ()),)), ("s", ()))))
+        second = make(leave_schema, ("r", (("a", (("n", ()),)), ("a", (("n", ()),)), ("s", ()))))
+        relation = largest_formula_equivalence(first, second)
+        assert relation is not None
+        assert is_formula_equivalence(first, second, relation)
+
+    def test_missing_field_breaks_equivalence(self, leave_schema):
+        first = make(leave_schema, ("r", (("a", ()), ("s", ()))))
+        second = make(leave_schema, ("r", (("a", ()),)))
+        assert not are_formula_equivalent(first, second)
+
+
+class TestLemma39:
+    """Formula-equivalent instances satisfy exactly the same formulas."""
+
+    FORMULAS = [
+        "a",
+        "¬s",
+        "a[n ∧ d]",
+        "a/p[¬b]",
+        "¬a/p[¬b ∨ ¬e]",
+        "d[a ∨ r] ∧ ¬f",
+        "a[p[b ∧ ../e]]",
+    ]
+
+    def test_equivalent_instances_agree_on_formulas(self, leave_schema):
+        single = make(leave_schema, ("r", (("a", (("p", (("b", ()), ("e", ()))),)), ("s", ()))))
+        tripled = make(
+            leave_schema,
+            (
+                "r",
+                (
+                    ("a", (("p", (("b", ()), ("e", ()))), ("p", (("b", ()), ("e", ()))))),
+                    ("s", ()),
+                    ("s", ()),
+                ),
+            ),
+        )
+        assert are_formula_equivalent(single, tripled)
+        for text in self.FORMULAS:
+            formula = parse_formula(text)
+            assert evaluate(single.root, formula) == evaluate(tripled.root, formula)
+
+    def test_inequivalent_instances_differ_on_some_formula(self):
+        schema = Schema.from_dict({"a": {"b": {}}, "c": {}})
+        instances = list(enumerate_instances(schema, max_copies=1))
+        formulas = [parse_formula(text) for text in ["a", "c", "a[b]", "a[¬b]", "¬a ∧ c"]]
+        for first in instances:
+            for second in instances:
+                if are_formula_equivalent(first, second):
+                    continue
+                # some formula in our small pool distinguishes most pairs; at
+                # minimum the evaluations must not be forced equal
+                values_first = [evaluate(first.root, f) for f in formulas]
+                values_second = [evaluate(second.root, f) for f in formulas]
+                assert values_first != values_second
+
+
+class TestNodeEquivalence:
+    def test_identical_siblings_are_equivalent_nodes(self, leave_schema):
+        instance = make(
+            leave_schema,
+            ("r", (("a", (("p", (("b", ()),)), ("p", (("b", ()),)))),)),
+        )
+        application = instance.root.children[0]
+        first, second = application.children_with_label("p")
+        assert formula_equivalent_nodes(instance, first, second)
+
+    def test_different_siblings_not_equivalent_nodes(self, leave_schema):
+        instance = make(
+            leave_schema,
+            ("r", (("a", (("p", (("b", ()),)), ("p", ()))),)),
+        )
+        application = instance.root.children[0]
+        first, second = application.children_with_label("p")
+        assert not formula_equivalent_nodes(instance, first, second)
+
+    def test_root_is_only_equivalent_to_itself(self, leave_schema):
+        instance = make(leave_schema, ("r", (("a", ()),)))
+        classes = node_equivalence_classes(instance)
+        root_class = classes[instance.root.node_id]
+        others = [c for node_id, c in classes.items() if node_id != instance.root.node_id]
+        assert root_class not in others
+
+    def test_classes_partition_by_label(self, submitted_instance):
+        classes = node_equivalence_classes(submitted_instance)
+        by_class: dict[int, set[str]] = {}
+        for node in submitted_instance.nodes():
+            by_class.setdefault(classes[node.node_id], set()).add(node.label)
+        assert all(len(labels) == 1 for labels in by_class.values())
+
+    def test_figure2a_periods_are_equivalent(self, submitted_instance):
+        application = submitted_instance.find_path("a")
+        first, second = application.children_with_label("p")
+        assert formula_equivalent_nodes(submitted_instance, first, second)

@@ -1,0 +1,134 @@
+"""Unit tests for the formula AST (Definition 3.4)."""
+
+import pytest
+
+from repro.core.formulas.ast import (
+    And,
+    Bottom,
+    Exists,
+    Filter,
+    Not,
+    Or,
+    Parent,
+    Slash,
+    Step,
+    Top,
+    formula_down_depth,
+    path_up_depth_formula,
+)
+from repro.exceptions import FormulaError
+
+
+class TestConstruction:
+    def test_step_requires_valid_label(self):
+        with pytest.raises(Exception):
+            Step("not a label")
+
+    def test_slash_requires_paths(self):
+        with pytest.raises(FormulaError):
+            Slash(Step("a"), Top())  # type: ignore[arg-type]
+
+    def test_filter_promotes_path_condition(self):
+        filtered = Filter(Step("a"), Step("b"))
+        assert isinstance(filtered.condition, Exists)
+
+    def test_exists_requires_path(self):
+        with pytest.raises(FormulaError):
+            Exists(Top())  # type: ignore[arg-type]
+
+
+class TestOperatorDsl:
+    def test_truediv_builds_slash(self):
+        path = Step("a") / Step("b") / Step("c")
+        assert isinstance(path, Slash)
+        assert path.to_text() == "a/b/c"
+
+    def test_getitem_builds_filter(self):
+        path = Step("a")[Step("b")]
+        assert isinstance(path, Filter)
+        assert path.to_text() == "a[b]"
+
+    def test_boolean_operators_promote_paths(self):
+        formula = Step("a") & ~Step("b")
+        assert isinstance(formula, And)
+        assert formula.to_text() == "a ∧ ¬b"
+
+    def test_or_operator(self):
+        formula = Exists(Step("a")) | Exists(Step("b"))
+        assert isinstance(formula, Or)
+
+
+class TestEqualityAndHashing:
+    def test_structural_equality(self):
+        first = And(Exists(Step("a")), Not(Exists(Step("b"))))
+        second = And(Exists(Step("a")), Not(Exists(Step("b"))))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_different_structure_not_equal(self):
+        assert And(Top(), Top()) != Or(Top(), Top())
+        assert Exists(Step("a")) != Exists(Step("b"))
+        assert Parent() != Step("a")
+
+    def test_usable_as_dict_keys(self):
+        table = {Exists(Step("a")): 1, Not(Top()): 2}
+        assert table[Exists(Step("a"))] == 1
+
+
+class TestRendering:
+    def test_paper_formula_roundtrip_text(self):
+        # ¬a/p[¬b ∨ ¬e]
+        formula = Not(Exists(Slash(Step("a"), Filter(Step("p"), Or(Not(Exists(Step("b"))), Not(Exists(Step("e"))))))))
+        assert formula.to_text() == "¬a/p[¬b ∨ ¬e]"
+        assert formula.to_text(unicode_ops=False) == "!a/p[!b | !e]"
+
+    def test_parenthesisation_of_mixed_operators(self):
+        formula = And(Or(Exists(Step("a")), Exists(Step("b"))), Exists(Step("c")))
+        assert formula.to_text() == "(a ∨ b) ∧ c"
+
+    def test_negated_conjunction_parenthesised(self):
+        formula = Not(And(Exists(Step("a")), Exists(Step("r"))))
+        assert formula.to_text() == "¬(a ∧ r)"
+
+    def test_constants(self):
+        assert Top().to_text() == "true"
+        assert Bottom().to_text() == "false"
+
+
+class TestStructuralQueries:
+    def test_is_positive(self):
+        assert Exists(Step("a")).is_positive()
+        assert And(Exists(Step("a")), Exists(Step("b"))).is_positive()
+        assert not Not(Exists(Step("a"))).is_positive()
+        assert Top().is_positive()
+        assert Bottom().is_positive()
+
+    def test_negation_inside_filter_detected(self):
+        formula = Exists(Filter(Step("a"), Not(Exists(Step("b")))))
+        assert not formula.is_positive()
+
+    def test_labels(self):
+        formula = And(
+            Exists(Slash(Step("a"), Filter(Step("p"), Exists(Step("b"))))),
+            Not(Exists(Step("s"))),
+        )
+        assert formula.labels() == {"a", "p", "b", "s"}
+
+    def test_parent_step_has_no_label(self):
+        assert Exists(Parent()).labels() == set()
+
+    def test_size_grows_with_structure(self):
+        small = Exists(Step("a"))
+        big = And(small, Or(small, Not(small)))
+        assert big.size() > small.size()
+
+    def test_depth_measures(self):
+        formula = Exists(Slash(Step("a"), Slash(Step("b"), Step("c"))))
+        assert formula_down_depth(formula) == 3
+        up = Exists(Slash(Parent(), Parent()))
+        assert path_up_depth_formula(up) == 2
+
+    def test_subformulas_include_filter_conditions(self):
+        condition = Not(Exists(Step("b")))
+        formula = Exists(Filter(Step("a"), condition))
+        assert condition in list(formula.subformulas())

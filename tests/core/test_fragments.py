@@ -1,0 +1,121 @@
+"""Unit tests for fragments and Table 1 (Section 3.5)."""
+
+import pytest
+
+from repro.core.fragments import (
+    DEPTH_K,
+    DEPTH_ONE,
+    DEPTH_UNBOUNDED,
+    TABLE1,
+    Fragment,
+    classify,
+    fragment_for_depth,
+    lookup_complexity,
+    recommended_procedures,
+    table1_rows,
+)
+
+
+class TestFragment:
+    def test_name_rendering(self):
+        assert Fragment(True, True, DEPTH_ONE).name == "F(A+, phi+, 1)"
+        assert Fragment(False, False, DEPTH_UNBOUNDED).name == "F(A-, phi-, inf)"
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            Fragment(True, True, "2")
+
+    def test_generalisation_order(self):
+        small = Fragment(True, True, DEPTH_ONE)
+        large = Fragment(False, False, DEPTH_UNBOUNDED)
+        assert large.generalises(small)
+        assert not small.generalises(large)
+        assert small.generalises(small)
+
+    def test_generalisation_is_componentwise(self):
+        assert Fragment(False, True, DEPTH_K).generalises(Fragment(True, True, DEPTH_ONE))
+        assert not Fragment(True, True, DEPTH_K).generalises(Fragment(False, True, DEPTH_ONE))
+
+    def test_fragment_for_depth_accepts_integers(self):
+        assert fragment_for_depth(True, True, 1).depth == DEPTH_ONE
+        assert fragment_for_depth(True, True, 3).depth == DEPTH_K
+        assert fragment_for_depth(True, True, "inf").depth == DEPTH_UNBOUNDED
+
+
+class TestClassification:
+    def test_leave_application_fragment(self, leave_form):
+        fragment = classify(leave_form)
+        assert not fragment.positive_access
+        assert fragment.positive_completion
+        assert fragment.depth == DEPTH_K
+
+    def test_tiny_form_fragment(self, tiny_form):
+        fragment = classify(tiny_form)
+        assert fragment.depth == DEPTH_ONE
+        assert not fragment.positive_access  # rules use negation
+        assert fragment.positive_completion
+
+    def test_positive_form_classified_positive(self):
+        from repro.benchgen.families import positive_chain_family
+
+        fragment = classify(positive_chain_family(4))
+        assert fragment.positive_access and fragment.positive_completion
+        assert fragment.depth == DEPTH_ONE
+
+
+class TestTable1:
+    def test_has_twelve_rows(self):
+        assert len(TABLE1) == 12
+        assert len(table1_rows()) == 12
+
+    def test_row_order_matches_paper(self):
+        names = [fragment.name for fragment, _ in table1_rows()]
+        assert names[0] == "F(A+, phi+, 1)"
+        assert names[3] == "F(A+, phi-, 1)"
+        assert names[6] == "F(A-, phi-, 1)"
+        assert names[-1] == "F(A-, phi+, inf)"
+
+    @pytest.mark.parametrize(
+        "fragment,completability,semisoundness",
+        [
+            (Fragment(True, True, DEPTH_ONE), "P", "coNP-complete"),
+            (Fragment(True, True, DEPTH_K), "P", "coNP-hard"),
+            (Fragment(True, False, DEPTH_ONE), "NP-complete", "Pi^p_2-complete"),
+            (Fragment(True, False, DEPTH_UNBOUNDED), "PSPACE-hard", "PSPACE-hard"),
+            (Fragment(False, False, DEPTH_ONE), "PSPACE-complete", "PSPACE-complete"),
+            (Fragment(False, False, DEPTH_K), "undecidable", "undecidable"),
+            (Fragment(False, True, DEPTH_UNBOUNDED), "undecidable", "undecidable"),
+        ],
+    )
+    def test_entries_match_paper(self, fragment, completability, semisoundness):
+        entry = lookup_complexity(fragment)
+        assert entry.completability == completability
+        assert entry.semisoundness == semisoundness
+
+    def test_open_problems_marked(self):
+        entry = lookup_complexity(Fragment(True, False, DEPTH_UNBOUNDED))
+        assert entry.completability_open and entry.semisoundness_open
+        settled = lookup_complexity(Fragment(False, False, DEPTH_ONE))
+        assert not settled.completability_open and not settled.semisoundness_open
+
+    def test_undecidable_exactly_for_unrestricted_access_beyond_depth1(self):
+        for fragment, entry in TABLE1.items():
+            undecidable = entry.completability == "undecidable"
+            expected = (not fragment.positive_access) and fragment.depth != DEPTH_ONE
+            assert undecidable == expected
+
+
+class TestRecommendedProcedures:
+    def test_positive_positive_uses_saturation(self):
+        completability, semisoundness = recommended_procedures(Fragment(True, True, DEPTH_K))
+        assert completability == "positive_saturation"
+        assert semisoundness == "bounded_exploration"
+
+    def test_depth1_uses_canonical_search(self):
+        completability, semisoundness = recommended_procedures(Fragment(False, False, DEPTH_ONE))
+        assert completability == "depth1_canonical_search"
+        assert semisoundness == "depth1_canonical_graph"
+
+    def test_general_uses_bounded(self):
+        completability, _ = recommended_procedures(Fragment(False, True, DEPTH_K))
+        assert completability == "bounded_exploration"

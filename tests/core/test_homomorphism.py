@@ -1,0 +1,58 @@
+"""Tests for homomorphisms (Definition 3.1) and their uniqueness (Prop. 3.3)."""
+
+from repro.core.homomorphism import all_homomorphisms, find_homomorphism, is_instance_of
+from repro.core.instance import Instance
+from repro.core.schema import Schema
+from repro.core.tree import LabelledTree
+
+
+class TestFindHomomorphism:
+    def test_instance_maps_into_schema(self, leave_schema, submitted_instance):
+        mapping = find_homomorphism(submitted_instance, leave_schema)
+        assert mapping is not None
+        begin = submitted_instance.find_path("a/p/b")
+        assert mapping[begin.node_id] == ("a", "p", "b")
+
+    def test_root_maps_to_root(self, leave_schema, submitted_instance):
+        mapping = find_homomorphism(submitted_instance, leave_schema)
+        assert mapping[submitted_instance.root.node_id] == ()
+
+    def test_non_instance_detected(self, leave_schema):
+        tree = LabelledTree()
+        tree.add_leaf(tree.root, "zzz")
+        assert find_homomorphism(tree, leave_schema) is None
+        assert not is_instance_of(tree, leave_schema)
+
+    def test_label_in_wrong_position_detected(self, leave_schema):
+        tree = LabelledTree()
+        tree.add_leaf(tree.root, "n")  # n exists in the schema, but only below a
+        assert not is_instance_of(tree, leave_schema)
+
+    def test_wrong_root_label_detected(self, leave_schema):
+        tree = LabelledTree("x")
+        assert not is_instance_of(tree, leave_schema)
+
+    def test_lone_root_is_an_instance(self, leave_schema):
+        assert is_instance_of(LabelledTree(), leave_schema)
+
+
+class TestUniqueness:
+    """Proposition 3.3: the homomorphism from an instance to its schema is unique."""
+
+    def test_unique_on_running_example(self, leave_schema, submitted_instance):
+        homomorphisms = list(all_homomorphisms(submitted_instance, leave_schema))
+        assert len(homomorphisms) == 1
+        assert homomorphisms[0] == find_homomorphism(submitted_instance, leave_schema)
+
+    def test_unique_even_with_repeated_labels_in_schema(self):
+        # the label r appears twice in the schema (reject, reason), and d twice
+        # (dept, decision); uniqueness still holds because siblings differ
+        schema = Schema.from_dict({"d": {"r": {"r": {}}}, "x": {"r": {}}})
+        instance = Instance.from_paths(schema, ["d/r/r", "x/r"])
+        homomorphisms = list(all_homomorphisms(instance, schema))
+        assert len(homomorphisms) == 1
+
+    def test_enumerator_agrees_with_decision(self, leave_schema):
+        tree = LabelledTree()
+        tree.add_leaf(tree.root, "zzz")
+        assert list(all_homomorphisms(tree, leave_schema)) == []

@@ -1,0 +1,109 @@
+"""Unit tests for instances (Definition 3.1, Figure 2)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.schema import Schema, SchemaEdge
+from repro.exceptions import InstanceError
+
+
+class TestConstruction:
+    def test_empty_instance(self, leave_schema):
+        instance = Instance.empty(leave_schema)
+        assert instance.size() == 1
+        instance.validate()
+
+    def test_from_paths(self, leave_schema):
+        instance = Instance.from_paths(leave_schema, ["a/n", "a/d", "s"])
+        assert instance.size() == 5  # root, a, n, d, s
+        instance.validate()
+
+    def test_from_shape_with_repeated_siblings(self, leave_schema):
+        shape = ("r", (("a", (("p", ()), ("p", ()))),))
+        instance = Instance.from_shape(leave_schema, shape)
+        application = instance.root.children[0]
+        assert len(application.children_with_label("p")) == 2
+
+    def test_from_shape_rejects_non_schema_labels(self, leave_schema):
+        with pytest.raises(InstanceError):
+            Instance.from_shape(leave_schema, ("r", (("zzz", ()),)))
+
+    def test_from_shape_rejects_wrong_root(self, leave_schema):
+        with pytest.raises(InstanceError):
+            Instance.from_shape(leave_schema, ("a", ()))
+
+    def test_figure2a_is_an_instance(self, submitted_instance):
+        submitted_instance.validate()
+        assert submitted_instance.depth() == 3
+        application = submitted_instance.root.children_with_label("a")[0]
+        assert len(application.children_with_label("p")) == 2
+
+    def test_figure2b_is_an_instance(self, rejected_instance):
+        rejected_instance.validate()
+        assert rejected_instance.has_path("d/r")
+        assert rejected_instance.has_path("f")
+
+
+class TestSchemaAwareness:
+    def test_add_field_checks_schema(self, leave_schema):
+        instance = Instance.empty(leave_schema)
+        application = instance.add_field(instance.root, "a")
+        instance.add_field(application, "n")
+        with pytest.raises(InstanceError):
+            instance.add_field(application, "zzz")
+
+    def test_add_field_checks_position(self, leave_schema):
+        instance = Instance.empty(leave_schema)
+        with pytest.raises(InstanceError):
+            instance.add_field(instance.root, "n")  # n only exists below a
+
+    def test_schema_node_of(self, submitted_instance, leave_schema):
+        period = submitted_instance.find_path("a/p")
+        schema_node = submitted_instance.schema_node_of(period)
+        assert schema_node is leave_schema.node_at("a/p") or schema_node.label_path() == ("a", "p")
+
+    def test_schema_edge_of(self, submitted_instance):
+        begin = submitted_instance.find_path("a/p/b")
+        assert submitted_instance.schema_edge_of(begin) == SchemaEdge("a/p/b")
+
+    def test_schema_edge_of_root_rejected(self, submitted_instance):
+        with pytest.raises(InstanceError):
+            submitted_instance.schema_edge_of(submitted_instance.root)
+
+    def test_validate_detects_bad_tree(self, leave_schema):
+        instance = Instance.empty(leave_schema)
+        # bypass the checked API to build an invalid tree
+        instance.add_leaf(instance.root, "not_in_schema")
+        with pytest.raises(InstanceError):
+            instance.validate()
+
+
+class TestQueriesAndUpdates:
+    def test_ensure_path_creates_ancestors(self, leave_schema):
+        instance = Instance.empty(leave_schema)
+        node = instance.ensure_path("a/p/b")
+        assert node.label == "b"
+        assert instance.size() == 4
+
+    def test_ensure_path_reuses_existing(self, leave_schema):
+        instance = Instance.empty(leave_schema)
+        instance.ensure_path("a/p/b")
+        instance.ensure_path("a/p/e")
+        assert len(instance.nodes_with_label_path(("a", "p"))) == 1
+
+    def test_find_path(self, submitted_instance):
+        assert submitted_instance.find_path("a/n") is not None
+        assert submitted_instance.find_path("d/a") is None
+
+    def test_remove_field(self, leave_schema):
+        instance = Instance.from_paths(leave_schema, ["a/n"])
+        node = instance.find_path("a/n")
+        instance.remove_field(node)
+        assert not instance.has_path("a/n")
+
+    def test_copy_shares_schema_and_structure(self, submitted_instance):
+        clone = submitted_instance.copy()
+        assert clone.schema is submitted_instance.schema
+        assert clone.shape() == submitted_instance.shape()
+        clone.remove_field(clone.find_path("s"))
+        assert submitted_instance.has_path("s")

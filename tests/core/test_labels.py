@@ -1,0 +1,49 @@
+"""Unit tests for label validation helpers."""
+
+import pytest
+
+from repro.core.labels import (
+    ROOT_LABEL,
+    fresh_label,
+    is_valid_label,
+    validate_field_label,
+    validate_label,
+)
+from repro.exceptions import LabelError
+
+
+class TestValidation:
+    def test_simple_labels_are_valid(self):
+        for label in ("a", "application", "x1", "init_q0_0_p", "d'", "fin1_t3", "g0_v1"):
+            assert is_valid_label(label)
+            assert validate_label(label) == label
+
+    def test_invalid_labels_rejected(self):
+        for label in ("", " ", "1abc", "a b", "a[b]", "a/b", None, 7):
+            assert not is_valid_label(label)  # type: ignore[arg-type]
+
+    def test_validate_raises(self):
+        with pytest.raises(LabelError):
+            validate_label("")
+        with pytest.raises(LabelError):
+            validate_label("has space")
+
+    def test_root_label_value(self):
+        assert ROOT_LABEL == "r"
+
+    def test_fields_may_reuse_r(self):
+        # Figure 1 abbreviates both 'reject' and 'reason' to r
+        assert validate_field_label("r") == "r"
+
+
+class TestFreshLabel:
+    def test_returns_base_when_free(self):
+        assert fresh_label("deleted", {"a", "b"}) == "deleted"
+
+    def test_appends_counter_when_taken(self):
+        assert fresh_label("deleted", {"deleted"}) == "deleted_1"
+        assert fresh_label("deleted", {"deleted", "deleted_1"}) == "deleted_2"
+
+    def test_base_must_be_valid(self):
+        with pytest.raises(LabelError):
+            fresh_label("not a label", set())

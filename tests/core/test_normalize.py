@@ -1,0 +1,155 @@
+"""Unit tests for formula normalisation (Lemma 4.4)."""
+
+import pytest
+
+from repro.core.enumeration import enumerate_instances
+from repro.core.formulas.normalize import (
+    is_single_step_form,
+    literal_step,
+    selections,
+    to_nnf,
+    to_single_step_form,
+)
+from repro.core.formulas.parser import parse_formula
+from repro.core.formulas.semantics import evaluate
+from repro.core.schema import Schema
+
+#: Formulas exercising every rewrite rule of Lemma 4.4.
+NORMALISATION_CASES = [
+    "a/p[b]",            # (p1/p2)[ψ]
+    "a[n][d]",           # (p1[ψ1])[ψ2]
+    "a/p/b",             # (p1/p2)/p3
+    "a[n]/p",            # (p1[ψ])/p2
+    "a/p",               # l/p
+    "../s",              # ../p
+    "¬a/p[¬b ∨ ¬e]",
+    "¬s ∧ a[n ∧ d ∧ p] ∧ ¬a/p[¬b ∨ ¬e]",
+    "d[a ∨ r] ∧ ¬f",
+    "../../s ∧ ¬b",
+    "a[p[b ∧ ../e]]",
+    "true ∨ a/p",
+]
+
+
+@pytest.fixture(scope="module")
+def eval_schema() -> Schema:
+    return Schema.from_dict(
+        {
+            "a": {"n": {}, "d": {}, "p": {"b": {}, "e": {}}},
+            "s": {},
+            "d": {"a": {}, "r": {"r": {}}},
+            "f": {},
+        }
+    )
+
+
+class TestSingleStepForm:
+    @pytest.mark.parametrize("text", NORMALISATION_CASES)
+    def test_result_is_in_normal_form(self, text):
+        normal = to_single_step_form(parse_formula(text))
+        assert is_single_step_form(normal)
+
+    @pytest.mark.parametrize("text", NORMALISATION_CASES)
+    def test_equivalence_on_all_small_instances(self, text, eval_schema):
+        """Lemma 4.4's rewriting preserves truth at every node."""
+        formula = parse_formula(text)
+        normal = to_single_step_form(formula)
+        for instance in enumerate_instances(eval_schema, max_copies=1):
+            for node in instance.nodes():
+                assert evaluate(node, formula) == evaluate(node, normal), (
+                    f"{text} differs from its normal form on some node"
+                )
+
+    def test_normal_form_idempotent(self):
+        formula = parse_formula("¬a/p[¬b ∨ ¬e]")
+        once = to_single_step_form(formula)
+        assert to_single_step_form(once) == once
+
+    def test_already_normal_unchanged(self):
+        formula = parse_formula("a[b ∧ c] ∨ ¬..")
+        assert to_single_step_form(formula) == formula
+
+    def test_is_single_step_form_detects_violations(self):
+        assert not is_single_step_form(parse_formula("a/b"))
+        assert is_single_step_form(parse_formula("a[b]"))
+
+
+class TestNnf:
+    @pytest.mark.parametrize(
+        "text",
+        ["¬(a ∧ b)", "¬(a ∨ ¬b)", "¬¬a", "¬(¬a ∧ (b ∨ ¬c))", "¬true", "¬false"],
+    )
+    def test_nnf_equivalent(self, text, eval_schema):
+        formula = parse_formula(text)
+        nnf = to_nnf(formula)
+        for instance in enumerate_instances(eval_schema, max_copies=1):
+            assert evaluate(instance.root, formula) == evaluate(instance.root, nnf)
+
+    def test_nnf_has_negation_only_on_atoms(self):
+        from repro.core.formulas.ast import And, Exists, Not, Or
+
+        nnf = to_nnf(parse_formula("¬(a ∧ (b ∨ ¬c))"))
+
+        def check(formula):
+            if isinstance(formula, Not):
+                assert isinstance(formula.operand, Exists)
+                return
+            for child in formula.children():
+                check(child)
+
+        check(nnf)
+
+    def test_constants_simplified(self):
+        from repro.core.formulas.ast import Bottom, Top
+
+        assert to_nnf(parse_formula("¬true")) == Bottom()
+        assert to_nnf(parse_formula("¬false")) == Top()
+
+
+class TestSelections:
+    def test_atom_has_single_selection(self):
+        sels = list(selections(parse_formula("a")))
+        assert len(sels) == 1
+        assert len(next(iter(sels))) == 1
+
+    def test_conjunction_merges(self):
+        sels = list(selections(parse_formula("a ∧ b")))
+        assert len(sels) == 1
+        assert len(next(iter(sels))) == 2
+
+    def test_disjunction_branches(self):
+        sels = list(selections(parse_formula("a ∨ b")))
+        assert len(sels) == 2
+
+    def test_negated_disjunction(self):
+        sels = list(selections(parse_formula("¬(a ∨ b)")))
+        assert len(sels) == 1
+        assert all(not positive for positive, _ in next(iter(sels)))
+
+    def test_selection_soundness(self, eval_schema):
+        """A node satisfies the formula iff it satisfies some selection."""
+        formula = parse_formula("(a ∧ ¬s) ∨ d[a ∨ r]")
+        for instance in enumerate_instances(eval_schema, max_copies=1):
+            node = instance.root
+            satisfied = evaluate(node, formula)
+            some_selection = False
+            for selection in selections(formula):
+                from repro.core.formulas.ast import Exists, Not
+
+                literals_hold = all(
+                    evaluate(node, Exists(path) if positive else Not(Exists(path)))
+                    for positive, path in selection
+                )
+                some_selection = some_selection or literals_hold
+            assert satisfied == some_selection
+
+    def test_literal_step_decomposition(self):
+        formula = parse_formula("a[b] ∧ ..")
+        literals = [literal for selection in selections(formula) for literal in selection]
+        decomposed = [literal_step(literal) for literal in literals]
+        labels = {label for label, _ in decomposed}
+        assert labels == {"a", None}
+
+    def test_top_and_bottom(self):
+        assert list(selections(parse_formula("true"))) == [frozenset()]
+        assert list(selections(parse_formula("false"))) == []

@@ -1,0 +1,140 @@
+"""Unit tests for the concrete-syntax parser."""
+
+import pytest
+
+from repro.core.formulas.ast import And, Exists, Filter, Not, Or, Parent, Slash, Step, Top
+from repro.core.formulas.parser import parse_formula, parse_path
+from repro.exceptions import FormulaParseError
+
+
+class TestBasicParsing:
+    def test_single_label(self):
+        assert parse_formula("a") == Exists(Step("a"))
+
+    def test_parent_step(self):
+        assert parse_formula("..") == Exists(Parent())
+
+    def test_path(self):
+        assert parse_formula("a/p/b") == Exists(Slash(Slash(Step("a"), Step("p")), Step("b")))
+
+    def test_filter(self):
+        parsed = parse_formula("a[n]")
+        assert parsed == Exists(Filter(Step("a"), Exists(Step("n"))))
+
+    def test_constants(self):
+        assert parse_formula("true") == Top()
+        assert parse_formula("false") == Not(Top()) or parse_formula("false").to_text() == "false"
+
+    def test_negation_unicode_and_ascii(self):
+        assert parse_formula("¬a") == parse_formula("!a") == parse_formula("not a")
+
+    def test_conjunction_spellings(self):
+        expected = And(Exists(Step("a")), Exists(Step("b")))
+        assert parse_formula("a ∧ b") == expected
+        assert parse_formula("a & b") == expected
+        assert parse_formula("a and b") == expected
+
+    def test_disjunction_spellings(self):
+        expected = Or(Exists(Step("a")), Exists(Step("b")))
+        assert parse_formula("a ∨ b") == expected
+        assert parse_formula("a | b") == expected
+        assert parse_formula("a or b") == expected
+
+
+class TestPrecedenceAndGrouping:
+    def test_not_binds_tighter_than_and(self):
+        parsed = parse_formula("¬a ∧ b")
+        assert isinstance(parsed, And)
+        assert isinstance(parsed.left, Not)
+
+    def test_and_binds_tighter_than_or(self):
+        parsed = parse_formula("a ∨ b ∧ c")
+        assert isinstance(parsed, Or)
+        assert isinstance(parsed.right, And)
+
+    def test_parentheses_override(self):
+        parsed = parse_formula("(a ∨ b) ∧ c")
+        assert isinstance(parsed, And)
+        assert isinstance(parsed.left, Or)
+
+    def test_nested_filters(self):
+        parsed = parse_formula("a[p[¬b ∨ ¬e]]")
+        assert isinstance(parsed, Exists)
+        outer = parsed.path
+        assert isinstance(outer, Filter)
+        inner = outer.condition
+        assert isinstance(inner, Exists)
+
+    def test_multiple_filters_on_one_step(self):
+        parsed = parse_formula("a[b][c]")
+        assert isinstance(parsed.path, Filter)
+        assert isinstance(parsed.path.path, Filter)
+
+    def test_iff_expansion(self):
+        parsed = parse_formula("a <-> b")
+        assert isinstance(parsed, Or)
+        assert isinstance(parsed.left, And)
+        assert isinstance(parsed.right, And)
+
+
+class TestPaperFormulas:
+    """All formulas that appear verbatim in the paper must parse."""
+
+    PAPER_FORMULAS = [
+        "¬a/p[¬b ∨ ¬e]",
+        "¬f ∨ d[a ∨ r]",
+        "d[¬(a ∧ r)]",
+        "¬../s ∧ ¬n",
+        "¬../../s ∧ ¬b",
+        "¬s ∧ a[n ∧ d ∧ p] ∧ ¬a/p[¬b ∨ ¬e]",
+        "d[a ∨ r] ∧ ¬f",
+        "f ∧ ¬s",
+        "f ∧ d[a ∨ r]",
+        "¬(a ∨ r) ∧ ¬../f",
+        "d[a ∧ r]",
+    ]
+
+    @pytest.mark.parametrize("text", PAPER_FORMULAS)
+    def test_parses(self, text):
+        parsed = parse_formula(text)
+        assert parsed is not None
+
+    @pytest.mark.parametrize("text", PAPER_FORMULAS)
+    def test_render_reparse_fixpoint(self, text):
+        parsed = parse_formula(text)
+        assert parse_formula(parsed.to_text()) == parsed
+        assert parse_formula(parsed.to_text(unicode_ops=False)) == parsed
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "a ∧", "(a", "a)", "a[", "a]", "a //", "∧ a", "a b", "a[b] c", "123"],
+    )
+    def test_bad_input_raises(self, text):
+        with pytest.raises(FormulaParseError):
+            parse_formula(text)
+
+    def test_error_reports_position(self):
+        with pytest.raises(FormulaParseError) as excinfo:
+            parse_formula("a ∧ ]")
+        assert excinfo.value.position is not None
+
+    def test_non_string_non_formula_rejected(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula(42)  # type: ignore[arg-type]
+
+
+class TestCoercions:
+    def test_formula_passthrough(self):
+        formula = parse_formula("a ∧ b")
+        assert parse_formula(formula) is formula
+
+    def test_path_promotion(self):
+        path = Step("a") / Step("b")
+        assert parse_formula(path) == Exists(path)
+
+    def test_parse_path(self):
+        assert parse_path("a/b") == Slash(Step("a"), Step("b"))
+        with pytest.raises(FormulaParseError):
+            parse_path("a ∧ b")

@@ -1,0 +1,109 @@
+"""Unit tests for runs (Definition 3.11)."""
+
+import pytest
+
+from repro.core.guarded_form import Addition, Deletion
+from repro.core.instance import Instance
+from repro.core.runs import Run, greedy_random_run, is_complete_run, is_run, replay
+from repro.exceptions import RunError
+
+
+def build_submission_run(leave_form):
+    """A hand-written run of the leave application up to completion."""
+    instance = leave_form.initial_instance()
+    run = Run(leave_form, [])
+    current = instance
+
+    def do(update):
+        nonlocal current
+        run.updates.append(update)
+        current = leave_form.apply(current, update)
+
+    root_id = current.root.node_id
+    do(Addition(root_id, "a"))
+    application = current.find_path("a")
+    do(Addition(application.node_id, "n"))
+    do(Addition(application.node_id, "d"))
+    do(Addition(application.node_id, "p"))
+    period = current.find_path("a/p")
+    do(Addition(period.node_id, "b"))
+    do(Addition(period.node_id, "e"))
+    do(Addition(root_id, "s"))
+    do(Addition(root_id, "d"))
+    decision = current.find_path("d")
+    do(Addition(decision.node_id, "a"))
+    do(Addition(root_id, "f"))
+    return run
+
+
+class TestRunReplay:
+    def test_valid_complete_run(self, leave_form):
+        run = build_submission_run(leave_form)
+        assert run.is_valid()
+        assert run.is_complete()
+        assert len(run) == 10
+        final = run.final_instance()
+        assert final.has_path("f") and final.has_path("d/a")
+
+    def test_every_prefix_is_a_run(self, leave_form):
+        run = build_submission_run(leave_form)
+        for cut in range(len(run) + 1):
+            assert is_run(leave_form, run.updates[:cut])
+
+    def test_instances_yields_all_steps(self, leave_form):
+        run = build_submission_run(leave_form)
+        instances = list(run.instances())
+        assert len(instances) == len(run) + 1
+        assert instances[0].size() == 1
+
+    def test_invalid_run_detected(self, leave_form):
+        instance = leave_form.initial_instance()
+        bad = Run(leave_form, [Addition(instance.root.node_id, "s")])
+        assert not bad.is_valid()
+        with pytest.raises(RunError):
+            list(bad.instances())
+
+    def test_out_of_order_updates_invalid(self, leave_form):
+        run = build_submission_run(leave_form)
+        reordered = Run(leave_form, list(reversed(run.updates)))
+        assert not reordered.is_valid()
+
+    def test_replay_helper(self, leave_form):
+        run = build_submission_run(leave_form)
+        final = replay(leave_form, run.updates)
+        assert leave_form.is_complete(final)
+        assert is_complete_run(leave_form, run.updates)
+
+    def test_run_with_explicit_start(self, leave_form):
+        start = Instance.from_paths(leave_form.schema, ["a/n", "a/d", "a/p/b", "a/p/e"])
+        run = Run(leave_form, [Addition(start.root.node_id, "s")], start=start)
+        assert run.is_valid()
+        assert run.final_instance().has_path("s")
+
+    def test_describe(self, leave_form):
+        run = build_submission_run(leave_form)
+        descriptions = run.describe()
+        assert descriptions[0] == "add a under r"
+        assert any("add s" in line for line in descriptions)
+
+    def test_deletion_in_run(self, leave_form):
+        instance = Instance.from_paths(leave_form.schema, ["a/n"])
+        name = instance.find_path("a/n")
+        run = Run(leave_form, [Deletion(name.node_id)], start=instance)
+        assert run.is_valid()
+        assert not run.final_instance().has_path("a/n")
+
+
+class TestRandomRuns:
+    def test_greedy_random_run_is_valid(self, leave_form):
+        run = greedy_random_run(leave_form, max_steps=30, seed=3)
+        assert run.is_valid()
+
+    def test_greedy_random_run_deterministic_per_seed(self, leave_form):
+        first = greedy_random_run(leave_form, max_steps=20, seed=5)
+        second = greedy_random_run(leave_form, max_steps=20, seed=5)
+        assert first.updates == second.updates
+
+    def test_greedy_random_run_respects_step_bound(self, leave_form):
+        run = greedy_random_run(leave_form, max_steps=4, seed=0)
+        assert len(run) <= 4

@@ -1,0 +1,151 @@
+"""Unit tests for formula satisfiability (Corollary 4.5)."""
+
+import pytest
+
+from repro.core.enumeration import enumerate_instances
+from repro.core.formulas.parser import parse_formula
+from repro.core.formulas.satisfiability import (
+    exists_instance_satisfying,
+    is_propositional,
+    is_satisfiable,
+    is_satisfiable_propositional,
+    propositional_translation,
+    prop_to_cnf,
+)
+from repro.core.formulas.semantics import evaluate
+from repro.core.schema import Schema, depth_one_schema
+from repro.exceptions import FormulaError
+from repro.logic.dpll import dpll_satisfiable
+
+SATISFIABLE = [
+    "a",
+    "a ∧ b",
+    "a ∧ ¬b",
+    "a/p[b ∧ ¬e]",
+    "¬a ∨ a",
+    "a[b] ∧ a[¬b]",          # needs two a-siblings
+    "..",                      # needs a parent above the evaluation node
+    "¬.. ∧ a",
+    "a[.. ∧ b]",
+    "¬a/p[¬b ∨ ¬e] ∧ a/p",
+    "a[b ∧ ¬b] ∨ c",
+]
+
+UNSATISFIABLE = [
+    "false",
+    "a ∧ ¬a",
+    "a[b] ∧ ¬a",
+    "a[b ∧ ¬b]",
+    "¬.. ∧ ..",
+    "(a ∨ b) ∧ ¬a ∧ ¬b",
+    "a[b] ∧ ¬a[b]",
+    "¬a ∧ a[¬c]",
+]
+
+
+class TestWitnessSearch:
+    @pytest.mark.parametrize("text", SATISFIABLE)
+    def test_satisfiable(self, text):
+        result = is_satisfiable(parse_formula(text))
+        assert result.decided
+        assert result.satisfiable
+        assert result.witness is not None
+        node = result.witness.node(result.witness_node_id)
+        assert evaluate(node, parse_formula(text))
+
+    @pytest.mark.parametrize("text", UNSATISFIABLE)
+    def test_unsatisfiable(self, text):
+        result = is_satisfiable(parse_formula(text))
+        assert result.decided
+        assert not result.satisfiable
+        assert result.witness is None
+
+    def test_agrees_with_exhaustive_oracle(self):
+        """Cross-check against brute force over a fixed schema: whenever the
+        exhaustive oracle finds a witness, the general search must as well."""
+        schema = Schema.from_dict({"a": {"b": {}, "c": {}}, "d": {}})
+        formulas = [
+            "a[b] ∧ ¬d",
+            "a[b ∧ c] ∨ d",
+            "¬a[¬b]",
+            "a ∧ ¬a[b]",
+            "d ∧ ¬a",
+            "a[b] ∧ a[¬b]",
+        ]
+        for text in formulas:
+            formula = parse_formula(text)
+            brute = exists_instance_satisfying(formula, schema, max_copies=2)
+            general = is_satisfiable(formula)
+            assert general.decided
+            if brute.satisfiable:
+                assert general.satisfiable
+
+
+class TestExhaustiveOverSchema:
+    def test_finds_witness(self, leave_schema):
+        formula = parse_formula("¬s ∧ a[n ∧ d ∧ p] ∧ ¬a/p[¬b ∨ ¬e]")
+        result = exists_instance_satisfying(formula, leave_schema)
+        assert result.decided and result.satisfiable
+        assert evaluate(result.witness.root, formula)
+
+    def test_unsatisfiable_over_schema(self, leave_schema):
+        # within the schema, a decision child of a period does not exist
+        formula = parse_formula("a/p[f]")
+        result = exists_instance_satisfying(formula, leave_schema)
+        assert result.decided and not result.satisfiable
+
+    def test_needs_two_copies(self):
+        schema = Schema.from_dict({"a": {"b": {}}})
+        formula = parse_formula("a[b] ∧ a[¬b]")
+        assert not exists_instance_satisfying(formula, schema, max_copies=1).satisfiable
+        assert exists_instance_satisfying(formula, schema, max_copies=2).satisfiable
+
+
+class TestPropositionalFastPath:
+    def test_translation(self):
+        prop = propositional_translation(parse_formula("(a ∨ b) ∧ ¬c"))
+        assert prop.variables() == {"a", "b", "c"}
+
+    def test_translation_rejects_paths(self):
+        with pytest.raises(FormulaError):
+            propositional_translation(parse_formula("a/b"))
+        with pytest.raises(FormulaError):
+            propositional_translation(parse_formula("a[b]"))
+        with pytest.raises(FormulaError):
+            propositional_translation(parse_formula(".."))
+
+    def test_is_propositional(self):
+        assert is_propositional(parse_formula("a ∧ (b ∨ ¬c)"))
+        assert not is_propositional(parse_formula("a[b]"))
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("(a ∨ b) ∧ ¬c", True),
+            ("a ∧ ¬a", False),
+            ("(a ∨ b) ∧ (¬a ∨ b) ∧ ¬b", False),
+            ("true", True),
+            ("false", False),
+            ("(a ∨ ¬b) ∧ (b ∨ ¬a) ∧ (a ∨ b)", True),
+        ],
+    )
+    def test_propositional_satisfiability(self, text, expected):
+        assert is_satisfiable_propositional(parse_formula(text)) == expected
+
+    def test_tseitin_equisatisfiable(self):
+        # the corresponding depth-1 reading agrees with brute force
+        schema = depth_one_schema(["a", "b", "c"])
+        for text in ["(a ∨ b) ∧ ¬c", "a ∧ ¬a", "¬(a ∧ b) ∨ c"]:
+            formula = parse_formula(text)
+            brute = exists_instance_satisfying(formula, schema).satisfiable
+            cnf = prop_to_cnf(propositional_translation(formula))
+            assert (dpll_satisfiable(cnf) is not None) == brute
+
+    def test_agreement_between_procedures(self):
+        for text in SATISFIABLE + UNSATISFIABLE:
+            formula = parse_formula(text)
+            if not is_propositional(formula):
+                continue
+            general = is_satisfiable(formula)
+            assert general.decided
+            assert general.satisfiable == is_satisfiable_propositional(formula)

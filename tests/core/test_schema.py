@@ -1,0 +1,111 @@
+"""Unit tests for schemas (Definition 3.1)."""
+
+import pytest
+
+from repro.core.schema import (
+    Schema,
+    SchemaEdge,
+    depth_one_schema,
+    format_schema_path,
+    parse_schema_path,
+)
+from repro.exceptions import SchemaError
+
+
+class TestSchemaPaths:
+    def test_parse_string(self):
+        assert parse_schema_path("a/p/b") == ("a", "p", "b")
+
+    def test_parse_root_spellings(self):
+        assert parse_schema_path("") == ()
+        assert parse_schema_path(".") == ()
+
+    def test_parse_r_is_a_field_not_the_root(self):
+        # the paper's own example uses fields labelled r (reject, reason)
+        assert parse_schema_path("r") == ("r",)
+
+    def test_parse_tuple_passthrough(self):
+        assert parse_schema_path(("a", "b")) == ("a", "b")
+
+    def test_format(self):
+        assert format_schema_path(("a", "p", "b")) == "a/p/b"
+        assert format_schema_path(()) == "r"
+
+
+class TestSchemaConstruction:
+    def test_from_dict(self, leave_schema):
+        assert leave_schema.depth() == 3
+        assert leave_schema.size() == 13  # root + 12 fields
+        assert sorted(leave_schema.child_labels()) == ["a", "d", "f", "s"]
+
+    def test_duplicate_sibling_rejected(self):
+        schema = Schema.from_dict({"a": {"x": {}}})
+        with pytest.raises(SchemaError):
+            schema.add_field((), "a")
+        with pytest.raises(SchemaError):
+            schema.add_field("a", "x")
+
+    def test_add_field(self):
+        schema = Schema.from_dict({"a": {}})
+        edge = schema.add_field("a", "child")
+        assert edge.path == ("a", "child")
+        assert schema.has_path("a/child")
+
+    def test_depth_one_helper(self):
+        schema = depth_one_schema(["x", "y"])
+        assert schema.depth() == 1
+        assert sorted(schema.child_labels()) == ["x", "y"]
+
+    def test_validate_passes_for_valid_schema(self, leave_schema):
+        leave_schema.validate()
+
+    def test_to_dict_roundtrip(self, leave_schema):
+        rebuilt = Schema.from_dict(leave_schema.to_dict())
+        assert rebuilt.shape() == leave_schema.shape()
+
+
+class TestSchemaAddressing:
+    def test_node_at(self, leave_schema):
+        node = leave_schema.node_at("a/p/b")
+        assert node.label == "b"
+        assert node.label_path() == ("a", "p", "b")
+
+    def test_node_at_root(self, leave_schema):
+        assert leave_schema.node_at(()) is leave_schema.root
+
+    def test_node_at_missing_raises(self, leave_schema):
+        with pytest.raises(SchemaError):
+            leave_schema.node_at("a/zzz")
+
+    def test_has_path(self, leave_schema):
+        assert leave_schema.has_path("d/r/r")
+        assert not leave_schema.has_path("d/r/x")
+
+    def test_child_labels(self, leave_schema):
+        assert sorted(leave_schema.child_labels("a")) == ["d", "n", "p"]
+
+    def test_edges_list(self, leave_schema):
+        edges = leave_schema.edges_list()
+        assert len(edges) == 12
+        assert SchemaEdge("a/p/b") in edges
+
+    def test_field_labels(self, leave_schema):
+        labels = leave_schema.field_labels()
+        assert {"a", "n", "d", "p", "b", "e", "s", "r", "f"} == labels
+
+    def test_edge_properties(self):
+        edge = SchemaEdge("a/p/b")
+        assert edge.label == "b"
+        assert edge.parent_path == ("a", "p")
+        assert edge.depth == 3
+
+    def test_edge_at_root_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaEdge(())
+
+    def test_copy_is_schema(self, leave_schema):
+        clone = leave_schema.copy()
+        assert isinstance(clone, Schema)
+        assert clone.shape() == leave_schema.shape()
+        clone.add_field((), "extra")
+        assert not leave_schema.has_path("extra")

@@ -1,0 +1,114 @@
+"""Unit tests for formula evaluation (Definition 3.5)."""
+
+import pytest
+
+from repro.core.formulas.parser import parse_formula, parse_path
+from repro.core.formulas.semantics import (
+    evaluate,
+    evaluate_all,
+    evaluate_any,
+    evaluate_at_root,
+    path_targets,
+)
+from repro.core.instance import Instance
+
+
+def targets(node, path_text):
+    return list(path_targets(node, parse_path(path_text)))
+
+
+class TestPathSemantics:
+    def test_label_step_selects_children(self, submitted_instance):
+        application = submitted_instance.find_path("a")
+        periods = targets(application, "p")
+        assert len(periods) == 2
+        assert all(node.label == "p" for node in periods)
+
+    def test_parent_step(self, submitted_instance):
+        name = submitted_instance.find_path("a/n")
+        parents = targets(name, "..")
+        assert len(parents) == 1
+        assert parents[0].label == "a"
+
+    def test_parent_of_root_is_empty(self, submitted_instance):
+        assert targets(submitted_instance.root, "..") == []
+
+    def test_composition(self, submitted_instance):
+        begins = targets(submitted_instance.root, "a/p/b")
+        assert len(begins) == 2
+
+    def test_filter(self, submitted_instance):
+        # only periods that have a begin date
+        period = submitted_instance.find_path("a/p")
+        submitted_instance.remove_field(period.children_with_label("b")[0])
+        filtered = targets(submitted_instance.find_path("a"), "p[b]")
+        assert len(filtered) == 1
+
+    def test_parent_then_down(self, submitted_instance):
+        name = submitted_instance.find_path("a/n")
+        assert [n.label for n in targets(name, "../d")] == ["d"]
+
+
+class TestFormulaSemantics:
+    def test_existence(self, submitted_instance):
+        assert evaluate(submitted_instance.root, parse_formula("a"))
+        assert not evaluate(submitted_instance.root, parse_formula("f"))
+
+    def test_negation(self, submitted_instance):
+        assert evaluate(submitted_instance.root, parse_formula("¬f"))
+        assert not evaluate(submitted_instance.root, parse_formula("¬a"))
+
+    def test_conjunction_disjunction(self, submitted_instance):
+        assert evaluate(submitted_instance.root, parse_formula("a ∧ s"))
+        assert evaluate(submitted_instance.root, parse_formula("f ∨ s"))
+        assert not evaluate(submitted_instance.root, parse_formula("f ∧ s"))
+
+    def test_constants(self, submitted_instance):
+        assert evaluate(submitted_instance.root, parse_formula("true"))
+        assert not evaluate(submitted_instance.root, parse_formula("false"))
+
+    def test_paper_example_all_periods_have_dates(self, submitted_instance):
+        formula = parse_formula("¬a/p[¬b ∨ ¬e]")
+        assert evaluate(submitted_instance.root, formula)
+        # remove one end date: the formula must become false
+        period = submitted_instance.find_path("a/p")
+        submitted_instance.remove_field(period.children_with_label("e")[0])
+        assert not evaluate(submitted_instance.root, formula)
+
+    def test_paper_example_final_needs_decision(self, rejected_instance, submitted_instance):
+        formula = parse_formula("¬f ∨ d[a ∨ r]")
+        assert evaluate(rejected_instance.root, formula)
+        assert evaluate(submitted_instance.root, formula)  # no f at all
+
+    def test_paper_example_not_both_approved_and_rejected(self, rejected_instance):
+        formula = parse_formula("d[¬(a ∧ r)]")
+        assert evaluate(rejected_instance.root, formula)
+
+    def test_relative_evaluation_at_inner_node(self, submitted_instance):
+        application = submitted_instance.find_path("a")
+        assert evaluate(application, parse_formula("../s"))
+        assert evaluate(application, parse_formula("¬../f"))
+
+    def test_submit_rule_of_example_312(self, leave_schema):
+        rule = parse_formula("¬s ∧ a[n ∧ d ∧ p] ∧ ¬a/p[¬b ∨ ¬e]")
+        ready = Instance.from_paths(leave_schema, ["a/n", "a/d", "a/p/b", "a/p/e"])
+        assert evaluate(ready.root, rule)
+        missing_dates = Instance.from_paths(leave_schema, ["a/n", "a/d", "a/p"])
+        assert not evaluate(missing_dates.root, rule)
+        no_period = Instance.from_paths(leave_schema, ["a/n", "a/d"])
+        assert not evaluate(no_period.root, rule)
+
+
+class TestHelpers:
+    def test_evaluate_at_root(self, submitted_instance):
+        assert evaluate_at_root(submitted_instance, parse_formula("a ∧ s"))
+
+    def test_evaluate_all_any(self, submitted_instance):
+        periods = submitted_instance.nodes_with_label_path(("a", "p"))
+        assert evaluate_all(periods, parse_formula("b ∧ e"))
+        assert evaluate_any(periods, parse_formula("b"))
+        assert not evaluate_any(periods, parse_formula("zzz"))
+
+    def test_unknown_label_is_just_false(self, submitted_instance):
+        # labels that exist in no schema are simply never matched
+        assert not evaluate(submitted_instance.root, parse_formula("unknown_label"))

@@ -1,0 +1,153 @@
+"""Unit tests for the rooted node-labelled tree substrate."""
+
+import pytest
+
+from repro.core.tree import LabelledTree, shape_depth, shape_size
+from repro.exceptions import InstanceError
+
+
+def build_sample() -> LabelledTree:
+    tree = LabelledTree()
+    a = tree.add_leaf(tree.root, "a")
+    tree.add_leaf(a, "x")
+    tree.add_leaf(a, "y")
+    tree.add_leaf(tree.root, "b")
+    return tree
+
+
+class TestConstruction:
+    def test_root_exists(self):
+        tree = LabelledTree()
+        assert tree.root.label == "r"
+        assert tree.size() == 1
+        assert tree.depth() == 0
+
+    def test_add_leaf_grows_tree(self):
+        tree = build_sample()
+        assert tree.size() == 5
+        assert tree.depth() == 2
+
+    def test_from_nested_dict(self):
+        tree = LabelledTree.from_nested({"a": {"x": {}, "y": {}}, "b": {}})
+        assert tree.size() == 5
+        assert sorted(child.label for child in tree.root.children) == ["a", "b"]
+
+    def test_from_shape(self):
+        shape = ("r", (("a", (("x", ()),)), ("a", ())))
+        tree = LabelledTree.from_nested(shape)
+        assert tree.size() == 4
+        assert len(tree.root.children_with_label("a")) == 2
+
+    def test_from_shape_wrong_root_rejected(self):
+        with pytest.raises(InstanceError):
+            LabelledTree.from_nested(("x", ()))
+
+
+class TestNodeQueries:
+    def test_label_path(self):
+        tree = build_sample()
+        x = tree.find(lambda node: node.label == "x")
+        assert x is not None
+        assert x.label_path() == ("a", "x")
+        assert tree.root.label_path() == ()
+
+    def test_depth_of_node(self):
+        tree = build_sample()
+        x = tree.find(lambda node: node.label == "x")
+        assert x.depth() == 2
+
+    def test_children_with_label(self):
+        tree = build_sample()
+        a = tree.find(lambda node: node.label == "a")
+        assert [child.label for child in a.children_with_label("x")] == ["x"]
+        assert a.has_child_with_label("y")
+        assert not a.has_child_with_label("z")
+
+    def test_leaves(self):
+        tree = build_sample()
+        assert sorted(node.label for node in tree.leaves()) == ["b", "x", "y"]
+
+    def test_nodes_with_label_path(self):
+        tree = build_sample()
+        assert len(tree.nodes_with_label_path(("a", "x"))) == 1
+        assert tree.nodes_with_label_path(()) == [tree.root]
+
+
+class TestUpdates:
+    def test_remove_leaf(self):
+        tree = build_sample()
+        x = tree.find(lambda node: node.label == "x")
+        tree.remove_leaf(x)
+        assert tree.size() == 4
+        assert not tree.has_node(x.node_id)
+
+    def test_remove_non_leaf_rejected(self):
+        tree = build_sample()
+        a = tree.find(lambda node: node.label == "a")
+        with pytest.raises(InstanceError):
+            tree.remove_leaf(a)
+
+    def test_remove_root_rejected(self):
+        tree = LabelledTree()
+        with pytest.raises(InstanceError):
+            tree.remove_leaf(tree.root)
+
+    def test_foreign_node_rejected(self):
+        tree = build_sample()
+        other = build_sample()
+        foreign = other.find(lambda node: node.label == "x")
+        with pytest.raises(InstanceError):
+            tree.remove_leaf(foreign)
+
+    def test_invalid_label_rejected(self):
+        tree = LabelledTree()
+        with pytest.raises(Exception):
+            tree.add_leaf(tree.root, "")
+
+
+class TestCopyAndShape:
+    def test_copy_preserves_structure_and_ids(self):
+        tree = build_sample()
+        clone = tree.copy()
+        assert clone.shape() == tree.shape()
+        assert {n.node_id for n in clone.nodes()} == {n.node_id for n in tree.nodes()}
+
+    def test_copy_is_independent(self):
+        tree = build_sample()
+        clone = tree.copy()
+        leaf = clone.find(lambda node: node.label == "b")
+        clone.remove_leaf(leaf)
+        assert tree.size() == 5
+        assert clone.size() == 4
+
+    def test_shape_is_order_invariant(self):
+        first = LabelledTree()
+        first.add_leaf(first.root, "a")
+        first.add_leaf(first.root, "b")
+        second = LabelledTree()
+        second.add_leaf(second.root, "b")
+        second.add_leaf(second.root, "a")
+        assert first.shape() == second.shape()
+        assert first.is_isomorphic_to(second)
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_shape_distinguishes_multiplicity(self):
+        first = LabelledTree()
+        first.add_leaf(first.root, "a")
+        second = LabelledTree()
+        second.add_leaf(second.root, "a")
+        second.add_leaf(second.root, "a")
+        assert first.shape() != second.shape()
+
+    def test_shape_size_and_depth(self):
+        tree = build_sample()
+        assert shape_size(tree.shape()) == tree.size()
+        assert shape_depth(tree.shape()) == tree.depth()
+
+    def test_label_multiset(self):
+        tree = build_sample()
+        counts = tree.label_multiset()
+        assert counts["r"] == 1
+        assert counts["a"] == 1
+        assert counts["x"] == 1

@@ -1,0 +1,101 @@
+"""Tests for the catalogue forms (Figure 1 / Example 3.12 and companions)."""
+
+from repro.analysis.completability import decide_completability
+from repro.analysis.results import ExplorationLimits
+from repro.analysis.semisoundness import decide_semisoundness
+from repro.core.formulas.parser import parse_formula
+from repro.fbwis.catalog import (
+    leave_application,
+    leave_application_incompletable,
+    leave_application_not_semisound,
+    purchase_order,
+    tax_declaration,
+)
+
+LIMITS = ExplorationLimits(max_states=30_000, max_instance_nodes=30)
+
+
+class TestLeaveApplicationDefinition:
+    def test_schema_matches_figure1(self, leave_schema):
+        form = leave_application()
+        assert form.schema.shape() == leave_schema.shape()
+        assert form.schema_depth() == 3
+
+    def test_rules_match_example_312(self):
+        form = leave_application()
+        rules = form.rules
+        assert rules.add_rule("a") == parse_formula("¬a")
+        assert rules.delete_rule("a") == parse_formula("¬a")
+        assert rules.add_rule("a/n") == parse_formula("¬../s ∧ ¬n")
+        assert rules.delete_rule("a/p/e") == parse_formula("¬../../s")
+        assert rules.add_rule("s") == parse_formula("¬s ∧ a[n ∧ d ∧ p] ∧ ¬a/p[¬b ∨ ¬e]")
+        assert rules.add_rule("d") == parse_formula("s ∧ ¬d")
+        assert rules.delete_rule("d") == parse_formula("¬f")
+        assert rules.add_rule("d/a") == parse_formula("¬(a ∨ r)")
+        assert rules.delete_rule("d/r/r") == parse_formula("¬../../f")
+        assert rules.add_rule("f") == parse_formula("d[a ∨ r] ∧ ¬f")
+
+    def test_completion_formula_is_f(self):
+        assert leave_application().completion == parse_formula("f")
+
+    def test_initial_instance_is_empty(self):
+        assert leave_application().initial_instance().size() == 1
+
+    def test_multi_period_variant_allows_second_period(self):
+        form = leave_application(single_period=False)
+        instance = form.initial_instance()
+        application = instance.add_field(instance.root, "a")
+        instance.add_field(application, "p")
+        assert form.is_addition_allowed(instance, application, "p")
+
+    def test_single_period_variant_blocks_second_period(self):
+        form = leave_application(single_period=True)
+        instance = form.initial_instance()
+        application = instance.add_field(instance.root, "a")
+        instance.add_field(application, "p")
+        assert not form.is_addition_allowed(instance, application, "p")
+
+
+class TestSection35Properties:
+    def test_leave_application_is_completable_and_semi_sound(self):
+        form = leave_application(single_period=True)
+        assert decide_completability(form, limits=LIMITS).answer
+        assert decide_semisoundness(form, limits=LIMITS).answer
+
+    def test_incompletable_variant(self):
+        form = leave_application_incompletable(single_period=True)
+        result = decide_completability(form, limits=LIMITS)
+        assert result.decided and result.answer is False
+
+    def test_not_semisound_variant_is_completable_but_not_semi_sound(self):
+        form = leave_application_not_semisound(single_period=True)
+        assert decide_completability(form, limits=LIMITS).answer
+        result = decide_semisoundness(form, limits=LIMITS)
+        assert result.decided and result.answer is False
+
+
+class TestOtherForms:
+    def test_tax_declaration_correct(self):
+        form = tax_declaration()
+        assert decide_completability(form, limits=LIMITS).answer
+        assert decide_semisoundness(form, limits=LIMITS).answer
+
+    def test_purchase_order_correct(self):
+        form = purchase_order()
+        assert decide_completability(form, limits=LIMITS).answer
+        assert decide_semisoundness(form, limits=LIMITS).answer
+
+    def test_purchase_order_has_two_completion_branches(self):
+        from repro.analysis.invariants import can_reach
+
+        form = purchase_order()
+        approve = can_reach(form, "archived ∧ review[approve]", limits=LIMITS)
+        decline = can_reach(form, "archived ∧ review[decline]", limits=LIMITS)
+        assert approve.answer and decline.answer
+
+    def test_tax_declaration_audit_requires_finding(self):
+        from repro.analysis.invariants import always_holds
+
+        form = tax_declaration()
+        result = always_holds(form, "¬notice ∨ assessment[accept ∨ audit[finding]]", limits=LIMITS)
+        assert result.decided and result.answer

@@ -1,0 +1,115 @@
+"""Unit tests for the fb-wis form engine."""
+
+import pytest
+
+from repro.analysis.results import ExplorationLimits
+from repro.exceptions import EngineError
+from repro.fbwis.catalog import (
+    leave_application,
+    leave_application_incompletable,
+    leave_application_not_semisound,
+    tax_declaration,
+)
+from repro.fbwis.engine import FormEngine, FormPolicy
+
+LIMITS = ExplorationLimits(max_states=30_000, max_instance_nodes=30)
+
+
+@pytest.fixture
+def engine():
+    return FormEngine(policy=FormPolicy.STRICT, limits=LIMITS)
+
+
+class TestRegistration:
+    def test_correct_form_accepted(self, engine):
+        registration = engine.register("leave", leave_application(single_period=True))
+        assert registration.completability.answer
+        assert registration.semisoundness.answer
+        assert registration.warnings == []
+        assert engine.forms() == ["leave"]
+
+    def test_incompletable_form_rejected(self, engine):
+        with pytest.raises(EngineError):
+            engine.register("broken", leave_application_incompletable(single_period=True))
+        assert engine.forms() == []
+
+    def test_not_semisound_form_rejected(self, engine):
+        with pytest.raises(EngineError):
+            engine.register("broken", leave_application_not_semisound(single_period=True))
+
+    def test_duplicate_id_rejected(self, engine):
+        engine.register("leave", leave_application(single_period=True))
+        with pytest.raises(EngineError):
+            engine.register("leave", tax_declaration())
+
+    def test_permissive_policy_records_warnings(self):
+        engine = FormEngine(policy=FormPolicy.PERMISSIVE, limits=LIMITS)
+        registration = engine.register(
+            "broken", leave_application_not_semisound(single_period=True)
+        )
+        assert registration.warnings
+        assert "broken" in engine.forms()
+
+    def test_warn_policy_still_rejects_provably_broken_forms(self):
+        engine = FormEngine(policy=FormPolicy.WARN, limits=LIMITS)
+        with pytest.raises(EngineError):
+            engine.register("broken", leave_application_incompletable(single_period=True))
+
+    def test_warn_policy_accepts_undecided_forms_with_warning(self):
+        # the faithful multi-period form cannot be analysed exhaustively with
+        # tiny limits, so the analysis is inconclusive
+        engine = FormEngine(
+            policy=FormPolicy.WARN,
+            limits=ExplorationLimits(max_states=50, max_instance_nodes=12),
+        )
+        registration = engine.register("leave", leave_application(single_period=False))
+        assert registration.warnings
+
+    def test_strict_policy_rejects_undecided_forms(self):
+        engine = FormEngine(
+            policy=FormPolicy.STRICT,
+            limits=ExplorationLimits(max_states=50, max_instance_nodes=12),
+        )
+        with pytest.raises(EngineError):
+            engine.register("leave", leave_application(single_period=False))
+
+    def test_semisoundness_check_can_be_disabled(self):
+        engine = FormEngine(policy=FormPolicy.STRICT, check_semisoundness=False, limits=LIMITS)
+        registration = engine.register(
+            "almost", leave_application_not_semisound(single_period=True)
+        )
+        assert registration.semisoundness is None
+
+    def test_registration_lookup(self, engine):
+        engine.register("leave", leave_application(single_period=True))
+        assert engine.registration("leave").form_id == "leave"
+        with pytest.raises(EngineError):
+            engine.registration("missing")
+
+
+class TestSessions:
+    def test_open_and_use_session(self, engine):
+        engine.register("leave", leave_application(single_period=True))
+        session_id, session = engine.open_session("leave", actor="alice")
+        assert session_id in engine.sessions()
+        session.add_field("", "a")
+        assert engine.session(session_id).find("a") is not None
+
+    def test_sessions_are_independent(self, engine):
+        engine.register("leave", leave_application(single_period=True))
+        _, first = engine.open_session("leave")
+        _, second = engine.open_session("leave")
+        first.add_field("", "a")
+        assert second.find("a") is None
+
+    def test_close_session(self, engine):
+        engine.register("leave", leave_application(single_period=True))
+        session_id, _ = engine.open_session("leave")
+        engine.close_session(session_id)
+        assert session_id not in engine.sessions()
+        with pytest.raises(EngineError):
+            engine.session(session_id)
+
+    def test_unknown_form_session_rejected(self, engine):
+        with pytest.raises(EngineError):
+            engine.open_session("missing")

@@ -1,0 +1,103 @@
+"""Unit tests for form editing sessions."""
+
+import pytest
+
+from repro.core.guarded_form import Addition
+from repro.exceptions import EngineError, UpdateNotAllowedError
+from repro.fbwis.catalog import leave_application
+from repro.fbwis.session import FormSession
+
+
+@pytest.fixture
+def session():
+    return FormSession(leave_application(single_period=True), actor="alice")
+
+
+def fill_application(session: FormSession) -> None:
+    session.add_field("", "a")
+    session.add_field("a", "n")
+    session.add_field("a", "d")
+    session.add_field("a", "p")
+    session.add_field("a/p", "b")
+    session.add_field("a/p", "e")
+
+
+class TestEditing:
+    def test_add_fields_through_the_workflow(self, session):
+        fill_application(session)
+        session.add_field("", "s", actor="alice")
+        session.add_field("", "d", actor="bob")
+        session.add_field("d", "a", actor="bob")
+        session.add_field("", "f", actor="bob")
+        assert session.is_complete()
+
+    def test_disallowed_update_rejected(self, session):
+        with pytest.raises(UpdateNotAllowedError):
+            session.add_field("", "s")  # cannot submit an empty application
+
+    def test_unknown_parent_rejected(self, session):
+        with pytest.raises(EngineError):
+            session.add_field("a", "n")  # no application yet
+
+    def test_delete_field(self, session):
+        fill_application(session)
+        session.delete_field("a/n")
+        assert session.find("a/n") is None
+
+    def test_delete_blocked_after_submission(self, session):
+        fill_application(session)
+        session.add_field("", "s")
+        with pytest.raises(UpdateNotAllowedError):
+            session.delete_field("a/n")
+
+    def test_delete_unknown_path_rejected(self, session):
+        with pytest.raises(EngineError):
+            session.delete_field("a/n")
+
+    def test_apply_raw_update(self, session):
+        instance = session.instance()
+        session.apply(Addition(instance.root.node_id, "a"))
+        assert session.find("a") is not None
+
+
+class TestIntrospection:
+    def test_permitted_updates_on_fresh_form(self, session):
+        descriptions = session.describe_permitted_updates()
+        assert descriptions == ["add a under r"]
+
+    def test_permitted_updates_change_with_state(self, session):
+        fill_application(session)
+        descriptions = session.describe_permitted_updates()
+        assert any("add s" in text for text in descriptions)
+        assert all("add d under r" != text for text in descriptions)
+
+    def test_audit_trail_records_actors(self, session):
+        session.add_field("", "a", actor="alice")
+        session.add_field("a", "n", actor="carol")
+        trail = session.audit_trail()
+        assert [entry.actor for entry in trail] == ["alice", "carol"]
+        assert trail[0].description == "add a under r"
+
+    def test_default_actor_used(self, session):
+        session.add_field("", "a")
+        assert session.audit_trail()[0].actor == "alice"
+
+    def test_run_replays_to_current_state(self, session):
+        fill_application(session)
+        run = session.run()
+        assert run.is_valid()
+        assert run.final_instance().shape() == session.instance().shape()
+
+    def test_summary_mentions_state(self, session):
+        assert "in progress" in session.summary()
+        fill_application(session)
+        session.add_field("", "s")
+        session.add_field("", "d")
+        session.add_field("d", "r")
+        session.add_field("", "f")
+        assert "complete" in session.summary()
+
+    def test_instance_returns_copy(self, session):
+        copy = session.instance()
+        copy.add_field(copy.root, "a")
+        assert session.find("a") is None

@@ -1,0 +1,141 @@
+"""End-to-end reproduction of the paper's running example (Sections 3.4/3.5).
+
+These tests walk the leave application through the workflow the paper
+describes and check every claim the paper makes about it:
+
+* the form is completable (a complete run exists) and the workflow order is
+  enforced (submit only after the application is filled in, decide only after
+  submission, finalise only after a decision);
+* the variant with completion formula ``f ∧ ¬s`` is not completable;
+* the variant with the weakened rules is completable but not semi-sound, and
+  the counterexample is exactly the "final but undecided" instance the paper
+  points out.
+"""
+
+from repro.analysis.completability import decide_completability
+from repro.analysis.invariants import always_holds, can_reach
+from repro.analysis.results import ExplorationLimits
+from repro.analysis.semisoundness import decide_semisoundness
+from repro.fbwis.catalog import (
+    leave_application,
+    leave_application_incompletable,
+    leave_application_not_semisound,
+)
+from repro.fbwis.session import FormSession
+from repro.workflow.extraction import extract_workflow
+from repro.workflow.soundness import analyse_workflow
+
+LIMITS = ExplorationLimits(max_states=40_000, max_instance_nodes=30)
+
+
+class TestHappyPath:
+    def test_full_editing_session(self):
+        """A staff member files an application, a manager approves it."""
+        session = FormSession(leave_application(single_period=True), actor="staff")
+        session.add_field("", "a")
+        session.add_field("a", "n")
+        session.add_field("a", "d")
+        session.add_field("a", "p")
+        session.add_field("a/p", "b")
+        session.add_field("a/p", "e")
+        assert not session.is_complete()
+        session.add_field("", "s")
+
+        # after submission the application fields are frozen
+        permitted = session.describe_permitted_updates()
+        assert all("under a" not in text for text in permitted)
+
+        session.add_field("", "d", actor="manager")
+        session.add_field("d", "a", actor="manager")
+        session.add_field("", "f", actor="manager")
+        assert session.is_complete()
+        assert session.run().is_complete()
+
+    def test_rejection_path_with_reason(self):
+        session = FormSession(leave_application(single_period=True))
+        for parent, label in [
+            ("", "a"), ("a", "n"), ("a", "d"), ("a", "p"),
+            ("a/p", "b"), ("a/p", "e"), ("", "s"), ("", "d"),
+            ("d", "r"), ("d/r", "r"), ("", "f"),
+        ]:
+            session.add_field(parent, label)
+        assert session.is_complete()
+        assert session.find("d/r/r") is not None
+
+    def test_workflow_order_is_enforced(self):
+        form = leave_application(single_period=True)
+        # submission before the application is filled in is impossible
+        assert can_reach(form, "s ∧ ¬a", limits=LIMITS).answer is False
+        # a decision before submission is impossible
+        assert always_holds(form, "¬d ∨ s", limits=LIMITS).answer
+        # the final mark requires a decision
+        assert always_holds(form, "¬f ∨ d[a ∨ r]", limits=LIMITS).answer
+        # a decision with both approval and rejection can never occur
+        assert can_reach(form, "d[a ∧ r]", limits=LIMITS).answer is False
+
+    def test_analysis_results(self):
+        form = leave_application(single_period=True)
+        completability = decide_completability(form, limits=LIMITS)
+        semisoundness = decide_semisoundness(form, limits=LIMITS)
+        assert completability.decided and completability.answer
+        assert semisoundness.decided and semisoundness.answer
+        assert completability.witness_run.is_complete()
+
+    def test_extracted_workflow_is_semi_sound(self):
+        lts = extract_workflow(leave_application(single_period=True), limits=LIMITS)
+        report = analyse_workflow(lts)
+        assert report.semi_sound
+        assert report.accepting_reachable >= 1
+
+
+class TestSection35Variants:
+    def test_incompletable_variant_has_no_complete_run(self):
+        form = leave_application_incompletable(single_period=True)
+        result = decide_completability(form, limits=LIMITS)
+        assert result.decided and result.answer is False
+        assert result.witness_run is None
+
+    def test_incompletable_variant_multi_period_never_finds_a_witness(self):
+        form = leave_application_incompletable(single_period=False)
+        result = decide_completability(
+            form, limits=ExplorationLimits(max_states=3_000, max_instance_nodes=18)
+        )
+        assert result.answer is not True
+
+    def test_weakened_rules_variant_is_completable(self):
+        form = leave_application_not_semisound(single_period=True)
+        result = decide_completability(form, limits=LIMITS)
+        assert result.decided and result.answer
+
+    def test_weakened_rules_variant_is_not_semi_sound(self):
+        form = leave_application_not_semisound(single_period=True)
+        result = decide_semisoundness(form, limits=LIMITS)
+        assert result.decided and result.answer is False
+        counterexample = result.counterexample
+        # "it is possible to reach an instance where there is a final field but
+        #  no approval or reject field" (Section 3.5)
+        assert counterexample.has_path("f")
+        assert not counterexample.has_path("d/a")
+        assert not counterexample.has_path("d/r")
+
+    def test_weakened_rules_counterexample_reachable_by_a_session(self):
+        """Replay the bad scenario through the user-facing session API."""
+        form = leave_application_not_semisound(single_period=True)
+        session = FormSession(form)
+        for parent, label in [
+            ("", "a"), ("a", "n"), ("a", "d"), ("a", "p"),
+            ("a/p", "b"), ("a/p", "e"), ("", "s"), ("", "d"), ("", "f"),
+        ]:
+            session.add_field(parent, label)
+        # the form is now final but undecided, and the decision can no longer
+        # be entered
+        assert not session.is_complete()
+        permitted = session.describe_permitted_updates()
+        assert all("add a under d" != text for text in permitted)
+        assert all("add r under d" != text for text in permitted)
+        result = decide_completability(form, start=session.instance(), limits=LIMITS)
+        assert result.decided and result.answer is False
+
+    def test_original_rules_prevent_the_bad_scenario(self):
+        form = leave_application(single_period=True)
+        assert can_reach(form, "f ∧ ¬d[a ∨ r]", limits=LIMITS).answer is False

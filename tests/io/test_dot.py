@@ -1,0 +1,50 @@
+"""Unit tests for DOT export."""
+
+from repro.fbwis.catalog import leave_application
+from repro.io.dot import instance_to_dot, lts_to_dot, schema_to_dot, tree_to_dot
+from repro.workflow.extraction import extract_workflow
+from repro.workflow.lts import LabelledTransitionSystem
+
+
+class TestTreeDot:
+    def test_schema_dot_structure(self, leave_schema):
+        dot = schema_to_dot(leave_schema, "leave")
+        assert dot.startswith('digraph "leave"')
+        assert dot.rstrip().endswith("}")
+        # one node line per schema node and one edge line per schema edge
+        assert dot.count("label=") == leave_schema.size()
+        assert dot.count("->") == leave_schema.size() - 1
+
+    def test_instance_dot(self, submitted_instance):
+        dot = instance_to_dot(submitted_instance)
+        assert dot.count("->") == submitted_instance.size() - 1
+
+    def test_label_escaping(self):
+        from repro.core.tree import LabelledTree
+
+        tree = LabelledTree()
+        tree.add_leaf(tree.root, "has'quote")
+        dot = tree_to_dot(tree)
+        assert "has'quote" in dot
+
+
+class TestLtsDot:
+    def test_accepting_and_initial_markup(self):
+        lts = LabelledTransitionSystem(initial="start")
+        lts.add_transition("start", "go", "end")
+        lts.add_state("end", accepting=True)
+        dot = lts_to_dot(lts, "wf")
+        assert "peripheries=2" in dot
+        assert "fillcolor" in dot
+        assert '[label="go"]' in dot
+
+    def test_extracted_workflow_exports(self, tiny_form):
+        lts = extract_workflow(tiny_form)
+        dot = lts_to_dot(lts)
+        assert dot.count("->") == len(lts.transitions)
+        assert "{a, b, c}" in dot
+
+    def test_quotes_escaped(self):
+        lts = LabelledTransitionSystem(initial='st"art')
+        dot = lts_to_dot(lts)
+        assert '\\"' in dot

@@ -1,0 +1,59 @@
+"""Unit tests for ASCII rendering."""
+
+from repro.fbwis.catalog import leave_application
+from repro.io.render import (
+    render_instance,
+    render_rule_table,
+    render_schema,
+    render_table,
+    render_table1,
+    render_tree,
+)
+
+
+class TestTreeRendering:
+    def test_schema_rendering_contains_all_fields(self, leave_schema):
+        text = render_schema(leave_schema, "Figure 1")
+        assert text.startswith("Figure 1")
+        for label in ("a", "n", "d", "p", "b", "e", "s", "f"):
+            assert f" {label}" in text or f"-- {label}" in text
+
+    def test_nesting_is_indented(self, leave_schema):
+        text = render_schema(leave_schema)
+        lines = text.splitlines()
+        begin_line = next(line for line in lines if line.endswith(" b"))
+        assert begin_line.startswith("|   ") or begin_line.startswith("    ")
+
+    def test_instance_rendering(self, submitted_instance):
+        text = render_instance(submitted_instance, "Figure 2(a)")
+        assert text.count("p") >= 2
+
+    def test_single_node_tree(self):
+        from repro.core.tree import LabelledTree
+
+        assert render_tree(LabelledTree()) == "r"
+
+
+class TestTableRendering:
+    def test_generic_table(self):
+        text = render_table(["x", "value"], [("a", 1), ("bb", 22)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "x" in lines[1] and "value" in lines[1]
+        assert lines[2].startswith("-")
+        assert len(lines) == 5
+
+    def test_table1_contains_all_rows(self):
+        text = render_table1()
+        assert "Table 1" in text
+        assert text.count("F(") == 12
+        assert "undecidable" in text
+        assert "PSPACE-compl" in text or "PSPACE-complete" in text
+        assert "coNP-complete" in text
+
+    def test_rule_table_rendering(self):
+        form = leave_application()
+        text = render_rule_table(form.rules, title="Example 3.12")
+        assert "A(add, a/n)" in text
+        assert "¬../s ∧ ¬n" in text
+        assert "A(del, f)" in text

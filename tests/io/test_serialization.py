@@ -1,0 +1,101 @@
+"""Unit tests for dict/JSON serialisation."""
+
+import json
+
+import pytest
+
+from repro.analysis.completability import decide_completability
+from repro.analysis.semisoundness import decide_semisoundness
+from repro.core.access import AccessRight
+from repro.exceptions import SerializationError
+from repro.fbwis.catalog import leave_application
+from repro.io.serialization import (
+    guarded_form_from_dict,
+    guarded_form_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    load_guarded_form,
+    save_guarded_form,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+
+class TestSchemaRoundtrip:
+    def test_roundtrip(self, leave_schema):
+        data = schema_to_dict(leave_schema)
+        rebuilt = schema_from_dict(data)
+        assert rebuilt.shape() == leave_schema.shape()
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(SerializationError):
+            schema_from_dict("not a dict")  # type: ignore[arg-type]
+
+
+class TestInstanceRoundtrip:
+    def test_roundtrip_preserves_shape(self, leave_schema, submitted_instance):
+        data = instance_to_dict(submitted_instance)
+        rebuilt = instance_from_dict(data, leave_schema)
+        assert rebuilt.shape() == submitted_instance.shape()
+
+    def test_repeated_siblings_survive(self, leave_schema, submitted_instance):
+        data = instance_to_dict(submitted_instance)
+        rebuilt = instance_from_dict(data, leave_schema)
+        application = rebuilt.find_path("a")
+        assert len(application.children_with_label("p")) == 2
+
+    def test_missing_label_rejected(self, leave_schema):
+        with pytest.raises(SerializationError):
+            instance_from_dict({"children": []}, leave_schema)
+
+    def test_wrong_root_rejected(self, leave_schema):
+        with pytest.raises(SerializationError):
+            instance_from_dict({"label": "a", "children": []}, leave_schema)
+
+
+class TestGuardedFormRoundtrip:
+    def test_roundtrip_preserves_components(self):
+        form = leave_application(single_period=True)
+        data = guarded_form_to_dict(form)
+        rebuilt = guarded_form_from_dict(data)
+        assert rebuilt.name == form.name
+        assert rebuilt.schema.shape() == form.schema.shape()
+        assert rebuilt.completion == form.completion
+        assert rebuilt.initial_instance().shape() == form.initial_instance().shape()
+        for right in (AccessRight.ADD, AccessRight.DEL):
+            for edge in form.schema.edges_list():
+                assert rebuilt.rules.rule(right, edge.path) == form.rules.rule(right, edge.path)
+
+    def test_roundtrip_preserves_analysis_results(self):
+        form = leave_application(single_period=True)
+        rebuilt = guarded_form_from_dict(guarded_form_to_dict(form))
+        assert decide_completability(rebuilt).answer == decide_completability(form).answer
+        from repro.analysis.results import ExplorationLimits
+
+        limits = ExplorationLimits(max_states=30_000, max_instance_nodes=30)
+        assert (
+            decide_semisoundness(rebuilt, limits=limits).answer
+            == decide_semisoundness(form, limits=limits).answer
+        )
+
+    def test_dict_is_json_serialisable(self):
+        data = guarded_form_to_dict(leave_application())
+        text = json.dumps(data)
+        assert "completion" in json.loads(text)
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(SerializationError):
+            guarded_form_from_dict({"schema": {}})
+
+    def test_file_roundtrip(self, tmp_path):
+        form = leave_application(single_period=True)
+        path = tmp_path / "leave.json"
+        save_guarded_form(form, path)
+        loaded = load_guarded_form(path)
+        assert loaded.schema.shape() == form.schema.shape()
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{ not json", encoding="utf-8")
+        with pytest.raises(SerializationError):
+            load_guarded_form(path)

@@ -1,0 +1,62 @@
+"""Unit tests for the DPLL SAT solver."""
+
+import pytest
+
+from repro.logic.dpll import count_models, dpll_satisfiable, enumerate_models, is_satisfiable
+from repro.logic.propositional import CnfFormula, random_cnf
+
+
+class TestDpll:
+    def test_satisfiable_returns_model(self):
+        cnf = CnfFormula.from_ints([[1, 2], [-1, 2], [1, -2]])
+        model = dpll_satisfiable(cnf)
+        assert model is not None
+        assert cnf.satisfied_by(model)
+
+    def test_unsatisfiable(self):
+        cnf = CnfFormula.from_ints([[1], [-1]])
+        assert dpll_satisfiable(cnf) is None
+        assert not is_satisfiable(cnf)
+
+    def test_classic_unsat_instance(self):
+        # all eight clauses over three variables: unsatisfiable
+        clauses = []
+        for a in (1, -1):
+            for b in (2, -2):
+                for c in (3, -3):
+                    clauses.append([a, b, c])
+        assert dpll_satisfiable(CnfFormula.from_ints(clauses)) is None
+
+    def test_empty_cnf_is_satisfiable(self):
+        assert dpll_satisfiable(CnfFormula([])) == {}
+
+    def test_unit_propagation_chain(self):
+        cnf = CnfFormula.from_ints([[1], [-1, 2], [-2, 3], [-3, 4]])
+        model = dpll_satisfiable(cnf)
+        assert model is not None
+        assert model["x1"] and model["x2"] and model["x3"] and model["x4"]
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_agrees_with_brute_force(self, seed):
+        cnf = random_cnf(5, 12, seed=seed)
+        brute = any(True for _ in enumerate_models(cnf))
+        assert is_satisfiable(cnf) == brute
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_returned_models_satisfy(self, seed):
+        cnf = random_cnf(6, 14, seed=seed + 100)
+        model = dpll_satisfiable(cnf)
+        if model is not None:
+            assert cnf.satisfied_by(model)
+
+
+class TestModelEnumeration:
+    def test_count_models(self):
+        cnf = CnfFormula.from_ints([[1, 2]])
+        assert count_models(cnf) == 3
+
+    def test_enumerate_respects_variable_universe(self):
+        cnf = CnfFormula.from_ints([[1]])
+        models = list(enumerate_models(cnf, variables=["x1", "x2"]))
+        assert len(models) == 2
+        assert all(model["x1"] for model in models)

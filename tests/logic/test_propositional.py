@@ -1,0 +1,108 @@
+"""Unit tests for the propositional-logic substrate."""
+
+import pytest
+
+from repro.exceptions import ReductionError
+from repro.logic.propositional import (
+    Clause,
+    CnfFormula,
+    Literal,
+    PropAnd,
+    PropAtom,
+    PropFalse,
+    PropNot,
+    PropOr,
+    PropTrue,
+    prop_conj,
+    prop_disj,
+    random_cnf,
+)
+
+
+class TestFormulaAst:
+    def test_evaluation(self):
+        formula = PropAnd(PropAtom("x"), PropOr(PropNot(PropAtom("y")), PropAtom("z")))
+        assert formula.evaluate({"x": True, "y": False})
+        assert not formula.evaluate({"x": False, "y": False, "z": True})
+
+    def test_missing_variables_default_to_false(self):
+        assert not PropAtom("x").evaluate({})
+        assert PropNot(PropAtom("x")).evaluate({})
+
+    def test_constants(self):
+        assert PropTrue().evaluate({})
+        assert not PropFalse().evaluate({})
+
+    def test_variables(self):
+        formula = PropAnd(PropAtom("x"), PropNot(PropAtom("y")))
+        assert formula.variables() == {"x", "y"}
+
+    def test_operators(self):
+        formula = PropAtom("x") & ~PropAtom("y") | PropAtom("z")
+        assert isinstance(formula, PropOr)
+
+    def test_prop_conj_disj(self):
+        assert prop_conj([]).evaluate({})
+        assert not prop_disj([]).evaluate({})
+        assert prop_conj([PropAtom("x")]).evaluate({"x": True})
+        assert prop_disj([PropAtom("x"), PropAtom("y")]).evaluate({"y": True})
+
+
+class TestCnf:
+    def test_literal_negation_and_satisfaction(self):
+        literal = Literal("x", True)
+        assert literal.negate() == Literal("x", False)
+        assert literal.satisfied_by({"x": True})
+        assert literal.negate().satisfied_by({"x": False})
+
+    def test_clause(self):
+        clause = Clause([Literal("x"), Literal("y", False)])
+        assert clause.satisfied_by({"x": False, "y": False})
+        assert not clause.satisfied_by({"x": False, "y": True})
+        assert clause.variables() == {"x", "y"}
+        assert len(clause) == 2
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ReductionError):
+            Clause([])
+
+    def test_cnf_satisfaction(self):
+        cnf = CnfFormula(
+            [Clause([Literal("x")]), Clause([Literal("x", False), Literal("y")])]
+        )
+        assert cnf.satisfied_by({"x": True, "y": True})
+        assert not cnf.satisfied_by({"x": True, "y": False})
+
+    def test_from_ints(self):
+        cnf = CnfFormula.from_ints([[1, -2], [2, 3]])
+        assert cnf.variables() == {"x1", "x2", "x3"}
+        assert cnf.satisfied_by({"x1": True, "x2": True})
+
+    def test_from_ints_rejects_zero(self):
+        with pytest.raises(ReductionError):
+            CnfFormula.from_ints([[0]])
+
+    def test_to_formula_agrees(self):
+        cnf = CnfFormula.from_ints([[1, -2], [2]])
+        formula = cnf.to_formula()
+        for x1 in (False, True):
+            for x2 in (False, True):
+                assignment = {"x1": x1, "x2": x2}
+                assert cnf.satisfied_by(assignment) == formula.evaluate(assignment)
+
+
+class TestRandomCnf:
+    def test_deterministic_with_seed(self):
+        first = random_cnf(6, 10, seed=7)
+        second = random_cnf(6, 10, seed=7)
+        assert str(first) == str(second)
+
+    def test_sizes(self):
+        cnf = random_cnf(5, 12, clause_size=3, seed=1)
+        assert len(cnf) == 12
+        assert all(len(clause) == 3 for clause in cnf)
+        assert cnf.variables() <= {f"x{i}" for i in range(1, 6)}
+
+    def test_clause_size_bound_checked(self):
+        with pytest.raises(ReductionError):
+            random_cnf(2, 3, clause_size=3)

@@ -1,0 +1,116 @@
+"""Unit tests for the QBF substrate."""
+
+import pytest
+
+from repro.exceptions import ReductionError
+from repro.logic.dpll import is_satisfiable
+from repro.logic.propositional import CnfFormula, PropAtom, PropNot, PropOr, random_cnf
+from repro.logic.qbf import (
+    QBF,
+    QuantifierBlock,
+    evaluate_qbf,
+    pad_blocks_to_uniform_size,
+    qsat_2k,
+    random_qbf,
+)
+
+
+class TestModel:
+    def test_block_validation(self):
+        with pytest.raises(ReductionError):
+            QuantifierBlock("some", ("x",))
+        with pytest.raises(ReductionError):
+            QuantifierBlock("exists", ())
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(ReductionError):
+            QBF([QuantifierBlock("exists", ("x",))], PropAtom("y"))
+
+    def test_doubly_bound_variable_rejected(self):
+        with pytest.raises(ReductionError):
+            QBF(
+                [QuantifierBlock("exists", ("x",)), QuantifierBlock("forall", ("x",))],
+                PropAtom("x"),
+            )
+
+    def test_shape_queries(self):
+        qbf = qsat_2k([["x"]], [["y"]], PropOr(PropAtom("x"), PropAtom("y")))
+        assert qbf.num_blocks == 2
+        assert qbf.starts_with_exists()
+        assert qbf.is_strictly_alternating()
+
+    def test_qsat_2k_requires_matching_blocks(self):
+        with pytest.raises(ReductionError):
+            qsat_2k([["x"]], [], PropAtom("x"))
+
+    def test_padding(self):
+        qbf = QBF(
+            [QuantifierBlock("exists", ("x",)), QuantifierBlock("forall", ("y", "z"))],
+            PropAtom("x"),
+        )
+        padded = pad_blocks_to_uniform_size(qbf)
+        assert len({len(block.variables) for block in padded.blocks}) == 1
+        assert evaluate_qbf(padded) == evaluate_qbf(qbf)
+
+
+class TestEvaluation:
+    def test_simple_true(self):
+        # ∃x ∀y (x ∨ ¬y ∨ y) is true
+        qbf = qsat_2k([["x"]], [["y"]], PropOr(PropAtom("x"), PropOr(PropNot(PropAtom("y")), PropAtom("y"))))
+        assert evaluate_qbf(qbf)
+
+    def test_simple_false(self):
+        # ∃x ∀y (x ∧ y ... ) — matrix x∨y is false when x=false? choose x: ∀y (x ∨ y):
+        # with x=true it's true, so the formula is true; use matrix (x ∧ y) instead
+        from repro.logic.propositional import PropAnd
+
+        qbf = qsat_2k([["x"]], [["y"]], PropAnd(PropAtom("x"), PropAtom("y")))
+        assert not evaluate_qbf(qbf)
+
+    def test_forall_exists_order_matters(self):
+        from repro.logic.propositional import PropAnd, PropOr
+
+        # ∃x∀y (x ↔ y) is false, ∀y∃x (x ↔ y) is true
+        matrix = PropOr(
+            PropAnd(PropAtom("x"), PropAtom("y")),
+            PropAnd(PropNot(PropAtom("x")), PropNot(PropAtom("y"))),
+        )
+        exists_forall = QBF(
+            [QuantifierBlock("exists", ("x",)), QuantifierBlock("forall", ("y",))], matrix
+        )
+        forall_exists = QBF(
+            [QuantifierBlock("forall", ("y",)), QuantifierBlock("exists", ("x",))], matrix
+        )
+        assert not evaluate_qbf(exists_forall)
+        assert evaluate_qbf(forall_exists)
+
+    def test_fully_existential_matches_sat(self):
+        for seed in range(6):
+            cnf = random_cnf(4, 8, seed=seed)
+            qbf = QBF([QuantifierBlock("exists", tuple(sorted(cnf.variables())))], cnf)
+            assert evaluate_qbf(qbf) == is_satisfiable(cnf)
+
+    def test_fully_universal_requires_tautology(self):
+        cnf = CnfFormula.from_ints([[1, -1]])
+        qbf = QBF([QuantifierBlock("forall", ("x1",))], cnf)
+        assert evaluate_qbf(qbf)
+        non_tautology = CnfFormula.from_ints([[1]])
+        qbf2 = QBF([QuantifierBlock("forall", ("x1",))], non_tautology)
+        assert not evaluate_qbf(qbf2)
+
+
+class TestRandomQbf:
+    def test_deterministic(self):
+        first = random_qbf(3, 2, 5, seed=11)
+        second = random_qbf(3, 2, 5, seed=11)
+        assert repr(first) == repr(second)
+
+    def test_structure(self):
+        qbf = random_qbf(4, 2, 6, seed=3)
+        assert qbf.num_blocks == 4
+        assert qbf.starts_with_exists()
+        assert qbf.is_strictly_alternating()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReductionError):
+            random_qbf(0, 1, 1)

@@ -1,0 +1,131 @@
+"""Property-based tests for formula equivalence and canonical instances."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canonical import canonical_instance, canonical_shape, is_canonical
+from repro.core.equivalence import are_formula_equivalent, node_equivalence_classes
+from repro.core.formulas.semantics import evaluate
+from repro.core.homomorphism import is_instance_of
+from repro.core.instance import Instance
+
+from .strategies import formulas, instances, property_schema
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+
+def shuffled_copy(instance: Instance, seed: int) -> Instance:
+    """An isomorphic copy with children inserted in a different order."""
+    rng = random.Random(seed)
+
+    def shuffled_shape(shape):
+        label, children = shape
+        reordered = list(children)
+        rng.shuffle(reordered)
+        return (label, tuple(shuffled_shape(child) for child in reordered))
+
+    return Instance.from_shape(instance.schema, shuffled_shape(instance.shape()))
+
+
+class TestCanonicalInstances:
+    @SETTINGS
+    @given(instance=instances())
+    def test_canonical_is_idempotent(self, instance):
+        once = canonical_instance(instance)
+        assert is_canonical(once)
+        assert canonical_instance(once).shape() == once.shape()
+
+    @SETTINGS
+    @given(instance=instances())
+    def test_instance_is_equivalent_to_its_canonical_form(self, instance):
+        assert are_formula_equivalent(instance, canonical_instance(instance))
+
+    @SETTINGS
+    @given(instance=instances())
+    def test_canonical_instance_is_smaller_or_equal(self, instance):
+        assert canonical_instance(instance).size() <= instance.size()
+
+    @SETTINGS
+    @given(instance=instances())
+    def test_canonical_instance_is_still_an_instance(self, instance):
+        assert is_instance_of(canonical_instance(instance), instance.schema)
+
+    @SETTINGS
+    @given(instance=instances(), formula=formulas())
+    def test_lemma_39_formula_invariance(self, instance, formula):
+        """Lemma 3.9: I ~ can(I) implies both satisfy the same formulas."""
+        canonical = canonical_instance(instance)
+        assert evaluate(instance.root, formula) == evaluate(canonical.root, formula)
+
+    @SETTINGS
+    @given(instance=instances(), seed=st.integers(min_value=0, max_value=10_000))
+    def test_canonical_shape_is_isomorphism_invariant(self, instance, seed):
+        assert canonical_shape(instance) == canonical_shape(shuffled_copy(instance, seed))
+
+    @SETTINGS
+    @given(instance=instances(max_copies=1))
+    def test_duplicate_free_instances_are_canonical(self, instance):
+        """An instance with at most one copy of each field under every node can
+        still collapse only if two siblings with different labels were
+        bisimilar — impossible — so it is its own canonical instance."""
+        assert is_canonical(instance)
+
+
+class TestEquivalenceRelation:
+    @SETTINGS
+    @given(instance=instances())
+    def test_equivalence_is_reflexive(self, instance):
+        assert are_formula_equivalent(instance, instance.copy())
+
+    @SETTINGS
+    @given(first=instances(), second=instances())
+    def test_equivalence_is_symmetric(self, first, second):
+        assert are_formula_equivalent(first, second) == are_formula_equivalent(second, first)
+
+    @SETTINGS
+    @given(first=instances(), second=instances())
+    def test_equivalence_iff_same_canonical_shape(self, first, second):
+        assert are_formula_equivalent(first, second) == (
+            canonical_shape(first) == canonical_shape(second)
+        )
+
+    @SETTINGS
+    @given(instance=instances())
+    def test_node_classes_respect_labels_and_depth(self, instance):
+        classes = node_equivalence_classes(instance)
+        by_class: dict[int, set] = {}
+        for node in instance.nodes():
+            by_class.setdefault(classes[node.node_id], set()).add((node.label, node.depth()))
+        for members in by_class.values():
+            assert len(members) == 1
+
+    @SETTINGS
+    @given(instance=instances(), formula=formulas())
+    def test_duplicating_a_subtree_preserves_formulas(self, instance, formula):
+        """Adding an exact copy of an existing subtree keeps the instance
+        formula equivalent (and hence all formula values equal)."""
+        non_root = [node for node in instance.nodes() if not node.is_root()]
+        if not non_root:
+            return
+        target = non_root[0]
+        duplicated = Instance.from_shape(
+            instance.schema,
+            _shape_with_duplicate(instance, target),
+        )
+        assert are_formula_equivalent(instance, duplicated)
+        assert evaluate(instance.root, formula) == evaluate(duplicated.root, formula)
+
+
+def _shape_with_duplicate(instance: Instance, target) -> tuple:
+    """The shape of *instance* with an extra copy of *target*'s subtree."""
+    duplicate_shape = instance.subtree_shape(target)
+
+    def rebuild(node):
+        children = [rebuild(child) for child in node.children]
+        if node is target.parent:
+            children.append(duplicate_shape)
+        return (node.label, tuple(sorted(children)))
+
+    return rebuild(instance.root)

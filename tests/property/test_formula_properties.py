@@ -1,0 +1,87 @@
+"""Property-based tests for the formula machinery (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.formulas.normalize import is_single_step_form, to_nnf, to_single_step_form
+from repro.core.formulas.parser import parse_formula
+from repro.core.formulas.semantics import evaluate
+
+from .strategies import formulas, instances, positive_formulas
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+class TestParserRoundtrip:
+    @SETTINGS
+    @given(formula=formulas())
+    def test_unicode_rendering_reparses_to_same_ast(self, formula):
+        assert parse_formula(formula.to_text(unicode_ops=True)) == formula
+
+    @SETTINGS
+    @given(formula=formulas())
+    def test_ascii_rendering_reparses_to_same_ast(self, formula):
+        assert parse_formula(formula.to_text(unicode_ops=False)) == formula
+
+
+class TestNormalisation:
+    @SETTINGS
+    @given(formula=formulas(), instance=instances())
+    def test_single_step_form_preserves_truth_everywhere(self, formula, instance):
+        normal = to_single_step_form(formula)
+        assert is_single_step_form(normal)
+        for node in instance.nodes():
+            assert evaluate(node, formula) == evaluate(node, normal)
+
+    @SETTINGS
+    @given(formula=formulas(), instance=instances())
+    def test_nnf_preserves_truth_everywhere(self, formula, instance):
+        nnf = to_nnf(formula)
+        for node in instance.nodes():
+            assert evaluate(node, formula) == evaluate(node, nnf)
+
+    @SETTINGS
+    @given(formula=formulas())
+    def test_normalisation_is_idempotent(self, formula):
+        once = to_single_step_form(formula)
+        assert to_single_step_form(once) == once
+
+    @SETTINGS
+    @given(formula=positive_formulas())
+    def test_normalisation_preserves_positivity(self, formula):
+        assert to_single_step_form(formula).is_positive()
+
+
+class TestSemantics:
+    @SETTINGS
+    @given(formula=formulas(), instance=instances())
+    def test_negation_is_complement(self, formula, instance):
+        from repro.core.formulas.ast import Not
+
+        for node in instance.nodes():
+            assert evaluate(node, Not(formula)) == (not evaluate(node, formula))
+
+    @SETTINGS
+    @given(formula=positive_formulas(), instance=instances(max_copies=1))
+    def test_positive_formulas_are_monotone_under_additions(self, formula, instance):
+        """Adding a field can never falsify a positive formula (the key
+        property behind the A+/phi+ fragments, Theorem 5.5)."""
+        before = {node.node_id: evaluate(node, formula) for node in instance.nodes()}
+        # add one instance of every missing schema field under the first
+        # matching parent (a batch of additions)
+        schema = instance.schema
+        for path in sorted(schema.paths(), key=len):
+            if path and not instance.has_path(path):
+                parent = instance.find_path(path[:-1])
+                if parent is not None:
+                    instance.add_field(parent, path[-1])
+        for node_id, value in before.items():
+            if value:
+                assert evaluate(instance.node(node_id), formula)
+
+    @SETTINGS
+    @given(instance=instances(), data=st.data())
+    def test_evaluation_agrees_on_isomorphic_instances(self, instance, data):
+        formula = data.draw(formulas())
+        clone = instance.copy()
+        assert evaluate(clone.root, formula) == evaluate(instance.root, formula)

@@ -1,0 +1,120 @@
+"""Property-based validation of the reductions against their oracles."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.completability import decide_completability
+from repro.analysis.semisoundness import decide_semisoundness
+from repro.logic.dpll import dpll_satisfiable, enumerate_models
+from repro.logic.propositional import Clause, CnfFormula, Literal
+from repro.reductions.deadlock import (
+    DeadlockProblem,
+    deadlock_reachable,
+    deadlock_to_completability,
+)
+from repro.reductions.sat_reductions import sat_to_completability, sat_to_non_semisoundness
+from repro.reductions.transformations import (
+    completability_to_semisoundness,
+    make_completion_positive,
+)
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+@st.composite
+def cnf_formulas(draw, max_variables: int = 4, max_clauses: int = 6):
+    """Random small CNFs (clauses over x1..xn with random polarities)."""
+    num_variables = draw(st.integers(min_value=1, max_value=max_variables))
+    variables = [f"x{i + 1}" for i in range(num_variables)]
+    num_clauses = draw(st.integers(min_value=1, max_value=max_clauses))
+    clauses = []
+    for _ in range(num_clauses):
+        size = draw(st.integers(min_value=1, max_value=min(3, num_variables)))
+        chosen = draw(
+            st.lists(st.sampled_from(variables), min_size=size, max_size=size, unique=True)
+        )
+        clauses.append(
+            Clause(Literal(var, draw(st.booleans())) for var in chosen)
+        )
+    return CnfFormula(clauses)
+
+
+@st.composite
+def deadlock_problems(draw):
+    """Random two-component reachable-deadlock instances."""
+    size_a = draw(st.integers(min_value=2, max_value=3))
+    size_b = draw(st.integers(min_value=2, max_value=3))
+    first = [f"a{i}" for i in range(size_a)]
+    second = [f"b{i}" for i in range(size_b)]
+    num_transitions = draw(st.integers(min_value=1, max_value=4))
+    transitions = []
+    for _ in range(num_transitions):
+        edge_a = tuple(draw(st.lists(st.sampled_from(first), min_size=2, max_size=2, unique=True)))
+        edge_b = tuple(draw(st.lists(st.sampled_from(second), min_size=2, max_size=2, unique=True)))
+        transitions.append((edge_a, edge_b))
+    return DeadlockProblem.build([first, second], [first[0], second[0]], transitions)
+
+
+class TestSatReductions:
+    @SETTINGS
+    @given(cnf=cnf_formulas())
+    def test_theorem_51_matches_dpll(self, cnf):
+        form = sat_to_completability(cnf)
+        result = decide_completability(form)
+        assert result.decided
+        assert result.answer == (dpll_satisfiable(cnf) is not None)
+
+    @SETTINGS
+    @given(cnf=cnf_formulas())
+    def test_theorem_51_matches_brute_force(self, cnf):
+        form = sat_to_completability(cnf)
+        brute = any(True for _ in enumerate_models(cnf))
+        assert decide_completability(form).answer == brute
+
+    @SETTINGS
+    @given(cnf=cnf_formulas())
+    def test_theorem_56_matches_dpll(self, cnf):
+        form = sat_to_non_semisoundness(cnf)
+        result = decide_semisoundness(form)
+        assert result.decided
+        assert result.answer == (dpll_satisfiable(cnf) is None)
+
+    @SETTINGS
+    @given(cnf=cnf_formulas())
+    def test_positive_completion_transformation_preserves_the_answer(self, cnf):
+        form = sat_to_completability(cnf)
+        transformed = make_completion_positive(form)
+        assert transformed.has_positive_completion()
+        assert decide_completability(transformed).answer == decide_completability(form).answer
+
+    @SETTINGS
+    @given(cnf=cnf_formulas())
+    def test_corollary_47_equivalence(self, cnf):
+        form = sat_to_completability(cnf)
+        transformed = completability_to_semisoundness(form)
+        assert decide_semisoundness(transformed).answer == decide_completability(form).answer
+
+
+class TestDeadlockReduction:
+    @SETTINGS
+    @given(problem=deadlock_problems())
+    def test_theorem_46_matches_explicit_checker(self, problem):
+        form = deadlock_to_completability(problem)
+        result = decide_completability(form)
+        assert result.decided
+        assert result.answer == deadlock_reachable(problem)
+
+    @SETTINGS
+    @given(problem=deadlock_problems())
+    def test_witness_run_reaches_a_deadlock_encoding(self, problem):
+        form = deadlock_to_completability(problem)
+        result = decide_completability(form)
+        if not result.answer:
+            return
+        final = result.witness_run.final_instance()
+        configuration = []
+        for component in problem.components:
+            present = [v for v in sorted(component) if final.has_path(f"v_{v}")]
+            assert len(present) == 1
+            configuration.append(present[0])
+        assert problem.is_deadlock(tuple(configuration))

@@ -1,0 +1,90 @@
+"""Property-based cross-checks for the satisfiability procedures (Cor. 4.5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.formulas.ast import And, Not
+from repro.core.formulas.satisfiability import (
+    exists_instance_satisfying,
+    is_propositional,
+    is_satisfiable,
+    is_satisfiable_propositional,
+)
+from repro.core.formulas.semantics import evaluate
+from repro.core.schema import depth_one_schema
+
+from .strategies import formulas, instances, property_schema
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+#: Labels for the propositional strategies (no nesting in the schema, so the
+#: exhaustive oracle over the depth-1 schema is exact).
+FLAT_LABELS = ["a", "b", "c", "d"]
+
+
+class TestWitnessSearch:
+    @SETTINGS
+    @given(formula=formulas())
+    def test_positive_answers_come_with_verified_witnesses(self, formula):
+        result = is_satisfiable(formula, max_nodes=1_500)
+        if result.decided and result.satisfiable:
+            node = result.witness.node(result.witness_node_id)
+            assert evaluate(node, formula)
+
+    @SETTINGS
+    @given(formula=formulas(), instance=instances())
+    def test_no_false_negatives_on_observed_models(self, formula, instance):
+        """If some node of a concrete instance satisfies the formula, the
+        witness search must not declare it unsatisfiable."""
+        if not any(evaluate(node, formula) for node in instance.nodes()):
+            return
+        result = is_satisfiable(formula, max_nodes=1_500)
+        if result.decided:
+            assert result.satisfiable
+
+    @SETTINGS
+    @given(formula=formulas())
+    def test_unsatisfiable_formulas_have_unsatisfiable_negands(self, formula):
+        """φ ∧ ¬φ is always unsatisfiable, whatever φ is."""
+        contradiction = And(formula, Not(formula))
+        result = is_satisfiable(contradiction, max_nodes=1_500)
+        if result.decided:
+            assert not result.satisfiable
+
+    @SETTINGS
+    @given(formula=formulas())
+    def test_agrees_with_exhaustive_oracle_over_the_schema(self, formula):
+        """Whenever the exhaustive oracle (all instances of the property
+        schema, ≤2 copies per field) finds a model, the general search must
+        agree; the converse need not hold because the general search may use
+        trees outside the schema."""
+        brute = exists_instance_satisfying(formula, property_schema(), max_copies=2)
+        general = is_satisfiable(formula, max_nodes=1_500)
+        if brute.satisfiable and general.decided:
+            assert general.satisfiable
+
+
+class TestPropositionalAgreement:
+    @SETTINGS
+    @given(formula=formulas(labels=FLAT_LABELS, depth=1))
+    def test_three_procedures_agree_on_propositional_formulas(self, formula):
+        if not is_propositional(formula):
+            return
+        schema = depth_one_schema(FLAT_LABELS)
+        brute = exists_instance_satisfying(formula, schema, max_copies=1)
+        dpll = is_satisfiable_propositional(formula)
+        general = is_satisfiable(formula, max_nodes=1_500)
+        assert dpll == brute.satisfiable
+        if general.decided:
+            assert general.satisfiable == brute.satisfiable
+
+    @SETTINGS
+    @given(formula=formulas(labels=FLAT_LABELS, depth=2), data=st.data())
+    def test_satisfiability_is_monotone_under_disjunction(self, formula, data):
+        other = data.draw(formulas(labels=FLAT_LABELS, depth=1))
+        from repro.core.formulas.ast import Or
+
+        single = is_satisfiable(formula, max_nodes=1_500)
+        combined = is_satisfiable(Or(formula, other), max_nodes=1_500)
+        if single.decided and single.satisfiable and combined.decided:
+            assert combined.satisfiable

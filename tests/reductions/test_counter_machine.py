@@ -1,0 +1,102 @@
+"""Unit tests for the two-counter machine substrate."""
+
+import pytest
+
+from repro.exceptions import ReductionError
+from repro.reductions.counter_machine import (
+    Configuration,
+    DECREMENT,
+    INCREMENT,
+    KEEP,
+    POSITIVE,
+    TwoCounterMachine,
+    ZERO,
+    collatz_like_machine,
+    counting_machine,
+    diverging_machine,
+    transfer_machine,
+)
+
+
+class TestModelValidation:
+    def test_unknown_initial_state_rejected(self):
+        with pytest.raises(ReductionError):
+            TwoCounterMachine(["q"], "bad", [], {})
+
+    def test_unknown_accepting_state_rejected(self):
+        with pytest.raises(ReductionError):
+            TwoCounterMachine(["q"], "q", ["bad"], {})
+
+    def test_transition_to_unknown_state_rejected(self):
+        with pytest.raises(ReductionError):
+            TwoCounterMachine(["q"], "q", [], {("q", ZERO, ZERO): ("bad", KEEP, KEEP)})
+
+    def test_decrement_of_zero_counter_rejected(self):
+        with pytest.raises(ReductionError):
+            TwoCounterMachine(
+                ["q"], "q", [], {("q", ZERO, ZERO): ("q", DECREMENT, KEEP)}
+            )
+
+    def test_negative_configuration_rejected(self):
+        with pytest.raises(ReductionError):
+            Configuration("q", -1, 0)
+
+    def test_configuration_tests(self):
+        assert Configuration("q", 0, 3).tests() == (ZERO, POSITIVE)
+        assert Configuration("q", 2, 0).tests() == (POSITIVE, ZERO)
+
+
+class TestExecution:
+    def test_counting_machine_counts(self):
+        machine = counting_machine(3)
+        run = machine.run(100, keep_trace=True)
+        assert run.halted and run.accepted
+        assert run.final.counter1 == 3
+        assert run.steps == 4  # three increments plus the move to halt
+        assert len(run.trace) == run.steps + 1
+
+    def test_counting_machine_zero(self):
+        machine = counting_machine(0)
+        run = machine.run(10)
+        assert run.accepted
+        assert run.final.counter1 == 0
+
+    def test_transfer_machine_moves_counter(self):
+        machine = transfer_machine(4)
+        run = machine.run(100, start=machine.initial_configuration(4, 0))
+        assert run.accepted
+        assert run.final.counter1 == 0
+        assert run.final.counter2 == 4
+
+    def test_diverging_machine_never_halts(self):
+        machine = diverging_machine()
+        assert machine.reaches_accepting_state(200) is None
+        run = machine.run(50)
+        assert not run.accepted
+        assert run.final.counter1 == 50
+
+    def test_collatz_like_machine_halts(self):
+        machine = collatz_like_machine()
+        run = machine.run(500, start=machine.initial_configuration(5, 0))
+        assert run.accepted
+
+    def test_stuck_machine_halts_without_accepting(self):
+        machine = TwoCounterMachine(
+            ["q", "halt"],
+            "q",
+            ["halt"],
+            {("q", ZERO, ZERO): ("q", INCREMENT, KEEP)},
+        )
+        # after one increment the machine is in (q, 1, 0) for which no
+        # transition is defined: it halts but does not accept
+        assert machine.reaches_accepting_state(10) is False
+
+    def test_step_returns_none_in_accepting_state(self):
+        machine = counting_machine(1)
+        assert machine.step(Configuration("halt", 0, 0)) is None
+
+    def test_deterministic_trace(self):
+        machine = counting_machine(2)
+        first = machine.run(10, keep_trace=True).trace
+        second = machine.run(10, keep_trace=True).trace
+        assert first == second

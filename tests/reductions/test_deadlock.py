@@ -1,0 +1,130 @@
+"""Validation of the reachable-deadlock substrate and reduction (Theorem 4.6)."""
+
+import pytest
+
+from repro.analysis.completability import decide_completability
+from repro.core.fragments import classify
+from repro.exceptions import ReductionError
+from repro.reductions.deadlock import (
+    DeadlockProblem,
+    deadlock_reachable,
+    deadlock_to_completability,
+    random_deadlock_problem,
+)
+
+
+def two_component_problem(transitions):
+    return DeadlockProblem.build(
+        [["a0", "a1", "a2"], ["b0", "b1", "b2"]],
+        ["a0", "b0"],
+        transitions,
+    )
+
+
+class TestProblemModel:
+    def test_component_lookup(self):
+        problem = two_component_problem([(("a0", "a1"), ("b0", "b1"))])
+        assert problem.component_of("a1") == 0
+        assert problem.component_of("b2") == 1
+        with pytest.raises(ReductionError):
+            problem.component_of("zzz")
+
+    def test_validation_rejects_shared_vertices(self):
+        with pytest.raises(ReductionError):
+            DeadlockProblem.build([["v"], ["v"]], ["v", "v"], [])
+
+    def test_validation_rejects_same_component_pair(self):
+        with pytest.raises(ReductionError):
+            two_component_problem([(("a0", "a1"), ("a1", "a2"))])
+
+    def test_validation_rejects_foreign_start(self):
+        with pytest.raises(ReductionError):
+            DeadlockProblem.build([["a0"], ["b0"]], ["b0", "a0"], [])
+
+    def test_successors(self):
+        problem = two_component_problem(
+            [(("a0", "a1"), ("b0", "b1")), (("a1", "a2"), ("b1", "b0"))]
+        )
+        assert problem.successors(("a0", "b0")) == [("a1", "b1")]
+        assert problem.successors(("a1", "b1")) == [("a2", "b0")]
+        assert problem.is_deadlock(("a2", "b0"))
+
+
+class TestOracle:
+    def test_immediate_deadlock(self):
+        problem = two_component_problem([(("a1", "a2"), ("b1", "b2"))])
+        # the initial configuration (a0, b0) enables nothing
+        assert deadlock_reachable(problem)
+
+    def test_reachable_deadlock_after_steps(self):
+        problem = two_component_problem(
+            [(("a0", "a1"), ("b0", "b1")), (("a1", "a2"), ("b1", "b2"))]
+        )
+        assert deadlock_reachable(problem)
+
+    def test_no_deadlock_in_cycle(self):
+        problem = two_component_problem(
+            [(("a0", "a1"), ("b0", "b1")), (("a1", "a0"), ("b1", "b0"))]
+        )
+        assert not deadlock_reachable(problem)
+
+    def test_random_generator_validates(self):
+        problem = random_deadlock_problem(3, 3, 6, seed=1)
+        assert len(problem.components) == 3
+        assert len(problem.transitions) == 6
+
+    def test_random_generator_needs_two_components(self):
+        with pytest.raises(ReductionError):
+            random_deadlock_problem(1, 3, 2)
+
+
+class TestReduction:
+    def test_fragment(self):
+        problem = random_deadlock_problem(2, 3, 4, seed=0)
+        form = deadlock_to_completability(problem)
+        fragment = classify(form)
+        assert fragment.depth == "1"
+        assert not fragment.positive_access
+
+    def test_initial_instance_encodes_start_configuration(self):
+        problem = two_component_problem([(("a0", "a1"), ("b0", "b1"))])
+        form = deadlock_to_completability(problem)
+        instance = form.initial_instance()
+        assert instance.has_path("v_a0")
+        assert instance.has_path("v_b0")
+        assert not instance.has_path("v_a1")
+
+    def test_deadlock_free_cycle_is_incompletable(self):
+        problem = two_component_problem(
+            [(("a0", "a1"), ("b0", "b1")), (("a1", "a0"), ("b1", "b0"))]
+        )
+        form = deadlock_to_completability(problem)
+        result = decide_completability(form)
+        assert result.decided and result.answer is False
+
+    def test_reachable_deadlock_is_completable(self):
+        problem = two_component_problem(
+            [(("a0", "a1"), ("b0", "b1")), (("a1", "a2"), ("b1", "b2"))]
+        )
+        form = deadlock_to_completability(problem)
+        result = decide_completability(form)
+        assert result.decided and result.answer
+        assert result.witness_run.is_complete()
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_instances_match_oracle(self, seed):
+        problem = random_deadlock_problem(2, 3, 4, seed=seed)
+        expected = deadlock_reachable(problem)
+        form = deadlock_to_completability(problem)
+        result = decide_completability(form)
+        assert result.decided
+        assert result.answer == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_three_component_instances_match_oracle(self, seed):
+        problem = random_deadlock_problem(3, 2, 5, seed=seed + 300)
+        expected = deadlock_reachable(problem)
+        form = deadlock_to_completability(problem)
+        result = decide_completability(form)
+        assert result.decided
+        assert result.answer == expected

@@ -1,0 +1,130 @@
+"""Validation of the SAT reductions (Theorems 5.1 and 5.6) against DPLL."""
+
+import pytest
+
+from repro.analysis.completability import decide_completability
+from repro.analysis.semisoundness import decide_semisoundness
+from repro.core.fragments import classify
+from repro.logic.dpll import dpll_satisfiable, enumerate_models
+from repro.logic.propositional import CnfFormula, random_cnf
+from repro.reductions.sat_reductions import (
+    assignment_instance,
+    sat_to_completability,
+    sat_to_non_semisoundness,
+)
+
+#: Hand-picked CNFs with known status (DIMACS-style integer clauses).
+KNOWN_CNFS = [
+    ([[1]], True),
+    ([[1], [-1]], False),
+    ([[1, 2], [-1, 2], [1, -2], [-1, -2]], False),
+    ([[1, 2, 3], [-1, -2, -3]], True),
+    ([[1, -2], [2, -3], [3, -1], [1, 2, 3]], True),
+]
+
+
+class TestSatToCompletability:
+    def test_fragment(self):
+        form = sat_to_completability(CnfFormula.from_ints([[1, -2]]))
+        fragment = classify(form)
+        assert fragment.positive_access
+        assert not fragment.positive_completion  # the ¬x2 literal needs negation
+        assert fragment.depth == "1"
+        assert form.schema_depth() == 1
+
+    @pytest.mark.parametrize("clauses,expected", KNOWN_CNFS)
+    def test_known_instances(self, clauses, expected):
+        cnf = CnfFormula.from_ints(clauses)
+        form = sat_to_completability(cnf)
+        result = decide_completability(form)
+        assert result.decided
+        assert result.answer == expected
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_instances_match_dpll(self, seed):
+        cnf = random_cnf(4, 10, seed=seed)
+        form = sat_to_completability(cnf)
+        result = decide_completability(form)
+        assert result.decided
+        assert result.answer == (dpll_satisfiable(cnf) is not None)
+
+    def test_witness_run_encodes_satisfying_assignment(self):
+        cnf = CnfFormula.from_ints([[1, 2], [-1, 2]])
+        form = sat_to_completability(cnf)
+        result = decide_completability(form)
+        final = result.witness_run.final_instance()
+        assignment = {
+            variable: final.root.has_child_with_label(variable)
+            for variable in cnf.variables()
+        }
+        assert cnf.satisfied_by(assignment)
+
+    def test_empty_formula_rejected(self):
+        with pytest.raises(Exception):
+            sat_to_completability(CnfFormula([]))
+
+
+class TestSatToNonSemisoundness:
+    def test_fragment_is_positive_positive_depth1(self):
+        form = sat_to_non_semisoundness(random_cnf(3, 5, seed=1))
+        fragment = classify(form)
+        assert fragment.positive_access
+        assert fragment.positive_completion
+        assert fragment.depth == "1"
+
+    def test_initial_instance_contains_all_literals(self):
+        cnf = random_cnf(3, 5, seed=2)
+        form = sat_to_non_semisoundness(cnf)
+        instance = form.initial_instance()
+        assert instance.size() == 1 + 2 * len(cnf.variables())
+
+    @pytest.mark.parametrize("clauses,expected_sat", KNOWN_CNFS)
+    def test_known_instances(self, clauses, expected_sat):
+        cnf = CnfFormula.from_ints(clauses)
+        form = sat_to_non_semisoundness(cnf)
+        result = decide_semisoundness(form)
+        assert result.decided
+        assert result.answer == (not expected_sat)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_instances_match_dpll(self, seed):
+        cnf = random_cnf(4, 8, seed=seed + 40)
+        form = sat_to_non_semisoundness(cnf)
+        result = decide_semisoundness(form)
+        assert result.decided
+        assert result.answer == (dpll_satisfiable(cnf) is None)
+
+    def test_counterexample_encodes_satisfying_assignment(self):
+        cnf = CnfFormula.from_ints([[1, 2], [-1, 2]])
+        form = sat_to_non_semisoundness(cnf)
+        result = decide_semisoundness(form)
+        assert result.answer is False
+        counterexample = result.counterexample
+        assignment = {}
+        for variable in cnf.variables():
+            positive = counterexample.root.has_child_with_label(variable)
+            negative = counterexample.root.has_child_with_label(f"{variable}_neg")
+            # at least one literal of each pair is always present
+            assert positive or negative
+            if positive != negative:
+                assignment[variable] = positive
+        # any extension of the partial assignment satisfies the CNF; check one
+        for variable in cnf.variables():
+            assignment.setdefault(variable, True)
+        assert cnf.satisfied_by(assignment)
+
+    def test_exactly_the_satisfying_assignments_are_incompletable(self):
+        cnf = CnfFormula.from_ints([[1, 2], [-2, 3]])
+        form = sat_to_non_semisoundness(cnf)
+        variables = sorted(cnf.variables())
+        satisfying = {tuple(sorted(m.items())) for m in enumerate_models(cnf, variables)}
+        for mask in range(2 ** len(variables)):
+            assignment = {
+                variable: bool(mask >> index & 1)
+                for index, variable in enumerate(variables)
+            }
+            start = assignment_instance(form, assignment)
+            completable = decide_completability(form, start=start)
+            assert completable.decided
+            expected_incompletable = tuple(sorted(assignment.items())) in satisfying
+            assert completable.answer == (not expected_incompletable)

@@ -1,0 +1,158 @@
+"""Tests for the fragment transformations (Cor. 4.2, §4.2, Cor. 4.7)."""
+
+import pytest
+
+from repro.analysis.completability import decide_completability
+from repro.analysis.results import ExplorationLimits
+from repro.analysis.semisoundness import decide_semisoundness
+from repro.core.access import AccessRight
+from repro.core.guarded_form import Deletion
+from repro.exceptions import ReductionError
+from repro.logic.dpll import dpll_satisfiable
+from repro.logic.propositional import CnfFormula, random_cnf
+from repro.reductions.sat_reductions import sat_to_completability
+from repro.reductions.transformations import (
+    completability_to_semisoundness,
+    eliminate_deletions,
+    make_completion_positive,
+)
+
+LIMITS = ExplorationLimits(max_states=30_000, max_instance_nodes=30)
+
+
+class TestEliminateDeletions:
+    def test_depth_grows_by_one(self, leave_form):
+        transformed = eliminate_deletions(leave_form)
+        assert transformed.schema_depth() == leave_form.schema_depth() + 1
+
+    def test_no_deletions_possible(self, leave_form):
+        transformed = eliminate_deletions(leave_form)
+        instance = transformed.initial_instance()
+        instance.add_field(instance.root, "a")
+        for update in transformed.enabled_updates(instance):
+            assert not isinstance(update, Deletion)
+
+    def test_deletion_rules_become_marker_additions(self, tiny_form):
+        transformed = eliminate_deletions(tiny_form)
+        assert transformed.schema.has_path("a/deleted")
+        assert transformed.rules.has_explicit_rule(AccessRight.ADD, ("a", "deleted"))
+
+    def test_marker_label_fresh_when_taken(self, tiny_form):
+        transformed = eliminate_deletions(tiny_form, marker="a")
+        # "a" is already a field, so a fresh variant must be used
+        marker_labels = {
+            edge.label for edge in transformed.schema.edges_list() if edge.depth == 2
+        }
+        assert marker_labels and "a" not in marker_labels
+
+    def test_preserves_completability_positive_case(self, leave_form):
+        transformed = eliminate_deletions(leave_form)
+        result = decide_completability(transformed, limits=LIMITS)
+        assert result.decided and result.answer
+
+    def test_preserves_completability_negative_case(self, broken_completion_form):
+        transformed = eliminate_deletions(broken_completion_form)
+        result = decide_completability(transformed, limits=LIMITS)
+        # completion f ∧ ¬s stays unreachable; the search may or may not be
+        # exhaustive, but it must never find a witness
+        assert result.answer is not True
+
+    def test_simulates_deletion_semantics(self, tiny_form):
+        """A field whose original form allowed delete-then-readd is simulated
+        by marking the old copy deleted and adding a fresh sibling."""
+        transformed = eliminate_deletions(tiny_form)
+        result = decide_completability(transformed, limits=LIMITS)
+        assert result.decided and result.answer
+
+    def test_agrees_with_original_on_depth1_families(self):
+        for seed in range(5):
+            cnf = random_cnf(3, 6, seed=seed + 10)
+            original = sat_to_completability(cnf)
+            transformed = eliminate_deletions(original)
+            first = decide_completability(original)
+            second = decide_completability(transformed, limits=LIMITS)
+            assert first.decided
+            if second.decided:
+                assert first.answer == second.answer
+
+
+class TestMakeCompletionPositive:
+    def test_completion_becomes_positive(self, broken_completion_form):
+        transformed = make_completion_positive(broken_completion_form)
+        assert transformed.has_positive_completion()
+        assert not broken_completion_form.has_positive_completion()
+
+    def test_final_field_added(self, leave_form):
+        transformed = make_completion_positive(leave_form)
+        assert transformed.schema.has_path("final")
+
+    def test_fresh_label_when_taken(self, leave_form):
+        transformed = make_completion_positive(leave_form, final_field="f")
+        # "f" is already a field of the leave application
+        new_fields = transformed.schema.field_labels() - leave_form.schema.field_labels()
+        assert len(new_fields) == 1
+        assert "f" not in new_fields
+
+    def test_preserves_completability_both_ways(self, leave_form, broken_completion_form):
+        assert decide_completability(
+            make_completion_positive(leave_form), limits=LIMITS
+        ).answer
+        negative = decide_completability(
+            make_completion_positive(broken_completion_form), limits=LIMITS
+        )
+        assert negative.answer is not True
+
+    def test_preserves_semisoundness_failure(self, broken_rules_form):
+        transformed = make_completion_positive(broken_rules_form)
+        result = decide_semisoundness(transformed, limits=LIMITS)
+        assert result.decided and result.answer is False
+
+    def test_preserves_semisoundness_success(self, leave_form):
+        transformed = make_completion_positive(leave_form)
+        result = decide_semisoundness(transformed, limits=LIMITS)
+        assert result.decided and result.answer
+
+
+class TestCompletabilityToSemisoundness:
+    def test_requires_depth_one(self, leave_form):
+        with pytest.raises(ReductionError):
+            completability_to_semisoundness(leave_form)
+
+    def test_schema_gains_phase_fields(self, tiny_form):
+        transformed = completability_to_semisoundness(tiny_form)
+        assert transformed.schema.has_path("reset")
+        assert transformed.schema.has_path("build")
+        assert transformed.schema_depth() == 1
+
+    def test_completable_forms_become_semi_sound(self, tiny_form):
+        transformed = completability_to_semisoundness(tiny_form)
+        result = decide_semisoundness(transformed)
+        assert result.decided and result.answer
+
+    def test_incompletable_forms_become_not_semi_sound(self):
+        cnf = CnfFormula.from_ints([[1], [-1]])
+        assert dpll_satisfiable(cnf) is None
+        form = sat_to_completability(cnf)
+        transformed = completability_to_semisoundness(form)
+        result = decide_semisoundness(transformed)
+        assert result.decided and result.answer is False
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_equivalence_on_random_sat_instances(self, seed):
+        cnf = random_cnf(3, 7, seed=seed + 77)
+        form = sat_to_completability(cnf)
+        completable = decide_completability(form)
+        transformed = completability_to_semisoundness(form)
+        semisound = decide_semisoundness(transformed)
+        assert completable.decided and semisound.decided
+        assert completable.answer == semisound.answer
+
+    def test_non_initial_start_still_resettable(self, tiny_form):
+        # start the transformed form from a non-initial reachable instance:
+        # the reset/build phases must still allow completion
+        from repro.core.instance import Instance
+
+        transformed = completability_to_semisoundness(tiny_form)
+        start = Instance.from_paths(transformed.schema, ["a", "b"])
+        result = decide_completability(transformed, start=start)
+        assert result.decided and result.answer

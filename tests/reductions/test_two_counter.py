@@ -1,0 +1,139 @@
+"""Validation of the Theorem 4.1 reduction against the machine interpreter."""
+
+import pytest
+
+from repro.analysis.completability import decide_completability
+from repro.analysis.results import ExplorationLimits
+from repro.analysis.semisoundness import semisoundness_bounded
+from repro.analysis.statespace import explore_bounded
+from repro.core.fragments import classify
+from repro.reductions.counter_machine import (
+    INCREMENT,
+    KEEP,
+    TwoCounterMachine,
+    ZERO,
+    counting_machine,
+    diverging_machine,
+    transfer_machine,
+)
+from repro.reductions.two_counter import (
+    configuration_of_instance,
+    state_label,
+    two_counter_to_guarded_form,
+)
+
+LIMITS = ExplorationLimits(max_states=500_000, max_instance_nodes=40)
+
+
+class TestConstruction:
+    def test_schema_depth_is_two(self):
+        form = two_counter_to_guarded_form(counting_machine(1))
+        assert form.schema_depth() == 2
+
+    def test_fragment_is_unrestricted(self):
+        form = two_counter_to_guarded_form(counting_machine(1))
+        fragment = classify(form)
+        assert not fragment.positive_access
+
+    def test_initial_instance_encodes_configuration(self):
+        machine = transfer_machine(3)
+        form = two_counter_to_guarded_form(machine, initial_counter1=3)
+        configuration = configuration_of_instance(form.initial_instance(), machine)
+        assert configuration is not None
+        assert configuration.state == "move"
+        assert configuration.counter1 == 3
+        assert configuration.counter2 == 0
+
+    def test_negative_initial_counters_rejected(self):
+        with pytest.raises(Exception):
+            two_counter_to_guarded_form(counting_machine(1), initial_counter1=-1)
+
+
+class TestCompletabilityMatchesHalting:
+    @pytest.mark.parametrize("target", [0, 1, 2])
+    def test_accepting_machines_give_completable_forms(self, target):
+        machine = counting_machine(target)
+        form = two_counter_to_guarded_form(machine)
+        result = decide_completability(form, limits=LIMITS)
+        assert result.decided and result.answer
+        assert result.witness_run.is_complete()
+
+    def test_decrement_gadget(self):
+        machine = transfer_machine(2)
+        form = two_counter_to_guarded_form(machine, initial_counter1=2)
+        result = decide_completability(form, limits=LIMITS)
+        assert result.decided and result.answer
+
+    def test_rejecting_machine_gives_incompletable_form(self):
+        # the machine gets stuck in a non-accepting state with bounded counters,
+        # so the reachable space of the guarded form is finite and the bounded
+        # exploration is exhaustive
+        machine = TwoCounterMachine(
+            ["q", "dead", "halt"],
+            "q",
+            ["halt"],
+            {("q", ZERO, ZERO): ("dead", KEEP, KEEP)},
+        )
+        assert machine.reaches_accepting_state(10) is False
+        form = two_counter_to_guarded_form(machine)
+        result = decide_completability(form, limits=LIMITS)
+        assert result.decided
+        assert result.answer is False
+
+    def test_diverging_machine_is_undecided_within_bounds(self):
+        form = two_counter_to_guarded_form(diverging_machine())
+        result = decide_completability(
+            form, limits=ExplorationLimits(max_states=2_000, max_instance_nodes=16)
+        )
+        assert not result.decided
+
+    def test_semisoundness_matches_completability_for_deterministic_machines(self):
+        # the paper notes both problems coincide on the constructed forms
+        machine = counting_machine(1)
+        form = two_counter_to_guarded_form(machine)
+        completability = decide_completability(form, limits=LIMITS)
+        semisoundness = semisoundness_bounded(form, limits=LIMITS)
+        assert completability.answer is True
+        if semisoundness.decided:
+            assert semisoundness.answer is True
+
+
+class TestSimulationFidelity:
+    def test_reachable_clean_configurations_match_interpreter(self):
+        machine = transfer_machine(2)
+        form = two_counter_to_guarded_form(machine, initial_counter1=2)
+        graph = explore_bounded(form, limits=LIMITS)
+        assert not graph.truncated
+
+        reachable_configurations = set()
+        for _, instance in graph.iter_states():
+            configuration = configuration_of_instance(instance, machine)
+            if configuration is not None:
+                reachable_configurations.add(
+                    (configuration.state, configuration.counter1, configuration.counter2)
+                )
+
+        run = machine.run(100, start=machine.initial_configuration(2, 0), keep_trace=True)
+        interpreter_configurations = {
+            (c.state, c.counter1, c.counter2) for c in run.trace
+        }
+        assert reachable_configurations == interpreter_configurations
+
+    def test_completion_only_in_accepting_states(self):
+        machine = counting_machine(1)
+        form = two_counter_to_guarded_form(machine)
+        graph = explore_bounded(form, limits=LIMITS)
+        for _, instance in graph.iter_states():
+            if form.is_complete(instance):
+                assert instance.root.has_child_with_label(state_label("halt"))
+
+    def test_decoder_rejects_mid_gadget_states(self):
+        machine = counting_machine(1)
+        form = two_counter_to_guarded_form(machine)
+        graph = explore_bounded(form, limits=LIMITS)
+        decoded = [
+            configuration_of_instance(instance, machine)
+            for _, instance in graph.iter_states()
+        ]
+        assert any(configuration is None for configuration in decoded)
+        assert any(configuration is not None for configuration in decoded)

@@ -1,0 +1,64 @@
+"""Unit tests for workflow extraction from guarded forms."""
+
+from repro.analysis.results import ExplorationLimits
+from repro.workflow.extraction import extract_workflow
+from repro.workflow.soundness import analyse_workflow
+
+
+class TestDepth1Extraction:
+    def test_states_match_canonical_graph(self, tiny_form):
+        lts = extract_workflow(tiny_form)
+        assert len(lts) == 4
+        assert lts.initial == "{}"
+        assert "{a, b, c}" in lts.states
+
+    def test_accepting_states(self, tiny_form):
+        lts = extract_workflow(tiny_form)
+        assert lts.accepting == {"{a, b, c}"}
+
+    def test_actions_are_descriptive(self, tiny_form):
+        lts = extract_workflow(tiny_form)
+        assert "add a" in lts.actions()
+        assert "delete b" in lts.actions()
+
+    def test_meta_reports_exact_representation(self, tiny_form):
+        lts = extract_workflow(tiny_form)
+        meta = lts.state_annotations["__meta__"]
+        assert meta["representation"] == "canonical"
+        assert meta["truncated"] is False
+
+    def test_annotations_carry_states(self, tiny_form):
+        lts = extract_workflow(tiny_form)
+        assert lts.state_annotations["{a}"] == frozenset({"a"})
+
+
+class TestBoundedExtraction:
+    def test_leave_application_workflow(self, leave_form):
+        lts = extract_workflow(
+            leave_form, limits=ExplorationLimits(max_states=10_000, max_instance_nodes=30)
+        )
+        assert len(lts) > 10
+        assert lts.accepting
+        meta = lts.state_annotations["__meta__"]
+        assert meta["representation"] == "isomorphism"
+        assert meta["truncated"] is False
+
+    def test_initial_state_is_empty_form(self, leave_form):
+        lts = extract_workflow(
+            leave_form, limits=ExplorationLimits(max_states=10_000, max_instance_nodes=30)
+        )
+        assert lts.initial.endswith("{}")
+
+    def test_analysis_of_extracted_workflow(self, leave_form, broken_rules_form):
+        limits = ExplorationLimits(max_states=10_000, max_instance_nodes=30)
+        good = analyse_workflow(extract_workflow(leave_form, limits=limits))
+        assert good.semi_sound
+        bad = analyse_workflow(extract_workflow(broken_rules_form, limits=limits))
+        assert not bad.semi_sound
+        assert bad.stuck_states
+
+    def test_truncation_is_reported(self, leave_form_full):
+        lts = extract_workflow(
+            leave_form_full, limits=ExplorationLimits(max_states=40, max_instance_nodes=20)
+        )
+        assert lts.state_annotations["__meta__"]["truncated"]

@@ -1,0 +1,100 @@
+"""Unit tests for labelled transition systems."""
+
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.workflow.lts import LabelledTransitionSystem, Transition
+
+
+def diamond_lts() -> LabelledTransitionSystem:
+    """start -> left/right -> done, plus an isolated trap state."""
+    lts = LabelledTransitionSystem(initial="start")
+    lts.add_transition("start", "go_left", "left")
+    lts.add_transition("start", "go_right", "right")
+    lts.add_transition("left", "finish", "done")
+    lts.add_transition("right", "finish", "done")
+    lts.add_state("done", accepting=True)
+    lts.add_state("trap")
+    lts.add_transition("start", "fall", "trap")
+    return lts
+
+
+class TestStructure:
+    def test_states_and_actions(self):
+        lts = diamond_lts()
+        assert lts.states == {"start", "left", "right", "done", "trap"}
+        assert lts.actions() == {"go_left", "go_right", "finish", "fall"}
+        assert len(lts) == 5
+
+    def test_successors_predecessors(self):
+        lts = diamond_lts()
+        assert {t.target for t in lts.successors("start")} == {"left", "right", "trap"}
+        assert {t.source for t in lts.predecessors("done")} == {"left", "right"}
+
+    def test_annotations(self):
+        lts = LabelledTransitionSystem(initial="s")
+        lts.add_state("s", annotation={"size": 3})
+        assert lts.state_annotations["s"] == {"size": 3}
+
+    def test_validate(self):
+        lts = diamond_lts()
+        lts.validate()
+        lts.accepting.add("missing")
+        with pytest.raises(AnalysisError):
+            lts.validate()
+
+
+class TestReachability:
+    def test_reachable(self):
+        lts = diamond_lts()
+        assert lts.reachable() == {"start", "left", "right", "done", "trap"}
+        assert lts.reachable("left") == {"left", "done"}
+
+    def test_backward_reachable(self):
+        lts = diamond_lts()
+        closure = lts.backward_reachable({"done"})
+        assert closure == {"done", "left", "right", "start"}
+
+    def test_deadlock_states(self):
+        lts = diamond_lts()
+        assert lts.deadlock_states() == {"trap"}
+
+    def test_unreachable_state_not_a_deadlock(self):
+        lts = diamond_lts()
+        lts.add_state("island")
+        assert "island" not in lts.deadlock_states()
+
+
+class TestPaths:
+    def test_path_to(self):
+        lts = diamond_lts()
+        path = lts.path_to("done")
+        assert path is not None
+        assert len(path) == 2
+        assert path[0].source == "start"
+        assert path[-1].target == "done"
+
+    def test_path_to_initial_is_empty(self):
+        lts = diamond_lts()
+        assert lts.path_to("start") == []
+
+    def test_path_to_unreachable_is_none(self):
+        lts = diamond_lts()
+        lts.add_state("island")
+        assert lts.path_to("island") is None
+
+    def test_trace_to(self):
+        lts = diamond_lts()
+        trace = lts.trace_to("done")
+        assert trace in (["go_left", "finish"], ["go_right", "finish"])
+
+    def test_iter_traces(self):
+        lts = diamond_lts()
+        traces = list(lts.iter_traces(max_length=2))
+        assert [] in traces
+        assert ["go_left"] in traces
+        assert ["go_left", "finish"] in traces
+
+    def test_transition_is_value_object(self):
+        assert Transition("a", "x", "b") == Transition("a", "x", "b")
+        assert Transition("a", "x", "b") != Transition("a", "y", "b")

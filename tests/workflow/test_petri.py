@@ -1,0 +1,114 @@
+"""Unit tests for the Petri-net / workflow-net substrate."""
+
+import pytest
+
+from repro.analysis.semisoundness import decide_semisoundness
+from repro.exceptions import AnalysisError
+from repro.workflow.petri import PetriNet, WorkflowNet, depth1_form_to_workflow_net
+
+
+def sequential_net() -> WorkflowNet:
+    """i -> p1 -> p2 -> o, strictly sequential."""
+    net = WorkflowNet(["p1", "p2"])
+    net.add_transition("t1", ["i"], ["p1"])
+    net.add_transition("t2", ["p1"], ["p2"])
+    net.add_transition("t3", ["p2"], ["o"])
+    return net
+
+
+class TestPetriNet:
+    def test_marking_and_tokens(self):
+        net = PetriNet(["a", "b"])
+        marking = net.marking({"a": 2})
+        assert net.tokens(marking, "a") == 2
+        assert net.tokens(marking, "b") == 0
+
+    def test_unknown_place_rejected(self):
+        net = PetriNet(["a"])
+        with pytest.raises(AnalysisError):
+            net.add_transition("t", ["a"], ["zzz"])
+
+    def test_enabled_and_fire(self):
+        net = PetriNet(["a", "b"])
+        transition = net.add_transition("t", ["a"], ["b"])
+        marking = net.marking({"a": 1})
+        assert net.enabled(marking) == [transition]
+        successor = net.fire(marking, transition)
+        assert net.tokens(successor, "a") == 0
+        assert net.tokens(successor, "b") == 1
+
+    def test_firing_disabled_transition_rejected(self):
+        net = PetriNet(["a", "b"])
+        transition = net.add_transition("t", ["a"], ["b"])
+        with pytest.raises(AnalysisError):
+            net.fire(net.marking({}), transition)
+
+    def test_reachability_graph(self):
+        net = sequential_net()
+        graph = net.reachability_graph(net.initial_marking())
+        assert len(graph.states) == 4
+        assert len(graph.transitions) == 3
+
+    def test_reachability_graph_bound(self):
+        # an unbounded net (a transition producing without consuming)
+        net = PetriNet(["a"])
+        net.add_transition("grow", [], ["a"])
+        with pytest.raises(AnalysisError):
+            net.reachability_graph(net.marking({}), max_markings=10)
+
+
+class TestWorkflowNet:
+    def test_sound_sequential_net(self):
+        report = sequential_net().soundness_report()
+        assert report["sound"]
+        assert report["option_to_complete"]
+        assert report["proper_completion"]
+        assert report["no_dead_transitions"]
+
+    def test_missing_option_to_complete(self):
+        net = WorkflowNet(["p1", "trap"])
+        net.add_transition("t1", ["i"], ["p1"])
+        net.add_transition("good", ["p1"], ["o"])
+        net.add_transition("bad", ["p1"], ["trap"])
+        report = net.soundness_report()
+        assert not report["option_to_complete"]
+        assert not report["sound"]
+
+    def test_improper_completion(self):
+        net = WorkflowNet(["p1", "p2"])
+        net.add_transition("split", ["i"], ["p1", "p2"])
+        net.add_transition("finish", ["p1"], ["o"])  # leaves a token on p2
+        report = net.soundness_report()
+        assert not report["proper_completion"]
+        assert not report["sound"]
+
+    def test_dead_transition(self):
+        net = sequential_net()
+        net.add_transition("never", ["p2", "p1"], ["o"])  # p1 and p2 never marked together
+        report = net.soundness_report()
+        assert not report["no_dead_transitions"]
+        assert not report["sound"]
+
+    def test_is_sound_shortcut(self):
+        assert sequential_net().is_sound()
+
+
+class TestGuardedFormTranslation:
+    def test_option_to_complete_matches_semisoundness(self, tiny_form):
+        net = depth1_form_to_workflow_net(tiny_form)
+        report = net.soundness_report()
+        semisound = decide_semisoundness(tiny_form).answer
+        assert report["option_to_complete"] == semisound
+        assert report["proper_completion"]  # single token by construction
+
+    def test_not_semi_sound_form_translates_to_unsound_net(self):
+        from repro.core.access import RuleTable
+        from repro.core.guarded_form import GuardedForm
+        from repro.core.schema import depth_one_schema
+
+        schema = depth_one_schema(["a", "b"])
+        rules = RuleTable.from_dict(schema, {"a": ("¬b", "false"), "b": ("true", "false")})
+        form = GuardedForm(schema, rules, completion="a")
+        assert decide_semisoundness(form).answer is False
+        report = depth1_form_to_workflow_net(form).soundness_report()
+        assert not report["option_to_complete"]

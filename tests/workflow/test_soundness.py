@@ -1,0 +1,82 @@
+"""Unit tests for workflow soundness notions (footnote 1)."""
+
+from repro.workflow.lts import LabelledTransitionSystem
+from repro.workflow.soundness import (
+    analyse_workflow,
+    dead_transitions,
+    is_semi_sound,
+    is_sound,
+    stuck_states,
+)
+
+
+def semi_sound_lts() -> LabelledTransitionSystem:
+    lts = LabelledTransitionSystem(initial="a")
+    lts.add_transition("a", "t1", "b")
+    lts.add_transition("b", "t2", "c")
+    lts.add_state("c", accepting=True)
+    return lts
+
+
+def trapped_lts() -> LabelledTransitionSystem:
+    lts = semi_sound_lts()
+    lts.add_transition("a", "oops", "trap")
+    return lts
+
+
+class TestSemiSoundness:
+    def test_semi_sound(self):
+        assert is_semi_sound(semi_sound_lts())
+
+    def test_trap_breaks_semi_soundness(self):
+        assert not is_semi_sound(trapped_lts())
+
+    def test_stuck_states(self):
+        assert stuck_states(trapped_lts()) == ["trap"]
+        assert stuck_states(semi_sound_lts()) == []
+
+    def test_unreachable_stuck_state_is_ignored(self):
+        lts = semi_sound_lts()
+        lts.add_state("island")  # unreachable, cannot complete
+        assert is_semi_sound(lts)
+
+
+class TestSoundness:
+    def test_sound_system(self):
+        lts = semi_sound_lts()
+        assert is_sound(lts)
+        assert dead_transitions(lts) == []
+
+    def test_dead_transition_detected(self):
+        lts = trapped_lts()
+        dead = dead_transitions(lts)
+        assert len(dead) == 1
+        assert dead[0].action == "oops"
+        assert not is_sound(lts)
+
+    def test_transition_from_unreachable_state_is_dead(self):
+        lts = semi_sound_lts()
+        lts.add_transition("island", "ghost", "c")
+        assert any(t.action == "ghost" for t in dead_transitions(lts))
+        assert is_semi_sound(lts)  # semi-soundness only looks at reachable states
+        assert not is_sound(lts)
+
+
+class TestDiagnostics:
+    def test_report_fields(self):
+        report = analyse_workflow(trapped_lts())
+        assert not report.semi_sound
+        assert not report.sound
+        assert report.reachable_states == 4
+        assert report.accepting_reachable == 1
+        assert report.stuck_states == ["trap"]
+        assert report.deadlock_states == ["trap"]
+        assert len(report.dead_transitions) == 1
+
+    def test_summary_text(self):
+        report = analyse_workflow(semi_sound_lts())
+        summary = report.summary()
+        assert "semi-sound=True" in summary
+        assert "sound=True" in summary
+        bad = analyse_workflow(trapped_lts()).summary()
+        assert "stuck=1" in bad
