@@ -1,0 +1,231 @@
+"""Consolidated benchmark harness: run every ``bench_*.py`` and write
+``BENCH_engine.json``.
+
+Two sections are produced:
+
+* ``engine`` — direct measurements of the unified exploration engine on
+  representative workloads per Table 1 fragment: states explored, wall time,
+  states/sec, guard-cache hit rate, formula evaluations performed vs. the
+  legacy-equivalent count (every cache hit is an evaluation the pre-engine
+  explorers would have run), shape-interning counters, and an
+  engine-vs-legacy state-set parity verdict.
+
+* ``pytest_benchmarks`` — the per-test timings of every ``bench_*.py``
+  module, collected through ``pytest-benchmark``'s JSON output.  Skipped
+  with ``--quick`` (the full sweep takes minutes).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py --quick          # engine metrics only
+    PYTHONPATH=src python benchmarks/run_all.py                  # full sweep
+    PYTHONPATH=src python benchmarks/run_all.py -k completability
+    PYTHONPATH=src python benchmarks/run_all.py -o BENCH_engine.json
+
+Future PRs compare their ``BENCH_engine.json`` against the committed one to
+track the performance trajectory (states/sec up, formula evaluations down).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+
+# --------------------------------------------------------------------------- #
+# engine metrics
+# --------------------------------------------------------------------------- #
+
+
+def _engine_workloads():
+    """(name, guarded form, kind) triples covering the Table 1 fragments."""
+    from repro.benchgen.families import (
+        deadlock_family,
+        positive_chain_family,
+        sat_completability_family,
+    )
+    from repro.fbwis.catalog import leave_application
+
+    sat_form, _ = sat_completability_family(8, seed=8)
+    deadlock_form, _ = deadlock_family(3, seed=3)
+    return [
+        ("A+,phi+,1 positive chain (n=24)", positive_chain_family(24), "depth1"),
+        ("A+,phi-,1 SAT reduction (n=8)", sat_form, "depth1"),
+        ("A-,phi-,1 deadlock reduction (k=3)", deadlock_form, "depth1"),
+        ("A-,phi+,k leave application", leave_application(single_period=True), "bounded"),
+    ]
+
+
+def measure_engine(frontier: str = "bfs") -> dict:
+    """Run the engine workloads and collect the counters the issue tracks."""
+    from repro.analysis.results import ExplorationLimits
+    from repro.analysis.statespace import (
+        legacy_explore_bounded,
+        legacy_explore_depth1,
+    )
+    from repro.analysis.semisoundness import decide_semisoundness
+    from repro.engine import ExplorationEngine
+
+    limits = ExplorationLimits(max_states=50_000, max_instance_nodes=30)
+    results = []
+    for name, form, kind in _engine_workloads():
+        engine = ExplorationEngine(form, limits=limits, strategy=frontier)
+        started = time.perf_counter()
+        if kind == "depth1":
+            graph = engine.explore_depth1()
+            states = len(graph.states)
+            legacy_states = legacy_explore_depth1(form).states
+            parity = graph.states == legacy_states
+        else:
+            graph = engine.explore()
+            states = len(graph.states)
+            legacy_states = legacy_explore_bounded(form, limits=limits).states
+            parity = {graph.shape_of(s) for s in graph.states} == legacy_states
+        elapsed = time.perf_counter() - started
+        # a second pass over the same engine: the semi-soundness workload,
+        # whose re-explorations are where the shared caches pay off
+        decide_semisoundness(form, limits=limits, frontier=frontier, engine=engine)
+        stats = engine.stats_snapshot()
+        legacy_equivalent_evals = stats["guard_cache_hits"] + stats["guard_cache_misses"]
+        results.append(
+            {
+                "workload": name,
+                "kind": kind,
+                "frontier": frontier,
+                "states": states,
+                "explore_seconds": round(elapsed, 6),
+                "states_per_second": round(states / elapsed, 1) if elapsed else None,
+                "state_set_parity_with_legacy": parity,
+                "guard_cache_hit_rate": stats["guard_cache_hit_rate"],
+                "formula_evaluations": stats["formula_evaluations"],
+                "formula_evaluations_legacy_equivalent": legacy_equivalent_evals,
+                "formula_evaluations_saved": stats["formula_evaluations_saved"],
+                "interned_states": stats["intern_interned_states"],
+                "interned_subtrees": stats["intern_interned_subtrees"],
+                "shape_nodes_rehashed": stats["shape_nodes_rehashed"],
+                "shape_nodes_full_walk_equivalent": stats["shape_nodes_full_walk_equivalent"],
+                "expansions_reused": stats["expansions_reused"],
+            }
+        )
+    return {"limits": {"max_states": limits.max_states, "max_instance_nodes": limits.max_instance_nodes}, "workloads": results}
+
+
+# --------------------------------------------------------------------------- #
+# pytest-benchmark sweep
+# --------------------------------------------------------------------------- #
+
+
+def run_pytest_benchmarks(keyword: str | None) -> dict:
+    """Run each ``bench_*.py`` under pytest-benchmark, collect its JSON."""
+    modules = sorted(p for p in BENCH_DIR.glob("bench_*.py"))
+    collected: dict = {}
+    for module in modules:
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+            json_path = Path(handle.name)
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(module),
+            "-q",
+            "--benchmark-json",
+            str(json_path),
+        ]
+        if keyword:
+            command.extend(["-k", keyword])
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        print(f"[run_all] {module.name} ...", flush=True)
+        proc = subprocess.run(
+            command, cwd=BENCH_DIR, capture_output=True, text=True, env=env
+        )
+        entry: dict = {"exit_code": proc.returncode}
+        try:
+            payload = json.loads(json_path.read_text(encoding="utf-8"))
+            entry["benchmarks"] = [
+                {
+                    "name": bench["name"],
+                    "group": bench.get("group"),
+                    "mean_seconds": bench["stats"]["mean"],
+                    "stddev_seconds": bench["stats"]["stddev"],
+                    "rounds": bench["stats"]["rounds"],
+                    "ops_per_second": bench["stats"]["ops"],
+                }
+                for bench in payload.get("benchmarks", [])
+            ]
+        except (OSError, json.JSONDecodeError, KeyError):
+            entry["benchmarks"] = []
+            entry["stderr_tail"] = proc.stderr[-2000:]
+        finally:
+            json_path.unlink(missing_ok=True)
+        collected[module.name] = entry
+    return collected
+
+
+# --------------------------------------------------------------------------- #
+# entry point
+# --------------------------------------------------------------------------- #
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip the pytest-benchmark sweep; only collect engine metrics",
+    )
+    parser.add_argument("-k", dest="keyword", default=None, help="pytest -k filter for the sweep")
+    parser.add_argument(
+        "--frontier",
+        default="bfs",
+        choices=("bfs", "dfs", "guided"),
+        help="frontier strategy for the engine metrics (default: bfs)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(REPO_ROOT / "BENCH_engine.json"),
+        help="where to write the consolidated JSON (default: BENCH_engine.json)",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    report = {
+        "schema": "bench-engine/1",
+        "generated_by": "benchmarks/run_all.py",
+        "quick": args.quick,
+        "engine": measure_engine(args.frontier),
+    }
+    if not args.quick:
+        report["pytest_benchmarks"] = run_pytest_benchmarks(args.keyword)
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"[run_all] wrote {output}")
+    for workload in report["engine"]["workloads"]:
+        print(
+            "[run_all]   {workload}: {states} states at {sps} states/s, "
+            "guard-cache hit rate {rate:.1%}, {saved} formula evals saved".format(
+                workload=workload["workload"],
+                states=workload["states"],
+                sps=workload["states_per_second"],
+                rate=workload["guard_cache_hit_rate"],
+                saved=workload["formula_evaluations_saved"],
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,16 @@ need (two-counter machines, a DPLL SAT solver, a QBF evaluator, an
 explicit-state deadlock checker) and an application layer modelled on the
 form-based web information system that motivates the paper.
 
+All exploration-based procedures run on the unified exploration engine of
+:mod:`repro.engine`: instance shapes are hash-consed so state keys are
+O(1)-comparable ints and successor shapes are computed incrementally from
+the applied update; access-rule and completion-formula evaluations are
+memoized (shared across the frontier and across the several explorations an
+analysis performs); and the frontier order is pluggable (BFS, DFS, or
+completion-guided best-first) via the ``frontier`` argument of the
+dispatchers and the ``--frontier`` CLI flag.  Cache and interning counters
+are surfaced in ``AnalysisResult.stats["engine"]``.
+
 Quickstart::
 
     from repro import leave_application, decide_completability, decide_semisoundness
@@ -26,6 +36,8 @@ Quickstart::
 The public API re-exported here is organised by sub-package:
 
 * :mod:`repro.core` — schemas, instances, formulas, guarded forms, fragments;
+* :mod:`repro.engine` — the unified exploration engine (shape interning,
+  guard memoization, frontier strategies);
 * :mod:`repro.analysis` — the completability / semi-soundness procedures;
 * :mod:`repro.reductions` — the paper's reductions and their substrates;
 * :mod:`repro.workflow` — explicit workflow (LTS / workflow-net) views;
@@ -64,6 +76,7 @@ from repro.core import (
     table1_rows,
 )
 from repro.core.formulas import parse_formula
+from repro.engine import EngineGraph, ExplorationEngine
 from repro.fbwis import (
     FormEngine,
     FormPolicy,
@@ -97,6 +110,9 @@ __all__ = [
     "always_holds",
     "explore_depth1",
     "explore_bounded",
+    # engine
+    "ExplorationEngine",
+    "EngineGraph",
     # core
     "Schema",
     "SchemaEdge",

@@ -10,6 +10,11 @@ fragment (Section 3.5 / Table 1):
 The individual procedures (polynomial saturation for the positive fragments,
 exact canonical-state search for depth-1 forms, bounded exploration for the
 general — undecidable — case) can also be invoked directly.
+
+All exploration-based procedures run on the shared
+:class:`~repro.engine.ExplorationEngine`; pass ``engine=`` to reuse interned
+shapes and memoized guard evaluations across analyses, and ``frontier=`` to
+pick the exploration order.
 """
 
 from repro.analysis.completability import (
@@ -30,6 +35,8 @@ from repro.analysis.statespace import (
     StateGraph,
     explore_bounded,
     explore_depth1,
+    legacy_explore_bounded,
+    legacy_explore_depth1,
 )
 
 __all__ = [
@@ -48,4 +55,6 @@ __all__ = [
     "Depth1StateGraph",
     "explore_depth1",
     "explore_bounded",
+    "legacy_explore_depth1",
+    "legacy_explore_bounded",
 ]

@@ -18,6 +18,14 @@ everything else                        :func:`completability_bounded`
                                        Theorem 4.1)
 =====================================  ======================================
 
+The exploration-based procedures run on the unified
+:class:`~repro.engine.ExplorationEngine`; callers may pass an *engine* to
+share its interned shapes and memoized guard evaluations across several
+analyses of the same form (the semi-soundness procedure and the CLI do), and
+a *frontier* strategy (``"bfs"``, ``"dfs"`` or ``"guided"``) to control the
+exploration order.  Engine counters (guard-cache hits/misses, shape-intern
+statistics) are surfaced under ``AnalysisResult.stats["engine"]``.
+
 For positive access rules the bounded search is *complete* when the sibling
 copy bound is at least the size of the completion formula: the witness
 argument of Theorem 5.2 (via Lemma 4.4) shows a completable form has a
@@ -33,11 +41,11 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.results import AnalysisResult, ExplorationLimits
-from repro.analysis.statespace import explore_bounded, explore_depth1
 from repro.core.fragments import classify
 from repro.core.guarded_form import Addition, GuardedForm
 from repro.core.instance import Instance
 from repro.core.runs import Run
+from repro.engine import ExplorationEngine, engine_for
 from repro.exceptions import AnalysisError
 
 _PROBLEM = "completability"
@@ -97,16 +105,22 @@ def completability_by_saturation(
 
 
 def completability_depth1(
-    guarded_form: GuardedForm, start: Optional[Instance] = None
+    guarded_form: GuardedForm,
+    start: Optional[Instance] = None,
+    frontier: Optional[str] = None,
+    engine: Optional[ExplorationEngine] = None,
 ) -> AnalysisResult:
     """Exact completability for depth-1 guarded forms (Theorem 4.6).
 
     Explores the full graph of reachable canonical states (label sets below
     the root, Lemma 4.3) and reports whether any of them satisfies the
-    completion formula.  Always terminates; worst case ``2^n`` states.
+    completion formula.  Always terminates; worst case ``2^n`` states, but
+    the engine's support-projected guard cache shares formula evaluations
+    across states that agree on the labels a rule can observe.
     """
-    graph = explore_depth1(guarded_form, start=start)
-    complete_states = graph.satisfying_states(guarded_form.is_complete)
+    engine = engine_for(guarded_form, engine, frontier)
+    graph = engine.explore_depth1(start=start, strategy=frontier)
+    complete_states = engine.complete_depth1_states(graph)
     reachable = graph.reachable_from(graph.initial)
     witnesses = sorted(reachable & complete_states, key=sorted)
     answer = bool(witnesses)
@@ -120,6 +134,7 @@ def completability_depth1(
         stats={
             "canonical_states": len(graph.states),
             "complete_states": len(complete_states & reachable),
+            "engine": engine.stats_snapshot(),
         },
     )
 
@@ -129,6 +144,8 @@ def completability_bounded(
     start: Optional[Instance] = None,
     limits: Optional[ExplorationLimits] = None,
     copy_bound_is_sufficient: bool = False,
+    frontier: Optional[str] = None,
+    engine: Optional[ExplorationEngine] = None,
 ) -> AnalysisResult:
     """Bounded explicit-state completability for arbitrary guarded forms.
 
@@ -141,19 +158,21 @@ def completability_bounded(
     Otherwise the result is reported as undecided.
     """
     limits = limits or ExplorationLimits()
-    graph = explore_bounded(guarded_form, start=start, limits=limits)
-    complete_states = graph.satisfying_states(guarded_form.is_complete)
+    engine = engine_for(guarded_form, engine, frontier)
+    graph = engine.explore(start=start, limits=limits, strategy=frontier)
+    complete_states = engine.complete_ids(graph)
     stats = {
-        "states_explored": len(graph.representatives),
+        "states_explored": len(graph.states),
         "truncated": graph.truncated,
         "truncated_by_states": graph.truncated_by_states,
         "truncated_by_size": graph.truncated_by_size,
         "truncated_by_copies": graph.truncated_by_copies,
         "skipped_successors": graph.skipped_successors,
         "limits": limits,
+        "engine": engine.stats_snapshot(),
     }
     if complete_states:
-        key = next(iter(complete_states))
+        key = min(complete_states)  # earliest-interned complete state
         return AnalysisResult(
             problem=_PROBLEM,
             decided=True,
@@ -195,6 +214,8 @@ def decide_completability(
     start: Optional[Instance] = None,
     strategy: str = "auto",
     limits: Optional[ExplorationLimits] = None,
+    frontier: Optional[str] = None,
+    engine: Optional[ExplorationEngine] = None,
 ) -> AnalysisResult:
     """Decide completability, selecting a procedure from the fragment.
 
@@ -205,13 +226,20 @@ def decide_completability(
         strategy: ``"auto"`` (fragment-based dispatch) or one of
             ``"saturation"``, ``"depth1"``, ``"bounded"``.
         limits: exploration limits for the bounded procedure.
+        frontier: frontier strategy for the exploration engine (``"bfs"``,
+            ``"dfs"`` or ``"guided"``; default BFS).
+        engine: an :class:`~repro.engine.ExplorationEngine` to reuse, sharing
+            interned shapes and guard evaluations with previous analyses of
+            the same form.
     """
     if strategy == "saturation":
         return completability_by_saturation(guarded_form, start)
     if strategy == "depth1":
-        return completability_depth1(guarded_form, start)
+        return completability_depth1(guarded_form, start, frontier=frontier, engine=engine)
     if strategy == "bounded":
-        return completability_bounded(guarded_form, start, limits)
+        return completability_bounded(
+            guarded_form, start, limits, frontier=frontier, engine=engine
+        )
     if strategy != "auto":
         raise AnalysisError(f"unknown completability strategy {strategy!r}")
 
@@ -219,7 +247,7 @@ def decide_completability(
     if fragment.positive_access and fragment.positive_completion:
         return completability_by_saturation(guarded_form, start)
     if guarded_form.schema_depth() <= 1:
-        return completability_depth1(guarded_form, start)
+        return completability_depth1(guarded_form, start, frontier=frontier, engine=engine)
     if fragment.positive_access:
         copy_bound = positive_rules_copy_bound(guarded_form)
         effective = limits or ExplorationLimits(max_sibling_copies=copy_bound)
@@ -230,6 +258,13 @@ def decide_completability(
                 max_sibling_copies=copy_bound,
             )
         return completability_bounded(
-            guarded_form, start, effective, copy_bound_is_sufficient=True
+            guarded_form,
+            start,
+            effective,
+            copy_bound_is_sufficient=True,
+            frontier=frontier,
+            engine=engine,
         )
-    return completability_bounded(guarded_form, start, limits)
+    return completability_bounded(
+        guarded_form, start, limits, frontier=frontier, engine=engine
+    )

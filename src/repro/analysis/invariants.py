@@ -25,17 +25,20 @@ def can_reach(
     condition: "Formula | str",
     start: Optional[Instance] = None,
     limits: Optional[ExplorationLimits] = None,
+    frontier: Optional[str] = None,
 ) -> AnalysisResult:
     """Whether some reachable instance satisfies *condition* (at the root).
 
     Implemented as completability of the guarded form with *condition* as its
     completion formula; the result's witness run leads to a satisfying
-    instance when the answer is positive.
+    instance when the answer is positive.  The probe form has its own
+    completion formula, so it gets its own exploration engine; *frontier*
+    selects the engine's search order (``"guided"`` chases *condition*).
     """
     probe = guarded_form.with_completion(
         parse_formula(condition), name=f"{guarded_form.name} [reach probe]"
     )
-    result = decide_completability(probe, start=start, limits=limits)
+    result = decide_completability(probe, start=start, limits=limits, frontier=frontier)
     result.stats["query"] = "can_reach"
     return result
 
@@ -45,6 +48,7 @@ def always_holds(
     invariant: "Formula | str",
     start: Optional[Instance] = None,
     limits: Optional[ExplorationLimits] = None,
+    frontier: Optional[str] = None,
 ) -> AnalysisResult:
     """Whether *invariant* holds at the root of **every** reachable instance.
 
@@ -52,7 +56,9 @@ def always_holds(
     invariant.  The returned result keeps the reachability witness (a run to
     a violating instance) as its ``witness_run`` when the invariant fails.
     """
-    violation = can_reach(guarded_form, Not(parse_formula(invariant)), start, limits)
+    violation = can_reach(
+        guarded_form, Not(parse_formula(invariant)), start, limits, frontier=frontier
+    )
     answer: Optional[bool]
     if violation.decided:
         answer = not violation.answer

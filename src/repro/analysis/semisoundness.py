@@ -17,6 +17,12 @@ completable.  ``decide_semisoundness`` dispatches on the fragment:
   have been exhaustive.  Anything else is undecided — unavoidable, since the
   problem is Π₂ᵏ-hard for positive rules (Theorem 5.3) and undecidable in
   general (Theorem 4.1).
+
+Semi-soundness is where the shared :class:`~repro.engine.ExplorationEngine`
+pays off most: the per-suspicious-state completability checks re-explore
+regions the reachability sweep already visited, and the engine serves those
+states' memoized expansions and guard evaluations from cache instead of
+re-evaluating every access-rule formula.
 """
 
 from __future__ import annotations
@@ -28,18 +34,21 @@ from repro.analysis.completability import (
     positive_rules_copy_bound,
 )
 from repro.analysis.results import AnalysisResult, ExplorationLimits
-from repro.analysis.statespace import explore_bounded, explore_depth1
 from repro.core.canonical import depth1_state_to_instance
 from repro.core.fragments import classify
 from repro.core.guarded_form import GuardedForm
 from repro.core.instance import Instance
+from repro.engine import ExplorationEngine, engine_for
 from repro.exceptions import AnalysisError
 
 _PROBLEM = "semisoundness"
 
 
 def semisoundness_depth1(
-    guarded_form: GuardedForm, start: Optional[Instance] = None
+    guarded_form: GuardedForm,
+    start: Optional[Instance] = None,
+    frontier: Optional[str] = None,
+    engine: Optional[ExplorationEngine] = None,
 ) -> AnalysisResult:
     """Exact semi-soundness for depth-1 guarded forms.
 
@@ -47,9 +56,10 @@ def semisoundness_depth1(
     iff every reachable state can reach a state satisfying the completion
     formula (a backward-closure computation on the same graph).
     """
-    graph = explore_depth1(guarded_form, start=start)
+    engine = engine_for(guarded_form, engine, frontier)
+    graph = engine.explore_depth1(start=start, strategy=frontier)
     reachable = graph.reachable_from(graph.initial)
-    complete_states = graph.satisfying_states(guarded_form.is_complete)
+    complete_states = engine.complete_depth1_states(graph)
     can_complete = graph.backward_closure(complete_states & graph.states)
     stuck = sorted(reachable - can_complete, key=sorted)
     answer = not stuck
@@ -69,6 +79,7 @@ def semisoundness_depth1(
             "canonical_states": len(graph.states),
             "reachable_states": len(reachable),
             "incompletable_reachable_states": len(stuck),
+            "engine": engine.stats_snapshot(),
         },
     )
 
@@ -78,6 +89,8 @@ def semisoundness_bounded(
     start: Optional[Instance] = None,
     limits: Optional[ExplorationLimits] = None,
     completability_limits: Optional[ExplorationLimits] = None,
+    frontier: Optional[str] = None,
+    engine: Optional[ExplorationEngine] = None,
 ) -> AnalysisResult:
     """Bounded semi-soundness for guarded forms of arbitrary depth.
 
@@ -87,27 +100,31 @@ def semisoundness_bounded(
     dedicated completability analysis (so a negative verdict is based on an
     exact incompletability proof for the counterexample state).  Unless
     overridden, those per-state checks reuse the same *limits* so the total
-    work stays proportional to the configured exploration budget.
+    work stays proportional to the configured exploration budget — and they
+    reuse the same engine, so they mostly replay memoized expansions.
     """
     limits = limits or ExplorationLimits()
     completability_limits = completability_limits or limits
-    graph = explore_bounded(guarded_form, start=start, limits=limits)
-    complete_states = graph.satisfying_states(guarded_form.is_complete)
+    engine = engine_for(guarded_form, engine, frontier)
+    graph = engine.explore(start=start, limits=limits, strategy=frontier)
+    complete_states = engine.complete_ids(graph)
     can_complete = graph.backward_closure(complete_states)
-    suspicious = [key for key in graph.states if key not in can_complete]
+    suspicious = [state_id for state_id in graph.states if state_id not in can_complete]
     stats = {
-        "states_explored": len(graph.representatives),
+        "states_explored": len(graph.states),
         "truncated": graph.truncated,
         "suspicious_states": len(suspicious),
         "limits": limits,
     }
 
-    for key in suspicious:
-        instance = graph.instance_of(key)
+    for state_id in suspicious:
+        instance = graph.instance_of(state_id)
         check = decide_completability(
             guarded_form,
             start=instance,
             limits=completability_limits,
+            frontier=frontier,
+            engine=engine,
         )
         if check.decided and check.answer is False:
             return AnalysisResult(
@@ -115,11 +132,12 @@ def semisoundness_bounded(
                 decided=True,
                 answer=False,
                 procedure="bounded_exploration",
-                witness_run=graph.run_to(key),
+                witness_run=graph.run_to(state_id),
                 counterexample=instance,
-                stats=stats,
+                stats={**stats, "engine": engine.stats_snapshot()},
             )
 
+    stats["engine"] = engine.stats_snapshot()
     if not graph.truncated and not suspicious:
         return AnalysisResult(
             problem=_PROBLEM,
@@ -154,6 +172,8 @@ def decide_semisoundness(
     start: Optional[Instance] = None,
     strategy: str = "auto",
     limits: Optional[ExplorationLimits] = None,
+    frontier: Optional[str] = None,
+    engine: Optional[ExplorationEngine] = None,
 ) -> AnalysisResult:
     """Decide semi-soundness, selecting a procedure from the fragment.
 
@@ -162,20 +182,29 @@ def decide_semisoundness(
         start: use this instance instead of the initial instance.
         strategy: ``"auto"``, ``"depth1"`` or ``"bounded"``.
         limits: exploration limits for the bounded procedure.
+        frontier: frontier strategy for the exploration engine (``"bfs"``,
+            ``"dfs"`` or ``"guided"``; default BFS).
+        engine: an :class:`~repro.engine.ExplorationEngine` to reuse, sharing
+            interned shapes and guard evaluations with previous analyses of
+            the same form.
     """
     if strategy == "depth1":
-        return semisoundness_depth1(guarded_form, start)
+        return semisoundness_depth1(guarded_form, start, frontier=frontier, engine=engine)
     if strategy == "bounded":
-        return semisoundness_bounded(guarded_form, start, limits)
+        return semisoundness_bounded(
+            guarded_form, start, limits, frontier=frontier, engine=engine
+        )
     if strategy != "auto":
         raise AnalysisError(f"unknown semi-soundness strategy {strategy!r}")
 
     if guarded_form.schema_depth() <= 1:
-        return semisoundness_depth1(guarded_form, start)
+        return semisoundness_depth1(guarded_form, start, frontier=frontier, engine=engine)
 
     fragment = classify(guarded_form)
     if fragment.positive_access and limits is None:
         limits = ExplorationLimits(
             max_sibling_copies=positive_rules_copy_bound(guarded_form)
         )
-    return semisoundness_bounded(guarded_form, start, limits)
+    return semisoundness_bounded(
+        guarded_form, start, limits, frontier=frontier, engine=engine
+    )

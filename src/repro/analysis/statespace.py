@@ -1,22 +1,27 @@
-"""Explicit-state exploration of the instance space of a guarded form.
+"""State-space exploration: graph types and compatibility shims.
 
-Two explorers are provided, matching the two regimes the paper distinguishes:
+The actual exploration lives in :mod:`repro.engine` — a unified
+:class:`~repro.engine.ExplorationEngine` with hash-consed shape interning
+(state keys are O(1)-comparable ints, successor shapes are derived
+incrementally from the parent shape plus the applied update), memoized guard
+evaluation shared across every exploration on the same engine, and pluggable
+frontier strategies (BFS / DFS / completion-guided).  This module keeps three
+things:
 
-* :func:`explore_depth1` — for depth-1 guarded forms.  By Lemma 4.3 the
-  reachable *canonical* instances (sets of labels below the root) form a
-  sound and complete abstraction of the reachable instances, so the explorer
-  works directly on label sets and always terminates (at most ``2^n`` states
-  for ``n`` depth-1 fields).  This is the executable counterpart of the
-  (N)PSPACE procedures of Theorem 4.6 / Corollary 4.7.
+* the two graph types the rest of the library (and its tests) consume:
+  :class:`Depth1StateGraph` for the canonical label-set states of depth-1
+  forms (Lemma 4.3, the executable counterpart of Theorem 4.6 /
+  Corollary 4.7) and :class:`StateGraph` for isomorphism-deduplicated
+  bounded exploration of deeper forms (necessarily truncated in general —
+  Theorem 4.1);
 
-* :func:`explore_bounded` — for arbitrary guarded forms.  The reachable space
-  is infinite in general and the analysis problems are undecidable
-  (Theorem 4.1), so this explorer deduplicates states by *isomorphism* (the
-  canonical-instance quotient is not a congruence for updates once the depth
-  exceeds 1 — see :mod:`repro.core.canonical`) and enforces the limits of
-  :class:`~repro.analysis.results.ExplorationLimits`.  The resulting graph
-  records whether any successor was skipped, so callers know whether the
-  exploration was exhaustive.
+* the historic entry points :func:`explore_depth1` and
+  :func:`explore_bounded`, now thin shims that run a fresh engine and return
+  the same graphs as before;
+
+* the original, straight-line explorers as :func:`legacy_explore_depth1` and
+  :func:`legacy_explore_bounded` — kept as executable reference
+  implementations that the engine parity tests compare against.
 """
 
 from __future__ import annotations
@@ -153,8 +158,25 @@ class Depth1StateGraph:
 def explore_depth1(guarded_form: GuardedForm, start: Optional[Instance] = None) -> Depth1StateGraph:
     """Build the complete canonical-state graph of a depth-1 guarded form.
 
+    Compatibility shim: runs a fresh :class:`~repro.engine.ExplorationEngine`.
+    Analyses that explore the same form repeatedly should construct the
+    engine themselves and reuse it, so guard evaluations are shared.
+
     Raises:
         ValueError: when the schema has depth greater than 1.
+    """
+    from repro.engine import ExplorationEngine
+
+    return ExplorationEngine(guarded_form).explore_depth1(start=start)
+
+
+def legacy_explore_depth1(
+    guarded_form: GuardedForm, start: Optional[Instance] = None
+) -> Depth1StateGraph:
+    """Reference implementation of :func:`explore_depth1` (pre-engine).
+
+    Kept for the engine parity tests; evaluates every guard formula from
+    scratch and hard-codes BFS.
     """
     if guarded_form.schema_depth() > 1:
         raise ValueError(
@@ -276,13 +298,32 @@ def explore_bounded(
     start: Optional[Instance] = None,
     limits: Optional[ExplorationLimits] = None,
 ) -> StateGraph:
-    """Breadth-first exploration of the reachable instances of a guarded form.
+    """Bounded exploration of the reachable instances of a guarded form.
 
     States are deduplicated by isomorphism.  The exploration honours the
     supplied :class:`~repro.analysis.results.ExplorationLimits`; the returned
     graph's ``truncated`` flag is set when *any* state or successor was
     skipped, in which case the graph is an under-approximation of the
     reachable space.
+
+    Compatibility shim: runs a fresh :class:`~repro.engine.ExplorationEngine`
+    and returns its graph as a legacy :class:`StateGraph` (keys are shapes;
+    the engine itself works on interned int state ids).
+    """
+    from repro.engine import ExplorationEngine
+
+    return ExplorationEngine(guarded_form, limits=limits).explore(start=start).to_state_graph()
+
+
+def legacy_explore_bounded(
+    guarded_form: GuardedForm,
+    start: Optional[Instance] = None,
+    limits: Optional[ExplorationLimits] = None,
+) -> StateGraph:
+    """Reference implementation of :func:`explore_bounded` (pre-engine).
+
+    Kept for the engine parity tests; recomputes every successor shape by a
+    full tree walk and evaluates every guard formula from scratch.
     """
     limits = limits or ExplorationLimits()
     start_instance = start if start is not None else guarded_form.initial_instance()

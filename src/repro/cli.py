@@ -39,6 +39,7 @@ from repro.analysis.results import AnalysisResult, ExplorationLimits
 from repro.analysis.semisoundness import decide_semisoundness
 from repro.core.fragments import classify
 from repro.core.guarded_form import GuardedForm
+from repro.engine import STRATEGIES, ExplorationEngine
 from repro.exceptions import ReproError
 from repro.fbwis.catalog import (
     leave_application,
@@ -103,6 +104,12 @@ def _add_limit_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="cap on same-label siblings under one node (default: unlimited)",
+    )
+    parser.add_argument(
+        "--frontier",
+        choices=STRATEGIES,
+        default="bfs",
+        help="frontier strategy of the exploration engine (default: bfs)",
     )
 
 
@@ -175,7 +182,13 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
     limits = _limits_from_args(args)
     print(f"analysing {form.name!r} (fragment {classify(form).name})", file=out)
 
-    completability = decide_completability(form, limits=limits)
+    # one engine for both analyses: the semi-soundness pass re-explores the
+    # states the completability pass interned, so its guard evaluations are
+    # mostly served from the shared cache
+    engine = ExplorationEngine(form, strategy=args.frontier)
+    completability = decide_completability(
+        form, limits=limits, frontier=args.frontier, engine=engine
+    )
     print("completability:", file=out)
     _describe(completability, out)
 
@@ -186,19 +199,33 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
         exit_code = 3
 
     if not args.skip_semisoundness:
-        semisoundness = decide_semisoundness(form, limits=limits)
+        semisoundness = decide_semisoundness(
+            form, limits=limits, frontier=args.frontier, engine=engine
+        )
         print("semi-soundness:", file=out)
         _describe(semisoundness, out)
         if semisoundness.decided and semisoundness.answer is False:
             exit_code = max(exit_code, 1)
         if not semisoundness.decided:
             exit_code = max(exit_code, 3)
+
+    stats = engine.stats_snapshot()
+    print(
+        f"engine ({args.frontier} frontier): "
+        f"{stats['formula_evaluations']} formula evaluations, "
+        f"{stats['formula_evaluations_saved']} served from guard cache "
+        f"({stats['guard_cache_hit_rate']:.1%} hit rate), "
+        f"{stats['intern_interned_states']} interned shapes",
+        file=out,
+    )
     return exit_code
 
 
 def _cmd_invariant(args: argparse.Namespace, out) -> int:
     form = _load_form(args.form)
-    result = always_holds(form, args.formula, limits=_limits_from_args(args))
+    result = always_holds(
+        form, args.formula, limits=_limits_from_args(args), frontier=args.frontier
+    )
     print(f"invariant {args.formula!r} on {form.name!r}:", file=out)
     if not result.decided:
         print("  undecided within the exploration limits", file=out)
@@ -214,7 +241,7 @@ def _cmd_invariant(args: argparse.Namespace, out) -> int:
 
 def _cmd_workflow(args: argparse.Namespace, out) -> int:
     form = _load_form(args.form)
-    lts = extract_workflow(form, limits=_limits_from_args(args))
+    lts = extract_workflow(form, limits=_limits_from_args(args), frontier=args.frontier)
     report = analyse_workflow(lts)
     meta = lts.state_annotations.get("__meta__", {})
     print(f"workflow implied by {form.name!r}:", file=out)

@@ -1,0 +1,57 @@
+"""The unified exploration engine.
+
+Every decision procedure in :mod:`repro.analysis` — completability
+(Theorems 4.6/5.2/5.5), semi-soundness, invariant checking — and the workflow
+extraction of :mod:`repro.workflow` funnels through state-space exploration.
+This package is that hot path, carved out as an explicit subsystem:
+
+* :mod:`repro.engine.interning` — hash-consed shapes, int state keys,
+  incremental successor-shape computation;
+* :mod:`repro.engine.guards` — memoized access-rule / completion-formula
+  evaluation with support-projection and subtree-shape sharing;
+* :mod:`repro.engine.strategies` — pluggable frontier orders (BFS, DFS,
+  completion-guided best-first);
+* :mod:`repro.engine.engine` — :class:`ExplorationEngine`, tying the three
+  together and producing :class:`EngineGraph` / legacy-compatible graphs.
+
+The legacy entry points ``explore_depth1`` / ``explore_bounded`` in
+:mod:`repro.analysis.statespace` remain as thin shims over this engine.
+"""
+
+from repro.engine.engine import EngineGraph, ExplorationEngine, engine_for
+from repro.engine.guards import GuardCache, navigates_upward, support_labels
+from repro.engine.interning import (
+    IncrementalShaper,
+    ShapeInterner,
+    StateId,
+    map_isomorphism,
+)
+from repro.engine.strategies import (
+    STRATEGIES,
+    BreadthFirstFrontier,
+    DepthFirstFrontier,
+    FrontierStrategy,
+    GuidedFrontier,
+    completion_distance,
+    make_strategy,
+)
+
+__all__ = [
+    "ExplorationEngine",
+    "EngineGraph",
+    "engine_for",
+    "GuardCache",
+    "support_labels",
+    "navigates_upward",
+    "ShapeInterner",
+    "IncrementalShaper",
+    "StateId",
+    "map_isomorphism",
+    "FrontierStrategy",
+    "BreadthFirstFrontier",
+    "DepthFirstFrontier",
+    "GuidedFrontier",
+    "completion_distance",
+    "make_strategy",
+    "STRATEGIES",
+]

@@ -1,0 +1,567 @@
+"""The unified exploration engine.
+
+:class:`ExplorationEngine` subsumes the two legacy explorers of
+:mod:`repro.analysis.statespace` behind one stateful object that every
+decision procedure can share:
+
+* **state identity** — instance shapes are hash-consed by a
+  :class:`~repro.engine.interning.ShapeInterner`, so bounded-exploration state
+  keys are O(1)-comparable ints and successor shapes are derived incrementally
+  from the parent shape plus the applied update
+  (:class:`~repro.engine.interning.IncrementalShaper`);
+
+* **guard memoization** — access-rule and completion-formula evaluations go
+  through a :class:`~repro.engine.guards.GuardCache` shared by every
+  exploration the engine runs, so a semi-soundness analysis (one reachability
+  sweep plus one completability check per suspicious state) evaluates each
+  guard once instead of once per sweep;
+
+* **canonical representatives** — each interned state keeps one
+  representative instance; expansions are memoized against it, so re-visiting
+  a state in a later exploration replays the cached successor list without
+  touching a single formula;
+
+* **pluggable frontiers** — exploration order is delegated to
+  :mod:`repro.engine.strategies` (BFS / DFS / completion-guided best-first).
+
+Explorations return an :class:`EngineGraph` (int-keyed); the legacy
+:class:`~repro.analysis.statespace.StateGraph` API is available through
+:meth:`EngineGraph.to_state_graph`, which the compatibility shims in
+:mod:`repro.analysis.statespace` use.
+
+Witness runs deserve a note: because representatives are canonical (shared
+across explorations), the update recorded on a graph edge refers to node ids
+of the *source state's representative*, which need not coincide with the ids
+arising while replaying a run from the caller's start instance.
+:meth:`EngineGraph.run_to` therefore translates each update through an
+explicit isomorphism (:func:`~repro.engine.interning.map_isomorphism`) before
+appending it, which keeps every extracted run replayable — and valid, since
+guard values are isomorphism-invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.core.canonical import canonical_depth1_state
+from repro.core.guarded_form import Addition, Deletion, GuardedForm, Update
+from repro.core.instance import Instance
+from repro.core.runs import Run
+from repro.core.tree import Shape
+from repro.engine.guards import GuardCache
+from repro.engine.interning import (
+    IncrementalShaper,
+    ShapeInterner,
+    StateId,
+    map_isomorphism,
+)
+from repro.engine.strategies import FrontierStrategy, completion_distance, make_strategy
+from repro.exceptions import AnalysisError
+
+#: A memoized successor candidate:
+#: (update, successor state id, is_addition, successor size, sibling copies
+#: of the added label under the target node before the addition).
+_Candidate = tuple
+
+
+class EngineGraph:
+    """The result of one bounded exploration: an int-keyed state graph.
+
+    States are :data:`~repro.engine.interning.StateId` ints interned by the
+    owning engine; representative instances, shapes and completion values are
+    resolved through the engine so that explorations share them.
+    """
+
+    def __init__(
+        self,
+        engine: "ExplorationEngine",
+        guarded_form: GuardedForm,
+        initial_id: StateId,
+        start_instance: Instance,
+    ) -> None:
+        self.engine = engine
+        self.guarded_form = guarded_form
+        self.initial_id = initial_id
+        self.start_instance = start_instance
+        self._states: set = {initial_id}
+        self.transitions: dict = {}  # StateId -> list[(Update, StateId)]
+        self.parents: dict = {}  # StateId -> (StateId, Update)
+        self.truncated_by_states = False
+        self.truncated_by_size = False
+        self.truncated_by_copies = False
+        self.skipped_successors = 0
+
+    # ------------------------------------------------------------------ #
+    # state access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def states(self) -> set:
+        """The explored state ids (a fresh set, like the legacy graphs)."""
+        return set(self._states)
+
+    @property
+    def truncated(self) -> bool:
+        """Whether any state or successor was skipped for any reason."""
+        return self.truncated_by_states or self.truncated_by_size or self.truncated_by_copies
+
+    def shape_of(self, state_id: StateId) -> Shape:
+        """The interned shape of a state."""
+        return self.engine.interner.shape_of(state_id)
+
+    def representative(self, state_id: StateId) -> Instance:
+        """The canonical representative instance (shared; do not mutate)."""
+        return self.engine.representative(state_id)
+
+    def instance_of(self, state_id: StateId) -> Instance:
+        """A private copy of the representative instance of a state."""
+        return self.engine.representative(state_id).copy()
+
+    def iter_states(self) -> Iterator[tuple[StateId, Instance]]:
+        """Iterate over (state id, representative) pairs."""
+        for state_id in self._states:
+            yield state_id, self.engine.representative(state_id)
+
+    # ------------------------------------------------------------------ #
+    # graph queries
+    # ------------------------------------------------------------------ #
+
+    def successors(self, state_id: StateId) -> list:
+        """Outgoing ``(update, target id)`` edges of a state."""
+        return self.transitions.get(state_id, [])
+
+    def satisfying_states(self, predicate: Callable[[Instance], bool]) -> set:
+        """States whose representative satisfies *predicate*."""
+        return {
+            state_id
+            for state_id in self._states
+            if predicate(self.engine.representative(state_id))
+        }
+
+    def complete_states(self) -> set:
+        """States satisfying the completion formula (guard-cache backed)."""
+        return self.engine.complete_ids(self)
+
+    def backward_closure(self, targets: set) -> set:
+        """States from which some state in *targets* is reachable within the
+        explored graph."""
+        predecessors: dict = {}
+        for source, edges in self.transitions.items():
+            for _, target in edges:
+                predecessors.setdefault(target, set()).add(source)
+        closure = set(targets)
+        frontier = list(targets)
+        while frontier:
+            state = frontier.pop()
+            for predecessor in predecessors.get(state, ()):
+                if predecessor not in closure:
+                    closure.add(predecessor)
+                    frontier.append(predecessor)
+        return closure
+
+    # ------------------------------------------------------------------ #
+    # witnesses
+    # ------------------------------------------------------------------ #
+
+    def run_to(self, target_id: StateId) -> Run:
+        """A run from the exploration's start instance to *target_id*.
+
+        The discovery edges along the parent chain reference node ids of the
+        canonical representatives; each update is translated through an
+        isomorphism onto the replayed instance, so the returned run is valid
+        on the caller's start instance.
+        """
+        chain: list = []
+        current = target_id
+        while current != self.initial_id:
+            parent, update = self.parents[current]
+            chain.append((parent, update))
+            current = parent
+        chain.reverse()
+        run = Run(self.guarded_form, [], start=self.start_instance.copy())
+        replayed = self.start_instance.copy()
+        for parent_id, update in chain:
+            canonical = self.engine.representative(parent_id)
+            iso = map_isomorphism(canonical.root, replayed.root)
+            translated: Update
+            if isinstance(update, Addition):
+                translated = Addition(iso[update.parent_id], update.label)
+            else:
+                translated = Deletion(iso[update.node_id])
+            run.updates.append(translated)
+            replayed = self.guarded_form.apply_unchecked(replayed, translated, in_place=True)
+        return run
+
+    # ------------------------------------------------------------------ #
+    # legacy view
+    # ------------------------------------------------------------------ #
+
+    def to_state_graph(self):
+        """A legacy :class:`~repro.analysis.statespace.StateGraph` view.
+
+        Keys are the interned shapes, so the view is a drop-in replacement for
+        the output of the historic ``explore_bounded``; its ``run_to``
+        delegates to :meth:`run_to` for isomorphism-safe witness extraction.
+        """
+        cls = _engine_state_graph_class()
+        shape_of = self.engine.interner.shape_of
+        graph = cls(
+            guarded_form=self.guarded_form,
+            initial_key=shape_of(self.initial_id),
+            representatives={
+                shape_of(state_id): self.engine.representative(state_id).copy()
+                for state_id in self._states
+            },
+            transitions={
+                shape_of(source): [(update, shape_of(target)) for update, target in edges]
+                for source, edges in self.transitions.items()
+            },
+            parents={
+                shape_of(child): (shape_of(parent), update)
+                for child, (parent, update) in self.parents.items()
+            },
+            truncated_by_states=self.truncated_by_states,
+            truncated_by_size=self.truncated_by_size,
+            truncated_by_copies=self.truncated_by_copies,
+            skipped_successors=self.skipped_successors,
+        )
+        graph._engine_graph = self
+        graph._shape_to_id = {shape_of(state_id): state_id for state_id in self._states}
+        return graph
+
+
+def engine_for(
+    guarded_form: GuardedForm,
+    engine: Optional["ExplorationEngine"],
+    frontier: Optional[str] = None,
+) -> "ExplorationEngine":
+    """The engine to analyse *guarded_form* with: the caller's, or a fresh one.
+
+    Raises:
+        AnalysisError: when the supplied engine was built for a different
+            guarded form — its interned states, memoized expansions and
+            completion cache would silently answer for the wrong form.
+    """
+    if engine is not None:
+        if engine.guarded_form is not guarded_form:
+            raise AnalysisError(
+                "the supplied exploration engine is bound to guarded form "
+                f"{engine.guarded_form.name!r}, not {guarded_form.name!r}; "
+                "engines cache per-form state and cannot be shared across forms"
+            )
+        return engine
+    return ExplorationEngine(guarded_form, strategy=frontier or "bfs")
+
+
+_ENGINE_STATE_GRAPH_CLASS = None
+
+
+def _engine_state_graph_class():
+    """Lazily build the StateGraph subclass (avoids an import cycle with
+    :mod:`repro.analysis.statespace`, whose shims import this module)."""
+    global _ENGINE_STATE_GRAPH_CLASS
+    if _ENGINE_STATE_GRAPH_CLASS is None:
+        from repro.analysis.statespace import StateGraph
+
+        class EngineStateGraph(StateGraph):
+            """A legacy-shaped StateGraph whose witness extraction goes
+            through the engine's isomorphism-translating ``run_to``."""
+
+            _engine_graph: EngineGraph
+            _shape_to_id: dict
+
+            def run_to(self, key) -> Run:
+                return self._engine_graph.run_to(self._shape_to_id[key])
+
+        _ENGINE_STATE_GRAPH_CLASS = EngineStateGraph
+    return _ENGINE_STATE_GRAPH_CLASS
+
+
+class ExplorationEngine:
+    """A reusable exploration engine for one guarded form.
+
+    The engine owns the shape interner, guard cache, canonical state
+    representatives and memoized expansions; every exploration it runs —
+    bounded or depth-1, from any start instance, under any limits and any
+    frontier strategy — shares them.  Analyses that perform several
+    explorations of the same form (semi-soundness, CLI ``analyze``) should
+    therefore construct one engine and reuse it.
+    """
+
+    def __init__(
+        self,
+        guarded_form: GuardedForm,
+        limits=None,
+        strategy: str = "bfs",
+    ) -> None:
+        self.guarded_form = guarded_form
+        self.strategy = strategy
+        self._limits = limits
+        self.interner = ShapeInterner()
+        self.shaper = IncrementalShaper(self.interner)
+        self.guards = GuardCache(guarded_form)
+        self._reps: dict = {}  # StateId -> canonical representative Instance
+        self._shape_maps: dict = {}  # StateId -> {node_id: consed subtree Shape}
+        self._expansions: dict = {}  # StateId -> (candidates, guard queries)
+        self._d1_expansions: dict = {}  # frozenset -> (moves, guard queries)
+        self._scores: dict = {}  # state key -> completion_distance
+        self.expansions_computed = 0
+        self.expansions_reused = 0
+        self.heuristic_evaluations = 0
+
+    # ------------------------------------------------------------------ #
+    # registry
+    # ------------------------------------------------------------------ #
+
+    def representative(self, state_id: StateId) -> Instance:
+        """The canonical representative instance of a state (shared)."""
+        return self._reps[state_id]
+
+    def _register(self, instance: Instance, shape_map=None) -> StateId:
+        if shape_map is None:
+            shape_map = self.shaper.full_map(instance)
+        shape = shape_map[instance.root.node_id]
+        state_id, _ = self.interner.state_id(shape)
+        if state_id not in self._reps:
+            self._reps[state_id] = instance
+            self._shape_maps[state_id] = shape_map
+        return state_id
+
+    def _default_limits(self):
+        if self._limits is None:
+            from repro.analysis.results import ExplorationLimits
+
+            self._limits = ExplorationLimits()
+        return self._limits
+
+    # ------------------------------------------------------------------ #
+    # frontier construction
+    # ------------------------------------------------------------------ #
+
+    def _score_bounded(self, state_id: StateId) -> int:
+        score = self._scores.get(state_id)
+        if score is None:
+            score = completion_distance(
+                self._reps[state_id].root, self.guarded_form.completion
+            )
+            self._scores[state_id] = score
+            self.heuristic_evaluations += 1
+        return score
+
+    def _score_depth1(self, state: frozenset) -> int:
+        score = self._scores.get(state)
+        if score is None:
+            from repro.core.canonical import depth1_state_to_instance
+
+            materialised = depth1_state_to_instance(self.guarded_form.schema, state)
+            score = completion_distance(materialised.root, self.guarded_form.completion)
+            self._scores[state] = score
+            self.heuristic_evaluations += 1
+        return score
+
+    def _make_frontier(self, strategy: Optional[str], depth1: bool = False) -> FrontierStrategy:
+        name = strategy or self.strategy
+        scorer = self._score_depth1 if depth1 else self._score_bounded
+        return make_strategy(name, scorer)
+
+    # ------------------------------------------------------------------ #
+    # bounded exploration (arbitrary depth, isomorphism dedup)
+    # ------------------------------------------------------------------ #
+
+    def explore(
+        self,
+        start: Optional[Instance] = None,
+        limits=None,
+        strategy: Optional[str] = None,
+    ) -> EngineGraph:
+        """Explore the reachable instances of the guarded form.
+
+        States are deduplicated by interned shape; the supplied (or the
+        engine's default) :class:`~repro.analysis.results.ExplorationLimits`
+        bound the search exactly as in the legacy explorer, and the graph's
+        truncation flags record which limit was hit.
+        """
+        limits = limits if limits is not None else self._default_limits()
+        form = self.guarded_form
+        start_instance = (start if start is not None else form.initial_instance()).copy()
+        initial_id = self._register(start_instance)
+        graph = EngineGraph(self, form, initial_id, start_instance)
+        frontier = self._make_frontier(strategy)
+        frontier.push(initial_id)
+        states = graph._states
+        while frontier:
+            state_id = frontier.pop()
+            edges: list = []
+            for update, succ_id, is_addition, succ_size, copies_before in self._expand(state_id):
+                if is_addition:
+                    if not limits.allows_instance_size(succ_size):
+                        graph.truncated_by_size = True
+                        graph.skipped_successors += 1
+                        continue
+                    if (
+                        limits.max_sibling_copies is not None
+                        and copies_before >= limits.max_sibling_copies
+                    ):
+                        graph.truncated_by_copies = True
+                        graph.skipped_successors += 1
+                        continue
+                if succ_id not in states:
+                    if len(states) >= limits.max_states:
+                        graph.truncated_by_states = True
+                        graph.skipped_successors += 1
+                        continue
+                    states.add(succ_id)
+                    graph.parents[succ_id] = (state_id, update)
+                    frontier.push(succ_id)
+                edges.append((update, succ_id))
+            graph.transitions[state_id] = edges
+        return graph
+
+    def _expand(self, state_id: StateId) -> list:
+        """All successor candidates of a state, memoized across explorations.
+
+        Candidates are *unfiltered*: exploration limits are applied by the
+        caller, so the memo stays valid whatever limits a later exploration
+        uses.
+        """
+        memo = self._expansions.get(state_id)
+        if memo is not None:
+            candidates, guard_queries = memo
+            self.guards.credit_reuse(guard_queries)
+            self.expansions_reused += 1
+            return candidates
+        instance = self._reps[state_id]
+        shape_map = self._shape_maps[state_id]
+        schema = self.guarded_form.schema
+        guards = self.guards
+        queries_before = guards.hits + guards.misses
+        candidates: list = []
+        size = instance.size()
+        for node in instance.nodes():
+            node_shape = shape_map[node.node_id]
+            schema_node = schema.node_at(node.label_path())
+            for schema_child in schema_node.children:
+                label = schema_child.label
+                if guards.addition_allowed(state_id, node, label, node_shape):
+                    update: Update = Addition(node.node_id, label)
+                    copies_before = len(node.children_with_label(label))
+                    candidates.append(
+                        (update, self._successor_id(instance, shape_map, update), True, size + 1, copies_before)
+                    )
+            if not node.is_root() and node.is_leaf():
+                if guards.deletion_allowed(state_id, node, shape_map[node.parent.node_id]):
+                    update = Deletion(node.node_id)
+                    candidates.append(
+                        (update, self._successor_id(instance, shape_map, update), False, size - 1, 0)
+                    )
+        self._expansions[state_id] = (candidates, guards.hits + guards.misses - queries_before)
+        self.expansions_computed += 1
+        return candidates
+
+    def _successor_id(self, instance: Instance, shape_map: dict, update: Update) -> StateId:
+        successor, succ_map, root_shape = self.shaper.successor(instance, shape_map, update)
+        state_id, _ = self.interner.state_id(root_shape)
+        if state_id not in self._reps:
+            self._reps[state_id] = successor
+            self._shape_maps[state_id] = succ_map
+        return state_id
+
+    def complete_ids(self, graph: EngineGraph) -> set:
+        """The states of *graph* satisfying the completion formula (cached)."""
+        guards = self.guards
+        return {
+            state_id
+            for state_id in graph.states
+            if guards.completion(state_id, self._reps[state_id].root)
+        }
+
+    # ------------------------------------------------------------------ #
+    # depth-1 exploration (canonical label-set states, Lemma 4.3)
+    # ------------------------------------------------------------------ #
+
+    def explore_depth1(self, start: Optional[Instance] = None, strategy: Optional[str] = None):
+        """Build the complete canonical-state graph of a depth-1 form.
+
+        Returns the legacy
+        :class:`~repro.analysis.statespace.Depth1StateGraph` (its states are
+        tiny frozensets already; the engine contributes guard memoization —
+        support-projected, so the Theorem 5.1 SAT workloads share evaluations
+        across exponentially many states — and the frontier strategy).
+
+        Raises:
+            ValueError: when the schema has depth greater than 1.
+        """
+        form = self.guarded_form
+        if form.schema_depth() > 1:
+            raise ValueError(
+                "explore_depth1 only applies to depth-1 guarded forms; use "
+                "explore_bounded for deeper schemas"
+            )
+        from repro.analysis.statespace import Depth1StateGraph, Depth1Transition
+
+        start_instance = start if start is not None else form.initial_instance()
+        initial = canonical_depth1_state(start_instance)
+        graph = Depth1StateGraph(form, initial)
+        frontier = self._make_frontier(strategy, depth1=True)
+        graph.states.add(initial)
+        frontier.push(initial)
+        while frontier:
+            state = frontier.pop()
+            if state in graph.transitions:
+                continue  # a state can be queued twice under non-FIFO frontiers
+            transitions = [
+                Depth1Transition(kind, label, state, target)
+                for kind, label, target in self._expand_depth1(state)
+            ]
+            graph.transitions[state] = transitions
+            for transition in transitions:
+                if transition.target not in graph.states:
+                    graph.states.add(transition.target)
+                    frontier.push(transition.target)
+        return graph
+
+    def _expand_depth1(self, state: frozenset) -> list:
+        memo = self._d1_expansions.get(state)
+        if memo is not None:
+            moves, guard_queries = memo
+            self.guards.credit_reuse(guard_queries)
+            self.expansions_reused += 1
+            return moves
+        guards = self.guards
+        queries_before = guards.hits + guards.misses
+        moves: list = []
+        for schema_child in self.guarded_form.schema.root.children:
+            label = schema_child.label
+            if guards.d1_addition_allowed(state, label):
+                target = frozenset(state | {label})
+                if target != state:
+                    moves.append(("add", label, target))
+        for label in sorted(state):
+            if guards.d1_deletion_allowed(state, label):
+                moves.append(("del", label, frozenset(state - {label})))
+        self._d1_expansions[state] = (moves, guards.hits + guards.misses - queries_before)
+        self.expansions_computed += 1
+        return moves
+
+    def complete_depth1_states(self, graph) -> set:
+        """The canonical states of *graph* satisfying the completion formula."""
+        guards = self.guards
+        return {state for state in graph.states if guards.d1_completion(state)}
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+
+    def stats_snapshot(self) -> dict:
+        """All engine counters, flattened for ``AnalysisResult.stats``."""
+        snapshot = dict(self.guards.stats())
+        for key, value in self.interner.stats().items():
+            snapshot[f"intern_{key}"] = value
+        for key, value in self.shaper.stats().items():
+            snapshot[f"shape_{key}"] = value
+        snapshot["expansions_computed"] = self.expansions_computed
+        snapshot["expansions_reused"] = self.expansions_reused
+        snapshot["heuristic_evaluations"] = self.heuristic_evaluations
+        snapshot["registered_states"] = len(self._reps)
+        snapshot["frontier_strategy"] = self.strategy
+        return snapshot

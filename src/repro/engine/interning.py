@@ -1,0 +1,200 @@
+"""Hash-consed shape interning and incremental shape maintenance.
+
+The bounded explorer deduplicates states by the isomorphism-invariant
+:data:`~repro.core.tree.Shape` of their instances.  Shapes are nested tuples;
+comparing and hashing them is O(tree size), and the legacy explorer recomputed
+them from scratch for every successor.  This module removes both costs:
+
+* :class:`ShapeInterner` hash-conses shapes.  Every subtree shape is mapped to
+  a single canonical tuple object (structurally equal subtrees share one
+  object, so equality checks short-circuit on identity and memory stays
+  proportional to the number of *distinct* subtrees), and every full-state
+  shape is mapped to a small integer id.  State keys used by the exploration
+  engine are therefore O(1)-comparable ints.
+
+* :class:`IncrementalShaper` maintains, per state, a ``node_id -> Shape`` map
+  for the state's representative instance.  The shape of a successor is then
+  computed from the parent's map plus the applied update: only the shapes on
+  the root-to-update path are rebuilt (O(depth x branching)), instead of
+  re-walking the whole tree (O(size log size)).
+
+* :func:`map_isomorphism` computes an explicit isomorphism between two
+  isomorphic trees; the engine uses it to translate witness runs recorded
+  against canonical representatives back onto a caller-supplied start
+  instance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.guarded_form import Addition, Deletion, Update
+from repro.core.instance import Instance
+from repro.core.tree import LabelledTree, Node, Shape
+
+#: Interned state identifier: an index into the interner's shape table.
+StateId = int
+
+
+def _subtree_shape(node: Node) -> Shape:
+    """The plain (un-consed) shape of the subtree rooted at *node*."""
+    children = sorted(_subtree_shape(child) for child in node.children)
+    return (node.label, tuple(children))
+
+
+class ShapeInterner:
+    """A hash-consing table for tree shapes.
+
+    ``cons`` canonicalises a subtree shape (structurally equal inputs return
+    the *same* tuple object); ``state_id`` assigns a dense integer id to a
+    full-state shape.  Both directions are O(1) amortised; ``shape_of``
+    recovers the shape of an id.
+    """
+
+    def __init__(self) -> None:
+        self._cons: dict = {}  # Shape -> canonical Shape object
+        self._ids: dict = {}  # canonical Shape -> StateId
+        self._shapes: list = []  # StateId -> canonical Shape
+        self.cons_hits = 0
+        self.cons_misses = 0
+        self.state_hits = 0
+        self.state_misses = 0
+
+    def cons(self, shape: Shape) -> Shape:
+        """Return the canonical object for *shape* (hash-consing)."""
+        canonical = self._cons.get(shape)
+        if canonical is not None:
+            self.cons_hits += 1
+            return canonical
+        self.cons_misses += 1
+        self._cons[shape] = shape
+        return shape
+
+    def state_id(self, shape: Shape) -> tuple[StateId, bool]:
+        """Intern a full-state shape; return ``(id, is_new)``."""
+        existing = self._ids.get(shape)
+        if existing is not None:
+            self.state_hits += 1
+            return existing, False
+        self.state_misses += 1
+        new_id = len(self._shapes)
+        self._ids[shape] = new_id
+        self._shapes.append(shape)
+        return new_id, True
+
+    def lookup(self, shape: Shape) -> Optional[StateId]:
+        """The id of *shape* if it was interned, else ``None``."""
+        return self._ids.get(shape)
+
+    def shape_of(self, state_id: StateId) -> Shape:
+        """The shape interned under *state_id*."""
+        return self._shapes[state_id]
+
+    def __len__(self) -> int:
+        return len(self._shapes)
+
+    def stats(self) -> dict:
+        """Counter snapshot for :class:`AnalysisResult` stats."""
+        return {
+            "interned_states": len(self._shapes),
+            "interned_subtrees": len(self._cons),
+            "state_hits": self.state_hits,
+            "state_misses": self.state_misses,
+            "cons_hits": self.cons_hits,
+            "cons_misses": self.cons_misses,
+        }
+
+
+class IncrementalShaper:
+    """Computes successor shapes incrementally from per-state shape maps."""
+
+    def __init__(self, interner: ShapeInterner) -> None:
+        self._interner = interner
+        self.nodes_rehashed = 0  # shape rebuilds actually performed
+        self.nodes_full_equivalent = 0  # what full per-successor walks would cost
+
+    def full_map(self, tree: LabelledTree) -> dict[int, Shape]:
+        """``node_id -> consed subtree shape`` for every node of *tree*."""
+        cons = self._interner.cons
+        shape_map: dict[int, Shape] = {}
+
+        def build(node: Node) -> Shape:
+            children = sorted(build(child) for child in node.children)
+            shape = cons((node.label, tuple(children)))
+            shape_map[node.node_id] = shape
+            return shape
+
+        build(tree.root)
+        self.nodes_rehashed += tree.size()
+        self.nodes_full_equivalent += tree.size()
+        return shape_map
+
+    def successor(
+        self,
+        instance: Instance,
+        shape_map: dict[int, Shape],
+        update: Update,
+    ) -> tuple[Instance, dict[int, Shape], Shape]:
+        """Apply *update* to a copy of *instance* and derive the successor's
+        shape map from the parent's.
+
+        Returns ``(successor instance, successor shape map, root shape)``.
+        Only the nodes on the path from the updated leaf to the root are
+        re-hashed; every untouched subtree reuses the parent's consed shape.
+        """
+        successor = instance.copy()
+        new_map = dict(shape_map)
+        if isinstance(update, Addition):
+            leaf = successor.add_field(successor.node(update.parent_id), update.label)
+            new_map[leaf.node_id] = self._interner.cons((update.label, ()))
+            dirty = leaf.parent
+            self.nodes_rehashed += 1
+        else:
+            node = successor.node(update.node_id)
+            dirty = node.parent
+            successor.remove_field(node)
+            del new_map[update.node_id]
+        cons = self._interner.cons
+        while dirty is not None:
+            children = sorted(new_map[child.node_id] for child in dirty.children)
+            new_map[dirty.node_id] = cons((dirty.label, tuple(children)))
+            self.nodes_rehashed += 1
+            dirty = dirty.parent
+        self.nodes_full_equivalent += successor.size()
+        return successor, new_map, new_map[successor.root.node_id]
+
+    def stats(self) -> dict:
+        """Counter snapshot for :class:`AnalysisResult` stats."""
+        saved = self.nodes_full_equivalent - self.nodes_rehashed
+        return {
+            "nodes_rehashed": self.nodes_rehashed,
+            "nodes_full_walk_equivalent": self.nodes_full_equivalent,
+            "nodes_saved": saved,
+        }
+
+
+def map_isomorphism(source: Node, target: Node) -> dict[int, int]:
+    """An explicit isomorphism (``source node_id -> target node_id``) between
+    the isomorphic trees rooted at *source* and *target*.
+
+    Children are matched by sorted subtree shape; within a group of
+    same-shape siblings any pairing is an isomorphism (they are related by an
+    automorphism), so the first consistent one is returned.
+
+    Raises:
+        ValueError: when the trees are not isomorphic.
+    """
+    if _subtree_shape(source) != _subtree_shape(target):
+        raise ValueError("cannot map between non-isomorphic trees")
+    mapping: dict[int, int] = {}
+    stack = [(source, target)]
+    while stack:
+        from_node, to_node = stack.pop()
+        mapping[from_node.node_id] = to_node.node_id
+        stack.extend(
+            zip(
+                sorted(from_node.children, key=_subtree_shape),
+                sorted(to_node.children, key=_subtree_shape),
+            )
+        )
+    return mapping

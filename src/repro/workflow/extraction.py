@@ -7,8 +7,13 @@ a :class:`~repro.workflow.lts.LabelledTransitionSystem`:
 * for depth-1 forms the states are the reachable canonical instances (label
   sets), which by Lemma 4.3 is an exact representation of the workflow;
 * for deeper forms the states are isomorphism classes of reachable instances
-  explored up to the supplied limits, mirroring
-  :func:`repro.analysis.statespace.explore_bounded`.
+  explored up to the supplied limits.
+
+Both extractions run on the unified
+:class:`~repro.engine.ExplorationEngine`; passing the engine used by a prior
+analysis of the same form reuses its interned shapes, memoized expansions and
+guard evaluations, so extracting the workflow after an ``analyze`` pass is
+almost free.
 
 State names are human-readable (sorted field lists for depth-1 forms, a
 numbered ``s<i>`` plus the field multiset otherwise) so the extracted LTS can
@@ -20,10 +25,10 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.results import ExplorationLimits
-from repro.analysis.statespace import explore_bounded, explore_depth1
 from repro.core.guarded_form import GuardedForm
 from repro.core.instance import Instance
 from repro.core.schema import format_schema_path
+from repro.engine import ExplorationEngine, engine_for
 from repro.workflow.lts import LabelledTransitionSystem
 
 
@@ -31,6 +36,8 @@ def extract_workflow(
     guarded_form: GuardedForm,
     start: Optional[Instance] = None,
     limits: Optional[ExplorationLimits] = None,
+    frontier: Optional[str] = None,
+    engine: Optional[ExplorationEngine] = None,
 ) -> LabelledTransitionSystem:
     """Build the labelled transition system implied by *guarded_form*.
 
@@ -39,19 +46,25 @@ def extract_workflow(
     under-approximation; the ``truncated`` key of the returned system's
     ``state_annotations["__meta__"]`` records whether that happened.
     """
+    engine = engine_for(guarded_form, engine, frontier)
     if guarded_form.schema_depth() <= 1:
-        return _extract_depth1(guarded_form, start)
-    return _extract_bounded(guarded_form, start, limits)
+        return _extract_depth1(engine, guarded_form, start, frontier)
+    return _extract_bounded(engine, guarded_form, start, limits, frontier)
 
 
 def _depth1_state_name(state: frozenset) -> str:
     return "{" + ", ".join(sorted(state)) + "}" if state else "{}"
 
 
-def _extract_depth1(guarded_form: GuardedForm, start: Optional[Instance]) -> LabelledTransitionSystem:
-    graph = explore_depth1(guarded_form, start=start)
+def _extract_depth1(
+    engine: ExplorationEngine,
+    guarded_form: GuardedForm,
+    start: Optional[Instance],
+    frontier: Optional[str],
+) -> LabelledTransitionSystem:
+    graph = engine.explore_depth1(start=start, strategy=frontier)
     lts = LabelledTransitionSystem(initial=_depth1_state_name(graph.initial))
-    complete = graph.satisfying_states(guarded_form.is_complete)
+    complete = engine.complete_depth1_states(graph)
     for state in graph.states:
         lts.add_state(
             _depth1_state_name(state),
@@ -69,34 +82,39 @@ def _extract_depth1(guarded_form: GuardedForm, start: Optional[Instance]) -> Lab
 
 
 def _extract_bounded(
+    engine: ExplorationEngine,
     guarded_form: GuardedForm,
     start: Optional[Instance],
     limits: Optional[ExplorationLimits],
+    frontier: Optional[str],
 ) -> LabelledTransitionSystem:
-    graph = explore_bounded(guarded_form, start=start, limits=limits)
+    graph = engine.explore(start=start, limits=limits, strategy=frontier)
     names: dict = {}
-    for index, key in enumerate(sorted(graph.representatives, key=repr)):
-        instance = graph.representatives[key]
+    for index, state_id in enumerate(
+        sorted(graph.states, key=lambda state_id: repr(graph.shape_of(state_id)))
+    ):
+        instance = graph.representative(state_id)
         fields = sorted(
             format_schema_path(node.label_path())
             for node in instance.nodes()
             if not node.is_root()
         )
-        names[key] = f"s{index}:" + ("{" + ", ".join(fields) + "}" if fields else "{}")
+        names[state_id] = f"s{index}:" + ("{" + ", ".join(fields) + "}" if fields else "{}")
 
-    lts = LabelledTransitionSystem(initial=names[graph.initial_key])
-    for key, instance in graph.iter_states():
+    complete = engine.complete_ids(graph)
+    lts = LabelledTransitionSystem(initial=names[graph.initial_id])
+    for state_id, instance in graph.iter_states():
         lts.add_state(
-            names[key],
-            accepting=guarded_form.is_complete(instance),
+            names[state_id],
+            accepting=state_id in complete,
             annotation=instance,
         )
-    for key, edges in graph.transitions.items():
-        source_instance = graph.representatives[key]
-        for update, target_key in edges:
-            if target_key not in names:
+    for state_id, edges in graph.transitions.items():
+        source_instance = graph.representative(state_id)
+        for update, target_id in edges:
+            if target_id not in names:
                 continue
-            lts.add_transition(names[key], update.describe(source_instance), names[target_key])
+            lts.add_transition(names[state_id], update.describe(source_instance), names[target_id])
     lts.state_annotations["__meta__"] = {
         "truncated": graph.truncated,
         "representation": "isomorphism",

@@ -1,0 +1,187 @@
+"""Engine-vs-legacy parity: the engine must explore exactly the state sets
+the straight-line reference explorers compute, give the same analysis
+answers on the benchgen families, and do so with measurably fewer formula
+evaluations."""
+
+import pytest
+
+from repro.analysis.completability import decide_completability
+from repro.analysis.results import ExplorationLimits
+from repro.analysis.semisoundness import decide_semisoundness
+from repro.analysis.statespace import (
+    legacy_explore_bounded,
+    legacy_explore_depth1,
+)
+from repro.benchgen.families import (
+    counter_machine_family,
+    deadlock_family,
+    sat_completability_family,
+)
+from repro.benchgen.random_forms import random_depth1_guarded_form
+from repro.engine import ExplorationEngine
+from repro.fbwis.catalog import leave_application, leave_application_not_semisound
+
+
+def depth1_transition_sets(graph):
+    return {
+        state: {(t.kind, t.label, t.target) for t in transitions}
+        for state, transitions in graph.transitions.items()
+    }
+
+
+def bounded_transition_triples(states, transitions, shape_of=lambda key: key):
+    triples = set()
+    for source, edges in transitions.items():
+        for update, target in edges:
+            triples.add((shape_of(source), type(update).__name__, shape_of(target)))
+    return triples
+
+
+class TestDepth1Parity:
+    @pytest.mark.parametrize("variables", [4, 6])
+    def test_sat_family_graphs_match(self, variables):
+        form, _ = sat_completability_family(variables, seed=variables)
+        legacy = legacy_explore_depth1(form)
+        engine = ExplorationEngine(form)
+        graph = engine.explore_depth1()
+        assert graph.states == legacy.states
+        assert graph.initial == legacy.initial
+        assert depth1_transition_sets(graph) == depth1_transition_sets(legacy)
+
+    @pytest.mark.parametrize("components", [2, 3])
+    def test_deadlock_family_graphs_match(self, components):
+        form, _ = deadlock_family(components, seed=components)
+        legacy = legacy_explore_depth1(form)
+        graph = ExplorationEngine(form).explore_depth1()
+        assert graph.states == legacy.states
+        assert depth1_transition_sets(graph) == depth1_transition_sets(legacy)
+
+    @pytest.mark.parametrize("seed", [0, 7, 21, 99])
+    def test_random_forms_graphs_and_answers_match(self, seed):
+        form = random_depth1_guarded_form(4, seed=seed)
+        legacy = legacy_explore_depth1(form)
+        graph = ExplorationEngine(form).explore_depth1()
+        assert graph.states == legacy.states
+        assert depth1_transition_sets(graph) == depth1_transition_sets(legacy)
+        legacy_answer = bool(
+            legacy.reachable_from(legacy.initial)
+            & legacy.satisfying_states(form.is_complete)
+        )
+        assert decide_completability(form, strategy="depth1").answer == legacy_answer
+
+    def test_sat_family_needs_fewer_formula_evaluations(self):
+        """The support-projected guard cache shares evaluations across the
+        exponentially many canonical states of the Theorem 5.1 reduction."""
+        form, _ = sat_completability_family(8, seed=8)
+        engine = ExplorationEngine(form)
+        engine.explore_depth1()
+        stats = engine.stats_snapshot()
+        legacy_equivalent = stats["guard_cache_hits"] + stats["guard_cache_misses"]
+        assert stats["formula_evaluations"] < legacy_equivalent
+        assert stats["formula_evaluations_saved"] > 0
+        assert stats["guard_cache_hit_rate"] > 0.5
+
+
+class TestBoundedParity:
+    LIMITS = ExplorationLimits(max_states=10_000, max_instance_nodes=30)
+
+    @pytest.mark.parametrize("single_period", [True, False])
+    def test_leave_application_graphs_match(self, single_period):
+        form = leave_application(single_period=single_period)
+        limits = (
+            self.LIMITS
+            if single_period
+            else ExplorationLimits(max_states=400, max_instance_nodes=12)
+        )
+        legacy = legacy_explore_bounded(form, limits=limits)
+        graph = ExplorationEngine(form, limits=limits).explore()
+        engine_shapes = {graph.shape_of(state_id) for state_id in graph.states}
+        assert engine_shapes == legacy.states
+        assert graph.truncated_by_states == legacy.truncated_by_states
+        assert graph.truncated_by_size == legacy.truncated_by_size
+        assert graph.truncated_by_copies == legacy.truncated_by_copies
+        assert graph.skipped_successors == legacy.skipped_successors
+        assert bounded_transition_triples(
+            graph.states, graph.transitions, graph.shape_of
+        ) == bounded_transition_triples(legacy.states, legacy.transitions)
+
+    def test_counter_machine_truncated_exploration_matches(self):
+        form, _ = counter_machine_family(1)
+        limits = ExplorationLimits(max_states=200, max_instance_nodes=14)
+        legacy = legacy_explore_bounded(form, limits=limits)
+        graph = ExplorationEngine(form, limits=limits).explore()
+        assert {graph.shape_of(s) for s in graph.states} == legacy.states
+        assert graph.truncated == legacy.truncated
+        assert graph.skipped_successors == legacy.skipped_successors
+
+    def test_analysis_answers_match_on_running_example_variants(self):
+        limits = self.LIMITS
+        for form in (
+            leave_application(single_period=True),
+            leave_application_not_semisound(single_period=True),
+        ):
+            completability = decide_completability(form, limits=limits)
+            semisoundness = decide_semisoundness(form, limits=limits)
+            assert completability.decided
+            assert semisoundness.decided
+            # recompute both answers from the reference explorer
+            legacy = legacy_explore_bounded(form, limits=limits)
+            complete = legacy.satisfying_states(form.is_complete)
+            assert completability.answer == bool(complete)
+            stuck = legacy.states - legacy.backward_closure(complete)
+            assert semisoundness.answer == (not stuck)
+
+
+class TestEngineReuse:
+    def test_second_exploration_is_served_from_cache(self):
+        form = leave_application(single_period=True)
+        engine = ExplorationEngine(form)
+        engine.explore()
+        misses_after_first = engine.guards.misses
+        engine.explore()
+        assert engine.guards.misses == misses_after_first
+        assert engine.expansions_reused > 0
+
+    def test_witness_runs_survive_representative_sharing(self):
+        """A shared engine records edges against canonical representatives;
+        run extraction must translate them onto the caller's start instance
+        (isomorphic, but with different node ids)."""
+        form = leave_application(single_period=True)
+        engine = ExplorationEngine(form)
+        graph = engine.explore()
+        # restart the analysis from a mid-flight state: the new start is a
+        # copy of a canonical representative with its own node identity
+        for state_id in sorted(graph.states):
+            if engine.representative(state_id).size() > 3:
+                break
+        start = graph.instance_of(state_id)
+        result = decide_completability(form, start=start, engine=engine)
+        assert result.decided and result.answer is True
+        assert result.witness_run is not None
+        assert result.witness_run.is_valid()
+        assert form.is_complete(result.witness_run.final_instance())
+
+    def test_engine_bound_to_another_form_is_rejected(self):
+        """An engine caches per-form state; passing it to an analysis of a
+        different form must raise instead of silently answering for the
+        engine's form."""
+        import pytest
+
+        from repro.analysis.semisoundness import decide_semisoundness
+        from repro.exceptions import AnalysisError
+
+        good = leave_application(single_period=True)
+        bad = leave_application_not_semisound(single_period=True)
+        engine = ExplorationEngine(good)
+        with pytest.raises(AnalysisError):
+            decide_semisoundness(bad, engine=engine)
+        with pytest.raises(AnalysisError):
+            decide_completability(bad, engine=engine)
+
+    def test_stats_are_surfaced_in_analysis_results(self):
+        form = leave_application(single_period=True)
+        result = decide_completability(form)
+        engine_stats = result.stats["engine"]
+        assert engine_stats["formula_evaluations"] > 0
+        assert "guard_cache_hit_rate" in engine_stats
+        assert engine_stats["intern_interned_states"] > 0

@@ -1,0 +1,99 @@
+"""Unit tests for shape interning and incremental shape maintenance."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.engine.interning import (
+    IncrementalShaper,
+    ShapeInterner,
+    map_isomorphism,
+)
+
+
+class TestShapeInterner:
+    def test_cons_returns_identical_object(self):
+        interner = ShapeInterner()
+        first = interner.cons(("a", ()))
+        second = interner.cons(("a", ()))
+        assert first is second
+        assert interner.cons_misses == 1
+        assert interner.cons_hits == 1
+
+    def test_state_ids_are_dense_ints(self):
+        interner = ShapeInterner()
+        shape_a = ("r", (("a", ()),))
+        shape_b = ("r", (("b", ()),))
+        id_a, new_a = interner.state_id(shape_a)
+        id_b, new_b = interner.state_id(shape_b)
+        id_a2, new_a2 = interner.state_id(shape_a)
+        assert (id_a, id_b) == (0, 1)
+        assert new_a and new_b and not new_a2
+        assert id_a2 == id_a
+        assert interner.shape_of(id_b) == shape_b
+        assert len(interner) == 2
+
+    def test_lookup_of_unknown_shape(self):
+        interner = ShapeInterner()
+        assert interner.lookup(("r", ())) is None
+
+
+class TestIncrementalShaper:
+    def test_full_map_matches_tree_shapes(self, submitted_instance):
+        shaper = IncrementalShaper(ShapeInterner())
+        shape_map = shaper.full_map(submitted_instance)
+        assert shape_map[submitted_instance.root.node_id] == submitted_instance.shape()
+        for node in submitted_instance.nodes():
+            assert shape_map[node.node_id] == submitted_instance.subtree_shape(node)
+
+    def test_incremental_successors_match_full_recompute(self, leave_form):
+        """Walk a few levels of the reachable space, checking every
+        incrementally derived shape against a full ``shape()`` walk."""
+        shaper = IncrementalShaper(ShapeInterner())
+        instance = leave_form.initial_instance()
+        shape_map = shaper.full_map(instance)
+        frontier = [(instance, shape_map)]
+        checked = 0
+        for _ in range(3):
+            next_frontier = []
+            for current, current_map in frontier:
+                for update in leave_form.enabled_updates(current):
+                    successor, successor_map, root_shape = shaper.successor(
+                        current, current_map, update
+                    )
+                    assert root_shape == successor.shape()
+                    assert successor_map[successor.root.node_id] == root_shape
+                    checked += 1
+                    next_frontier.append((successor, successor_map))
+            frontier = next_frontier[:6]
+        assert checked > 10
+
+    def test_incremental_rehashes_fewer_nodes_than_full_walks(self, leave_form):
+        shaper = IncrementalShaper(ShapeInterner())
+        instance = leave_form.initial_instance()
+        shape_map = shaper.full_map(instance)
+        current, current_map = instance, shape_map
+        for _ in range(6):
+            updates = leave_form.enabled_updates(current)
+            if not updates:
+                break
+            current, current_map, _ = shaper.successor(current, current_map, updates[0])
+        assert shaper.nodes_rehashed < shaper.nodes_full_equivalent
+
+
+class TestMapIsomorphism:
+    def test_maps_between_renamed_copies(self, leave_schema):
+        left = Instance.from_paths(leave_schema, ["a/n", "a/p/b", "s"])
+        # build the same tree in a different insertion order => different ids
+        right = Instance.from_paths(leave_schema, ["s", "a/p/b", "a/n"])
+        mapping = map_isomorphism(left.root, right.root)
+        assert len(mapping) == left.size()
+        for node in left.nodes():
+            image = right.node(mapping[node.node_id])
+            assert image.label == node.label
+            assert left.subtree_shape(node) == right.subtree_shape(image)
+
+    def test_rejects_non_isomorphic_trees(self, leave_schema):
+        left = Instance.from_paths(leave_schema, ["a"])
+        right = Instance.from_paths(leave_schema, ["s"])
+        with pytest.raises(ValueError):
+            map_isomorphism(left.root, right.root)

@@ -1,0 +1,85 @@
+"""Unit tests for the pluggable frontier strategies."""
+
+import pytest
+
+from repro.core.formulas.parser import parse_formula
+from repro.engine import ExplorationEngine, completion_distance, make_strategy
+from repro.engine.strategies import STRATEGIES
+from repro.exceptions import AnalysisError
+
+
+class TestFrontiers:
+    def test_bfs_is_fifo(self):
+        frontier = make_strategy("bfs")
+        for item in (1, 2, 3):
+            frontier.push(item)
+        assert [frontier.pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_dfs_is_lifo(self):
+        frontier = make_strategy("dfs")
+        for item in (1, 2, 3):
+            frontier.push(item)
+        assert [frontier.pop() for _ in range(3)] == [3, 2, 1]
+
+    def test_guided_pops_lowest_score_first(self):
+        scores = {"far": 5, "near": 1, "middle": 3}
+        frontier = make_strategy("guided", scorer=scores.__getitem__)
+        for item in ("far", "near", "middle"):
+            frontier.push(item)
+        assert [frontier.pop() for _ in range(3)] == ["near", "middle", "far"]
+
+    def test_guided_breaks_ties_by_insertion_order(self):
+        frontier = make_strategy("guided", scorer=lambda _: 0)
+        for item in (1, 2, 3):
+            frontier.push(item)
+        assert [frontier.pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_guided_requires_a_scorer(self):
+        with pytest.raises(AnalysisError):
+            make_strategy("guided")
+
+    def test_unknown_strategy_is_an_error(self):
+        with pytest.raises(AnalysisError):
+            make_strategy("simulated-annealing")
+
+
+class TestCompletionDistance:
+    def test_distance_drops_to_zero_when_satisfied(self, tiny_form):
+        instance = tiny_form.initial_instance()
+        formula = parse_formula("c")
+        assert completion_distance(instance.root, formula) == 1
+        instance.add_field(instance.root, "c")
+        assert completion_distance(instance.root, formula) == 0
+
+    def test_conjunction_adds_disjunction_minimises(self, tiny_form):
+        instance = tiny_form.initial_instance()
+        instance.add_field(instance.root, "a")
+        assert completion_distance(instance.root, parse_formula("a ∧ b")) == 1
+        assert completion_distance(instance.root, parse_formula("b ∧ c")) == 2
+        assert completion_distance(instance.root, parse_formula("b ∨ c")) == 1
+        assert completion_distance(instance.root, parse_formula("a ∨ b")) == 0
+
+
+class TestStrategyEquivalence:
+    @pytest.mark.parametrize("frontier", STRATEGIES)
+    def test_exhaustive_exploration_is_strategy_independent(self, leave_form, frontier):
+        """All strategies visit the same states when nothing is truncated."""
+        reference_graph = ExplorationEngine(leave_form).explore()
+        reference = {
+            reference_graph.shape_of(state_id) for state_id in reference_graph.states
+        }
+        engine = ExplorationEngine(leave_form, strategy=frontier)
+        graph = engine.explore()
+        assert not graph.truncated
+        assert {graph.shape_of(state_id) for state_id in graph.states} == reference
+
+    @pytest.mark.parametrize("frontier", STRATEGIES)
+    def test_depth1_exploration_is_strategy_independent(self, tiny_form, frontier):
+        engine = ExplorationEngine(tiny_form, strategy=frontier)
+        graph = engine.explore_depth1()
+        assert graph.states == {
+            frozenset(),
+            frozenset({"a"}),
+            frozenset({"a", "b"}),
+            frozenset({"a", "b", "c"}),
+        }

@@ -1,0 +1,106 @@
+"""Each exploration-limit flag triggered and asserted independently.
+
+``truncated_by_states`` / ``truncated_by_size`` / ``truncated_by_copies``
+and ``skipped_successors`` are checked both on the engine's int-keyed graph
+and through the legacy ``explore_bounded`` shim, with the respective other
+limits disabled so each flag is exercised in isolation.
+"""
+
+from repro.analysis.results import ExplorationLimits
+from repro.analysis.statespace import explore_bounded
+from repro.engine import ExplorationEngine
+
+
+class TestEngineGraphFlags:
+    def test_states_limit_alone(self, leave_form):
+        limits = ExplorationLimits(
+            max_states=5, max_instance_nodes=None, max_sibling_copies=None
+        )
+        graph = ExplorationEngine(leave_form, limits=limits).explore()
+        assert graph.truncated_by_states
+        assert not graph.truncated_by_size
+        assert not graph.truncated_by_copies
+        assert graph.truncated
+        assert graph.skipped_successors > 0
+        assert len(graph.states) <= 5
+
+    def test_size_limit_alone(self, leave_form_full):
+        limits = ExplorationLimits(
+            max_states=1_000_000, max_instance_nodes=6, max_sibling_copies=None
+        )
+        graph = ExplorationEngine(leave_form_full, limits=limits).explore()
+        assert graph.truncated_by_size
+        assert not graph.truncated_by_states
+        assert not graph.truncated_by_copies
+        assert graph.skipped_successors > 0
+        for _, instance in graph.iter_states():
+            assert instance.size() <= 6
+
+    def test_copies_limit_alone(self, leave_form_full):
+        limits = ExplorationLimits(
+            max_states=1_000_000, max_instance_nodes=None, max_sibling_copies=1
+        )
+        graph = ExplorationEngine(leave_form_full, limits=limits).explore()
+        assert graph.truncated_by_copies
+        assert not graph.truncated_by_states
+        assert not graph.truncated_by_size
+        assert graph.skipped_successors > 0
+        for _, instance in graph.iter_states():
+            for node in instance.nodes():
+                labels = [child.label for child in node.children]
+                assert len(labels) == len(set(labels))
+
+    def test_exhaustive_exploration_sets_no_flags(self, leave_form):
+        limits = ExplorationLimits(
+            max_states=100_000, max_instance_nodes=40, max_sibling_copies=None
+        )
+        graph = ExplorationEngine(leave_form, limits=limits).explore()
+        assert not graph.truncated
+        assert graph.skipped_successors == 0
+
+
+class TestShimFlags:
+    """The same four scenarios observed through the legacy StateGraph shim."""
+
+    def test_states_limit_alone(self, leave_form):
+        graph = explore_bounded(
+            leave_form,
+            limits=ExplorationLimits(
+                max_states=5, max_instance_nodes=None, max_sibling_copies=None
+            ),
+        )
+        assert graph.truncated_by_states
+        assert not (graph.truncated_by_size or graph.truncated_by_copies)
+        assert graph.skipped_successors > 0
+
+    def test_size_limit_alone(self, leave_form_full):
+        graph = explore_bounded(
+            leave_form_full,
+            limits=ExplorationLimits(
+                max_states=1_000_000, max_instance_nodes=6, max_sibling_copies=None
+            ),
+        )
+        assert graph.truncated_by_size
+        assert not (graph.truncated_by_states or graph.truncated_by_copies)
+        assert graph.skipped_successors > 0
+
+    def test_copies_limit_alone(self, leave_form_full):
+        graph = explore_bounded(
+            leave_form_full,
+            limits=ExplorationLimits(
+                max_states=1_000_000, max_instance_nodes=None, max_sibling_copies=1
+            ),
+        )
+        assert graph.truncated_by_copies
+        assert not (graph.truncated_by_states or graph.truncated_by_size)
+        assert graph.skipped_successors > 0
+
+    def test_no_limits_hit_means_no_skips(self, leave_form):
+        graph = explore_bounded(
+            leave_form,
+            limits=ExplorationLimits(
+                max_states=100_000, max_instance_nodes=40, max_sibling_copies=None
+            ),
+        )
+        assert not graph.truncated
+        assert graph.skipped_successors == 0
