@@ -1,5 +1,5 @@
-"""Consolidated benchmark harness: run every ``bench_*.py`` and write
-``BENCH_engine.json``.
+"""Consolidated benchmark harness: run every ``bench_*.py``, write
+``BENCH_engine.json`` and (with ``--check``) gate on regressions.
 
 Two sections are produced:
 
@@ -7,8 +7,10 @@ Two sections are produced:
   representative workloads per Table 1 fragment: states explored, wall time,
   states/sec, guard-cache hit rate, formula evaluations performed vs. the
   legacy-equivalent count (every cache hit is an evaluation the pre-engine
-  explorers would have run), shape-interning counters, and an
-  engine-vs-legacy state-set parity verdict.
+  explorers would have run), shape-interning counters, an engine-vs-legacy
+  state-set parity verdict, and a *store-backed* bounded workload (the same
+  exploration through an on-disk ``SqliteStore``) reporting both throughputs
+  so the persistence overhead is tracked release over release.
 
 * ``pytest_benchmarks`` — the per-test timings of every ``bench_*.py``
   module, collected through ``pytest-benchmark``'s JSON output.  Skipped
@@ -19,10 +21,15 @@ Usage::
     PYTHONPATH=src python benchmarks/run_all.py --quick          # engine metrics only
     PYTHONPATH=src python benchmarks/run_all.py                  # full sweep
     PYTHONPATH=src python benchmarks/run_all.py -k completability
-    PYTHONPATH=src python benchmarks/run_all.py -o BENCH_engine.json
+    PYTHONPATH=src python benchmarks/run_all.py --check          # gate vs baseline
+    PYTHONPATH=src python benchmarks/run_all.py --smoke          # --quick + --check
 
-Future PRs compare their ``BENCH_engine.json`` against the committed one to
-track the performance trajectory (states/sec up, formula evaluations down).
+Regression gate: ``--check`` compares the fresh measurements against the
+committed ``BENCH_engine.json`` baseline (override with ``--baseline``) and
+exits non-zero when any workload's states/sec drops by more than
+``--threshold`` (default 25%), when parity with the legacy explorers breaks,
+or when a baseline workload disappears.  ``--smoke`` is the CI entry point:
+engine metrics only, then the gate.
 """
 
 from __future__ import annotations
@@ -115,7 +122,90 @@ def measure_engine(frontier: str = "bfs") -> dict:
                 "expansions_reused": stats["expansions_reused"],
             }
         )
+    results.append(measure_store_backed(frontier, limits))
     return {"limits": {"max_states": limits.max_states, "max_instance_nodes": limits.max_instance_nodes}, "workloads": results}
+
+
+def measure_store_backed(frontier: str, limits) -> dict:
+    """The bounded reference workload explored through an on-disk SqliteStore.
+
+    Reported as its own workload row: parity against the plain in-memory
+    engine plus a second throughput figure, so regressions in the
+    write-through/batching path are caught by the same ``--check`` gate.
+    """
+    from repro.engine import ExplorationEngine, SqliteStore
+    from repro.fbwis.catalog import leave_application
+
+    form = leave_application(single_period=True)
+    reference = ExplorationEngine(form, limits=limits, strategy=frontier).explore()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = SqliteStore(Path(tmp) / "bench.db", batch_size=512)
+        engine = ExplorationEngine(form, limits=limits, strategy=frontier, store=store)
+        started = time.perf_counter()
+        graph = engine.explore()
+        elapsed = time.perf_counter() - started
+        stats = engine.stats_snapshot()
+        parity = {graph.shape_of(s) for s in graph.states} == {
+            reference.shape_of(s) for s in reference.states
+        }
+        store.close()
+    states = len(graph.states)
+    return {
+        "workload": "A-,phi+,k leave application [sqlite store]",
+        "kind": "bounded-store",
+        "frontier": frontier,
+        "states": states,
+        "explore_seconds": round(elapsed, 6),
+        "states_per_second": round(states / elapsed, 1) if elapsed else None,
+        "state_set_parity_with_legacy": parity,
+        "guard_cache_hit_rate": stats["guard_cache_hit_rate"],
+        "store_rows_written": stats["store_rows_written"],
+        "store_flushes": stats["store_flushes"],
+        "store_rows_read": stats["store_rows_read"],
+    }
+
+
+# --------------------------------------------------------------------------- #
+# regression gate
+# --------------------------------------------------------------------------- #
+
+
+def check_regressions(report: dict, baseline: dict, threshold: float) -> list[str]:
+    """Compare *report* against the committed *baseline* (parsed JSON).
+
+    Returns a list of human-readable failures: a workload regressing by more
+    than *threshold* in states/sec, needing more formula evaluations than the
+    baseline allows (a deterministic counter, immune to timer noise), losing
+    state-set parity with the legacy explorers, or disappearing from the
+    report entirely.
+    """
+    failures: list[str] = []
+    current = {w["workload"]: w for w in report["engine"]["workloads"]}
+    for workload in baseline.get("engine", {}).get("workloads", []):
+        name = workload["workload"]
+        fresh = current.get(name)
+        if fresh is None:
+            failures.append(f"workload {name!r} present in baseline but not measured")
+            continue
+        if not fresh.get("state_set_parity_with_legacy", True):
+            failures.append(f"workload {name!r} lost state-set parity with the legacy explorer")
+        old_sps = workload.get("states_per_second")
+        new_sps = fresh.get("states_per_second")
+        if old_sps and new_sps and new_sps < old_sps * (1.0 - threshold):
+            failures.append(
+                f"workload {name!r} regressed: {new_sps} states/s vs baseline "
+                f"{old_sps} (allowed floor {old_sps * (1.0 - threshold):.1f})"
+            )
+        old_evals = workload.get("formula_evaluations")
+        new_evals = fresh.get("formula_evaluations")
+        if old_evals and new_evals and new_evals > old_evals * (1.0 + threshold):
+            failures.append(
+                f"workload {name!r} now needs {new_evals} formula evaluations "
+                f"vs baseline {old_evals} (allowed ceiling "
+                f"{old_evals * (1.0 + threshold):.1f})"
+            )
+    return failures
 
 
 # --------------------------------------------------------------------------- #
@@ -198,11 +288,48 @@ def main(argv=None) -> int:
         default=str(REPO_ROOT / "BENCH_engine.json"),
         help="where to write the consolidated JSON (default: BENCH_engine.json)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline and exit non-zero on a "
+        "states/sec regression beyond --threshold or a parity break",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: engine metrics only (implies --quick) plus the "
+        "regression check (implies --check)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(REPO_ROOT / "BENCH_engine.json"),
+        help="baseline JSON for --check (default: the committed BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional states/sec regression before --check fails "
+        "(default: 0.25, i.e. >25%% slower fails)",
+    )
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.quick = True
+        args.check = True
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
+    # read the baseline up front: the default output path overwrites it
+    baseline_path = Path(args.baseline)
+    baseline = None
+    if args.check and baseline_path.exists():
+        try:
+            baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            print(f"[run_all] cannot parse baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 1
+
     report = {
-        "schema": "bench-engine/1",
+        "schema": "bench-engine/2",
         "generated_by": "benchmarks/run_all.py",
         "quick": args.quick,
         "engine": measure_engine(args.frontier),
@@ -216,13 +343,26 @@ def main(argv=None) -> int:
     for workload in report["engine"]["workloads"]:
         print(
             "[run_all]   {workload}: {states} states at {sps} states/s, "
-            "guard-cache hit rate {rate:.1%}, {saved} formula evals saved".format(
+            "guard-cache hit rate {rate:.1%}".format(
                 workload=workload["workload"],
                 states=workload["states"],
                 sps=workload["states_per_second"],
                 rate=workload["guard_cache_hit_rate"],
-                saved=workload["formula_evaluations_saved"],
             )
+        )
+
+    if args.check:
+        if baseline is None:
+            print(f"[run_all] --check: no baseline at {baseline_path}; nothing to compare")
+            return 0
+        failures = check_regressions(report, baseline, args.threshold)
+        if failures:
+            for failure in failures:
+                print(f"[run_all] REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"[run_all] regression check passed "
+            f"(threshold {args.threshold:.0%} vs {baseline_path})"
         )
     return 0
 

@@ -24,7 +24,17 @@ share its interned shapes and memoized guard evaluations across several
 analyses of the same form (the semi-soundness procedure and the CLI do), and
 a *frontier* strategy (``"bfs"``, ``"dfs"`` or ``"guided"``) to control the
 exploration order.  Engine counters (guard-cache hits/misses, shape-intern
-statistics) are surfaced under ``AnalysisResult.stats["engine"]``.
+statistics, store read/write/flush counters) are surfaced under
+``AnalysisResult.stats["engine"]``.
+
+Bounded explorations can additionally be backed by a persistent
+:class:`~repro.engine.store.StateStore` (*store*): interned shapes, canonical
+representatives and guard values are written through to disk, and an
+interrupted exploration can be picked up with *resume* instead of restarting
+— see :mod:`repro.engine.store`.  *stop_on_complete* opts into early exit:
+the bounded search returns as soon as a complete state is interned, which on
+completable forms can skip most of the budget (negative and undecided
+answers are unaffected — they only arise when no early exit happened).
 
 For positive access rules the bounded search is *complete* when the sibling
 copy bound is at least the size of the completion formula: the witness
@@ -45,7 +55,7 @@ from repro.core.fragments import classify
 from repro.core.guarded_form import Addition, GuardedForm
 from repro.core.instance import Instance
 from repro.core.runs import Run
-from repro.engine import ExplorationEngine, engine_for
+from repro.engine import ExplorationEngine, StateStore, engine_for
 from repro.exceptions import AnalysisError
 
 _PROBLEM = "completability"
@@ -109,6 +119,7 @@ def completability_depth1(
     start: Optional[Instance] = None,
     frontier: Optional[str] = None,
     engine: Optional[ExplorationEngine] = None,
+    store: Optional[StateStore] = None,
 ) -> AnalysisResult:
     """Exact completability for depth-1 guarded forms (Theorem 4.6).
 
@@ -116,9 +127,12 @@ def completability_depth1(
     the root, Lemma 4.3) and reports whether any of them satisfies the
     completion formula.  Always terminates; worst case ``2^n`` states, but
     the engine's support-projected guard cache shares formula evaluations
-    across states that agree on the labels a rule can observe.
+    across states that agree on the labels a rule can observe.  A persistent
+    *store* carries the support-projected guard values across processes
+    (depth-1 explorations are not checkpointed — their canonical states are
+    cheap to re-enumerate).
     """
-    engine = engine_for(guarded_form, engine, frontier)
+    engine = engine_for(guarded_form, engine, frontier, store=store)
     graph = engine.explore_depth1(start=start, strategy=frontier)
     complete_states = engine.complete_depth1_states(graph)
     reachable = graph.reachable_from(graph.initial)
@@ -146,6 +160,9 @@ def completability_bounded(
     copy_bound_is_sufficient: bool = False,
     frontier: Optional[str] = None,
     engine: Optional[ExplorationEngine] = None,
+    store: Optional[StateStore] = None,
+    resume: bool = False,
+    stop_on_complete: bool = False,
 ) -> AnalysisResult:
     """Bounded explicit-state completability for arbitrary guarded forms.
 
@@ -156,10 +173,20 @@ def completability_bounded(
     (the dispatcher sets this for positive access rules with a bound derived
     from the completion formula, per Theorem 5.2's witness argument).
     Otherwise the result is reported as undecided.
+
+    *store* persists the exploration (and *resume* continues a checkpointed
+    one); *stop_on_complete* returns the positive answer as soon as a
+    complete state is discovered instead of exhausting the budget.
     """
     limits = limits or ExplorationLimits()
-    engine = engine_for(guarded_form, engine, frontier)
-    graph = engine.explore(start=start, limits=limits, strategy=frontier)
+    engine = engine_for(guarded_form, engine, frontier, store=store)
+    graph = engine.explore(
+        start=start,
+        limits=limits,
+        strategy=frontier,
+        stop_on_complete=stop_on_complete,
+        resume=resume,
+    )
     complete_states = engine.complete_ids(graph)
     stats = {
         "states_explored": len(graph.states),
@@ -168,6 +195,8 @@ def completability_bounded(
         "truncated_by_size": graph.truncated_by_size,
         "truncated_by_copies": graph.truncated_by_copies,
         "skipped_successors": graph.skipped_successors,
+        "stopped_on_complete": graph.stopped_on_complete,
+        "resumed": graph.resumed,
         "limits": limits,
         "engine": engine.stats_snapshot(),
     }
@@ -216,6 +245,9 @@ def decide_completability(
     limits: Optional[ExplorationLimits] = None,
     frontier: Optional[str] = None,
     engine: Optional[ExplorationEngine] = None,
+    store: Optional[StateStore] = None,
+    resume: bool = False,
+    stop_on_complete: bool = False,
 ) -> AnalysisResult:
     """Decide completability, selecting a procedure from the fragment.
 
@@ -231,14 +263,33 @@ def decide_completability(
         engine: an :class:`~repro.engine.ExplorationEngine` to reuse, sharing
             interned shapes and guard evaluations with previous analyses of
             the same form.
+        store: a :class:`~repro.engine.store.StateStore` backing a freshly
+            built engine (ignored when *engine* is supplied — that engine
+            keeps its own store).  Only the bounded procedure checkpoints
+            explorations; the saturation and depth-1 procedures still
+            persist their guard evaluations through the store.
+        resume: continue the bounded exploration from the checkpoint an
+            identically parameterised earlier run saved in the store.
+        stop_on_complete: let the bounded exploration return as soon as a
+            complete state is found (early exit; default off, pinned by the
+            parity tests).
     """
     if strategy == "saturation":
         return completability_by_saturation(guarded_form, start)
     if strategy == "depth1":
-        return completability_depth1(guarded_form, start, frontier=frontier, engine=engine)
+        return completability_depth1(
+            guarded_form, start, frontier=frontier, engine=engine, store=store
+        )
     if strategy == "bounded":
         return completability_bounded(
-            guarded_form, start, limits, frontier=frontier, engine=engine
+            guarded_form,
+            start,
+            limits,
+            frontier=frontier,
+            engine=engine,
+            store=store,
+            resume=resume,
+            stop_on_complete=stop_on_complete,
         )
     if strategy != "auto":
         raise AnalysisError(f"unknown completability strategy {strategy!r}")
@@ -247,7 +298,9 @@ def decide_completability(
     if fragment.positive_access and fragment.positive_completion:
         return completability_by_saturation(guarded_form, start)
     if guarded_form.schema_depth() <= 1:
-        return completability_depth1(guarded_form, start, frontier=frontier, engine=engine)
+        return completability_depth1(
+            guarded_form, start, frontier=frontier, engine=engine, store=store
+        )
     if fragment.positive_access:
         copy_bound = positive_rules_copy_bound(guarded_form)
         effective = limits or ExplorationLimits(max_sibling_copies=copy_bound)
@@ -264,7 +317,17 @@ def decide_completability(
             copy_bound_is_sufficient=True,
             frontier=frontier,
             engine=engine,
+            store=store,
+            resume=resume,
+            stop_on_complete=stop_on_complete,
         )
     return completability_bounded(
-        guarded_form, start, limits, frontier=frontier, engine=engine
+        guarded_form,
+        start,
+        limits,
+        frontier=frontier,
+        engine=engine,
+        store=store,
+        resume=resume,
+        stop_on_complete=stop_on_complete,
     )

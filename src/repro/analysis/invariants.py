@@ -18,6 +18,7 @@ from repro.core.formulas.ast import Formula, Not
 from repro.core.formulas.parser import parse_formula
 from repro.core.guarded_form import GuardedForm
 from repro.core.instance import Instance
+from repro.engine import StateStore
 
 
 def can_reach(
@@ -26,6 +27,9 @@ def can_reach(
     start: Optional[Instance] = None,
     limits: Optional[ExplorationLimits] = None,
     frontier: Optional[str] = None,
+    store: Optional[StateStore] = None,
+    resume: bool = False,
+    stop_on_complete: bool = False,
 ) -> AnalysisResult:
     """Whether some reachable instance satisfies *condition* (at the root).
 
@@ -34,11 +38,25 @@ def can_reach(
     instance when the answer is positive.  The probe form has its own
     completion formula, so it gets its own exploration engine; *frontier*
     selects the engine's search order (``"guided"`` chases *condition*).
+
+    A persistent *store* is bound to the *probe* form (the completion formula
+    is part of a store's identity), so reuse a store per queried condition;
+    *resume* picks up an interrupted probe exploration, and
+    *stop_on_complete* opts into returning on the first satisfying state
+    instead of exhausting the budget.
     """
     probe = guarded_form.with_completion(
         parse_formula(condition), name=f"{guarded_form.name} [reach probe]"
     )
-    result = decide_completability(probe, start=start, limits=limits, frontier=frontier)
+    result = decide_completability(
+        probe,
+        start=start,
+        limits=limits,
+        frontier=frontier,
+        store=store,
+        resume=resume,
+        stop_on_complete=stop_on_complete,
+    )
     result.stats["query"] = "can_reach"
     return result
 
@@ -49,15 +67,28 @@ def always_holds(
     start: Optional[Instance] = None,
     limits: Optional[ExplorationLimits] = None,
     frontier: Optional[str] = None,
+    store: Optional[StateStore] = None,
+    resume: bool = False,
+    stop_on_complete: bool = False,
 ) -> AnalysisResult:
     """Whether *invariant* holds at the root of **every** reachable instance.
 
     This is the complement of :func:`can_reach` applied to the negated
     invariant.  The returned result keeps the reachability witness (a run to
     a violating instance) as its ``witness_run`` when the invariant fails.
+    *stop_on_complete* lets the underlying reachability probe return on the
+    first violating state (the verdict is unchanged; only the exploration
+    effort and the reported stats shrink).
     """
     violation = can_reach(
-        guarded_form, Not(parse_formula(invariant)), start, limits, frontier=frontier
+        guarded_form,
+        Not(parse_formula(invariant)),
+        start,
+        limits,
+        frontier=frontier,
+        store=store,
+        resume=resume,
+        stop_on_complete=stop_on_complete,
     )
     answer: Optional[bool]
     if violation.decided:

@@ -38,7 +38,7 @@ from repro.core.canonical import depth1_state_to_instance
 from repro.core.fragments import classify
 from repro.core.guarded_form import GuardedForm
 from repro.core.instance import Instance
-from repro.engine import ExplorationEngine, engine_for
+from repro.engine import ExplorationEngine, StateStore, engine_for
 from repro.exceptions import AnalysisError
 
 _PROBLEM = "semisoundness"
@@ -49,6 +49,7 @@ def semisoundness_depth1(
     start: Optional[Instance] = None,
     frontier: Optional[str] = None,
     engine: Optional[ExplorationEngine] = None,
+    store: Optional[StateStore] = None,
 ) -> AnalysisResult:
     """Exact semi-soundness for depth-1 guarded forms.
 
@@ -56,7 +57,7 @@ def semisoundness_depth1(
     iff every reachable state can reach a state satisfying the completion
     formula (a backward-closure computation on the same graph).
     """
-    engine = engine_for(guarded_form, engine, frontier)
+    engine = engine_for(guarded_form, engine, frontier, store=store)
     graph = engine.explore_depth1(start=start, strategy=frontier)
     reachable = graph.reachable_from(graph.initial)
     complete_states = engine.complete_depth1_states(graph)
@@ -91,6 +92,8 @@ def semisoundness_bounded(
     completability_limits: Optional[ExplorationLimits] = None,
     frontier: Optional[str] = None,
     engine: Optional[ExplorationEngine] = None,
+    store: Optional[StateStore] = None,
+    resume: bool = False,
 ) -> AnalysisResult:
     """Bounded semi-soundness for guarded forms of arbitrary depth.
 
@@ -102,11 +105,16 @@ def semisoundness_bounded(
     overridden, those per-state checks reuse the same *limits* so the total
     work stays proportional to the configured exploration budget — and they
     reuse the same engine, so they mostly replay memoized expansions.
+
+    On a store-backed engine each exploration (the reachability sweep and
+    every per-suspicious-state completability check) keeps its own
+    checkpoint, keyed by its start shape; *resume* picks up whichever of
+    them was interrupted.
     """
     limits = limits or ExplorationLimits()
     completability_limits = completability_limits or limits
-    engine = engine_for(guarded_form, engine, frontier)
-    graph = engine.explore(start=start, limits=limits, strategy=frontier)
+    engine = engine_for(guarded_form, engine, frontier, store=store)
+    graph = engine.explore(start=start, limits=limits, strategy=frontier, resume=resume)
     complete_states = engine.complete_ids(graph)
     can_complete = graph.backward_closure(complete_states)
     suspicious = [state_id for state_id in graph.states if state_id not in can_complete]
@@ -125,6 +133,7 @@ def semisoundness_bounded(
             limits=completability_limits,
             frontier=frontier,
             engine=engine,
+            resume=resume,
         )
         if check.decided and check.answer is False:
             return AnalysisResult(
@@ -174,6 +183,8 @@ def decide_semisoundness(
     limits: Optional[ExplorationLimits] = None,
     frontier: Optional[str] = None,
     engine: Optional[ExplorationEngine] = None,
+    store: Optional[StateStore] = None,
+    resume: bool = False,
 ) -> AnalysisResult:
     """Decide semi-soundness, selecting a procedure from the fragment.
 
@@ -187,18 +198,32 @@ def decide_semisoundness(
         engine: an :class:`~repro.engine.ExplorationEngine` to reuse, sharing
             interned shapes and guard evaluations with previous analyses of
             the same form.
+        store: a :class:`~repro.engine.store.StateStore` backing a freshly
+            built engine (ignored when *engine* is supplied).
+        resume: continue the bounded explorations from checkpoints earlier
+            identically parameterised runs saved in the store.
     """
     if strategy == "depth1":
-        return semisoundness_depth1(guarded_form, start, frontier=frontier, engine=engine)
+        return semisoundness_depth1(
+            guarded_form, start, frontier=frontier, engine=engine, store=store
+        )
     if strategy == "bounded":
         return semisoundness_bounded(
-            guarded_form, start, limits, frontier=frontier, engine=engine
+            guarded_form,
+            start,
+            limits,
+            frontier=frontier,
+            engine=engine,
+            store=store,
+            resume=resume,
         )
     if strategy != "auto":
         raise AnalysisError(f"unknown semi-soundness strategy {strategy!r}")
 
     if guarded_form.schema_depth() <= 1:
-        return semisoundness_depth1(guarded_form, start, frontier=frontier, engine=engine)
+        return semisoundness_depth1(
+            guarded_form, start, frontier=frontier, engine=engine, store=store
+        )
 
     fragment = classify(guarded_form)
     if fragment.positive_access and limits is None:
@@ -206,5 +231,11 @@ def decide_semisoundness(
             max_sibling_copies=positive_rules_copy_bound(guarded_form)
         )
     return semisoundness_bounded(
-        guarded_form, start, limits, frontier=frontier, engine=engine
+        guarded_form,
+        start,
+        limits,
+        frontier=frontier,
+        engine=engine,
+        store=store,
+        resume=resume,
     )

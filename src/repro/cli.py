@@ -15,12 +15,23 @@ The CLI exposes the workflows a form designer needs without writing Python:
 ``guarded-forms workflow FORM.json --dot out.dot``
     extract the implied workflow, print its diagnostics and optionally export
     it to Graphviz DOT;
+``guarded-forms store info STORE.db``
+    inspect a persistent state store (row counts, owning form, resumable
+    checkpoints);
 ``guarded-forms table1``
     print the paper's complexity table.
 
 ``FORM.json`` is the JSON format of :mod:`repro.io.serialization`; built-in
-catalogue names (``leave-application``, ``tax-declaration``, …) are accepted
-wherever a file path is expected.
+catalogue names (``leave-application``, ``tax-declaration``, …, plus the
+``bench-*`` benchgen families) are accepted wherever a file path is expected.
+
+Long explorations can be persisted and resumed: ``analyze``, ``invariant``
+and ``workflow`` accept ``--store PATH`` (an sqlite state store holding
+interned shapes, canonical representatives, guard evaluations and frontier
+checkpoints) and ``--resume`` (continue an interrupted identically
+parameterised run instead of restarting).  A Ctrl-C during a store-backed
+exploration checkpoints before exiting, so ``--resume`` always has something
+to pick up.  See :mod:`repro.engine.store`.
 
 The module is usable both through the ``guarded-forms`` console script and as
 ``python -m repro``.
@@ -39,7 +50,7 @@ from repro.analysis.results import AnalysisResult, ExplorationLimits
 from repro.analysis.semisoundness import decide_semisoundness
 from repro.core.fragments import classify
 from repro.core.guarded_form import GuardedForm
-from repro.engine import STRATEGIES, ExplorationEngine
+from repro.engine import STRATEGIES, ExplorationEngine, SqliteStore, open_store
 from repro.exceptions import ReproError
 from repro.fbwis.catalog import (
     leave_application,
@@ -54,7 +65,34 @@ from repro.io.serialization import guarded_form_to_dict, load_guarded_form, save
 from repro.workflow.extraction import extract_workflow
 from repro.workflow.soundness import analyse_workflow
 
-#: Built-in forms addressable by name on the command line.
+def _bench_counter_machine() -> GuardedForm:
+    from repro.benchgen.families import counter_machine_family
+
+    return counter_machine_family(3)[0]
+
+
+def _bench_positive_deep() -> GuardedForm:
+    from repro.benchgen.families import positive_deep_family
+
+    return positive_deep_family(4, width=2)
+
+
+def _bench_positive_chain() -> GuardedForm:
+    from repro.benchgen.families import positive_chain_family
+
+    return positive_chain_family(16)
+
+
+def _bench_sat() -> GuardedForm:
+    from repro.benchgen.families import sat_completability_family
+
+    return sat_completability_family(8, seed=8)[0]
+
+
+#: Built-in forms addressable by name on the command line.  The ``bench-*``
+#: entries expose benchgen workload families (the counter machine is the
+#: deepest — its unbounded state space is the intended target for
+#: ``analyze --store … --max-states N`` / ``--resume`` sessions).
 CATALOG: dict[str, Callable[[], GuardedForm]] = {
     "leave-application": lambda: leave_application(single_period=False),
     "leave-application-finite": lambda: leave_application(single_period=True),
@@ -62,6 +100,10 @@ CATALOG: dict[str, Callable[[], GuardedForm]] = {
     "leave-application-not-semisound": lambda: leave_application_not_semisound(single_period=True),
     "tax-declaration": tax_declaration,
     "purchase-order": purchase_order,
+    "bench-counter-machine": _bench_counter_machine,
+    "bench-positive-deep": _bench_positive_deep,
+    "bench-positive-chain": _bench_positive_chain,
+    "bench-sat": _bench_sat,
 }
 
 
@@ -110,6 +152,28 @@ def _add_limit_arguments(parser: argparse.ArgumentParser) -> None:
         choices=STRATEGIES,
         default="bfs",
         help="frontier strategy of the exploration engine (default: bfs)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="back the exploration with a persistent sqlite state store at "
+        "PATH (created on first use; interned shapes, representatives, guard "
+        "evaluations and frontier checkpoints survive the process)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the checkpoint an interrupted identically "
+        "parameterised run left in --store instead of restarting",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="checkpoint a store-backed exploration every N state "
+        "expansions (default: 1000)",
     )
 
 
@@ -185,47 +249,94 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
     # one engine for both analyses: the semi-soundness pass re-explores the
     # states the completability pass interned, so its guard evaluations are
     # mostly served from the shared cache
-    engine = ExplorationEngine(form, strategy=args.frontier)
-    completability = decide_completability(
-        form, limits=limits, frontier=args.frontier, engine=engine
-    )
-    print("completability:", file=out)
-    _describe(completability, out)
-
-    exit_code = 0
-    if completability.decided and completability.answer is False:
-        exit_code = 1
-    if not completability.decided:
-        exit_code = 3
-
-    if not args.skip_semisoundness:
-        semisoundness = decide_semisoundness(
-            form, limits=limits, frontier=args.frontier, engine=engine
+    store = open_store(args.store, checkpoint_every=args.checkpoint_every)
+    engine = ExplorationEngine(form, strategy=args.frontier, store=store)
+    try:
+        completability = decide_completability(
+            form,
+            limits=limits,
+            frontier=args.frontier,
+            engine=engine,
+            resume=args.resume,
+            stop_on_complete=args.stop_on_complete,
         )
-        print("semi-soundness:", file=out)
-        _describe(semisoundness, out)
-        if semisoundness.decided and semisoundness.answer is False:
-            exit_code = max(exit_code, 1)
-        if not semisoundness.decided:
-            exit_code = max(exit_code, 3)
+        print("completability:", file=out)
+        _describe(completability, out)
 
-    stats = engine.stats_snapshot()
-    print(
-        f"engine ({args.frontier} frontier): "
-        f"{stats['formula_evaluations']} formula evaluations, "
-        f"{stats['formula_evaluations_saved']} served from guard cache "
-        f"({stats['guard_cache_hit_rate']:.1%} hit rate), "
-        f"{stats['intern_interned_states']} interned shapes",
-        file=out,
-    )
+        exit_code = 0
+        if completability.decided and completability.answer is False:
+            exit_code = 1
+        if not completability.decided:
+            exit_code = 3
+
+        if not args.skip_semisoundness:
+            semisoundness = decide_semisoundness(
+                form,
+                limits=limits,
+                frontier=args.frontier,
+                engine=engine,
+                resume=args.resume,
+            )
+            print("semi-soundness:", file=out)
+            _describe(semisoundness, out)
+            if semisoundness.decided and semisoundness.answer is False:
+                exit_code = max(exit_code, 1)
+            if not semisoundness.decided:
+                exit_code = max(exit_code, 3)
+        stats = engine.stats_snapshot()
+        print(
+            f"engine ({args.frontier} frontier): "
+            f"{stats['formula_evaluations']} formula evaluations, "
+            f"{stats['formula_evaluations_saved']} served from guard cache "
+            f"({stats['guard_cache_hit_rate']:.1%} hit rate), "
+            f"{stats['intern_interned_states']} interned shapes",
+            file=out,
+        )
+        if store.persistent:
+            print(
+                f"store ({args.store}): "
+                f"{stats['store_rows_written']} rows written in "
+                f"{stats['store_flushes']} flushes, "
+                f"{stats['store_rows_read']} rows read, "
+                f"{stats['store_checkpoint_saves']} checkpoints"
+                + (", resumed" if stats["explorations_resumed"] else ""),
+                file=out,
+            )
+    except KeyboardInterrupt:
+        # the engine checkpointed the in-flight exploration before re-raising
+        _print_interrupt_hint(args)
+        return 130
+    finally:
+        store.close()
     return exit_code
+
+
+def _print_interrupt_hint(args: argparse.Namespace) -> None:
+    if args.store is not None:
+        print(
+            f"\ninterrupted; progress checkpointed to {args.store} — "
+            "re-run with --resume to continue",
+            file=sys.stderr,
+        )
 
 
 def _cmd_invariant(args: argparse.Namespace, out) -> int:
     form = _load_form(args.form)
-    result = always_holds(
-        form, args.formula, limits=_limits_from_args(args), frontier=args.frontier
-    )
+    store = open_store(args.store, checkpoint_every=args.checkpoint_every)
+    try:
+        result = always_holds(
+            form,
+            args.formula,
+            limits=_limits_from_args(args),
+            frontier=args.frontier,
+            store=store,
+            resume=args.resume,
+        )
+    except KeyboardInterrupt:
+        _print_interrupt_hint(args)
+        return 130
+    finally:
+        store.close()
     print(f"invariant {args.formula!r} on {form.name!r}:", file=out)
     if not result.decided:
         print("  undecided within the exploration limits", file=out)
@@ -241,7 +352,20 @@ def _cmd_invariant(args: argparse.Namespace, out) -> int:
 
 def _cmd_workflow(args: argparse.Namespace, out) -> int:
     form = _load_form(args.form)
-    lts = extract_workflow(form, limits=_limits_from_args(args), frontier=args.frontier)
+    store = open_store(args.store, checkpoint_every=args.checkpoint_every)
+    try:
+        lts = extract_workflow(
+            form,
+            limits=_limits_from_args(args),
+            frontier=args.frontier,
+            store=store,
+            resume=args.resume,
+        )
+    except KeyboardInterrupt:
+        _print_interrupt_hint(args)
+        return 130
+    finally:
+        store.close()
     report = analyse_workflow(lts)
     meta = lts.state_annotations.get("__meta__", {})
     print(f"workflow implied by {form.name!r}:", file=out)
@@ -259,6 +383,30 @@ def _cmd_workflow(args: argparse.Namespace, out) -> int:
 def _cmd_table1(args: argparse.Namespace, out) -> int:
     del args
     print(render_table1(), file=out)
+    return 0
+
+
+def _cmd_store_info(args: argparse.Namespace, out) -> int:
+    path = Path(args.store)
+    if not path.exists():
+        print(f"error: no state store at {args.store}", file=sys.stderr)
+        return 2
+    store = SqliteStore(path)
+    try:
+        info = store.describe()
+    finally:
+        store.close()
+    print(f"state store {args.store}:", file=out)
+    print(f"  size on disk          : {path.stat().st_size} bytes", file=out)
+    print(f"  guarded form          : {info['form_name'] or '(none recorded)'}", file=out)
+    fingerprint = info["form_fingerprint"]
+    print(f"  form fingerprint      : {fingerprint[:16] + '…' if fingerprint else '(none)'}", file=out)
+    print(f"  layout version        : {info['schema_version'] or '(none)'}", file=out)
+    print(f"  interned shapes       : {info['interned_shapes']}", file=out)
+    print(f"  representatives       : {info['representatives']}", file=out)
+    print(f"  guard entries         : {info['guard_entries']}", file=out)
+    print(f"  checkpoints           : {info['checkpoints']}", file=out)
+    print(f"  resumable (unfinished): {info['resumable_checkpoints']}", file=out)
     return 0
 
 
@@ -284,25 +432,63 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("form", help="catalogue name or JSON file")
     render.set_defaults(handler=_cmd_render)
 
-    analyze = subparsers.add_parser("analyze", help="decide completability and semi-soundness")
+    store_epilog = (
+        "A --store PATH sqlite database persists the exploration working set "
+        "(interned shapes, canonical representatives, guard evaluations) and "
+        "frontier checkpoints.  Interrupt with Ctrl-C at any point and re-run "
+        "the same command with --resume to continue where it stopped; "
+        "'store info PATH' inspects what a store holds."
+    )
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="decide completability and semi-soundness",
+        epilog=store_epilog,
+    )
     analyze.add_argument("form", help="catalogue name or JSON file")
     analyze.add_argument(
         "--skip-semisoundness", action="store_true", help="only check completability"
     )
+    analyze.add_argument(
+        "--stop-on-complete",
+        action="store_true",
+        help="let the completability exploration return on the first "
+        "complete state instead of exhausting the budget (early exit; the "
+        "verdict is unchanged, only the effort shrinks)",
+    )
     _add_limit_arguments(analyze)
     analyze.set_defaults(handler=_cmd_analyze)
 
-    invariant = subparsers.add_parser("invariant", help="check an invariant on every reachable instance")
+    invariant = subparsers.add_parser(
+        "invariant",
+        help="check an invariant on every reachable instance",
+        epilog=store_epilog + "  (The store binds to the invariant's probe "
+        "form, so use one store file per checked formula.)",
+    )
     invariant.add_argument("form", help="catalogue name or JSON file")
     invariant.add_argument("formula", help="the invariant formula (evaluated at the root)")
     _add_limit_arguments(invariant)
     invariant.set_defaults(handler=_cmd_invariant)
 
-    workflow = subparsers.add_parser("workflow", help="extract and analyse the implied workflow")
+    workflow = subparsers.add_parser(
+        "workflow",
+        help="extract and analyse the implied workflow",
+        epilog=store_epilog,
+    )
     workflow.add_argument("form", help="catalogue name or JSON file")
     workflow.add_argument("--dot", help="write the workflow as Graphviz DOT to this file")
     _add_limit_arguments(workflow)
     workflow.set_defaults(handler=_cmd_workflow)
+
+    store = subparsers.add_parser(
+        "store", help="inspect persistent exploration state stores"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_info = store_sub.add_parser(
+        "info", help="print a store's row counts, owning form and checkpoints"
+    )
+    store_info.add_argument("store", help="path to the sqlite state store")
+    store_info.set_defaults(handler=_cmd_store_info)
 
     table1 = subparsers.add_parser("table1", help="print the paper's Table 1")
     table1.set_defaults(handler=_cmd_table1)

@@ -63,6 +63,26 @@ class Instance(LabelledTree):
         return instance
 
     @classmethod
+    def from_node_specs(
+        cls,
+        schema: Schema,
+        root_spec: "list | tuple",
+        next_id: Optional[int] = None,
+    ) -> "Instance":
+        """Rebuild an instance from id-preserving node specs (see
+        :meth:`~repro.core.tree.LabelledTree.from_node_specs`).
+
+        Used by the engine's persistent state store to restore canonical
+        representatives with the exact node ids the recorded transitions
+        reference.
+        """
+        instance = super().from_node_specs(root_spec, next_id)
+        assert isinstance(instance, Instance)
+        instance._schema = schema
+        instance.validate()
+        return instance
+
+    @classmethod
     def from_paths(cls, schema: Schema, paths: Iterable[str | SchemaPath]) -> "Instance":
         """Build an instance containing one node for every path in *paths*
         (plus all the ancestors those paths require).

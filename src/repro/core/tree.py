@@ -262,6 +262,50 @@ class LabelledTree:
             return node
         return self.node(node)
 
+    def next_node_id(self) -> int:
+        """The identifier the next added node will receive.
+
+        Exposed for the engine's persistent state store: a restored tree must
+        continue numbering nodes exactly where the persisted one stopped, so
+        that updates recorded against its successors stay replayable.
+        """
+        return self._next_id
+
+    @classmethod
+    def from_node_specs(
+        cls, root_spec: "list | tuple", next_id: Optional[int] = None
+    ) -> "LabelledTree":
+        """Rebuild a tree from ``[node_id, label, [child_spec, ...]]`` specs.
+
+        Unlike :meth:`from_nested`, node identifiers are taken from the specs
+        instead of being assigned fresh — the id-preserving counterpart of
+        :meth:`copy` used when trees are restored from a persistent store.
+        *next_id* seeds the id counter; by default it is one past the largest
+        restored id.
+
+        Raises:
+            InstanceError: on duplicate node ids in the specs.
+        """
+        tree = cls.__new__(cls)
+        tree._nodes = {}
+        tree._root = tree._grow_from_node_spec(root_spec, None)
+        tree._next_id = (
+            next_id if next_id is not None else max(tree._nodes) + 1
+        )
+        return tree
+
+    def _grow_from_node_spec(self, spec: "list | tuple", parent: Optional[Node]) -> Node:
+        node_id, label, children = spec
+        if node_id in self._nodes:
+            raise InstanceError(f"duplicate node id {node_id} in node specs")
+        node = Node(node_id, validate_label(label), parent)
+        self._nodes[node_id] = node
+        if parent is not None:
+            parent.children.append(node)
+        for child_spec in children:
+            self._grow_from_node_spec(child_spec, node)
+        return node
+
     # ------------------------------------------------------------------ #
     # copying, shapes and isomorphism
     # ------------------------------------------------------------------ #

@@ -11,7 +11,11 @@ This package is that hot path, carved out as an explicit subsystem:
   evaluation with support-projection and subtree-shape sharing;
 * :mod:`repro.engine.strategies` — pluggable frontier orders (BFS, DFS,
   completion-guided best-first);
-* :mod:`repro.engine.engine` — :class:`ExplorationEngine`, tying the three
+* :mod:`repro.engine.store` — persistent state stores
+  (:class:`InMemoryStore` / :class:`SqliteStore`): interned shapes, canonical
+  representatives, guard values and resumable exploration checkpoints on
+  disk, with write batching and LRU read caches;
+* :mod:`repro.engine.engine` — :class:`ExplorationEngine`, tying them
   together and producing :class:`EngineGraph` / legacy-compatible graphs.
 
 The legacy entry points ``explore_depth1`` / ``explore_bounded`` in
@@ -25,6 +29,14 @@ from repro.engine.interning import (
     ShapeInterner,
     StateId,
     map_isomorphism,
+)
+from repro.engine.store import (
+    InMemoryStore,
+    LRUCache,
+    SqliteStore,
+    StateStore,
+    exploration_run_key,
+    open_store,
 )
 from repro.engine.strategies import (
     STRATEGIES,
@@ -40,6 +52,12 @@ __all__ = [
     "ExplorationEngine",
     "EngineGraph",
     "engine_for",
+    "StateStore",
+    "InMemoryStore",
+    "SqliteStore",
+    "LRUCache",
+    "open_store",
+    "exploration_run_key",
     "GuardCache",
     "support_labels",
     "navigates_upward",

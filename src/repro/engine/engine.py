@@ -37,6 +37,18 @@ arising while replaying a run from the caller's start instance.
 explicit isomorphism (:func:`~repro.engine.interning.map_isomorphism`) before
 appending it, which keeps every extracted run replayable — and valid, since
 guard values are isomorphism-invariant.
+
+**Persistence and resume.**  The engine's working set can be backed by a
+:class:`~repro.engine.store.StateStore` (``store=``).  With a persistent
+backend (:class:`~repro.engine.store.SqliteStore`) every interned shape,
+canonical representative (node ids included) and guard evaluation is written
+through in batches, and :meth:`ExplorationEngine.explore` checkpoints its
+frontier every ``checkpoint_every`` expansions — so an interrupted
+exploration (``KeyboardInterrupt`` or an explicit ``step_limit``) can be
+picked up by a *fresh process* with ``explore(resume=True)`` and finish with
+exactly the states, transitions and truncation flags of an uninterrupted
+run.  The differential suite in ``tests/engine/test_store_parity.py`` pins
+that equivalence against the in-memory engine for every benchgen family.
 """
 
 from __future__ import annotations
@@ -55,8 +67,15 @@ from repro.engine.interning import (
     StateId,
     map_isomorphism,
 )
+from repro.engine.store import InMemoryStore, StateStore, exploration_run_key
 from repro.engine.strategies import FrontierStrategy, completion_distance, make_strategy
-from repro.exceptions import AnalysisError
+from repro.exceptions import AnalysisError, ExplorationInterrupted
+from repro.io.serialization import (
+    decode_instance_with_ids,
+    decode_update,
+    encode_instance_with_ids,
+    encode_update,
+)
 
 #: A memoized successor candidate:
 #: (update, successor state id, is_addition, successor size, sibling copies
@@ -90,6 +109,12 @@ class EngineGraph:
         self.truncated_by_size = False
         self.truncated_by_copies = False
         self.skipped_successors = 0
+        #: Whether the exploration returned early because ``stop_on_complete``
+        #: found a complete state (distinct from truncation: nothing was
+        #: *skipped*, the remaining frontier was simply not needed).
+        self.stopped_on_complete = False
+        #: Whether this graph continued from a persisted checkpoint.
+        self.resumed = False
 
     # ------------------------------------------------------------------ #
     # state access
@@ -234,8 +259,12 @@ def engine_for(
     guarded_form: GuardedForm,
     engine: Optional["ExplorationEngine"],
     frontier: Optional[str] = None,
+    store: Optional[StateStore] = None,
 ) -> "ExplorationEngine":
     """The engine to analyse *guarded_form* with: the caller's, or a fresh one.
+
+    A *store* is only consulted when a fresh engine is built; a supplied
+    engine keeps whatever store it was constructed with.
 
     Raises:
         AnalysisError: when the supplied engine was built for a different
@@ -250,7 +279,7 @@ def engine_for(
                 "engines cache per-form state and cannot be shared across forms"
             )
         return engine
-    return ExplorationEngine(guarded_form, strategy=frontier or "bfs")
+    return ExplorationEngine(guarded_form, strategy=frontier or "bfs", store=store)
 
 
 _ENGINE_STATE_GRAPH_CLASS = None
@@ -293,14 +322,23 @@ class ExplorationEngine:
         guarded_form: GuardedForm,
         limits=None,
         strategy: str = "bfs",
+        store: Optional[StateStore] = None,
+        checkpoint_every: int = 1000,
     ) -> None:
         self.guarded_form = guarded_form
         self.strategy = strategy
         self._limits = limits
-        self.interner = ShapeInterner()
+        self.store = store if store is not None else InMemoryStore()
+        self.store.attach(guarded_form)
+        store_cadence = getattr(self.store, "checkpoint_every", None)
+        self.checkpoint_every = max(
+            1, store_cadence if store_cadence is not None else checkpoint_every
+        )
+        backing = self.store if self.store.persistent else None
+        self.interner = ShapeInterner(store=backing)
         self.shaper = IncrementalShaper(self.interner)
-        self.guards = GuardCache(guarded_form)
-        self._reps: dict = {}  # StateId -> canonical representative Instance
+        self.guards = GuardCache(guarded_form, store=backing)
+        self._reps: dict = {}  # StateId -> resident representative Instance
         self._shape_maps: dict = {}  # StateId -> {node_id: consed subtree Shape}
         self._expansions: dict = {}  # StateId -> (candidates, guard queries)
         self._d1_expansions: dict = {}  # frozenset -> (moves, guard queries)
@@ -308,24 +346,80 @@ class ExplorationEngine:
         self.expansions_computed = 0
         self.expansions_reused = 0
         self.heuristic_evaluations = 0
+        self.explorations_resumed = 0
+        if backing is not None:
+            self._hydrate()
+
+    def _hydrate(self) -> None:
+        """Reload persisted shapes and guard values from the store.
+
+        Representatives are *not* preloaded; :meth:`representative` fetches
+        them lazily (through the store's LRU cache), so attaching to a large
+        store stays cheap in memory until states are actually touched.
+        """
+        for state_id, shape in self.store.load_shapes():
+            self.interner.restore(state_id, shape)
+        for key, value in self.store.load_guards():
+            self.guards.restore(key, value)
 
     # ------------------------------------------------------------------ #
     # registry
     # ------------------------------------------------------------------ #
 
     def representative(self, state_id: StateId) -> Instance:
-        """The canonical representative instance of a state (shared)."""
-        return self._reps[state_id]
+        """The canonical representative instance of a state (shared).
+
+        Served from the resident dict; on a store-backed engine, states not
+        resident (hydrated lazily after a resume, or evicted) are decoded
+        from the store with their original node ids.
+        """
+        rep = self._reps.get(state_id)
+        if rep is None:
+            blob = self.store.get_representative(state_id)
+            if blob is None:
+                raise AnalysisError(
+                    f"state {state_id} has no canonical representative (not "
+                    "registered by this engine and absent from its store)"
+                )
+            rep = decode_instance_with_ids(blob, self.guarded_form.schema)
+            self._reps[state_id] = rep
+        return rep
+
+    def evict_representatives(self, keep: int = 0) -> int:
+        """Drop resident representatives (and their shape maps) beyond *keep*.
+
+        Only meaningful on a store-backed engine, where evicted states are
+        transparently reloaded on demand; returns the number evicted.  The
+        property suite uses this to show eviction never changes interner ids.
+        """
+        if not self.store.persistent:
+            return 0
+        evictable = sorted(self._reps)[keep:]
+        for state_id in evictable:
+            self._reps.pop(state_id, None)
+            self._shape_maps.pop(state_id, None)
+        return len(evictable)
 
     def _register(self, instance: Instance, shape_map=None) -> StateId:
         if shape_map is None:
             shape_map = self.shaper.full_map(instance)
         shape = shape_map[instance.root.node_id]
-        state_id, _ = self.interner.state_id(shape)
-        if state_id not in self._reps:
+        state_id, is_new = self.interner.state_id(shape)
+        if is_new:
             self._reps[state_id] = instance
             self._shape_maps[state_id] = shape_map
+            if self.store.persistent:
+                self.store.put_representative(state_id, encode_instance_with_ids(instance))
         return state_id
+
+    def _shape_map_of(self, state_id: StateId) -> dict:
+        """The node->shape map of a state's representative (rebuilt on demand
+        for states reloaded from the store)."""
+        shape_map = self._shape_maps.get(state_id)
+        if shape_map is None:
+            shape_map = self.shaper.full_map(self.representative(state_id))
+            self._shape_maps[state_id] = shape_map
+        return shape_map
 
     def _default_limits(self):
         if self._limits is None:
@@ -342,7 +436,7 @@ class ExplorationEngine:
         score = self._scores.get(state_id)
         if score is None:
             score = completion_distance(
-                self._reps[state_id].root, self.guarded_form.completion
+                self.representative(state_id).root, self.guarded_form.completion
             )
             self._scores[state_id] = score
             self.heuristic_evaluations += 1
@@ -373,6 +467,10 @@ class ExplorationEngine:
         start: Optional[Instance] = None,
         limits=None,
         strategy: Optional[str] = None,
+        *,
+        stop_on_complete: bool = False,
+        resume: bool = False,
+        step_limit: Optional[int] = None,
     ) -> EngineGraph:
         """Explore the reachable instances of the guarded form.
 
@@ -380,41 +478,131 @@ class ExplorationEngine:
         engine's default) :class:`~repro.analysis.results.ExplorationLimits`
         bound the search exactly as in the legacy explorer, and the graph's
         truncation flags record which limit was hit.
+
+        Args:
+            stop_on_complete: return as soon as a state satisfying the
+                completion formula is discovered, instead of exhausting the
+                budget (the graph's ``stopped_on_complete`` flag records
+                this).  The default — off — explores exhaustively, which the
+                parity suites pin.
+            resume: continue from the checkpoint a previous identical
+                exploration (same start shape, limits, strategy and
+                early-exit policy) left in the engine's store; ignored when
+                no such checkpoint exists.
+            step_limit: expand at most this many states in this call, then
+                checkpoint and raise
+                :class:`~repro.exceptions.ExplorationInterrupted`.
+
+        A ``KeyboardInterrupt`` during the exploration also checkpoints
+        before propagating, so a Ctrl-C'd CLI ``analyze --store`` run can be
+        picked up with ``--resume``.
         """
         limits = limits if limits is not None else self._default_limits()
         form = self.guarded_form
         start_instance = (start if start is not None else form.initial_instance()).copy()
-        initial_id = self._register(start_instance)
-        graph = EngineGraph(self, form, initial_id, start_instance)
-        frontier = self._make_frontier(strategy)
-        frontier.push(initial_id)
+        strategy_name = strategy or self.strategy
+        run_key = exploration_run_key(
+            start_instance.shape(), limits, strategy_name, stop_on_complete
+        )
+        checkpoint = self.store.load_checkpoint(run_key) if resume else None
+        if checkpoint is not None:
+            graph, frontier = self._restore_exploration(checkpoint, start_instance, strategy)
+            self.explorations_resumed += 1
+        else:
+            initial_id = self._register(start_instance)
+            graph = EngineGraph(self, form, initial_id, start_instance)
+            frontier = self._make_frontier(strategy)
+            frontier.push(initial_id)
+            if stop_on_complete and self.guards.completion(
+                initial_id, self.representative(initial_id).root
+            ):
+                graph.stopped_on_complete = True
+                self._finish_exploration(run_key, graph)
+                return graph
+        if checkpoint is not None and checkpoint.get("stopped_on_complete"):
+            return graph
         states = graph._states
-        while frontier:
-            state_id = frontier.pop()
-            edges: list = []
-            for update, succ_id, is_addition, succ_size, copies_before in self._expand(state_id):
-                if is_addition:
-                    if not limits.allows_instance_size(succ_size):
-                        graph.truncated_by_size = True
-                        graph.skipped_successors += 1
-                        continue
-                    if (
-                        limits.max_sibling_copies is not None
-                        and copies_before >= limits.max_sibling_copies
-                    ):
-                        graph.truncated_by_copies = True
-                        graph.skipped_successors += 1
-                        continue
-                if succ_id not in states:
-                    if len(states) >= limits.max_states:
-                        graph.truncated_by_states = True
-                        graph.skipped_successors += 1
-                        continue
-                    states.add(succ_id)
+        expanded_this_call = 0
+        in_flight: Optional[StateId] = None
+        try:
+            while frontier:
+                if step_limit is not None and expanded_this_call >= step_limit:
+                    self._save_checkpoint(run_key, graph, frontier)
+                    raise ExplorationInterrupted(
+                        f"exploration paused after {expanded_this_call} expansions "
+                        f"({len(states)} states, {len(frontier)} frontier entries); "
+                        "resume with explore(resume=True)",
+                        states_explored=len(states),
+                        frontier_size=len(frontier),
+                    )
+                state_id = frontier.pop()
+                if state_id in graph.transitions:
+                    continue  # an interrupted commit can leave a duplicate queued
+                in_flight = state_id
+                # the expansion accumulates into locals and commits to the
+                # graph at the end, so a KeyboardInterrupt mid-expansion
+                # leaves the graph at a clean state boundary (the handler
+                # requeues the popped state)
+                edges: list = []
+                discovered: list = []
+                fresh: set = set()
+                truncated_by_size = truncated_by_states = truncated_by_copies = False
+                skipped = 0
+                found_complete = False
+                for update, succ_id, is_addition, succ_size, copies_before in self._expand(state_id):
+                    if is_addition:
+                        if not limits.allows_instance_size(succ_size):
+                            truncated_by_size = True
+                            skipped += 1
+                            continue
+                        if (
+                            limits.max_sibling_copies is not None
+                            and copies_before >= limits.max_sibling_copies
+                        ):
+                            truncated_by_copies = True
+                            skipped += 1
+                            continue
+                    if succ_id not in states and succ_id not in fresh:
+                        if len(states) + len(fresh) >= limits.max_states:
+                            truncated_by_states = True
+                            skipped += 1
+                            continue
+                        fresh.add(succ_id)
+                        discovered.append((succ_id, update))
+                        if stop_on_complete and self.guards.completion(
+                            succ_id, self.representative(succ_id).root
+                        ):
+                            found_complete = True
+                    edges.append((update, succ_id))
+                # commit order matters under a mid-commit interrupt: a
+                # successor entered into `states` last is either fully
+                # registered or still discoverable by the re-expansion
+                for succ_id, update in discovered:
                     graph.parents[succ_id] = (state_id, update)
                     frontier.push(succ_id)
-                edges.append((update, succ_id))
-            graph.transitions[state_id] = edges
+                    states.add(succ_id)
+                graph.truncated_by_size |= truncated_by_size
+                graph.truncated_by_states |= truncated_by_states
+                graph.truncated_by_copies |= truncated_by_copies
+                graph.skipped_successors += skipped
+                graph.transitions[state_id] = edges
+                in_flight = None
+                expanded_this_call += 1
+                if found_complete:
+                    graph.stopped_on_complete = True
+                    break
+                if (
+                    self.store.persistent
+                    and expanded_this_call % self.checkpoint_every == 0
+                ):
+                    self._save_checkpoint(run_key, graph, frontier)
+        except KeyboardInterrupt:
+            if in_flight is not None and in_flight not in graph.transitions:
+                frontier.requeue(in_flight)  # re-expand it first on resume
+            self._save_checkpoint(run_key, graph, frontier)
+            self.store.flush()
+            raise
+        self._finish_exploration(run_key, graph)
         return graph
 
     def _expand(self, state_id: StateId) -> list:
@@ -430,8 +618,8 @@ class ExplorationEngine:
             self.guards.credit_reuse(guard_queries)
             self.expansions_reused += 1
             return candidates
-        instance = self._reps[state_id]
-        shape_map = self._shape_maps[state_id]
+        instance = self.representative(state_id)
+        shape_map = self._shape_map_of(state_id)
         schema = self.guarded_form.schema
         guards = self.guards
         queries_before = guards.hits + guards.misses
@@ -460,10 +648,12 @@ class ExplorationEngine:
 
     def _successor_id(self, instance: Instance, shape_map: dict, update: Update) -> StateId:
         successor, succ_map, root_shape = self.shaper.successor(instance, shape_map, update)
-        state_id, _ = self.interner.state_id(root_shape)
-        if state_id not in self._reps:
+        state_id, is_new = self.interner.state_id(root_shape)
+        if is_new:
             self._reps[state_id] = successor
             self._shape_maps[state_id] = succ_map
+            if self.store.persistent:
+                self.store.put_representative(state_id, encode_instance_with_ids(successor))
         return state_id
 
     def complete_ids(self, graph: EngineGraph) -> set:
@@ -472,8 +662,87 @@ class ExplorationEngine:
         return {
             state_id
             for state_id in graph.states
-            if guards.completion(state_id, self._reps[state_id].root)
+            if guards.completion(state_id, self.representative(state_id).root)
         }
+
+    # ------------------------------------------------------------------ #
+    # checkpointing (store-backed interruption and resume)
+    # ------------------------------------------------------------------ #
+
+    def _save_checkpoint(self, run_key: str, graph: EngineGraph, frontier) -> None:
+        """Snapshot an in-flight exploration into the store.
+
+        Checkpoints are only taken between whole state expansions, so the
+        transitions recorded for every expanded state are complete; the
+        frontier is saved in re-push order (see
+        :meth:`~repro.engine.strategies.FrontierStrategy.pending`).
+        """
+        payload = {
+            "version": 1,
+            "done": not frontier,
+            "initial_id": graph.initial_id,
+            "start_instance": encode_instance_with_ids(graph.start_instance),
+            "states": sorted(graph._states),
+            "frontier": frontier.pending(),
+            "transitions": [
+                [source, [[encode_update(update), target] for update, target in edges]]
+                for source, edges in graph.transitions.items()
+            ],
+            "parents": [
+                [child, parent, encode_update(update)]
+                for child, (parent, update) in graph.parents.items()
+            ],
+            "truncated_by_states": graph.truncated_by_states,
+            "truncated_by_size": graph.truncated_by_size,
+            "truncated_by_copies": graph.truncated_by_copies,
+            "skipped_successors": graph.skipped_successors,
+            "stopped_on_complete": graph.stopped_on_complete,
+        }
+        self.store.save_checkpoint(run_key, payload)
+
+    def _restore_exploration(
+        self, checkpoint: dict, start_instance: Instance, strategy: Optional[str]
+    ) -> tuple[EngineGraph, FrontierStrategy]:
+        """Rebuild the graph and frontier an interrupted exploration saved."""
+        persisted_start = decode_instance_with_ids(
+            checkpoint["start_instance"], self.guarded_form.schema
+        )
+        del start_instance  # isomorphic to the persisted one (same run key)
+        graph = EngineGraph(
+            self, self.guarded_form, checkpoint["initial_id"], persisted_start
+        )
+        graph._states = set(checkpoint["states"])
+        graph.transitions = {
+            source: [(decode_update(update), target) for update, target in edges]
+            for source, edges in checkpoint["transitions"]
+        }
+        graph.parents = {
+            child: (parent, decode_update(update))
+            for child, parent, update in checkpoint["parents"]
+        }
+        graph.truncated_by_states = checkpoint["truncated_by_states"]
+        graph.truncated_by_size = checkpoint["truncated_by_size"]
+        graph.truncated_by_copies = checkpoint["truncated_by_copies"]
+        graph.skipped_successors = checkpoint["skipped_successors"]
+        graph.stopped_on_complete = checkpoint.get("stopped_on_complete", False)
+        graph.resumed = True
+        frontier = self._make_frontier(strategy)
+        for state_id in checkpoint["frontier"]:
+            frontier.push(state_id)
+        return graph, frontier
+
+    def _finish_exploration(self, run_key: str, graph: EngineGraph) -> None:
+        """Flush pending rows and mark the run's checkpoint as finished.
+
+        A finished checkpoint is kept (marked ``done``) rather than deleted:
+        resuming it later returns the completed graph immediately, which is
+        what lets a re-run ``analyze --resume`` skip a finished sweep.
+        """
+        if not self.store.persistent and self.store.load_checkpoint(run_key) is None:
+            return  # pure in-memory run that was never interrupted: no trace
+        empty = self._make_frontier("bfs")
+        self._save_checkpoint(run_key, graph, empty)
+        self.store.flush()
 
     # ------------------------------------------------------------------ #
     # depth-1 exploration (canonical label-set states, Lemma 4.3)
@@ -518,6 +787,8 @@ class ExplorationEngine:
                 if transition.target not in graph.states:
                     graph.states.add(transition.target)
                     frontier.push(transition.target)
+        if self.store.persistent:
+            self.store.flush()  # depth-1 runs persist guard values, not checkpoints
         return graph
 
     def _expand_depth1(self, state: frozenset) -> list:
@@ -564,4 +835,7 @@ class ExplorationEngine:
         snapshot["heuristic_evaluations"] = self.heuristic_evaluations
         snapshot["registered_states"] = len(self._reps)
         snapshot["frontier_strategy"] = self.strategy
+        snapshot["explorations_resumed"] = self.explorations_resumed
+        for key, value in self.store.stats().items():
+            snapshot[f"store_{key}"] = value
         return snapshot

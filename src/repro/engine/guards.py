@@ -104,7 +104,7 @@ def navigates_upward(formula: "Formula | PathExpr") -> bool:
 class GuardCache:
     """Memoizes access-rule and completion-formula evaluations for one form."""
 
-    def __init__(self, guarded_form: GuardedForm) -> None:
+    def __init__(self, guarded_form: GuardedForm, store=None) -> None:
         self._form = guarded_form
         self._rules = guarded_form.rules
         self._cache: dict = {}
@@ -112,8 +112,12 @@ class GuardCache:
         self._rule_info: dict = {}
         completion = guarded_form.completion
         self._completion_support = support_labels(completion)
+        #: Persistent write-through sink (a persistent
+        #: :class:`~repro.engine.store.StateStore`), or ``None``.
+        self._store = store
         self.hits = 0
         self.misses = 0
+        self.entries_restored = 0
 
     # ------------------------------------------------------------------ #
     # rule metadata
@@ -136,7 +140,14 @@ class GuardCache:
             self.misses += 1
             value = evaluate(node, rule)
             self._cache[key] = value
+            if self._store is not None:
+                self._store.put_guard(key, value)
             return value
+
+    def restore(self, key: tuple, value: bool) -> None:
+        """Seed one persisted guard entry (hydration; not written back)."""
+        self._cache[key] = value
+        self.entries_restored += 1
 
     # ------------------------------------------------------------------ #
     # bounded-explorer guards (arbitrary depth, subtree/state keyed)
@@ -191,6 +202,8 @@ class GuardCache:
             materialised = depth1_state_to_instance(self._form.schema, projection)
             value = evaluate(materialised.root, rule)
             self._cache[key] = value
+            if self._store is not None:
+                self._store.put_guard(key, value)
             return value
 
     def d1_addition_allowed(self, state: frozenset, label: str) -> bool:
@@ -232,4 +245,5 @@ class GuardCache:
             "guard_cache_hit_rate": round(self.hit_rate, 4),
             "formula_evaluations": self.misses,
             "formula_evaluations_saved": self.hits,
+            "guard_entries_restored": self.entries_restored,
         }

@@ -51,14 +51,18 @@ class ShapeInterner:
     recovers the shape of an id.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store=None) -> None:
         self._cons: dict = {}  # Shape -> canonical Shape object
         self._ids: dict = {}  # canonical Shape -> StateId
         self._shapes: list = []  # StateId -> canonical Shape
+        #: Persistent write-through sink (a persistent
+        #: :class:`~repro.engine.store.StateStore`), or ``None``.
+        self._store = store
         self.cons_hits = 0
         self.cons_misses = 0
         self.state_hits = 0
         self.state_misses = 0
+        self.states_restored = 0
 
     def cons(self, shape: Shape) -> Shape:
         """Return the canonical object for *shape* (hash-consing)."""
@@ -80,7 +84,28 @@ class ShapeInterner:
         new_id = len(self._shapes)
         self._ids[shape] = new_id
         self._shapes.append(shape)
+        if self._store is not None:
+            self._store.put_shape(new_id, shape)
         return new_id, True
+
+    def restore(self, state_id: StateId, shape: Shape) -> None:
+        """Re-intern a persisted shape under its recorded id (hydration).
+
+        Rows must be restored in id order (ids are dense), before any new
+        shape is interned; restored rows are not written back to the store.
+
+        Raises:
+            ValueError: when *state_id* is not the next dense id.
+        """
+        if state_id != len(self._shapes):
+            raise ValueError(
+                f"state ids must be restored densely in order; expected "
+                f"{len(self._shapes)}, got {state_id}"
+            )
+        canonical = self.cons(shape)
+        self._ids[canonical] = state_id
+        self._shapes.append(canonical)
+        self.states_restored += 1
 
     def lookup(self, shape: Shape) -> Optional[StateId]:
         """The id of *shape* if it was interned, else ``None``."""
@@ -102,6 +127,7 @@ class ShapeInterner:
             "state_misses": self.state_misses,
             "cons_hits": self.cons_hits,
             "cons_misses": self.cons_misses,
+            "states_restored": self.states_restored,
         }
 
 

@@ -1,0 +1,535 @@
+"""Persistent state stores for the exploration engine.
+
+The engine's working set — interned shapes, canonical representative
+instances, guard-cache entries and in-flight exploration checkpoints — lives
+in in-memory dicts by default, which caps ``max_states`` at whatever fits in
+RAM and ties an exploration to one process.  This module puts a storage
+protocol underneath:
+
+* :class:`StateStore` — the backend interface.  The engine *writes through*
+  to it (every newly interned shape, registered representative and evaluated
+  guard is offered to the store) and *hydrates* from it on construction, so a
+  fresh process attached to a populated store resumes with the exact state
+  ids, representatives (node-id-for-node-id) and guard values of the process
+  that wrote it.
+
+* :class:`InMemoryStore` — the extracted default behaviour.  Nothing is
+  serialised; shapes/representatives/guards stay solely in the engine's own
+  structures (``persistent`` is ``False``, so the engine skips the
+  write-through entirely and the hot path is unchanged).  Exploration
+  checkpoints *are* kept, in a plain dict, so step-budgeted explorations can
+  be interrupted and resumed within one process without a database.
+
+* :class:`SqliteStore` — an sqlite3-backed store.  Writes are batched
+  (``batch_size`` buffered rows per ``executemany`` flush) and reads of
+  shapes/representatives go through an :class:`LRUCache`, so the exploration
+  hot path neither serialises per row nor touches the database for recently
+  used states.  A fingerprint of the guarded form is recorded on first attach
+  and verified on every later one — a store can never silently answer for the
+  wrong form.
+
+Checkpoints are keyed by a digest of the exploration parameters (start
+shape, limits, strategy, early-exit flag), so several explorations — e.g.
+the per-suspicious-state completability sweeps of a semi-soundness analysis —
+can each keep their own resumable frontier in one store.
+
+Store counters (row reads/writes, cache hits/misses, flushes) surface in
+``AnalysisResult.stats["engine"]`` under ``store_*`` keys via
+:meth:`ExplorationEngine.stats_snapshot`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from collections import OrderedDict
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.core.guarded_form import GuardedForm
+from repro.core.tree import Shape
+from repro.engine.interning import StateId
+from repro.exceptions import StoreError
+from repro.io.serialization import (
+    decode_guard_key,
+    decode_shape,
+    encode_guard_key,
+    encode_shape,
+    form_fingerprint,
+)
+
+#: Version stamp written to store metadata; bumped on layout changes.
+STORE_SCHEMA_VERSION = "1"
+
+
+class LRUCache:
+    """A small least-recently-used mapping with hit/miss counters."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("LRU cache capacity must be positive")
+        self.capacity = capacity
+        self._items: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key):
+        """The cached value, or ``None`` (counted as a miss)."""
+        try:
+            self._items.move_to_end(key)
+        except KeyError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self._items[key]
+
+    def put(self, key, value) -> None:
+        """Insert/refresh an entry, evicting the least recently used one."""
+        self._items[key] = value
+        self._items.move_to_end(key)
+        if len(self._items) > self.capacity:
+            self._items.popitem(last=False)
+            self.evictions += 1
+
+    def evict(self, key) -> None:
+        """Drop one entry if present (used by the eviction property tests)."""
+        self._items.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._items.clear()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key) -> bool:
+        return key in self._items
+
+
+class StateStore:
+    """Backend interface for persisting engine state.
+
+    ``persistent`` tells the engine whether write-through and hydration are
+    worthwhile; the in-memory default returns ``False`` and the engine then
+    skips every serialisation on the hot path.
+    """
+
+    #: Whether rows written here survive the engine (and the process).
+    persistent = False
+
+    #: When set, overrides the engine's ``checkpoint_every`` cadence for
+    #: explorations backed by this store (the CLI plumbs its
+    #: ``--checkpoint-every`` through here).
+    checkpoint_every: Optional[int] = None
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def attach(self, guarded_form: GuardedForm) -> None:
+        """Bind the store to *guarded_form*, verifying any recorded identity.
+
+        Raises:
+            StoreError: when the store already belongs to a different form.
+        """
+
+    def flush(self) -> None:
+        """Persist all buffered writes."""
+
+    def close(self) -> None:
+        """Flush and release the backing resources."""
+
+    # -- interned shapes ----------------------------------------------- #
+
+    def put_shape(self, state_id: StateId, shape: Shape) -> None:
+        """Record a newly interned full-state shape."""
+
+    def load_shapes(self) -> Iterator[tuple[StateId, Shape]]:
+        """All persisted ``(state id, shape)`` rows, ordered by id."""
+        return iter(())
+
+    # -- canonical representatives ------------------------------------- #
+
+    def put_representative(self, state_id: StateId, blob: str) -> None:
+        """Record the serialised canonical representative of a state."""
+
+    def get_representative(self, state_id: StateId) -> Optional[str]:
+        """The serialised representative of a state, or ``None``."""
+        return None
+
+    # -- guard-cache entries ------------------------------------------- #
+
+    def put_guard(self, key: tuple, value: bool) -> None:
+        """Record one memoized guard evaluation."""
+
+    def load_guards(self) -> Iterator[tuple[tuple, bool]]:
+        """All persisted ``(key, value)`` guard entries."""
+        return iter(())
+
+    # -- exploration checkpoints --------------------------------------- #
+
+    def save_checkpoint(self, run_key: str, payload: dict) -> None:
+        """Persist the frontier/graph snapshot of one exploration."""
+
+    def load_checkpoint(self, run_key: str) -> Optional[dict]:
+        """The last snapshot saved under *run_key*, or ``None``."""
+        return None
+
+    def clear_checkpoint(self, run_key: str) -> None:
+        """Drop the snapshot saved under *run_key*."""
+
+    # -- reporting ------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        """Counter snapshot, merged into the engine's ``store_*`` stats."""
+        return {"backend": type(self).__name__}
+
+    def describe(self) -> dict:
+        """Row counts and identity metadata (the ``store info`` CLI view)."""
+        return {"backend": type(self).__name__, "persistent": self.persistent}
+
+
+class InMemoryStore(StateStore):
+    """The default, process-local backend (current behaviour, extracted).
+
+    Shapes, representatives and guard values live only in the engine's own
+    dicts; this store merely keeps exploration checkpoints so step-budgeted
+    explorations remain resumable inside one process.
+    """
+
+    persistent = False
+
+    def __init__(self) -> None:
+        self._checkpoints: dict[str, dict] = {}
+        self.checkpoint_saves = 0
+
+    def attach(self, guarded_form: GuardedForm) -> None:
+        del guarded_form  # nothing to verify: the store dies with the engine
+
+    def save_checkpoint(self, run_key: str, payload: dict) -> None:
+        self._checkpoints[run_key] = payload
+        self.checkpoint_saves += 1
+
+    def load_checkpoint(self, run_key: str) -> Optional[dict]:
+        return self._checkpoints.get(run_key)
+
+    def clear_checkpoint(self, run_key: str) -> None:
+        self._checkpoints.pop(run_key, None)
+
+    def stats(self) -> dict:
+        return {
+            "backend": "memory",
+            "checkpoint_saves": self.checkpoint_saves,
+        }
+
+    def describe(self) -> dict:
+        return {
+            "backend": "memory",
+            "persistent": False,
+            "checkpoints": len(self._checkpoints),
+        }
+
+
+class SqliteStore(StateStore):
+    """An sqlite3-backed :class:`StateStore` with batching and LRU reads.
+
+    Args:
+        path: database file (created on demand; ``":memory:"`` works too).
+        batch_size: buffered rows across all tables before an automatic
+            flush; checkpoint saves always flush first so the database is
+            consistent at every resume point.
+        cache_size: capacity of each of the shape and representative LRU
+            read caches.
+    """
+
+    persistent = True
+
+    _TABLES = (
+        "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)",
+        "CREATE TABLE IF NOT EXISTS shapes (id INTEGER PRIMARY KEY, shape TEXT NOT NULL)",
+        "CREATE TABLE IF NOT EXISTS representatives (id INTEGER PRIMARY KEY, blob TEXT NOT NULL)",
+        "CREATE TABLE IF NOT EXISTS guards (key TEXT PRIMARY KEY, value INTEGER NOT NULL)",
+        "CREATE TABLE IF NOT EXISTS checkpoints (run_key TEXT PRIMARY KEY, payload TEXT NOT NULL)",
+    )
+
+    def __init__(
+        self,
+        path: "str | Path",
+        batch_size: int = 512,
+        cache_size: int = 8192,
+        checkpoint_every: Optional[int] = None,
+    ) -> None:
+        self.path = str(path)
+        self.batch_size = max(1, batch_size)
+        self.checkpoint_every = checkpoint_every
+        try:
+            self._conn = sqlite3.connect(self.path)
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            for statement in self._TABLES:
+                self._conn.execute(statement)
+            self._conn.commit()
+        except sqlite3.DatabaseError as exc:
+            raise StoreError(f"{self.path} is not a usable sqlite state store: {exc}") from exc
+        # write buffers are keyed dicts, so reads can be served from them
+        # without forcing a premature flush (INSERT OR REPLACE semantics)
+        self._pending_shapes: dict[int, Shape] = {}
+        self._pending_reps: dict[int, str] = {}
+        self._pending_guards: dict[tuple, bool] = {}
+        self.shape_cache = LRUCache(cache_size)
+        self.representative_cache = LRUCache(cache_size)
+        self.rows_written = 0
+        self.rows_read = 0
+        self.flushes = 0
+        self.checkpoint_saves = 0
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def attach(self, guarded_form: GuardedForm) -> None:
+        version = self._get_meta("schema_version")
+        if version is not None and version != STORE_SCHEMA_VERSION:
+            raise StoreError(
+                f"state store {self.path} uses layout version {version}, "
+                f"this build expects {STORE_SCHEMA_VERSION}"
+            )
+        fingerprint = form_fingerprint(guarded_form)
+        recorded = self._get_meta("form_fingerprint")
+        if recorded is not None and recorded != fingerprint:
+            raise StoreError(
+                f"state store {self.path} belongs to guarded form "
+                f"{self._get_meta('form_name')!r}, not {guarded_form.name!r}; "
+                "its shapes, guard values and checkpoints cannot be reused"
+            )
+        if recorded is None:
+            self._set_meta("schema_version", STORE_SCHEMA_VERSION)
+            self._set_meta("form_fingerprint", fingerprint)
+            self._set_meta("form_name", guarded_form.name)
+            self._conn.commit()
+
+    def flush(self) -> None:
+        if not (self._pending_shapes or self._pending_reps or self._pending_guards):
+            return
+        if self._pending_shapes:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO shapes (id, shape) VALUES (?, ?)",
+                [(sid, encode_shape(shape)) for sid, shape in self._pending_shapes.items()],
+            )
+            self._pending_shapes.clear()
+        if self._pending_reps:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO representatives (id, blob) VALUES (?, ?)",
+                list(self._pending_reps.items()),
+            )
+            self._pending_reps.clear()
+        if self._pending_guards:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO guards (key, value) VALUES (?, ?)",
+                [(encode_guard_key(key), int(value)) for key, value in self._pending_guards.items()],
+            )
+            self._pending_guards.clear()
+        self._conn.commit()
+        self.flushes += 1
+
+    def close(self) -> None:
+        self.flush()
+        self._conn.close()
+
+    def _pending_rows(self) -> int:
+        return (
+            len(self._pending_shapes)
+            + len(self._pending_reps)
+            + len(self._pending_guards)
+        )
+
+    def _maybe_flush(self) -> None:
+        if self._pending_rows() >= self.batch_size:
+            self.flush()
+
+    # -- meta ----------------------------------------------------------- #
+
+    def _get_meta(self, key: str) -> Optional[str]:
+        row = self._conn.execute("SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return row[0] if row else None
+
+    def _set_meta(self, key: str, value: str) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)", (key, value)
+        )
+
+    # -- interned shapes ----------------------------------------------- #
+
+    def put_shape(self, state_id: StateId, shape: Shape) -> None:
+        self._pending_shapes[state_id] = shape
+        self.shape_cache.put(state_id, shape)
+        self.rows_written += 1
+        self._maybe_flush()
+
+    def get_shape(self, state_id: StateId) -> Optional[Shape]:
+        """One persisted shape by id (LRU-cached)."""
+        cached = self.shape_cache.get(state_id)
+        if cached is not None:
+            return cached
+        pending = self._pending_shapes.get(state_id)
+        if pending is not None:
+            self.shape_cache.put(state_id, pending)
+            return pending
+        row = self._conn.execute(
+            "SELECT shape FROM shapes WHERE id = ?", (state_id,)
+        ).fetchone()
+        if row is None:
+            return None
+        self.rows_read += 1
+        shape = decode_shape(row[0])
+        self.shape_cache.put(state_id, shape)
+        return shape
+
+    def load_shapes(self) -> Iterator[tuple[StateId, Shape]]:
+        self.flush()
+        for state_id, text in self._conn.execute(
+            "SELECT id, shape FROM shapes ORDER BY id"
+        ):
+            self.rows_read += 1
+            yield state_id, decode_shape(text)
+
+    # -- canonical representatives ------------------------------------- #
+
+    def put_representative(self, state_id: StateId, blob: str) -> None:
+        self._pending_reps[state_id] = blob
+        self.representative_cache.put(state_id, blob)
+        self.rows_written += 1
+        self._maybe_flush()
+
+    def get_representative(self, state_id: StateId) -> Optional[str]:
+        cached = self.representative_cache.get(state_id)
+        if cached is not None:
+            return cached
+        pending = self._pending_reps.get(state_id)
+        if pending is not None:
+            self.representative_cache.put(state_id, pending)
+            return pending
+        row = self._conn.execute(
+            "SELECT blob FROM representatives WHERE id = ?", (state_id,)
+        ).fetchone()
+        if row is None:
+            return None
+        self.rows_read += 1
+        self.representative_cache.put(state_id, row[0])
+        return row[0]
+
+    # -- guard-cache entries ------------------------------------------- #
+
+    def put_guard(self, key: tuple, value: bool) -> None:
+        self._pending_guards[key] = value
+        self.rows_written += 1
+        self._maybe_flush()
+
+    def load_guards(self) -> Iterator[tuple[tuple, bool]]:
+        self.flush()
+        for text, value in self._conn.execute("SELECT key, value FROM guards"):
+            self.rows_read += 1
+            yield decode_guard_key(text), bool(value)
+
+    # -- exploration checkpoints --------------------------------------- #
+
+    def save_checkpoint(self, run_key: str, payload: dict) -> None:
+        self.flush()  # the checkpoint must only reference persisted rows
+        self._conn.execute(
+            "INSERT OR REPLACE INTO checkpoints (run_key, payload) VALUES (?, ?)",
+            (run_key, json.dumps(payload, separators=(",", ":"))),
+        )
+        self._conn.commit()
+        self.checkpoint_saves += 1
+
+    def load_checkpoint(self, run_key: str) -> Optional[dict]:
+        self.flush()
+        row = self._conn.execute(
+            "SELECT payload FROM checkpoints WHERE run_key = ?", (run_key,)
+        ).fetchone()
+        if row is None:
+            return None
+        self.rows_read += 1
+        try:
+            return json.loads(row[0])
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"corrupt checkpoint in {self.path}: {exc}") from exc
+
+    def clear_checkpoint(self, run_key: str) -> None:
+        self._conn.execute("DELETE FROM checkpoints WHERE run_key = ?", (run_key,))
+        self._conn.commit()
+
+    # -- reporting ------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        return {
+            "backend": "sqlite",
+            "rows_written": self.rows_written,
+            "rows_read": self.rows_read,
+            "flushes": self.flushes,
+            "checkpoint_saves": self.checkpoint_saves,
+            "shape_cache_hits": self.shape_cache.hits,
+            "shape_cache_misses": self.shape_cache.misses,
+            "shape_cache_evictions": self.shape_cache.evictions,
+            "representative_cache_hits": self.representative_cache.hits,
+            "representative_cache_misses": self.representative_cache.misses,
+        }
+
+    def describe(self) -> dict:
+        self.flush()
+        counts = {
+            table: self._conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+            for table in ("shapes", "representatives", "guards", "checkpoints")
+        }
+        pending = [
+            run_key
+            for run_key, payload in self._conn.execute(
+                "SELECT run_key, payload FROM checkpoints"
+            )
+            if not json.loads(payload).get("done", False)
+        ]
+        return {
+            "backend": "sqlite",
+            "persistent": True,
+            "path": self.path,
+            "form_name": self._get_meta("form_name"),
+            "form_fingerprint": self._get_meta("form_fingerprint"),
+            "schema_version": self._get_meta("schema_version"),
+            "interned_shapes": counts["shapes"],
+            "representatives": counts["representatives"],
+            "guard_entries": counts["guards"],
+            "checkpoints": counts["checkpoints"],
+            "resumable_checkpoints": len(pending),
+        }
+
+
+def open_store(path: "str | Path | None", **kwargs) -> StateStore:
+    """The store for *path*: :class:`SqliteStore` when given, else in-memory."""
+    if path is None:
+        return InMemoryStore()
+    return SqliteStore(path, **kwargs)
+
+
+def exploration_run_key(
+    start_shape: Shape,
+    limits,
+    strategy: str,
+    stop_on_complete: bool,
+) -> str:
+    """Checkpoint key identifying one exploration's parameters.
+
+    Two explorations share a checkpoint exactly when they would traverse the
+    state space identically: same start shape, same limits, same frontier
+    strategy, same early-exit policy.
+    """
+    payload = json.dumps(
+        {
+            "start": encode_shape(start_shape),
+            "limits": [
+                limits.max_states,
+                limits.max_instance_nodes,
+                limits.max_sibling_copies,
+            ],
+            "strategy": strategy,
+            "stop_on_complete": stop_on_complete,
+        },
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -69,6 +69,21 @@ class FrontierStrategy:
     def pop(self) -> Hashable:
         raise NotImplementedError
 
+    def pending(self) -> list:
+        """The queued states, ordered so that re-``push``-ing them into a
+        fresh instance of the same strategy reproduces the pop order exactly
+        (including insertion-order tie-breaking).  This is what exploration
+        checkpoints persist."""
+        raise NotImplementedError
+
+    def requeue(self, state: Hashable) -> None:
+        """Put a just-popped state back at the *front* of the pop order.
+
+        Used when an interrupt lands mid-expansion: the state must be
+        re-expanded first on resume, as if it had never been popped.
+        """
+        raise NotImplementedError
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -90,6 +105,12 @@ class BreadthFirstFrontier(FrontierStrategy):
     def pop(self) -> Hashable:
         return self._queue.popleft()
 
+    def pending(self) -> list:
+        return list(self._queue)
+
+    def requeue(self, state: Hashable) -> None:
+        self._queue.appendleft(state)
+
     def __len__(self) -> int:
         return len(self._queue)
 
@@ -107,6 +128,12 @@ class DepthFirstFrontier(FrontierStrategy):
 
     def pop(self) -> Hashable:
         return self._stack.pop()
+
+    def pending(self) -> list:
+        return list(self._stack)
+
+    def requeue(self, state: Hashable) -> None:
+        self._stack.append(state)  # top of the stack is the pop position
 
     def __len__(self) -> int:
         return len(self._stack)
@@ -132,6 +159,17 @@ class GuidedFrontier(FrontierStrategy):
 
     def pop(self) -> Hashable:
         return heapq.heappop(self._heap)[2]
+
+    def pending(self) -> list:
+        # insertion order: re-pushing recomputes scores (the scorer is
+        # deterministic) and reproduces the same counter-based tie-breaks
+        return [state for _, _, state in sorted(self._heap, key=lambda entry: entry[1])]
+
+    def requeue(self, state: Hashable) -> None:
+        # the heap position is score-determined; a re-queued state keeps its
+        # priority class (ties order it after existing equals, which is the
+        # best a recomputed counter can do)
+        self.push(state)
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -67,5 +67,21 @@ class SerializationError(ReproError):
     """A serialized object could not be decoded."""
 
 
+class StoreError(ReproError):
+    """A persistent state store is unusable: it belongs to a different guarded
+    form, its schema version is unknown, or the backing file is corrupt."""
+
+
+class ExplorationInterrupted(ReproError):
+    """A bounded exploration stopped before exhausting its frontier (step
+    budget reached or interrupted); its progress was checkpointed to the
+    engine's state store and can be picked up with ``resume=True``."""
+
+    def __init__(self, message: str, states_explored: int = 0, frontier_size: int = 0) -> None:
+        super().__init__(message)
+        self.states_explored = states_explored
+        self.frontier_size = frontier_size
+
+
 class EngineError(ReproError):
     """The form-based web information system engine rejected an operation."""

@@ -8,8 +8,13 @@ library itself never shells out — it only produces text).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.tree import LabelledTree
-from repro.workflow.lts import LabelledTransitionSystem
+
+if TYPE_CHECKING:  # import-time dependency would cycle: io -> workflow ->
+    # engine -> io (the engine's store uses the io codecs)
+    from repro.workflow.lts import LabelledTransitionSystem
 
 
 def _escape(text: str) -> str:

@@ -4,16 +4,34 @@ The serialised representations are deliberately plain (nested dicts, formula
 strings in the concrete syntax of :mod:`repro.core.formulas.parser`) so that
 form definitions can be stored, versioned and exchanged — the fb-wis setting
 assumes form definitions travel between peers.
+
+Besides the user-facing form format, this module provides the compact codecs
+the persistent :mod:`repro.engine.store` backends use for their rows:
+
+* :func:`encode_shape` / :func:`decode_shape` — isomorphism-invariant tree
+  shapes as nested JSON arrays;
+* :func:`encode_instance_with_ids` / :func:`decode_instance_with_ids` —
+  canonical representative instances *including their node identifiers* (the
+  engine records transitions against representative node ids, so a resumed
+  exploration must rebuild representatives id-for-id);
+* :func:`encode_guard_key` / :func:`decode_guard_key` — the heterogeneous
+  tuple keys of the guard cache (tuples, frozensets, shapes, ints, strings)
+  as deterministic tagged JSON;
+* :func:`encode_update` / :func:`decode_update` — the leaf additions and
+  deletions stored in exploration checkpoints;
+* :func:`form_fingerprint` — a digest of a guarded form's definition, used by
+  the stores to refuse resuming against the wrong form.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Optional
 
 from repro.core.access import RuleTable
-from repro.core.guarded_form import GuardedForm
+from repro.core.guarded_form import Addition, Deletion, GuardedForm, Update
 from repro.core.instance import Instance
 from repro.core.labels import ROOT_LABEL
 from repro.core.schema import Schema
@@ -123,3 +141,153 @@ def load_guarded_form(path: "str | Path") -> GuardedForm:
     except json.JSONDecodeError as exc:
         raise SerializationError(f"{path} is not valid JSON: {exc}") from exc
     return guarded_form_from_dict(data)
+
+
+# --------------------------------------------------------------------------- #
+# engine-store codecs (shapes, representatives, guard keys, updates)
+# --------------------------------------------------------------------------- #
+
+_JSON_COMPACT = {"separators": (",", ":")}
+
+
+def _shape_to_json(shape: Shape) -> list:
+    label, children = shape
+    return [label, [_shape_to_json(child) for child in children]]
+
+
+def _shape_from_json(data) -> Shape:
+    try:
+        label, children = data
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed shape encoding: {data!r}") from exc
+    return (label, tuple(_shape_from_json(child) for child in children))
+
+
+def encode_shape(shape: Shape) -> str:
+    """Compact JSON text for a :data:`~repro.core.tree.Shape` tuple."""
+    return json.dumps(_shape_to_json(shape), **_JSON_COMPACT)
+
+
+def decode_shape(text: str) -> Shape:
+    """Inverse of :func:`encode_shape`.
+
+    Child order is preserved verbatim, so round-tripping an already
+    order-normalised shape returns an equal shape.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"shape row is not valid JSON: {exc}") from exc
+    return _shape_from_json(data)
+
+
+def encode_instance_with_ids(instance: Instance) -> str:
+    """Serialise an instance tree *including node ids* and the id counter.
+
+    The engine's transitions and witness parent chains record updates against
+    the node ids of canonical representative instances; a store-backed resume
+    must therefore restore representatives with identical ids (and an
+    identical id counter, so successor instances derived from them also get
+    the same ids as in the original process).
+    """
+
+    def node_spec(node: Node) -> list:
+        return [node.node_id, node.label, [node_spec(child) for child in node.children]]
+
+    return json.dumps(
+        {"next": instance.next_node_id(), "root": node_spec(instance.root)},
+        **_JSON_COMPACT,
+    )
+
+
+def decode_instance_with_ids(text: str, schema: Schema) -> Instance:
+    """Inverse of :func:`encode_instance_with_ids` (child order preserved)."""
+    try:
+        data = json.loads(text)
+        next_id = data["next"]
+        root_spec = data["root"]
+    except (json.JSONDecodeError, TypeError, KeyError) as exc:
+        raise SerializationError(f"malformed representative row: {exc}") from exc
+    return Instance.from_node_specs(schema, root_spec, next_id)
+
+
+#: Tags for the non-JSON-native containers occurring in guard-cache keys.
+_TUPLE_TAG = "t"
+_FROZENSET_TAG = "f"
+
+
+def _guard_term_to_json(term):
+    if isinstance(term, tuple):
+        return [_TUPLE_TAG, *(_guard_term_to_json(item) for item in term)]
+    if isinstance(term, frozenset):
+        return [_FROZENSET_TAG, *sorted(_guard_term_to_json(item) for item in term)]
+    if term is None or isinstance(term, (str, int)):
+        return term
+    raise SerializationError(f"unsupported guard-key term {term!r}")
+
+
+def _guard_term_from_json(data):
+    if isinstance(data, list):
+        tag, *items = data
+        if tag == _TUPLE_TAG:
+            return tuple(_guard_term_from_json(item) for item in items)
+        if tag == _FROZENSET_TAG:
+            return frozenset(_guard_term_from_json(item) for item in items)
+        raise SerializationError(f"unknown guard-key container tag {tag!r}")
+    return data
+
+
+def encode_guard_key(key: tuple) -> str:
+    """Deterministic text encoding of a guard-cache key tuple.
+
+    Keys mix strings, ints, ``None``, nested shape tuples and frozenset
+    projections; tuples and frozensets are encoded as tagged JSON arrays
+    (frozensets with sorted elements, so equal keys always encode equally and
+    can serve as a primary key).
+    """
+    return json.dumps(_guard_term_to_json(key), **_JSON_COMPACT)
+
+
+def decode_guard_key(text: str) -> tuple:
+    """Inverse of :func:`encode_guard_key`."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"guard row is not valid JSON: {exc}") from exc
+    key = _guard_term_from_json(data)
+    if not isinstance(key, tuple):
+        raise SerializationError(f"guard key did not decode to a tuple: {text!r}")
+    return key
+
+
+def encode_update(update: Update) -> list:
+    """JSON-ready encoding of a checkpointed update."""
+    if isinstance(update, Addition):
+        return ["add", update.parent_id, update.label]
+    if isinstance(update, Deletion):
+        return ["del", update.node_id]
+    raise SerializationError(f"unsupported update {update!r}")
+
+
+def decode_update(data: list) -> Update:
+    """Inverse of :func:`encode_update`."""
+    try:
+        kind = data[0]
+        if kind == "add":
+            return Addition(data[1], data[2])
+        if kind == "del":
+            return Deletion(data[1])
+    except (TypeError, IndexError) as exc:
+        raise SerializationError(f"malformed update encoding {data!r}") from exc
+    raise SerializationError(f"unknown update kind {data!r}")
+
+
+def form_fingerprint(guarded_form: GuardedForm) -> str:
+    """A stable digest of a guarded form's full definition.
+
+    Persistent stores record it on first use and refuse to attach to a
+    different form: interned shapes, guard values and checkpoints are only
+    meaningful for the exact form that produced them.
+    """
+    canonical = json.dumps(guarded_form_to_dict(guarded_form), sort_keys=True, **_JSON_COMPACT)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

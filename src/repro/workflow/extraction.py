@@ -28,7 +28,7 @@ from repro.analysis.results import ExplorationLimits
 from repro.core.guarded_form import GuardedForm
 from repro.core.instance import Instance
 from repro.core.schema import format_schema_path
-from repro.engine import ExplorationEngine, engine_for
+from repro.engine import ExplorationEngine, StateStore, engine_for
 from repro.workflow.lts import LabelledTransitionSystem
 
 
@@ -38,6 +38,8 @@ def extract_workflow(
     limits: Optional[ExplorationLimits] = None,
     frontier: Optional[str] = None,
     engine: Optional[ExplorationEngine] = None,
+    store: Optional[StateStore] = None,
+    resume: bool = False,
 ) -> LabelledTransitionSystem:
     """Build the labelled transition system implied by *guarded_form*.
 
@@ -45,11 +47,15 @@ def extract_workflow(
     formula.  For non-depth-1 forms the system may be a truncated
     under-approximation; the ``truncated`` key of the returned system's
     ``state_annotations["__meta__"]`` records whether that happened.
+
+    A persistent *store* backs the exploration (interned shapes, guard
+    values, checkpoints); *resume* continues an interrupted bounded
+    extraction from its checkpoint.
     """
-    engine = engine_for(guarded_form, engine, frontier)
+    engine = engine_for(guarded_form, engine, frontier, store=store)
     if guarded_form.schema_depth() <= 1:
         return _extract_depth1(engine, guarded_form, start, frontier)
-    return _extract_bounded(engine, guarded_form, start, limits, frontier)
+    return _extract_bounded(engine, guarded_form, start, limits, frontier, resume)
 
 
 def _depth1_state_name(state: frozenset) -> str:
@@ -87,8 +93,9 @@ def _extract_bounded(
     start: Optional[Instance],
     limits: Optional[ExplorationLimits],
     frontier: Optional[str],
+    resume: bool = False,
 ) -> LabelledTransitionSystem:
-    graph = engine.explore(start=start, limits=limits, strategy=frontier)
+    graph = engine.explore(start=start, limits=limits, strategy=frontier, resume=resume)
     names: dict = {}
     for index, state_id in enumerate(
         sorted(graph.states, key=lambda state_id: repr(graph.shape_of(state_id)))

@@ -141,3 +141,54 @@ class TestMisc:
 
     def test_missing_command_is_usage_error(self):
         assert main([], out=io.StringIO()) == 2
+
+
+class TestStoreCli:
+    def test_analyze_with_store_then_resume_matches(self, tmp_path):
+        path = str(tmp_path / "cli.db")
+        first_code, first_out = run_cli(
+            "analyze", "leave-application-finite", "--store", path, "--max-states", "2000"
+        )
+        resume_code, resume_out = run_cli(
+            "analyze", "leave-application-finite", "--store", path,
+            "--max-states", "2000", "--resume",
+        )
+        plain_code, plain_out = run_cli(
+            "analyze", "leave-application-finite", "--max-states", "2000"
+        )
+        assert first_code == resume_code == plain_code
+        for line in ("completability", "semi-soundness"):
+            def verdict(text, prefix=line):
+                return [l for l in text.splitlines() if prefix in l]
+            assert verdict(first_out) == verdict(resume_out) == verdict(plain_out)
+        assert "resumed" in resume_out
+
+    def test_store_info(self, tmp_path):
+        path = str(tmp_path / "info.db")
+        run_cli("analyze", "leave-application-finite", "--store", path,
+                "--max-states", "2000", "--skip-semisoundness")
+        code, output = run_cli("store", "info", path)
+        assert code == 0
+        assert "interned shapes" in output
+        assert "leave application" in output
+
+    def test_store_info_missing_file(self, tmp_path):
+        code, _ = run_cli("store", "info", str(tmp_path / "absent.db"))
+        assert code == 2
+
+    def test_store_bound_to_other_form_is_rejected(self, tmp_path):
+        path = str(tmp_path / "bound.db")
+        code, _ = run_cli("analyze", "leave-application-finite", "--store", path,
+                          "--max-states", "500", "--skip-semisoundness")
+        assert code == 0
+        code, _ = run_cli("analyze", "tax-declaration", "--store", path,
+                          "--max-states", "500", "--skip-semisoundness")
+        assert code == 2  # StoreError -> usage error path
+
+    def test_stop_on_complete_flag(self):
+        code, output = run_cli(
+            "analyze", "leave-application-finite", "--stop-on-complete",
+            "--skip-semisoundness", "--max-states", "2000",
+        )
+        assert code == 0
+        assert "completability [bounded_exploration]: yes" in output

@@ -83,3 +83,33 @@ class TestStrategyEquivalence:
             frozenset({"a", "b"}),
             frozenset({"a", "b", "c"}),
         }
+
+
+class TestFrontierPending:
+    """``pending()`` must reproduce the pop order when re-pushed into a fresh
+    frontier — the contract exploration checkpoints rely on."""
+
+    @pytest.mark.parametrize("frontier", STRATEGIES)
+    def test_pending_roundtrip_reproduces_pop_order(self, frontier):
+        scores = {state: (state * 7) % 5 for state in range(12)}
+        first = make_strategy(frontier, scores.get)
+        for state in range(12):
+            first.push(state)
+        # drain a prefix so the snapshot is taken mid-exploration
+        prefix = [first.pop() for _ in range(5)]
+        del prefix
+        snapshot = first.pending()
+        second = make_strategy(frontier, scores.get)
+        for state in snapshot:
+            second.push(state)
+        assert [first.pop() for _ in range(len(first))] == [
+            second.pop() for _ in range(len(second))
+        ]
+
+    @pytest.mark.parametrize("frontier", STRATEGIES)
+    def test_pending_preserves_membership_and_length(self, frontier):
+        strategy = make_strategy(frontier, lambda state: 0)
+        for state in (3, 1, 2):
+            strategy.push(state)
+        assert sorted(strategy.pending()) == [1, 2, 3]
+        assert len(strategy.pending()) == len(strategy)

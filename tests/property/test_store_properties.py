@@ -1,0 +1,209 @@
+"""Hypothesis properties of the persistent state store.
+
+Two invariants gate the store:
+
+* **round-trip identity** — persisting and re-loading a shape (or a
+  representative instance) is the identity up to tree isomorphism, and the
+  id-preserving instance codec is the identity on node ids as well;
+
+* **id stability** — however persists, cache evictions, flushes and
+  re-opens interleave, an interner backed by the store never changes the id
+  it assigns to a shape.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import Instance
+from repro.engine import ExplorationEngine, LRUCache, ShapeInterner, SqliteStore
+from repro.engine.store import exploration_run_key
+from repro.analysis.results import ExplorationLimits
+from repro.benchgen.families import counter_machine_family
+from repro.io.serialization import (
+    decode_guard_key,
+    decode_instance_with_ids,
+    decode_shape,
+    encode_guard_key,
+    encode_instance_with_ids,
+    encode_shape,
+)
+
+from tests.property.strategies import instances, property_schema
+
+
+# --------------------------------------------------------------------------- #
+# round-trip identity
+# --------------------------------------------------------------------------- #
+
+
+@given(instance=instances())
+def test_shape_roundtrip_is_identity_up_to_isomorphism(instance):
+    shape = instance.shape()
+    decoded = decode_shape(encode_shape(shape))
+    assert decoded == shape
+    # equal shapes <=> isomorphic trees, so materialising the decoded shape
+    # gives a tree isomorphic to the original instance
+    rebuilt = Instance.from_shape(instance.schema, decoded)
+    assert rebuilt.is_isomorphic_to(instance)
+
+
+@given(instance=instances())
+def test_representative_roundtrip_preserves_node_ids(instance):
+    decoded = decode_instance_with_ids(
+        encode_instance_with_ids(instance), instance.schema
+    )
+    assert decoded.is_isomorphic_to(instance)
+    assert {n.node_id for n in decoded.nodes()} == {n.node_id for n in instance.nodes()}
+    assert decoded.next_node_id() == instance.next_node_id()
+    for node in instance.nodes():
+        assert decoded.node(node.node_id).label == node.label
+
+
+@given(instance=instances())
+def test_persisted_shape_rows_roundtrip_through_sqlite(tmp_path_factory, instance):
+    path = tmp_path_factory.mktemp("store") / "roundtrip.db"
+    store = SqliteStore(path, batch_size=1)
+    shape = instance.shape()
+    store.put_shape(0, shape)
+    store.flush()
+    assert store.get_shape(0) == shape
+    # a cold read (cache dropped) must also reproduce the shape
+    store.shape_cache.clear()
+    assert store.get_shape(0) == shape
+    store.close()
+
+
+guard_terms = st.recursive(
+    st.one_of(
+        st.integers(min_value=-(2**31), max_value=2**31),
+        st.text(alphabet="abcxyz/_0123456789", max_size=8),
+        st.none(),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3).map(tuple),
+        st.lists(st.text(alphabet="abcxyz", max_size=4), max_size=4).map(frozenset),
+    ),
+    max_leaves=8,
+)
+
+
+@given(key=st.lists(guard_terms, min_size=1, max_size=4).map(tuple))
+def test_guard_key_roundtrip(key):
+    assert decode_guard_key(encode_guard_key(key)) == key
+
+
+@given(
+    instance=instances(),
+    limits=st.tuples(
+        st.integers(min_value=1, max_value=10**7),
+        st.one_of(st.none(), st.integers(min_value=1, max_value=100)),
+        st.one_of(st.none(), st.integers(min_value=1, max_value=10)),
+    ),
+    strategy=st.sampled_from(["bfs", "dfs", "guided"]),
+    stop=st.booleans(),
+)
+def test_run_keys_identify_exploration_parameters(instance, limits, strategy, stop):
+    exploration_limits = ExplorationLimits(*limits)
+    key = exploration_run_key(instance.shape(), exploration_limits, strategy, stop)
+    again = exploration_run_key(instance.shape(), exploration_limits, strategy, stop)
+    assert key == again
+    other = exploration_run_key(instance.shape(), exploration_limits, strategy, not stop)
+    assert key != other
+
+
+# --------------------------------------------------------------------------- #
+# interner-id stability under persist/evict interleavings
+# --------------------------------------------------------------------------- #
+
+
+@given(
+    copies=st.lists(st.integers(min_value=0, max_value=2), min_size=4, max_size=10),
+    ops=st.lists(
+        st.tuples(st.sampled_from(["intern", "evict", "flush", "reintern"]), st.integers(0, 9)),
+        max_size=25,
+    ),
+)
+@settings(deadline=None, max_examples=50)
+def test_interleaved_persist_evict_never_changes_interner_ids(
+    tmp_path_factory, copies, ops
+):
+    """Whatever order shapes are interned, cache-evicted, flushed and
+    re-interned in, the id an interned shape got the first time is the id it
+    keeps — and the store always serves back an equal shape."""
+    schema = property_schema()
+    labels = [child.label for child in schema.root.children]
+    pool = []
+    for index, copy_count in enumerate(copies):
+        instance = Instance.empty(schema)
+        for label_index in range(index % len(labels) + 1):
+            for _ in range(copy_count + 1):
+                instance.add_field(instance.root, labels[label_index])
+        pool.append(instance.shape())
+
+    path = tmp_path_factory.mktemp("store") / "stability.db"
+    store = SqliteStore(path, batch_size=3, cache_size=2)  # tiny LRU: evict often
+    interner = ShapeInterner(store=store)
+    assigned: dict = {}
+    for op, raw_index in ops:
+        shape = pool[raw_index % len(pool)]
+        if op == "flush":
+            store.flush()
+            continue
+        if op == "evict":
+            state_id = assigned.get(shape)
+            if state_id is not None:
+                store.shape_cache.evict(state_id)
+            continue
+        state_id, is_new = interner.state_id(shape)
+        if shape in assigned:
+            assert not is_new
+            assert state_id == assigned[shape], "interner id changed"
+        else:
+            assert is_new
+            assigned[shape] = state_id
+    store.flush()
+    for shape, state_id in assigned.items():
+        assert interner.state_id(shape) == (state_id, False)
+        assert store.get_shape(state_id) == shape
+    # a fresh interner hydrated from the store reproduces every id
+    rehydrated = ShapeInterner()
+    for state_id, shape in store.load_shapes():
+        rehydrated.restore(state_id, shape)
+    for shape, state_id in assigned.items():
+        assert rehydrated.state_id(shape) == (state_id, False)
+    store.close()
+
+
+@given(evict_keep=st.integers(min_value=0, max_value=30))
+@settings(deadline=None, max_examples=15)
+def test_engine_representative_eviction_is_transparent(tmp_path_factory, evict_keep):
+    """Evicting resident representatives mid-life never changes ids, shapes
+    or the answers derived from reloaded representatives."""
+    form, _ = counter_machine_family(1)
+    limits = ExplorationLimits(max_states=120, max_instance_nodes=12)
+    reference = ExplorationEngine(form, limits=limits).explore()
+
+    path = tmp_path_factory.mktemp("store") / "evict.db"
+    engine = ExplorationEngine(form, limits=limits, store=SqliteStore(path))
+    graph = engine.explore()
+    evicted = engine.evict_representatives(keep=evict_keep)
+    assert evicted >= 0
+    assert graph.states == reference.states
+    assert {graph.shape_of(s) for s in graph.states} == {
+        reference.shape_of(s) for s in reference.states
+    }
+    for state_id in sorted(graph.states):
+        rep = engine.representative(state_id)  # transparently reloaded
+        assert rep.shape() == graph.shape_of(state_id)
+    engine.store.close()
+
+
+def test_lru_cache_counts_and_evicts():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1
+    cache.put("c", 3)  # evicts "b", the least recently used
+    assert cache.get("b") is None
+    assert cache.hits == 1 and cache.misses == 1 and cache.evictions == 1
+    assert len(cache) == 2
