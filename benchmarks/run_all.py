@@ -8,9 +8,15 @@ Two sections are produced:
   states/sec, guard-cache hit rate, formula evaluations performed vs. the
   legacy-equivalent count (every cache hit is an evaluation the pre-engine
   explorers would have run), shape-interning counters, an engine-vs-legacy
-  state-set parity verdict, and a *store-backed* bounded workload (the same
+  state-set parity verdict, a *store-backed* bounded workload (the same
   exploration through an on-disk ``SqliteStore``) reporting both throughputs
-  so the persistence overhead is tracked release over release.
+  so the persistence overhead is tracked release over release, and
+  *parallel* workloads (``--workers``) running the largest bounded family on
+  the ``ParallelExplorationEngine`` at each requested worker count —
+  reporting serial and parallel states/sec, the speedup, the host's CPU
+  count (a 1-core host cannot speed up CPU-bound work, so the speedup figure
+  is only meaningful alongside ``cpu_count``) and a serial-vs-parallel
+  bit-identity verdict that the ``--check`` gate enforces unconditionally.
 
 * ``pytest_benchmarks`` — the per-test timings of every ``bench_*.py``
   module, collected through ``pytest-benchmark``'s JSON output.  Skipped
@@ -71,7 +77,91 @@ def _engine_workloads():
     ]
 
 
-def measure_engine(frontier: str = "bfs") -> dict:
+def measure_parallel(frontier: str, worker_counts: list[int]) -> list[dict]:
+    """The largest bounded family, serial vs. parallel at each worker count.
+
+    Parity is checked bit-for-bit (state ids *and* node-id-exact
+    transitions); the serial run is measured on a fresh engine each time so
+    both sides start cold.
+    """
+    from repro.analysis.results import ExplorationLimits
+    from repro.benchgen.families import positive_deep_family
+    from repro.engine import ExplorationEngine, ParallelExplorationEngine
+
+    form = positive_deep_family(4, width=2)
+    limits = ExplorationLimits(max_states=4_000, max_instance_nodes=24)
+
+    def exact_edges(graph):
+        return {
+            source: [
+                (
+                    type(update).__name__,
+                    getattr(update, "parent_id", None),
+                    getattr(update, "node_id", None),
+                    getattr(update, "label", None),
+                    target,
+                )
+                for update, target in edges
+            ]
+            for source, edges in graph.transitions.items()
+        }
+
+    started = time.perf_counter()
+    reference = ExplorationEngine(form, limits=limits, strategy=frontier).explore()
+    serial_elapsed = time.perf_counter() - started
+    serial_states = len(reference.states)
+    serial_sps = round(serial_states / serial_elapsed, 1) if serial_elapsed else None
+
+    rows = []
+    for workers in worker_counts:
+        engine = ParallelExplorationEngine(
+            form, limits=limits, strategy=frontier, workers=workers
+        )
+        try:
+            # spawn (and later join) the pool outside the timed window: the
+            # recorded throughput measures exploration, not process startup
+            engine.spawn_workers()
+            started = time.perf_counter()
+            graph = engine.explore()
+            elapsed = time.perf_counter() - started
+            stats = engine.stats_snapshot()
+        finally:
+            engine.shutdown_workers()
+        parity = (
+            graph.states == reference.states
+            and exact_edges(graph) == exact_edges(reference)
+        )
+        states = len(graph.states)
+        parallel_sps = round(states / elapsed, 1) if elapsed else None
+        rows.append(
+            {
+                "workload": f"A+,phi+,k positive deep (d=4) [parallel workers={workers}]",
+                "kind": "bounded-parallel",
+                "frontier": frontier,
+                "workers": workers,
+                "cpu_count": os.cpu_count(),
+                "states": states,
+                "explore_seconds": round(elapsed, 6),
+                "serial_explore_seconds": round(serial_elapsed, 6),
+                "serial_states_per_second": serial_sps,
+                # recorded under the generic key too, so the --check
+                # states/sec regression gate covers the parallel path
+                "states_per_second": parallel_sps,
+                "parallel_states_per_second": parallel_sps,
+                "speedup_vs_serial": (
+                    round(serial_elapsed / elapsed, 3) if elapsed else None
+                ),
+                "serial_parallel_parity": parity,
+                "guard_cache_hit_rate": stats["guard_cache_hit_rate"],
+                "states_prefetched": stats["states_prefetched"],
+                "waves_dispatched": stats["waves_dispatched"],
+                "worker_guard_entries_merged": stats["worker_guard_entries_merged"],
+            }
+        )
+    return rows
+
+
+def measure_engine(frontier: str = "bfs", worker_counts: "list[int] | None" = None) -> dict:
     """Run the engine workloads and collect the counters the issue tracks."""
     from repro.analysis.results import ExplorationLimits
     from repro.analysis.statespace import (
@@ -123,7 +213,15 @@ def measure_engine(frontier: str = "bfs") -> dict:
             }
         )
     results.append(measure_store_backed(frontier, limits))
-    return {"limits": {"max_states": limits.max_states, "max_instance_nodes": limits.max_instance_nodes}, "workloads": results}
+    if worker_counts is None:
+        worker_counts = [2, 4]
+    if worker_counts:  # an explicit empty list (--workers "") skips these
+        results.extend(measure_parallel(frontier, worker_counts))
+    return {
+        "limits": {"max_states": limits.max_states, "max_instance_nodes": limits.max_instance_nodes},
+        "cpu_count": os.cpu_count(),
+        "workloads": results,
+    }
 
 
 def measure_store_backed(frontier: str, limits) -> dict:
@@ -177,19 +275,29 @@ def check_regressions(report: dict, baseline: dict, threshold: float) -> list[st
     Returns a list of human-readable failures: a workload regressing by more
     than *threshold* in states/sec, needing more formula evaluations than the
     baseline allows (a deterministic counter, immune to timer noise), losing
-    state-set parity with the legacy explorers, or disappearing from the
-    report entirely.
+    state-set parity with the legacy explorers, breaking serial-vs-parallel
+    bit-identity, or disappearing from the report entirely.  Parallel
+    workloads are keyed by worker count, so a run measured with different
+    ``--workers`` counts than the baseline simply skips the missing rows
+    (their speedups are host-dependent; the parity verdict is what gates).
     """
     failures: list[str] = []
     current = {w["workload"]: w for w in report["engine"]["workloads"]}
+    # parity is gated on the *fresh* measurements, baseline or not: a
+    # workload whose parallel graph diverges from serial must fail even on
+    # the very first run that measures it
+    for name, fresh in current.items():
+        if not fresh.get("state_set_parity_with_legacy", True):
+            failures.append(f"workload {name!r} lost state-set parity with the legacy explorer")
+        if not fresh.get("serial_parallel_parity", True):
+            failures.append(f"workload {name!r} broke serial-vs-parallel bit-identity")
     for workload in baseline.get("engine", {}).get("workloads", []):
         name = workload["workload"]
         fresh = current.get(name)
         if fresh is None:
-            failures.append(f"workload {name!r} present in baseline but not measured")
+            if workload.get("kind") != "bounded-parallel":
+                failures.append(f"workload {name!r} present in baseline but not measured")
             continue
-        if not fresh.get("state_set_parity_with_legacy", True):
-            failures.append(f"workload {name!r} lost state-set parity with the legacy explorer")
         old_sps = workload.get("states_per_second")
         new_sps = fresh.get("states_per_second")
         if old_sps and new_sps and new_sps < old_sps * (1.0 - threshold):
@@ -283,6 +391,15 @@ def main(argv=None) -> int:
         help="frontier strategy for the engine metrics (default: bfs)",
     )
     parser.add_argument(
+        "--workers",
+        default="2,4",
+        metavar="N[,M...]",
+        help="comma-separated worker counts for the parallel workloads "
+        "(default: 2,4); each count measures the largest bounded family on "
+        "the ParallelExplorationEngine and checks bit-identity with serial. "
+        "Pass an empty value (--workers '') to skip the parallel workloads",
+    )
+    parser.add_argument(
         "-o",
         "--output",
         default=str(REPO_ROOT / "BENCH_engine.json"),
@@ -328,11 +445,20 @@ def main(argv=None) -> int:
             print(f"[run_all] cannot parse baseline {baseline_path}: {exc}", file=sys.stderr)
             return 1
 
+    try:
+        worker_counts = sorted({int(count) for count in args.workers.split(",") if count})
+    except ValueError:
+        print(f"[run_all] --workers expects comma-separated ints, got {args.workers!r}", file=sys.stderr)
+        return 2
+    if any(count < 2 for count in worker_counts):
+        print("[run_all] --workers counts must be >= 2", file=sys.stderr)
+        return 2
+
     report = {
-        "schema": "bench-engine/2",
+        "schema": "bench-engine/3",
         "generated_by": "benchmarks/run_all.py",
         "quick": args.quick,
-        "engine": measure_engine(args.frontier),
+        "engine": measure_engine(args.frontier, worker_counts),
     }
     if not args.quick:
         report["pytest_benchmarks"] = run_pytest_benchmarks(args.keyword)
@@ -341,6 +467,21 @@ def main(argv=None) -> int:
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     print(f"[run_all] wrote {output}")
     for workload in report["engine"]["workloads"]:
+        if workload.get("kind") == "bounded-parallel":
+            print(
+                "[run_all]   {workload}: {states} states at {sps} states/s "
+                "({speedup}x vs serial {serial_sps} states/s on {cpus} CPUs), "
+                "parity={parity}".format(
+                    workload=workload["workload"],
+                    states=workload["states"],
+                    sps=workload["parallel_states_per_second"],
+                    speedup=workload["speedup_vs_serial"],
+                    serial_sps=workload["serial_states_per_second"],
+                    cpus=workload["cpu_count"],
+                    parity=workload["serial_parallel_parity"],
+                )
+            )
+            continue
         print(
             "[run_all]   {workload}: {states} states at {sps} states/s, "
             "guard-cache hit rate {rate:.1%}".format(

@@ -120,6 +120,7 @@ def completability_depth1(
     frontier: Optional[str] = None,
     engine: Optional[ExplorationEngine] = None,
     store: Optional[StateStore] = None,
+    workers: int = 1,
 ) -> AnalysisResult:
     """Exact completability for depth-1 guarded forms (Theorem 4.6).
 
@@ -130,27 +131,35 @@ def completability_depth1(
     across states that agree on the labels a rule can observe.  A persistent
     *store* carries the support-projected guard values across processes
     (depth-1 explorations are not checkpointed — their canonical states are
-    cheap to re-enumerate).
+    cheap to re-enumerate).  *workers* is accepted for dispatch symmetry:
+    canonical depth-1 states are label sets, far cheaper to expand than to
+    ship to a worker process, so the exploration itself stays serial on a
+    parallel engine too.
     """
-    engine = engine_for(guarded_form, engine, frontier, store=store)
-    graph = engine.explore_depth1(start=start, strategy=frontier)
-    complete_states = engine.complete_depth1_states(graph)
-    reachable = graph.reachable_from(graph.initial)
-    witnesses = sorted(reachable & complete_states, key=sorted)
-    answer = bool(witnesses)
-    witness_run = graph.run_to(witnesses[0]) if witnesses else None
-    return AnalysisResult(
-        problem=_PROBLEM,
-        decided=True,
-        answer=answer,
-        procedure="depth1_canonical_search",
-        witness_run=witness_run,
-        stats={
-            "canonical_states": len(graph.states),
-            "complete_states": len(complete_states & reachable),
-            "engine": engine.stats_snapshot(),
-        },
-    )
+    owns_engine = engine is None
+    engine = engine_for(guarded_form, engine, frontier, store=store, workers=workers)
+    try:
+        graph = engine.explore_depth1(start=start, strategy=frontier)
+        complete_states = engine.complete_depth1_states(graph)
+        reachable = graph.reachable_from(graph.initial)
+        witnesses = sorted(reachable & complete_states, key=sorted)
+        answer = bool(witnesses)
+        witness_run = graph.run_to(witnesses[0]) if witnesses else None
+        return AnalysisResult(
+            problem=_PROBLEM,
+            decided=True,
+            answer=answer,
+            procedure="depth1_canonical_search",
+            witness_run=witness_run,
+            stats={
+                "canonical_states": len(graph.states),
+                "complete_states": len(complete_states & reachable),
+                "engine": engine.stats_snapshot(),
+            },
+        )
+    finally:
+        if owns_engine:
+            engine.shutdown_workers()
 
 
 def completability_bounded(
@@ -163,6 +172,7 @@ def completability_bounded(
     store: Optional[StateStore] = None,
     resume: bool = False,
     stop_on_complete: bool = False,
+    workers: int = 1,
 ) -> AnalysisResult:
     """Bounded explicit-state completability for arbitrary guarded forms.
 
@@ -177,53 +187,62 @@ def completability_bounded(
     *store* persists the exploration (and *resume* continues a checkpointed
     one); *stop_on_complete* returns the positive answer as soon as a
     complete state is discovered instead of exhausting the budget.
+    ``workers > 1`` expands frontier waves on a
+    :class:`~repro.engine.parallel.ParallelExplorationEngine` worker pool;
+    the explored graph — and hence the verdict — is bit-identical to the
+    serial engine's.
     """
     limits = limits or ExplorationLimits()
-    engine = engine_for(guarded_form, engine, frontier, store=store)
-    graph = engine.explore(
-        start=start,
-        limits=limits,
-        strategy=frontier,
-        stop_on_complete=stop_on_complete,
-        resume=resume,
-    )
-    complete_states = engine.complete_ids(graph)
-    stats = {
-        "states_explored": len(graph.states),
-        "truncated": graph.truncated,
-        "truncated_by_states": graph.truncated_by_states,
-        "truncated_by_size": graph.truncated_by_size,
-        "truncated_by_copies": graph.truncated_by_copies,
-        "skipped_successors": graph.skipped_successors,
-        "stopped_on_complete": graph.stopped_on_complete,
-        "resumed": graph.resumed,
-        "limits": limits,
-        "engine": engine.stats_snapshot(),
-    }
-    if complete_states:
-        key = min(complete_states)  # earliest-interned complete state
+    owns_engine = engine is None
+    engine = engine_for(guarded_form, engine, frontier, store=store, workers=workers)
+    try:
+        graph = engine.explore(
+            start=start,
+            limits=limits,
+            strategy=frontier,
+            stop_on_complete=stop_on_complete,
+            resume=resume,
+        )
+        complete_states = engine.complete_ids(graph)
+        stats = {
+            "states_explored": len(graph.states),
+            "truncated": graph.truncated,
+            "truncated_by_states": graph.truncated_by_states,
+            "truncated_by_size": graph.truncated_by_size,
+            "truncated_by_copies": graph.truncated_by_copies,
+            "skipped_successors": graph.skipped_successors,
+            "stopped_on_complete": graph.stopped_on_complete,
+            "resumed": graph.resumed,
+            "limits": limits,
+            "engine": engine.stats_snapshot(),
+        }
+        if complete_states:
+            key = min(complete_states)  # earliest-interned complete state
+            return AnalysisResult(
+                problem=_PROBLEM,
+                decided=True,
+                answer=True,
+                procedure="bounded_exploration",
+                witness_run=graph.run_to(key),
+                stats=stats,
+            )
+        exhaustive = not graph.truncated
+        only_copies = (
+            graph.truncated_by_copies
+            and not graph.truncated_by_states
+            and not graph.truncated_by_size
+        )
+        negative_is_decided = exhaustive or (only_copies and copy_bound_is_sufficient)
         return AnalysisResult(
             problem=_PROBLEM,
-            decided=True,
-            answer=True,
+            decided=negative_is_decided,
+            answer=False if negative_is_decided else None,
             procedure="bounded_exploration",
-            witness_run=graph.run_to(key),
             stats=stats,
         )
-    exhaustive = not graph.truncated
-    only_copies = (
-        graph.truncated_by_copies
-        and not graph.truncated_by_states
-        and not graph.truncated_by_size
-    )
-    negative_is_decided = exhaustive or (only_copies and copy_bound_is_sufficient)
-    return AnalysisResult(
-        problem=_PROBLEM,
-        decided=negative_is_decided,
-        answer=False if negative_is_decided else None,
-        procedure="bounded_exploration",
-        stats=stats,
-    )
+    finally:
+        if owns_engine:
+            engine.shutdown_workers()
 
 
 def positive_rules_copy_bound(guarded_form: GuardedForm) -> int:
@@ -248,6 +267,7 @@ def decide_completability(
     store: Optional[StateStore] = None,
     resume: bool = False,
     stop_on_complete: bool = False,
+    workers: int = 1,
 ) -> AnalysisResult:
     """Decide completability, selecting a procedure from the fragment.
 
@@ -273,12 +293,17 @@ def decide_completability(
         stop_on_complete: let the bounded exploration return as soon as a
             complete state is found (early exit; default off, pinned by the
             parity tests).
+        workers: number of frontier worker processes for the bounded
+            procedure (``1`` — the default — keeps the serial engine; the
+            parallel engine's answers are bit-identical, see
+            :mod:`repro.engine.parallel`).
     """
     if strategy == "saturation":
         return completability_by_saturation(guarded_form, start)
     if strategy == "depth1":
         return completability_depth1(
-            guarded_form, start, frontier=frontier, engine=engine, store=store
+            guarded_form, start, frontier=frontier, engine=engine, store=store,
+            workers=workers,
         )
     if strategy == "bounded":
         return completability_bounded(
@@ -290,6 +315,7 @@ def decide_completability(
             store=store,
             resume=resume,
             stop_on_complete=stop_on_complete,
+            workers=workers,
         )
     if strategy != "auto":
         raise AnalysisError(f"unknown completability strategy {strategy!r}")
@@ -299,7 +325,8 @@ def decide_completability(
         return completability_by_saturation(guarded_form, start)
     if guarded_form.schema_depth() <= 1:
         return completability_depth1(
-            guarded_form, start, frontier=frontier, engine=engine, store=store
+            guarded_form, start, frontier=frontier, engine=engine, store=store,
+            workers=workers,
         )
     if fragment.positive_access:
         copy_bound = positive_rules_copy_bound(guarded_form)
@@ -320,6 +347,7 @@ def decide_completability(
             store=store,
             resume=resume,
             stop_on_complete=stop_on_complete,
+            workers=workers,
         )
     return completability_bounded(
         guarded_form,
@@ -330,4 +358,5 @@ def decide_completability(
         store=store,
         resume=resume,
         stop_on_complete=stop_on_complete,
+        workers=workers,
     )

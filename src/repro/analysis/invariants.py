@@ -30,6 +30,7 @@ def can_reach(
     store: Optional[StateStore] = None,
     resume: bool = False,
     stop_on_complete: bool = False,
+    workers: int = 1,
 ) -> AnalysisResult:
     """Whether some reachable instance satisfies *condition* (at the root).
 
@@ -56,6 +57,7 @@ def can_reach(
         store=store,
         resume=resume,
         stop_on_complete=stop_on_complete,
+        workers=workers,
     )
     result.stats["query"] = "can_reach"
     return result
@@ -70,6 +72,7 @@ def always_holds(
     store: Optional[StateStore] = None,
     resume: bool = False,
     stop_on_complete: bool = False,
+    workers: int = 1,
 ) -> AnalysisResult:
     """Whether *invariant* holds at the root of **every** reachable instance.
 
@@ -89,6 +92,7 @@ def always_holds(
         store=store,
         resume=resume,
         stop_on_complete=stop_on_complete,
+        workers=workers,
     )
     answer: Optional[bool]
     if violation.decided:

@@ -50,39 +50,47 @@ def semisoundness_depth1(
     frontier: Optional[str] = None,
     engine: Optional[ExplorationEngine] = None,
     store: Optional[StateStore] = None,
+    workers: int = 1,
 ) -> AnalysisResult:
     """Exact semi-soundness for depth-1 guarded forms.
 
     The reachable canonical states are enumerated once; the form is semi-sound
     iff every reachable state can reach a state satisfying the completion
-    formula (a backward-closure computation on the same graph).
+    formula (a backward-closure computation on the same graph).  *workers* is
+    accepted for dispatch symmetry; the canonical-state enumeration stays
+    serial (see :func:`~repro.analysis.completability.completability_depth1`).
     """
-    engine = engine_for(guarded_form, engine, frontier, store=store)
-    graph = engine.explore_depth1(start=start, strategy=frontier)
-    reachable = graph.reachable_from(graph.initial)
-    complete_states = engine.complete_depth1_states(graph)
-    can_complete = graph.backward_closure(complete_states & graph.states)
-    stuck = sorted(reachable - can_complete, key=sorted)
-    answer = not stuck
-    counterexample = None
-    witness_run = None
-    if stuck:
-        counterexample = depth1_state_to_instance(guarded_form.schema, stuck[0])
-        witness_run = graph.run_to(stuck[0])
-    return AnalysisResult(
-        problem=_PROBLEM,
-        decided=True,
-        answer=answer,
-        procedure="depth1_canonical_graph",
-        witness_run=witness_run,
-        counterexample=counterexample,
-        stats={
-            "canonical_states": len(graph.states),
-            "reachable_states": len(reachable),
-            "incompletable_reachable_states": len(stuck),
-            "engine": engine.stats_snapshot(),
-        },
-    )
+    owns_engine = engine is None
+    engine = engine_for(guarded_form, engine, frontier, store=store, workers=workers)
+    try:
+        graph = engine.explore_depth1(start=start, strategy=frontier)
+        reachable = graph.reachable_from(graph.initial)
+        complete_states = engine.complete_depth1_states(graph)
+        can_complete = graph.backward_closure(complete_states & graph.states)
+        stuck = sorted(reachable - can_complete, key=sorted)
+        answer = not stuck
+        counterexample = None
+        witness_run = None
+        if stuck:
+            counterexample = depth1_state_to_instance(guarded_form.schema, stuck[0])
+            witness_run = graph.run_to(stuck[0])
+        return AnalysisResult(
+            problem=_PROBLEM,
+            decided=True,
+            answer=answer,
+            procedure="depth1_canonical_graph",
+            witness_run=witness_run,
+            counterexample=counterexample,
+            stats={
+                "canonical_states": len(graph.states),
+                "reachable_states": len(reachable),
+                "incompletable_reachable_states": len(stuck),
+                "engine": engine.stats_snapshot(),
+            },
+        )
+    finally:
+        if owns_engine:
+            engine.shutdown_workers()
 
 
 def semisoundness_bounded(
@@ -94,6 +102,7 @@ def semisoundness_bounded(
     engine: Optional[ExplorationEngine] = None,
     store: Optional[StateStore] = None,
     resume: bool = False,
+    workers: int = 1,
 ) -> AnalysisResult:
     """Bounded semi-soundness for guarded forms of arbitrary depth.
 
@@ -110,56 +119,70 @@ def semisoundness_bounded(
     every per-suspicious-state completability check) keeps its own
     checkpoint, keyed by its start shape; *resume* picks up whichever of
     them was interrupted.
+
+    ``workers > 1`` runs every exploration — the reachability sweep *and*
+    the per-suspicious-state completability checks, which share the one
+    parallel engine and hence its staged worker results — on a frontier
+    worker pool; verdicts and witnesses are bit-identical to serial runs.
     """
     limits = limits or ExplorationLimits()
     completability_limits = completability_limits or limits
-    engine = engine_for(guarded_form, engine, frontier, store=store)
-    graph = engine.explore(start=start, limits=limits, strategy=frontier, resume=resume)
-    complete_states = engine.complete_ids(graph)
-    can_complete = graph.backward_closure(complete_states)
-    suspicious = [state_id for state_id in graph.states if state_id not in can_complete]
-    stats = {
-        "states_explored": len(graph.states),
-        "truncated": graph.truncated,
-        "suspicious_states": len(suspicious),
-        "limits": limits,
-    }
+    owns_engine = engine is None
+    engine = engine_for(guarded_form, engine, frontier, store=store, workers=workers)
+    try:
+        graph = engine.explore(start=start, limits=limits, strategy=frontier, resume=resume)
+        complete_states = engine.complete_ids(graph)
+        can_complete = graph.backward_closure(complete_states)
+        suspicious = [state_id for state_id in graph.states if state_id not in can_complete]
+        stats = {
+            "states_explored": len(graph.states),
+            "truncated": graph.truncated,
+            "suspicious_states": len(suspicious),
+            "limits": limits,
+        }
 
-    for state_id in suspicious:
-        instance = graph.instance_of(state_id)
-        check = decide_completability(
-            guarded_form,
-            start=instance,
-            limits=completability_limits,
-            frontier=frontier,
-            engine=engine,
-            resume=resume,
-        )
-        if check.decided and check.answer is False:
+        for state_id in suspicious:
+            instance = graph.instance_of(state_id)
+            check = decide_completability(
+                guarded_form,
+                start=instance,
+                limits=completability_limits,
+                frontier=frontier,
+                engine=engine,
+                resume=resume,
+            )
+            if check.decided and check.answer is False:
+                return AnalysisResult(
+                    problem=_PROBLEM,
+                    decided=True,
+                    answer=False,
+                    procedure="bounded_exploration",
+                    witness_run=graph.run_to(state_id),
+                    counterexample=instance,
+                    stats={**stats, "engine": engine.stats_snapshot()},
+                )
+
+        stats["engine"] = engine.stats_snapshot()
+        if not graph.truncated and not suspicious:
             return AnalysisResult(
                 problem=_PROBLEM,
                 decided=True,
-                answer=False,
+                answer=True,
                 procedure="bounded_exploration",
-                witness_run=graph.run_to(state_id),
-                counterexample=instance,
-                stats={**stats, "engine": engine.stats_snapshot()},
+                stats=stats,
             )
-
-    stats["engine"] = engine.stats_snapshot()
-    if not graph.truncated and not suspicious:
-        return AnalysisResult(
-            problem=_PROBLEM,
-            decided=True,
-            answer=True,
-            procedure="bounded_exploration",
-            stats=stats,
-        )
-    if not graph.truncated and suspicious:
-        # every suspicious state turned out to be completable through states
-        # outside the explored graph?  impossible when the graph is exhaustive
-        # — the backward closure is exact — so being here means the per-state
-        # completability checks were undecided.
+        if not graph.truncated and suspicious:
+            # every suspicious state turned out to be completable through states
+            # outside the explored graph?  impossible when the graph is exhaustive
+            # — the backward closure is exact — so being here means the per-state
+            # completability checks were undecided.
+            return AnalysisResult(
+                problem=_PROBLEM,
+                decided=False,
+                answer=None,
+                procedure="bounded_exploration",
+                stats=stats,
+            )
         return AnalysisResult(
             problem=_PROBLEM,
             decided=False,
@@ -167,13 +190,9 @@ def semisoundness_bounded(
             procedure="bounded_exploration",
             stats=stats,
         )
-    return AnalysisResult(
-        problem=_PROBLEM,
-        decided=False,
-        answer=None,
-        procedure="bounded_exploration",
-        stats=stats,
-    )
+    finally:
+        if owns_engine:
+            engine.shutdown_workers()
 
 
 def decide_semisoundness(
@@ -185,6 +204,7 @@ def decide_semisoundness(
     engine: Optional[ExplorationEngine] = None,
     store: Optional[StateStore] = None,
     resume: bool = False,
+    workers: int = 1,
 ) -> AnalysisResult:
     """Decide semi-soundness, selecting a procedure from the fragment.
 
@@ -202,10 +222,14 @@ def decide_semisoundness(
             built engine (ignored when *engine* is supplied).
         resume: continue the bounded explorations from checkpoints earlier
             identically parameterised runs saved in the store.
+        workers: number of frontier worker processes for the bounded
+            procedure (``1`` keeps the serial engine; parallel verdicts are
+            bit-identical — see :mod:`repro.engine.parallel`).
     """
     if strategy == "depth1":
         return semisoundness_depth1(
-            guarded_form, start, frontier=frontier, engine=engine, store=store
+            guarded_form, start, frontier=frontier, engine=engine, store=store,
+            workers=workers,
         )
     if strategy == "bounded":
         return semisoundness_bounded(
@@ -216,13 +240,15 @@ def decide_semisoundness(
             engine=engine,
             store=store,
             resume=resume,
+            workers=workers,
         )
     if strategy != "auto":
         raise AnalysisError(f"unknown semi-soundness strategy {strategy!r}")
 
     if guarded_form.schema_depth() <= 1:
         return semisoundness_depth1(
-            guarded_form, start, frontier=frontier, engine=engine, store=store
+            guarded_form, start, frontier=frontier, engine=engine, store=store,
+            workers=workers,
         )
 
     fragment = classify(guarded_form)
@@ -238,4 +264,5 @@ def decide_semisoundness(
         engine=engine,
         store=store,
         resume=resume,
+        workers=workers,
     )

@@ -29,7 +29,10 @@ Long explorations can be persisted and resumed: ``analyze``, ``invariant``
 and ``workflow`` accept ``--store PATH`` (an sqlite state store holding
 interned shapes, canonical representatives, guard evaluations and frontier
 checkpoints) and ``--resume`` (continue an interrupted identically
-parameterised run instead of restarting).  A Ctrl-C during a store-backed
+parameterised run instead of restarting).  They also accept ``--workers N``
+to expand frontier waves on N worker processes
+(:mod:`repro.engine.parallel`); the resulting graphs, verdicts and witnesses
+are bit-identical to serial runs, so the flag is purely a throughput knob.  A Ctrl-C during a store-backed
 exploration checkpoints before exiting, so ``--resume`` always has something
 to pick up.  See :mod:`repro.engine.store`.
 
@@ -50,7 +53,13 @@ from repro.analysis.results import AnalysisResult, ExplorationLimits
 from repro.analysis.semisoundness import decide_semisoundness
 from repro.core.fragments import classify
 from repro.core.guarded_form import GuardedForm
-from repro.engine import STRATEGIES, ExplorationEngine, SqliteStore, open_store
+from repro.engine import (
+    STRATEGIES,
+    ExplorationEngine,
+    ParallelExplorationEngine,
+    SqliteStore,
+    open_store,
+)
 from repro.exceptions import ReproError
 from repro.fbwis.catalog import (
     leave_application,
@@ -154,6 +163,15 @@ def _add_limit_arguments(parser: argparse.ArgumentParser) -> None:
         help="frontier strategy of the exploration engine (default: bfs)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="expand frontier waves on N worker processes (default: 1 = "
+        "serial; results are bit-identical either way, see "
+        "repro.engine.parallel)",
+    )
+    parser.add_argument(
         "--store",
         metavar="PATH",
         default=None,
@@ -175,6 +193,23 @@ def _add_limit_arguments(parser: argparse.ArgumentParser) -> None:
         help="checkpoint a store-backed exploration every N state "
         "expansions (default: 1000)",
     )
+
+
+def _check_workers(args: argparse.Namespace) -> None:
+    if args.workers < 1:
+        raise ReproError(f"--workers must be a positive integer, got {args.workers}")
+
+
+def _build_engine(form: GuardedForm, args: argparse.Namespace, store) -> ExplorationEngine:
+    """The exploration engine an ``analyze`` run shares across its analyses:
+    serial by default, a worker-pool-backed parallel engine for ``--workers
+    N`` with N >= 2."""
+    _check_workers(args)
+    if args.workers > 1:
+        return ParallelExplorationEngine(
+            form, strategy=args.frontier, store=store, workers=args.workers
+        )
+    return ExplorationEngine(form, strategy=args.frontier, store=store)
 
 
 def _describe(result: AnalysisResult, out) -> None:
@@ -248,9 +283,10 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
 
     # one engine for both analyses: the semi-soundness pass re-explores the
     # states the completability pass interned, so its guard evaluations are
-    # mostly served from the shared cache
+    # mostly served from the shared cache (and, with --workers, the shared
+    # staged worker results)
     store = open_store(args.store, checkpoint_every=args.checkpoint_every)
-    engine = ExplorationEngine(form, strategy=args.frontier, store=store)
+    engine = _build_engine(form, args, store)
     try:
         completability = decide_completability(
             form,
@@ -292,6 +328,15 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
             f"{stats['intern_interned_states']} interned shapes",
             file=out,
         )
+        if args.workers > 1:
+            print(
+                f"workers ({args.workers} processes): "
+                f"{stats['states_prefetched']} states prefetched in "
+                f"{stats['waves_dispatched']} waves, "
+                f"{stats['expansions_adopted']} expansions adopted, "
+                f"{stats['worker_guard_entries_merged']} guard entries merged",
+                file=out,
+            )
         if store.persistent:
             print(
                 f"store ({args.store}): "
@@ -307,6 +352,7 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
         _print_interrupt_hint(args)
         return 130
     finally:
+        engine.shutdown_workers()
         store.close()
     return exit_code
 
@@ -322,6 +368,7 @@ def _print_interrupt_hint(args: argparse.Namespace) -> None:
 
 def _cmd_invariant(args: argparse.Namespace, out) -> int:
     form = _load_form(args.form)
+    _check_workers(args)
     store = open_store(args.store, checkpoint_every=args.checkpoint_every)
     try:
         result = always_holds(
@@ -331,6 +378,7 @@ def _cmd_invariant(args: argparse.Namespace, out) -> int:
             frontier=args.frontier,
             store=store,
             resume=args.resume,
+            workers=args.workers,
         )
     except KeyboardInterrupt:
         _print_interrupt_hint(args)
@@ -352,6 +400,7 @@ def _cmd_invariant(args: argparse.Namespace, out) -> int:
 
 def _cmd_workflow(args: argparse.Namespace, out) -> int:
     form = _load_form(args.form)
+    _check_workers(args)
     store = open_store(args.store, checkpoint_every=args.checkpoint_every)
     try:
         lts = extract_workflow(
@@ -360,6 +409,7 @@ def _cmd_workflow(args: argparse.Namespace, out) -> int:
             frontier=args.frontier,
             store=store,
             resume=args.resume,
+            workers=args.workers,
         )
     except KeyboardInterrupt:
         _print_interrupt_hint(args)

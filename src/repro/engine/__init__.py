@@ -16,7 +16,11 @@ This package is that hot path, carved out as an explicit subsystem:
   representatives, guard values and resumable exploration checkpoints on
   disk, with write batching and LRU read caches;
 * :mod:`repro.engine.engine` — :class:`ExplorationEngine`, tying them
-  together and producing :class:`EngineGraph` / legacy-compatible graphs.
+  together and producing :class:`EngineGraph` / legacy-compatible graphs;
+* :mod:`repro.engine.parallel` / :mod:`repro.engine.workers` —
+  :class:`ParallelExplorationEngine`, expanding frontier waves on
+  :class:`WorkerPool` processes (shape-hash sharded, batched result merging)
+  with results bit-identical to the serial engine.
 
 The legacy entry points ``explore_depth1`` / ``explore_bounded`` in
 :mod:`repro.analysis.statespace` remain as thin shims over this engine.
@@ -24,6 +28,7 @@ The legacy entry points ``explore_depth1`` / ``explore_bounded`` in
 
 from repro.engine.engine import EngineGraph, ExplorationEngine, engine_for
 from repro.engine.guards import GuardCache, navigates_upward, support_labels
+from repro.engine.parallel import ParallelExplorationEngine, stable_shape_hash
 from repro.engine.interning import (
     IncrementalShaper,
     ShapeInterner,
@@ -38,6 +43,7 @@ from repro.engine.store import (
     exploration_run_key,
     open_store,
 )
+from repro.engine.workers import FrontierWorker, WorkerPool
 from repro.engine.strategies import (
     STRATEGIES,
     BreadthFirstFrontier,
@@ -50,8 +56,12 @@ from repro.engine.strategies import (
 
 __all__ = [
     "ExplorationEngine",
+    "ParallelExplorationEngine",
     "EngineGraph",
     "engine_for",
+    "stable_shape_hash",
+    "WorkerPool",
+    "FrontierWorker",
     "StateStore",
     "InMemoryStore",
     "SqliteStore",

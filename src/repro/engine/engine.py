@@ -83,6 +83,43 @@ from repro.io.serialization import (
 _Candidate = tuple
 
 
+def enumerate_expansion(
+    instance: Instance,
+    shape_map: dict,
+    schema,
+    guards: GuardCache,
+    state_id: StateId,
+    make_candidate: Callable,
+) -> list:
+    """Enumerate the successor candidates of one state, in canonical order.
+
+    This is the *single* definition of the engine's expansion semantics —
+    node traversal order, guard queries, candidate order — shared between the
+    serial :meth:`ExplorationEngine._expand` and the frontier worker
+    processes of :mod:`repro.engine.workers`.  The two callers differ only in
+    ``make_candidate(update, is_addition, successor size, copies before)``:
+    the serial engine interns the successor and records its state id, a
+    worker encodes the successor for the coordinator to intern later.
+    Keeping the enumeration in one place is what structurally guarantees the
+    serial-vs-parallel bit-identity the differential suite pins.
+    """
+    size = instance.size()
+    candidates: list = []
+    for node in instance.nodes():
+        node_shape = shape_map[node.node_id]
+        schema_node = schema.node_at(node.label_path())
+        for schema_child in schema_node.children:
+            label = schema_child.label
+            if guards.addition_allowed(state_id, node, label, node_shape):
+                update: Update = Addition(node.node_id, label)
+                copies_before = len(node.children_with_label(label))
+                candidates.append(make_candidate(update, True, size + 1, copies_before))
+        if not node.is_root() and node.is_leaf():
+            if guards.deletion_allowed(state_id, node, shape_map[node.parent.node_id]):
+                candidates.append(make_candidate(Deletion(node.node_id), False, size - 1, 0))
+    return candidates
+
+
 class EngineGraph:
     """The result of one bounded exploration: an int-keyed state graph.
 
@@ -260,11 +297,16 @@ def engine_for(
     engine: Optional["ExplorationEngine"],
     frontier: Optional[str] = None,
     store: Optional[StateStore] = None,
+    workers: int = 1,
 ) -> "ExplorationEngine":
     """The engine to analyse *guarded_form* with: the caller's, or a fresh one.
 
     A *store* is only consulted when a fresh engine is built; a supplied
-    engine keeps whatever store it was constructed with.
+    engine keeps whatever store it was constructed with (and its own worker
+    configuration — *workers* is likewise ignored then).  ``workers > 1``
+    builds a :class:`~repro.engine.parallel.ParallelExplorationEngine`; the
+    caller that triggered the construction is responsible for calling
+    :meth:`ExplorationEngine.shutdown_workers` when done.
 
     Raises:
         AnalysisError: when the supplied engine was built for a different
@@ -279,6 +321,12 @@ def engine_for(
                 "engines cache per-form state and cannot be shared across forms"
             )
         return engine
+    if workers and workers > 1:
+        from repro.engine.parallel import ParallelExplorationEngine
+
+        return ParallelExplorationEngine(
+            guarded_form, strategy=frontier or "bfs", store=store, workers=workers
+        )
     return ExplorationEngine(guarded_form, strategy=frontier or "bfs", store=store)
 
 
@@ -347,16 +395,23 @@ class ExplorationEngine:
         self.expansions_reused = 0
         self.heuristic_evaluations = 0
         self.explorations_resumed = 0
-        if backing is not None:
-            self._hydrate()
+        #: Whether the persisted shapes/guards were loaded into this engine.
+        #: Hydration is deferred to the first exploration and performed at
+        #: most once per engine: repeated ``explore()`` calls against the
+        #: same engine must not re-scan (and can never double-restore) the
+        #: store's shape table.
+        self._hydrated = backing is None
 
     def _hydrate(self) -> None:
-        """Reload persisted shapes and guard values from the store.
+        """Reload persisted shapes and guard values from the store (once).
 
         Representatives are *not* preloaded; :meth:`representative` fetches
         them lazily (through the store's LRU cache), so attaching to a large
         store stays cheap in memory until states are actually touched.
         """
+        if self._hydrated:
+            return
+        self._hydrated = True
         for state_id, shape in self.store.load_shapes():
             self.interner.restore(state_id, shape)
         for key, value in self.store.load_guards():
@@ -497,6 +552,7 @@ class ExplorationEngine:
         before propagating, so a Ctrl-C'd CLI ``analyze --store`` run can be
         picked up with ``--resume``.
         """
+        self._hydrate()
         limits = limits if limits is not None else self._default_limits()
         form = self.guarded_form
         start_instance = (start if start is not None else form.initial_instance()).copy()
@@ -549,7 +605,9 @@ class ExplorationEngine:
                 truncated_by_size = truncated_by_states = truncated_by_copies = False
                 skipped = 0
                 found_complete = False
-                for update, succ_id, is_addition, succ_size, copies_before in self._expand(state_id):
+                for update, succ_id, is_addition, succ_size, copies_before in self._expand_from(
+                    state_id, frontier
+                ):
                     if is_addition:
                         if not limits.allows_instance_size(succ_size):
                             truncated_by_size = True
@@ -605,6 +663,17 @@ class ExplorationEngine:
         self._finish_exploration(run_key, graph)
         return graph
 
+    def _expand_from(self, state_id: StateId, frontier) -> list:
+        """Expansion hook giving subclasses sight of the live frontier.
+
+        The serial engine expands one state at a time;
+        :class:`~repro.engine.parallel.ParallelExplorationEngine` overrides
+        this to prefetch candidate expansions for the whole pending frontier
+        on worker processes before delegating to :meth:`_expand`.
+        """
+        del frontier
+        return self._expand(state_id)
+
     def _expand(self, state_id: StateId) -> list:
         """All successor candidates of a state, memoized across explorations.
 
@@ -620,28 +689,21 @@ class ExplorationEngine:
             return candidates
         instance = self.representative(state_id)
         shape_map = self._shape_map_of(state_id)
-        schema = self.guarded_form.schema
         guards = self.guards
         queries_before = guards.hits + guards.misses
-        candidates: list = []
-        size = instance.size()
-        for node in instance.nodes():
-            node_shape = shape_map[node.node_id]
-            schema_node = schema.node_at(node.label_path())
-            for schema_child in schema_node.children:
-                label = schema_child.label
-                if guards.addition_allowed(state_id, node, label, node_shape):
-                    update: Update = Addition(node.node_id, label)
-                    copies_before = len(node.children_with_label(label))
-                    candidates.append(
-                        (update, self._successor_id(instance, shape_map, update), True, size + 1, copies_before)
-                    )
-            if not node.is_root() and node.is_leaf():
-                if guards.deletion_allowed(state_id, node, shape_map[node.parent.node_id]):
-                    update = Deletion(node.node_id)
-                    candidates.append(
-                        (update, self._successor_id(instance, shape_map, update), False, size - 1, 0)
-                    )
+
+        def candidate(update: Update, is_addition: bool, succ_size: int, copies: int) -> tuple:
+            return (
+                update,
+                self._successor_id(instance, shape_map, update),
+                is_addition,
+                succ_size,
+                copies,
+            )
+
+        candidates = enumerate_expansion(
+            instance, shape_map, self.guarded_form.schema, guards, state_id, candidate
+        )
         self._expansions[state_id] = (candidates, guards.hits + guards.misses - queries_before)
         self.expansions_computed += 1
         return candidates
@@ -760,6 +822,7 @@ class ExplorationEngine:
         Raises:
             ValueError: when the schema has depth greater than 1.
         """
+        self._hydrate()
         form = self.guarded_form
         if form.schema_depth() > 1:
             raise ValueError(
@@ -818,6 +881,18 @@ class ExplorationEngine:
         """The canonical states of *graph* satisfying the completion formula."""
         guards = self.guards
         return {state for state in graph.states if guards.d1_completion(state)}
+
+    # ------------------------------------------------------------------ #
+    # worker lifecycle (no-op on the serial engine)
+    # ------------------------------------------------------------------ #
+
+    def shutdown_workers(self) -> None:
+        """Release any worker processes held by this engine.
+
+        The serial engine owns none; the parallel engine overrides this.
+        Analyses that build an engine internally call it unconditionally, so
+        it must stay safe (and idempotent) on every engine flavour.
+        """
 
     # ------------------------------------------------------------------ #
     # statistics

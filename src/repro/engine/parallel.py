@@ -1,0 +1,306 @@
+"""The parallel exploration subsystem: multi-process frontier expansion.
+
+:class:`ParallelExplorationEngine` extends the serial
+:class:`~repro.engine.engine.ExplorationEngine` with **wave prefetching**:
+whenever the exploration loop is about to expand a state whose candidates are
+neither memoized nor already staged, the engine snapshots the whole pending
+frontier, partitions it across the :class:`~repro.engine.workers.WorkerPool`
+— the shape interner is *sharded by shape hash*, worker ``i`` owning every
+state with ``stable_shape_hash(shape) % N == i``, so a shard's subtree shapes
+and guard evaluations accumulate in one worker's caches — and stages the
+batched results.  The base class's exploration loop is untouched: it pops
+states in exactly the serial order, and :meth:`_expand` adopts a staged
+payload by interning the successor shapes *at that moment, in candidate
+order*.
+
+That split is what makes parallel runs **bit-identical** to serial ones — a
+property the differential suite (``tests/engine/test_parallel.py``) pins per
+benchgen family:
+
+* state ids are assigned by the coordinator only, in the serial engine's
+  pop/candidate order (workers never intern; they return encoded shapes);
+* successor representatives are derived by workers from the shipped parent
+  representative — node ids, child order and the id counter included — so a
+  state's canonical representative is the same instance, node-id-for-node-id,
+  whichever process first derived it;
+* limits, truncation flags, early exit and checkpoint/resume all live in the
+  unmodified base loop, so ``--workers N`` composes with every existing
+  feature (any frontier strategy, ``stop_on_complete``, ``step_limit``,
+  store-backed resume) without new semantics.
+
+Cross-shard duplicates cost only wasted worker cycles: two workers may both
+derive an encoded successor for the same shape, but the coordinator's
+``encoded shape -> state id`` table deduplicates them deterministically at
+merge time.
+
+Guard values flow back with each batch.  On a store-backed engine the workers
+additionally hydrate from and write through to the sqlite store's ``guards``
+table (WAL journaling lets them do so concurrently with the coordinator —
+the ROADMAP's "workers sync through the sqlite WAL" item); with an
+:class:`~repro.engine.store.InMemoryStore` the coordinator merges the
+returned entries into its own :class:`~repro.engine.guards.GuardCache`
+instead, so nothing is evaluated twice either way.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional
+
+from repro.core.tree import Shape
+from repro.engine.engine import ExplorationEngine
+from repro.engine.interning import StateId
+from repro.engine.store import StateStore
+from repro.engine.workers import WorkerPool
+from repro.exceptions import AnalysisError
+from repro.io.serialization import (
+    decode_guard_key,
+    decode_instance_with_ids,
+    decode_update,
+    encode_instance_with_ids,
+    encode_shape,
+)
+
+
+def stable_shape_hash(shape: Shape) -> int:
+    """A shape digest stable across processes and interpreter runs.
+
+    ``hash()`` on nested label tuples varies with ``PYTHONHASHSEED``, so the
+    shard assignment uses a CRC of the canonical shape encoding instead; the
+    encoding is order-normalised, hence equal shapes always land on the same
+    shard.
+    """
+    return zlib.crc32(encode_shape(shape).encode("utf-8"))
+
+
+class ParallelExplorationEngine(ExplorationEngine):
+    """An exploration engine expanding frontier waves on worker processes.
+
+    Args:
+        workers: number of frontier worker processes (``1`` keeps everything
+            on the serial path; the pool is only ever spawned for ``>= 2``).
+        min_wave: smallest uncovered frontier worth shipping to the pool;
+            smaller waves (the first few BFS levels, the mostly-memoized
+            re-explorations of a semi-soundness sweep) expand serially to
+            skip the IPC round-trip.  Defaults to ``2 * workers``.
+
+    The remaining arguments are the base engine's.  Call
+    :meth:`shutdown_workers` (or use the engine as a context manager) when
+    done; analyses that build the engine themselves do so automatically.
+    """
+
+    def __init__(
+        self,
+        guarded_form,
+        limits=None,
+        strategy: str = "bfs",
+        store: Optional[StateStore] = None,
+        checkpoint_every: int = 1000,
+        workers: int = 2,
+        min_wave: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            guarded_form,
+            limits=limits,
+            strategy=strategy,
+            store=store,
+            checkpoint_every=checkpoint_every,
+        )
+        if workers < 1:
+            raise AnalysisError("workers must be a positive integer")
+        self.workers = workers
+        self.min_wave = max(1, min_wave if min_wave is not None else 2 * workers)
+        self._pool: Optional[WorkerPool] = None
+        self._staged: dict = {}  # StateId -> (raw candidates, guard queries)
+        self._encoded_ids: dict = {}  # encoded root shape -> StateId
+        self._shards: dict = {}  # StateId -> shard index
+        self.waves_dispatched = 0
+        self.states_prefetched = 0
+        self.expansions_adopted = 0
+        self.worker_guard_entries_merged = 0
+
+    # ------------------------------------------------------------------ #
+    # pool lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _store_path(self) -> Optional[str]:
+        """The on-disk store workers should sync guard values through."""
+        if not self.store.persistent:
+            return None
+        path = getattr(self.store, "path", None)
+        if path is None or path == ":memory:":
+            return None
+        return path
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None:
+            if self.store.persistent:
+                self.store.flush()  # let workers hydrate everything so far
+            self._pool = WorkerPool(
+                self.guarded_form, self.workers, store_path=self._store_path()
+            )
+        return self._pool
+
+    def spawn_workers(self) -> None:
+        """Spawn the worker pool eagerly (it is otherwise lazy).
+
+        Benchmarks call this before starting their timers so the recorded
+        throughput measures exploration, not process startup.
+        """
+        if self.workers > 1:
+            self._ensure_pool()
+
+    def shutdown_workers(self) -> None:
+        """Stop the worker pool (idempotent; a later explore respawns it).
+
+        Staged-but-never-adopted payloads are dropped with it: they carry
+        full encoded successor instances, and an analysis that is done with
+        its workers is done prefetching.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._staged.clear()
+
+    def __enter__(self) -> "ParallelExplorationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown_workers()
+
+    # ------------------------------------------------------------------ #
+    # wave prefetching
+    # ------------------------------------------------------------------ #
+
+    def _shard_of(self, state_id: StateId) -> int:
+        shard = self._shards.get(state_id)
+        if shard is None:
+            shard = stable_shape_hash(self.interner.shape_of(state_id)) % self.workers
+            self._shards[state_id] = shard
+        return shard
+
+    def _expand_from(self, state_id: StateId, frontier) -> list:
+        if (
+            self.workers > 1
+            and state_id not in self._expansions
+            and state_id not in self._staged
+        ):
+            self._prefetch(state_id, frontier)
+        return self._expand(state_id)
+
+    def _prefetch(self, state_id: StateId, frontier) -> None:
+        """Expand the uncovered slice of the pending frontier on the pool.
+
+        Prefetching is semantically transparent: staged payloads intern
+        nothing until :meth:`_expand` adopts them, so work wasted on states a
+        truncated or early-exiting exploration never pops costs cycles, not
+        correctness.
+        """
+        wave = [state_id]
+        covered = {state_id}
+        for pending_id in frontier.pending():
+            if (
+                pending_id in covered
+                or pending_id in self._expansions
+                or pending_id in self._staged
+            ):
+                continue
+            covered.add(pending_id)
+            wave.append(pending_id)
+        if len(wave) < self.min_wave:
+            return  # not worth a round-trip; the base loop expands serially
+        batches: dict = {index: [] for index in range(self.workers)}
+        for wave_id in wave:
+            batches[self._shard_of(wave_id)].append(
+                (wave_id, encode_instance_with_ids(self.representative(wave_id)))
+            )
+        pool = self._ensure_pool()
+        try:
+            payloads, guard_rows = pool.run_wave(batches)
+        except BaseException:
+            # a failed or interrupted wave may leave answers in flight; tear
+            # the pool down so a resume starts from a clean one (run_wave's
+            # wave ids would drop strays anyway — this reclaims the
+            # processes too)
+            self.shutdown_workers()
+            raise
+        for staged_id, candidates, guard_queries in payloads:
+            self._staged[staged_id] = (candidates, guard_queries)
+        self._merge_guard_rows(guard_rows)
+        self.waves_dispatched += 1
+        self.states_prefetched += len(wave)
+
+    def _merge_guard_rows(self, guard_rows: list) -> None:
+        """Adopt worker-evaluated guard entries into the coordinator cache.
+
+        Keys are identical to the ones the serial engine would have used
+        (workers address states by their canonical ids), so this is a plain
+        cache union.  On a store-backed run the workers already wrote the
+        rows through the WAL; with an in-memory store this merge *is* the
+        persistence.
+        """
+        for encoded_key, value in guard_rows:
+            self.guards.restore(decode_guard_key(encoded_key), value)
+        self.worker_guard_entries_merged += len(guard_rows)
+
+    # ------------------------------------------------------------------ #
+    # staged-expansion adoption
+    # ------------------------------------------------------------------ #
+
+    def _expand(self, state_id: StateId) -> list:
+        if state_id not in self._expansions:
+            staged = self._staged.pop(state_id, None)
+            if staged is not None:
+                return self._adopt(state_id, staged)
+        return super()._expand(state_id)
+
+    def _adopt(self, state_id: StateId, staged: tuple) -> list:
+        """Turn a worker payload into a memoized expansion.
+
+        Successor shapes are interned *here*, in candidate order — the same
+        moment and order the serial engine's ``_expand`` would intern them —
+        which keeps the dense id assignment (including ids for candidates a
+        limit later filters out) bit-identical to a serial run.
+        """
+        raw_candidates, guard_queries = staged
+        candidates: list = []
+        for encoded_update, encoded_root, encoded_succ, is_addition, succ_size, copies in raw_candidates:
+            succ_id = self._encoded_ids.get(encoded_root)
+            if succ_id is None:
+                succ_id = self._intern_encoded(encoded_root, encoded_succ)
+            candidates.append(
+                (decode_update(encoded_update), succ_id, is_addition, succ_size, copies)
+            )
+        self._expansions[state_id] = (candidates, guard_queries)
+        self.guards.credit_reuse(guard_queries)
+        self.expansions_computed += 1
+        self.expansions_adopted += 1
+        return candidates
+
+    def _intern_encoded(self, encoded_root: str, encoded_succ: str) -> StateId:
+        """Intern one worker-derived successor, registering its representative
+        (node ids preserved) when the state is new to the engine."""
+        rep = decode_instance_with_ids(encoded_succ, self.guarded_form.schema)
+        shape_map = self.shaper.full_map(rep)
+        shape = shape_map[rep.root.node_id]
+        succ_id, is_new = self.interner.state_id(shape)
+        if is_new:
+            self._reps[succ_id] = rep
+            self._shape_maps[succ_id] = shape_map
+            if self.store.persistent:
+                self.store.put_representative(succ_id, encode_instance_with_ids(rep))
+        self._encoded_ids[encoded_root] = succ_id
+        return succ_id
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+
+    def stats_snapshot(self) -> dict:
+        snapshot = super().stats_snapshot()
+        snapshot["workers"] = self.workers
+        snapshot["waves_dispatched"] = self.waves_dispatched
+        snapshot["states_prefetched"] = self.states_prefetched
+        snapshot["expansions_adopted"] = self.expansions_adopted
+        snapshot["worker_guard_entries_merged"] = self.worker_guard_entries_merged
+        return snapshot

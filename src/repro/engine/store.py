@@ -62,6 +62,10 @@ from repro.io.serialization import (
 #: Version stamp written to store metadata; bumped on layout changes.
 STORE_SCHEMA_VERSION = "1"
 
+#: How long (ms) sqlite connections wait on a locked database before giving
+#: up — long enough to ride out another process's batched commit.
+_BUSY_TIMEOUT_MS = 10_000
+
 
 class LRUCache:
     """A small least-recently-used mapping with hit/miss counters."""
@@ -265,6 +269,13 @@ class SqliteStore(StateStore):
         try:
             self._conn = sqlite3.connect(self.path)
             self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+            # WAL lets the parallel engine's frontier workers read (hydrate
+            # guard values) and write (sync fresh evaluations) concurrently
+            # with the coordinator's batched write-through; in-memory
+            # databases don't support it, which sqlite reports by answering
+            # with the journal mode it kept.
+            self._conn.execute("PRAGMA journal_mode=WAL")
             for statement in self._TABLES:
                 self._conn.execute(statement)
             self._conn.commit()
@@ -498,6 +509,52 @@ class SqliteStore(StateStore):
             "checkpoints": counts["checkpoints"],
             "resumable_checkpoints": len(pending),
         }
+
+
+def load_guard_rows(path: "str | Path") -> list:
+    """All persisted guard entries of the store at *path*, decoded.
+
+    Used by frontier worker processes to hydrate their local guard caches
+    from the coordinator's store through their own (short-lived, read-only)
+    connection; an empty or yet-uncreated store yields no rows.
+    """
+    try:
+        conn = sqlite3.connect(str(path))
+        try:
+            conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+            rows = conn.execute("SELECT key, value FROM guards").fetchall()
+        finally:
+            conn.close()
+    except sqlite3.Error:
+        return []
+    return [(decode_guard_key(text), bool(value)) for text, value in rows]
+
+
+def write_guard_rows(path: "str | Path", entries: list) -> None:
+    """Write worker-evaluated guard entries into the store at *path*.
+
+    One short transaction through the WAL per batch; rows are keyed, so
+    concurrent writers replaying the same evaluation are idempotent.  Sync
+    failures (e.g. a reader holding the database exclusively past the busy
+    timeout) are swallowed: the entries also travel back to the coordinator
+    in the worker's result message, so losing the write-through costs at
+    most a re-evaluation in a later process.
+    """
+    if not entries:
+        return
+    try:
+        conn = sqlite3.connect(str(path))
+        try:
+            conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+            conn.executemany(
+                "INSERT OR REPLACE INTO guards (key, value) VALUES (?, ?)",
+                [(encode_guard_key(key), int(value)) for key, value in entries],
+            )
+            conn.commit()
+        finally:
+            conn.close()
+    except sqlite3.Error:  # pragma: no cover - contention fallback
+        pass
 
 
 def open_store(path: "str | Path | None", **kwargs) -> StateStore:

@@ -1,0 +1,294 @@
+"""Frontier worker processes for the parallel exploration subsystem.
+
+A :class:`WorkerPool` owns N ``multiprocessing`` processes, each running
+:func:`worker_main` over a read-only snapshot of one guarded form.  The
+coordinator (:class:`~repro.engine.parallel.ParallelExplorationEngine`)
+partitions each frontier wave into per-worker batches — a worker owns the
+shard ``stable_shape_hash(shape) % N``, so the subtree shapes and guard
+values of a shard accumulate in that worker's local caches across waves —
+and every worker answers one batch with one message:
+
+``(worker index, wave id, [per-state expansion payloads], [new guard rows],
+error)``
+
+A per-state payload carries everything the coordinator needs to replay the
+expansion *without re-evaluating a single formula*: per candidate the encoded
+update, the encoded successor root shape (the coordinator's interning key),
+the encoded successor representative **with node ids** (derived from the
+shipped parent representative, so its ids are bit-identical to the ones the
+serial engine would assign), the addition flag, the successor size and the
+pre-update sibling-copy count — exactly the tuple
+:meth:`~repro.engine.engine.ExplorationEngine._expand` memoizes, minus the
+state id the coordinator assigns at merge time.
+
+Workers never intern canonical state ids: interning order determines the
+engine's dense id assignment, and keeping it on the coordinator (which merges
+in serial pop order) is what makes parallel runs bit-identical to serial
+ones.  What workers *do* share is guard evaluations: each worker keeps a
+:class:`~repro.engine.guards.GuardCache` keyed identically to the
+coordinator's (states are addressed by their canonical ids, shipped with the
+task), returns the entries it evaluated in its result batches, and — when the
+exploration is backed by an on-disk :class:`~repro.engine.store.SqliteStore`
+— hydrates from and writes back to the store's ``guards`` table through the
+sqlite WAL (see :func:`load_guard_rows` / :func:`write_guard_rows` in
+:mod:`repro.engine.store`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import traceback
+from typing import Optional
+
+from repro.core.guarded_form import GuardedForm, Update
+from repro.engine.engine import enumerate_expansion
+from repro.engine.guards import GuardCache
+from repro.engine.interning import IncrementalShaper, ShapeInterner
+from repro.engine.store import load_guard_rows, write_guard_rows
+from repro.exceptions import AnalysisError
+from repro.io.serialization import (
+    decode_instance_with_ids,
+    encode_guard_key,
+    encode_instance_with_ids,
+    encode_shape,
+    encode_update,
+)
+
+#: Sentinel telling a worker's task loop to exit.
+_SHUTDOWN = None
+
+#: How long (seconds) the coordinator waits between liveness checks while
+#: collecting wave results.
+_POLL_INTERVAL = 0.25
+
+
+class _GuardJournal:
+    """A guard-cache write sink collecting the entries a worker evaluates.
+
+    Quacks like the persistent-store interface :class:`GuardCache` writes
+    through (``put_guard``), so the worker-side cache needs no special mode;
+    the pool drains the journal once per batch.
+    """
+
+    def __init__(self) -> None:
+        self.entries: list = []
+
+    def put_guard(self, key: tuple, value: bool) -> None:
+        self.entries.append((key, value))
+
+    def drain(self) -> list:
+        drained, self.entries = self.entries, []
+        return drained
+
+
+class FrontierWorker:
+    """The per-process expansion state: one guarded form, local caches.
+
+    ``expand`` runs the *shared* candidate enumeration
+    (:func:`~repro.engine.engine.enumerate_expansion`) — the same traversal,
+    guard keys and candidate order as the serial engine's ``_expand``, by
+    construction — which the serial-vs-parallel differential suite pins per
+    benchgen family.
+    """
+
+    def __init__(self, guarded_form: GuardedForm, store_path: Optional[str] = None) -> None:
+        self._form = guarded_form
+        self._interner = ShapeInterner()
+        self._shaper = IncrementalShaper(self._interner)
+        self._journal = _GuardJournal()
+        self._guards = GuardCache(guarded_form, store=self._journal)
+        self._store_path = store_path
+        if store_path is not None:
+            for key, value in load_guard_rows(store_path):
+                self._guards.restore(key, value)
+            self._journal.drain()  # hydration is not news to report back
+
+    def expand(self, state_id: int, blob: str) -> tuple:
+        """Expansion payload for one state: ``(state id, candidates, queries)``."""
+        instance = decode_instance_with_ids(blob, self._form.schema)
+        shape_map = self._shaper.full_map(instance)
+        guards = self._guards
+        queries_before = guards.hits + guards.misses
+
+        def candidate(update: Update, is_addition: bool, succ_size: int, copies: int) -> tuple:
+            successor, _succ_map, root_shape = self._shaper.successor(instance, shape_map, update)
+            return (
+                encode_update(update),
+                encode_shape(root_shape),
+                encode_instance_with_ids(successor),
+                is_addition,
+                succ_size,
+                copies,
+            )
+
+        candidates = enumerate_expansion(
+            instance, shape_map, self._form.schema, guards, state_id, candidate
+        )
+        return (state_id, candidates, guards.hits + guards.misses - queries_before)
+
+    def run_batch(self, batch: list) -> tuple:
+        """Expand one task batch; returns ``(payloads, new guard rows)``.
+
+        Newly evaluated guard entries are drained from the journal, written
+        through to the store's WAL (when one backs the exploration) and
+        returned encoded so the coordinator can merge them either way.
+        """
+        payloads = [self.expand(state_id, blob) for state_id, blob in batch]
+        entries = self._journal.drain()
+        if entries and self._store_path is not None:
+            write_guard_rows(self._store_path, entries)
+        encoded = [(encode_guard_key(key), bool(value)) for key, value in entries]
+        return payloads, encoded
+
+
+def worker_main(index: int, guarded_form: GuardedForm, tasks, results, store_path) -> None:
+    """Entry point of one worker process: loop over task batches until told
+    to shut down, reporting each batch (or the failure that killed it).
+
+    Every result echoes the wave id its task carried, so the coordinator can
+    discard answers to a wave it abandoned (e.g. a ``KeyboardInterrupt``
+    landing mid-collection) instead of mistaking them for the next wave's.
+    """
+    try:
+        worker = FrontierWorker(guarded_form, store_path)
+    except BaseException:  # noqa: BLE001 - report startup failures, don't hang the pool
+        results.put((index, None, None, None, traceback.format_exc()))
+        return
+    while True:
+        message = tasks.get()
+        if message is _SHUTDOWN:
+            return
+        wave, batch = message
+        try:
+            payloads, guard_rows = worker.run_batch(batch)
+        except BaseException:  # noqa: BLE001 - the coordinator re-raises
+            results.put((index, wave, None, None, traceback.format_exc()))
+        else:
+            results.put((index, wave, payloads, guard_rows, None))
+
+
+class WorkerPool:
+    """N frontier worker processes plus the queues to talk to them.
+
+    The pool is created lazily by the parallel engine's first prefetch and
+    lives for the engine's lifetime, so worker-local guard/shape caches keep
+    paying off across the many explorations one analysis performs.  Workers
+    are daemons: an exiting coordinator can never be held hostage by them.
+    """
+
+    def __init__(
+        self,
+        guarded_form: GuardedForm,
+        workers: int,
+        store_path: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise AnalysisError("a worker pool needs at least one worker")
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        self.workers = workers
+        self._results = context.Queue()
+        self._tasks = [context.Queue() for _ in range(workers)]
+        self._processes = [
+            context.Process(
+                target=worker_main,
+                args=(index, guarded_form, self._tasks[index], self._results, store_path),
+                daemon=True,
+                name=f"repro-frontier-worker-{index}",
+            )
+            for index in range(workers)
+        ]
+        for process in self._processes:
+            process.start()
+        self._closed = False
+        self._wave = 0
+
+    # ------------------------------------------------------------------ #
+    # wave dispatch
+    # ------------------------------------------------------------------ #
+
+    def run_wave(self, batches: dict) -> tuple[list, list]:
+        """Dispatch per-worker *batches* and gather every answer.
+
+        Args:
+            batches: ``worker index -> [(state id, encoded representative)]``;
+                only non-empty batches are dispatched.
+
+        Returns:
+            ``(payloads, guard rows)`` concatenated over all workers (the
+            coordinator re-orders payloads by state id anyway).
+
+        Raises:
+            AnalysisError: when a worker reports an exception or dies.
+        """
+        self._wave += 1
+        wave = self._wave
+        expected = set()
+        for index, batch in batches.items():
+            if batch:
+                self._tasks[index].put((wave, batch))
+                expected.add(index)
+        payloads: list = []
+        guard_rows: list = []
+        while expected:
+            try:
+                index, result_wave, batch_payloads, batch_guards, error = self._results.get(
+                    timeout=_POLL_INTERVAL
+                )
+            except queue_module.Empty:
+                self._check_liveness(expected)
+                continue
+            if error is not None and result_wave is None:
+                raise AnalysisError(f"frontier worker {index} failed to start:\n{error}")
+            if result_wave != wave:
+                continue  # answer to an abandoned wave; drop it
+            if error is not None:
+                raise AnalysisError(f"frontier worker {index} failed:\n{error}")
+            expected.discard(index)
+            payloads.extend(batch_payloads)
+            guard_rows.extend(batch_guards)
+        return payloads, guard_rows
+
+    def _check_liveness(self, expected: set) -> None:
+        for index in expected:
+            if not self._processes[index].is_alive():
+                raise AnalysisError(
+                    f"frontier worker {index} died (exit code "
+                    f"{self._processes[index].exitcode}) before answering its batch"
+                )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for task_queue in self._tasks:
+            try:
+                task_queue.put(_SHUTDOWN)
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+        for task_queue in [*self._tasks, self._results]:
+            task_queue.close()
+            task_queue.cancel_join_thread()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -40,6 +40,7 @@ def extract_workflow(
     engine: Optional[ExplorationEngine] = None,
     store: Optional[StateStore] = None,
     resume: bool = False,
+    workers: int = 1,
 ) -> LabelledTransitionSystem:
     """Build the labelled transition system implied by *guarded_form*.
 
@@ -50,12 +51,19 @@ def extract_workflow(
 
     A persistent *store* backs the exploration (interned shapes, guard
     values, checkpoints); *resume* continues an interrupted bounded
-    extraction from its checkpoint.
+    extraction from its checkpoint.  ``workers > 1`` runs the bounded
+    exploration on a frontier worker pool
+    (:mod:`repro.engine.parallel`); the extracted system is identical.
     """
-    engine = engine_for(guarded_form, engine, frontier, store=store)
-    if guarded_form.schema_depth() <= 1:
-        return _extract_depth1(engine, guarded_form, start, frontier)
-    return _extract_bounded(engine, guarded_form, start, limits, frontier, resume)
+    owns_engine = engine is None
+    engine = engine_for(guarded_form, engine, frontier, store=store, workers=workers)
+    try:
+        if guarded_form.schema_depth() <= 1:
+            return _extract_depth1(engine, guarded_form, start, frontier)
+        return _extract_bounded(engine, guarded_form, start, limits, frontier, resume)
+    finally:
+        if owns_engine:
+            engine.shutdown_workers()
 
 
 def _depth1_state_name(state: frozenset) -> str:
