@@ -15,8 +15,12 @@ Two sections are produced:
   the ``ParallelExplorationEngine`` at each requested worker count —
   reporting serial and parallel states/sec, the speedup, the host's CPU
   count (a 1-core host cannot speed up CPU-bound work, so the speedup figure
-  is only meaningful alongside ``cpu_count``) and a serial-vs-parallel
-  bit-identity verdict that the ``--check`` gate enforces unconditionally.
+  is only meaningful alongside ``cpu_count``), a serial-vs-parallel
+  bit-identity verdict that the ``--check`` gate enforces unconditionally,
+  and the binary wire protocol's volume metrics — payload bytes, wire bytes
+  per candidate (gated to stay >=40% below the PR 3 per-candidate encoding,
+  which is measured on the serial reference for comparison), shape-dedup hit
+  rate and decode time.
 
 * ``pytest_benchmarks`` — the per-test timings of every ``bench_*.py``
   module, collected through ``pytest-benchmark``'s JSON output.  Skipped
@@ -77,16 +81,25 @@ def _engine_workloads():
     ]
 
 
+#: Required reduction of wire bytes per candidate vs the PR 3 encoding; the
+#: --check gate fails any parallel workload that misses it.
+WIRE_REDUCTION_FLOOR = 0.40
+
+
 def measure_parallel(frontier: str, worker_counts: list[int]) -> list[dict]:
     """The largest bounded family, serial vs. parallel at each worker count.
 
     Parity is checked bit-for-bit (state ids *and* node-id-exact
     transitions); the serial run is measured on a fresh engine each time so
-    both sides start cold.
+    both sides start cold.  Each row also records the binary wire protocol's
+    volume metrics (payload bytes, bytes per candidate, shape-dedup hit rate,
+    decode time) next to the PR 3 per-candidate encoding cost measured on the
+    serial reference, so the --check gate can enforce the reduction floor.
     """
     from repro.analysis.results import ExplorationLimits
     from repro.benchgen.families import positive_deep_family
     from repro.engine import ExplorationEngine, ParallelExplorationEngine
+    from repro.engine.wire import pr3_encoding_cost
 
     form = positive_deep_family(4, width=2)
     limits = ExplorationLimits(max_states=4_000, max_instance_nodes=24)
@@ -106,11 +119,16 @@ def measure_parallel(frontier: str, worker_counts: list[int]) -> list[dict]:
             for source, edges in graph.transitions.items()
         }
 
+    serial_engine = ExplorationEngine(form, limits=limits, strategy=frontier)
     started = time.perf_counter()
-    reference = ExplorationEngine(form, limits=limits, strategy=frontier).explore()
+    reference = serial_engine.explore()
     serial_elapsed = time.perf_counter() - started
     serial_states = len(reference.states)
     serial_sps = round(serial_states / serial_elapsed, 1) if serial_elapsed else None
+    legacy_bytes, legacy_candidates = pr3_encoding_cost(serial_engine)
+    legacy_per_candidate = (
+        round(legacy_bytes / legacy_candidates, 2) if legacy_candidates else None
+    )
 
     rows = []
     for workers in worker_counts:
@@ -156,6 +174,21 @@ def measure_parallel(frontier: str, worker_counts: list[int]) -> list[dict]:
                 "states_prefetched": stats["states_prefetched"],
                 "waves_dispatched": stats["waves_dispatched"],
                 "worker_guard_entries_merged": stats["worker_guard_entries_merged"],
+                # binary wire protocol (PR 4): volume + dedup + decode cost,
+                # and the PR 3 encoding cost for the same candidates
+                "wire_frames_received": stats["wire_frames_received"],
+                "wire_bytes_received": stats["wire_bytes_received"],
+                "wire_expansion_bytes": stats["wire_expansion_bytes"],
+                "wire_guard_bytes": stats["wire_guard_bytes"],
+                "wire_bytes_per_candidate": stats["wire_bytes_per_candidate"],
+                "wire_dedup_hit_rate": stats["wire_dedup_hit_rate"],
+                "wire_decode_seconds": stats["wire_decode_seconds"],
+                "legacy_wire_bytes_per_candidate": legacy_per_candidate,
+                "wire_reduction_vs_legacy": (
+                    round(1.0 - stats["wire_bytes_per_candidate"] / legacy_per_candidate, 4)
+                    if stats["wire_bytes_per_candidate"] and legacy_per_candidate
+                    else None
+                ),
             }
         )
     return rows
@@ -276,21 +309,40 @@ def check_regressions(report: dict, baseline: dict, threshold: float) -> list[st
     than *threshold* in states/sec, needing more formula evaluations than the
     baseline allows (a deterministic counter, immune to timer noise), losing
     state-set parity with the legacy explorers, breaking serial-vs-parallel
-    bit-identity, or disappearing from the report entirely.  Parallel
-    workloads are keyed by worker count, so a run measured with different
-    ``--workers`` counts than the baseline simply skips the missing rows
-    (their speedups are host-dependent; the parity verdict is what gates).
+    bit-identity, shipping more wire bytes per candidate than the PR 3
+    encoding minus the :data:`WIRE_REDUCTION_FLOOR`, growing its wire bytes
+    per candidate beyond *threshold* vs the baseline, or disappearing from
+    the report entirely.  Parallel workloads are keyed by worker count, so a
+    run measured with different ``--workers`` counts than the baseline simply
+    skips the missing rows (their speedups are host-dependent; the parity
+    verdict is what gates).
+
+    Baselines recorded before a metric existed are tolerated: every
+    comparison reads baseline fields with ``.get`` and skips (never
+    ``KeyError``\\ s) when the old file misses them — in particular the
+    ``wire_*`` fields absent from pre-PR-4 baselines.
     """
     failures: list[str] = []
     current = {w["workload"]: w for w in report["engine"]["workloads"]}
-    # parity is gated on the *fresh* measurements, baseline or not: a
-    # workload whose parallel graph diverges from serial must fail even on
-    # the very first run that measures it
+    # parity and the wire-reduction floor are gated on the *fresh*
+    # measurements, baseline or not: a workload whose parallel graph diverges
+    # from serial, or whose wire encoding lost its edge over the PR 3 one,
+    # must fail even on the very first run that measures it
     for name, fresh in current.items():
         if not fresh.get("state_set_parity_with_legacy", True):
             failures.append(f"workload {name!r} lost state-set parity with the legacy explorer")
         if not fresh.get("serial_parallel_parity", True):
             failures.append(f"workload {name!r} broke serial-vs-parallel bit-identity")
+        wire_bpc = fresh.get("wire_bytes_per_candidate")
+        legacy_bpc = fresh.get("legacy_wire_bytes_per_candidate")
+        if wire_bpc and legacy_bpc:
+            ceiling = (1.0 - WIRE_REDUCTION_FLOOR) * legacy_bpc
+            if wire_bpc > ceiling:
+                failures.append(
+                    f"workload {name!r} ships {wire_bpc} wire bytes/candidate; the "
+                    f"PR 3 encoding shipped {legacy_bpc} and the gate requires a "
+                    f">={WIRE_REDUCTION_FLOOR:.0%} reduction (ceiling {ceiling:.1f})"
+                )
     for workload in baseline.get("engine", {}).get("workloads", []):
         name = workload["workload"]
         fresh = current.get(name)
@@ -312,6 +364,16 @@ def check_regressions(report: dict, baseline: dict, threshold: float) -> list[st
                 f"workload {name!r} now needs {new_evals} formula evaluations "
                 f"vs baseline {old_evals} (allowed ceiling "
                 f"{old_evals * (1.0 + threshold):.1f})"
+            )
+        # wire volume drift vs the baseline (deterministic, like the formula
+        # counter); baselines without the field — pre-PR-4 — are skipped
+        old_wire = workload.get("wire_bytes_per_candidate")
+        new_wire = fresh.get("wire_bytes_per_candidate")
+        if old_wire and new_wire and new_wire > old_wire * (1.0 + threshold):
+            failures.append(
+                f"workload {name!r} now ships {new_wire} wire bytes/candidate "
+                f"vs baseline {old_wire} (allowed ceiling "
+                f"{old_wire * (1.0 + threshold):.1f})"
             )
     return failures
 
@@ -479,6 +541,16 @@ def main(argv=None) -> int:
                     serial_sps=workload["serial_states_per_second"],
                     cpus=workload["cpu_count"],
                     parity=workload["serial_parallel_parity"],
+                )
+            )
+            print(
+                "[run_all]     wire: {bpc} B/candidate vs {legacy} B on the "
+                "PR 3 encoding, shape-dedup hit rate {dedup:.1%}, "
+                "{total} B received".format(
+                    bpc=workload["wire_bytes_per_candidate"],
+                    legacy=workload["legacy_wire_bytes_per_candidate"],
+                    dedup=workload["wire_dedup_hit_rate"],
+                    total=workload["wire_bytes_received"],
                 )
             )
             continue

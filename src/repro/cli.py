@@ -55,6 +55,7 @@ from repro.core.fragments import classify
 from repro.core.guarded_form import GuardedForm
 from repro.engine import (
     STRATEGIES,
+    WIRE_VERSION,
     ExplorationEngine,
     ParallelExplorationEngine,
     SqliteStore,
@@ -337,6 +338,16 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
                 f"{stats['worker_guard_entries_merged']} guard entries merged",
                 file=out,
             )
+            if stats["wire_frames_received"]:
+                print(
+                    f"wire (v{WIRE_VERSION} frames): "
+                    f"{stats['wire_bytes_received']} bytes in "
+                    f"{stats['wire_frames_received']} frames, "
+                    f"{stats['wire_bytes_per_candidate']} bytes/candidate, "
+                    f"{stats['wire_dedup_hit_rate']:.1%} shape-dedup hit rate, "
+                    f"decoded in {stats['wire_decode_seconds']}s",
+                    file=out,
+                )
         if store.persistent:
             print(
                 f"store ({args.store}): "

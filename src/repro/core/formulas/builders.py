@@ -12,7 +12,7 @@ build large formulas programmatically, so this module provides a compact DSL:
 from __future__ import annotations
 
 from functools import reduce
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.core.formulas.ast import (
     And,

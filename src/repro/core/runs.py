@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
-from repro.core.guarded_form import Addition, Deletion, GuardedForm, Update
+from repro.core.guarded_form import GuardedForm, Update
 from repro.core.instance import Instance
 from repro.exceptions import RunError
 

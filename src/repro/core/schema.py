@@ -11,7 +11,7 @@ this way, e.g. ``a/p/b``).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Optional
+from typing import Iterable, Iterator, Mapping
 
 from repro.core.labels import ROOT_LABEL, validate_field_label
 from repro.core.tree import LabelledTree, Node

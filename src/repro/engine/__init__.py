@@ -20,7 +20,11 @@ This package is that hot path, carved out as an explicit subsystem:
 * :mod:`repro.engine.parallel` / :mod:`repro.engine.workers` —
   :class:`ParallelExplorationEngine`, expanding frontier waves on
   :class:`WorkerPool` processes (shape-hash sharded, batched result merging)
-  with results bit-identical to the serial engine.
+  with results bit-identical to the serial engine;
+* :mod:`repro.engine.wire` — the versioned binary wire codec for
+  worker→coordinator batches: struct-packed frames with a per-batch shape
+  table (each distinct successor root shape serialised once, candidates
+  referencing it by index) and inline guard entries.
 
 The legacy entry points ``explore_depth1`` / ``explore_bounded`` in
 :mod:`repro.analysis.statespace` remain as thin shims over this engine.
@@ -43,6 +47,7 @@ from repro.engine.store import (
     exploration_run_key,
     open_store,
 )
+from repro.engine.wire import WIRE_VERSION, FrameEncoder, WireFrame
 from repro.engine.workers import FrontierWorker, WorkerPool
 from repro.engine.strategies import (
     STRATEGIES,
@@ -62,6 +67,9 @@ __all__ = [
     "stable_shape_hash",
     "WorkerPool",
     "FrontierWorker",
+    "WIRE_VERSION",
+    "FrameEncoder",
+    "WireFrame",
     "StateStore",
     "InMemoryStore",
     "SqliteStore",

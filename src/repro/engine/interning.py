@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.guarded_form import Addition, Deletion, Update
+from repro.core.guarded_form import Addition, Update
 from repro.core.instance import Instance
 from repro.core.tree import LabelledTree, Node, Shape
 
@@ -188,6 +188,52 @@ class IncrementalShaper:
             dirty = dirty.parent
         self.nodes_full_equivalent += successor.size()
         return successor, new_map, new_map[successor.root.node_id]
+
+    def successor_shape(
+        self,
+        instance: Instance,
+        shape_map: dict[int, Shape],
+        update: Update,
+    ) -> Shape:
+        """The root shape of ``apply(update)`` *without* materialising the
+        successor instance.
+
+        Equivalent to ``successor(...)[2]`` — the same consed shapes, built
+        by the same root-to-update-path rebuild — but skipping the deep copy
+        of the instance and the successor shape map.  The frontier workers
+        use it: since PR 4 they ship shape-table references instead of
+        successor representatives, so the copy :meth:`successor` performs
+        would be thrown away per candidate.
+        """
+        cons = self._interner.cons
+        if isinstance(update, Addition):
+            dirty = instance.node(update.parent_id)
+            extra: Optional[Shape] = cons((update.label, ()))
+            removed_id = None
+            self.nodes_rehashed += 1
+        else:
+            node = instance.node(update.node_id)
+            dirty = node.parent
+            extra = None
+            removed_id = update.node_id
+        new_shape: Optional[Shape] = None
+        rebuilt = dirty
+        while dirty is not None:
+            children = [
+                new_shape if child is rebuilt else shape_map[child.node_id]
+                for child in dirty.children
+                if child.node_id != removed_id
+            ]
+            if extra is not None:
+                children.append(extra)
+                extra = None
+            new_shape = cons((dirty.label, tuple(sorted(children))))
+            self.nodes_rehashed += 1
+            rebuilt = dirty
+            dirty = dirty.parent
+        self.nodes_full_equivalent += instance.size() + (1 if removed_id is None else -1)
+        assert new_shape is not None  # the dirty node always exists
+        return new_shape
 
     def stats(self) -> dict:
         """Counter snapshot for :class:`AnalysisResult` stats."""

@@ -8,38 +8,45 @@ frontier, partitions it across the :class:`~repro.engine.workers.WorkerPool`
 — the shape interner is *sharded by shape hash*, worker ``i`` owning every
 state with ``stable_shape_hash(shape) % N == i``, so a shard's subtree shapes
 and guard evaluations accumulate in one worker's caches — and stages the
-batched results.  The base class's exploration loop is untouched: it pops
-states in exactly the serial order, and :meth:`_expand` adopts a staged
-payload by interning the successor shapes *at that moment, in candidate
-order*.
+answering **binary wire frames** (:mod:`repro.engine.wire`).  The base
+class's exploration loop is untouched: it pops states in exactly the serial
+order, and :meth:`_expand` adopts a staged payload by decoding it *at that
+moment* and interning successor shapes in candidate order.
 
 That split is what makes parallel runs **bit-identical** to serial ones — a
 property the differential suite (``tests/engine/test_parallel.py``) pins per
 benchgen family:
 
 * state ids are assigned by the coordinator only, in the serial engine's
-  pop/candidate order (workers never intern; they return encoded shapes);
-* successor representatives are derived by workers from the shipped parent
-  representative — node ids, child order and the id counter included — so a
-  state's canonical representative is the same instance, node-id-for-node-id,
-  whichever process first derived it;
+  pop/candidate order (workers never intern; they return shape-table
+  references);
+* a genuinely new successor's canonical representative is derived *by the
+  coordinator* from the parent representative with the exact incremental
+  derivation the serial engine uses
+  (:meth:`~repro.engine.interning.IncrementalShaper.successor`) — node ids,
+  child order and the id counter included — so nothing about a state depends
+  on which process first saw it;
 * limits, truncation flags, early exit and checkpoint/resume all live in the
   unmodified base loop, so ``--workers N`` composes with every existing
   feature (any frontier strategy, ``stop_on_complete``, ``step_limit``,
   store-backed resume) without new semantics.
 
-Cross-shard duplicates cost only wasted worker cycles: two workers may both
-derive an encoded successor for the same shape, but the coordinator's
-``encoded shape -> state id`` table deduplicates them deterministically at
-merge time.
+The wire protocol is what PR 4 changed: PR 3 shipped one JSON-encoded
+successor instance per candidate (the coordinator-side decode/merge being the
+Amdahl bottleneck); frames now carry a per-batch shape table — each distinct
+successor root shape once, candidates referencing it by index — and no
+representative instances at all.  Per-wave payload bytes, the shape-dedup
+hit rate and decode time are tracked and surface in ``stats["engine"]`` as
+``wire_*`` counters; ``benchmarks/run_all.py`` gates the bytes-per-candidate
+reduction against the PR 3 encoding.
 
-Guard values flow back with each batch.  On a store-backed engine the workers
-additionally hydrate from and write through to the sqlite store's ``guards``
-table (WAL journaling lets them do so concurrently with the coordinator —
-the ROADMAP's "workers sync through the sqlite WAL" item); with an
-:class:`~repro.engine.store.InMemoryStore` the coordinator merges the
-returned entries into its own :class:`~repro.engine.guards.GuardCache`
-instead, so nothing is evaluated twice either way.
+Guard values flow back inside each frame.  On a store-backed engine the
+workers additionally hydrate from and write through to the sqlite store's
+``guards`` table (WAL journaling lets them do so concurrently with the
+coordinator); with an :class:`~repro.engine.store.InMemoryStore` the
+coordinator merges the returned entries into its own
+:class:`~repro.engine.guards.GuardCache` instead, so nothing is evaluated
+twice either way.
 """
 
 from __future__ import annotations
@@ -51,14 +58,12 @@ from repro.core.tree import Shape
 from repro.engine.engine import ExplorationEngine
 from repro.engine.interning import StateId
 from repro.engine.store import StateStore
+from repro.engine.wire import WireFrame
 from repro.engine.workers import WorkerPool
 from repro.exceptions import AnalysisError
 from repro.io.serialization import (
-    decode_guard_key,
-    decode_instance_with_ids,
-    decode_update,
     encode_instance_with_ids,
-    encode_shape,
+    encode_shape_binary,
 )
 
 
@@ -66,11 +71,11 @@ def stable_shape_hash(shape: Shape) -> int:
     """A shape digest stable across processes and interpreter runs.
 
     ``hash()`` on nested label tuples varies with ``PYTHONHASHSEED``, so the
-    shard assignment uses a CRC of the canonical shape encoding instead; the
-    encoding is order-normalised, hence equal shapes always land on the same
-    shard.
+    shard assignment uses a CRC of the canonical binary shape encoding
+    instead; the encoding is order-normalised, hence equal shapes always land
+    on the same shard.
     """
-    return zlib.crc32(encode_shape(shape).encode("utf-8"))
+    return zlib.crc32(encode_shape_binary(shape))
 
 
 class ParallelExplorationEngine(ExplorationEngine):
@@ -111,13 +116,21 @@ class ParallelExplorationEngine(ExplorationEngine):
         self.workers = workers
         self.min_wave = max(1, min_wave if min_wave is not None else 2 * workers)
         self._pool: Optional[WorkerPool] = None
-        self._staged: dict = {}  # StateId -> (raw candidates, guard queries)
-        self._encoded_ids: dict = {}  # encoded root shape -> StateId
+        self._staged: dict = {}  # StateId -> WireFrame carrying its payload
         self._shards: dict = {}  # StateId -> shard index
         self.waves_dispatched = 0
         self.states_prefetched = 0
         self.expansions_adopted = 0
         self.worker_guard_entries_merged = 0
+        # wire-protocol counters (surfaced as stats["engine"]["wire_*"])
+        self.wire_frames_received = 0
+        self.wire_bytes_received = 0
+        self.wire_bytes_last_wave = 0
+        self.wire_expansion_bytes = 0  # shape tables + candidate payloads
+        self.wire_guard_bytes = 0  # guard-entry sections
+        self.wire_shape_refs = 0  # candidates received, i.e. shape-table references
+        self.wire_shape_table_entries = 0  # distinct shapes actually serialised
+        self.wire_decode_seconds = 0.0
 
     # ------------------------------------------------------------------ #
     # pool lifecycle
@@ -153,9 +166,8 @@ class ParallelExplorationEngine(ExplorationEngine):
     def shutdown_workers(self) -> None:
         """Stop the worker pool (idempotent; a later explore respawns it).
 
-        Staged-but-never-adopted payloads are dropped with it: they carry
-        full encoded successor instances, and an analysis that is done with
-        its workers is done prefetching.
+        Staged-but-never-adopted frames are dropped with it: an analysis that
+        is done with its workers is done prefetching.
         """
         if self._pool is not None:
             self._pool.close()
@@ -191,8 +203,8 @@ class ParallelExplorationEngine(ExplorationEngine):
     def _prefetch(self, state_id: StateId, frontier) -> None:
         """Expand the uncovered slice of the pending frontier on the pool.
 
-        Prefetching is semantically transparent: staged payloads intern
-        nothing until :meth:`_expand` adopts them, so work wasted on states a
+        Prefetching is semantically transparent: staged frames intern nothing
+        until :meth:`_expand` adopts them, so work wasted on states a
         truncated or early-exiting exploration never pops costs cycles, not
         correctness.
         """
@@ -216,7 +228,7 @@ class ParallelExplorationEngine(ExplorationEngine):
             )
         pool = self._ensure_pool()
         try:
-            payloads, guard_rows = pool.run_wave(batches)
+            raw_frames = pool.run_wave(batches)
         except BaseException:
             # a failed or interrupted wave may leave answers in flight; tear
             # the pool down so a resume starts from a clean one (run_wave's
@@ -224,24 +236,25 @@ class ParallelExplorationEngine(ExplorationEngine):
             # processes too)
             self.shutdown_workers()
             raise
-        for staged_id, candidates, guard_queries in payloads:
-            self._staged[staged_id] = (candidates, guard_queries)
-        self._merge_guard_rows(guard_rows)
+        wave_bytes = 0
+        for data in raw_frames:
+            frame = WireFrame(data)  # envelope + guard section parse
+            wave_bytes += len(frame)
+            self.wire_frames_received += 1
+            self.wire_expansion_bytes += frame.expansion_nbytes
+            self.wire_guard_bytes += frame.guard_nbytes
+            self.wire_shape_refs += frame.total_candidates
+            self.wire_shape_table_entries += frame.shape_count
+            for key, value in frame.guard_entries:
+                self.guards.restore(key, value)
+            self.worker_guard_entries_merged += len(frame.guard_entries)
+            for staged_id in frame.state_ids():
+                self._staged[staged_id] = frame
+            self.wire_decode_seconds += frame.take_decode_seconds()
+        self.wire_bytes_received += wave_bytes
+        self.wire_bytes_last_wave = wave_bytes
         self.waves_dispatched += 1
         self.states_prefetched += len(wave)
-
-    def _merge_guard_rows(self, guard_rows: list) -> None:
-        """Adopt worker-evaluated guard entries into the coordinator cache.
-
-        Keys are identical to the ones the serial engine would have used
-        (workers address states by their canonical ids), so this is a plain
-        cache union.  On a store-backed run the workers already wrote the
-        rows through the WAL; with an in-memory store this merge *is* the
-        persistence.
-        """
-        for encoded_key, value in guard_rows:
-            self.guards.restore(decode_guard_key(encoded_key), value)
-        self.worker_guard_entries_merged += len(guard_rows)
 
     # ------------------------------------------------------------------ #
     # staged-expansion adoption
@@ -249,48 +262,58 @@ class ParallelExplorationEngine(ExplorationEngine):
 
     def _expand(self, state_id: StateId) -> list:
         if state_id not in self._expansions:
-            staged = self._staged.pop(state_id, None)
-            if staged is not None:
-                return self._adopt(state_id, staged)
+            frame = self._staged.pop(state_id, None)
+            if frame is not None:
+                return self._adopt(state_id, frame)
         return super()._expand(state_id)
 
-    def _adopt(self, state_id: StateId, staged: tuple) -> list:
-        """Turn a worker payload into a memoized expansion.
+    def _adopt(self, state_id: StateId, frame: WireFrame) -> list:
+        """Turn a staged wire payload into a memoized expansion.
 
-        Successor shapes are interned *here*, in candidate order — the same
-        moment and order the serial engine's ``_expand`` would intern them —
-        which keeps the dense id assignment (including ids for candidates a
-        limit later filters out) bit-identical to a serial run.
+        The frame is decoded *here* (lazily, per state) and successor shapes
+        are interned in candidate order — the same moment and order the
+        serial engine's ``_expand`` would intern them — which keeps the dense
+        id assignment (including ids for candidates a limit later filters
+        out) bit-identical to a serial run.  A successor new to the interner
+        gets its canonical representative derived from the parent
+        representative exactly as :meth:`ExplorationEngine._successor_id`
+        derives it; known successors cost a shape-table lookup only.
         """
-        raw_candidates, guard_queries = staged
+        shapes = frame.shape_table(cons=self.interner.cons)
+        raw_candidates, guard_queries = frame.expansion(state_id)
+        self.wire_decode_seconds += frame.take_decode_seconds()
+        parent = self.representative(state_id)
+        parent_map = self._shape_map_of(state_id)
         candidates: list = []
-        for encoded_update, encoded_root, encoded_succ, is_addition, succ_size, copies in raw_candidates:
-            succ_id = self._encoded_ids.get(encoded_root)
-            if succ_id is None:
-                succ_id = self._intern_encoded(encoded_root, encoded_succ)
-            candidates.append(
-                (decode_update(encoded_update), succ_id, is_addition, succ_size, copies)
-            )
+        for update, shape_index, is_addition, succ_size, copies in raw_candidates:
+            succ_id, is_new = self.interner.state_id(shapes[shape_index])
+            if is_new:
+                successor, succ_map, root = self.shaper.successor(
+                    parent, parent_map, update
+                )
+                if root is not shapes[shape_index]:
+                    # both sides cons through this engine's interner, so the
+                    # worker-computed table shape and the coordinator-derived
+                    # root must be the *same object*; divergence means the two
+                    # derivations (successor / successor_shape) drifted and
+                    # the graph would silently corrupt
+                    raise AnalysisError(
+                        f"wire shape for state {succ_id} does not match the "
+                        "coordinator-derived successor shape (codec or shaper "
+                        "drift)"
+                    )
+                self._reps[succ_id] = successor
+                self._shape_maps[succ_id] = succ_map
+                if self.store.persistent:
+                    self.store.put_representative(
+                        succ_id, encode_instance_with_ids(successor)
+                    )
+            candidates.append((update, succ_id, is_addition, succ_size, copies))
         self._expansions[state_id] = (candidates, guard_queries)
         self.guards.credit_reuse(guard_queries)
         self.expansions_computed += 1
         self.expansions_adopted += 1
         return candidates
-
-    def _intern_encoded(self, encoded_root: str, encoded_succ: str) -> StateId:
-        """Intern one worker-derived successor, registering its representative
-        (node ids preserved) when the state is new to the engine."""
-        rep = decode_instance_with_ids(encoded_succ, self.guarded_form.schema)
-        shape_map = self.shaper.full_map(rep)
-        shape = shape_map[rep.root.node_id]
-        succ_id, is_new = self.interner.state_id(shape)
-        if is_new:
-            self._reps[succ_id] = rep
-            self._shape_maps[succ_id] = shape_map
-            if self.store.persistent:
-                self.store.put_representative(succ_id, encode_instance_with_ids(rep))
-        self._encoded_ids[encoded_root] = succ_id
-        return succ_id
 
     # ------------------------------------------------------------------ #
     # statistics
@@ -303,4 +326,21 @@ class ParallelExplorationEngine(ExplorationEngine):
         snapshot["states_prefetched"] = self.states_prefetched
         snapshot["expansions_adopted"] = self.expansions_adopted
         snapshot["worker_guard_entries_merged"] = self.worker_guard_entries_merged
+        snapshot["wire_frames_received"] = self.wire_frames_received
+        snapshot["wire_bytes_received"] = self.wire_bytes_received
+        snapshot["wire_bytes_last_wave"] = self.wire_bytes_last_wave
+        snapshot["wire_expansion_bytes"] = self.wire_expansion_bytes
+        snapshot["wire_guard_bytes"] = self.wire_guard_bytes
+        snapshot["wire_shape_refs"] = self.wire_shape_refs
+        snapshot["wire_shape_table_entries"] = self.wire_shape_table_entries
+        refs = self.wire_shape_refs
+        snapshot["wire_dedup_hit_rate"] = (
+            round(1.0 - self.wire_shape_table_entries / refs, 4) if refs else 0.0
+        )
+        # expansion payload only: the guard section is tracked separately so
+        # this compares like for like with the PR 3 per-candidate encoding
+        snapshot["wire_bytes_per_candidate"] = (
+            round(self.wire_expansion_bytes / refs, 2) if refs else None
+        )
+        snapshot["wire_decode_seconds"] = round(self.wire_decode_seconds, 6)
         return snapshot

@@ -53,9 +53,10 @@ from repro.engine.interning import StateId
 from repro.exceptions import StoreError
 from repro.io.serialization import (
     decode_guard_key,
-    decode_shape,
+    decode_shape_row,
     encode_guard_key,
     encode_shape,
+    encode_shape_binary,
     form_fingerprint,
 )
 
@@ -244,6 +245,12 @@ class SqliteStore(StateStore):
             consistent at every resume point.
         cache_size: capacity of each of the shape and representative LRU
             read caches.
+        binary_shapes: store shape rows in the wire codec's binary framing
+            (:func:`~repro.io.serialization.encode_shape_binary`) instead of
+            JSON text.  The read path auto-detects the format per row
+            (:func:`~repro.io.serialization.decode_shape_row`), so stores
+            written by either configuration — even mixed ones — open
+            interchangeably.
     """
 
     persistent = True
@@ -262,10 +269,12 @@ class SqliteStore(StateStore):
         batch_size: int = 512,
         cache_size: int = 8192,
         checkpoint_every: Optional[int] = None,
+        binary_shapes: bool = False,
     ) -> None:
         self.path = str(path)
         self.batch_size = max(1, batch_size)
         self.checkpoint_every = checkpoint_every
+        self.binary_shapes = binary_shapes
         try:
             self._conn = sqlite3.connect(self.path)
             self._conn.execute("PRAGMA synchronous=NORMAL")
@@ -320,9 +329,10 @@ class SqliteStore(StateStore):
         if not (self._pending_shapes or self._pending_reps or self._pending_guards):
             return
         if self._pending_shapes:
+            encode_row = encode_shape_binary if self.binary_shapes else encode_shape
             self._conn.executemany(
                 "INSERT OR REPLACE INTO shapes (id, shape) VALUES (?, ?)",
-                [(sid, encode_shape(shape)) for sid, shape in self._pending_shapes.items()],
+                [(sid, encode_row(shape)) for sid, shape in self._pending_shapes.items()],
             )
             self._pending_shapes.clear()
         if self._pending_reps:
@@ -389,17 +399,17 @@ class SqliteStore(StateStore):
         if row is None:
             return None
         self.rows_read += 1
-        shape = decode_shape(row[0])
+        shape = decode_shape_row(row[0])
         self.shape_cache.put(state_id, shape)
         return shape
 
     def load_shapes(self) -> Iterator[tuple[StateId, Shape]]:
         self.flush()
-        for state_id, text in self._conn.execute(
+        for state_id, row in self._conn.execute(
             "SELECT id, shape FROM shapes ORDER BY id"
         ):
             self.rows_read += 1
-            yield state_id, decode_shape(text)
+            yield state_id, decode_shape_row(row)
 
     # -- canonical representatives ------------------------------------- #
 
@@ -500,6 +510,7 @@ class SqliteStore(StateStore):
             "backend": "sqlite",
             "persistent": True,
             "path": self.path,
+            "shape_codec": "binary" if self.binary_shapes else "json",
             "form_name": self._get_meta("form_name"),
             "form_fingerprint": self._get_meta("form_fingerprint"),
             "schema_version": self._get_meta("schema_version"),

@@ -1,0 +1,471 @@
+"""The versioned binary wire codec for worker→coordinator batches.
+
+PR 3's parallel subsystem shipped one JSON-encoded successor instance per
+expansion candidate across the process boundary — the coordinator-side
+decode/merge work the ROADMAP calls out as the Amdahl bottleneck.  This
+module replaces that encoding with struct-packed **frames**:
+
+* a **per-batch shape table** — each distinct successor root shape occurring
+  in a batch is serialised exactly once (dedup by shape identity, i.e. by
+  ``stable_shape_hash`` equivalence classes within the wave batch) and
+  candidates reference it by table index;
+* **no representative instances on the wire at all** — the coordinator owns
+  the parent representative it shipped to the worker, so it can derive a new
+  successor's representative itself with the *same* incremental derivation
+  the serial engine uses (:meth:`IncrementalShaper.successor`), node id for
+  node id.  Duplicate candidates (the overwhelming majority) collapse to a
+  varint shape index;
+* **binary guard entries** — the guard evaluations a worker performed travel
+  in the same frame, encoded with a compact tagged term codec instead of
+  tagged JSON text.
+
+Frame layout (version 1; all integers unsigned LEB128 varints, strings
+length-prefixed UTF-8)::
+
+    magic       2 bytes  b"GW"
+    version     1 byte   WIRE_VERSION
+    guards      count, then per entry: term-coded key tuple, value byte
+    candidates  total candidate count across the frame (metrics, read eagerly)
+    shapes      table entry count, table byte length, then the shape table
+                (skipped on the eager parse; decoded lazily at first pop)
+    states      count, then a directory of (state id, payload byte length)
+    payloads    concatenated per-state payloads, in directory order
+
+Per-state payload::
+
+    guard query count, candidate count, then per candidate:
+        kind      1 byte   0 = deletion, 1 = addition
+        addition: parent node id, label, shape index, successor size, copies
+        deletion: node id, shape index, successor size
+
+The coordinator (:class:`~repro.engine.parallel.ParallelExplorationEngine`)
+parses the guard section, metrics counters and state directory **eagerly** at
+wave-merge time, and decodes the shape table and each state's payload
+**lazily** when the base exploration loop pops that state — so interning
+order, and with it every dense state id, stays bit-identical to a serial run,
+and work staged for states a truncated exploration never pops is never
+decoded either.
+
+Every structural defect — truncation anywhere, trailing bytes, a bad magic,
+an unknown version byte, an out-of-range shape index or value byte — raises
+:class:`~repro.exceptions.WireFormatError`; the Hypothesis suite in
+``tests/property/test_wire_properties.py`` pins round-trips and rejection.
+
+The shape framing (:func:`~repro.io.serialization.write_shape` /
+:func:`~repro.io.serialization.read_shape`) is shared with
+:mod:`repro.io.serialization`, where it also backs the
+:class:`~repro.engine.store.SqliteStore`'s optional binary shape rows.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.core.guarded_form import Addition, Deletion, Update
+from repro.core.tree import Shape
+from repro.exceptions import WireFormatError
+from repro.io.serialization import (
+    read_shape,
+    read_str,
+    read_uvarint,
+    write_shape,
+    write_str,
+    write_uvarint,
+)
+
+#: Leading bytes of every wire frame.
+WIRE_MAGIC = b"GW"
+
+#: Frame layout version; a coordinator refuses frames from any other.
+WIRE_VERSION = 1
+
+# Candidate kind bytes.
+_KIND_DELETION = 0
+_KIND_ADDITION = 1
+
+# Tag bytes of the guard-key term codec.
+_TERM_NONE = 0
+_TERM_FALSE = 1
+_TERM_TRUE = 2
+_TERM_INT = 3
+_TERM_STR = 4
+_TERM_TUPLE = 5
+_TERM_FROZENSET = 6
+
+
+# --------------------------------------------------------------------------- #
+# guard-key term codec
+# --------------------------------------------------------------------------- #
+
+
+def write_term(out: bytearray, term) -> None:
+    """Append one guard-key term: ``None``/bool/int/str/tuple/frozenset.
+
+    Signed integers use zigzag varints; frozensets are ordered by their
+    encoded bytes, so equal keys always encode identically (the property the
+    JSON guard-key codec guarantees by sorting encoded elements).
+    """
+    if term is None:
+        out.append(_TERM_NONE)
+    elif term is True:
+        out.append(_TERM_TRUE)
+    elif term is False:
+        out.append(_TERM_FALSE)
+    elif isinstance(term, int):
+        out.append(_TERM_INT)
+        write_uvarint(out, (term << 1) if term >= 0 else ((-term) << 1) - 1)
+    elif isinstance(term, str):
+        out.append(_TERM_STR)
+        write_str(out, term)
+    elif isinstance(term, tuple):
+        out.append(_TERM_TUPLE)
+        write_uvarint(out, len(term))
+        for item in term:
+            write_term(out, item)
+    elif isinstance(term, frozenset):
+        out.append(_TERM_FROZENSET)
+        write_uvarint(out, len(term))
+        encoded = []
+        for item in term:
+            item_out = bytearray()
+            write_term(item_out, item)
+            encoded.append(bytes(item_out))
+        for blob in sorted(encoded):
+            out.extend(blob)
+    else:
+        raise WireFormatError(f"unsupported guard-key term {term!r}")
+
+
+def read_term(data: bytes, pos: int) -> tuple:
+    """Read one term at *pos*; return ``(term, new pos)``."""
+    if pos >= len(data):
+        raise WireFormatError("truncated guard-key term")
+    tag = data[pos]
+    pos += 1
+    if tag == _TERM_NONE:
+        return None, pos
+    if tag == _TERM_TRUE:
+        return True, pos
+    if tag == _TERM_FALSE:
+        return False, pos
+    if tag == _TERM_INT:
+        raw, pos = read_uvarint(data, pos)
+        return (raw >> 1) ^ -(raw & 1), pos
+    if tag == _TERM_STR:
+        return read_str(data, pos)
+    if tag == _TERM_TUPLE:
+        count, pos = read_uvarint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = read_term(data, pos)
+            items.append(item)
+        return tuple(items), pos
+    if tag == _TERM_FROZENSET:
+        count, pos = read_uvarint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = read_term(data, pos)
+            items.append(item)
+        return frozenset(items), pos
+    raise WireFormatError(f"unknown guard-key term tag {tag}")
+
+
+# --------------------------------------------------------------------------- #
+# frame encoding (worker side)
+# --------------------------------------------------------------------------- #
+
+
+class FrameEncoder:
+    """Builds one wire frame for a worker's answer to one task batch.
+
+    ``add_state`` accepts the raw candidate tuples the expansion produced —
+    ``(update, root shape, is_addition, successor size, copies)`` — and
+    interns each distinct root shape into the frame's shape table on the fly;
+    ``add_guard_entries`` attaches the guard evaluations the batch performed;
+    ``finish`` emits the frame bytes.
+    """
+
+    def __init__(self) -> None:
+        self._shape_index: dict = {}  # Shape -> table index
+        self._shape_table = bytearray()
+        self._states = bytearray()  # directory entries
+        self._payloads: list[bytes] = []
+        self._guards = bytearray()
+        self._guard_count = 0
+        self._state_count = 0
+        self.candidates_encoded = 0
+
+    def shape_ref(self, shape: Shape) -> int:
+        """The table index of *shape*, appending it on first occurrence."""
+        index = self._shape_index.get(shape)
+        if index is None:
+            index = len(self._shape_index)
+            self._shape_index[shape] = index
+            write_shape(self._shape_table, shape)
+        return index
+
+    def add_state(self, state_id: int, candidates: list, guard_queries: int) -> None:
+        """Append one state's expansion payload.
+
+        Args:
+            state_id: the canonical id the coordinator addressed the state by.
+            candidates: ``(update, root shape, is_addition, successor size,
+                copies before)`` tuples in enumeration order.
+            guard_queries: guard-cache queries this expansion performed.
+        """
+        payload = bytearray()
+        write_uvarint(payload, guard_queries)
+        write_uvarint(payload, len(candidates))
+        for update, shape, is_addition, succ_size, copies in candidates:
+            index = self.shape_ref(shape)
+            if is_addition:
+                payload.append(_KIND_ADDITION)
+                write_uvarint(payload, update.parent_id)
+                write_str(payload, update.label)
+                write_uvarint(payload, index)
+                write_uvarint(payload, succ_size)
+                write_uvarint(payload, copies)
+            else:
+                payload.append(_KIND_DELETION)
+                write_uvarint(payload, update.node_id)
+                write_uvarint(payload, index)
+                write_uvarint(payload, succ_size)
+            self.candidates_encoded += 1
+        write_uvarint(self._states, state_id)
+        write_uvarint(self._states, len(payload))
+        self._payloads.append(bytes(payload))
+        self._state_count += 1
+
+    def add_guard_entries(self, entries: list) -> None:
+        """Append ``(key tuple, bool)`` guard evaluations to the frame."""
+        for key, value in entries:
+            write_term(self._guards, key)
+            self._guards.append(1 if value else 0)
+            self._guard_count += 1
+
+    def finish(self) -> bytes:
+        """The finished frame."""
+        out = bytearray(WIRE_MAGIC)
+        out.append(WIRE_VERSION)
+        write_uvarint(out, self._guard_count)
+        out.extend(self._guards)
+        write_uvarint(out, self.candidates_encoded)
+        write_uvarint(out, len(self._shape_index))
+        write_uvarint(out, len(self._shape_table))
+        out.extend(self._shape_table)
+        write_uvarint(out, self._state_count)
+        out.extend(self._states)
+        for payload in self._payloads:
+            out.extend(payload)
+        return bytes(out)
+
+
+# --------------------------------------------------------------------------- #
+# frame decoding (coordinator side)
+# --------------------------------------------------------------------------- #
+
+
+class WireFrame:
+    """One received frame: eager envelope parse, lazy payload decode.
+
+    Construction validates the envelope end to end — magic, version byte,
+    guard section, metrics counters, state directory, and that the directory's
+    payload spans tile the remaining bytes *exactly* — so truncated or
+    corrupt frames are rejected on receipt, before anything is staged.  The
+    shape table and the per-state candidate payloads are only decoded when
+    :meth:`shape_table` / :meth:`expansion` are first called, i.e. when the
+    exploration loop actually pops a staged state.  ``decode_seconds``
+    accumulates the wall time of both the eager and the lazy parses.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        started = time.perf_counter()
+        self._data = data
+        if len(data) < len(WIRE_MAGIC) + 1 or data[: len(WIRE_MAGIC)] != WIRE_MAGIC:
+            raise WireFormatError("not a wire frame (bad magic)")
+        version = data[len(WIRE_MAGIC)]
+        if version != WIRE_VERSION:
+            raise WireFormatError(
+                f"wire frame version {version}, this build speaks {WIRE_VERSION}"
+            )
+        pos = len(WIRE_MAGIC) + 1
+        guard_section_start = pos
+        guard_count, pos = read_uvarint(data, pos)
+        self.guard_entries: list = []
+        for _ in range(guard_count):
+            key, pos = read_term(data, pos)
+            if not isinstance(key, tuple):
+                raise WireFormatError(f"guard key decoded to {type(key).__name__}, not tuple")
+            if pos >= len(data):
+                raise WireFormatError("truncated guard value byte")
+            value = data[pos]
+            pos += 1
+            if value not in (0, 1):
+                raise WireFormatError(f"guard value byte must be 0 or 1, got {value}")
+            self.guard_entries.append((key, bool(value)))
+        #: Bytes spent on the guard section (PR 3 shipped the same entries as
+        #: tagged JSON; candidate metrics exclude them so the bytes-per-
+        #: candidate figure compares expansion payloads like for like).
+        self.guard_nbytes = pos - guard_section_start
+        #: Total candidates across all states (for dedup-rate metrics).
+        self.total_candidates, pos = read_uvarint(data, pos)
+        #: Distinct root shapes in the frame's shape table.
+        self.shape_count, pos = read_uvarint(data, pos)
+        table_nbytes, pos = read_uvarint(data, pos)
+        self._table_span = (pos, pos + table_nbytes)
+        pos += table_nbytes
+        if pos > len(data):
+            raise WireFormatError("truncated shape table")
+        state_count, pos = read_uvarint(data, pos)
+        directory = []
+        for _ in range(state_count):
+            state_id, pos = read_uvarint(data, pos)
+            nbytes, pos = read_uvarint(data, pos)
+            directory.append((state_id, nbytes))
+        self._spans: dict = {}
+        offset = pos
+        for state_id, nbytes in directory:
+            self._spans[state_id] = (offset, offset + nbytes)
+            offset += nbytes
+        if offset != len(data):
+            raise WireFormatError(
+                f"frame length mismatch: directory claims {offset} bytes, "
+                f"frame has {len(data)}"
+            )
+        #: Bytes carrying the expansion payloads: shape table, state
+        #: directory and candidate records (everything but the guard section
+        #: and the 3-byte envelope).
+        self.expansion_nbytes = len(data) - self.guard_nbytes - len(WIRE_MAGIC) - 1
+        self._shapes: Optional[list] = None
+        self.decode_seconds = time.perf_counter() - started
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def state_ids(self) -> list:
+        """The state ids this frame carries payloads for, in batch order."""
+        return list(self._spans)
+
+    def shape_table(self, cons: Optional[Callable] = None) -> list:
+        """The decoded shape table (memoized; decoded on first call).
+
+        Args:
+            cons: optional hash-consing function (the coordinator passes its
+                interner's ``cons``) applied *bottom-up* to every decoded
+                subtree, so table entries — children included — are the same
+                canonical objects the engine interns and equality checks keep
+                their identity short-circuit.
+        """
+        if self._shapes is None:
+            started = time.perf_counter()
+            pos, end = self._table_span
+            data = self._data
+            shapes = []
+            for _ in range(self.shape_count):
+                shape, pos = read_shape(data, pos, cons)
+                shapes.append(shape)
+            if pos != end:
+                raise WireFormatError(
+                    f"shape table length mismatch: decoded to byte {pos}, "
+                    f"framing claims {end}"
+                )
+            self._shapes = shapes
+            self.decode_seconds += time.perf_counter() - started
+        return self._shapes
+
+    def expansion(self, state_id: int) -> tuple[list, int]:
+        """Decode one state's payload: ``(raw candidates, guard queries)``.
+
+        Raw candidates are ``(update, shape index, is_addition, successor
+        size, copies)`` tuples — the coordinator resolves shape indices
+        against :meth:`shape_table` and assigns state ids itself.
+        """
+        started = time.perf_counter()
+        try:
+            pos, end = self._spans[state_id]
+        except KeyError:
+            raise WireFormatError(f"frame carries no payload for state {state_id}") from None
+        data = self._data
+        guard_queries, pos = read_uvarint(data, pos)
+        count, pos = read_uvarint(data, pos)
+        candidates = []
+        for _ in range(count):
+            if pos >= end:
+                raise WireFormatError("truncated candidate payload")
+            kind = data[pos]
+            pos += 1
+            update: Update
+            if kind == _KIND_ADDITION:
+                parent_id, pos = read_uvarint(data, pos)
+                label, pos = read_str(data, pos)
+                index, pos = read_uvarint(data, pos)
+                succ_size, pos = read_uvarint(data, pos)
+                copies, pos = read_uvarint(data, pos)
+                update = Addition(parent_id, label)
+                is_addition = True
+            elif kind == _KIND_DELETION:
+                node_id, pos = read_uvarint(data, pos)
+                index, pos = read_uvarint(data, pos)
+                succ_size, pos = read_uvarint(data, pos)
+                copies = 0
+                update = Deletion(node_id)
+                is_addition = False
+            else:
+                raise WireFormatError(f"unknown candidate kind byte {kind}")
+            if index >= self.shape_count:
+                raise WireFormatError(
+                    f"candidate references shape {index}, table has {self.shape_count}"
+                )
+            candidates.append((update, index, is_addition, succ_size, copies))
+        if pos != end:
+            raise WireFormatError(
+                f"state payload length mismatch: decoded to byte {pos}, "
+                f"directory claims {end}"
+            )
+        self.decode_seconds += time.perf_counter() - started
+        return candidates, guard_queries
+
+    def take_decode_seconds(self) -> float:
+        """Drain the accumulated decode-time counter (engine statistics)."""
+        elapsed, self.decode_seconds = self.decode_seconds, 0.0
+        return elapsed
+
+
+# --------------------------------------------------------------------------- #
+# PR 3 encoding baseline (benchmark / test reference)
+# --------------------------------------------------------------------------- #
+
+
+def pr3_encoding_cost(engine) -> tuple[int, int]:
+    """What the PR 3 wire protocol would ship for *engine*'s expansions.
+
+    PR 3 encoded, per candidate: the JSON update, the JSON root shape and the
+    full JSON successor representative (node ids included).  Bit-identity
+    means a serial engine's memoized expansions are exactly the candidates
+    the workers answer with, so measuring the encoding there is exact — and
+    conservative, since the actual pickled tuples carried extra overhead.
+
+    This is the single definition of the ≥40% reduction gate's denominator,
+    shared by ``benchmarks/run_all.py`` and the wire differential tests.
+
+    Returns:
+        ``(total bytes, candidate count)`` over every memoized expansion of
+        *engine* (a serial :class:`~repro.engine.engine.ExplorationEngine`
+        that has finished exploring).
+    """
+    import json
+
+    from repro.io.serialization import encode_instance_with_ids, encode_shape, encode_update
+
+    total = 0
+    count = 0
+    for candidates, _queries in engine._expansions.values():
+        for update, succ_id, _is_addition, _size, _copies in candidates:
+            total += len(json.dumps(encode_update(update)).encode("utf-8"))
+            total += len(encode_shape(engine.interner.shape_of(succ_id)).encode("utf-8"))
+            total += len(
+                encode_instance_with_ids(engine.representative(succ_id)).encode("utf-8")
+            )
+            count += 1
+    return total, count

@@ -8,18 +8,16 @@ shard ``stable_shape_hash(shape) % N``, so the subtree shapes and guard
 values of a shard accumulate in that worker's local caches across waves —
 and every worker answers one batch with one message:
 
-``(worker index, wave id, [per-state expansion payloads], [new guard rows],
-error)``
+``(worker index, wave id, binary wire frame, error)``
 
-A per-state payload carries everything the coordinator needs to replay the
-expansion *without re-evaluating a single formula*: per candidate the encoded
-update, the encoded successor root shape (the coordinator's interning key),
-the encoded successor representative **with node ids** (derived from the
-shipped parent representative, so its ids are bit-identical to the ones the
-serial engine would assign), the addition flag, the successor size and the
-pre-update sibling-copy count — exactly the tuple
-:meth:`~repro.engine.engine.ExplorationEngine._expand` memoizes, minus the
-state id the coordinator assigns at merge time.
+The frame (:mod:`repro.engine.wire`) packs each state's expansion payload —
+per candidate the update, a reference into the frame's **per-batch shape
+table** (each distinct successor root shape serialised once), the addition
+flag, the successor size and the pre-update sibling-copy count.  Successor
+representatives are *not* shipped: the coordinator owns the parent
+representative it sent with the task and derives a genuinely-new successor's
+representative itself, with the same incremental derivation the serial
+engine uses — node id for node id.
 
 Workers never intern canonical state ids: interning order determines the
 engine's dense id assignment, and keeping it on the coordinator (which merges
@@ -46,14 +44,9 @@ from repro.engine.engine import enumerate_expansion
 from repro.engine.guards import GuardCache
 from repro.engine.interning import IncrementalShaper, ShapeInterner
 from repro.engine.store import load_guard_rows, write_guard_rows
+from repro.engine.wire import FrameEncoder
 from repro.exceptions import AnalysisError
-from repro.io.serialization import (
-    decode_instance_with_ids,
-    encode_guard_key,
-    encode_instance_with_ids,
-    encode_shape,
-    encode_update,
-)
+from repro.io.serialization import decode_instance_with_ids
 
 #: Sentinel telling a worker's task loop to exit.
 _SHUTDOWN = None
@@ -105,41 +98,42 @@ class FrontierWorker:
             self._journal.drain()  # hydration is not news to report back
 
     def expand(self, state_id: int, blob: str) -> tuple:
-        """Expansion payload for one state: ``(state id, candidates, queries)``."""
+        """Expansion payload for one state: ``(candidates, queries)``.
+
+        Candidates are raw ``(update, root shape, is_addition, successor
+        size, copies)`` tuples — the frame encoder interns the root shapes
+        into the batch's shape table.
+        """
         instance = decode_instance_with_ids(blob, self._form.schema)
         shape_map = self._shaper.full_map(instance)
         guards = self._guards
         queries_before = guards.hits + guards.misses
 
         def candidate(update: Update, is_addition: bool, succ_size: int, copies: int) -> tuple:
-            successor, _succ_map, root_shape = self._shaper.successor(instance, shape_map, update)
-            return (
-                encode_update(update),
-                encode_shape(root_shape),
-                encode_instance_with_ids(successor),
-                is_addition,
-                succ_size,
-                copies,
-            )
+            root_shape = self._shaper.successor_shape(instance, shape_map, update)
+            return (update, root_shape, is_addition, succ_size, copies)
 
         candidates = enumerate_expansion(
             instance, shape_map, self._form.schema, guards, state_id, candidate
         )
-        return (state_id, candidates, guards.hits + guards.misses - queries_before)
+        return (candidates, guards.hits + guards.misses - queries_before)
 
-    def run_batch(self, batch: list) -> tuple:
-        """Expand one task batch; returns ``(payloads, new guard rows)``.
+    def run_batch(self, batch: list) -> bytes:
+        """Expand one task batch into one binary wire frame.
 
         Newly evaluated guard entries are drained from the journal, written
         through to the store's WAL (when one backs the exploration) and
-        returned encoded so the coordinator can merge them either way.
+        packed into the frame so the coordinator can merge them either way.
         """
-        payloads = [self.expand(state_id, blob) for state_id, blob in batch]
+        encoder = FrameEncoder()
+        for state_id, blob in batch:
+            candidates, queries = self.expand(state_id, blob)
+            encoder.add_state(state_id, candidates, queries)
         entries = self._journal.drain()
         if entries and self._store_path is not None:
             write_guard_rows(self._store_path, entries)
-        encoded = [(encode_guard_key(key), bool(value)) for key, value in entries]
-        return payloads, encoded
+        encoder.add_guard_entries(entries)
+        return encoder.finish()
 
 
 def worker_main(index: int, guarded_form: GuardedForm, tasks, results, store_path) -> None:
@@ -153,7 +147,7 @@ def worker_main(index: int, guarded_form: GuardedForm, tasks, results, store_pat
     try:
         worker = FrontierWorker(guarded_form, store_path)
     except BaseException:  # noqa: BLE001 - report startup failures, don't hang the pool
-        results.put((index, None, None, None, traceback.format_exc()))
+        results.put((index, None, None, traceback.format_exc()))
         return
     while True:
         message = tasks.get()
@@ -161,11 +155,11 @@ def worker_main(index: int, guarded_form: GuardedForm, tasks, results, store_pat
             return
         wave, batch = message
         try:
-            payloads, guard_rows = worker.run_batch(batch)
+            frame = worker.run_batch(batch)
         except BaseException:  # noqa: BLE001 - the coordinator re-raises
-            results.put((index, wave, None, None, traceback.format_exc()))
+            results.put((index, wave, None, traceback.format_exc()))
         else:
-            results.put((index, wave, payloads, guard_rows, None))
+            results.put((index, wave, frame, None))
 
 
 class WorkerPool:
@@ -208,7 +202,7 @@ class WorkerPool:
     # wave dispatch
     # ------------------------------------------------------------------ #
 
-    def run_wave(self, batches: dict) -> tuple[list, list]:
+    def run_wave(self, batches: dict) -> list:
         """Dispatch per-worker *batches* and gather every answer.
 
         Args:
@@ -216,8 +210,9 @@ class WorkerPool:
                 only non-empty batches are dispatched.
 
         Returns:
-            ``(payloads, guard rows)`` concatenated over all workers (the
-            coordinator re-orders payloads by state id anyway).
+            The binary wire frames answering this wave, one per dispatched
+            worker (in arrival order; the coordinator stages per state id, so
+            frame order is irrelevant).
 
         Raises:
             AnalysisError: when a worker reports an exception or dies.
@@ -229,11 +224,10 @@ class WorkerPool:
             if batch:
                 self._tasks[index].put((wave, batch))
                 expected.add(index)
-        payloads: list = []
-        guard_rows: list = []
+        frames: list = []
         while expected:
             try:
-                index, result_wave, batch_payloads, batch_guards, error = self._results.get(
+                index, result_wave, frame, error = self._results.get(
                     timeout=_POLL_INTERVAL
                 )
             except queue_module.Empty:
@@ -246,9 +240,8 @@ class WorkerPool:
             if error is not None:
                 raise AnalysisError(f"frontier worker {index} failed:\n{error}")
             expected.discard(index)
-            payloads.extend(batch_payloads)
-            guard_rows.extend(batch_guards)
-        return payloads, guard_rows
+            frames.append(frame)
+        return frames
 
     def _check_liveness(self, expected: set) -> None:
         for index in expected:

@@ -67,6 +67,11 @@ class SerializationError(ReproError):
     """A serialized object could not be decoded."""
 
 
+class WireFormatError(SerializationError):
+    """A binary wire frame is unusable: truncated, corrupt, carrying an
+    unknown version byte, or inconsistent with its own length framing."""
+
+
 class StoreError(ReproError):
     """A persistent state store is unusable: it belongs to a different guarded
     form, its schema version is unknown, or the backing file is corrupt."""

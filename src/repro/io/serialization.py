@@ -17,6 +17,13 @@ the persistent :mod:`repro.engine.store` backends use for their rows:
 * :func:`encode_guard_key` / :func:`decode_guard_key` — the heterogeneous
   tuple keys of the guard cache (tuples, frozensets, shapes, ints, strings)
   as deterministic tagged JSON;
+* the **binary shape framing** shared with the parallel wire codec
+  (:mod:`repro.engine.wire`): :func:`write_uvarint` / :func:`read_uvarint`
+  and :func:`write_str` / :func:`read_str` primitives, the recursive
+  :func:`write_shape` / :func:`read_shape` framing, and the store-row codec
+  :func:`encode_shape_binary` / :func:`decode_shape_binary` /
+  :func:`decode_shape_row` (auto-detecting JSON text vs. binary rows, so a
+  :class:`~repro.engine.store.SqliteStore` can hold either format);
 * :func:`encode_update` / :func:`decode_update` — the leaf additions and
   deletions stored in exploration checkpoints;
 * :func:`form_fingerprint` — a digest of a guarded form's definition, used by
@@ -36,7 +43,7 @@ from repro.core.instance import Instance
 from repro.core.labels import ROOT_LABEL
 from repro.core.schema import Schema
 from repro.core.tree import Node, Shape
-from repro.exceptions import SerializationError
+from repro.exceptions import SerializationError, WireFormatError
 
 
 # --------------------------------------------------------------------------- #
@@ -258,6 +265,130 @@ def decode_guard_key(text: str) -> tuple:
     if not isinstance(key, tuple):
         raise SerializationError(f"guard key did not decode to a tuple: {text!r}")
     return key
+
+
+# --------------------------------------------------------------------------- #
+# binary shape framing (shared with the parallel wire codec)
+# --------------------------------------------------------------------------- #
+
+#: Leading byte of a binary shape row; bumped on layout changes.  JSON shape
+#: rows always start with ``[`` (0x5B), so the two formats are also
+#: distinguishable by content, not just by sqlite column type.
+SHAPE_BINARY_VERSION = 1
+
+
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append *value* as an unsigned LEB128 varint."""
+    if value < 0:
+        raise SerializationError(f"uvarint cannot encode negative value {value}")
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    """Read an unsigned LEB128 varint at *pos*; return ``(value, new pos)``.
+
+    Raises:
+        WireFormatError: when the buffer ends mid-varint (truncation).
+    """
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise WireFormatError("truncated varint: buffer ended mid-value")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+def write_str(out: bytearray, text: str) -> None:
+    """Append a length-prefixed UTF-8 string."""
+    encoded = text.encode("utf-8")
+    write_uvarint(out, len(encoded))
+    out.extend(encoded)
+
+
+def read_str(data: bytes, pos: int) -> tuple[str, int]:
+    """Read a length-prefixed UTF-8 string at *pos*."""
+    length, pos = read_uvarint(data, pos)
+    end = pos + length
+    if end > len(data):
+        raise WireFormatError("truncated string: buffer ended mid-text")
+    try:
+        return data[pos:end].decode("utf-8"), end
+    except UnicodeDecodeError as exc:
+        raise WireFormatError(f"corrupt string payload: {exc}") from exc
+
+
+def write_shape(out: bytearray, shape: Shape) -> None:
+    """Append the recursive binary framing of a shape: label, child count,
+    children (already order-normalised — the framing preserves child order
+    verbatim, exactly like :func:`encode_shape`)."""
+    label, children = shape
+    write_str(out, label)
+    write_uvarint(out, len(children))
+    for child in children:
+        write_shape(out, child)
+
+
+def read_shape(data: bytes, pos: int, cons=None) -> tuple[Shape, int]:
+    """Read one binary-framed shape at *pos*; return ``(shape, new pos)``.
+
+    Args:
+        cons: optional hash-consing function applied **bottom-up** — to every
+            decoded subtree, not just the root — so a consumer sharing the
+            engine's interner gets back canonical subtree objects with the
+            identity-short-circuit equality the interner's invariant promises.
+    """
+    label, pos = read_str(data, pos)
+    count, pos = read_uvarint(data, pos)
+    children = []
+    for _ in range(count):
+        child, pos = read_shape(data, pos, cons)
+        children.append(child)
+    shape: Shape = (label, tuple(children))
+    return (cons(shape) if cons is not None else shape), pos
+
+
+def encode_shape_binary(shape: Shape) -> bytes:
+    """Binary store-row encoding of a shape (version byte + framing)."""
+    out = bytearray([SHAPE_BINARY_VERSION])
+    write_shape(out, shape)
+    return bytes(out)
+
+
+def decode_shape_binary(data: bytes) -> Shape:
+    """Inverse of :func:`encode_shape_binary` (full consumption enforced)."""
+    if not data:
+        raise WireFormatError("empty binary shape row")
+    if data[0] != SHAPE_BINARY_VERSION:
+        raise WireFormatError(
+            f"binary shape row has version byte {data[0]}, "
+            f"this build reads version {SHAPE_BINARY_VERSION}"
+        )
+    shape, pos = read_shape(data, 1)
+    if pos != len(data):
+        raise WireFormatError(
+            f"binary shape row carries {len(data) - pos} trailing bytes"
+        )
+    return shape
+
+
+def decode_shape_row(row: "str | bytes") -> Shape:
+    """Decode a store shape row in either format (JSON text or binary).
+
+    The sqlite store writes whichever format it was configured with, but its
+    read path accepts both, so stores written by older (JSON-only) builds and
+    binary-row stores are interchangeable.
+    """
+    if isinstance(row, (bytes, bytearray, memoryview)):
+        return decode_shape_binary(bytes(row))
+    return decode_shape(row)
 
 
 def encode_update(update: Update) -> list:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from repro.logic.propositional import Clause, CnfFormula, Literal
+from repro.logic.propositional import CnfFormula
 
 Assignment = dict[str, bool]
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.exceptions import ReductionError
 from repro.logic.propositional import CnfFormula, PropFormula, random_cnf

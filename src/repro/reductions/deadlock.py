@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from repro.core.access import RuleTable
-from repro.core.formulas.ast import Bottom, Formula
+from repro.core.formulas.ast import Formula
 from repro.core.formulas.builders import conj, conj_all, disj_all, label, lnot
 from repro.core.guarded_form import GuardedForm
 from repro.core.instance import Instance

@@ -30,7 +30,7 @@ from repro.core.formulas.ast import (
     Step,
     Top,
 )
-from repro.core.formulas.builders import conj, conj_all, disj_all, iff, label, lnot
+from repro.core.formulas.builders import conj_all, disj_all, iff, label
 from repro.core.guarded_form import GuardedForm
 from repro.core.instance import Instance
 from repro.core.schema import Schema

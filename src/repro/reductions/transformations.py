@@ -17,7 +17,7 @@ Three constructions in the paper relate fragments to one another:
 
 from __future__ import annotations
 
-from repro.core.access import AccessRight, RuleTable
+from repro.core.access import RuleTable
 from repro.core.canonical import canonical_depth1_state
 from repro.core.formulas.ast import (
     And,
@@ -37,7 +37,6 @@ from repro.core.formulas.builders import conj, conj_all, label, lnot
 from repro.core.guarded_form import GuardedForm
 from repro.core.instance import Instance
 from repro.core.labels import fresh_label
-from repro.core.schema import Schema, format_schema_path
 from repro.exceptions import ReductionError
 
 

@@ -51,7 +51,6 @@ from repro.reductions.counter_machine import (
     KEEP,
     POSITIVE,
     TwoCounterMachine,
-    ZERO,
 )
 
 #: Label of a state field for machine state ``q``.

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional
+from typing import Iterable, Mapping
 
 from repro.exceptions import AnalysisError
 from repro.workflow.lts import LabelledTransitionSystem

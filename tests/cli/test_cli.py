@@ -3,8 +3,6 @@
 import io
 import json
 
-import pytest
-
 from repro.cli import CATALOG, build_parser, main
 from repro.io.serialization import load_guarded_form, save_guarded_form
 from repro.fbwis.catalog import leave_application, leave_application_not_semisound

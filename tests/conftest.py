@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.access import RuleTable
 from repro.core.guarded_form import GuardedForm
@@ -13,6 +14,17 @@ from repro.fbwis.catalog import (
     leave_application,
     leave_application_incompletable,
     leave_application_not_semisound,
+)
+
+# Hypothesis profiles: the default (no profile flag) keeps the library's
+# standard 100-example budget for fast local runs; CI's dedicated wire-codec
+# job selects a raised budget with ``--hypothesis-profile=ci``.  Tests that
+# pin their own ``@settings`` (e.g. the sqlite-backed ones) keep them.
+settings.register_profile(
+    "ci",
+    max_examples=400,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
 )
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.instance import Instance
-from repro.core.schema import Schema, SchemaEdge
+from repro.core.schema import SchemaEdge
 from repro.exceptions import InstanceError
 
 

@@ -86,7 +86,7 @@ class TestNnf:
             assert evaluate(instance.root, formula) == evaluate(instance.root, nnf)
 
     def test_nnf_has_negation_only_on_atoms(self):
-        from repro.core.formulas.ast import And, Exists, Not, Or
+        from repro.core.formulas.ast import Exists, Not
 
         nnf = to_nnf(parse_formula("¬(a ∧ (b ∨ ¬c))"))
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.enumeration import enumerate_instances
 from repro.core.formulas.parser import parse_formula
 from repro.core.formulas.satisfiability import (
     exists_instance_satisfying,

@@ -1,7 +1,5 @@
 """Unit tests for formula evaluation (Definition 3.5)."""
 
-import pytest
-
 from repro.core.formulas.parser import parse_formula, parse_path
 from repro.core.formulas.semantics import (
     evaluate,

@@ -3,8 +3,6 @@ hydrate-once semantics — the engine corners the parity suites did not reach
 (those exercised bfs/dfs only, and never evicted a representative).
 """
 
-import pytest
-
 from repro.analysis.completability import decide_completability
 from repro.analysis.results import ExplorationLimits
 from repro.benchgen.families import counter_machine_family, positive_deep_family

@@ -67,6 +67,54 @@ class TestIncrementalShaper:
             frontier = next_frontier[:6]
         assert checked > 10
 
+    def test_successor_shape_matches_materialised_successor(self, leave_form):
+        """``successor_shape`` (the copy-free worker path) must return the
+        exact consed object ``successor`` derives, for every enabled update
+        along a breadth of the reachable space."""
+        shaper = IncrementalShaper(ShapeInterner())
+        instance = leave_form.initial_instance()
+        shape_map = shaper.full_map(instance)
+        frontier = [(instance, shape_map)]
+        checked = 0
+        for _ in range(3):
+            next_frontier = []
+            for current, current_map in frontier:
+                for update in leave_form.enabled_updates(current):
+                    shape_only = shaper.successor_shape(current, current_map, update)
+                    successor, successor_map, root_shape = shaper.successor(
+                        current, current_map, update
+                    )
+                    assert shape_only is root_shape  # consed: identical object
+                    checked += 1
+                    next_frontier.append((successor, successor_map))
+            frontier = next_frontier[:6]
+        assert checked > 10
+
+    def test_successor_shape_matches_on_benchgen_expansions(self):
+        """Every candidate the serial engine memoized across the benchgen
+        bounded families: the copy-free derivation agrees with the interned
+        successor shape (the exact pairing the frontier workers rely on)."""
+        from repro.analysis.results import ExplorationLimits
+        from repro.benchgen.families import (
+            counter_machine_family,
+            positive_deep_family,
+        )
+        from repro.engine import ExplorationEngine
+
+        limits = ExplorationLimits(max_states=500, max_instance_nodes=14)
+        for form in (positive_deep_family(3, width=2), counter_machine_family(2)[0]):
+            engine = ExplorationEngine(form, limits=limits)
+            engine.explore()
+            checked = 0
+            for state_id, (candidates, _queries) in engine._expansions.items():
+                rep = engine.representative(state_id)
+                rep_map = engine._shape_map_of(state_id)
+                for update, succ_id, _is_add, _size, _copies in candidates:
+                    derived = engine.shaper.successor_shape(rep, rep_map, update)
+                    assert derived == engine.interner.shape_of(succ_id)
+                    checked += 1
+            assert checked > 20
+
     def test_incremental_rehashes_fewer_nodes_than_full_walks(self, leave_form):
         shaper = IncrementalShaper(ShapeInterner())
         instance = leave_form.initial_instance()

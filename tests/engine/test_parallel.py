@@ -102,6 +102,9 @@ class TestBoundedParallelParity:
         with parallel_engine(form) as engine:
             graph = engine.explore()
             assert engine.states_prefetched > 0, "workers never engaged"
+            # the expansions crossed the process boundary as binary frames
+            assert engine.wire_frames_received > 0
+            assert engine.wire_bytes_received > 0
         assert graph.states == reference.states
         assert graph.initial_id == reference.initial_id
         assert exact_edges(graph) == exact_edges(reference)
@@ -281,6 +284,7 @@ class TestPoolMechanics:
         """An answer left over from an abandoned wave must not satisfy the
         collection of a later wave (results are matched by wave id, not just
         worker index)."""
+        from repro.engine.wire import FrameEncoder, WireFrame
         from repro.engine.workers import WorkerPool
         from repro.io.serialization import encode_instance_with_ids
 
@@ -288,9 +292,11 @@ class TestPoolMechanics:
         pool = WorkerPool(form, workers=2)
         try:
             blob = encode_instance_with_ids(form.initial_instance())
-            pool._results.put((0, 999, [("bogus", [], 0)], [], None))
-            payloads, _guards = pool.run_wave({0: [(7, blob)], 1: []})
-            assert [payload[0] for payload in payloads] == [7]
+            stale = FrameEncoder()
+            stale.add_state(999, [], 0)
+            pool._results.put((0, 999, stale.finish(), None))
+            frames = pool.run_wave({0: [(7, blob)], 1: []})
+            assert [WireFrame(frame).state_ids() for frame in frames] == [[7]]
         finally:
             pool.close()
 
@@ -335,3 +341,58 @@ class TestPoolMechanics:
         # equal shapes hash equally regardless of tuple identity
         rebuilt = tuple(["r", tuple()])
         assert stable_shape_hash(("r", ())) == stable_shape_hash(rebuilt)
+
+
+class TestWireProtocol:
+    """The binary wire path: metrics consistency and volume vs the PR 3
+    JSON-per-candidate encoding, re-run as a differential against serial."""
+
+    def _legacy_bytes_per_candidate(self, engine):
+        """PR 3's per-candidate encoding cost, measured on the serial
+        engine's memoized expansions (the shared definition the benchmark
+        gate uses too)."""
+        from repro.engine.wire import pr3_encoding_cost
+
+        total, count = pr3_encoding_cost(engine)
+        return total / count if count else 0.0
+
+    @pytest.mark.parametrize(
+        "name,form", bounded_families(), ids=lambda v: v if isinstance(v, str) else ""
+    )
+    def test_wire_volume_drops_at_least_forty_percent(self, name, form):
+        serial = ExplorationEngine(form, limits=BOUNDED_LIMITS)
+        reference = serial.explore()
+        with parallel_engine(form) as engine:
+            graph = engine.explore()
+            stats = engine.stats_snapshot()
+        assert graph.states == reference.states  # differential rerun first
+        assert exact_edges(graph) == exact_edges(reference)
+        legacy = self._legacy_bytes_per_candidate(serial)
+        assert stats["wire_shape_refs"] > 0
+        assert stats["wire_bytes_per_candidate"] <= 0.6 * legacy, (
+            f"wire codec ships {stats['wire_bytes_per_candidate']:.1f} B/candidate, "
+            f"PR 3 encoding was {legacy:.1f} B/candidate"
+        )
+
+    def test_wire_stats_are_consistent(self):
+        form = counter_machine_family(2)[0]
+        with parallel_engine(form) as engine:
+            engine.explore()
+            stats = engine.stats_snapshot()
+        assert stats["wire_frames_received"] > 0
+        assert stats["wire_bytes_received"] > 0
+        assert 0 < stats["wire_bytes_last_wave"] <= stats["wire_bytes_received"]
+        assert stats["wire_shape_table_entries"] <= stats["wire_shape_refs"]
+        assert 0.0 <= stats["wire_dedup_hit_rate"] <= 1.0
+        assert stats["wire_decode_seconds"] >= 0.0
+        assert stats["wire_bytes_per_candidate"] > 0
+
+    def test_untouched_parallel_engine_reports_zeroed_wire_stats(self):
+        form = positive_chain_family(4)
+        engine = ParallelExplorationEngine(form, limits=BOUNDED_LIMITS, workers=1)
+        engine.explore()
+        stats = engine.stats_snapshot()
+        assert stats["wire_frames_received"] == 0
+        assert stats["wire_bytes_received"] == 0
+        assert stats["wire_dedup_hit_rate"] == 0.0
+        assert stats["wire_bytes_per_candidate"] is None

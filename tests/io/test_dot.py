@@ -1,6 +1,5 @@
 """Unit tests for DOT export."""
 
-from repro.fbwis.catalog import leave_application
 from repro.io.dot import instance_to_dot, lts_to_dot, schema_to_dot, tree_to_dot
 from repro.workflow.extraction import extract_workflow
 from repro.workflow.lts import LabelledTransitionSystem

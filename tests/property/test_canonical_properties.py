@@ -11,7 +11,7 @@ from repro.core.formulas.semantics import evaluate
 from repro.core.homomorphism import is_instance_of
 from repro.core.instance import Instance
 
-from .strategies import formulas, instances, property_schema
+from .strategies import formulas, instances
 
 SETTINGS = settings(max_examples=50, deadline=None)
 

@@ -1,0 +1,264 @@
+"""Hypothesis properties of the binary wire codec (:mod:`repro.engine.wire`).
+
+The codec's contract, pinned here over arbitrary shapes, guard keys and
+candidate lists:
+
+* **round trips** — whatever a :class:`FrameEncoder` packs, a
+  :class:`WireFrame` decodes back structurally identical: guard entries,
+  state payloads (updates, flags, sizes), and shape-table references that
+  resolve to the original root shapes, with each distinct shape serialised
+  exactly once per frame;
+* **rejection** — every strict prefix of a frame, any trailing garbage, a
+  flipped magic, and an unknown version byte raise
+  :class:`~repro.exceptions.WireFormatError` (no partial decodes, no
+  silently-wrong payloads);
+* the **binary shape rows** shared with the store
+  (:func:`encode_shape_binary` / :func:`decode_shape_binary` /
+  :func:`decode_shape_row`) agree with the JSON shape codec, auto-detect
+  both formats, and survive an actual ``SqliteStore`` write/read in either
+  configuration.
+
+The dedicated CI job runs this module with ``--hypothesis-profile=ci`` (a
+raised example budget registered in ``tests/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.guarded_form import Addition, Deletion
+from repro.engine.store import SqliteStore
+from repro.engine.wire import (
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    FrameEncoder,
+    WireFrame,
+    read_term,
+    write_term,
+)
+from repro.exceptions import WireFormatError
+from repro.io.serialization import (
+    decode_shape,
+    decode_shape_binary,
+    decode_shape_row,
+    encode_shape,
+    encode_shape_binary,
+)
+
+labels = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), min_size=1, max_size=8
+)
+
+shapes = st.recursive(
+    st.tuples(labels, st.just(())),
+    lambda children: st.tuples(labels, st.lists(children, max_size=3).map(tuple)),
+    max_leaves=12,
+)
+
+guard_terms = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        labels,
+    ),
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4).map(tuple),
+        st.lists(inner, max_size=4).map(frozenset),
+    ),
+    max_leaves=10,
+)
+
+guard_keys = st.lists(guard_terms, min_size=1, max_size=5).map(tuple)
+
+node_ids = st.integers(min_value=0, max_value=2**20)
+
+
+@st.composite
+def candidates(draw):
+    """One raw worker candidate: ``(update, shape, is_addition, size, copies)``."""
+    shape = draw(shapes)
+    size = draw(st.integers(min_value=1, max_value=200))
+    if draw(st.booleans()):
+        update = Addition(draw(node_ids), draw(labels))
+        return (update, shape, True, size, draw(st.integers(min_value=0, max_value=8)))
+    return (Deletion(draw(node_ids)), shape, False, size, 0)
+
+
+@st.composite
+def frames(draw):
+    """An encoded frame plus the payloads that went into it."""
+    states = {}
+    state_ids = draw(
+        st.lists(node_ids, min_size=0, max_size=4, unique=True)
+    )
+    encoder = FrameEncoder()
+    for state_id in state_ids:
+        cands = draw(st.lists(candidates(), max_size=5))
+        queries = draw(st.integers(min_value=0, max_value=50))
+        encoder.add_state(state_id, cands, queries)
+        states[state_id] = (cands, queries)
+    guards = draw(st.lists(st.tuples(guard_keys, st.booleans()), max_size=5))
+    encoder.add_guard_entries(guards)
+    return encoder.finish(), states, guards
+
+
+class TestFrameRoundTrip:
+    @given(frames())
+    def test_everything_round_trips(self, packed):
+        data, states, guards = packed
+        frame = WireFrame(data)
+        assert frame.guard_entries == guards
+        assert frame.state_ids() == list(states)
+        table = frame.shape_table()
+        expected_shapes = []
+        for state_id, (cands, queries) in states.items():
+            decoded, decoded_queries = frame.expansion(state_id)
+            assert decoded_queries == queries
+            assert len(decoded) == len(cands)
+            for got, sent in zip(decoded, cands):
+                update, shape, is_addition, size, copies = sent
+                got_update, shape_index, got_is_addition, got_size, got_copies = got
+                assert type(got_update) is type(update)
+                if is_addition:
+                    assert (got_update.parent_id, got_update.label) == (
+                        update.parent_id,
+                        update.label,
+                    )
+                else:
+                    assert got_update.node_id == update.node_id
+                assert table[shape_index] == shape
+                assert got_is_addition is is_addition
+                assert (got_size, got_copies) == (size, copies)
+                if shape not in expected_shapes:
+                    expected_shapes.append(shape)
+        # per-batch dedup: each distinct shape is serialised exactly once
+        assert table == expected_shapes
+        assert frame.shape_count == len(expected_shapes)
+        assert frame.total_candidates == sum(len(c) for c, _ in states.values())
+
+    @given(frames())
+    def test_shape_table_conses_every_subtree_bottom_up(self, packed):
+        data, _states, _guards = packed
+        seen = []
+
+        def cons(shape):
+            seen.append(shape)
+            return shape
+
+        def subtrees(shape):
+            label, children = shape
+            for child in children:
+                yield from subtrees(child)
+            yield shape
+
+        frame = WireFrame(data)
+        table = frame.shape_table(cons=cons)
+        # bottom-up: children are consed before (and alongside) their roots,
+        # so table entries share canonical subtree objects with the engine
+        assert seen == [shape for root in table for shape in subtrees(root)]
+        for root in table:
+            assert root in seen
+        # memoized: a second call does not re-cons
+        assert frame.shape_table(cons=cons) is table
+
+
+class TestFrameRejection:
+    @given(frames())
+    def test_every_strict_prefix_is_rejected(self, packed):
+        data, _states, _guards = packed
+        for cut in range(len(data)):
+            with pytest.raises(WireFormatError):
+                frame = WireFrame(data[:cut])
+                for state_id in frame.state_ids():
+                    frame.expansion(state_id)
+                frame.shape_table()
+
+    @given(frames(), st.binary(min_size=1, max_size=8))
+    def test_trailing_garbage_is_rejected(self, packed, garbage):
+        data, _states, _guards = packed
+        with pytest.raises(WireFormatError):
+            WireFrame(data + garbage)
+
+    @given(frames(), st.integers(min_value=0, max_value=255))
+    def test_version_byte_mismatch_is_rejected(self, packed, version):
+        data, _states, _guards = packed
+        if version == WIRE_VERSION:
+            return
+        with pytest.raises(WireFormatError) as excinfo:
+            WireFrame(data[: len(WIRE_MAGIC)] + bytes([version]) + data[len(WIRE_MAGIC) + 1 :])
+        assert "version" in str(excinfo.value)
+
+    @given(st.binary(max_size=64))
+    def test_arbitrary_bytes_never_decode_silently(self, data):
+        if data[: len(WIRE_MAGIC)] == WIRE_MAGIC:
+            return  # exercised by the structured rejection tests above
+        with pytest.raises(WireFormatError):
+            WireFrame(data)
+
+    def test_unknown_guard_term_tag_is_rejected(self):
+        data = WIRE_MAGIC + bytes([WIRE_VERSION, 1, 200])
+        with pytest.raises(WireFormatError):
+            WireFrame(data)
+
+
+class TestGuardTermCodec:
+    @given(guard_keys)
+    def test_terms_round_trip(self, key):
+        out = bytearray()
+        write_term(out, key)
+        decoded, pos = read_term(bytes(out), 0)
+        assert pos == len(out)
+        assert decoded == key
+        # bools must come back as bools, not ints (guard values are keyed on
+        # exact term equality): compare type-tagged canonical forms, with
+        # frozensets order-normalised recursively
+        def canon(term):
+            if isinstance(term, tuple):
+                return ("tuple", tuple(canon(item) for item in term))
+            if isinstance(term, frozenset):
+                return ("frozenset", tuple(sorted((canon(item) for item in term), key=repr)))
+            return (type(term).__name__, term)
+
+        assert canon(decoded) == canon(key)
+
+
+class TestBinaryShapeRows:
+    @given(shapes)
+    def test_binary_rows_round_trip_and_agree_with_json(self, shape):
+        row = encode_shape_binary(shape)
+        assert decode_shape_binary(row) == shape
+        assert decode_shape_row(row) == shape
+        assert decode_shape_row(encode_shape(shape)) == shape
+        assert decode_shape(encode_shape(shape)) == decode_shape_binary(row)
+
+    @given(shapes)
+    def test_binary_row_version_byte_is_checked(self, shape):
+        row = encode_shape_binary(shape)
+        with pytest.raises(WireFormatError):
+            decode_shape_binary(bytes([row[0] + 1]) + row[1:])
+        with pytest.raises(WireFormatError):
+            decode_shape_binary(row + b"\x00")
+
+    @given(st.lists(shapes, min_size=1, max_size=6, unique=True))
+    @settings(max_examples=20, deadline=None)
+    def test_sqlite_store_reads_either_row_format(self, batch):
+        with tempfile.TemporaryDirectory() as tmp:
+            for binary_shapes in (False, True):
+                path = Path(tmp) / f"shapes-{int(binary_shapes)}.db"
+                store = SqliteStore(path, binary_shapes=binary_shapes)
+                for state_id, shape in enumerate(batch):
+                    store.put_shape(state_id, shape)
+                store.flush()
+                store.close()
+                # reopen with the *opposite* write configuration: the read
+                # path auto-detects per row, so both decode identically
+                reader = SqliteStore(path, binary_shapes=not binary_shapes)
+                assert list(reader.load_shapes()) == list(enumerate(batch))
+                assert [reader.get_shape(i) for i in range(len(batch))] == batch
+                reader.close()

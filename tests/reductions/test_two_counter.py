@@ -8,7 +8,6 @@ from repro.analysis.semisoundness import semisoundness_bounded
 from repro.analysis.statespace import explore_bounded
 from repro.core.fragments import classify
 from repro.reductions.counter_machine import (
-    INCREMENT,
     KEEP,
     TwoCounterMachine,
     ZERO,
