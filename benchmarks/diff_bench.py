@@ -28,6 +28,11 @@ _COLUMNS = (
     ("legacy_wire_bytes_per_candidate", "PR3 B/cand", False),
     ("wire_dedup_hit_rate", "dedup", True),
     ("wire_reduction_vs_legacy", "reduction", True),
+    # bounded-residency fields (PR 5); pre-PR-5 reports render them as —
+    ("hydration_fraction_restored", "hydrated", True),
+    ("states_resident", "resident shapes", False),
+    ("reps_resident", "resident reps", False),
+    ("peak_rss_kb", "peak RSS KB", False),
 )
 
 
@@ -71,7 +76,12 @@ def diff_reports(baseline: dict, fresh: dict) -> str:
             status.append("**new workload**")
         if not new:
             status.append("**not measured in this run**")
-        for flag in ("state_set_parity_with_legacy", "serial_parallel_parity"):
+        for flag in (
+            "state_set_parity_with_legacy",
+            "serial_parallel_parity",
+            "attach_budget_parity",
+            "attach_parallel_parity",
+        ):
             if new.get(flag) is False:
                 status.append(f"**{flag} BROKEN**")
         lines.append(f"## {name}" + (" — " + ", ".join(status) if status else ""))

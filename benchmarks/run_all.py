@@ -20,7 +20,13 @@ Two sections are produced:
   and the binary wire protocol's volume metrics — payload bytes, wire bytes
   per candidate (gated to stay >=40% below the PR 3 per-candidate encoding,
   which is measured on the serial reference for comparison), shape-dedup hit
-  rate and decode time.
+  rate and decode time.  A *bounded-residency attach* workload builds a
+  large store (``--attach-states``), re-attaches with a small
+  ``--resident-budget`` and verifies bit-identity with the unbounded attach
+  (serial and 2-worker) while recording peak RSS and the resident counters
+  (``states_resident``, ``reps_resident``, ``hydration_rows_skipped``); the
+  ``--check`` gate requires the bounded attach to hydrate less than 50% of
+  the shape table and to finish within its budget.
 
 * ``pytest_benchmarks`` — the per-test timings of every ``bench_*.py``
   module, collected through ``pytest-benchmark``'s JSON output.  Skipped
@@ -84,6 +90,150 @@ def _engine_workloads():
 #: Required reduction of wire bytes per candidate vs the PR 3 encoding; the
 #: --check gate fails any parallel workload that misses it.
 WIRE_REDUCTION_FLOOR = 0.40
+
+#: Ceiling on the fraction of a prebuilt store's shape table a
+#: budget-bounded attach may hydrate; the --check gate fails the attach
+#: workload when lazy hydration restores more than this.
+ATTACH_HYDRATION_CEILING = 0.50
+
+
+def _peak_rss_kb() -> "int | None":
+    """The process's peak resident set size so far, in KiB.
+
+    Cumulative across the whole benchmark process (Linux never lowers
+    ``ru_maxrss``), so per-workload values are upper bounds — the attach
+    workload's bound is still what matters: a budget-bounded attach must not
+    drag the whole table into memory.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX host
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, KiB on Linux
+        peak //= 1024
+    return peak
+
+
+def measure_residency_attach(frontier: str, attach_states: int, budget: int) -> dict:
+    """Build a large store, then attach to it with a small resident budget.
+
+    The store is built once (unbounded residency — the build is harness
+    setup, not the thing under test), then explored three times with limits
+    that touch only a slice of the table: a fresh unbounded attach (the
+    reference), a ``resident_budget``-bounded attach, and a bounded attach
+    with 2 worker processes.  The gate enforces that both bounded runs are
+    bit-identical to the reference, that resident counters stay within the
+    budget, and that hydration restored less than
+    :data:`ATTACH_HYDRATION_CEILING` of the shape table — the "attach to a
+    10^7-state store on a small-RAM machine" contract, scaled to bench time.
+    """
+    from repro.analysis.results import ExplorationLimits
+    from repro.benchgen.families import positive_deep_family
+    from repro.engine import ExplorationEngine, ParallelExplorationEngine, SqliteStore
+
+    form = positive_deep_family(4, width=2)
+    build_limits = ExplorationLimits(max_states=attach_states, max_instance_nodes=28)
+    touch_states = max(2_000, attach_states // 25)
+    touch_limits = ExplorationLimits(max_states=touch_states, max_instance_nodes=28)
+
+    def exact_edges(graph):
+        return {
+            source: [
+                (
+                    type(update).__name__,
+                    getattr(update, "parent_id", None),
+                    getattr(update, "node_id", None),
+                    getattr(update, "label", None),
+                    target,
+                )
+                for update, target in edges
+            ]
+            for source, edges in graph.transitions.items()
+        }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "attach.db"
+        build_store = SqliteStore(path, batch_size=4096)
+        build_engine = ExplorationEngine(form, limits=build_limits, store=build_store)
+        started = time.perf_counter()
+        build_graph = build_engine.explore()
+        build_elapsed = time.perf_counter() - started
+        table_rows = build_store.shape_row_count()
+        build_store.close()
+        del build_engine, build_store
+
+        # reference: fresh unbounded attach, touching the same slice
+        ref_store = SqliteStore(path)
+        ref_engine = ExplorationEngine(form, limits=touch_limits, store=ref_store)
+        started = time.perf_counter()
+        reference = ref_engine.explore()
+        ref_elapsed = time.perf_counter() - started
+        ref_store.close()
+
+        # the measured run: bounded attach
+        store = SqliteStore(path)
+        engine = ExplorationEngine(
+            form, limits=touch_limits, store=store, resident_budget=budget
+        )
+        started = time.perf_counter()
+        graph = engine.explore()
+        elapsed = time.perf_counter() - started
+        stats = engine.stats_snapshot()
+        store.close()
+        budget_parity = (
+            graph.states == reference.states
+            and exact_edges(graph) == exact_edges(reference)
+        )
+
+        # bounded attach with worker processes (shard hydration path)
+        par_store = SqliteStore(path)
+        par_engine = ParallelExplorationEngine(
+            form, limits=touch_limits, store=par_store, workers=2, resident_budget=budget
+        )
+        try:
+            par_engine.spawn_workers()
+            par_graph = par_engine.explore()
+        finally:
+            par_engine.shutdown_workers()
+        par_store.close()
+        parallel_parity = (
+            par_graph.states == reference.states
+            and exact_edges(par_graph) == exact_edges(reference)
+        )
+
+    restored = stats["intern_states_restored_distinct"]
+    states = len(graph.states)
+    return {
+        "workload": (
+            f"A+,phi+,k positive deep (d=4) "
+            f"[store attach n={attach_states} budget={budget}]"
+        ),
+        "kind": "bounded-attach",
+        "frontier": frontier,
+        "resident_budget": budget,
+        "build_states": len(build_graph.states),
+        "build_seconds": round(build_elapsed, 6),
+        "table_rows": table_rows,
+        "states": states,
+        "explore_seconds": round(elapsed, 6),
+        "states_per_second": round(states / elapsed, 1) if elapsed else None,
+        "unbounded_attach_states_per_second": (
+            round(len(reference.states) / ref_elapsed, 1) if ref_elapsed else None
+        ),
+        "attach_budget_parity": budget_parity,
+        "attach_parallel_parity": parallel_parity,
+        "states_resident": stats["states_resident"],
+        "reps_resident": stats["reps_resident"],
+        "reps_evicted": stats["reps_evicted"],
+        "hydration_rows_skipped": stats["hydration_rows_skipped"],
+        "hydration_rows_restored": restored,
+        "hydration_fraction_restored": (
+            round(restored / table_rows, 4) if table_rows else None
+        ),
+        "store_id_lookups": stats["store_id_lookups"],
+        "peak_rss_kb": _peak_rss_kb(),
+    }
 
 
 def measure_parallel(frontier: str, worker_counts: list[int]) -> list[dict]:
@@ -189,12 +339,18 @@ def measure_parallel(frontier: str, worker_counts: list[int]) -> list[dict]:
                     if stats["wire_bytes_per_candidate"] and legacy_per_candidate
                     else None
                 ),
+                "peak_rss_kb": _peak_rss_kb(),
             }
         )
     return rows
 
 
-def measure_engine(frontier: str = "bfs", worker_counts: "list[int] | None" = None) -> dict:
+def measure_engine(
+    frontier: str = "bfs",
+    worker_counts: "list[int] | None" = None,
+    attach_states: int = 100_000,
+    attach_budget: int = 1024,
+) -> dict:
     """Run the engine workloads and collect the counters the issue tracks."""
     from repro.analysis.results import ExplorationLimits
     from repro.analysis.statespace import (
@@ -243,6 +399,7 @@ def measure_engine(frontier: str = "bfs", worker_counts: "list[int] | None" = No
                 "shape_nodes_rehashed": stats["shape_nodes_rehashed"],
                 "shape_nodes_full_walk_equivalent": stats["shape_nodes_full_walk_equivalent"],
                 "expansions_reused": stats["expansions_reused"],
+                "peak_rss_kb": _peak_rss_kb(),
             }
         )
     results.append(measure_store_backed(frontier, limits))
@@ -250,6 +407,8 @@ def measure_engine(frontier: str = "bfs", worker_counts: "list[int] | None" = No
         worker_counts = [2, 4]
     if worker_counts:  # an explicit empty list (--workers "") skips these
         results.extend(measure_parallel(frontier, worker_counts))
+    if attach_states:  # --attach-states 0 skips the large-store workload
+        results.append(measure_residency_attach(frontier, attach_states, attach_budget))
     return {
         "limits": {"max_states": limits.max_states, "max_instance_nodes": limits.max_instance_nodes},
         "cpu_count": os.cpu_count(),
@@ -294,6 +453,7 @@ def measure_store_backed(frontier: str, limits) -> dict:
         "store_rows_written": stats["store_rows_written"],
         "store_flushes": stats["store_flushes"],
         "store_rows_read": stats["store_rows_read"],
+        "peak_rss_kb": _peak_rss_kb(),
     }
 
 
@@ -333,6 +493,30 @@ def check_regressions(report: dict, baseline: dict, threshold: float) -> list[st
             failures.append(f"workload {name!r} lost state-set parity with the legacy explorer")
         if not fresh.get("serial_parallel_parity", True):
             failures.append(f"workload {name!r} broke serial-vs-parallel bit-identity")
+        if not fresh.get("attach_budget_parity", True):
+            failures.append(
+                f"workload {name!r} broke budget-bounded-vs-unbounded bit-identity"
+            )
+        if not fresh.get("attach_parallel_parity", True):
+            failures.append(
+                f"workload {name!r} broke budget-bounded parallel bit-identity"
+            )
+        if fresh.get("kind") == "bounded-attach":
+            fraction = fresh.get("hydration_fraction_restored")
+            if fraction is not None and fraction >= ATTACH_HYDRATION_CEILING:
+                failures.append(
+                    f"workload {name!r} hydrated {fraction:.1%} of the shape table; "
+                    f"a budget-bounded attach must stay below "
+                    f"{ATTACH_HYDRATION_CEILING:.0%}"
+                )
+            budget = fresh.get("resident_budget")
+            for field in ("states_resident", "reps_resident"):
+                value = fresh.get(field)
+                if budget and value is not None and value > budget:
+                    failures.append(
+                        f"workload {name!r} finished with {field}={value}, above "
+                        f"its resident budget of {budget}"
+                    )
         wire_bpc = fresh.get("wire_bytes_per_candidate")
         legacy_bpc = fresh.get("legacy_wire_bytes_per_candidate")
         if wire_bpc and legacy_bpc:
@@ -347,7 +531,10 @@ def check_regressions(report: dict, baseline: dict, threshold: float) -> list[st
         name = workload["workload"]
         fresh = current.get(name)
         if fresh is None:
-            if workload.get("kind") != "bounded-parallel":
+            # parallel rows vary with --workers, attach rows with
+            # --attach-states/--attach-budget; measuring a different
+            # configuration than the baseline is not a regression
+            if workload.get("kind") not in ("bounded-parallel", "bounded-attach"):
                 failures.append(f"workload {name!r} present in baseline but not measured")
             continue
         old_sps = workload.get("states_per_second")
@@ -462,6 +649,23 @@ def main(argv=None) -> int:
         "Pass an empty value (--workers '') to skip the parallel workloads",
     )
     parser.add_argument(
+        "--attach-states",
+        type=int,
+        default=None,
+        metavar="N",
+        help="size of the prebuilt store for the bounded-residency attach "
+        "workload (default: 100000, or 20000 under --smoke so CI stays "
+        "fast; 0 skips the workload)",
+    )
+    parser.add_argument(
+        "--attach-budget",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="resident budget for the bounded-residency attach workload "
+        "(default: 1024)",
+    )
+    parser.add_argument(
         "-o",
         "--output",
         default=str(REPO_ROOT / "BENCH_engine.json"),
@@ -495,6 +699,8 @@ def main(argv=None) -> int:
     if args.smoke:
         args.quick = True
         args.check = True
+    if args.attach_states is None:
+        args.attach_states = 20_000 if args.smoke else 100_000
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
     # read the baseline up front: the default output path overwrites it
@@ -517,10 +723,15 @@ def main(argv=None) -> int:
         return 2
 
     report = {
-        "schema": "bench-engine/3",
+        "schema": "bench-engine/4",
         "generated_by": "benchmarks/run_all.py",
         "quick": args.quick,
-        "engine": measure_engine(args.frontier, worker_counts),
+        "engine": measure_engine(
+            args.frontier,
+            worker_counts,
+            attach_states=args.attach_states,
+            attach_budget=args.attach_budget,
+        ),
     }
     if not args.quick:
         report["pytest_benchmarks"] = run_pytest_benchmarks(args.keyword)
@@ -551,6 +762,27 @@ def main(argv=None) -> int:
                     legacy=workload["legacy_wire_bytes_per_candidate"],
                     dedup=workload["wire_dedup_hit_rate"],
                     total=workload["wire_bytes_received"],
+                )
+            )
+            continue
+        if workload.get("kind") == "bounded-attach":
+            print(
+                "[run_all]   {workload}: touched {states} of {rows} stored "
+                "states at {sps} states/s; hydrated {fraction:.1%} of the "
+                "table, {resident} shapes / {reps} reps resident "
+                "(budget {budget}), parity={parity}/{par_parity}, "
+                "peak RSS {rss} KB".format(
+                    workload=workload["workload"],
+                    states=workload["states"],
+                    rows=workload["table_rows"],
+                    sps=workload["states_per_second"],
+                    fraction=workload["hydration_fraction_restored"],
+                    resident=workload["states_resident"],
+                    reps=workload["reps_resident"],
+                    budget=workload["resident_budget"],
+                    parity=workload["attach_budget_parity"],
+                    par_parity=workload["attach_parallel_parity"],
+                    rss=workload["peak_rss_kb"],
                 )
             )
             continue

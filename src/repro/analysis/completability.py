@@ -121,6 +121,7 @@ def completability_depth1(
     engine: Optional[ExplorationEngine] = None,
     store: Optional[StateStore] = None,
     workers: int = 1,
+    resident_budget: Optional[int] = None,
 ) -> AnalysisResult:
     """Exact completability for depth-1 guarded forms (Theorem 4.6).
 
@@ -137,7 +138,7 @@ def completability_depth1(
     parallel engine too.
     """
     owns_engine = engine is None
-    engine = engine_for(guarded_form, engine, frontier, store=store, workers=workers)
+    engine = engine_for(guarded_form, engine, frontier, store=store, workers=workers, resident_budget=resident_budget)
     try:
         graph = engine.explore_depth1(start=start, strategy=frontier)
         complete_states = engine.complete_depth1_states(graph)
@@ -173,6 +174,7 @@ def completability_bounded(
     resume: bool = False,
     stop_on_complete: bool = False,
     workers: int = 1,
+    resident_budget: Optional[int] = None,
 ) -> AnalysisResult:
     """Bounded explicit-state completability for arbitrary guarded forms.
 
@@ -194,7 +196,7 @@ def completability_bounded(
     """
     limits = limits or ExplorationLimits()
     owns_engine = engine is None
-    engine = engine_for(guarded_form, engine, frontier, store=store, workers=workers)
+    engine = engine_for(guarded_form, engine, frontier, store=store, workers=workers, resident_budget=resident_budget)
     try:
         graph = engine.explore(
             start=start,
@@ -268,6 +270,7 @@ def decide_completability(
     resume: bool = False,
     stop_on_complete: bool = False,
     workers: int = 1,
+    resident_budget: Optional[int] = None,
 ) -> AnalysisResult:
     """Decide completability, selecting a procedure from the fragment.
 
@@ -304,6 +307,7 @@ def decide_completability(
         return completability_depth1(
             guarded_form, start, frontier=frontier, engine=engine, store=store,
             workers=workers,
+            resident_budget=resident_budget,
         )
     if strategy == "bounded":
         return completability_bounded(
@@ -316,6 +320,7 @@ def decide_completability(
             resume=resume,
             stop_on_complete=stop_on_complete,
             workers=workers,
+            resident_budget=resident_budget,
         )
     if strategy != "auto":
         raise AnalysisError(f"unknown completability strategy {strategy!r}")
@@ -327,6 +332,7 @@ def decide_completability(
         return completability_depth1(
             guarded_form, start, frontier=frontier, engine=engine, store=store,
             workers=workers,
+            resident_budget=resident_budget,
         )
     if fragment.positive_access:
         copy_bound = positive_rules_copy_bound(guarded_form)
@@ -348,6 +354,7 @@ def decide_completability(
             resume=resume,
             stop_on_complete=stop_on_complete,
             workers=workers,
+            resident_budget=resident_budget,
         )
     return completability_bounded(
         guarded_form,
@@ -359,4 +366,5 @@ def decide_completability(
         resume=resume,
         stop_on_complete=stop_on_complete,
         workers=workers,
+        resident_budget=resident_budget,
     )

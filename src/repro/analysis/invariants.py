@@ -31,6 +31,7 @@ def can_reach(
     resume: bool = False,
     stop_on_complete: bool = False,
     workers: int = 1,
+    resident_budget: Optional[int] = None,
 ) -> AnalysisResult:
     """Whether some reachable instance satisfies *condition* (at the root).
 
@@ -58,6 +59,7 @@ def can_reach(
         resume=resume,
         stop_on_complete=stop_on_complete,
         workers=workers,
+        resident_budget=resident_budget,
     )
     result.stats["query"] = "can_reach"
     return result
@@ -73,6 +75,7 @@ def always_holds(
     resume: bool = False,
     stop_on_complete: bool = False,
     workers: int = 1,
+    resident_budget: Optional[int] = None,
 ) -> AnalysisResult:
     """Whether *invariant* holds at the root of **every** reachable instance.
 
@@ -93,6 +96,7 @@ def always_holds(
         resume=resume,
         stop_on_complete=stop_on_complete,
         workers=workers,
+        resident_budget=resident_budget,
     )
     answer: Optional[bool]
     if violation.decided:

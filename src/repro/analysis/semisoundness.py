@@ -51,6 +51,7 @@ def semisoundness_depth1(
     engine: Optional[ExplorationEngine] = None,
     store: Optional[StateStore] = None,
     workers: int = 1,
+    resident_budget: Optional[int] = None,
 ) -> AnalysisResult:
     """Exact semi-soundness for depth-1 guarded forms.
 
@@ -61,7 +62,7 @@ def semisoundness_depth1(
     serial (see :func:`~repro.analysis.completability.completability_depth1`).
     """
     owns_engine = engine is None
-    engine = engine_for(guarded_form, engine, frontier, store=store, workers=workers)
+    engine = engine_for(guarded_form, engine, frontier, store=store, workers=workers, resident_budget=resident_budget)
     try:
         graph = engine.explore_depth1(start=start, strategy=frontier)
         reachable = graph.reachable_from(graph.initial)
@@ -103,6 +104,7 @@ def semisoundness_bounded(
     store: Optional[StateStore] = None,
     resume: bool = False,
     workers: int = 1,
+    resident_budget: Optional[int] = None,
 ) -> AnalysisResult:
     """Bounded semi-soundness for guarded forms of arbitrary depth.
 
@@ -128,7 +130,7 @@ def semisoundness_bounded(
     limits = limits or ExplorationLimits()
     completability_limits = completability_limits or limits
     owns_engine = engine is None
-    engine = engine_for(guarded_form, engine, frontier, store=store, workers=workers)
+    engine = engine_for(guarded_form, engine, frontier, store=store, workers=workers, resident_budget=resident_budget)
     try:
         graph = engine.explore(start=start, limits=limits, strategy=frontier, resume=resume)
         complete_states = engine.complete_ids(graph)
@@ -205,6 +207,7 @@ def decide_semisoundness(
     store: Optional[StateStore] = None,
     resume: bool = False,
     workers: int = 1,
+    resident_budget: Optional[int] = None,
 ) -> AnalysisResult:
     """Decide semi-soundness, selecting a procedure from the fragment.
 
@@ -230,6 +233,7 @@ def decide_semisoundness(
         return semisoundness_depth1(
             guarded_form, start, frontier=frontier, engine=engine, store=store,
             workers=workers,
+            resident_budget=resident_budget,
         )
     if strategy == "bounded":
         return semisoundness_bounded(
@@ -241,6 +245,7 @@ def decide_semisoundness(
             store=store,
             resume=resume,
             workers=workers,
+            resident_budget=resident_budget,
         )
     if strategy != "auto":
         raise AnalysisError(f"unknown semi-soundness strategy {strategy!r}")
@@ -249,6 +254,7 @@ def decide_semisoundness(
         return semisoundness_depth1(
             guarded_form, start, frontier=frontier, engine=engine, store=store,
             workers=workers,
+            resident_budget=resident_budget,
         )
 
     fragment = classify(guarded_form)
@@ -265,4 +271,5 @@ def decide_semisoundness(
         store=store,
         resume=resume,
         workers=workers,
+        resident_budget=resident_budget,
     )

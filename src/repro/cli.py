@@ -32,7 +32,12 @@ checkpoints) and ``--resume`` (continue an interrupted identically
 parameterised run instead of restarting).  They also accept ``--workers N``
 to expand frontier waves on N worker processes
 (:mod:`repro.engine.parallel`); the resulting graphs, verdicts and witnesses
-are bit-identical to serial runs, so the flag is purely a throughput knob.  A Ctrl-C during a store-backed
+are bit-identical to serial runs, so the flag is purely a throughput knob.
+``--resident-budget N`` bounds how many states' representatives, shapes and
+memoized expansions stay resident during a store-backed exploration (least
+recently used first, transparently reloaded from the store — again
+bit-identical, a memory knob only), which is what lets a small-RAM machine
+work against a very large store.  A Ctrl-C during a store-backed
 exploration checkpoints before exiting, so ``--resume`` always has something
 to pick up.  See :mod:`repro.engine.store`.
 
@@ -181,6 +186,16 @@ def _add_limit_arguments(parser: argparse.ArgumentParser) -> None:
         "evaluations and frontier checkpoints survive the process)",
     )
     parser.add_argument(
+        "--resident-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep at most N states' representatives/shapes/expansions "
+        "resident during a store-backed exploration, evicting the least "
+        "recently used to the store (results are bit-identical to an "
+        "unbounded run; requires --store; default: unbounded)",
+    )
+    parser.add_argument(
         "--resume",
         action="store_true",
         help="continue from the checkpoint an interrupted identically "
@@ -199,6 +214,17 @@ def _add_limit_arguments(parser: argparse.ArgumentParser) -> None:
 def _check_workers(args: argparse.Namespace) -> None:
     if args.workers < 1:
         raise ReproError(f"--workers must be a positive integer, got {args.workers}")
+    budget = getattr(args, "resident_budget", None)
+    if budget is not None:
+        if budget < 1:
+            raise ReproError(
+                f"--resident-budget must be a positive integer, got {budget}"
+            )
+        if args.store is None:
+            raise ReproError(
+                "--resident-budget needs --store: without a persistent store "
+                "there is nowhere to evict resident state to"
+            )
 
 
 def _build_engine(form: GuardedForm, args: argparse.Namespace, store) -> ExplorationEngine:
@@ -208,9 +234,18 @@ def _build_engine(form: GuardedForm, args: argparse.Namespace, store) -> Explora
     _check_workers(args)
     if args.workers > 1:
         return ParallelExplorationEngine(
-            form, strategy=args.frontier, store=store, workers=args.workers
+            form,
+            strategy=args.frontier,
+            store=store,
+            workers=args.workers,
+            resident_budget=args.resident_budget,
         )
-    return ExplorationEngine(form, strategy=args.frontier, store=store)
+    return ExplorationEngine(
+        form,
+        strategy=args.frontier,
+        store=store,
+        resident_budget=args.resident_budget,
+    )
 
 
 def _describe(result: AnalysisResult, out) -> None:
@@ -358,6 +393,23 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
                 + (", resumed" if stats["explorations_resumed"] else ""),
                 file=out,
             )
+            print(
+                f"residency: {stats['reps_resident']} representatives / "
+                f"{stats['states_resident']} shapes resident"
+                + (
+                    f" (budget {stats['resident_budget']}, "
+                    f"{stats['reps_evicted']} evicted)"
+                    if stats["resident_budget"] is not None
+                    else ""
+                )
+                + (
+                    f", {stats['hydration_rows_skipped']} persisted shape "
+                    "rows never hydrated"
+                    if stats["hydration_rows_skipped"]
+                    else ""
+                ),
+                file=out,
+            )
     except KeyboardInterrupt:
         # the engine checkpointed the in-flight exploration before re-raising
         _print_interrupt_hint(args)
@@ -390,6 +442,7 @@ def _cmd_invariant(args: argparse.Namespace, out) -> int:
             store=store,
             resume=args.resume,
             workers=args.workers,
+            resident_budget=args.resident_budget,
         )
     except KeyboardInterrupt:
         _print_interrupt_hint(args)
@@ -421,6 +474,7 @@ def _cmd_workflow(args: argparse.Namespace, out) -> int:
             store=store,
             resume=args.resume,
             workers=args.workers,
+            resident_budget=args.resident_budget,
         )
     except KeyboardInterrupt:
         _print_interrupt_hint(args)

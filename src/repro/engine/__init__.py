@@ -6,7 +6,10 @@ extraction of :mod:`repro.workflow` funnels through state-space exploration.
 This package is that hot path, carved out as an explicit subsystem:
 
 * :mod:`repro.engine.interning` — hash-consed shapes, int state keys,
-  incremental successor-shape computation;
+  incremental successor-shape computation; store-backed engines get a
+  two-tier table (resident dict first, on-miss reverse lookup through the
+  store's ``shape_hash`` index) so residency tracks what a run touches,
+  not what the store holds;
 * :mod:`repro.engine.guards` — memoized access-rule / completion-formula
   evaluation with support-projection and subtree-shape sharing;
 * :mod:`repro.engine.strategies` — pluggable frontier orders (BFS, DFS,
@@ -14,7 +17,9 @@ This package is that hot path, carved out as an explicit subsystem:
 * :mod:`repro.engine.store` — persistent state stores
   (:class:`InMemoryStore` / :class:`SqliteStore`): interned shapes, canonical
   representatives, guard values and resumable exploration checkpoints on
-  disk, with write batching and LRU read caches;
+  disk, with write batching, LRU read caches (negative lookups included)
+  and a ``shape_hash``-indexed reverse lookup backing partial hydration and
+  the engine's ``resident_budget`` eviction;
 * :mod:`repro.engine.engine` — :class:`ExplorationEngine`, tying them
   together and producing :class:`EngineGraph` / legacy-compatible graphs;
 * :mod:`repro.engine.parallel` / :mod:`repro.engine.workers` —

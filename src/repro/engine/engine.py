@@ -49,10 +49,23 @@ picked up by a *fresh process* with ``explore(resume=True)`` and finish with
 exactly the states, transitions and truncation flags of an uninterrupted
 run.  The differential suite in ``tests/engine/test_store_parity.py`` pins
 that equivalence against the in-memory engine for every benchgen family.
+
+**Bounded residency.**  Attaching to a populated store hydrates lazily —
+only guard values load eagerly; shapes are pulled in on first touch through
+the interner's store fallback, and representatives on first use — so memory
+tracks what a run explores, not what the store holds.  A ``resident_budget``
+additionally caps the resident working set (representatives, shape maps,
+interned root shapes, memoized expansions), evicting least-recently-accessed
+entries between expansions; everything evicted reloads or deterministically
+recomputes from the store, so bounded runs are bit-identical to unbounded
+ones (``tests/engine/test_residency.py``).  Note that a budget-bounded
+graph stays store-dependent: keep the store open while reading shapes or
+representatives off it.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Iterator, Optional
 
 from repro.core.canonical import canonical_depth1_state
@@ -242,8 +255,10 @@ class EngineGraph:
         chain.reverse()
         run = Run(self.guarded_form, [], start=self.start_instance.copy())
         replayed = self.start_instance.copy()
+        engine = self.engine
+        budget = engine.resident_budget
         for parent_id, update in chain:
-            canonical = self.engine.representative(parent_id)
+            canonical = engine.representative(parent_id)
             iso = map_isomorphism(canonical.root, replayed.root)
             translated: Update
             if isinstance(update, Addition):
@@ -252,6 +267,10 @@ class EngineGraph:
                 translated = Deletion(iso[update.node_id])
             run.updates.append(translated)
             replayed = self.guarded_form.apply_unchecked(replayed, translated, in_place=True)
+            # each parent representative is needed exactly once here; a long
+            # witness chain must not blow the resident budget
+            if budget is not None and len(engine._reps) > budget:
+                engine._enforce_budget()
         return run
 
     # ------------------------------------------------------------------ #
@@ -298,14 +317,16 @@ def engine_for(
     frontier: Optional[str] = None,
     store: Optional[StateStore] = None,
     workers: int = 1,
+    resident_budget: Optional[int] = None,
 ) -> "ExplorationEngine":
     """The engine to analyse *guarded_form* with: the caller's, or a fresh one.
 
     A *store* is only consulted when a fresh engine is built; a supplied
     engine keeps whatever store it was constructed with (and its own worker
-    configuration — *workers* is likewise ignored then).  ``workers > 1``
-    builds a :class:`~repro.engine.parallel.ParallelExplorationEngine`; the
-    caller that triggered the construction is responsible for calling
+    and residency configuration — *workers* and *resident_budget* are
+    likewise ignored then).  ``workers > 1`` builds a
+    :class:`~repro.engine.parallel.ParallelExplorationEngine`; the caller
+    that triggered the construction is responsible for calling
     :meth:`ExplorationEngine.shutdown_workers` when done.
 
     Raises:
@@ -325,9 +346,18 @@ def engine_for(
         from repro.engine.parallel import ParallelExplorationEngine
 
         return ParallelExplorationEngine(
-            guarded_form, strategy=frontier or "bfs", store=store, workers=workers
+            guarded_form,
+            strategy=frontier or "bfs",
+            store=store,
+            workers=workers,
+            resident_budget=resident_budget,
         )
-    return ExplorationEngine(guarded_form, strategy=frontier or "bfs", store=store)
+    return ExplorationEngine(
+        guarded_form,
+        strategy=frontier or "bfs",
+        store=store,
+        resident_budget=resident_budget,
+    )
 
 
 _ENGINE_STATE_GRAPH_CLASS = None
@@ -372,6 +402,7 @@ class ExplorationEngine:
         strategy: str = "bfs",
         store: Optional[StateStore] = None,
         checkpoint_every: int = 1000,
+        resident_budget: Optional[int] = None,
     ) -> None:
         self.guarded_form = guarded_form
         self.strategy = strategy
@@ -382,11 +413,27 @@ class ExplorationEngine:
         self.checkpoint_every = max(
             1, store_cadence if store_cadence is not None else checkpoint_every
         )
+        if resident_budget is not None:
+            if resident_budget < 1:
+                raise AnalysisError("resident_budget must be a positive integer")
+            if not self.store.persistent:
+                raise AnalysisError(
+                    "resident_budget needs a persistent store: without one "
+                    "there is nowhere to evict resident state to"
+                )
+        #: Soft cap on resident per-state structures (representatives, shape
+        #: maps, interned full-state shapes, memoized expansions).  Enforced
+        #: between state expansions on a store-backed engine; ``None`` (the
+        #: default) keeps everything resident.  Results are bit-identical
+        #: either way — eviction only trades memory for store reads.
+        self.resident_budget = resident_budget
         backing = self.store if self.store.persistent else None
         self.interner = ShapeInterner(store=backing)
         self.shaper = IncrementalShaper(self.interner)
         self.guards = GuardCache(guarded_form, store=backing)
-        self._reps: dict = {}  # StateId -> resident representative Instance
+        #: StateId -> resident representative Instance, in recency-of-access
+        #: order (front = coldest; eviction pops from the front).
+        self._reps: OrderedDict = OrderedDict()
         self._shape_maps: dict = {}  # StateId -> {node_id: consed subtree Shape}
         self._expansions: dict = {}  # StateId -> (candidates, guard queries)
         self._d1_expansions: dict = {}  # frozenset -> (moves, guard queries)
@@ -395,27 +442,47 @@ class ExplorationEngine:
         self.expansions_reused = 0
         self.heuristic_evaluations = 0
         self.explorations_resumed = 0
-        #: Whether the persisted shapes/guards were loaded into this engine.
+        self.reps_evicted = 0
+        self.expansions_evicted = 0
+        #: Shape rows the store held when this engine hydrated; the basis
+        #: for the ``hydration_rows_skipped`` statistic.
+        self._persisted_rows_at_attach = 0
+        #: Whether the engine bound itself to the store's persisted state.
         #: Hydration is deferred to the first exploration and performed at
         #: most once per engine: repeated ``explore()`` calls against the
         #: same engine must not re-scan (and can never double-restore) the
-        #: store's shape table.
+        #: store's guard table.
         self._hydrated = backing is None
 
     def _hydrate(self) -> None:
-        """Reload persisted shapes and guard values from the store (once).
+        """Bind the engine to its store's persisted state (lazily, once).
 
-        Representatives are *not* preloaded; :meth:`representative` fetches
-        them lazily (through the store's LRU cache), so attaching to a large
-        store stays cheap in memory until states are actually touched.
+        Guard values are restored eagerly — they are small, shared across
+        every state, and needed before the first expansion can be trusted.
+        Shapes are **not** bulk-restored: the interner is told the persisted
+        id range and row count (:meth:`ShapeInterner.bind_persisted`), and
+        individual rows are pulled in on first touch through the two-tier
+        fallback, so attaching to a large store costs memory proportional to
+        what the run actually explores.  Representatives are likewise fetched
+        lazily by :meth:`representative`.
+
+        The ``_hydrated`` flag is only set after every step succeeded: an
+        exception mid-hydration (corrupt row, decode error, Ctrl-C) leaves
+        the engine un-hydrated, so the next exploration retries — and fails
+        again — instead of silently exploring against a truncated table
+        (every restore step is idempotent, so a retry after partial progress
+        is safe).
         """
         if self._hydrated:
             return
-        self._hydrated = True
-        for state_id, shape in self.store.load_shapes():
-            self.interner.restore(state_id, shape)
         for key, value in self.store.load_guards():
             self.guards.restore(key, value)
+        max_id = self.store.max_state_id()
+        if max_id is not None:
+            rows = self.store.shape_row_count()
+            self.interner.bind_persisted(max_id, rows)
+            self._persisted_rows_at_attach = rows
+        self._hydrated = True
 
     # ------------------------------------------------------------------ #
     # registry
@@ -424,9 +491,10 @@ class ExplorationEngine:
     def representative(self, state_id: StateId) -> Instance:
         """The canonical representative instance of a state (shared).
 
-        Served from the resident dict; on a store-backed engine, states not
-        resident (hydrated lazily after a resume, or evicted) are decoded
-        from the store with their original node ids.
+        Served from the resident dict (refreshing its recency); on a
+        store-backed engine, states not resident (hydrated lazily after a
+        resume, or evicted) are decoded from the store with their original
+        node ids.
         """
         rep = self._reps.get(state_id)
         if rep is None:
@@ -438,22 +506,62 @@ class ExplorationEngine:
                 )
             rep = decode_instance_with_ids(blob, self.guarded_form.schema)
             self._reps[state_id] = rep
+        else:
+            self._reps.move_to_end(state_id)
         return rep
 
     def evict_representatives(self, keep: int = 0) -> int:
-        """Drop resident representatives (and their shape maps) beyond *keep*.
+        """Drop resident representatives (and their shape maps) down to the
+        *keep* most recently accessed.
 
-        Only meaningful on a store-backed engine, where evicted states are
-        transparently reloaded on demand; returns the number evicted.  The
-        property suite uses this to show eviction never changes interner ids.
+        The policy is recency of access, not id order: the states most
+        likely to be touched again are the ones an in-flight exploration
+        accessed last (its frontier), while the lowest ids are the oldest,
+        coldest states.  Only meaningful on a store-backed engine, where
+        evicted states are transparently reloaded on demand; returns the
+        number evicted.  The property suite uses this to show eviction never
+        changes interner ids.
         """
         if not self.store.persistent:
             return 0
-        evictable = sorted(self._reps)[keep:]
-        for state_id in evictable:
-            self._reps.pop(state_id, None)
+        evicted = 0
+        while len(self._reps) > keep:
+            state_id, _ = self._reps.popitem(last=False)
             self._shape_maps.pop(state_id, None)
-        return len(evictable)
+            evicted += 1
+        self.reps_evicted += evicted
+        return evicted
+
+    def _enforce_budget(self) -> None:
+        """Evict least-recently-used resident state down to the budget.
+
+        Called between whole state expansions, never mid-expansion, so
+        nothing the current expansion still holds can disappear under it.
+        Everything evicted is transparently recoverable: representatives and
+        full-state shapes reload from the store, shape maps and memoized
+        expansions are recomputed deterministically (same representative,
+        same cached guard values, same store-stable ids), so bounded-budget
+        runs stay bit-identical to unbounded ones — the residency suite pins
+        exactly that.
+        """
+        budget = self.resident_budget
+        if budget is None or not self.store.persistent:
+            return
+        while len(self._reps) > budget:
+            state_id, _ = self._reps.popitem(last=False)
+            self._shape_maps.pop(state_id, None)
+            if self._expansions.pop(state_id, None) is not None:
+                self.expansions_evicted += 1
+            self.reps_evicted += 1
+        self.interner.evict_states(keep=budget)
+        # the subtree cons table grows with every distinct subtree ever seen;
+        # rebuild it from the resident tier when it has doubled since the
+        # last prune (cheap len check per enforcement, O(resident) to prune)
+        if self.interner.cons_prune_due():
+            keep: list = []
+            for shape_map in self._shape_maps.values():
+                keep.extend(shape_map.values())
+            self.interner.prune_cons(keep)
 
     def _register(self, instance: Instance, shape_map=None) -> StateId:
         if shape_map is None:
@@ -646,6 +754,8 @@ class ExplorationEngine:
                 graph.transitions[state_id] = edges
                 in_flight = None
                 expanded_this_call += 1
+                if self.resident_budget is not None:
+                    self._enforce_budget()
                 if found_complete:
                     graph.stopped_on_complete = True
                     break
@@ -721,11 +831,16 @@ class ExplorationEngine:
     def complete_ids(self, graph: EngineGraph) -> set:
         """The states of *graph* satisfying the completion formula (cached)."""
         guards = self.guards
-        return {
-            state_id
-            for state_id in graph.states
-            if guards.completion(state_id, self.representative(state_id).root)
-        }
+        budget = self.resident_budget
+        complete: set = set()
+        for state_id in graph.states:
+            if guards.completion(state_id, self.representative(state_id).root):
+                complete.add(state_id)
+            # a completion sweep over a big graph would otherwise re-load
+            # every evicted representative and keep it resident
+            if budget is not None and len(self._reps) > budget:
+                self._enforce_budget()
+        return complete
 
     # ------------------------------------------------------------------ #
     # checkpointing (store-backed interruption and resume)
@@ -774,6 +889,15 @@ class ExplorationEngine:
             self, self.guarded_form, checkpoint["initial_id"], persisted_start
         )
         graph._states = set(checkpoint["states"])
+        # the checkpointed states are this run's working set: restore their
+        # shapes now (partial hydration would otherwise leave states the
+        # resumed run never re-pops unreadable once the store is closed).
+        # NOT under a resident budget — a bounded engine must never
+        # materialise the whole checkpointed set (its graphs are documented
+        # store-dependent: keep the store open)
+        if self.resident_budget is None:
+            for state_id in graph._states:
+                self.interner.shape_of(state_id)
         graph.transitions = {
             source: [(decode_update(update), target) for update, target in edges]
             for source, edges in checkpoint["transitions"]
@@ -911,6 +1035,16 @@ class ExplorationEngine:
         snapshot["registered_states"] = len(self._reps)
         snapshot["frontier_strategy"] = self.strategy
         snapshot["explorations_resumed"] = self.explorations_resumed
+        # residency: how much of the working set is actually in memory, and
+        # how much of a populated store's shape table hydration pulled in
+        snapshot["resident_budget"] = self.resident_budget
+        snapshot["reps_resident"] = len(self._reps)
+        snapshot["states_resident"] = self.interner.resident
+        snapshot["reps_evicted"] = self.reps_evicted
+        snapshot["expansions_evicted"] = self.expansions_evicted
+        snapshot["hydration_rows_skipped"] = max(
+            0, self._persisted_rows_at_attach - self.interner.states_restored_distinct
+        )
         for key, value in self.store.stats().items():
             snapshot[f"store_{key}"] = value
         return snapshot

@@ -12,6 +12,16 @@ them from scratch for every successor.  This module removes both costs:
   shape is mapped to a small integer id.  State keys used by the exploration
   engine are therefore O(1)-comparable ints.
 
+  On a store-backed engine the interner is a **two-tier table**: the resident
+  dict is consulted first, and a miss falls back to the store's reverse
+  lookup (:meth:`~repro.engine.store.SqliteStore.get_state_id`, indexed by
+  ``shape_hash``) before a new id is ever assigned.  Attaching to a populated
+  store therefore no longer bulk-restores the whole shape table:
+  :meth:`bind_persisted` records the persisted id range (so ``len`` and new
+  id assignment stay exact), rows are pulled in on first touch, and resident
+  rows can be evicted again (:meth:`evict_states`) under a resident budget —
+  ids never change either way, which the residency property suite pins.
+
 * :class:`IncrementalShaper` maintains, per state, a ``node_id -> Shape`` map
   for the state's representative instance.  The shape of a successor is then
   computed from the parent's map plus the applied update: only the shapes on
@@ -26,7 +36,8 @@ them from scratch for every successor.  This module removes both costs:
 
 from __future__ import annotations
 
-from typing import Optional
+from collections import OrderedDict
+from typing import Iterable, Optional
 
 from repro.core.guarded_form import Addition, Update
 from repro.core.instance import Instance
@@ -43,26 +54,56 @@ def _subtree_shape(node: Node) -> Shape:
 
 
 class ShapeInterner:
-    """A hash-consing table for tree shapes.
+    """A two-tier hash-consing table for tree shapes.
 
     ``cons`` canonicalises a subtree shape (structurally equal inputs return
     the *same* tuple object); ``state_id`` assigns a dense integer id to a
-    full-state shape.  Both directions are O(1) amortised; ``shape_of``
-    recovers the shape of an id.
+    full-state shape.  Both directions are O(1) amortised on the resident
+    tier; ``shape_of`` recovers the shape of an id.
+
+    With a persistent *store* attached, ids and shapes need not all be
+    resident: a ``state_id`` miss falls back to the store's ``shape_hash``
+    reverse lookup, a ``shape_of`` miss to the store's row read, and either
+    hit re-registers the row resident.  ``len`` counts *assigned* ids (dense,
+    including non-resident ones), never just the resident slice.
     """
 
     def __init__(self, store=None) -> None:
         self._cons: dict = {}  # Shape -> canonical Shape object
-        self._ids: dict = {}  # canonical Shape -> StateId
-        self._shapes: list = []  # StateId -> canonical Shape
-        #: Persistent write-through sink (a persistent
+        self._ids: dict = {}  # canonical Shape -> StateId (resident tier)
+        #: StateId -> canonical Shape, maintained in recency-of-access order
+        #: (front = coldest) so budget eviction can drop the least recently
+        #: used residents first.
+        self._shapes: OrderedDict = OrderedDict()
+        #: Next id to assign; equals ``max persisted or interned id + 1``.
+        self._next_id: StateId = 0
+        #: Persistent write-through sink and fallback tier (a persistent
         #: :class:`~repro.engine.store.StateStore`), or ``None``.
         self._store = store
+        #: Persisted rows not currently resident; while positive, unknown
+        #: shapes consult the store before being assigned a fresh id.  Zero
+        #: on fresh stores, so the fully-resident hot path pays nothing.
+        self._nonresident = 0
+        #: Distinct persisted ids restored from the store so far (re-restores
+        #: after eviction do not count twice) — the basis for the engine's
+        #: ``hydration_rows_skipped`` statistic.  Only ids within the
+        #: persisted-at-attach range count: rows this process interned and
+        #: evicted come back through the same fallback but are not
+        #: *hydration*.
+        self._restored_ids: set = set()
+        #: Highest id persisted when :meth:`bind_persisted` ran (-1: never).
+        self._persisted_max: StateId = -1
         self.cons_hits = 0
         self.cons_misses = 0
         self.state_hits = 0
         self.state_misses = 0
         self.states_restored = 0
+        self.states_evicted = 0
+        self.cons_pruned = 0
+        self.store_id_lookups = 0
+        #: Low-water mark for :meth:`prune_cons` triggering (set by the
+        #: engine's budget enforcement; see ``ExplorationEngine``).
+        self._cons_floor = 0
 
     def cons(self, shape: Shape) -> Shape:
         """Return the canonical object for *shape* (hash-consing)."""
@@ -74,60 +115,188 @@ class ShapeInterner:
         self._cons[shape] = shape
         return shape
 
+    def cons_tree(self, shape: Shape) -> Shape:
+        """Hash-cons *shape* and every subtree of it, bottom-up.
+
+        Used when a shape enters the engine from outside the incremental
+        derivation path (store rows, worker shard hydration): the returned
+        canonical object has canonical children all the way down, so equality
+        checks against engine-derived shapes keep their identity
+        short-circuit.
+        """
+        canonical = self._cons.get(shape)
+        if canonical is not None:
+            self.cons_hits += 1
+            return canonical
+        label, children = shape
+        consed = (label, tuple(self.cons_tree(child) for child in children))
+        self.cons_misses += 1
+        self._cons[consed] = consed
+        return consed
+
     def state_id(self, shape: Shape) -> tuple[StateId, bool]:
-        """Intern a full-state shape; return ``(id, is_new)``."""
+        """Intern a full-state shape; return ``(id, is_new)``.
+
+        The resident tier answers first; when persisted non-resident rows
+        exist, an unknown shape consults the store's reverse lookup and — on
+        a hit — is restored resident under its persisted id.  Only a shape
+        absent from both tiers gets a fresh id, so ids are bit-identical
+        whether or not rows were hydrated or evicted in between.
+        """
         existing = self._ids.get(shape)
         if existing is not None:
             self.state_hits += 1
+            self._shapes.move_to_end(existing)
             return existing, False
+        if self._nonresident > 0 and self._store is not None:
+            self.store_id_lookups += 1
+            found = self._store.get_state_id(shape)
+            if found is not None:
+                canonical = self._make_resident(found, shape)
+                self.state_hits += 1
+                return found, False
         self.state_misses += 1
-        new_id = len(self._shapes)
+        new_id = self._next_id
+        self._next_id += 1
         self._ids[shape] = new_id
-        self._shapes.append(shape)
+        self._shapes[new_id] = shape
         if self._store is not None:
             self._store.put_shape(new_id, shape)
         return new_id, True
 
+    def _make_resident(self, state_id: StateId, shape: Shape) -> Shape:
+        """Register a store row on the resident tier (shared restore path)."""
+        canonical = self.cons_tree(shape)
+        if state_id not in self._shapes and self._nonresident > 0:
+            self._nonresident -= 1
+        self._ids[canonical] = state_id
+        self._shapes[state_id] = canonical
+        if state_id <= self._persisted_max:
+            self._restored_ids.add(state_id)
+        self.states_restored += 1
+        return canonical
+
+    def bind_persisted(self, max_state_id: StateId, row_count: int) -> None:
+        """Attach *row_count* persisted rows with ids up to *max_state_id*
+        without restoring any of them.
+
+        New shapes get ids above the persisted range, ``len`` counts the
+        persisted ids as assigned, and unknown shapes fall back to the
+        store's reverse lookup while non-resident rows remain.  Idempotent —
+        a retried hydration (after a mid-hydration failure) recomputes the
+        non-resident count from what is actually resident.
+        """
+        self._next_id = max(self._next_id, max_state_id + 1)
+        self._persisted_max = max(self._persisted_max, max_state_id)
+        resident_persisted = sum(1 for sid in self._shapes if sid <= max_state_id)
+        self._nonresident = max(0, row_count - resident_persisted)
+
     def restore(self, state_id: StateId, shape: Shape) -> None:
         """Re-intern a persisted shape under its recorded id (hydration).
 
-        Rows must be restored in id order (ids are dense), before any new
-        shape is interned; restored rows are not written back to the store.
-
-        Raises:
-            ValueError: when *state_id* is not the next dense id.
+        Unlike the historic bulk-hydration path this no longer requires
+        dense, in-id-order restores: any persisted row may be restored at any
+        time (the two-tier fallback does exactly that on first touch), and
+        restoring an already-resident row is a harmless overwrite.  Restored
+        rows are not written back to the store.
         """
-        if state_id != len(self._shapes):
-            raise ValueError(
-                f"state ids must be restored densely in order; expected "
-                f"{len(self._shapes)}, got {state_id}"
-            )
-        canonical = self.cons(shape)
-        self._ids[canonical] = state_id
-        self._shapes.append(canonical)
-        self.states_restored += 1
+        self._make_resident(state_id, shape)
+        self._next_id = max(self._next_id, state_id + 1)
+
+    def evict_states(self, keep: int) -> int:
+        """Drop least-recently-used resident full-state shapes beyond *keep*.
+
+        Only meaningful with a backing store (evicted rows are transparently
+        restored through the reverse-lookup / row-read fallbacks); returns
+        the number evicted.  Ids are never invalidated by eviction.
+        """
+        if self._store is None:
+            return 0
+        evicted = 0
+        while len(self._shapes) > keep:
+            state_id, shape = self._shapes.popitem(last=False)
+            del self._ids[shape]
+            self._nonresident += 1
+            evicted += 1
+        self.states_evicted += evicted
+        return evicted
+
+    def prune_cons(self, keep: Iterable[Shape] = ()) -> int:
+        """Rebuild the subtree hash-consing table from the resident state
+        shapes plus *keep* (typically the engine's resident shape-map values).
+
+        Dropped entries cost nothing but sharing: a re-consed subtree is a
+        fresh-but-equal tuple, and every consumer compares shapes
+        structurally.  Returns the number of entries dropped.
+        """
+        before = len(self._cons)
+        fresh: dict = {}
+        for shape in self._shapes.values():
+            fresh[shape] = shape
+        for shape in keep:
+            fresh[shape] = shape
+        self._cons = fresh
+        self._cons_floor = len(fresh)
+        dropped = max(0, before - len(fresh))
+        self.cons_pruned += dropped
+        return dropped
+
+    def cons_prune_due(self, floor: int = 4096) -> bool:
+        """Whether the subtree cons table has grown enough (doubled since
+        the last prune, and past *floor*) to be worth rebuilding."""
+        return len(self._cons) > max(floor, 2 * self._cons_floor)
 
     def lookup(self, shape: Shape) -> Optional[StateId]:
-        """The id of *shape* if it was interned, else ``None``."""
+        """The id of *shape* if it is resident, else ``None`` (the resident
+        tier only; ``state_id`` is the store-consulting entry point)."""
         return self._ids.get(shape)
 
     def shape_of(self, state_id: StateId) -> Shape:
-        """The shape interned under *state_id*."""
-        return self._shapes[state_id]
+        """The shape interned under *state_id* (restored from the store when
+        not resident)."""
+        shape = self._shapes.get(state_id)
+        if shape is not None:
+            self._shapes.move_to_end(state_id)
+            return shape
+        if self._store is not None and 0 <= state_id < self._next_id:
+            row = self._store.get_shape(state_id)
+            if row is not None:
+                return self._make_resident(state_id, row)
+        raise IndexError(
+            f"state id {state_id} is not interned (and not in the backing store)"
+        )
+
+    @property
+    def resident(self) -> int:
+        """How many full-state shapes are resident right now."""
+        return len(self._shapes)
+
+    @property
+    def states_restored_distinct(self) -> int:
+        """Distinct persisted rows restored so far (eviction/re-restore
+        cycles count once)."""
+        return len(self._restored_ids)
 
     def __len__(self) -> int:
-        return len(self._shapes)
+        """Assigned ids — resident or not — exactly as before partial
+        hydration existed."""
+        return self._next_id
 
     def stats(self) -> dict:
         """Counter snapshot for :class:`AnalysisResult` stats."""
         return {
-            "interned_states": len(self._shapes),
+            "interned_states": self._next_id,
             "interned_subtrees": len(self._cons),
+            "states_resident": len(self._shapes),
             "state_hits": self.state_hits,
             "state_misses": self.state_misses,
             "cons_hits": self.cons_hits,
             "cons_misses": self.cons_misses,
             "states_restored": self.states_restored,
+            "states_restored_distinct": len(self._restored_ids),
+            "states_evicted": self.states_evicted,
+            "cons_pruned": self.cons_pruned,
+            "store_id_lookups": self.store_id_lookups,
         }
 
 

@@ -51,10 +51,8 @@ twice either way.
 
 from __future__ import annotations
 
-import zlib
 from typing import Optional
 
-from repro.core.tree import Shape
 from repro.engine.engine import ExplorationEngine
 from repro.engine.interning import StateId
 from repro.engine.store import StateStore
@@ -63,19 +61,12 @@ from repro.engine.workers import WorkerPool
 from repro.exceptions import AnalysisError
 from repro.io.serialization import (
     encode_instance_with_ids,
-    encode_shape_binary,
+    stable_shape_hash,
 )
 
-
-def stable_shape_hash(shape: Shape) -> int:
-    """A shape digest stable across processes and interpreter runs.
-
-    ``hash()`` on nested label tuples varies with ``PYTHONHASHSEED``, so the
-    shard assignment uses a CRC of the canonical binary shape encoding
-    instead; the encoding is order-normalised, hence equal shapes always land
-    on the same shard.
-    """
-    return zlib.crc32(encode_shape_binary(shape))
+__all__ = ["ParallelExplorationEngine", "stable_shape_hash"]
+# stable_shape_hash moved to repro.io.serialization (the store's shape_hash
+# reverse-lookup column shares it); re-exported here for compatibility.
 
 
 class ParallelExplorationEngine(ExplorationEngine):
@@ -103,6 +94,7 @@ class ParallelExplorationEngine(ExplorationEngine):
         checkpoint_every: int = 1000,
         workers: int = 2,
         min_wave: Optional[int] = None,
+        resident_budget: Optional[int] = None,
     ) -> None:
         super().__init__(
             guarded_form,
@@ -110,6 +102,7 @@ class ParallelExplorationEngine(ExplorationEngine):
             strategy=strategy,
             store=store,
             checkpoint_every=checkpoint_every,
+            resident_budget=resident_budget,
         )
         if workers < 1:
             raise AnalysisError("workers must be a positive integer")
@@ -222,10 +215,16 @@ class ParallelExplorationEngine(ExplorationEngine):
         if len(wave) < self.min_wave:
             return  # not worth a round-trip; the base loop expands serially
         batches: dict = {index: [] for index in range(self.workers)}
+        budget = self.resident_budget
         for wave_id in wave:
             batches[self._shard_of(wave_id)].append(
                 (wave_id, encode_instance_with_ids(self.representative(wave_id)))
             )
+            # each representative is needed only while being encoded; a wave
+            # over a frontier wider than the budget must not drag the whole
+            # frontier's representatives resident
+            if budget is not None and len(self._reps) > budget:
+                self._enforce_budget()
         pool = self._ensure_pool()
         try:
             raw_frames = pool.run_wave(batches)
@@ -291,12 +290,14 @@ class ParallelExplorationEngine(ExplorationEngine):
                 successor, succ_map, root = self.shaper.successor(
                     parent, parent_map, update
                 )
-                if root is not shapes[shape_index]:
+                if root is not shapes[shape_index] and root != shapes[shape_index]:
                     # both sides cons through this engine's interner, so the
                     # worker-computed table shape and the coordinator-derived
-                    # root must be the *same object*; divergence means the two
-                    # derivations (successor / successor_shape) drifted and
-                    # the graph would silently corrupt
+                    # root must be structurally equal (and, unless a resident
+                    # budget pruned the cons table between the table decode
+                    # and this derivation, the same object); inequality means
+                    # the two derivations (successor / successor_shape)
+                    # drifted and the graph would silently corrupt
                     raise AnalysisError(
                         f"wire shape for state {succ_id} does not match the "
                         "coordinator-derived successor shape (codec or shaper "

@@ -58,14 +58,23 @@ from repro.io.serialization import (
     encode_shape,
     encode_shape_binary,
     form_fingerprint,
+    stable_shape_hash,
 )
 
-#: Version stamp written to store metadata; bumped on layout changes.
+#: Version stamp written to store metadata; bumped on layout changes.  The
+#: ``shape_hash`` reverse-lookup column did not bump it: old stores are
+#: migrated in place on open, and old builds can still read migrated stores
+#: (they simply ignore the extra column).
 STORE_SCHEMA_VERSION = "1"
 
 #: How long (ms) sqlite connections wait on a locked database before giving
 #: up — long enough to ride out another process's batched commit.
 _BUSY_TIMEOUT_MS = 10_000
+
+#: Cache sentinel distinguishing "not cached" from a cached ``None`` (a
+#: memoized negative lookup — e.g. a representative that is absent from the
+#: store and will stay absent until it is registered).
+_MISS = object()
 
 
 class LRUCache:
@@ -80,13 +89,20 @@ class LRUCache:
         self.misses = 0
         self.evictions = 0
 
-    def get(self, key):
-        """The cached value, or ``None`` (counted as a miss)."""
+    def get(self, key, default=None):
+        """The cached value, or *default* when the key is absent.
+
+        Presence is what counts a hit: a cached ``None`` *is* a hit, so
+        negative lookups are cacheable — callers that need to distinguish a
+        cached ``None`` from a miss pass their own sentinel as *default*
+        (historically a cached ``None`` was indistinguishable from a miss and
+        was re-fetched forever).
+        """
         try:
             self._items.move_to_end(key)
         except KeyError:
             self.misses += 1
-            return None
+            return default
         self.hits += 1
         return self._items[key]
 
@@ -152,6 +168,33 @@ class StateStore:
     def load_shapes(self) -> Iterator[tuple[StateId, Shape]]:
         """All persisted ``(state id, shape)`` rows, ordered by id."""
         return iter(())
+
+    def load_shapes_for_shard(self, shard: int, nshards: int) -> Iterator[tuple[StateId, Shape]]:
+        """The ``(state id, shape)`` rows of one hash shard, ordered by id.
+
+        A row belongs to shard ``stable_shape_hash(shape) % nshards`` — the
+        same partitioning the parallel engine assigns frontier states to
+        workers by, so a worker can hydrate exactly its own slice.
+        """
+        del shard, nshards
+        return iter(())
+
+    def get_state_id(self, shape: Shape) -> Optional[StateId]:
+        """The persisted id of *shape*, or ``None`` (reverse lookup).
+
+        This is what lets the interner stay partially hydrated: an unknown
+        shape is checked against the store before a fresh id is assigned.
+        """
+        del shape
+        return None
+
+    def max_state_id(self) -> Optional[StateId]:
+        """The highest persisted state id, or ``None`` on an empty store."""
+        return None
+
+    def shape_row_count(self) -> int:
+        """How many shape rows the store holds (buffered writes included)."""
+        return 0
 
     # -- canonical representatives ------------------------------------- #
 
@@ -257,10 +300,17 @@ class SqliteStore(StateStore):
 
     _TABLES = (
         "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)",
-        "CREATE TABLE IF NOT EXISTS shapes (id INTEGER PRIMARY KEY, shape TEXT NOT NULL)",
+        "CREATE TABLE IF NOT EXISTS shapes "
+        "(id INTEGER PRIMARY KEY, shape TEXT NOT NULL, shape_hash INTEGER)",
         "CREATE TABLE IF NOT EXISTS representatives (id INTEGER PRIMARY KEY, blob TEXT NOT NULL)",
         "CREATE TABLE IF NOT EXISTS guards (key TEXT PRIMARY KEY, value INTEGER NOT NULL)",
         "CREATE TABLE IF NOT EXISTS checkpoints (run_key TEXT PRIMARY KEY, payload TEXT NOT NULL)",
+    )
+
+    _INDEXES = (
+        # the reverse-lookup path: shape -> persisted id without hydrating
+        # the whole table (collisions are resolved by decoding candidates)
+        "CREATE INDEX IF NOT EXISTS shapes_shape_hash ON shapes (shape_hash)",
     )
 
     def __init__(
@@ -275,6 +325,7 @@ class SqliteStore(StateStore):
         self.batch_size = max(1, batch_size)
         self.checkpoint_every = checkpoint_every
         self.binary_shapes = binary_shapes
+        self.shape_hash_rows_migrated = 0
         try:
             self._conn = sqlite3.connect(self.path)
             self._conn.execute("PRAGMA synchronous=NORMAL")
@@ -287,12 +338,18 @@ class SqliteStore(StateStore):
             self._conn.execute("PRAGMA journal_mode=WAL")
             for statement in self._TABLES:
                 self._conn.execute(statement)
+            self._migrate_shape_hash_column()
+            for statement in self._INDEXES:
+                self._conn.execute(statement)
             self._conn.commit()
         except sqlite3.DatabaseError as exc:
             raise StoreError(f"{self.path} is not a usable sqlite state store: {exc}") from exc
         # write buffers are keyed dicts, so reads can be served from them
-        # without forcing a premature flush (INSERT OR REPLACE semantics)
-        self._pending_shapes: dict[int, Shape] = {}
+        # without forcing a premature flush (INSERT OR REPLACE semantics);
+        # shapes also keep their digest so the reverse lookup covers rows
+        # that have not hit the database yet
+        self._pending_shapes: dict[int, tuple[Shape, int]] = {}
+        self._pending_by_hash: dict[int, list[int]] = {}
         self._pending_reps: dict[int, str] = {}
         self._pending_guards: dict[tuple, bool] = {}
         self.shape_cache = LRUCache(cache_size)
@@ -301,6 +358,42 @@ class SqliteStore(StateStore):
         self.rows_read = 0
         self.flushes = 0
         self.checkpoint_saves = 0
+        self.id_lookups = 0
+        self.id_lookup_hits = 0
+
+    def _migrate_shape_hash_column(self) -> None:
+        """One-shot migration: add and backfill ``shape_hash`` on old stores.
+
+        Stores written before the reverse-lookup path existed have a
+        two-column ``shapes`` table; the column is added in place and every
+        pre-existing row's digest backfilled (decode, hash, update) on first
+        open.  New rows always carry their digest, so the backfill runs at
+        most once per store lifetime.
+        """
+        columns = {row[1] for row in self._conn.execute("PRAGMA table_info(shapes)")}
+        if "shape_hash" not in columns:
+            self._conn.execute("ALTER TABLE shapes ADD COLUMN shape_hash INTEGER")
+        # backfill in bounded batches, paginated by primary key: the whole
+        # point of the column is small-RAM attach to huge tables, so the
+        # migration must neither materialise the table nor re-scan the
+        # already-backfilled prefix per batch (the shape_hash index does not
+        # exist yet at this point)
+        last_id = -1
+        while True:
+            rows = self._conn.execute(
+                "SELECT id, shape FROM shapes WHERE id > ? AND shape_hash IS NULL "
+                "ORDER BY id LIMIT 4096",
+                (last_id,),
+            ).fetchall()
+            if not rows:
+                break
+            self._conn.executemany(
+                "UPDATE shapes SET shape_hash = ? WHERE id = ?",
+                [(stable_shape_hash(decode_shape_row(row)), sid) for sid, row in rows],
+            )
+            self._conn.commit()
+            self.shape_hash_rows_migrated += len(rows)
+            last_id = rows[-1][0]
 
     # -- lifecycle ----------------------------------------------------- #
 
@@ -331,10 +424,14 @@ class SqliteStore(StateStore):
         if self._pending_shapes:
             encode_row = encode_shape_binary if self.binary_shapes else encode_shape
             self._conn.executemany(
-                "INSERT OR REPLACE INTO shapes (id, shape) VALUES (?, ?)",
-                [(sid, encode_row(shape)) for sid, shape in self._pending_shapes.items()],
+                "INSERT OR REPLACE INTO shapes (id, shape, shape_hash) VALUES (?, ?, ?)",
+                [
+                    (sid, encode_row(shape), digest)
+                    for sid, (shape, digest) in self._pending_shapes.items()
+                ],
             )
             self._pending_shapes.clear()
+            self._pending_by_hash.clear()
         if self._pending_reps:
             self._conn.executemany(
                 "INSERT OR REPLACE INTO representatives (id, blob) VALUES (?, ?)",
@@ -379,34 +476,86 @@ class SqliteStore(StateStore):
     # -- interned shapes ----------------------------------------------- #
 
     def put_shape(self, state_id: StateId, shape: Shape) -> None:
-        self._pending_shapes[state_id] = shape
+        digest = stable_shape_hash(shape)
+        self._pending_shapes[state_id] = (shape, digest)
+        self._pending_by_hash.setdefault(digest, []).append(state_id)
         self.shape_cache.put(state_id, shape)
         self.rows_written += 1
         self._maybe_flush()
 
     def get_shape(self, state_id: StateId) -> Optional[Shape]:
-        """One persisted shape by id (LRU-cached)."""
-        cached = self.shape_cache.get(state_id)
-        if cached is not None:
+        """One persisted shape by id (LRU-cached, negative lookups too)."""
+        cached = self.shape_cache.get(state_id, _MISS)
+        if cached is not _MISS:
             return cached
         pending = self._pending_shapes.get(state_id)
         if pending is not None:
-            self.shape_cache.put(state_id, pending)
-            return pending
+            self.shape_cache.put(state_id, pending[0])
+            return pending[0]
         row = self._conn.execute(
             "SELECT shape FROM shapes WHERE id = ?", (state_id,)
         ).fetchone()
         if row is None:
+            self.shape_cache.put(state_id, None)
             return None
         self.rows_read += 1
         shape = decode_shape_row(row[0])
         self.shape_cache.put(state_id, shape)
         return shape
 
+    def get_state_id(self, shape: Shape) -> Optional[StateId]:
+        """The persisted id of *shape*, or ``None`` (reverse lookup).
+
+        Served through the ``shape_hash`` index: candidate rows sharing the
+        digest are decoded and compared structurally, so hash collisions cost
+        a decode, never a wrong answer.  Buffered rows are checked first —
+        eviction under a resident budget may ask for a row the write batch
+        has not flushed yet.
+        """
+        digest = stable_shape_hash(shape)
+        for sid in self._pending_by_hash.get(digest, ()):
+            pending = self._pending_shapes.get(sid)
+            if pending is not None and pending[0] == shape:
+                return sid
+        self.id_lookups += 1
+        for sid, row in self._conn.execute(
+            "SELECT id, shape FROM shapes WHERE shape_hash = ?", (digest,)
+        ):
+            self.rows_read += 1
+            decoded = decode_shape_row(row)
+            if decoded == shape:
+                self.shape_cache.put(sid, decoded)
+                self.id_lookup_hits += 1
+                return sid
+        return None
+
+    def max_state_id(self) -> Optional[StateId]:
+        top = self._conn.execute("SELECT MAX(id) FROM shapes").fetchone()[0]
+        if self._pending_shapes:
+            pending_top = max(self._pending_shapes)
+            top = pending_top if top is None else max(top, pending_top)
+        return top
+
+    def shape_row_count(self) -> int:
+        count = self._conn.execute("SELECT COUNT(*) FROM shapes").fetchone()[0]
+        # buffered ids are always new (the interner writes each id through
+        # exactly once), so the union is a plain sum
+        return count + len(self._pending_shapes)
+
     def load_shapes(self) -> Iterator[tuple[StateId, Shape]]:
         self.flush()
         for state_id, row in self._conn.execute(
             "SELECT id, shape FROM shapes ORDER BY id"
+        ):
+            self.rows_read += 1
+            yield state_id, decode_shape_row(row)
+
+    def load_shapes_for_shard(self, shard: int, nshards: int) -> Iterator[tuple[StateId, Shape]]:
+        self.flush()
+        for state_id, row in self._conn.execute(
+            "SELECT id, shape FROM shapes "
+            "WHERE shape_hash IS NOT NULL AND (shape_hash % ?) = ? ORDER BY id",
+            (nshards, shard),
         ):
             self.rows_read += 1
             yield state_id, decode_shape_row(row)
@@ -420,8 +569,8 @@ class SqliteStore(StateStore):
         self._maybe_flush()
 
     def get_representative(self, state_id: StateId) -> Optional[str]:
-        cached = self.representative_cache.get(state_id)
-        if cached is not None:
+        cached = self.representative_cache.get(state_id, _MISS)
+        if cached is not _MISS:
             return cached
         pending = self._pending_reps.get(state_id)
         if pending is not None:
@@ -431,6 +580,7 @@ class SqliteStore(StateStore):
             "SELECT blob FROM representatives WHERE id = ?", (state_id,)
         ).fetchone()
         if row is None:
+            self.representative_cache.put(state_id, None)
             return None
         self.rows_read += 1
         self.representative_cache.put(state_id, row[0])
@@ -486,6 +636,9 @@ class SqliteStore(StateStore):
             "rows_read": self.rows_read,
             "flushes": self.flushes,
             "checkpoint_saves": self.checkpoint_saves,
+            "id_lookups": self.id_lookups,
+            "id_lookup_hits": self.id_lookup_hits,
+            "shape_hash_rows_migrated": self.shape_hash_rows_migrated,
             "shape_cache_hits": self.shape_cache.hits,
             "shape_cache_misses": self.shape_cache.misses,
             "shape_cache_evictions": self.shape_cache.evictions,
@@ -520,6 +673,38 @@ class SqliteStore(StateStore):
             "checkpoints": counts["checkpoints"],
             "resumable_checkpoints": len(pending),
         }
+
+
+def load_shard_shape_rows(
+    path: "str | Path", shard: int, nshards: int, limit: Optional[int] = None
+) -> list:
+    """The shapes of one hash shard of the store at *path*, decoded.
+
+    Used by frontier worker processes to pre-cons their own
+    ``stable_shape_hash % nshards`` slice of a populated store's shape table
+    — and only that slice — through a short-lived read-only connection.
+    *limit* bounds the rows returned (pre-warming is an optimisation; a
+    worker must never materialise an unbounded shard).  An empty, missing,
+    or pre-migration store yields no rows.
+    """
+    query = (
+        "SELECT shape FROM shapes "
+        "WHERE shape_hash IS NOT NULL AND (shape_hash % ?) = ? ORDER BY id"
+    )
+    params: tuple = (nshards, shard)
+    if limit is not None:
+        query += " LIMIT ?"
+        params += (limit,)
+    try:
+        conn = sqlite3.connect(str(path))
+        try:
+            conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+            rows = conn.execute(query, params).fetchall()
+        finally:
+            conn.close()
+    except sqlite3.Error:
+        return []
+    return [decode_shape_row(row) for (row,) in rows]
 
 
 def load_guard_rows(path: "str | Path") -> list:

@@ -22,7 +22,11 @@ engine uses — node id for node id.
 Workers never intern canonical state ids: interning order determines the
 engine's dense id assignment, and keeping it on the coordinator (which merges
 in serial pop order) is what makes parallel runs bit-identical to serial
-ones.  What workers *do* share is guard evaluations: each worker keeps a
+ones.  On a store-backed exploration each worker hydrates only its own
+``stable_shape_hash % N`` slice of the persisted shape table into its local
+subtree caches (:func:`~repro.engine.store.load_shard_shape_rows`), so
+worker residency scales with the shard, never the whole table.  What
+workers *do* share is guard evaluations: each worker keeps a
 :class:`~repro.engine.guards.GuardCache` keyed identically to the
 coordinator's (states are addressed by their canonical ids, shipped with the
 task), returns the entries it evaluated in its result batches, and — when the
@@ -43,7 +47,11 @@ from repro.core.guarded_form import GuardedForm, Update
 from repro.engine.engine import enumerate_expansion
 from repro.engine.guards import GuardCache
 from repro.engine.interning import IncrementalShaper, ShapeInterner
-from repro.engine.store import load_guard_rows, write_guard_rows
+from repro.engine.store import (
+    load_guard_rows,
+    load_shard_shape_rows,
+    write_guard_rows,
+)
 from repro.engine.wire import FrameEncoder
 from repro.exceptions import AnalysisError
 from repro.io.serialization import decode_instance_with_ids
@@ -54,6 +62,12 @@ _SHUTDOWN = None
 #: How long (seconds) the coordinator waits between liveness checks while
 #: collecting wave results.
 _POLL_INTERVAL = 0.25
+
+#: Most persisted shapes a worker pre-cons from its shard at startup.
+#: Pre-warming the subtree caches is an optimisation, never a requirement,
+#: so it must stay bounded — a worker attached to a 10^7-row store must not
+#: materialise its whole 1/N slice.
+SHARD_HYDRATION_LIMIT = 100_000
 
 
 class _GuardJournal:
@@ -85,14 +99,31 @@ class FrontierWorker:
     benchgen family.
     """
 
-    def __init__(self, guarded_form: GuardedForm, store_path: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        guarded_form: GuardedForm,
+        store_path: Optional[str] = None,
+        shard: Optional[int] = None,
+        nshards: Optional[int] = None,
+    ) -> None:
         self._form = guarded_form
         self._interner = ShapeInterner()
         self._shaper = IncrementalShaper(self._interner)
         self._journal = _GuardJournal()
         self._guards = GuardCache(guarded_form, store=self._journal)
         self._store_path = store_path
+        #: Persisted shapes pre-consed into this worker's local interner —
+        #: only its own ``stable_shape_hash % nshards`` slice (capped at
+        #: :data:`SHARD_HYDRATION_LIMIT`), never the whole table, so worker
+        #: residency stays proportional to the shard and bounded.
+        self.shapes_hydrated = 0
         if store_path is not None:
+            if shard is not None and nshards:
+                for shape in load_shard_shape_rows(
+                    store_path, shard, nshards, limit=SHARD_HYDRATION_LIMIT
+                ):
+                    self._interner.cons_tree(shape)
+                    self.shapes_hydrated += 1
             for key, value in load_guard_rows(store_path):
                 self._guards.restore(key, value)
             self._journal.drain()  # hydration is not news to report back
@@ -136,16 +167,20 @@ class FrontierWorker:
         return encoder.finish()
 
 
-def worker_main(index: int, guarded_form: GuardedForm, tasks, results, store_path) -> None:
+def worker_main(
+    index: int, guarded_form: GuardedForm, tasks, results, store_path, nshards=None
+) -> None:
     """Entry point of one worker process: loop over task batches until told
     to shut down, reporting each batch (or the failure that killed it).
 
-    Every result echoes the wave id its task carried, so the coordinator can
+    The worker owns shard ``index`` of ``nshards`` — it hydrates only that
+    slice of a populated store's shape table into its local caches.  Every
+    result echoes the wave id its task carried, so the coordinator can
     discard answers to a wave it abandoned (e.g. a ``KeyboardInterrupt``
     landing mid-collection) instead of mistaking them for the next wave's.
     """
     try:
-        worker = FrontierWorker(guarded_form, store_path)
+        worker = FrontierWorker(guarded_form, store_path, shard=index, nshards=nshards)
     except BaseException:  # noqa: BLE001 - report startup failures, don't hang the pool
         results.put((index, None, None, traceback.format_exc()))
         return
@@ -187,7 +222,14 @@ class WorkerPool:
         self._processes = [
             context.Process(
                 target=worker_main,
-                args=(index, guarded_form, self._tasks[index], self._results, store_path),
+                args=(
+                    index,
+                    guarded_form,
+                    self._tasks[index],
+                    self._results,
+                    store_path,
+                    workers,
+                ),
                 daemon=True,
                 name=f"repro-frontier-worker-{index}",
             )

@@ -23,7 +23,10 @@ the persistent :mod:`repro.engine.store` backends use for their rows:
   :func:`write_shape` / :func:`read_shape` framing, and the store-row codec
   :func:`encode_shape_binary` / :func:`decode_shape_binary` /
   :func:`decode_shape_row` (auto-detecting JSON text vs. binary rows, so a
-  :class:`~repro.engine.store.SqliteStore` can hold either format);
+  :class:`~repro.engine.store.SqliteStore` can hold either format), plus
+  :func:`stable_shape_hash`, the process-stable CRC digest shared by the
+  parallel engine's worker sharding and the store's ``shape_hash``
+  reverse-lookup column;
 * :func:`encode_update` / :func:`decode_update` — the leaf additions and
   deletions stored in exploration checkpoints;
 * :func:`form_fingerprint` — a digest of a guarded form's definition, used by
@@ -34,6 +37,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import zlib
 from pathlib import Path
 from typing import Optional
 
@@ -389,6 +393,18 @@ def decode_shape_row(row: "str | bytes") -> Shape:
     if isinstance(row, (bytes, bytearray, memoryview)):
         return decode_shape_binary(bytes(row))
     return decode_shape(row)
+
+
+def stable_shape_hash(shape: Shape) -> int:
+    """A shape digest stable across processes and interpreter runs.
+
+    ``hash()`` on nested label tuples varies with ``PYTHONHASHSEED``, so both
+    the parallel engine's worker sharding and the store's ``shape_hash``
+    reverse-lookup column use a CRC of the canonical binary shape encoding
+    instead; the encoding is order-normalised, hence equal shapes always get
+    the same digest (and land on the same shard).
+    """
+    return zlib.crc32(encode_shape_binary(shape))
 
 
 def encode_update(update: Update) -> list:

@@ -41,6 +41,7 @@ def extract_workflow(
     store: Optional[StateStore] = None,
     resume: bool = False,
     workers: int = 1,
+    resident_budget: Optional[int] = None,
 ) -> LabelledTransitionSystem:
     """Build the labelled transition system implied by *guarded_form*.
 
@@ -56,7 +57,10 @@ def extract_workflow(
     (:mod:`repro.engine.parallel`); the extracted system is identical.
     """
     owns_engine = engine is None
-    engine = engine_for(guarded_form, engine, frontier, store=store, workers=workers)
+    engine = engine_for(
+        guarded_form, engine, frontier, store=store, workers=workers,
+        resident_budget=resident_budget,
+    )
     try:
         if guarded_form.schema_depth() <= 1:
             return _extract_depth1(engine, guarded_form, start, frontier)

@@ -57,14 +57,20 @@ class TestEvictRepresentatives:
         assert after == before
         engine.store.close()
 
-    def test_keep_retains_the_lowest_ids(self, tmp_path):
+    def test_keep_retains_the_most_recently_accessed(self, tmp_path):
+        """Eviction keeps the states touched last, not the lowest (oldest)
+        ids — the oldest states are exactly the ones least likely to be
+        re-popped by an in-flight exploration."""
         form = leave_application(single_period=True)
         engine = ExplorationEngine(form, limits=LIMITS, store=SqliteStore(tmp_path / "k.db"))
         engine.explore()
         resident = sorted(engine._reps)
+        touched = [resident[0], resident[2], resident[4]]
+        for state_id in touched:  # refresh recency of three old, cold states
+            engine.representative(state_id)
         evicted = engine.evict_representatives(keep=3)
         assert evicted == len(resident) - 3
-        assert sorted(engine._reps) == resident[:3]
+        assert sorted(engine._reps) == sorted(touched)
         engine.store.close()
 
     def test_exploration_after_eviction_is_unchanged(self, tmp_path):

@@ -1,0 +1,357 @@
+"""Partial hydration, the resident budget, and hydration-failure semantics.
+
+Three groups of invariants gate the bounded-residency work:
+
+* **crash-mid-hydration** — an engine that fails while binding to a store
+  (corrupt guard row) or while pulling a row in on first touch (corrupt
+  shape row) must raise on *every* exploration, never silently continue
+  against a truncated id table (the historic bug set the hydrated flag
+  before restoring anything);
+
+* **partial hydration** — attaching to a populated store restores only the
+  rows the run touches, and the ids/graphs produced are bit-identical to a
+  fresh in-memory exploration;
+
+* **resident budget** — evicting representatives, shapes and memoized
+  expansions mid-exploration never changes ids, transitions, flags or
+  analysis answers, while the resident counters stay bounded.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.analysis.completability import decide_completability
+from repro.analysis.results import ExplorationLimits
+from repro.analysis.semisoundness import decide_semisoundness
+from repro.benchgen.families import counter_machine_family, positive_deep_family
+from repro.engine import (
+    ExplorationEngine,
+    FrontierWorker,
+    ParallelExplorationEngine,
+    SqliteStore,
+    stable_shape_hash,
+)
+from repro.exceptions import ReproError
+from repro.fbwis.catalog import leave_application
+from tests.engine.test_eviction_and_guided import exact_edges
+
+BUILD_LIMITS = ExplorationLimits(max_states=1_500, max_instance_nodes=16)
+TOUCH_LIMITS = ExplorationLimits(max_states=150, max_instance_nodes=16)
+
+
+def assert_bit_identical(graph, reference):
+    assert graph.states == reference.states
+    assert exact_edges(graph) == exact_edges(reference)
+    assert graph.truncated_by_states == reference.truncated_by_states
+    assert graph.truncated_by_size == reference.truncated_by_size
+    assert graph.truncated_by_copies == reference.truncated_by_copies
+
+
+def build_store(path, form, limits=BUILD_LIMITS):
+    store = SqliteStore(path)
+    engine = ExplorationEngine(form, limits=limits, store=store)
+    graph = engine.explore()
+    store.close()
+    return len(graph.states)
+
+
+class TestCrashMidHydration:
+    def test_corrupt_guard_row_raises_on_every_exploration(self, tmp_path):
+        """Hydration failure must not leave a half-hydrated engine: the
+        hydrated flag is only set after every restore step succeeded, so a
+        second explore() retries the hydration and fails the same way."""
+        form = counter_machine_family(2)[0]
+        path = tmp_path / "corrupt-guard.db"
+        build_store(path, form)
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE guards SET key = 'not json at all' "
+            "WHERE key = (SELECT key FROM guards LIMIT 1)"
+        )
+        conn.commit()
+        conn.close()
+
+        store = SqliteStore(path)
+        engine = ExplorationEngine(form, limits=BUILD_LIMITS, store=store)
+        with pytest.raises(ReproError):
+            engine.explore()
+        assert not engine._hydrated  # the failure rolled the flag back
+        with pytest.raises(ReproError):
+            engine.explore()  # raises again instead of running half-hydrated
+        assert not engine._hydrated
+        store.close()
+
+    def test_corrupt_shape_row_raises_on_touch_and_keeps_raising(self, tmp_path):
+        """A corrupt shape row surfaces when the run touches it (lazy
+        hydration decodes on demand) — and keeps surfacing, never silently
+        assigning the shape a fresh id."""
+        form = counter_machine_family(2)[0]
+        path = tmp_path / "corrupt-shape.db"
+        build_store(path, form)
+        conn = sqlite3.connect(path)
+        # corrupt the initial state's row but keep its digest, so the
+        # reverse lookup finds (and must decode) it on the very first intern
+        conn.execute("UPDATE shapes SET shape = 'garbage' WHERE id = 0")
+        conn.commit()
+        conn.close()
+
+        store = SqliteStore(path)
+        engine = ExplorationEngine(form, limits=BUILD_LIMITS, store=store)
+        for _ in range(2):
+            with pytest.raises(ReproError):
+                engine.explore()
+        assert 0 not in engine.interner._shapes  # never restored a bad row
+        store.close()
+
+
+class TestPartialHydration:
+    def test_attach_is_bit_identical_and_restores_only_touched_rows(self, tmp_path):
+        form = positive_deep_family(3, width=2)
+        path = tmp_path / "attach.db"
+        built = build_store(path, form)
+
+        reference = ExplorationEngine(form, limits=TOUCH_LIMITS).explore()
+
+        store = SqliteStore(path)
+        engine = ExplorationEngine(form, limits=TOUCH_LIMITS, store=store)
+        assert len(engine.interner) == 0  # attaching alone still loads nothing
+        graph = engine.explore()
+        stats = engine.stats_snapshot()
+        store.close()
+
+        assert_bit_identical(graph, reference)
+        assert stats["hydration_rows_skipped"] > 0
+        restored = engine.interner.states_restored_distinct
+        assert 0 < restored < built  # touched rows only, never the full table
+        # len() reports assigned ids (the persisted range), not residency
+        assert len(engine.interner) >= built > engine.interner.resident
+
+    def test_untouched_rows_are_not_even_decoded(self, tmp_path):
+        """Corruption in a region the run never touches goes unnoticed —
+        capacity you don't touch costs nothing, not even a decode."""
+        form = positive_deep_family(3, width=2)
+        path = tmp_path / "cold.db"
+        built = build_store(path, form)
+        reference = ExplorationEngine(form, limits=TOUCH_LIMITS).explore()
+        # ids are assigned in discovery order, so the highest build-run id
+        # is far beyond what the touch run reaches
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE shapes SET shape = 'garbage' WHERE id = ?", (built - 1,))
+        conn.commit()
+        conn.close()
+
+        store = SqliteStore(path)
+        engine = ExplorationEngine(form, limits=TOUCH_LIMITS, store=store)
+        graph = engine.explore()
+        store.close()
+        assert_bit_identical(graph, reference)
+
+
+class TestResidentBudget:
+    @pytest.mark.parametrize("budget", [1, 7, 64])
+    def test_budget_bounded_attach_is_bit_identical(self, tmp_path, budget):
+        form = positive_deep_family(3, width=2)
+        path = tmp_path / f"budget-{budget}.db"
+        build_store(path, form)
+        reference = ExplorationEngine(form, limits=TOUCH_LIMITS).explore()
+
+        store = SqliteStore(path)
+        engine = ExplorationEngine(
+            form, limits=TOUCH_LIMITS, store=store, resident_budget=budget
+        )
+        graph = engine.explore()
+        stats = engine.stats_snapshot()
+        store.close()
+
+        assert_bit_identical(graph, reference)
+        assert stats["reps_resident"] <= budget
+        assert stats["states_resident"] <= budget
+        assert stats["reps_evicted"] > 0  # the budget actually did something
+
+    def test_budgeted_build_from_scratch_is_bit_identical(self, tmp_path):
+        """Eviction during the *building* run (new states evicted and then
+        re-encountered through the reverse lookup, flushed or pending) never
+        perturbs the dense id assignment."""
+        form = leave_application(single_period=True)
+        limits = ExplorationLimits(max_states=400, max_instance_nodes=14)
+        reference = ExplorationEngine(form, limits=limits).explore()
+
+        store = SqliteStore(tmp_path / "scratch.db", batch_size=32)
+        engine = ExplorationEngine(form, limits=limits, store=store, resident_budget=5)
+        graph = engine.explore()
+        stats = engine.stats_snapshot()
+        store.close()
+        assert_bit_identical(graph, reference)
+        # rows this process interned and evicted come back through the store
+        # fallback, but that is not *hydration* — the store was empty at
+        # attach, so the hydration counters must stay untouched
+        assert engine.interner.states_restored_distinct == 0
+        assert stats["hydration_rows_skipped"] == 0
+
+    def test_budgeted_parallel_attach_matches_serial(self, tmp_path):
+        form = positive_deep_family(3, width=2)
+        path = tmp_path / "par.db"
+        build_store(path, form)
+        reference = ExplorationEngine(form, limits=TOUCH_LIMITS).explore()
+
+        store = SqliteStore(path)
+        engine = ParallelExplorationEngine(
+            form,
+            limits=TOUCH_LIMITS,
+            store=store,
+            workers=2,
+            min_wave=1,
+            resident_budget=16,
+        )
+        with engine:
+            graph = engine.explore()
+            assert engine.states_prefetched > 0
+        store.close()
+        assert_bit_identical(graph, reference)
+
+    def test_budgeted_analyses_answer_identically(self, tmp_path):
+        """Completability and semi-soundness — including the re-explorations
+        that replay evicted (recomputed) expansions — agree with the
+        unbounded in-memory engine."""
+        form = counter_machine_family(2)[0]
+        limits = ExplorationLimits(max_states=400, max_instance_nodes=16)
+        ref_engine = ExplorationEngine(form, limits=limits)
+        ref_comp = decide_completability(form, limits=limits, engine=ref_engine)
+        ref_semi = decide_semisoundness(form, limits=limits, engine=ref_engine)
+
+        store = SqliteStore(tmp_path / "analysis.db")
+        engine = ExplorationEngine(form, limits=limits, store=store, resident_budget=6)
+        comp = decide_completability(form, limits=limits, engine=engine)
+        semi = decide_semisoundness(form, limits=limits, engine=engine)
+        store.close()
+        assert (comp.decided, comp.answer) == (ref_comp.decided, ref_comp.answer)
+        assert (semi.decided, semi.answer) == (ref_semi.decided, ref_semi.answer)
+        assert engine.expansions_evicted > 0  # replayed expansions were recomputed
+
+    def test_budget_requires_positive_value_and_a_persistent_store(self, tmp_path):
+        form = leave_application(single_period=True)
+        with pytest.raises(ReproError):
+            ExplorationEngine(
+                form, store=SqliteStore(tmp_path / "v.db"), resident_budget=0
+            )
+        with pytest.raises(ReproError):
+            # the CLI rejects --resident-budget without --store; the library
+            # contract must match instead of silently ignoring the budget
+            ExplorationEngine(form, resident_budget=8)
+
+
+class TestShardHydration:
+    def test_workers_hydrate_only_their_shard(self, tmp_path):
+        form = positive_deep_family(3, width=2)
+        path = tmp_path / "shards.db"
+        build_store(path, form)
+
+        store = SqliteStore(path)
+        by_shard = {
+            shard: list(store.load_shapes_for_shard(shard, 3)) for shard in range(3)
+        }
+        all_rows = list(store.load_shapes())
+        store.close()
+        # the shards partition the table: disjoint, union = everything
+        merged = sorted(row for rows in by_shard.values() for row in rows)
+        assert merged == sorted(all_rows)
+        for shard, rows in by_shard.items():
+            assert rows, "every shard of this workload should be non-empty"
+            for _, shape in rows:
+                assert stable_shape_hash(shape) % 3 == shard
+
+        for shard in range(3):
+            worker = FrontierWorker(form, store_path=str(path), shard=shard, nshards=3)
+            assert worker.shapes_hydrated == len(by_shard[shard])
+
+    def test_worker_without_shard_info_hydrates_no_shapes(self, tmp_path):
+        form = positive_deep_family(3, width=2)
+        path = tmp_path / "noshard.db"
+        build_store(path, form)
+        worker = FrontierWorker(form, store_path=str(path))
+        assert worker.shapes_hydrated == 0
+
+
+class TestReverseLookup:
+    def test_get_state_id_flushed_pending_and_absent(self, tmp_path):
+        form = leave_application(single_period=True)
+        store = SqliteStore(tmp_path / "rl.db", batch_size=1000)
+        store.attach(form)
+        shape_a = form.initial_instance().shape()
+        instance = form.initial_instance()
+        instance.add_field(instance.root, form.schema.root.children[0].label)
+        shape_b = instance.shape()
+
+        store.put_shape(0, shape_a)
+        assert store.get_state_id(shape_a) == 0  # pending, unflushed
+        store.flush()
+        assert store.get_state_id(shape_a) == 0  # flushed
+        store.put_shape(1, shape_b)
+        assert store.get_state_id(shape_b) == 1  # pending next to flushed rows
+        assert store.get_state_id(("no-such-label", ())) is None
+        store.close()
+
+    def test_old_store_layout_is_migrated_on_open(self, tmp_path):
+        """A pre-PR-5 store (no shape_hash column) is migrated in place: the
+        column is added, every row backfilled, and the reverse lookup works
+        for both JSON and binary rows."""
+        from repro.io.serialization import encode_shape, encode_shape_binary
+
+        path = tmp_path / "old.db"
+        json_shape = ("r", (("a", ()), ("b", ())))
+        binary_shape = ("r", (("b", (("c", ()),)),))
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "CREATE TABLE shapes (id INTEGER PRIMARY KEY, shape TEXT NOT NULL)"
+        )
+        conn.execute(
+            "INSERT INTO shapes (id, shape) VALUES (0, ?)", (encode_shape(json_shape),)
+        )
+        conn.execute(
+            "INSERT INTO shapes (id, shape) VALUES (1, ?)",
+            (encode_shape_binary(binary_shape),),
+        )
+        conn.commit()
+        conn.close()
+
+        store = SqliteStore(path)
+        assert store.shape_hash_rows_migrated == 2
+        assert store.get_state_id(json_shape) == 0
+        assert store.get_state_id(binary_shape) == 1
+        digests = dict(
+            store._conn.execute("SELECT id, shape_hash FROM shapes").fetchall()
+        )
+        assert digests == {
+            0: stable_shape_hash(json_shape),
+            1: stable_shape_hash(binary_shape),
+        }
+        store.close()
+        # a second open finds nothing left to migrate
+        again = SqliteStore(path)
+        assert again.shape_hash_rows_migrated == 0
+        again.close()
+
+
+class TestNegativeCaching:
+    def test_absent_representative_is_cached(self, tmp_path):
+        store = SqliteStore(tmp_path / "neg.db")
+        assert store.get_representative(99) is None
+        assert store.get_representative(99) is None
+        # one database miss, then a cache hit for the memoized None
+        assert store.representative_cache.misses == 1
+        assert store.representative_cache.hits == 1
+        # registering the representative later overwrites the cached miss
+        store.put_representative(99, "blob")
+        assert store.get_representative(99) == "blob"
+        store.close()
+
+    def test_absent_shape_is_cached(self, tmp_path):
+        store = SqliteStore(tmp_path / "negshape.db")
+        assert store.get_shape(42) is None
+        assert store.get_shape(42) is None
+        assert store.shape_cache.misses == 1
+        assert store.shape_cache.hits == 1
+        store.put_shape(42, ("r", ()))
+        assert store.get_shape(42) == ("r", ())
+        store.close()

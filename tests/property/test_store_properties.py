@@ -28,6 +28,7 @@ from repro.io.serialization import (
     encode_shape,
 )
 
+from tests.engine.test_eviction_and_guided import exact_edges as _exact_edges
 from tests.property.strategies import instances, property_schema
 
 
@@ -207,3 +208,75 @@ def test_lru_cache_counts_and_evicts():
     assert cache.get("b") is None
     assert cache.hits == 1 and cache.misses == 1 and cache.evictions == 1
     assert len(cache) == 2
+
+
+def test_lru_cache_distinguishes_cached_none_from_a_miss():
+    """A cached ``None`` (negative lookup) is a hit; only true absence falls
+    through to *default* — the fix for the re-fetch-forever bug."""
+    sentinel = object()
+    cache = LRUCache(2)
+    cache.put("negative", None)
+    assert cache.get("negative", sentinel) is None  # cached None, not default
+    assert cache.get("absent", sentinel) is sentinel
+    assert cache.hits == 1 and cache.misses == 1
+
+
+# --------------------------------------------------------------------------- #
+# partial hydration and budget eviction never change ids or answers
+# --------------------------------------------------------------------------- #
+
+
+@given(
+    budget=st.integers(min_value=1, max_value=40),
+    touch_states=st.integers(min_value=5, max_value=80),
+)
+@settings(deadline=None, max_examples=12)
+def test_partial_hydration_and_budget_eviction_preserve_bit_identity(
+    tmp_path_factory, budget, touch_states
+):
+    """For any budget and any touch size, a budget-bounded attach to a
+    populated store produces exactly the graph — interner ids included — of a
+    fresh, fully-resident in-memory engine."""
+    form, _ = counter_machine_family(1)
+    build_limits = ExplorationLimits(max_states=200, max_instance_nodes=12)
+    touch_limits = ExplorationLimits(max_states=touch_states, max_instance_nodes=12)
+    path = tmp_path_factory.mktemp("store") / "hydration.db"
+
+    build_store = SqliteStore(path)
+    ExplorationEngine(form, limits=build_limits, store=build_store).explore()
+    build_store.close()
+
+    reference = ExplorationEngine(form, limits=touch_limits).explore()
+
+    store = SqliteStore(path, batch_size=16)
+    engine = ExplorationEngine(
+        form, limits=touch_limits, store=store, resident_budget=budget
+    )
+    graph = engine.explore()
+    assert len(engine._reps) <= budget  # enforced at the last expansion
+    assert graph.states == reference.states
+    assert _exact_edges(graph) == _exact_edges(reference)
+    assert graph.truncated == reference.truncated
+    for state_id in reference.states:  # ids resolve to the same shapes
+        assert engine.interner.shape_of(state_id) == reference.shape_of(state_id)
+    store.close()
+
+
+@given(budget=st.integers(min_value=1, max_value=30))
+@settings(deadline=None, max_examples=10)
+def test_budget_eviction_preserves_analysis_answers(tmp_path_factory, budget):
+    """Whatever the budget, a store-backed completability analysis answers
+    exactly like the unbounded in-memory engine."""
+    from repro.analysis.completability import decide_completability
+
+    form, _ = counter_machine_family(1)
+    limits = ExplorationLimits(max_states=120, max_instance_nodes=12)
+    reference = decide_completability(form, limits=limits)
+
+    path = tmp_path_factory.mktemp("store") / "answers.db"
+    store = SqliteStore(path, batch_size=8)
+    engine = ExplorationEngine(form, limits=limits, store=store, resident_budget=budget)
+    result = decide_completability(form, limits=limits, engine=engine)
+    assert (result.decided, result.answer) == (reference.decided, reference.answer)
+    assert engine.stats_snapshot()["reps_resident"] <= max(budget, 1)
+    store.close()
