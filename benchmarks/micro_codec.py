@@ -1,0 +1,167 @@
+"""Micro-benchmarks for the hot-path codec: varint runs, arena hashing and
+whole-frame decode, measured under both the pure-Python and the
+C-accelerated (`repro.engine._codec`) implementations.
+
+The harness (``benchmarks/run_all.py``) records the result as a
+pseudo-workload row (``kind: "micro-codec"``) in ``BENCH_engine.json`` so
+codec-level throughput is tracked release over release next to the
+end-to-end engine numbers.  Everything here is deterministic (seeded
+generators, fixed corpus sizes) — the only noise source is the timer.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+#: Bytes of varint-run corpus to decode per measurement.
+VARINT_CORPUS_BYTES = 1 << 20
+
+#: Bytes hashed per arena-hash measurement.
+HASH_CORPUS_BYTES = 1 << 20
+
+#: Distinct shapes in the synthetic wire frame.
+FRAME_SHAPES = 512
+
+#: States in the synthetic wire frame (each carrying a few candidates).
+FRAME_STATES = 256
+
+
+def _varint_corpus(rng: random.Random) -> tuple[bytes, int]:
+    """A varint run of mixed widths totalling ~:data:`VARINT_CORPUS_BYTES`.
+
+    Mixes one-byte (the dominant case on real frames: labels, child counts,
+    small ids) with multi-byte values so both decoder branches are exercised.
+    """
+    from repro.io.serialization import write_uvarint
+
+    buffer = bytearray()
+    count = 0
+    while len(buffer) < VARINT_CORPUS_BYTES:
+        draw = rng.random()
+        if draw < 0.75:
+            value = rng.randrange(0, 1 << 7)
+        elif draw < 0.95:
+            value = rng.randrange(1 << 7, 1 << 14)
+        else:
+            value = rng.randrange(1 << 14, 1 << 35)
+        write_uvarint(buffer, value)
+        count += 1
+    return bytes(buffer), count
+
+
+def _frame_corpus(rng: random.Random) -> bytes:
+    """One synthetic binary wire frame with a realistic shape mix."""
+    from repro.core.guarded_form import Addition
+    from repro.engine.wire import FrameEncoder
+
+    labels = [f"label_{index}" for index in range(24)]
+
+    def shape(depth: int):
+        label = rng.choice(labels)
+        if depth <= 0:
+            return (label, ())
+        children = tuple(
+            shape(depth - 1) for _ in range(rng.randrange(0, 4))
+        )
+        return (label, children)
+
+    shapes = [shape(rng.randrange(1, 5)) for _ in range(FRAME_SHAPES)]
+    encoder = FrameEncoder()
+    for state_id in range(FRAME_STATES):
+        candidates = []
+        for _ in range(rng.randrange(2, 6)):
+            update = Addition(
+                parent_id=rng.randrange(0, 64), label=rng.choice(labels)
+            )
+            candidates.append(
+                (update, rng.choice(shapes), True, rng.randrange(1, 30), 1)
+            )
+        encoder.add_state(state_id, candidates, rng.randrange(0, 8))
+    return encoder.finish()
+
+
+def _time_mb_per_s(nbytes: int, thunk, repeats: int = 3) -> float:
+    """Best-of-*repeats* throughput of *thunk* over *nbytes*, in MB/s."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        thunk()
+        best = min(best, time.perf_counter() - started)
+    return round(nbytes / best / 1e6, 1) if best else 0.0
+
+
+def measure_micro_codec() -> dict:
+    """One ``BENCH_engine.json`` row of codec micro-throughputs.
+
+    Measures the pure-Python path always and the C path when the accelerator
+    loaded; each measurement decodes/hashes the same deterministic corpus, so
+    the ``*_accel`` / ``*_pure`` pairs are directly comparable.
+    """
+    from repro.engine import _codec
+    from repro.engine.arena import ShapeArena
+    from repro.engine.wire import WireFrame
+
+    rng = random.Random(0xC0DEC)
+    varints, varint_count = _varint_corpus(rng)
+    hash_blob = random.Random(0x4A5).randbytes(HASH_CORPUS_BYTES)
+    frame_blob = _frame_corpus(rng)
+
+    def decode_varints():
+        _codec.decode_uvarint_run(varints, 0, varint_count)
+
+    def hash_blob_once():
+        _codec.arena_hash(hash_blob)
+
+    def decode_frame():
+        frame = WireFrame(frame_blob)
+        frame.shape_rows(ShapeArena())
+        for state_id in range(FRAME_STATES):
+            frame.expansion(state_id)
+
+    row: dict = {
+        "workload": "codec micro-benchmarks",
+        "kind": "micro-codec",
+        "codec_accelerated": _codec.ACCELERATED and not _codec.is_pure(),
+        "varint_corpus_bytes": len(varints),
+        "varint_count": varint_count,
+        "frame_bytes": len(frame_blob),
+    }
+
+    was_pure = _codec.is_pure()
+    _codec.set_pure(True)
+    try:
+        row["varint_decode_mb_per_s_pure"] = _time_mb_per_s(
+            len(varints), decode_varints
+        )
+        row["arena_hash_mb_per_s_pure"] = _time_mb_per_s(
+            len(hash_blob), hash_blob_once
+        )
+        row["frame_decode_mb_per_s_pure"] = _time_mb_per_s(
+            len(frame_blob), decode_frame
+        )
+    finally:
+        _codec.set_pure(was_pure)
+
+    if row["codec_accelerated"]:
+        row["varint_decode_mb_per_s_accel"] = _time_mb_per_s(
+            len(varints), decode_varints
+        )
+        # the dispatched arena_hash stays on zlib.crc32 (see _codec._bind);
+        # this measures the independent C cross-check implementation
+        row["arena_hash_mb_per_s_accel"] = _time_mb_per_s(
+            len(hash_blob), lambda: _codec.c_arena_hash(hash_blob)
+        )
+        row["frame_decode_mb_per_s_accel"] = _time_mb_per_s(
+            len(frame_blob), decode_frame
+        )
+    return row
+
+
+if __name__ == "__main__":
+    import json
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    print(json.dumps(measure_micro_codec(), indent=2, sort_keys=True))

@@ -91,6 +91,16 @@ def _engine_workloads():
 #: --check gate fails any parallel workload that misses it.
 WIRE_REDUCTION_FLOOR = 0.40
 
+#: One-time floors for the hot-path rework (arena shapes + zero-copy decode +
+#: accelerated codec), applied only when the baseline row predates it — i.e.
+#: lacks the ``codec_accelerated`` field.  Against such a baseline, a
+#: parallel workload's ``wire_decode_seconds`` must be at least 40% lower and
+#: the bounded attach's states/sec at least 2x higher; once a post-rework
+#: baseline is committed, the ordinary ``--threshold`` drift checks take
+#: over.
+WIRE_DECODE_REDUCTION_FLOOR = 0.40
+ATTACH_SPEEDUP_FLOOR = 2.0
+
 #: Ceiling on the fraction of a prebuilt store's shape table a
 #: budget-bounded attach may hydrate; the --check gate fails the attach
 #: workload when lazy hydration restores more than this.
@@ -152,9 +162,13 @@ def measure_residency_attach(frontier: str, attach_states: int, budget: int) -> 
             for source, edges in graph.transitions.items()
         }
 
+    from repro.engine import _codec
+
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "attach.db"
-        build_store = SqliteStore(path, batch_size=4096)
+        build_store = SqliteStore(
+            path, batch_size=4096, binary_shapes=True, binary_guards=True
+        )
         build_engine = ExplorationEngine(form, limits=build_limits, store=build_store)
         started = time.perf_counter()
         build_graph = build_engine.explore()
@@ -163,8 +177,11 @@ def measure_residency_attach(frontier: str, attach_states: int, budget: int) -> 
         build_store.close()
         del build_engine, build_store
 
+        def attach_store():
+            return SqliteStore(path, binary_shapes=True, binary_guards=True)
+
         # reference: fresh unbounded attach, touching the same slice
-        ref_store = SqliteStore(path)
+        ref_store = attach_store()
         ref_engine = ExplorationEngine(form, limits=touch_limits, store=ref_store)
         started = time.perf_counter()
         reference = ref_engine.explore()
@@ -172,7 +189,7 @@ def measure_residency_attach(frontier: str, attach_states: int, budget: int) -> 
         ref_store.close()
 
         # the measured run: bounded attach
-        store = SqliteStore(path)
+        store = attach_store()
         engine = ExplorationEngine(
             form, limits=touch_limits, store=store, resident_budget=budget
         )
@@ -186,8 +203,25 @@ def measure_residency_attach(frontier: str, attach_states: int, budget: int) -> 
             and exact_edges(graph) == exact_edges(reference)
         )
 
+        # the same bounded attach through the pure-Python codec: the two
+        # dispatch paths must produce the same graph, bit for bit
+        pure_store = attach_store()
+        pure_engine = ExplorationEngine(
+            form, limits=touch_limits, store=pure_store, resident_budget=budget
+        )
+        was_pure = _codec.set_pure(True)
+        try:
+            pure_graph = pure_engine.explore()
+        finally:
+            _codec.set_pure(was_pure)
+        pure_store.close()
+        pure_parity = (
+            pure_graph.states == reference.states
+            and exact_edges(pure_graph) == exact_edges(reference)
+        )
+
         # bounded attach with worker processes (shard hydration path)
-        par_store = SqliteStore(path)
+        par_store = attach_store()
         par_engine = ParallelExplorationEngine(
             form, limits=touch_limits, store=par_store, workers=2, resident_budget=budget
         )
@@ -211,6 +245,7 @@ def measure_residency_attach(frontier: str, attach_states: int, budget: int) -> 
         ),
         "kind": "bounded-attach",
         "frontier": frontier,
+        "codec_accelerated": _codec.ACCELERATED and not _codec.is_pure(),
         "resident_budget": budget,
         "build_states": len(build_graph.states),
         "build_seconds": round(build_elapsed, 6),
@@ -223,6 +258,7 @@ def measure_residency_attach(frontier: str, attach_states: int, budget: int) -> 
         ),
         "attach_budget_parity": budget_parity,
         "attach_parallel_parity": parallel_parity,
+        "attach_pure_parity": pure_parity,
         "states_resident": stats["states_resident"],
         "reps_resident": stats["reps_resident"],
         "reps_evicted": stats["reps_evicted"],
@@ -248,7 +284,7 @@ def measure_parallel(frontier: str, worker_counts: list[int]) -> list[dict]:
     """
     from repro.analysis.results import ExplorationLimits
     from repro.benchgen.families import positive_deep_family
-    from repro.engine import ExplorationEngine, ParallelExplorationEngine
+    from repro.engine import ExplorationEngine, ParallelExplorationEngine, _codec
     from repro.engine.wire import pr3_encoding_cost
 
     form = positive_deep_family(4, width=2)
@@ -281,7 +317,7 @@ def measure_parallel(frontier: str, worker_counts: list[int]) -> list[dict]:
     )
 
     rows = []
-    for workers in worker_counts:
+    for index, workers in enumerate(worker_counts):
         engine = ParallelExplorationEngine(
             form, limits=limits, strategy=frontier, workers=workers
         )
@@ -299,6 +335,32 @@ def measure_parallel(frontier: str, worker_counts: list[int]) -> list[dict]:
             graph.states == reference.states
             and exact_edges(graph) == exact_edges(reference)
         )
+        pure_parity = None
+        if index == 0:
+            # re-run the first worker count through the pure-Python codec:
+            # set_pure covers the coordinator, REPRO_PURE in the environment
+            # covers the freshly spawned worker processes.  The graph must
+            # be bit-identical to the accelerated serial reference.
+            pure_engine = ParallelExplorationEngine(
+                form, limits=limits, strategy=frontier, workers=workers
+            )
+            was_pure = _codec.set_pure(True)
+            had_env = os.environ.get("REPRO_PURE")
+            os.environ["REPRO_PURE"] = "1"
+            try:
+                pure_engine.spawn_workers()
+                pure_graph = pure_engine.explore()
+            finally:
+                pure_engine.shutdown_workers()
+                _codec.set_pure(was_pure)
+                if had_env is None:
+                    del os.environ["REPRO_PURE"]
+                else:
+                    os.environ["REPRO_PURE"] = had_env
+            pure_parity = (
+                pure_graph.states == reference.states
+                and exact_edges(pure_graph) == exact_edges(reference)
+            )
         states = len(graph.states)
         parallel_sps = round(states / elapsed, 1) if elapsed else None
         rows.append(
@@ -308,6 +370,7 @@ def measure_parallel(frontier: str, worker_counts: list[int]) -> list[dict]:
                 "frontier": frontier,
                 "workers": workers,
                 "cpu_count": os.cpu_count(),
+                "codec_accelerated": _codec.ACCELERATED and not _codec.is_pure(),
                 "states": states,
                 "explore_seconds": round(elapsed, 6),
                 "serial_explore_seconds": round(serial_elapsed, 6),
@@ -320,6 +383,7 @@ def measure_parallel(frontier: str, worker_counts: list[int]) -> list[dict]:
                     round(serial_elapsed / elapsed, 3) if elapsed else None
                 ),
                 "serial_parallel_parity": parity,
+                "pure_parallel_parity": pure_parity,
                 "guard_cache_hit_rate": stats["guard_cache_hit_rate"],
                 "states_prefetched": stats["states_prefetched"],
                 "waves_dispatched": stats["waves_dispatched"],
@@ -409,6 +473,11 @@ def measure_engine(
         results.extend(measure_parallel(frontier, worker_counts))
     if attach_states:  # --attach-states 0 skips the large-store workload
         results.append(measure_residency_attach(frontier, attach_states, attach_budget))
+    if str(BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(BENCH_DIR))
+    from micro_codec import measure_micro_codec
+
+    results.append(measure_micro_codec())
     return {
         "limits": {"max_states": limits.max_states, "max_instance_nodes": limits.max_instance_nodes},
         "cpu_count": os.cpu_count(),
@@ -419,26 +488,53 @@ def measure_engine(
 def measure_store_backed(frontier: str, limits) -> dict:
     """The bounded reference workload explored through an on-disk SqliteStore.
 
-    Reported as its own workload row: parity against the plain in-memory
-    engine plus a second throughput figure, so regressions in the
-    write-through/batching path are caught by the same ``--check`` gate.
+    Two phases against one binary-row store: a **cold build** (fresh store,
+    every guard evaluated from scratch, every row written through — this is
+    harness setup *and* a tracked figure) and the **measured warm re-attach**
+    (a second engine on the same store, whose first ``explore()`` pre-warms
+    its guard cache from the persisted guard rows and resolves shapes through
+    the binary-row fast path).  The old single-pass cold measurement reported
+    a 2.2% guard-cache hit rate — an artifact of measuring only the build;
+    the warm attach is the deployment story (resume/extend an analysis
+    against an existing store) and is what the ``--check`` gate now tracks
+    under the historical workload name.
     """
     from repro.engine import ExplorationEngine, SqliteStore
     from repro.fbwis.catalog import leave_application
 
     form = leave_application(single_period=True)
     reference = ExplorationEngine(form, limits=limits, strategy=frontier).explore()
+    reference_shapes = {reference.shape_of(s) for s in reference.states}
 
     with tempfile.TemporaryDirectory() as tmp:
-        store = SqliteStore(Path(tmp) / "bench.db", batch_size=512)
+        path = Path(tmp) / "bench.db"
+        # phase 1: cold build (fresh store, all guards evaluated)
+        build_store = SqliteStore(
+            path, batch_size=512, binary_shapes=True, binary_guards=True
+        )
+        build_engine = ExplorationEngine(
+            form, limits=limits, strategy=frontier, store=build_store
+        )
+        started = time.perf_counter()
+        build_graph = build_engine.explore()
+        cold_elapsed = time.perf_counter() - started
+        build_stats = build_engine.stats_snapshot()
+        build_store.close()
+        del build_engine, build_store
+
+        # phase 2 (measured): warm re-attach — the first explore() hydrates
+        # the persisted guard rows into the fresh engine's cache, so the
+        # exploration replays against pre-warmed guards and stored shapes
+        store = SqliteStore(path, binary_shapes=True, binary_guards=True)
         engine = ExplorationEngine(form, limits=limits, strategy=frontier, store=store)
         started = time.perf_counter()
         graph = engine.explore()
         elapsed = time.perf_counter() - started
         stats = engine.stats_snapshot()
-        parity = {graph.shape_of(s) for s in graph.states} == {
-            reference.shape_of(s) for s in reference.states
-        }
+        parity = {graph.shape_of(s) for s in graph.states} == reference_shapes
+        cold_parity = (
+            {build_graph.shape_of(s) for s in build_graph.states} == reference_shapes
+        )
         store.close()
     states = len(graph.states)
     return {
@@ -448,8 +544,14 @@ def measure_store_backed(frontier: str, limits) -> dict:
         "states": states,
         "explore_seconds": round(elapsed, 6),
         "states_per_second": round(states / elapsed, 1) if elapsed else None,
-        "state_set_parity_with_legacy": parity,
+        "cold_build_seconds": round(cold_elapsed, 6),
+        "cold_states_per_second": (
+            round(len(build_graph.states) / cold_elapsed, 1) if cold_elapsed else None
+        ),
+        "cold_guard_cache_hit_rate": build_stats["guard_cache_hit_rate"],
+        "state_set_parity_with_legacy": parity and cold_parity,
         "guard_cache_hit_rate": stats["guard_cache_hit_rate"],
+        "guard_entries_restored": stats["guard_entries_restored"],
         "store_rows_written": stats["store_rows_written"],
         "store_flushes": stats["store_flushes"],
         "store_rows_read": stats["store_rows_read"],
@@ -469,10 +571,14 @@ def check_regressions(report: dict, baseline: dict, threshold: float) -> list[st
     than *threshold* in states/sec, needing more formula evaluations than the
     baseline allows (a deterministic counter, immune to timer noise), losing
     state-set parity with the legacy explorers, breaking serial-vs-parallel
-    bit-identity, shipping more wire bytes per candidate than the PR 3
-    encoding minus the :data:`WIRE_REDUCTION_FLOOR`, growing its wire bytes
-    per candidate beyond *threshold* vs the baseline, or disappearing from
-    the report entirely.  Parallel workloads are keyed by worker count, so a
+    bit-identity, breaking accelerated-vs-pure codec bit-identity, shipping
+    more wire bytes per candidate than the PR 3 encoding minus the
+    :data:`WIRE_REDUCTION_FLOOR`, growing its wire bytes per candidate or
+    wire decode time beyond *threshold* vs the baseline, missing the one-time
+    hot-path floors (:data:`WIRE_DECODE_REDUCTION_FLOOR`,
+    :data:`ATTACH_SPEEDUP_FLOOR`) against a pre-rework baseline — one whose
+    row lacks ``codec_accelerated`` — or disappearing from the report
+    entirely.  Parallel workloads are keyed by worker count, so a
     run measured with different ``--workers`` counts than the baseline simply
     skips the missing rows (their speedups are host-dependent; the parity
     verdict is what gates).
@@ -500,6 +606,16 @@ def check_regressions(report: dict, baseline: dict, threshold: float) -> list[st
         if not fresh.get("attach_parallel_parity", True):
             failures.append(
                 f"workload {name!r} broke budget-bounded parallel bit-identity"
+            )
+        # pure-codec parity is gated unconditionally wherever measured
+        # (``is False`` — rows that did not run the pure leg record None)
+        if fresh.get("pure_parallel_parity") is False:
+            failures.append(
+                f"workload {name!r} broke accelerated-vs-pure parallel bit-identity"
+            )
+        if fresh.get("attach_pure_parity") is False:
+            failures.append(
+                f"workload {name!r} broke accelerated-vs-pure attach bit-identity"
             )
         if fresh.get("kind") == "bounded-attach":
             fraction = fresh.get("hydration_fraction_restored")
@@ -534,9 +650,14 @@ def check_regressions(report: dict, baseline: dict, threshold: float) -> list[st
             # parallel rows vary with --workers, attach rows with
             # --attach-states/--attach-budget; measuring a different
             # configuration than the baseline is not a regression
-            if workload.get("kind") not in ("bounded-parallel", "bounded-attach"):
+            if workload.get("kind") not in (
+                "bounded-parallel",
+                "bounded-attach",
+                "micro-codec",
+            ):
                 failures.append(f"workload {name!r} present in baseline but not measured")
             continue
+        pre_rework_baseline = "codec_accelerated" not in workload
         old_sps = workload.get("states_per_second")
         new_sps = fresh.get("states_per_second")
         if old_sps and new_sps and new_sps < old_sps * (1.0 - threshold):
@@ -544,6 +665,38 @@ def check_regressions(report: dict, baseline: dict, threshold: float) -> list[st
                 f"workload {name!r} regressed: {new_sps} states/s vs baseline "
                 f"{old_sps} (allowed floor {old_sps * (1.0 - threshold):.1f})"
             )
+        if (
+            pre_rework_baseline
+            and workload.get("kind") == "bounded-attach"
+            and old_sps
+            and new_sps
+            and new_sps < old_sps * ATTACH_SPEEDUP_FLOOR
+        ):
+            failures.append(
+                f"workload {name!r} reached only {new_sps} states/s vs the "
+                f"pre-rework baseline {old_sps}; the hot-path rework requires "
+                f">={ATTACH_SPEEDUP_FLOOR:.0f}x "
+                f"(floor {old_sps * ATTACH_SPEEDUP_FLOOR:.1f})"
+            )
+        old_decode = workload.get("wire_decode_seconds")
+        new_decode = fresh.get("wire_decode_seconds")
+        if old_decode and new_decode:
+            if pre_rework_baseline:
+                ceiling = (1.0 - WIRE_DECODE_REDUCTION_FLOOR) * old_decode
+                if new_decode > ceiling:
+                    failures.append(
+                        f"workload {name!r} spent {new_decode}s decoding wire "
+                        f"frames vs the pre-rework baseline {old_decode}s; the "
+                        f"hot-path rework requires a "
+                        f">={WIRE_DECODE_REDUCTION_FLOOR:.0%} reduction "
+                        f"(ceiling {ceiling:.3f}s)"
+                    )
+            elif new_decode > old_decode * (1.0 + threshold):
+                failures.append(
+                    f"workload {name!r} now spends {new_decode}s decoding wire "
+                    f"frames vs baseline {old_decode}s (allowed ceiling "
+                    f"{old_decode * (1.0 + threshold):.3f}s)"
+                )
         old_evals = workload.get("formula_evaluations")
         new_evals = fresh.get("formula_evaluations")
         if old_evals and new_evals and new_evals > old_evals * (1.0 + threshold):
@@ -695,6 +848,20 @@ def main(argv=None) -> int:
         help="allowed fractional states/sec regression before --check fails "
         "(default: 0.25, i.e. >25%% slower fails)",
     )
+    parser.add_argument(
+        "--require-accel",
+        action="store_true",
+        help="fail unless the C-accelerated codec compiled and loaded (CI "
+        "uses this on the bench smoke so the accelerator can never silently "
+        "fall back to pure Python there)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the engine-metrics run under cProfile: write "
+        "run_all.pstats next to the output JSON and print the top 20 "
+        "functions by cumulative time to stderr",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         args.quick = True
@@ -722,16 +889,43 @@ def main(argv=None) -> int:
         print("[run_all] --workers counts must be >= 2", file=sys.stderr)
         return 2
 
+    if args.require_accel:
+        from repro.engine import _codec
+
+        if not _codec.ACCELERATED:
+            print(
+                "[run_all] --require-accel: the C codec did not compile/load; "
+                "running on the pure-Python fallback",
+                file=sys.stderr,
+            )
+            return 1
+
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    engine_metrics = measure_engine(
+        args.frontier,
+        worker_counts,
+        attach_states=args.attach_states,
+        attach_budget=args.attach_budget,
+    )
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        pstats_path = Path(args.output).with_name("run_all.pstats")
+        profiler.dump_stats(str(pstats_path))
+        print(f"[run_all] wrote profile to {pstats_path}", file=sys.stderr)
+        pstats.Stats(profiler, stream=sys.stderr).sort_stats("cumulative").print_stats(20)
+
     report = {
-        "schema": "bench-engine/4",
+        "schema": "bench-engine/5",
         "generated_by": "benchmarks/run_all.py",
         "quick": args.quick,
-        "engine": measure_engine(
-            args.frontier,
-            worker_counts,
-            attach_states=args.attach_states,
-            attach_budget=args.attach_budget,
-        ),
+        "engine": engine_metrics,
     }
     if not args.quick:
         report["pytest_benchmarks"] = run_pytest_benchmarks(args.keyword)
@@ -783,6 +977,19 @@ def main(argv=None) -> int:
                     parity=workload["attach_budget_parity"],
                     par_parity=workload["attach_parallel_parity"],
                     rss=workload["peak_rss_kb"],
+                )
+            )
+            continue
+        if workload.get("kind") == "micro-codec":
+            print(
+                "[run_all]   {workload}: accelerated={accel}; varint decode "
+                "{vp}/{va} MB/s (pure/accel), frame decode {fp}/{fa} MB/s".format(
+                    workload=workload["workload"],
+                    accel=workload["codec_accelerated"],
+                    vp=workload["varint_decode_mb_per_s_pure"],
+                    va=workload.get("varint_decode_mb_per_s_accel", "-"),
+                    fp=workload["frame_decode_mb_per_s_pure"],
+                    fa=workload.get("frame_decode_mb_per_s_accel", "-"),
                 )
             )
             continue

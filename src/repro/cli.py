@@ -313,6 +313,26 @@ def _cmd_render(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace, out) -> int:
+    if not getattr(args, "profile", False):
+        return _run_analyze(args, out)
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return _run_analyze(args, out)
+    finally:
+        profiler.disable()
+        pstats_path = "analyze.pstats"
+        profiler.dump_stats(pstats_path)
+        print(f"profile written to {pstats_path}", file=sys.stderr)
+        pstats.Stats(profiler, stream=sys.stderr).sort_stats("cumulative").print_stats(
+            20
+        )
+
+
+def _run_analyze(args: argparse.Namespace, out) -> int:
     form = _load_form(args.form)
     limits = _limits_from_args(args)
     print(f"analysing {form.name!r} (fragment {classify(form).name})", file=out)
@@ -570,6 +590,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="let the completability exploration return on the first "
         "complete state instead of exhausting the budget (early exit; the "
         "verdict is unchanged, only the effort shrinks)",
+    )
+    analyze.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the analysis under cProfile: write analyze.pstats to "
+        "the working directory and print the top 20 functions by cumulative "
+        "time to stderr",
     )
     _add_limit_arguments(analyze)
     analyze.set_defaults(handler=_cmd_analyze)

@@ -1,0 +1,303 @@
+"""Optional C-accelerated codec primitives (varint runs, arena hashing).
+
+The wire codec (:mod:`repro.engine.wire`) and the shape arena
+(:mod:`repro.engine.arena`) spend their hot loops decoding **runs** of
+unsigned LEB128 varints and CRC-hashing canonical shape encodings.  Both
+operations have a mandatory pure-Python implementation in this module; when
+the :mod:`cffi` toolchain is available the same two primitives are compiled
+once into a tiny C extension (cached under ``~/.cache/repro-codec``, or
+``$REPRO_CODEC_CACHE``) and used instead.
+
+The two paths are **bit-identical by construction** — same truncation and
+overflow rejections, same CRC-32 (IEEE, matching :func:`zlib.crc32`) — and
+the differential Hypothesis suite in
+``tests/property/test_arena_properties.py`` pins that equivalence on random
+buffers and random frames.
+
+``REPRO_PURE=1`` in the environment forces the pure path (the CI matrix runs
+the full tier-1 suite this way so the fallback can never rot);
+:func:`set_pure` toggles it at runtime for in-process differential tests and
+benchmarks.  Consumers should look the dispatch functions up through the
+module (``_codec.decode_uvarint_run``), not ``from``-import them, so the
+toggle takes effect.
+
+Both decoders reject varints that do not fit in 64 bits.  Legitimate wire
+values (node ids, table indices, byte lengths, counts) are far below that
+bound; the cap is what lets the C side use native integers while staying
+exactly as strict as the pure side.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import shutil
+import zlib
+
+from repro.exceptions import WireFormatError
+
+#: Bumped whenever the C source below changes, so stale cached builds are
+#: never loaded.
+_CODEC_VERSION = 1
+
+_U64_MAX = (1 << 64) - 1
+
+_CDEF = """
+long long repro_decode_uvarint_run(const unsigned char *buf, long long len,
+                                   long long pos, long long count,
+                                   unsigned long long *out);
+unsigned int repro_crc32(const unsigned char *buf, long long len);
+"""
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+long long repro_decode_uvarint_run(const unsigned char *buf, long long len,
+                                   long long pos, long long count,
+                                   unsigned long long *out)
+{
+    long long i;
+    for (i = 0; i < count; i++) {
+        unsigned long long value = 0;
+        int shift = 0;
+        for (;;) {
+            unsigned char b;
+            unsigned long long bits;
+            if (pos >= len)
+                return -1; /* truncated mid-value */
+            b = buf[pos++];
+            bits = (unsigned long long)(b & 0x7F);
+            if (shift >= 64 || bits > (0xFFFFFFFFFFFFFFFFULL >> shift))
+                return -2; /* value exceeds 64 bits */
+            value |= bits << shift;
+            if (!(b & 0x80))
+                break;
+            shift += 7;
+        }
+        out[i] = value;
+    }
+    return pos;
+}
+
+static uint32_t crc_table[256];
+static int crc_table_ready = 0;
+
+unsigned int repro_crc32(const unsigned char *buf, long long len)
+{
+    uint32_t crc = 0xFFFFFFFFu;
+    long long i;
+    if (!crc_table_ready) {
+        uint32_t n;
+        for (n = 0; n < 256; n++) {
+            uint32_t c = n;
+            int k;
+            for (k = 0; k < 8; k++)
+                c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+            crc_table[n] = c;
+        }
+        crc_table_ready = 1;
+    }
+    for (i = 0; i < len; i++)
+        crc = crc_table[(crc ^ buf[i]) & 0xFF] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+"""
+
+
+# --------------------------------------------------------------------------- #
+# pure-Python implementations (the mandatory fallback)
+# --------------------------------------------------------------------------- #
+
+
+def pure_decode_uvarint_run(data, pos: int, count: int) -> tuple[list, int]:
+    """Decode *count* LEB128 varints starting at *pos* in one batched loop.
+
+    Returns ``(values, new pos)``.  Single-byte varints (the overwhelming
+    majority on real frames) take the one-comparison fast path; multi-byte
+    continuations fall into the generic loop.
+
+    Raises:
+        WireFormatError: truncation mid-value, or a value exceeding 64 bits
+            (the C path's native-integer bound, enforced identically here).
+    """
+    out: list = []
+    append = out.append
+    size = len(data)
+    for _ in range(count):
+        if pos >= size:
+            raise WireFormatError("truncated varint run: buffer ended mid-value")
+        byte = data[pos]
+        pos += 1
+        if byte < 0x80:
+            append(byte)
+            continue
+        value = byte & 0x7F
+        shift = 7
+        while True:
+            if pos >= size:
+                raise WireFormatError("truncated varint run: buffer ended mid-value")
+            byte = data[pos]
+            pos += 1
+            bits = byte & 0x7F
+            if shift >= 64 or bits > (_U64_MAX >> shift):
+                raise WireFormatError("varint overflow: value exceeds 64 bits")
+            value |= bits << shift
+            if byte < 0x80:
+                break
+            shift += 7
+        append(value)
+    return out, pos
+
+
+def pure_arena_hash(data) -> int:
+    """CRC-32 (IEEE) of *data* — exactly :func:`zlib.crc32`."""
+    return zlib.crc32(data)
+
+
+# --------------------------------------------------------------------------- #
+# C extension: build-once cache, auto-detection
+# --------------------------------------------------------------------------- #
+
+
+def _cache_dir() -> str:
+    root = os.environ.get("REPRO_CODEC_CACHE")
+    if not root:
+        xdg = os.environ.get("XDG_CACHE_HOME") or os.path.expanduser("~/.cache")
+        root = os.path.join(xdg, "repro-codec")
+    return root
+
+
+def _find_cached(cache: str, module_name: str):
+    try:
+        entries = sorted(os.listdir(cache))
+    except OSError:
+        return None
+    for entry in entries:
+        if entry.startswith(module_name) and entry.endswith(".so"):
+            return os.path.join(cache, entry)
+    return None
+
+
+def _load_extension(module_name: str, so_path: str):
+    spec = importlib.util.spec_from_file_location(module_name, so_path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load codec extension from {so_path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _build_extension(cache: str, module_name: str) -> str:
+    from cffi import FFI
+
+    builder = FFI()
+    builder.cdef(_CDEF)
+    builder.set_source(module_name, _C_SOURCE)
+    build_dir = os.path.join(cache, f"build-{os.getpid()}")
+    os.makedirs(build_dir, exist_ok=True)
+    try:
+        built = builder.compile(tmpdir=build_dir)
+        target = os.path.join(cache, os.path.basename(built))
+        os.replace(built, target)  # atomic even when two processes race
+        return target
+    finally:
+        shutil.rmtree(build_dir, ignore_errors=True)
+
+
+def _try_load_accelerator():
+    cache = _cache_dir()
+    module_name = f"_repro_codec_v{_CODEC_VERSION}"
+    try:
+        os.makedirs(cache, exist_ok=True)
+        so_path = _find_cached(cache, module_name)
+        if so_path is None:
+            so_path = _build_extension(cache, module_name)
+        return _load_extension(module_name, so_path)
+    except Exception:  # noqa: BLE001 - any failure means "pure fallback"
+        return None
+
+
+_ext = None if os.environ.get("REPRO_PURE") else _try_load_accelerator()
+
+#: Whether the C extension compiled/loaded.  Stays ``True`` while
+#: :func:`set_pure` temporarily forces the pure path — it reports
+#: availability, not the current dispatch.
+ACCELERATED = _ext is not None
+
+if _ext is not None:
+    _ffi = _ext.ffi
+    _lib = _ext.lib
+
+    def c_decode_uvarint_run(data, pos: int, count: int) -> tuple[list, int]:
+        """C-backed batched varint decode (zero-copy via ``from_buffer``)."""
+        buf = _ffi.from_buffer("unsigned char[]", data, require_writable=False)
+        out = _ffi.new("unsigned long long[]", count) if count else _ffi.NULL
+        rc = _lib.repro_decode_uvarint_run(buf, len(data), pos, count, out)
+        if rc == -1:
+            raise WireFormatError("truncated varint run: buffer ended mid-value")
+        if rc < 0:
+            raise WireFormatError("varint overflow: value exceeds 64 bits")
+        return (_ffi.unpack(out, count) if count else []), rc
+
+    def c_arena_hash(data) -> int:
+        buf = _ffi.from_buffer("unsigned char[]", data, require_writable=False)
+        return _lib.repro_crc32(buf, len(data))
+
+else:
+    c_decode_uvarint_run = None  # type: ignore[assignment]
+    c_arena_hash = None  # type: ignore[assignment]
+
+
+# --------------------------------------------------------------------------- #
+# dispatch
+# --------------------------------------------------------------------------- #
+
+_pure_forced = bool(os.environ.get("REPRO_PURE"))
+
+decode_uvarint_run = pure_decode_uvarint_run
+arena_hash = pure_arena_hash
+
+
+def _bind() -> None:
+    global decode_uvarint_run, arena_hash
+    if ACCELERATED and not _pure_forced:
+        decode_uvarint_run = c_decode_uvarint_run
+        # arena_hash stays on zlib.crc32 even when accelerated: CPython's
+        # zlib is already optimized C (~10x the table-driven repro_crc32 on
+        # large buffers).  repro_crc32 exists as an independent second
+        # implementation of the digest, pinned bit-identical by the
+        # differential suite, so the on-wire/on-disk hash contract is
+        # cross-checked rather than defined by one library.
+        arena_hash = pure_arena_hash
+    else:
+        decode_uvarint_run = pure_decode_uvarint_run
+        arena_hash = pure_arena_hash
+
+
+def set_pure(flag: bool) -> bool:
+    """Force (or release) the pure-Python path at runtime.
+
+    Returns the previous setting, so callers can restore it::
+
+        previous = _codec.set_pure(True)
+        try:
+            ...
+        finally:
+            _codec.set_pure(previous)
+
+    Only affects this process — worker subprocesses inherit ``REPRO_PURE``
+    from the environment instead.
+    """
+    global _pure_forced
+    previous = _pure_forced
+    _pure_forced = bool(flag)
+    _bind()
+    return previous
+
+
+def is_pure() -> bool:
+    """Whether the pure-Python path is currently dispatched."""
+    return not ACCELERATED or _pure_forced
+
+
+_bind()

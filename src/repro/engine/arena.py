@@ -1,0 +1,313 @@
+"""Flat array-of-ints shape arena: the engine's native shape representation.
+
+Full-state shapes used to live exclusively as nested label tuples (the
+hash-consed cons form).  Every hot operation on them — interning, stable
+hashing, store reverse lookups, wire decode — walked per-node Python objects.
+The arena flattens each distinct full-state shape into one **row**:
+
+* the row's nodes are ``(label_id, first_child, next_sibling)`` triples,
+  stored contiguously in one shared ``array('i')`` (``-1`` = none), with
+  labels interned once into an arena-global label table;
+* the row caches its **canonical binary encoding** — byte-for-byte the
+  :func:`~repro.io.serialization.encode_shape_binary` store-row format — so
+  ``stable_shape_hash`` becomes one CRC over cached bytes
+  (:func:`repro.engine._codec.arena_hash`, C-accelerated when available)
+  instead of a fresh recursive encode;
+* rows are **deduplicated by that encoding**: the encoding is injective and
+  order-preserving, so byte equality is shape equality, and every consumer
+  can compare rows as small ints.
+
+Layout of one 3-node row (root ``a`` with children ``b``, ``c``)::
+
+    nodes:   [ a,  +1, -1 ][ b, +1, +1 ][ c, -1, -1 ]
+               |   |   |
+               |   |   next_sibling (node index, -1 = last sibling)
+               |   first_child (node index, -1 = leaf)
+               label_id (index into the arena label table)
+
+The cons form does not disappear: guard keys, shape maps and the incremental
+shaper still speak nested tuples, and :meth:`ShapeArena.cons_of` materialises
+a row back into one (memoized; the memo is droppable under residency budgets
+because the triples remain the ground truth).  What changes is that the
+:class:`~repro.engine.interning.ShapeInterner`'s id tier, the store fallback
+(digest + encoded bytes precomputed per row) and the wire decode path
+(:meth:`WireFrame.shape_rows <repro.engine.wire.WireFrame.shape_rows>`) all
+operate on rows, so the per-successor tuple churn is gone from the hot path.
+
+The arena is append-only and content-addressed: a row id, once returned, is
+valid for the arena's lifetime.  Differential properties (arena⇄cons
+round-trip, arena hash == ``stable_shape_hash`` on the cons form) are pinned
+by ``tests/property/test_arena_properties.py``.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional
+
+from repro.core.tree import Shape
+from repro.engine import _codec
+from repro.exceptions import WireFormatError
+from repro.io.serialization import SHAPE_BINARY_VERSION, write_uvarint
+
+#: Index of a shape row in a :class:`ShapeArena`.
+RowId = int
+
+_NONE = -1
+
+
+class ShapeArena:
+    """Flat storage and canonical identity for full-state shapes."""
+
+    def __init__(self) -> None:
+        self._labels: list[str] = []
+        self._label_ids: dict[str, int] = {}
+        #: Per label, its length-prefixed UTF-8 framing (the canonical
+        #: encoding is a pure concatenation of these plus child-count
+        #: varints, so encoding a row never re-encodes label text).
+        self._label_enc: list[bytes] = []
+        #: All rows' ``(label_id, first_child, next_sibling)`` triples,
+        #: concatenated; node index ``n`` lives at ``3*n``.
+        self._nodes = array("i")
+        self._roots: list[int] = []  # row -> root node index
+        self._counts: list[int] = []  # row -> node count
+        self._encoded: list[bytes] = []  # row -> canonical binary encoding
+        self._hashes: list[Optional[int]] = []  # row -> CRC digest (lazy)
+        self._by_encoding: dict[bytes, RowId] = {}
+        #: row -> materialised cons tuple (droppable memo; see
+        #: :meth:`drop_cons_cache`).
+        self._cons_cache: dict[RowId, Shape] = {}
+        self.rows_deduped = 0
+
+    # ------------------------------------------------------------------ #
+    # labels
+    # ------------------------------------------------------------------ #
+
+    def label_id(self, label: str) -> int:
+        """Intern *label*; returns its arena-global id."""
+        existing = self._label_ids.get(label)
+        if existing is not None:
+            return existing
+        new_id = len(self._labels)
+        self._label_ids[label] = new_id
+        self._labels.append(label)
+        raw = label.encode("utf-8")
+        framing = bytearray()
+        write_uvarint(framing, len(raw))
+        framing.extend(raw)
+        self._label_enc.append(bytes(framing))
+        return new_id
+
+    def label_of(self, label_id: int) -> str:
+        return self._labels[label_id]
+
+    # ------------------------------------------------------------------ #
+    # interning
+    # ------------------------------------------------------------------ #
+
+    def intern_cons(self, shape: Shape) -> RowId:
+        """Intern a nested-tuple shape; returns its (deduplicated) row id."""
+        encoded = bytearray([SHAPE_BINARY_VERSION])
+        pairs: list[tuple[int, int]] = []  # preorder (label_id, child count)
+        label_enc = self._label_enc
+        stack = [shape]
+        pop = stack.pop
+        while stack:
+            label, children = pop()
+            lid = self.label_id(label)
+            nchildren = len(children)
+            pairs.append((lid, nchildren))
+            encoded += label_enc[lid]
+            if nchildren < 0x80:
+                encoded.append(nchildren)
+            else:
+                write_uvarint(encoded, nchildren)
+            stack.extend(reversed(children))
+        row = self._by_encoding.get(bytes(encoded))
+        if row is not None:
+            self.rows_deduped += 1
+            return row
+        row = self._append_row(bytes(encoded), pairs)
+        self._cons_cache[row] = shape
+        return row
+
+    def intern_preorder(self, pairs: list[tuple[int, int]]) -> RowId:
+        """Intern a shape given as preorder ``(label_id, child count)`` pairs
+        (label ids already arena-global) — the zero-copy wire decode entry.
+
+        The canonical encoding is assembled by concatenating the cached label
+        framings, so no tuple is ever built for an already-known row.
+        """
+        encoded = bytearray([SHAPE_BINARY_VERSION])
+        label_enc = self._label_enc
+        for lid, nchildren in pairs:
+            encoded += label_enc[lid]
+            if nchildren < 0x80:
+                encoded.append(nchildren)
+            else:
+                write_uvarint(encoded, nchildren)
+        row = self._by_encoding.get(bytes(encoded))
+        if row is not None:
+            self.rows_deduped += 1
+            return row
+        return self._append_row(bytes(encoded), pairs)
+
+    def intern_preorder_flat(self, flat, base: int, count: int, label_map) -> RowId:
+        """:meth:`intern_preorder` over a slice of a flat pair-value run.
+
+        *flat* holds concatenated ``label index, child count`` values (the
+        wire shape section's decoded run); the entry's *count* pairs start at
+        ``flat[base]`` and *label_map* maps its label indices to arena label
+        ids.  The canonical encoding is assembled straight off the run, and
+        the pair tuples an unseen row needs are only materialised on a
+        genuine append — a dedup hit (the common case across a wave's
+        frames) costs the bytes assembly and one dict probe.
+        """
+        encoded = bytearray([SHAPE_BINARY_VERSION])
+        label_enc = self._label_enc
+        end = base + 2 * count
+        for i in range(base, end, 2):
+            encoded += label_enc[label_map[flat[i]]]
+            nchildren = flat[i + 1]
+            if nchildren < 0x80:
+                encoded.append(nchildren)
+            else:
+                write_uvarint(encoded, nchildren)
+        key = bytes(encoded)
+        row = self._by_encoding.get(key)
+        if row is not None:
+            self.rows_deduped += 1
+            return row
+        pairs = [(label_map[flat[i]], flat[i + 1]) for i in range(base, end, 2)]
+        return self._append_row(key, pairs)
+
+    def _append_row(self, encoded: bytes, pairs: list[tuple[int, int]]) -> RowId:
+        """Materialise the triples for a genuinely-new row."""
+        nodes = self._nodes
+        base = len(nodes) // 3
+        count = len(pairs)
+        nodes.extend([0] * (3 * count))
+        # Preorder walk: a stack of [parent node index, children still
+        # expected, last child linked].  The next pair is the first child of
+        # the top (if it still expects children) or, after closing finished
+        # nodes, the next sibling of the last child linked.
+        stack: list[list[int]] = []
+        for offset, (lid, nchildren) in enumerate(pairs):
+            index = base + offset
+            slot = 3 * index
+            nodes[slot] = lid
+            nodes[slot + 1] = _NONE
+            nodes[slot + 2] = _NONE
+            while stack and stack[-1][1] == 0:
+                stack.pop()
+            if stack:
+                frame = stack[-1]
+                if frame[2] == _NONE:
+                    nodes[3 * frame[0] + 1] = index
+                else:
+                    nodes[3 * frame[2] + 2] = index
+                frame[1] -= 1
+                frame[2] = index
+            elif offset != 0:
+                raise WireFormatError("malformed shape preorder: multiple roots")
+            if nchildren:
+                stack.append([index, nchildren, _NONE])
+        while stack and stack[-1][1] == 0:
+            stack.pop()
+        if stack:
+            raise WireFormatError("malformed shape preorder: missing children")
+        row = len(self._roots)
+        self._roots.append(base)
+        self._counts.append(count)
+        self._encoded.append(encoded)
+        self._hashes.append(None)
+        self._by_encoding[encoded] = row
+        return row
+
+    def find_cons(self, shape: Shape) -> Optional[RowId]:
+        """The row id of *shape* if already interned, else ``None`` (never
+        creates a row)."""
+        from repro.io.serialization import encode_shape_binary
+
+        return self._by_encoding.get(encode_shape_binary(shape))
+
+    # ------------------------------------------------------------------ #
+    # per-row accessors
+    # ------------------------------------------------------------------ #
+
+    def encoded(self, row: RowId) -> bytes:
+        """The row's canonical binary encoding (identical to
+        :func:`~repro.io.serialization.encode_shape_binary` on its cons
+        form)."""
+        return self._encoded[row]
+
+    def stable_hash(self, row: RowId) -> int:
+        """The row's :func:`~repro.io.serialization.stable_shape_hash`,
+        computed once over the cached encoding and memoized."""
+        digest = self._hashes[row]
+        if digest is None:
+            digest = _codec.arena_hash(self._encoded[row])
+            self._hashes[row] = digest
+        return digest
+
+    def node_count(self, row: RowId) -> int:
+        return self._counts[row]
+
+    def cons_of(self, row: RowId, cons=None) -> Shape:
+        """Materialise the row back into a nested-tuple shape (memoized).
+
+        Args:
+            cons: optional hash-consing function applied bottom-up to every
+                rebuilt subtree (the interner passes its ``cons``), so
+                materialised shapes share canonical subtree objects.
+        """
+        cached = self._cons_cache.get(row)
+        if cached is not None:
+            return cached
+        nodes = self._nodes
+        labels = self._labels
+
+        def build(index: int) -> Shape:
+            slot = 3 * index
+            children = []
+            child = nodes[slot + 1]
+            while child != _NONE:
+                children.append(build(child))
+                child = nodes[3 * child + 2]
+            shape: Shape = (labels[nodes[slot]], tuple(children))
+            return cons(shape) if cons is not None else shape
+
+        shape = build(self._roots[row])
+        self._cons_cache[row] = shape
+        return shape
+
+    def drop_cons_cache(self) -> int:
+        """Drop the row→tuple materialisation memo (budget enforcement);
+        returns the number of entries dropped.  The triples and encodings
+        stay — any row can be re-materialised on demand."""
+        dropped = len(self._cons_cache)
+        self._cons_cache.clear()
+        return dropped
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._roots)
+
+    def nbytes(self) -> int:
+        """Approximate arena payload size: triples plus cached encodings."""
+        return self._nodes.itemsize * len(self._nodes) + sum(
+            len(enc) for enc in self._encoded
+        )
+
+    def stats(self) -> dict:
+        return {
+            "arena_rows": len(self._roots),
+            "arena_nodes": len(self._nodes) // 3,
+            "arena_labels": len(self._labels),
+            "arena_nbytes": self.nbytes(),
+            "arena_rows_deduped": self.rows_deduped,
+            "arena_cons_cached": len(self._cons_cache),
+        }

@@ -457,8 +457,11 @@ class ExplorationEngine:
     def _hydrate(self) -> None:
         """Bind the engine to its store's persisted state (lazily, once).
 
-        Guard values are restored eagerly — they are small, shared across
-        every state, and needed before the first expansion can be trusted.
+        Guard rows are loaded eagerly but binary rows are kept **undecoded**
+        until a key is actually probed
+        (:meth:`~repro.engine.guards.GuardCache.restore_raw`) — the binary
+        encoding is canonical, so probing encodes the asked-for key instead
+        of decoding the whole table.
         Shapes are **not** bulk-restored: the interner is told the persisted
         id range and row count (:meth:`ShapeInterner.bind_persisted`), and
         individual rows are pulled in on first touch through the two-tier
@@ -475,8 +478,16 @@ class ExplorationEngine:
         """
         if self._hydrated:
             return
-        for key, value in self.store.load_guards():
-            self.guards.restore(key, value)
+        raw_rows = self.store.load_guards_raw()
+        if raw_rows is not None:
+            # binary rows stay undecoded until a key is probed (the decode
+            # used to dominate large-store attach); JSON rows still decode —
+            # and surface corruption — here
+            for row, value in raw_rows:
+                self.guards.restore_raw(row, value)
+        else:
+            for key, value in self.store.load_guards():
+                self.guards.restore(key, value)
         max_id = self.store.max_state_id()
         if max_id is not None:
             rows = self.store.shape_row_count()
@@ -819,9 +830,17 @@ class ExplorationEngine:
         return candidates
 
     def _successor_id(self, instance: Instance, shape_map: dict, update: Update) -> StateId:
-        successor, succ_map, root_shape = self.shaper.successor(instance, shape_map, update)
+        # Most candidates land on an already-interned state, so derive the
+        # root shape alone first (no instance copy, no successor shape map —
+        # profiles showed ~19 full materialisations per genuinely new state)
+        # and only materialise the representative when the id is fresh.  The
+        # shaper pins successor_shape == successor()[2], and the store write
+        # order (shape row, then representative) is unchanged, so ids and
+        # rows stay bit-identical to the always-materialise path.
+        root_shape = self.shaper.successor_shape(instance, shape_map, update)
         state_id, is_new = self.interner.state_id(root_shape)
         if is_new:
+            successor, succ_map, _root = self.shaper.successor(instance, shape_map, update)
             self._reps[state_id] = successor
             self._shape_maps[state_id] = succ_map
             if self.store.persistent:

@@ -46,6 +46,10 @@ from repro.core.formulas.ast import (
 from repro.core.formulas.semantics import evaluate
 from repro.core.guarded_form import GuardedForm
 from repro.core.tree import Node, Shape
+from repro.io.serialization import decode_guard_key, encode_guard_key_binary
+
+#: Sentinel distinguishing "not restored" from a restored ``False`` value.
+_MISSING = object()
 
 
 def support_labels(formula: Formula) -> frozenset:
@@ -115,6 +119,10 @@ class GuardCache:
         #: Persistent write-through sink (a persistent
         #: :class:`~repro.engine.store.StateStore`), or ``None``.
         self._store = store
+        #: Persisted **binary** guard rows restored raw (encoded bytes →
+        #: value) and promoted into ``_cache`` on first probe; see
+        #: :meth:`restore_raw`.
+        self._restored_raw: dict = {}
         self.hits = 0
         self.misses = 0
         self.entries_restored = 0
@@ -137,6 +145,9 @@ class GuardCache:
             self.hits += 1
             return value
         except KeyError:
+            value = self._probe_restored(key)
+            if value is not _MISSING:
+                return value
             self.misses += 1
             value = evaluate(node, rule)
             self._cache[key] = value
@@ -144,10 +155,47 @@ class GuardCache:
                 self._store.put_guard(key, value)
             return value
 
+    def _probe_restored(self, key):
+        """Promote *key* from the raw-restored tier, or :data:`_MISSING`.
+
+        The binary guard-row encoding is canonical and injective, so instead
+        of decoding every persisted row at hydration the cache keeps the raw
+        bytes and **encodes the probed key** (one cheap
+        :func:`~repro.io.serialization.encode_guard_key_binary` per first
+        probe) — hydration cost becomes proportional to the keys a run
+        actually asks about, not to the store's guard table.  A promoted
+        entry counts as a hit, exactly as a probe after an eager restore
+        did, and is not written back to the store it came from.
+        """
+        raw = self._restored_raw
+        if not raw:
+            return _MISSING
+        value = raw.pop(encode_guard_key_binary(key), _MISSING)
+        if value is not _MISSING:
+            self.hits += 1
+            self._cache[key] = value
+        return value
+
     def restore(self, key: tuple, value: bool) -> None:
         """Seed one persisted guard entry (hydration; not written back)."""
         self._cache[key] = value
         self.entries_restored += 1
+
+    def restore_raw(self, row, value: bool) -> None:
+        """Seed one persisted guard row without decoding it (hydration).
+
+        Binary rows are kept as raw bytes and promoted lazily by
+        :meth:`_probe_restored`; a corrupt binary row can therefore never
+        poison the cache — it simply never matches a probed key's canonical
+        encoding and the evaluation reruns.  Legacy JSON rows are decoded
+        (and validated) eagerly, preserving the attach-time corruption
+        surfacing those stores were written under.
+        """
+        if isinstance(row, (bytes, bytearray, memoryview)):
+            self._restored_raw[bytes(row)] = bool(value)
+            self.entries_restored += 1
+        else:
+            self.restore(decode_guard_key(row), bool(value))
 
     # ------------------------------------------------------------------ #
     # bounded-explorer guards (arbitrary depth, subtree/state keyed)
@@ -198,6 +246,9 @@ class GuardCache:
             self.hits += 1
             return value
         except KeyError:
+            value = self._probe_restored(key)
+            if value is not _MISSING:
+                return value
             self.misses += 1
             materialised = depth1_state_to_instance(self._form.schema, projection)
             value = evaluate(materialised.root, rule)

@@ -42,6 +42,7 @@ from typing import Iterable, Optional
 from repro.core.guarded_form import Addition, Update
 from repro.core.instance import Instance
 from repro.core.tree import LabelledTree, Node, Shape
+from repro.engine.arena import RowId, ShapeArena
 
 #: Interned state identifier: an index into the interner's shape table.
 StateId = int
@@ -70,8 +71,15 @@ class ShapeInterner:
 
     def __init__(self, store=None) -> None:
         self._cons: dict = {}  # Shape -> canonical Shape object
-        self._ids: dict = {}  # canonical Shape -> StateId (resident tier)
-        #: StateId -> canonical Shape, maintained in recency-of-access order
+        #: Flat storage of every full-state shape this interner has seen;
+        #: rows carry the cached canonical encoding and CRC digest, so the
+        #: id tier below works on small ints instead of nested tuples.
+        self.arena = ShapeArena()
+        #: Shape tuple -> arena row (a pure memo over ``arena.intern_cons``;
+        #: clearable, rebuilt on demand).
+        self._row_of: dict = {}
+        self._ids: dict = {}  # arena row -> StateId (resident tier)
+        #: StateId -> arena row, maintained in recency-of-access order
         #: (front = coldest) so budget eviction can drop the least recently
         #: used residents first.
         self._shapes: OrderedDict = OrderedDict()
@@ -143,38 +151,66 @@ class ShapeInterner:
         absent from both tiers gets a fresh id, so ids are bit-identical
         whether or not rows were hydrated or evicted in between.
         """
-        existing = self._ids.get(shape)
+        row = self._row_of.get(shape)
+        if row is None:
+            row = self.arena.intern_cons(shape)
+            self._row_of[shape] = row
+        return self.state_id_row(row)
+
+    def state_id_row(self, row: RowId) -> tuple[StateId, bool]:
+        """Intern a full-state shape given as an arena row; return
+        ``(id, is_new)``.
+
+        The wire-decode entry point: frames materialise their shape tables
+        straight into arena rows, so the whole resident-tier lookup is one
+        int-keyed dict probe.  The store fallback hands the row's cached
+        digest and canonical encoding to the reverse lookup — no re-encode,
+        no tuple materialisation for already-persisted shapes.
+        """
+        existing = self._ids.get(row)
         if existing is not None:
             self.state_hits += 1
             self._shapes.move_to_end(existing)
             return existing, False
+        arena = self.arena
         if self._nonresident > 0 and self._store is not None:
             self.store_id_lookups += 1
-            found = self._store.get_state_id(shape)
+            found = self._store.get_state_id(
+                None, digest=arena.stable_hash(row), encoded=arena.encoded(row)
+            )
             if found is not None:
-                canonical = self._make_resident(found, shape)
+                self._make_resident_row(found, row)
                 self.state_hits += 1
                 return found, False
         self.state_misses += 1
         new_id = self._next_id
         self._next_id += 1
-        self._ids[shape] = new_id
-        self._shapes[new_id] = shape
+        self._ids[row] = new_id
+        self._shapes[new_id] = row
         if self._store is not None:
-            self._store.put_shape(new_id, shape)
+            self._store.put_shape(
+                new_id, None, encoded=arena.encoded(row), digest=arena.stable_hash(row)
+            )
         return new_id, True
 
     def _make_resident(self, state_id: StateId, shape: Shape) -> Shape:
         """Register a store row on the resident tier (shared restore path)."""
         canonical = self.cons_tree(shape)
+        row = self._row_of.get(canonical)
+        if row is None:
+            row = self.arena.intern_cons(canonical)
+            self._row_of[canonical] = row
+        self._make_resident_row(state_id, row)
+        return canonical
+
+    def _make_resident_row(self, state_id: StateId, row: RowId) -> None:
         if state_id not in self._shapes and self._nonresident > 0:
             self._nonresident -= 1
-        self._ids[canonical] = state_id
-        self._shapes[state_id] = canonical
+        self._ids[row] = state_id
+        self._shapes[state_id] = row
         if state_id <= self._persisted_max:
             self._restored_ids.add(state_id)
         self.states_restored += 1
-        return canonical
 
     def bind_persisted(self, max_state_id: StateId, row_count: int) -> None:
         """Attach *row_count* persisted rows with ids up to *max_state_id*
@@ -214,29 +250,32 @@ class ShapeInterner:
             return 0
         evicted = 0
         while len(self._shapes) > keep:
-            state_id, shape = self._shapes.popitem(last=False)
-            del self._ids[shape]
+            state_id, row = self._shapes.popitem(last=False)
+            del self._ids[row]
             self._nonresident += 1
             evicted += 1
         self.states_evicted += evicted
         return evicted
 
     def prune_cons(self, keep: Iterable[Shape] = ()) -> int:
-        """Rebuild the subtree hash-consing table from the resident state
-        shapes plus *keep* (typically the engine's resident shape-map values).
+        """Rebuild the subtree hash-consing table from *keep* (typically the
+        engine's resident shape-map values) and drop the droppable arena
+        memos (tuple→row, row→tuple).
 
         Dropped entries cost nothing but sharing: a re-consed subtree is a
-        fresh-but-equal tuple, and every consumer compares shapes
-        structurally.  Returns the number of entries dropped.
+        fresh-but-equal tuple, every consumer compares shapes structurally,
+        and the arena's flat rows — the ground truth for ids, digests and
+        encodings — are untouched.  Returns the number of cons entries
+        dropped.
         """
         before = len(self._cons)
         fresh: dict = {}
-        for shape in self._shapes.values():
-            fresh[shape] = shape
         for shape in keep:
             fresh[shape] = shape
         self._cons = fresh
         self._cons_floor = len(fresh)
+        self._row_of.clear()
+        self.arena.drop_cons_cache()
         dropped = max(0, before - len(fresh))
         self.cons_pruned += dropped
         return dropped
@@ -249,22 +288,37 @@ class ShapeInterner:
     def lookup(self, shape: Shape) -> Optional[StateId]:
         """The id of *shape* if it is resident, else ``None`` (the resident
         tier only; ``state_id`` is the store-consulting entry point)."""
-        return self._ids.get(shape)
+        row = self.arena.find_cons(shape)
+        if row is None:
+            return None
+        return self._ids.get(row)
 
     def shape_of(self, state_id: StateId) -> Shape:
         """The shape interned under *state_id* (restored from the store when
         not resident)."""
-        shape = self._shapes.get(state_id)
-        if shape is not None:
+        row = self._shapes.get(state_id)
+        if row is not None:
             self._shapes.move_to_end(state_id)
-            return shape
+            return self.arena.cons_of(row)
         if self._store is not None and 0 <= state_id < self._next_id:
-            row = self._store.get_shape(state_id)
-            if row is not None:
-                return self._make_resident(state_id, row)
+            stored = self._store.get_shape(state_id)
+            if stored is not None:
+                return self._make_resident(state_id, stored)
         raise IndexError(
             f"state id {state_id} is not interned (and not in the backing store)"
         )
+
+    def stable_hash_of(self, state_id: StateId) -> int:
+        """The :func:`~repro.io.serialization.stable_shape_hash` of the shape
+        interned under *state_id*, served from the arena row's cached digest
+        (restoring the row from the store when not resident)."""
+        row = self._shapes.get(state_id)
+        if row is None:
+            self.shape_of(state_id)  # restores the row resident
+            row = self._shapes[state_id]
+        else:
+            self._shapes.move_to_end(state_id)
+        return self.arena.stable_hash(row)
 
     @property
     def resident(self) -> int:
@@ -297,6 +351,7 @@ class ShapeInterner:
             "states_evicted": self.states_evicted,
             "cons_pruned": self.cons_pruned,
             "store_id_lookups": self.store_id_lookups,
+            **self.arena.stats(),
         }
 
 

@@ -143,7 +143,10 @@ class ParallelExplorationEngine(ExplorationEngine):
             if self.store.persistent:
                 self.store.flush()  # let workers hydrate everything so far
             self._pool = WorkerPool(
-                self.guarded_form, self.workers, store_path=self._store_path()
+                self.guarded_form,
+                self.workers,
+                store_path=self._store_path(),
+                binary_guards=getattr(self.store, "binary_guards", False),
             )
         return self._pool
 
@@ -180,7 +183,9 @@ class ParallelExplorationEngine(ExplorationEngine):
     def _shard_of(self, state_id: StateId) -> int:
         shard = self._shards.get(state_id)
         if shard is None:
-            shard = stable_shape_hash(self.interner.shape_of(state_id)) % self.workers
+            # the arena caches one digest per deduplicated row, so this is a
+            # dict probe after the first ask — no re-encoding per state
+            shard = self.interner.stable_hash_of(state_id) % self.workers
             self._shards[state_id] = shard
         return shard
 
@@ -278,26 +283,27 @@ class ParallelExplorationEngine(ExplorationEngine):
         representative exactly as :meth:`ExplorationEngine._successor_id`
         derives it; known successors cost a shape-table lookup only.
         """
-        shapes = frame.shape_table(cons=self.interner.cons)
+        interner = self.interner
+        rows = frame.shape_rows(interner.arena)
         raw_candidates, guard_queries = frame.expansion(state_id)
         self.wire_decode_seconds += frame.take_decode_seconds()
         parent = self.representative(state_id)
         parent_map = self._shape_map_of(state_id)
         candidates: list = []
         for update, shape_index, is_addition, succ_size, copies in raw_candidates:
-            succ_id, is_new = self.interner.state_id(shapes[shape_index])
+            succ_id, is_new = interner.state_id_row(rows[shape_index])
             if is_new:
                 successor, succ_map, root = self.shaper.successor(
                     parent, parent_map, update
                 )
-                if root is not shapes[shape_index] and root != shapes[shape_index]:
-                    # both sides cons through this engine's interner, so the
-                    # worker-computed table shape and the coordinator-derived
-                    # root must be structurally equal (and, unless a resident
-                    # budget pruned the cons table between the table decode
-                    # and this derivation, the same object); inequality means
-                    # the two derivations (successor / successor_shape)
-                    # drifted and the graph would silently corrupt
+                if interner.arena.intern_cons(root) != rows[shape_index]:
+                    # the arena deduplicates rows by their canonical binary
+                    # encoding, so row equality is exactly shape equality:
+                    # the worker-computed table entry and the coordinator-
+                    # derived root must land on the same row.  Inequality
+                    # means the two derivations (successor / successor_shape)
+                    # or the two intern paths (cons / wire preorder) drifted
+                    # and the graph would silently corrupt
                     raise AnalysisError(
                         f"wire shape for state {succ_id} does not match the "
                         "coordinator-derived successor shape (codec or shaper "

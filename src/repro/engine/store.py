@@ -52,13 +52,16 @@ from repro.core.tree import Shape
 from repro.engine.interning import StateId
 from repro.exceptions import StoreError
 from repro.io.serialization import (
-    decode_guard_key,
+    decode_guard_row,
+    decode_shape_binary,
     decode_shape_row,
     encode_guard_key,
+    encode_guard_key_binary,
     encode_shape,
     encode_shape_binary,
     form_fingerprint,
     stable_shape_hash,
+    stable_shape_hash_of_encoding,
 )
 
 #: Version stamp written to store metadata; bumped on layout changes.  The
@@ -162,8 +165,20 @@ class StateStore:
 
     # -- interned shapes ----------------------------------------------- #
 
-    def put_shape(self, state_id: StateId, shape: Shape) -> None:
-        """Record a newly interned full-state shape."""
+    def put_shape(
+        self,
+        state_id: StateId,
+        shape: Optional[Shape],
+        *,
+        encoded: Optional[bytes] = None,
+        digest: Optional[int] = None,
+    ) -> None:
+        """Record a newly interned full-state shape.
+
+        Callers holding an arena row pass its cached canonical *encoded*
+        bytes and CRC *digest* (and may pass ``shape=None``); plain callers
+        pass the nested-tuple shape alone and the store derives both.
+        """
 
     def load_shapes(self) -> Iterator[tuple[StateId, Shape]]:
         """All persisted ``(state id, shape)`` rows, ordered by id."""
@@ -179,13 +194,21 @@ class StateStore:
         del shard, nshards
         return iter(())
 
-    def get_state_id(self, shape: Shape) -> Optional[StateId]:
+    def get_state_id(
+        self,
+        shape: Optional[Shape],
+        *,
+        digest: Optional[int] = None,
+        encoded: Optional[bytes] = None,
+    ) -> Optional[StateId]:
         """The persisted id of *shape*, or ``None`` (reverse lookup).
 
         This is what lets the interner stay partially hydrated: an unknown
         shape is checked against the store before a fresh id is assigned.
+        As with :meth:`put_shape`, arena-backed callers pass the cached
+        *digest*/*encoded* pair instead of (or alongside) the tuple.
         """
-        del shape
+        del shape, digest, encoded
         return None
 
     def max_state_id(self) -> Optional[StateId]:
@@ -213,6 +236,14 @@ class StateStore:
     def load_guards(self) -> Iterator[tuple[tuple, bool]]:
         """All persisted ``(key, value)`` guard entries."""
         return iter(())
+
+    def load_guards_raw(self):
+        """All persisted guard entries as raw ``(encoded row, value)`` pairs,
+        or ``None`` when the backend has no row encoding (callers fall back
+        to :meth:`load_guards`).  Raw rows feed
+        :meth:`~repro.engine.guards.GuardCache.restore_raw`, which defers
+        binary-row decoding until a key is actually probed."""
+        return None
 
     # -- exploration checkpoints --------------------------------------- #
 
@@ -293,7 +324,15 @@ class SqliteStore(StateStore):
             JSON text.  The read path auto-detects the format per row
             (:func:`~repro.io.serialization.decode_shape_row`), so stores
             written by either configuration — even mixed ones — open
-            interchangeably.
+            interchangeably.  Binary rows are also byte-for-byte the shape
+            arena's cached canonical encoding, so the reverse lookup degrades
+            to bytes equality — no decode at all on the hot attach path.
+        binary_guards: likewise for guard rows — keys in the wire frames'
+            tagged term codec (:func:`~repro.io.serialization.
+            encode_guard_key_binary`) instead of tagged JSON text, which
+            profiles showed dominating store-backed engine hydration.  Reads
+            auto-detect per row (:func:`~repro.io.serialization.
+            decode_guard_row`), so mixed stores open interchangeably.
     """
 
     persistent = True
@@ -320,11 +359,13 @@ class SqliteStore(StateStore):
         cache_size: int = 8192,
         checkpoint_every: Optional[int] = None,
         binary_shapes: bool = False,
+        binary_guards: bool = False,
     ) -> None:
         self.path = str(path)
         self.batch_size = max(1, batch_size)
         self.checkpoint_every = checkpoint_every
         self.binary_shapes = binary_shapes
+        self.binary_guards = binary_guards
         self.shape_hash_rows_migrated = 0
         try:
             self._conn = sqlite3.connect(self.path)
@@ -346,9 +387,9 @@ class SqliteStore(StateStore):
             raise StoreError(f"{self.path} is not a usable sqlite state store: {exc}") from exc
         # write buffers are keyed dicts, so reads can be served from them
         # without forcing a premature flush (INSERT OR REPLACE semantics);
-        # shapes also keep their digest so the reverse lookup covers rows
-        # that have not hit the database yet
-        self._pending_shapes: dict[int, tuple[Shape, int]] = {}
+        # shapes keep (tuple or None, digest, canonical encoding) so the
+        # reverse lookup covers unflushed rows by bytes equality alone
+        self._pending_shapes: dict[int, tuple[Optional[Shape], int, bytes]] = {}
         self._pending_by_hash: dict[int, list[int]] = {}
         self._pending_reps: dict[int, str] = {}
         self._pending_guards: dict[tuple, bool] = {}
@@ -389,7 +430,15 @@ class SqliteStore(StateStore):
                 break
             self._conn.executemany(
                 "UPDATE shapes SET shape_hash = ? WHERE id = ?",
-                [(stable_shape_hash(decode_shape_row(row)), sid) for sid, row in rows],
+                [
+                    (
+                        stable_shape_hash_of_encoding(row)
+                        if isinstance(row, bytes)
+                        else stable_shape_hash(decode_shape_row(row)),
+                        sid,
+                    )
+                    for sid, row in rows
+                ],
             )
             self._conn.commit()
             self.shape_hash_rows_migrated += len(rows)
@@ -422,13 +471,25 @@ class SqliteStore(StateStore):
         if not (self._pending_shapes or self._pending_reps or self._pending_guards):
             return
         if self._pending_shapes:
-            encode_row = encode_shape_binary if self.binary_shapes else encode_shape
+            if self.binary_shapes:
+                rows = [
+                    (sid, encoded, digest)
+                    for sid, (_shape, digest, encoded) in self._pending_shapes.items()
+                ]
+            else:
+                rows = [
+                    (
+                        sid,
+                        encode_shape(
+                            shape if shape is not None else decode_shape_binary(encoded)
+                        ),
+                        digest,
+                    )
+                    for sid, (shape, digest, encoded) in self._pending_shapes.items()
+                ]
             self._conn.executemany(
                 "INSERT OR REPLACE INTO shapes (id, shape, shape_hash) VALUES (?, ?, ?)",
-                [
-                    (sid, encode_row(shape), digest)
-                    for sid, (shape, digest) in self._pending_shapes.items()
-                ],
+                rows,
             )
             self._pending_shapes.clear()
             self._pending_by_hash.clear()
@@ -439,9 +500,10 @@ class SqliteStore(StateStore):
             )
             self._pending_reps.clear()
         if self._pending_guards:
+            encode_key = encode_guard_key_binary if self.binary_guards else encode_guard_key
             self._conn.executemany(
                 "INSERT OR REPLACE INTO guards (key, value) VALUES (?, ?)",
-                [(encode_guard_key(key), int(value)) for key, value in self._pending_guards.items()],
+                [(encode_key(key), int(value)) for key, value in self._pending_guards.items()],
             )
             self._pending_guards.clear()
         self._conn.commit()
@@ -475,11 +537,24 @@ class SqliteStore(StateStore):
 
     # -- interned shapes ----------------------------------------------- #
 
-    def put_shape(self, state_id: StateId, shape: Shape) -> None:
-        digest = stable_shape_hash(shape)
-        self._pending_shapes[state_id] = (shape, digest)
+    def put_shape(
+        self,
+        state_id: StateId,
+        shape: Optional[Shape],
+        *,
+        encoded: Optional[bytes] = None,
+        digest: Optional[int] = None,
+    ) -> None:
+        if encoded is None:
+            encoded = encode_shape_binary(shape)
+        if digest is None:
+            digest = stable_shape_hash_of_encoding(encoded)
+        self._pending_shapes[state_id] = (shape, digest, encoded)
         self._pending_by_hash.setdefault(digest, []).append(state_id)
-        self.shape_cache.put(state_id, shape)
+        if shape is not None:
+            # a cached None means "absent from the store", so a row whose
+            # tuple was never materialised must not poison the cache
+            self.shape_cache.put(state_id, shape)
         self.rows_written += 1
         self._maybe_flush()
 
@@ -490,8 +565,9 @@ class SqliteStore(StateStore):
             return cached
         pending = self._pending_shapes.get(state_id)
         if pending is not None:
-            self.shape_cache.put(state_id, pending[0])
-            return pending[0]
+            shape = pending[0] if pending[0] is not None else decode_shape_binary(pending[2])
+            self.shape_cache.put(state_id, shape)
+            return shape
         row = self._conn.execute(
             "SELECT shape FROM shapes WHERE id = ?", (state_id,)
         ).fetchone()
@@ -503,26 +579,46 @@ class SqliteStore(StateStore):
         self.shape_cache.put(state_id, shape)
         return shape
 
-    def get_state_id(self, shape: Shape) -> Optional[StateId]:
+    def get_state_id(
+        self,
+        shape: Optional[Shape],
+        *,
+        digest: Optional[int] = None,
+        encoded: Optional[bytes] = None,
+    ) -> Optional[StateId]:
         """The persisted id of *shape*, or ``None`` (reverse lookup).
 
-        Served through the ``shape_hash`` index: candidate rows sharing the
-        digest are decoded and compared structurally, so hash collisions cost
-        a decode, never a wrong answer.  Buffered rows are checked first —
-        eviction under a resident budget may ask for a row the write batch
-        has not flushed yet.
+        Served through the ``shape_hash`` index.  Binary candidate rows are
+        compared as bytes against the canonical encoding (the encoding is
+        injective, so bytes equality *is* shape equality — no decode at
+        all); JSON rows fall back to decode-and-compare.  Hash collisions
+        therefore cost at most a decode, never a wrong answer.  Buffered
+        rows are checked first — eviction under a resident budget may ask
+        for a row the write batch has not flushed yet.
         """
-        digest = stable_shape_hash(shape)
+        if encoded is None:
+            encoded = encode_shape_binary(shape)
+        if digest is None:
+            digest = stable_shape_hash_of_encoding(encoded)
         for sid in self._pending_by_hash.get(digest, ()):
             pending = self._pending_shapes.get(sid)
-            if pending is not None and pending[0] == shape:
+            if pending is not None and pending[2] == encoded:
                 return sid
         self.id_lookups += 1
         for sid, row in self._conn.execute(
             "SELECT id, shape FROM shapes WHERE shape_hash = ?", (digest,)
         ):
             self.rows_read += 1
+            if isinstance(row, bytes):
+                if row != encoded:
+                    continue
+                if shape is not None:
+                    self.shape_cache.put(sid, shape)
+                self.id_lookup_hits += 1
+                return sid
             decoded = decode_shape_row(row)
+            if shape is None:
+                shape = decode_shape_binary(encoded)
             if decoded == shape:
                 self.shape_cache.put(sid, decoded)
                 self.id_lookup_hits += 1
@@ -595,9 +691,17 @@ class SqliteStore(StateStore):
 
     def load_guards(self) -> Iterator[tuple[tuple, bool]]:
         self.flush()
-        for text, value in self._conn.execute("SELECT key, value FROM guards"):
+        for row, value in self._conn.execute("SELECT key, value FROM guards"):
             self.rows_read += 1
-            yield decode_guard_key(text), bool(value)
+            yield decode_guard_row(row), bool(value)
+
+    def load_guards_raw(self):
+        self.flush()
+        rows = []
+        for row, value in self._conn.execute("SELECT key, value FROM guards"):
+            self.rows_read += 1
+            rows.append((row, bool(value)))
+        return rows
 
     # -- exploration checkpoints --------------------------------------- #
 
@@ -664,6 +768,7 @@ class SqliteStore(StateStore):
             "persistent": True,
             "path": self.path,
             "shape_codec": "binary" if self.binary_shapes else "json",
+            "guard_codec": "binary" if self.binary_guards else "json",
             "form_name": self._get_meta("form_name"),
             "form_fingerprint": self._get_meta("form_fingerprint"),
             "schema_version": self._get_meta("schema_version"),
@@ -723,28 +828,52 @@ def load_guard_rows(path: "str | Path") -> list:
             conn.close()
     except sqlite3.Error:
         return []
-    return [(decode_guard_key(text), bool(value)) for text, value in rows]
+    return [(decode_guard_row(row), bool(value)) for row, value in rows]
 
 
-def write_guard_rows(path: "str | Path", entries: list) -> None:
+def load_guard_rows_raw(path: "str | Path") -> list:
+    """All persisted guard entries of the store at *path*, **undecoded**.
+
+    The raw variant of :func:`load_guard_rows`: worker processes seed their
+    guard caches through :meth:`~repro.engine.guards.GuardCache.restore_raw`,
+    so binary rows are only decoded (in fact, only *matched*, by canonical
+    encoding) when the worker actually probes the key.
+    """
+    try:
+        conn = sqlite3.connect(str(path))
+        try:
+            conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+            rows = conn.execute("SELECT key, value FROM guards").fetchall()
+        finally:
+            conn.close()
+    except sqlite3.Error:
+        return []
+    return [(row, bool(value)) for row, value in rows]
+
+
+def write_guard_rows(path: "str | Path", entries: list, binary: bool = False) -> None:
     """Write worker-evaluated guard entries into the store at *path*.
 
     One short transaction through the WAL per batch; rows are keyed, so
-    concurrent writers replaying the same evaluation are idempotent.  Sync
-    failures (e.g. a reader holding the database exclusively past the busy
-    timeout) are swallowed: the entries also travel back to the coordinator
-    in the worker's result message, so losing the write-through costs at
-    most a re-evaluation in a later process.
+    concurrent writers replaying the same evaluation are idempotent.
+    *binary* selects the row codec and must match the owning store's
+    ``binary_guards`` configuration (mixed rows still read back fine — the
+    read path auto-detects — but matching keeps the keyed idempotence).
+    Sync failures (e.g. a reader holding the database exclusively past the
+    busy timeout) are swallowed: the entries also travel back to the
+    coordinator in the worker's result message, so losing the write-through
+    costs at most a re-evaluation in a later process.
     """
     if not entries:
         return
+    encode_key = encode_guard_key_binary if binary else encode_guard_key
     try:
         conn = sqlite3.connect(str(path))
         try:
             conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
             conn.executemany(
                 "INSERT OR REPLACE INTO guards (key, value) VALUES (?, ?)",
-                [(encode_guard_key(key), int(value)) for key, value in entries],
+                [(encode_key(key), int(value)) for key, value in entries],
             )
             conn.commit()
         finally:

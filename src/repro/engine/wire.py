@@ -1,41 +1,61 @@
 """The versioned binary wire codec for worker→coordinator batches.
 
-PR 3's parallel subsystem shipped one JSON-encoded successor instance per
-expansion candidate across the process boundary — the coordinator-side
-decode/merge work the ROADMAP calls out as the Amdahl bottleneck.  This
-module replaces that encoding with struct-packed **frames**:
+PR 4 replaced PR 3's JSON-per-candidate shipping with struct-packed frames;
+this revision (version 2) rebuilds the decode side around **batched varint
+runs** so a frame is consumed in a handful of bulk operations instead of one
+Python-level function call per integer:
 
-* a **per-batch shape table** — each distinct successor root shape occurring
-  in a batch is serialised exactly once (dedup by shape identity, i.e. by
-  ``stable_shape_hash`` equivalence classes within the wave batch) and
-  candidates reference it by table index;
-* **no representative instances on the wire at all** — the coordinator owns
-  the parent representative it shipped to the worker, so it can derive a new
-  successor's representative itself with the *same* incremental derivation
-  the serial engine uses (:meth:`IncrementalShaper.successor`), node id for
-  node id.  Duplicate candidates (the overwhelming majority) collapse to a
-  varint shape index;
-* **binary guard entries** — the guard evaluations a worker performed travel
-  in the same frame, encoded with a compact tagged term codec instead of
-  tagged JSON text.
+* a **frame label table** — every label occurring in the frame (shape nodes
+  and addition updates alike) is serialised once, and everything else refers
+  to it by index;
+* a **flat shape table** — shapes travel as preorder ``(label index, child
+  count)`` pair runs, not recursive framings: the whole table decodes as two
+  varint runs and materialises directly into
+  :class:`~repro.engine.arena.ShapeArena` rows (:meth:`WireFrame.shape_rows`)
+  without building a tuple per node;
+* **run-packed candidate payloads** — per state, all candidate kind bytes as
+  one contiguous slice followed by all numeric fields as one varint run;
+* **interned, batch-decoded guard entries** — guard keys use the tagged term
+  codec of :mod:`repro.io.serialization` (shared with the store's binary
+  guard rows), but every string inside a key is shipped as an index into a
+  guard-section string table (:func:`~repro.io.serialization.
+  write_term_interned`) and the whole section decodes in one iterative pass
+  (:func:`~repro.io.serialization.read_guard_entries`) — guard keys are
+  dominated by repeated rule-path and shape labels, and profiles showed the
+  per-term recursive decode dominating frame decode on guard-heavy
+  workloads.  The table is the section's own (not the frame label table), so
+  ``guard_nbytes`` / ``expansion_nbytes`` metrics keep comparing expansion
+  payloads like for like against the PR 3 encoding.
 
-Frame layout (version 1; all integers unsigned LEB128 varints, strings
+The varint-run decoder itself is dispatched through
+:mod:`repro.engine._codec` — C-accelerated when the cffi extension is
+available, pure Python otherwise (``REPRO_PURE=1`` forces it), bit-identical
+either way.
+
+Frame layout (version 2; all integers unsigned LEB128 varints, strings
 length-prefixed UTF-8)::
 
     magic       2 bytes  b"GW"
     version     1 byte   WIRE_VERSION
-    guards      count, then per entry: term-coded key tuple, value byte
+    guards      string-table count, then each distinct key string; entry
+                count, then per entry: interned term-coded key tuple
+                (strings as table indices), value byte
     candidates  total candidate count across the frame (metrics, read eagerly)
-    shapes      table entry count, table byte length, then the shape table
-                (skipped on the eager parse; decoded lazily at first pop)
-    states      count, then a directory of (state id, payload byte length)
+    labels      count, then each label (shared by shapes and additions)
+    shapes      table entry count S, table byte length, then the table
+                (skipped on the eager parse; decoded lazily at first pop):
+                a run of S node counts, then one run of all preorder
+                (label index, child count) pairs, concatenated per shape
+    states      count, then the directory: one run of (state id, payload
+                byte length) pairs
     payloads    concatenated per-state payloads, in directory order
 
 Per-state payload::
 
-    guard query count, candidate count, then per candidate:
-        kind      1 byte   0 = deletion, 1 = addition
-        addition: parent node id, label, shape index, successor size, copies
+    guard query count, candidate count n, then n kind bytes
+    (0 = deletion, 1 = addition), then one varint run of all fields:
+        addition: parent node id, label index, shape index, successor size,
+                  copies
         deletion: node id, shape index, successor size
 
 The coordinator (:class:`~repro.engine.parallel.ParallelExplorationEngine`)
@@ -47,14 +67,9 @@ and work staged for states a truncated exploration never pops is never
 decoded either.
 
 Every structural defect — truncation anywhere, trailing bytes, a bad magic,
-an unknown version byte, an out-of-range shape index or value byte — raises
-:class:`~repro.exceptions.WireFormatError`; the Hypothesis suite in
+an unknown version byte, an out-of-range shape/label index or value byte —
+raises :class:`~repro.exceptions.WireFormatError`; the Hypothesis suite in
 ``tests/property/test_wire_properties.py`` pins round-trips and rejection.
-
-The shape framing (:func:`~repro.io.serialization.write_shape` /
-:func:`~repro.io.serialization.read_shape`) is shared with
-:mod:`repro.io.serialization`, where it also backs the
-:class:`~repro.engine.store.SqliteStore`'s optional binary shape rows.
 """
 
 from __future__ import annotations
@@ -64,111 +79,42 @@ from typing import Callable, Optional
 
 from repro.core.guarded_form import Addition, Deletion, Update
 from repro.core.tree import Shape
+from repro.engine import _codec
 from repro.exceptions import WireFormatError
 from repro.io.serialization import (
-    read_shape,
+    read_guard_entries,
     read_str,
+    read_term,
     read_uvarint,
-    write_shape,
     write_str,
+    write_term,
+    write_term_interned,
     write_uvarint,
 )
+
+__all__ = [
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "FrameEncoder",
+    "WireFrame",
+    "read_term",
+    "write_term",
+    "pr3_encoding_cost",
+]
 
 #: Leading bytes of every wire frame.
 WIRE_MAGIC = b"GW"
 
 #: Frame layout version; a coordinator refuses frames from any other.
-WIRE_VERSION = 1
+WIRE_VERSION = 2
 
 # Candidate kind bytes.
 _KIND_DELETION = 0
 _KIND_ADDITION = 1
 
-# Tag bytes of the guard-key term codec.
-_TERM_NONE = 0
-_TERM_FALSE = 1
-_TERM_TRUE = 2
-_TERM_INT = 3
-_TERM_STR = 4
-_TERM_TUPLE = 5
-_TERM_FROZENSET = 6
-
-
-# --------------------------------------------------------------------------- #
-# guard-key term codec
-# --------------------------------------------------------------------------- #
-
-
-def write_term(out: bytearray, term) -> None:
-    """Append one guard-key term: ``None``/bool/int/str/tuple/frozenset.
-
-    Signed integers use zigzag varints; frozensets are ordered by their
-    encoded bytes, so equal keys always encode identically (the property the
-    JSON guard-key codec guarantees by sorting encoded elements).
-    """
-    if term is None:
-        out.append(_TERM_NONE)
-    elif term is True:
-        out.append(_TERM_TRUE)
-    elif term is False:
-        out.append(_TERM_FALSE)
-    elif isinstance(term, int):
-        out.append(_TERM_INT)
-        write_uvarint(out, (term << 1) if term >= 0 else ((-term) << 1) - 1)
-    elif isinstance(term, str):
-        out.append(_TERM_STR)
-        write_str(out, term)
-    elif isinstance(term, tuple):
-        out.append(_TERM_TUPLE)
-        write_uvarint(out, len(term))
-        for item in term:
-            write_term(out, item)
-    elif isinstance(term, frozenset):
-        out.append(_TERM_FROZENSET)
-        write_uvarint(out, len(term))
-        encoded = []
-        for item in term:
-            item_out = bytearray()
-            write_term(item_out, item)
-            encoded.append(bytes(item_out))
-        for blob in sorted(encoded):
-            out.extend(blob)
-    else:
-        raise WireFormatError(f"unsupported guard-key term {term!r}")
-
-
-def read_term(data: bytes, pos: int) -> tuple:
-    """Read one term at *pos*; return ``(term, new pos)``."""
-    if pos >= len(data):
-        raise WireFormatError("truncated guard-key term")
-    tag = data[pos]
-    pos += 1
-    if tag == _TERM_NONE:
-        return None, pos
-    if tag == _TERM_TRUE:
-        return True, pos
-    if tag == _TERM_FALSE:
-        return False, pos
-    if tag == _TERM_INT:
-        raw, pos = read_uvarint(data, pos)
-        return (raw >> 1) ^ -(raw & 1), pos
-    if tag == _TERM_STR:
-        return read_str(data, pos)
-    if tag == _TERM_TUPLE:
-        count, pos = read_uvarint(data, pos)
-        items = []
-        for _ in range(count):
-            item, pos = read_term(data, pos)
-            items.append(item)
-        return tuple(items), pos
-    if tag == _TERM_FROZENSET:
-        count, pos = read_uvarint(data, pos)
-        items = []
-        for _ in range(count):
-            item, pos = read_term(data, pos)
-            items.append(item)
-        return frozenset(items), pos
-    raise WireFormatError(f"unknown guard-key term tag {tag}")
+#: Numeric fields per candidate kind (see the payload layout above).
+_ADDITION_FIELDS = 5
+_DELETION_FIELDS = 3
 
 
 # --------------------------------------------------------------------------- #
@@ -181,14 +127,21 @@ class FrameEncoder:
 
     ``add_state`` accepts the raw candidate tuples the expansion produced —
     ``(update, root shape, is_addition, successor size, copies)`` — and
-    interns each distinct root shape into the frame's shape table on the fly;
+    interns each distinct root shape into the frame's shape table (and each
+    distinct label into the frame's label table) on the fly;
     ``add_guard_entries`` attaches the guard evaluations the batch performed;
     ``finish`` emits the frame bytes.
     """
 
     def __init__(self) -> None:
+        self._label_index: dict[str, int] = {}
+        self._label_table = bytearray()
+        self._guard_str_index: dict[str, int] = {}
+        self._guard_str_table = bytearray()
+        self._guard_term_refs: dict[bytes, int] = {}
         self._shape_index: dict = {}  # Shape -> table index
-        self._shape_table = bytearray()
+        self._shape_counts: list[int] = []  # per table entry, its node count
+        self._shape_pairs = bytearray()  # concatenated preorder pair runs
         self._states = bytearray()  # directory entries
         self._payloads: list[bytes] = []
         self._guards = bytearray()
@@ -196,13 +149,32 @@ class FrameEncoder:
         self._state_count = 0
         self.candidates_encoded = 0
 
+    def label_ref(self, label: str) -> int:
+        """The label-table index of *label*, appending it on first use."""
+        index = self._label_index.get(label)
+        if index is None:
+            index = len(self._label_index)
+            self._label_index[label] = index
+            write_str(self._label_table, label)
+        return index
+
     def shape_ref(self, shape: Shape) -> int:
-        """The table index of *shape*, appending it on first occurrence."""
+        """The shape-table index of *shape*, appending it on first occurrence."""
         index = self._shape_index.get(shape)
         if index is None:
             index = len(self._shape_index)
             self._shape_index[shape] = index
-            write_shape(self._shape_table, shape)
+            pairs = self._shape_pairs
+            count = 0
+            stack = [shape]
+            pop = stack.pop
+            while stack:
+                label, children = pop()
+                write_uvarint(pairs, self.label_ref(label))
+                write_uvarint(pairs, len(children))
+                count += 1
+                stack.extend(reversed(children))
+            self._shape_counts.append(count)
         return index
 
     def add_state(self, state_id: int, candidates: list, guard_queries: int) -> None:
@@ -217,30 +189,49 @@ class FrameEncoder:
         payload = bytearray()
         write_uvarint(payload, guard_queries)
         write_uvarint(payload, len(candidates))
+        kinds = bytearray()
+        fields = bytearray()
         for update, shape, is_addition, succ_size, copies in candidates:
             index = self.shape_ref(shape)
             if is_addition:
-                payload.append(_KIND_ADDITION)
-                write_uvarint(payload, update.parent_id)
-                write_str(payload, update.label)
-                write_uvarint(payload, index)
-                write_uvarint(payload, succ_size)
-                write_uvarint(payload, copies)
+                kinds.append(_KIND_ADDITION)
+                write_uvarint(fields, update.parent_id)
+                write_uvarint(fields, self.label_ref(update.label))
+                write_uvarint(fields, index)
+                write_uvarint(fields, succ_size)
+                write_uvarint(fields, copies)
             else:
-                payload.append(_KIND_DELETION)
-                write_uvarint(payload, update.node_id)
-                write_uvarint(payload, index)
-                write_uvarint(payload, succ_size)
+                kinds.append(_KIND_DELETION)
+                write_uvarint(fields, update.node_id)
+                write_uvarint(fields, index)
+                write_uvarint(fields, succ_size)
             self.candidates_encoded += 1
+        payload += kinds
+        payload += fields
         write_uvarint(self._states, state_id)
         write_uvarint(self._states, len(payload))
         self._payloads.append(bytes(payload))
         self._state_count += 1
 
+    def _guard_str_ref(self, text: str) -> int:
+        """The guard string-table index of *text*, appending it on first use."""
+        index = self._guard_str_index.get(text)
+        if index is None:
+            index = len(self._guard_str_index)
+            self._guard_str_index[text] = index
+            write_str(self._guard_str_table, text)
+        return index
+
     def add_guard_entries(self, entries: list) -> None:
-        """Append ``(key tuple, bool)`` guard evaluations to the frame."""
+        """Append ``(key tuple, bool)`` guard evaluations to the frame.
+
+        Key strings are interned through the guard section's own string
+        table, and repeated composite subterms (rule-path tuples, subtree
+        shapes) through its term table — each is shipped (and decoded) once
+        per frame no matter how many keys mention it.
+        """
         for key, value in entries:
-            write_term(self._guards, key)
+            write_term_interned(self._guards, key, self._guard_str_ref, self._guard_term_refs)
             self._guards.append(1 if value else 0)
             self._guard_count += 1
 
@@ -248,12 +239,20 @@ class FrameEncoder:
         """The finished frame."""
         out = bytearray(WIRE_MAGIC)
         out.append(WIRE_VERSION)
+        write_uvarint(out, len(self._guard_str_index))
+        out.extend(self._guard_str_table)
         write_uvarint(out, self._guard_count)
         out.extend(self._guards)
         write_uvarint(out, self.candidates_encoded)
-        write_uvarint(out, len(self._shape_index))
-        write_uvarint(out, len(self._shape_table))
-        out.extend(self._shape_table)
+        write_uvarint(out, len(self._label_index))
+        out.extend(self._label_table)
+        table = bytearray()
+        for count in self._shape_counts:
+            write_uvarint(table, count)
+        table += self._shape_pairs
+        write_uvarint(out, len(self._shape_counts))
+        write_uvarint(out, len(table))
+        out.extend(table)
         write_uvarint(out, self._state_count)
         out.extend(self._states)
         for payload in self._payloads:
@@ -270,17 +269,21 @@ class WireFrame:
     """One received frame: eager envelope parse, lazy payload decode.
 
     Construction validates the envelope end to end — magic, version byte,
-    guard section, metrics counters, state directory, and that the directory's
-    payload spans tile the remaining bytes *exactly* — so truncated or
-    corrupt frames are rejected on receipt, before anything is staged.  The
-    shape table and the per-state candidate payloads are only decoded when
-    :meth:`shape_table` / :meth:`expansion` are first called, i.e. when the
-    exploration loop actually pops a staged state.  ``decode_seconds``
-    accumulates the wall time of both the eager and the lazy parses.
+    guard section, metrics counters, label table, state directory, and that
+    the directory's payload spans tile the remaining bytes *exactly* — so
+    truncated or corrupt frames are rejected on receipt, before anything is
+    staged.  The shape table and the per-state candidate payloads are only
+    decoded when :meth:`shape_rows` / :meth:`shape_table` / :meth:`expansion`
+    are first called, i.e. when the exploration loop actually pops a staged
+    state; the decode itself runs over the frame buffer in batched varint
+    runs (:mod:`repro.engine._codec`), never byte-at-a-time Python loops.
+    ``decode_seconds`` accumulates the wall time of both the eager and the
+    lazy parses.
     """
 
     def __init__(self, data: bytes) -> None:
         started = time.perf_counter()
+        decode_run = _codec.decode_uvarint_run
         self._data = data
         if len(data) < len(WIRE_MAGIC) + 1 or data[: len(WIRE_MAGIC)] != WIRE_MAGIC:
             raise WireFormatError("not a wire frame (bad magic)")
@@ -291,25 +294,26 @@ class WireFrame:
             )
         pos = len(WIRE_MAGIC) + 1
         guard_section_start = pos
+        guard_str_count, pos = read_uvarint(data, pos)
+        guard_strings = []
+        for _ in range(guard_str_count):
+            text, pos = read_str(data, pos)
+            guard_strings.append(text)
         guard_count, pos = read_uvarint(data, pos)
-        self.guard_entries: list = []
-        for _ in range(guard_count):
-            key, pos = read_term(data, pos)
-            if not isinstance(key, tuple):
-                raise WireFormatError(f"guard key decoded to {type(key).__name__}, not tuple")
-            if pos >= len(data):
-                raise WireFormatError("truncated guard value byte")
-            value = data[pos]
-            pos += 1
-            if value not in (0, 1):
-                raise WireFormatError(f"guard value byte must be 0 or 1, got {value}")
-            self.guard_entries.append((key, bool(value)))
-        #: Bytes spent on the guard section (PR 3 shipped the same entries as
-        #: tagged JSON; candidate metrics exclude them so the bytes-per-
-        #: candidate figure compares expansion payloads like for like).
+        self.guard_entries, pos = read_guard_entries(data, pos, guard_count, guard_strings)
+        #: Bytes spent on the guard section, its string table included (PR 3
+        #: shipped the same entries as tagged JSON; candidate metrics exclude
+        #: them so the bytes-per-candidate figure compares expansion payloads
+        #: like for like).
         self.guard_nbytes = pos - guard_section_start
         #: Total candidates across all states (for dedup-rate metrics).
         self.total_candidates, pos = read_uvarint(data, pos)
+        label_count, pos = read_uvarint(data, pos)
+        labels = []
+        for _ in range(label_count):
+            label, pos = read_str(data, pos)
+            labels.append(label)
+        self._labels = labels
         #: Distinct root shapes in the frame's shape table.
         self.shape_count, pos = read_uvarint(data, pos)
         table_nbytes, pos = read_uvarint(data, pos)
@@ -318,26 +322,25 @@ class WireFrame:
         if pos > len(data):
             raise WireFormatError("truncated shape table")
         state_count, pos = read_uvarint(data, pos)
-        directory = []
-        for _ in range(state_count):
-            state_id, pos = read_uvarint(data, pos)
-            nbytes, pos = read_uvarint(data, pos)
-            directory.append((state_id, nbytes))
+        directory, pos = decode_run(data, pos, 2 * state_count)
         self._spans: dict = {}
         offset = pos
-        for state_id, nbytes in directory:
-            self._spans[state_id] = (offset, offset + nbytes)
+        for i in range(state_count):
+            nbytes = directory[2 * i + 1]
+            self._spans[directory[2 * i]] = (offset, offset + nbytes)
             offset += nbytes
         if offset != len(data):
             raise WireFormatError(
                 f"frame length mismatch: directory claims {offset} bytes, "
                 f"frame has {len(data)}"
             )
-        #: Bytes carrying the expansion payloads: shape table, state
+        #: Bytes carrying the expansion payloads: label/shape tables, state
         #: directory and candidate records (everything but the guard section
         #: and the 3-byte envelope).
         self.expansion_nbytes = len(data) - self.guard_nbytes - len(WIRE_MAGIC) - 1
+        self._preorder: Optional[tuple[list, list]] = None
         self._shapes: Optional[list] = None
+        self._arena_rows: Optional[list] = None
         self.decode_seconds = time.perf_counter() - started
 
     def __len__(self) -> int:
@@ -347,29 +350,106 @@ class WireFrame:
         """The state ids this frame carries payloads for, in batch order."""
         return list(self._spans)
 
-    def shape_table(self, cons: Optional[Callable] = None) -> list:
-        """The decoded shape table (memoized; decoded on first call).
+    def _shape_preorders(self) -> tuple[list, list]:
+        """Decode the shape section once: ``(node counts, flat pair values)``.
 
-        Args:
-            cons: optional hash-consing function (the coordinator passes its
-                interner's ``cons``) applied *bottom-up* to every decoded
-                subtree, so table entries — children included — are the same
-                canonical objects the engine interns and equality checks keep
-                their identity short-circuit.
+        The section is two varint runs; ``flat`` holds the concatenated
+        preorder ``label index, child count`` values of every table entry
+        (shape *i*'s slice starts at ``2 * sum(counts[:i])``).
         """
-        if self._shapes is None:
+        if self._preorder is None:
             started = time.perf_counter()
+            decode_run = _codec.decode_uvarint_run
             pos, end = self._table_span
             data = self._data
-            shapes = []
-            for _ in range(self.shape_count):
-                shape, pos = read_shape(data, pos, cons)
-                shapes.append(shape)
+            counts, pos = decode_run(data, pos, self.shape_count)
+            total_nodes = 0
+            for count in counts:
+                if count < 1:
+                    raise WireFormatError("shape table entry claims zero nodes")
+                total_nodes += count
+            if 2 * total_nodes > end - self._table_span[0]:
+                # each preorder pair needs at least two bytes; reject before
+                # allocating for a count a truncated/corrupt frame made up
+                raise WireFormatError("shape table node counts exceed section size")
+            flat, pos = decode_run(data, pos, 2 * total_nodes)
             if pos != end:
                 raise WireFormatError(
                     f"shape table length mismatch: decoded to byte {pos}, "
                     f"framing claims {end}"
                 )
+            label_count = len(self._labels)
+            for i in range(0, 2 * total_nodes, 2):
+                if flat[i] >= label_count:
+                    raise WireFormatError(
+                        f"shape node references label {flat[i]}, "
+                        f"table has {label_count}"
+                    )
+            self._preorder = (counts, flat)
+            self.decode_seconds += time.perf_counter() - started
+        return self._preorder
+
+    def shape_rows(self, arena) -> list:
+        """The frame's shape table as :class:`~repro.engine.arena.ShapeArena`
+        rows (memoized; decoded on first call).
+
+        This is the coordinator's hot path: frame label indices are mapped to
+        arena label ids once, then each table entry is interned straight from
+        its preorder pair run — an already-known shape costs one bytes-key
+        dict probe, no tuples.
+        """
+        if self._arena_rows is None:
+            counts, flat = self._shape_preorders()
+            started = time.perf_counter()
+            label_map = [arena.label_id(label) for label in self._labels]
+            intern = arena.intern_preorder_flat
+            rows = []
+            base = 0
+            for count in counts:
+                rows.append(intern(flat, base, count, label_map))
+                base += 2 * count
+            self._arena_rows = rows
+            self.decode_seconds += time.perf_counter() - started
+        return self._arena_rows
+
+    def shape_table(self, cons: Optional[Callable] = None) -> list:
+        """The decoded shape table as nested tuples (memoized).
+
+        Args:
+            cons: optional hash-consing function applied *bottom-up* to every
+                decoded subtree — children are consed before (and alongside)
+                their roots, so table entries share canonical subtree objects
+                with a consumer's interner.
+        """
+        if self._shapes is None:
+            counts, flat = self._shape_preorders()
+            started = time.perf_counter()
+            labels = self._labels
+            shapes = []
+            cursor = 0
+
+            def build() -> Shape:
+                nonlocal cursor
+                label = labels[flat[cursor]]
+                nchildren = flat[cursor + 1]
+                cursor += 2
+                children = tuple(build() for _ in range(nchildren))
+                shape: Shape = (label, children)
+                return cons(shape) if cons is not None else shape
+
+            for count in counts:
+                start = cursor
+                try:
+                    shapes.append(build())
+                except IndexError:
+                    raise WireFormatError(
+                        "malformed shape preorder: missing children"
+                    ) from None
+                if cursor - start != 2 * count:
+                    raise WireFormatError(
+                        "malformed shape preorder: child counts do not tile "
+                        "the entry's node count"
+                    )
             self._shapes = shapes
             self.decode_seconds += time.perf_counter() - started
         return self._shapes
@@ -379,7 +459,8 @@ class WireFrame:
 
         Raw candidates are ``(update, shape index, is_addition, successor
         size, copies)`` tuples — the coordinator resolves shape indices
-        against :meth:`shape_table` and assigns state ids itself.
+        against :meth:`shape_rows` (or :meth:`shape_table`) and assigns state
+        ids itself.
         """
         started = time.perf_counter()
         try:
@@ -389,40 +470,58 @@ class WireFrame:
         data = self._data
         guard_queries, pos = read_uvarint(data, pos)
         count, pos = read_uvarint(data, pos)
-        candidates = []
-        for _ in range(count):
-            if pos >= end:
-                raise WireFormatError("truncated candidate payload")
-            kind = data[pos]
-            pos += 1
-            update: Update
+        if pos + count > end:
+            raise WireFormatError("truncated candidate payload")
+        kinds = memoryview(data)[pos : pos + count]
+        pos += count
+        total_fields = 0
+        for kind in kinds:
             if kind == _KIND_ADDITION:
-                parent_id, pos = read_uvarint(data, pos)
-                label, pos = read_str(data, pos)
-                index, pos = read_uvarint(data, pos)
-                succ_size, pos = read_uvarint(data, pos)
-                copies, pos = read_uvarint(data, pos)
-                update = Addition(parent_id, label)
-                is_addition = True
+                total_fields += _ADDITION_FIELDS
             elif kind == _KIND_DELETION:
-                node_id, pos = read_uvarint(data, pos)
-                index, pos = read_uvarint(data, pos)
-                succ_size, pos = read_uvarint(data, pos)
-                copies = 0
-                update = Deletion(node_id)
-                is_addition = False
+                total_fields += _DELETION_FIELDS
             else:
                 raise WireFormatError(f"unknown candidate kind byte {kind}")
-            if index >= self.shape_count:
-                raise WireFormatError(
-                    f"candidate references shape {index}, table has {self.shape_count}"
-                )
-            candidates.append((update, index, is_addition, succ_size, copies))
+        fields, pos = _codec.decode_uvarint_run(data, pos, total_fields)
         if pos != end:
             raise WireFormatError(
                 f"state payload length mismatch: decoded to byte {pos}, "
                 f"directory claims {end}"
             )
+        shape_count = self.shape_count
+        label_count = len(self._labels)
+        labels = self._labels
+        candidates = []
+        cursor = 0
+        update: Update
+        for kind in kinds:
+            if kind == _KIND_ADDITION:
+                parent_id = fields[cursor]
+                label_index = fields[cursor + 1]
+                index = fields[cursor + 2]
+                succ_size = fields[cursor + 3]
+                copies = fields[cursor + 4]
+                cursor += _ADDITION_FIELDS
+                if label_index >= label_count:
+                    raise WireFormatError(
+                        f"candidate references label {label_index}, "
+                        f"table has {label_count}"
+                    )
+                update = Addition(parent_id, labels[label_index])
+                is_addition = True
+            else:
+                node_id = fields[cursor]
+                index = fields[cursor + 1]
+                succ_size = fields[cursor + 2]
+                cursor += _DELETION_FIELDS
+                copies = 0
+                update = Deletion(node_id)
+                is_addition = False
+            if index >= shape_count:
+                raise WireFormatError(
+                    f"candidate references shape {index}, table has {shape_count}"
+                )
+            candidates.append((update, index, is_addition, succ_size, copies))
         self.decode_seconds += time.perf_counter() - started
         return candidates, guard_queries
 

@@ -32,7 +32,7 @@ coordinator's (states are addressed by their canonical ids, shipped with the
 task), returns the entries it evaluated in its result batches, and — when the
 exploration is backed by an on-disk :class:`~repro.engine.store.SqliteStore`
 — hydrates from and writes back to the store's ``guards`` table through the
-sqlite WAL (see :func:`load_guard_rows` / :func:`write_guard_rows` in
+sqlite WAL (see :func:`load_guard_rows_raw` / :func:`write_guard_rows` in
 :mod:`repro.engine.store`).
 """
 
@@ -48,7 +48,7 @@ from repro.engine.engine import enumerate_expansion
 from repro.engine.guards import GuardCache
 from repro.engine.interning import IncrementalShaper, ShapeInterner
 from repro.engine.store import (
-    load_guard_rows,
+    load_guard_rows_raw,
     load_shard_shape_rows,
     write_guard_rows,
 )
@@ -105,6 +105,7 @@ class FrontierWorker:
         store_path: Optional[str] = None,
         shard: Optional[int] = None,
         nshards: Optional[int] = None,
+        binary_guards: bool = False,
     ) -> None:
         self._form = guarded_form
         self._interner = ShapeInterner()
@@ -112,6 +113,7 @@ class FrontierWorker:
         self._journal = _GuardJournal()
         self._guards = GuardCache(guarded_form, store=self._journal)
         self._store_path = store_path
+        self._binary_guards = binary_guards
         #: Persisted shapes pre-consed into this worker's local interner —
         #: only its own ``stable_shape_hash % nshards`` slice (capped at
         #: :data:`SHARD_HYDRATION_LIMIT`), never the whole table, so worker
@@ -124,8 +126,8 @@ class FrontierWorker:
                 ):
                     self._interner.cons_tree(shape)
                     self.shapes_hydrated += 1
-            for key, value in load_guard_rows(store_path):
-                self._guards.restore(key, value)
+            for row, value in load_guard_rows_raw(store_path):
+                self._guards.restore_raw(row, value)
             self._journal.drain()  # hydration is not news to report back
 
     def expand(self, state_id: int, blob: str) -> tuple:
@@ -162,13 +164,19 @@ class FrontierWorker:
             encoder.add_state(state_id, candidates, queries)
         entries = self._journal.drain()
         if entries and self._store_path is not None:
-            write_guard_rows(self._store_path, entries)
+            write_guard_rows(self._store_path, entries, binary=self._binary_guards)
         encoder.add_guard_entries(entries)
         return encoder.finish()
 
 
 def worker_main(
-    index: int, guarded_form: GuardedForm, tasks, results, store_path, nshards=None
+    index: int,
+    guarded_form: GuardedForm,
+    tasks,
+    results,
+    store_path,
+    nshards=None,
+    binary_guards=False,
 ) -> None:
     """Entry point of one worker process: loop over task batches until told
     to shut down, reporting each batch (or the failure that killed it).
@@ -180,7 +188,13 @@ def worker_main(
     landing mid-collection) instead of mistaking them for the next wave's.
     """
     try:
-        worker = FrontierWorker(guarded_form, store_path, shard=index, nshards=nshards)
+        worker = FrontierWorker(
+            guarded_form,
+            store_path,
+            shard=index,
+            nshards=nshards,
+            binary_guards=binary_guards,
+        )
     except BaseException:  # noqa: BLE001 - report startup failures, don't hang the pool
         results.put((index, None, None, traceback.format_exc()))
         return
@@ -211,6 +225,7 @@ class WorkerPool:
         guarded_form: GuardedForm,
         workers: int,
         store_path: Optional[str] = None,
+        binary_guards: bool = False,
     ) -> None:
         if workers < 1:
             raise AnalysisError("a worker pool needs at least one worker")
@@ -229,6 +244,7 @@ class WorkerPool:
                     self._results,
                     store_path,
                     workers,
+                    binary_guards,
                 ),
                 daemon=True,
                 name=f"repro-frontier-worker-{index}",
