@@ -2,9 +2,10 @@
 
 CI runs this after the benchmark smoke to publish, next to the raw report, a
 markdown artifact showing how every workload moved against the committed
-baseline — states/sec, formula evaluations, and the binary wire-protocol
+baseline — states/sec, formula evaluations, the binary wire-protocol
 fields added in PR 4 (wire bytes per candidate, shape-dedup hit rate, the
-reduction vs the PR 3 encoding).  Fields missing from either side (e.g. the
+reduction vs the PR 3 encoding), and the sizes of the campaign-mined corpus
+workloads.  Fields missing from either side (e.g. the
 ``wire_*`` fields in a pre-PR-4 baseline) render as ``—`` instead of
 failing, mirroring ``run_all.py --check``'s tolerance for old baselines.
 
@@ -42,6 +43,10 @@ _COLUMNS = (
     ("frame_decode_mb_per_s_pure", "frame MB/s (pure)", False),
     ("frame_decode_mb_per_s_accel", "frame MB/s (C)", False),
     ("peak_rss_kb", "peak RSS KB", False),
+    # campaign-corpus fields (PR 7): sizes of the campaign-mined workloads;
+    # also populated for the classic engine workloads where recorded
+    ("states", "states", False),
+    ("transitions", "transitions", False),
 )
 
 

@@ -26,7 +26,11 @@ Two sections are produced:
   (serial and 2-worker) while recording peak RSS and the resident counters
   (``states_resident``, ``reps_resident``, ``hydration_rows_skipped``); the
   ``--check`` gate requires the bounded attach to hydrate less than 50% of
-  the shape table and to finish within its budget.
+  the shape table and to finish within its budget.  When
+  ``benchmarks/campaign_corpus/`` exists (workloads mined and promoted by
+  ``repro campaign promote``), every corpus form is explored under the
+  campaign's own state cap and gated on legacy parity *and* on still
+  matching the manifest's state/transition counts.
 
 * ``pytest_benchmarks`` — the per-test timings of every ``bench_*.py``
   module, collected through ``pytest-benchmark``'s JSON output.  Skipped
@@ -409,6 +413,73 @@ def measure_parallel(frontier: str, worker_counts: list[int]) -> list[dict]:
     return rows
 
 
+def measure_campaign_corpus(frontier: str) -> "list[dict]":
+    """Explore every committed campaign-corpus workload.
+
+    The corpus (``benchmarks/campaign_corpus/``) holds the hardest agreeing
+    instances ``repro campaign promote`` mined out of scenario campaigns,
+    plus a manifest recording what the campaign measured for them.  Each
+    form is explored under the campaign's own state cap (the manifest's
+    ``max_states``) and two deterministic verdicts are recorded for the
+    ``--check`` gate: state-set parity with the legacy explorer, and that
+    the explored state/transition counts still match the manifest — a
+    campaign-mined workload silently changing size means the generator or
+    the engine drifted.
+    """
+    manifest_path = BENCH_DIR / "campaign_corpus" / "manifest.json"
+    if not manifest_path.exists():
+        return []
+    from repro.analysis.results import ExplorationLimits
+    from repro.analysis.statespace import (
+        legacy_explore_bounded,
+        legacy_explore_depth1,
+    )
+    from repro.engine import ExplorationEngine
+    from repro.io.serialization import load_guarded_form
+
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    limits = ExplorationLimits(
+        max_states=manifest.get("max_states") or 400, max_instance_nodes=40
+    )
+    results = []
+    for entry in manifest["workloads"]:
+        form = load_guarded_form(manifest_path.parent / entry["file"])
+        engine = ExplorationEngine(form, limits=limits, strategy=frontier)
+        started = time.perf_counter()
+        if entry["kind"] == "depth1":
+            graph = engine.explore_depth1()
+            parity = graph.states == legacy_explore_depth1(form).states
+        else:
+            graph = engine.explore()
+            parity = {graph.shape_of(s) for s in graph.states} == legacy_explore_bounded(
+                form, limits=limits
+            ).states
+        elapsed = time.perf_counter() - started
+        states = len(graph.states)
+        transitions = sum(len(edges) for edges in graph.transitions.values())
+        stats = engine.stats_snapshot()
+        results.append(
+            {
+                "workload": f"campaign-corpus {entry['family']} seed={entry['seed']}",
+                "kind": "campaign-corpus",
+                "family": entry["family"],
+                "seed": entry["seed"],
+                "frontier": frontier,
+                "states": states,
+                "transitions": transitions,
+                "explore_seconds": round(elapsed, 6),
+                "states_per_second": round(states / elapsed, 1) if elapsed else None,
+                "state_set_parity_with_legacy": parity,
+                "states_match_manifest": states == entry["states"]
+                and transitions == entry["transitions"],
+                "guard_cache_hit_rate": stats["guard_cache_hit_rate"],
+                "formula_evaluations": stats["formula_evaluations"],
+                "peak_rss_kb": _peak_rss_kb(),
+            }
+        )
+    return results
+
+
 def measure_engine(
     frontier: str = "bfs",
     worker_counts: "list[int] | None" = None,
@@ -478,6 +549,7 @@ def measure_engine(
     from micro_codec import measure_micro_codec
 
     results.append(measure_micro_codec())
+    results.extend(measure_campaign_corpus(frontier))
     return {
         "limits": {"max_states": limits.max_states, "max_instance_nodes": limits.max_instance_nodes},
         "cpu_count": os.cpu_count(),
@@ -597,6 +669,11 @@ def check_regressions(report: dict, baseline: dict, threshold: float) -> list[st
     for name, fresh in current.items():
         if not fresh.get("state_set_parity_with_legacy", True):
             failures.append(f"workload {name!r} lost state-set parity with the legacy explorer")
+        if fresh.get("states_match_manifest") is False:
+            failures.append(
+                f"workload {name!r} no longer matches the campaign-corpus "
+                f"manifest's state/transition counts (generator or engine drift)"
+            )
         if not fresh.get("serial_parallel_parity", True):
             failures.append(f"workload {name!r} broke serial-vs-parallel bit-identity")
         if not fresh.get("attach_budget_parity", True):
@@ -654,12 +731,21 @@ def check_regressions(report: dict, baseline: dict, threshold: float) -> list[st
                 "bounded-parallel",
                 "bounded-attach",
                 "micro-codec",
+                # corpus rows come and go with promotions; the committed
+                # manifest (not the bench baseline) is their source of truth
+                "campaign-corpus",
             ):
                 failures.append(f"workload {name!r} present in baseline but not measured")
             continue
         pre_rework_baseline = "codec_accelerated" not in workload
         old_sps = workload.get("states_per_second")
         new_sps = fresh.get("states_per_second")
+        if fresh.get("kind") == "campaign-corpus":
+            # corpus replays finish in milliseconds, so their states/sec is
+            # timer noise; they gate on the deterministic signals instead
+            # (states_match_manifest, legacy parity, formula evaluations) and
+            # their perf distributions live in the campaign store
+            old_sps = new_sps = None
         if old_sps and new_sps and new_sps < old_sps * (1.0 - threshold):
             failures.append(
                 f"workload {name!r} regressed: {new_sps} states/s vs baseline "
@@ -922,7 +1008,7 @@ def main(argv=None) -> int:
         pstats.Stats(profiler, stream=sys.stderr).sort_stats("cumulative").print_stats(20)
 
     report = {
-        "schema": "bench-engine/5",
+        "schema": "bench-engine/6",
         "generated_by": "benchmarks/run_all.py",
         "quick": args.quick,
         "engine": engine_metrics,

@@ -6,6 +6,16 @@ families chosen to exercise each fragment row.  The families live in
 :mod:`repro.benchgen.families`; seeded random generators for schemas, rules
 and formulas (used by property-based tests as well) live in
 :mod:`repro.benchgen.random_forms`.
+
+This package is the *primitive* layer: it builds individual parameterised
+forms.  Orchestration on top of it is owned by :mod:`repro.campaign` — the
+campaign generator (:mod:`repro.campaign.generator`) maps ``(family, seed)``
+addresses onto these constructors and is the single source of truth for
+which scales a family is drawn at, and the consolidated Hypothesis
+strategies (:mod:`repro.campaign.strategies`) wrap the same constructors for
+property-based tests.  New workload families should be added here and then
+registered in :data:`repro.campaign.generator.FAMILIES` so campaigns,
+benchmarks and the seed corpus all pick them up.
 """
 
 from repro.benchgen.families import (

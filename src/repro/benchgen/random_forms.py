@@ -6,9 +6,16 @@ These generators serve two purposes:
   workload (e.g. "random positive depth-1 forms" for the ``P`` rows of
   Table 1);
 * randomised cross-checks in the test-suite (e.g. "the saturation procedure
-  agrees with the exhaustive depth-1 procedure on random positive forms").
+  agrees with the exhaustive depth-1 procedure on random positive forms");
+* the ``random-depth1`` differential-campaign family
+  (:mod:`repro.campaign.generator`), which draws its per-seed parameters and
+  delegates the actual construction here.
 
 All generators take an explicit ``seed`` so workloads are reproducible.
+Campaign determinism additionally depends on these draws: changing the
+sequence of ``rng`` calls in any generator invalidates the committed seed
+corpus (``tests/campaign/seed_corpus/``) and the campaign golden report —
+regenerate both and review the diff if you must reorder draws.
 """
 
 from __future__ import annotations

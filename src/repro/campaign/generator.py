@@ -1,0 +1,251 @@
+"""Deterministic form generation for scenario campaigns.
+
+This module is the **single source** of generated scenario forms.  The
+benchmark families (:mod:`repro.benchgen.families`) and the seeded random
+generators (:mod:`repro.benchgen.random_forms`) stay the primitive layer;
+what lives here is the *campaign registry* binding them into named,
+seed-addressable families with a shared scaling convention:
+
+* every family is a :class:`CampaignFamily` whose ``build(seed, scale)`` is a
+  pure function of its two integer arguments — the same ``(family, seed)``
+  pair always regenerates byte-for-byte the same guarded form, which is what
+  makes campaign rows, disagreement artifacts and promoted corpus workloads
+  reproducible from their seeds alone;
+* ``scale`` bounds the instance size drawn for a seed (each seed draws its
+  own size in ``[min_scale, scale]``), so campaigns mix sizes and the triage
+  minimizer can shrink a disagreeing form by lowering the scale while
+  keeping the seed;
+* the Hypothesis strategies the property suite shares live next door in
+  :mod:`repro.campaign.strategies` (re-exported by
+  ``tests/property/strategies.py``), so randomised tests and campaigns draw
+  from one vocabulary of schemas and formulas.
+
+``campaign_specs`` expands a campaign configuration into the deterministic
+work queue the runner drains; ``write_seed_corpus`` materialises one
+representative form per family as committed JSON (replayed by
+``tests/campaign/test_corpus_replay.py`` to pin generator determinism).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.benchgen.families import (
+    counter_machine_family,
+    deadlock_family,
+    positive_chain_family,
+    positive_deep_family,
+    qsat_semisoundness_family,
+    sat_completability_family,
+    sat_semisoundness_family,
+)
+from repro.benchgen.random_forms import random_depth1_guarded_form
+from repro.core.guarded_form import GuardedForm
+from repro.exceptions import CampaignError
+from repro.io.serialization import guarded_form_to_dict, save_guarded_form
+
+
+@dataclass(frozen=True)
+class FormSpec:
+    """One unit of campaign work: a family name and the seed to build it at.
+
+    ``index`` is the spec's position in the campaign queue (used for
+    deterministic oracle sampling); ``scale`` overrides the family's default
+    when the triage minimizer shrinks a disagreeing form.
+    """
+
+    family: str
+    seed: int
+    index: int = 0
+    scale: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CampaignFamily:
+    """A named, seeded generator of guarded forms.
+
+    Attributes:
+        name: registry key (``repro campaign run --families`` vocabulary).
+        kind: ``"depth1"`` (exhaustive canonical-state exploration) or
+            ``"bounded"`` (limit-bounded exploration) — tells the oracle
+            stack which explorer and which legacy reference apply.
+        build: ``(seed, scale) -> GuardedForm``; must be deterministic.
+        scale: default upper bound on the per-seed size draw.
+        min_scale: smallest scale the minimizer may shrink to.
+    """
+
+    name: str
+    kind: str
+    build: Callable[[int, int], GuardedForm]
+    scale: int
+    min_scale: int = 1
+
+
+def _draw(seed: int, low: int, high: int) -> int:
+    """The size a seed draws within ``[low, high]`` (inclusive, stable)."""
+    if high <= low:
+        return low
+    # a *string* seed: str seeding is deterministic across processes, while
+    # seeding with a tuple would fall back to PYTHONHASHSEED-salted hash()
+    return random.Random(f"campaign-{seed}").randint(low, high)
+
+
+def _build_chain(seed: int, scale: int) -> GuardedForm:
+    return positive_chain_family(_draw(seed, 3, scale))
+
+
+def _build_deep(seed: int, scale: int) -> GuardedForm:
+    return positive_deep_family(_draw(seed, 2, scale), width=2)
+
+
+def _build_sat(seed: int, scale: int) -> GuardedForm:
+    return sat_completability_family(_draw(seed, 3, scale), seed=seed)[0]
+
+
+def _build_sat_semisound(seed: int, scale: int) -> GuardedForm:
+    return sat_semisoundness_family(_draw(seed, 3, scale), seed=seed)[0]
+
+
+def _build_deadlock(seed: int, scale: int) -> GuardedForm:
+    return deadlock_family(_draw(seed, 2, scale), seed=seed)[0]
+
+
+def _build_qsat(seed: int, scale: int) -> GuardedForm:
+    return qsat_semisoundness_family(_draw(seed, 1, scale), seed=seed)[0]
+
+
+def _build_two_counter(seed: int, scale: int) -> GuardedForm:
+    return counter_machine_family(_draw(seed, 1, scale))[0]
+
+
+def _build_random_depth1(seed: int, scale: int) -> GuardedForm:
+    return random_depth1_guarded_form(
+        _draw(seed, 3, scale),
+        seed=seed,
+        positive_access=seed % 2 == 0,
+        positive_completion=seed % 3 != 0,
+    )
+
+
+#: The campaign family registry.  Scales are sized so a smoke campaign's
+#: per-form explorations stay in the hundreds-of-states range; ``repro
+#: campaign run`` accepts any subset by name (or ``all``).
+FAMILIES: dict[str, CampaignFamily] = {
+    family.name: family
+    for family in (
+        CampaignFamily("chain", "depth1", _build_chain, scale=8, min_scale=3),
+        CampaignFamily("deep", "bounded", _build_deep, scale=3, min_scale=2),
+        CampaignFamily("sat", "depth1", _build_sat, scale=5, min_scale=3),
+        CampaignFamily(
+            "sat-semisound", "depth1", _build_sat_semisound, scale=5, min_scale=3
+        ),
+        CampaignFamily("deadlock", "depth1", _build_deadlock, scale=3, min_scale=2),
+        CampaignFamily("qsat", "bounded", _build_qsat, scale=1, min_scale=1),
+        CampaignFamily(
+            "two-counter", "bounded", _build_two_counter, scale=2, min_scale=1
+        ),
+        CampaignFamily(
+            "random-depth1", "depth1", _build_random_depth1, scale=6, min_scale=3
+        ),
+    )
+}
+
+
+def resolve_families(names: Sequence[str]) -> list[CampaignFamily]:
+    """The registry entries for *names* (``["all"]`` selects every family).
+
+    Raises:
+        CampaignError: on an unknown family name.
+    """
+    if list(names) == ["all"]:
+        return [FAMILIES[name] for name in sorted(FAMILIES)]
+    families = []
+    for name in names:
+        if name not in FAMILIES:
+            raise CampaignError(
+                f"unknown campaign family {name!r}; known families: "
+                f"{', '.join(sorted(FAMILIES))} (or 'all')"
+            )
+        families.append(FAMILIES[name])
+    return families
+
+
+def generate_form(spec: FormSpec) -> GuardedForm:
+    """The guarded form a spec denotes (pure in ``(family, seed, scale)``)."""
+    family = FAMILIES.get(spec.family)
+    if family is None:
+        raise CampaignError(f"unknown campaign family {spec.family!r}")
+    scale = spec.scale if spec.scale is not None else family.scale
+    return family.build(spec.seed, max(family.min_scale, scale))
+
+
+def campaign_specs(
+    family_names: Sequence[str], count: int, base_seed: int = 0
+) -> list[FormSpec]:
+    """The deterministic work queue of a campaign: *count* specs round-robined
+    over the requested families, seeded ``base_seed, base_seed + 1, …``.
+
+    The queue depends only on ``(families, count, base_seed)``, so an
+    interrupted campaign re-run with the same configuration rebuilds the
+    identical queue and can skip the specs its store already holds rows for.
+    """
+    if count < 1:
+        raise CampaignError(f"a campaign needs a positive form count, got {count}")
+    families = resolve_families(family_names)
+    return [
+        FormSpec(families[i % len(families)].name, base_seed + i, index=i)
+        for i in range(count)
+    ]
+
+
+def shrink_scales(spec: FormSpec) -> list[int]:
+    """Candidate scales for minimizing a disagreeing form, smallest first."""
+    family = FAMILIES[spec.family]
+    top = spec.scale if spec.scale is not None else family.scale
+    return list(range(family.min_scale, top + 1))
+
+
+# --------------------------------------------------------------------------- #
+# seed corpus
+# --------------------------------------------------------------------------- #
+
+#: Seed each family's committed corpus entry is generated at.
+SEED_CORPUS_SEED = 7
+
+
+def seed_corpus_specs() -> list[FormSpec]:
+    """One representative spec per family (the committed replay corpus)."""
+    return [
+        FormSpec(name, SEED_CORPUS_SEED, index=i)
+        for i, name in enumerate(sorted(FAMILIES))
+    ]
+
+
+def write_seed_corpus(dest: "str | Path") -> list[Path]:
+    """Write one JSON form per family into *dest* and return the paths.
+
+    File names are ``<family>_seed<seed>.json``; contents are the
+    deterministic :func:`~repro.io.serialization.save_guarded_form` encoding,
+    so regenerating the corpus over an unchanged generator is a no-op diff —
+    which is exactly what ``tests/campaign/test_corpus_replay.py`` pins.
+    """
+    dest_dir = Path(dest)
+    dest_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for spec in seed_corpus_specs():
+        path = dest_dir / f"{spec.family}_seed{spec.seed}.json"
+        save_guarded_form(generate_form(spec), path)
+        written.append(path)
+    return written
+
+
+def form_digest(form: GuardedForm) -> str:
+    """A short stable digest of a form's serialised content (report column)."""
+    import hashlib
+    import json
+
+    payload = json.dumps(guarded_form_to_dict(form), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]

@@ -1,0 +1,306 @@
+"""The campaign runner: drain a form queue through the oracle stack.
+
+``run_campaign`` expands a :class:`CampaignConfig` into the deterministic
+spec queue (:func:`~repro.campaign.generator.campaign_specs`), skips the
+specs its store already holds rows for, and drains the rest in batches —
+serially or fanned across a process pool via
+:func:`~repro.engine.parallel.drain_task_queue`.  Each batch commits as one
+transaction, so a campaign killed between batches resumes exactly where it
+stopped and converges on the same store an uninterrupted run produces (the
+crash test in ``tests/campaign/test_campaign_runner.py`` pins this).
+
+Every disagreement is minimized before it is reported: the runner re-runs
+the disagreeing oracle on the same seed at shrinking scales
+(:func:`~repro.campaign.generator.shrink_scales`) and writes the smallest
+still-disagreeing form — plus the spec to regenerate it — as a JSON artifact
+next to the store.  A disagreement is thus never just a boolean in a row; it
+is a committed, replayable repro.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.results import ExplorationLimits
+from repro.campaign.generator import (
+    FAMILIES,
+    FormSpec,
+    campaign_specs,
+    form_digest,
+    generate_form,
+    shrink_scales,
+)
+from repro.campaign.oracles import (
+    DEFAULT_STACK,
+    ExecutionContext,
+    decide_outcome,
+    resolve_stack,
+)
+from repro.campaign.store import CampaignRow, CampaignStore
+from repro.engine.parallel import drain_task_queue
+from repro.io.serialization import guarded_form_to_dict
+
+#: State caps for a campaign's per-form explorations.  Smoke keeps each form
+#: in the hundreds-of-states range so thousands of forms stay tractable.
+SMOKE_MAX_STATES = 400
+FULL_MAX_STATES = 1500
+
+
+def campaign_limits(smoke: bool) -> ExplorationLimits:
+    return ExplorationLimits(
+        max_states=SMOKE_MAX_STATES if smoke else FULL_MAX_STATES,
+        max_instance_nodes=40,
+    )
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that determines a campaign's rows.
+
+    ``workers`` and ``batch_size`` shape *how* the queue is drained, not
+    what the rows contain, so they are excluded from the store-bound
+    configuration payload — a campaign interrupted at ``--workers 4`` may
+    resume at ``--workers 1``.
+    """
+
+    families: Sequence[str] = ("all",)
+    count: int = 100
+    base_seed: int = 0
+    oracles: Sequence[str] = DEFAULT_STACK
+    smoke: bool = False
+    workers: int = 1
+    batch_size: int = 25
+
+    def payload(self) -> dict:
+        """The row-determining configuration (the store's resume guard)."""
+        return {
+            "families": list(self.families),
+            "count": self.count,
+            "base_seed": self.base_seed,
+            "oracles": list(self.oracles),
+            "smoke": self.smoke,
+            "max_states": campaign_limits(self.smoke).max_states,
+        }
+
+
+@dataclass
+class CampaignSummary:
+    """What ``run_campaign`` hands back to the CLI."""
+
+    total: int
+    executed: int
+    skipped: int
+    disagreements: list = field(default_factory=list)  # CampaignRow dicts
+    artifacts: list = field(default_factory=list)  # Path strings
+    interrupted: bool = False  # stopped early by max_batches
+
+
+def evaluate_spec(spec: FormSpec, stack, limits: ExplorationLimits) -> CampaignRow:
+    """Run one spec through the reference execution and the oracle stack."""
+    family = FAMILIES[spec.family]
+    form = generate_form(spec)
+    with tempfile.TemporaryDirectory(prefix="repro-campaign-") as scratch:
+        ctx = ExecutionContext(form, family.kind, limits, workdir=Path(scratch))
+        if family.kind == "depth1":
+            graph = ctx.depth1_graph()
+            engine = ctx.depth1_engine()
+            elapsed = ctx.depth1_seconds
+            truncated = False
+        else:
+            graph = ctx.reference()
+            engine = ctx.reference_engine()
+            elapsed = ctx.reference_seconds
+            truncated = bool(
+                graph.truncated_by_states
+                or graph.truncated_by_size
+                or graph.truncated_by_copies
+            )
+        verdict = decide_outcome(ctx)
+        transitions = sum(len(edges) for edges in graph.transitions.values())
+        oracles_run = []
+        disagreements = []
+        for oracle in stack:
+            if spec.index % max(1, oracle.sample_every) != 0:
+                continue
+            outcome = oracle.check(ctx)
+            oracles_run.append(outcome.oracle)
+            if not outcome.agree:
+                disagreements.append(
+                    {"oracle": outcome.oracle, "detail": outcome.detail}
+                )
+        stats = engine.stats_snapshot()
+    return CampaignRow(
+        family=spec.family,
+        seed=spec.seed,
+        index=spec.index,
+        kind=family.kind,
+        digest=form_digest(form),
+        states=len(graph.states),
+        transitions=transitions,
+        truncated=truncated,
+        decided=verdict.decided,
+        answer=verdict.answer,
+        elapsed=elapsed,
+        states_per_second=round(len(graph.states) / elapsed, 2) if elapsed else 0.0,
+        guard_hit_rate=stats.get("guard_cache_hit_rate", 0.0),
+        peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        oracles_run=oracles_run,
+        disagreements=disagreements,
+    )
+
+
+def _pool_task(payload: tuple) -> CampaignRow:
+    """Picklable per-spec task for the process pool (named oracles only)."""
+    family, seed, index, scale, oracle_names, smoke = payload
+    spec = FormSpec(family, seed, index=index, scale=scale)
+    stack = resolve_stack(oracle_names, smoke=smoke)
+    return evaluate_spec(spec, stack, campaign_limits(smoke))
+
+
+def minimize_disagreement(spec: FormSpec, oracle, limits: ExplorationLimits):
+    """The smallest-scale respin of *spec* that still fails *oracle*.
+
+    Scales are tried smallest-first; the first disagreeing one wins (the
+    seed is kept, so the minimized form regenerates from its spec alone).
+    Falls back to the original spec when only the original scale fails.
+    """
+    for scale in shrink_scales(spec):
+        candidate = FormSpec(spec.family, spec.seed, index=spec.index, scale=scale)
+        form = generate_form(candidate)
+        with tempfile.TemporaryDirectory(prefix="repro-minimize-") as scratch:
+            ctx = ExecutionContext(
+                form, FAMILIES[spec.family].kind, limits, workdir=Path(scratch)
+            )
+            outcome = oracle.check(ctx)
+        if not outcome.agree:
+            return candidate, form, outcome
+    return spec, generate_form(spec), None
+
+
+def write_disagreement_artifact(
+    artifacts_dir: Path,
+    spec: FormSpec,
+    oracle_name: str,
+    detail: str,
+    minimized_spec: FormSpec,
+    minimized_form,
+) -> Path:
+    """Write one disagreement as a replayable JSON artifact."""
+    artifacts_dir.mkdir(parents=True, exist_ok=True)
+    path = artifacts_dir / f"{spec.family}_seed{spec.seed}_{oracle_name}.json"
+    payload = {
+        "family": spec.family,
+        "seed": spec.seed,
+        "oracle": oracle_name,
+        "detail": detail,
+        "minimized_scale": minimized_spec.scale,
+        "form": guarded_form_to_dict(minimized_form),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def default_artifacts_dir(store_path: "str | Path") -> Path:
+    return Path(f"{store_path}.artifacts")
+
+
+def run_campaign(
+    config: CampaignConfig,
+    store_path: "str | Path",
+    oracle_stack=None,
+    artifacts_dir: Optional[Path] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    max_batches: Optional[int] = None,
+) -> CampaignSummary:
+    """Drain the campaign queue into the store; return the summary.
+
+    Args:
+        config: the campaign configuration (determines the queue + rows).
+        store_path: sqlite campaign store (created on demand; an existing
+            store resumes, skipping its committed specs).
+        oracle_stack: override the stack built from ``config.oracles`` —
+            the injection point for deliberately-wrong oracles in tests.
+            Only supported at ``workers=1`` (pool workers rebuild the stack
+            from the configured names).
+        artifacts_dir: where disagreement artifacts land (default:
+            ``<store_path>.artifacts/``).
+        progress: optional ``(done, total)`` callback per batch.
+        max_batches: stop after this many batches (the crash-simulation
+            hook; the store is left consistent and resumable).
+    """
+    from repro.exceptions import CampaignError
+
+    if oracle_stack is not None and config.workers > 1:
+        raise CampaignError(
+            "a custom oracle stack runs in-process; use workers=1"
+        )
+    specs = campaign_specs(config.families, config.count, config.base_seed)
+    stack = (
+        oracle_stack
+        if oracle_stack is not None
+        else resolve_stack(config.oracles, smoke=config.smoke)
+    )
+    limits = campaign_limits(config.smoke)
+    if artifacts_dir is None:
+        artifacts_dir = default_artifacts_dir(store_path)
+
+    store = CampaignStore(store_path)
+    try:
+        store.bind_config(config.payload())
+        done = store.completed_specs()
+        todo = [s for s in specs if (s.family, s.seed) not in done]
+        summary = CampaignSummary(
+            total=len(specs), executed=0, skipped=len(done)
+        )
+        batch_size = max(1, config.batch_size)
+        batches = [
+            todo[i : i + batch_size] for i in range(0, len(todo), batch_size)
+        ]
+        for batch_index, batch in enumerate(batches):
+            if max_batches is not None and batch_index >= max_batches:
+                summary.interrupted = True
+                break
+            if config.workers > 1:
+                rows = drain_task_queue(
+                    [
+                        (s.family, s.seed, s.index, s.scale, list(config.oracles), config.smoke)
+                        for s in batch
+                    ],
+                    _pool_task,
+                    workers=config.workers,
+                )
+            else:
+                rows = [evaluate_spec(spec, stack, limits) for spec in batch]
+            store.record_rows(rows)
+            summary.executed += len(rows)
+            for spec, row in zip(batch, rows):
+                for disagreement in row.disagreements:
+                    summary.disagreements.append(row.to_json_dict())
+                    oracle = next(
+                        (o for o in stack if o.name == disagreement["oracle"]),
+                        None,
+                    )
+                    if oracle is None:
+                        continue
+                    minimized_spec, minimized_form, _ = minimize_disagreement(
+                        spec, oracle, limits
+                    )
+                    artifact = write_disagreement_artifact(
+                        artifacts_dir,
+                        spec,
+                        disagreement["oracle"],
+                        disagreement["detail"],
+                        minimized_spec,
+                        minimized_form,
+                    )
+                    summary.artifacts.append(str(artifact))
+            if progress is not None:
+                progress(summary.skipped + summary.executed, len(specs))
+    finally:
+        store.close()
+    return summary

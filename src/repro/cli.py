@@ -18,6 +18,11 @@ The CLI exposes the workflows a form designer needs without writing Python:
 ``guarded-forms store info STORE.db``
     inspect a persistent state store (row counts, owning form, resumable
     checkpoints);
+``guarded-forms campaign run --families all --count 1000 --store c.db``
+    fan generated forms through the differential oracle stack, persisting
+    per-form outcome/perf rows (see :mod:`repro.campaign`); ``campaign
+    report`` prints distributions, outliers and disagreements, ``campaign
+    promote`` commits the hardest instances as benchmark workloads;
 ``guarded-forms table1``
     print the paper's complexity table.
 
@@ -48,6 +53,7 @@ The module is usable both through the ``guarded-forms`` console script and as
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Callable, Optional, Sequence
@@ -545,6 +551,82 @@ def _cmd_store_info(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_campaign_run(args: argparse.Namespace, out) -> int:
+    from repro.campaign import CampaignConfig, run_campaign
+
+    config = CampaignConfig(
+        families=tuple(args.families.split(",")),
+        count=args.count,
+        base_seed=args.base_seed,
+        oracles=tuple(args.oracles.split(",")),
+        smoke=args.smoke,
+        workers=args.workers,
+        batch_size=args.batch_size,
+    )
+
+    def progress(done: int, total: int) -> None:
+        print(f"  {done}/{total} forms", file=out)
+        out.flush() if hasattr(out, "flush") else None
+
+    summary = run_campaign(
+        config,
+        args.store,
+        artifacts_dir=Path(args.artifacts) if args.artifacts else None,
+        progress=progress if args.progress else None,
+        max_batches=args.max_batches,
+    )
+    print(
+        f"campaign: {summary.total} forms ({summary.skipped} already in store, "
+        f"{summary.executed} executed)"
+        + (" [interrupted]" if summary.interrupted else ""),
+        file=out,
+    )
+    if summary.disagreements:
+        print(
+            f"{len(summary.disagreements)} ORACLE DISAGREEMENT(S); artifacts:",
+            file=out,
+        )
+        for path in summary.artifacts:
+            print(f"  {path}", file=out)
+        return 1
+    print("all oracles agreed", file=out)
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace, out) -> int:
+    from repro.campaign import build_report, render_report
+
+    if not Path(args.store).exists():
+        print(f"error: no campaign store at {args.store}", file=sys.stderr)
+        return 2
+    report = build_report(args.store, include_perf=not args.no_perf)
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json}", file=out)
+    print(render_report(report), file=out)
+    return 1 if report["total_disagreements"] else 0
+
+
+def _cmd_campaign_promote(args: argparse.Namespace, out) -> int:
+    from repro.campaign import promote_outliers
+
+    if not Path(args.store).exists():
+        print(f"error: no campaign store at {args.store}", file=sys.stderr)
+        return 2
+    written = promote_outliers(
+        args.store,
+        args.dest,
+        per_family=args.per_family,
+        families=args.families.split(",") if args.families else None,
+    )
+    for path in written:
+        print(f"promoted {path}", file=out)
+    print(f"{len(written)} workload(s) in {args.dest}", file=out)
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------------- #
@@ -631,6 +713,115 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store_info.add_argument("store", help="path to the sqlite state store")
     store_info.set_defaults(handler=_cmd_store_info)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run differential scenario campaigns over generated forms",
+        epilog=(
+            "A campaign fans --count generated forms (round-robined over "
+            "--families, seeded deterministically) through a stack of "
+            "differential oracles and persists one outcome/perf row per form "
+            "into --store.  Interrupt at any point and re-run the identical "
+            "command: committed forms are skipped, the rest re-run, and the "
+            "final store is the same as an uninterrupted run's."
+        ),
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="drain a generated-form queue through the oracle stack"
+    )
+    campaign_run.add_argument(
+        "--families",
+        default="all",
+        help="comma-separated campaign families, or 'all' (default)",
+    )
+    campaign_run.add_argument(
+        "--count", type=int, default=100, help="number of forms (default 100)"
+    )
+    campaign_run.add_argument(
+        "--base-seed", type=int, default=0, help="first form seed (default 0)"
+    )
+    campaign_run.add_argument(
+        "--oracles",
+        default=",".join(
+            ("legacy", "serial-parallel", "resume", "budget", "codec")
+        ),
+        help="comma-separated oracle stack (default: all oracles)",
+    )
+    campaign_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan forms across N processes (default 1; row contents are "
+        "identical at any worker count)",
+    )
+    campaign_run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smoke profile: tighter exploration limits and sampled "
+        "worker-pool oracle, for high form counts",
+    )
+    campaign_run.add_argument(
+        "--batch-size",
+        type=int,
+        default=25,
+        help="forms per store transaction / resume point (default 25)",
+    )
+    campaign_run.add_argument(
+        "--max-batches",
+        type=int,
+        default=None,
+        help="stop after N batches, leaving a resumable store",
+    )
+    campaign_run.add_argument(
+        "--store", required=True, help="sqlite campaign store path"
+    )
+    campaign_run.add_argument(
+        "--artifacts",
+        default=None,
+        help="disagreement artifact directory (default: <store>.artifacts)",
+    )
+    campaign_run.add_argument(
+        "--progress", action="store_true", help="print per-batch progress"
+    )
+    campaign_run.set_defaults(handler=_cmd_campaign_run)
+
+    campaign_report = campaign_sub.add_parser(
+        "report",
+        help="per-family distributions, outliers and disagreements of a store",
+    )
+    campaign_report.add_argument("store", help="sqlite campaign store path")
+    campaign_report.add_argument(
+        "--json", default=None, help="also write the full report as JSON here"
+    )
+    campaign_report.add_argument(
+        "--no-perf",
+        action="store_true",
+        help="omit machine-dependent perf sections (deterministic report)",
+    )
+    campaign_report.set_defaults(handler=_cmd_campaign_report)
+
+    campaign_promote = campaign_sub.add_parser(
+        "promote",
+        help="commit the hardest agreeing instances as benchmark workloads",
+    )
+    campaign_promote.add_argument("store", help="sqlite campaign store path")
+    campaign_promote.add_argument(
+        "dest", help="corpus directory (e.g. benchmarks/campaign_corpus)"
+    )
+    campaign_promote.add_argument(
+        "--per-family",
+        type=int,
+        default=1,
+        help="instances to promote per family (default 1)",
+    )
+    campaign_promote.add_argument(
+        "--families",
+        default=None,
+        help="restrict promotion to these comma-separated families",
+    )
+    campaign_promote.set_defaults(handler=_cmd_campaign_promote)
 
     table1 = subparsers.add_parser("table1", help="print the paper's Table 1")
     table1.set_defaults(handler=_cmd_table1)

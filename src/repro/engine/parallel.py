@@ -64,9 +64,33 @@ from repro.io.serialization import (
     stable_shape_hash,
 )
 
-__all__ = ["ParallelExplorationEngine", "stable_shape_hash"]
+__all__ = ["ParallelExplorationEngine", "drain_task_queue", "stable_shape_hash"]
 # stable_shape_hash moved to repro.io.serialization (the store's shape_hash
 # reverse-lookup column shares it); re-exported here for compatibility.
+
+
+def drain_task_queue(tasks, fn, workers: int = 1):
+    """Map *fn* over *tasks* on a process pool, results in task order.
+
+    The coarse-grained sibling of the wave prefetching below: instead of
+    parallelising *inside* one exploration, it fans independent tasks (a
+    campaign's form queue) across processes.  ``workers <= 1`` runs inline —
+    same semantics, no pool, and the only mode that supports non-picklable
+    *fn* closures (the campaign runner relies on this for injected oracles).
+
+    The pool is a ``concurrent.futures.ProcessPoolExecutor``, **not**
+    ``multiprocessing.Pool``: executor workers are non-daemonic, so a task
+    may itself spawn a :class:`WorkerPool` (whose processes are daemons) —
+    which is exactly what a campaign task does when it runs the
+    serial-vs-parallel oracle.
+    """
+    items = list(tasks)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items))
 
 
 class ParallelExplorationEngine(ExplorationEngine):

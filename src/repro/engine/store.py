@@ -309,7 +309,64 @@ class InMemoryStore(StateStore):
         }
 
 
-class SqliteStore(StateStore):
+class SqliteBacked:
+    """Shared sqlite plumbing for the engine's persistent artifacts.
+
+    Subclasses declare their schema in ``_TABLES`` / ``_INDEXES`` and call
+    :meth:`_open_sqlite`; the connection is opened with the engine's standard
+    pragmas (WAL journal so concurrent readers coexist with batched writers,
+    NORMAL synchronous, a busy timeout) and the declared schema is created.
+    ``_after_tables`` runs between table and index creation — the state
+    store's ``shape_hash`` migration needs its column to exist before the
+    index over it does.  Every backed database keeps a string ``meta`` table
+    (declare it in ``_TABLES``) accessed through ``_get_meta`` /
+    ``_set_meta`` — both the engine state store and the campaign result
+    store record their identity there and verify it on re-attach.
+    """
+
+    #: Human-readable role used in the "not a usable ..." open error.
+    _DB_ROLE = "sqlite database"
+
+    _TABLES: tuple = ()
+    _INDEXES: tuple = ()
+
+    def _open_sqlite(self, path: "str | Path") -> None:
+        self.path = str(path)
+        try:
+            self._conn = sqlite3.connect(self.path)
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+            # WAL lets concurrent processes read while a writer streams its
+            # batches (the parallel engine's frontier workers hydrating guard
+            # values, a campaign's report running against a live store);
+            # in-memory databases don't support it, which sqlite reports by
+            # answering with the journal mode it kept.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            for statement in self._TABLES:
+                self._conn.execute(statement)
+            self._after_tables()
+            for statement in self._INDEXES:
+                self._conn.execute(statement)
+            self._conn.commit()
+        except sqlite3.DatabaseError as exc:
+            raise StoreError(
+                f"{self.path} is not a usable {self._DB_ROLE}: {exc}"
+            ) from exc
+
+    def _after_tables(self) -> None:
+        """Hook between table and index creation (schema migrations)."""
+
+    def _get_meta(self, key: str) -> Optional[str]:
+        row = self._conn.execute("SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return row[0] if row else None
+
+    def _set_meta(self, key: str, value: str) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)", (key, value)
+        )
+
+
+class SqliteStore(SqliteBacked, StateStore):
     """An sqlite3-backed :class:`StateStore` with batching and LRU reads.
 
     Args:
@@ -337,6 +394,8 @@ class SqliteStore(StateStore):
 
     persistent = True
 
+    _DB_ROLE = "sqlite state store"
+
     _TABLES = (
         "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)",
         "CREATE TABLE IF NOT EXISTS shapes "
@@ -361,30 +420,12 @@ class SqliteStore(StateStore):
         binary_shapes: bool = False,
         binary_guards: bool = False,
     ) -> None:
-        self.path = str(path)
         self.batch_size = max(1, batch_size)
         self.checkpoint_every = checkpoint_every
         self.binary_shapes = binary_shapes
         self.binary_guards = binary_guards
         self.shape_hash_rows_migrated = 0
-        try:
-            self._conn = sqlite3.connect(self.path)
-            self._conn.execute("PRAGMA synchronous=NORMAL")
-            self._conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
-            # WAL lets the parallel engine's frontier workers read (hydrate
-            # guard values) and write (sync fresh evaluations) concurrently
-            # with the coordinator's batched write-through; in-memory
-            # databases don't support it, which sqlite reports by answering
-            # with the journal mode it kept.
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            for statement in self._TABLES:
-                self._conn.execute(statement)
-            self._migrate_shape_hash_column()
-            for statement in self._INDEXES:
-                self._conn.execute(statement)
-            self._conn.commit()
-        except sqlite3.DatabaseError as exc:
-            raise StoreError(f"{self.path} is not a usable sqlite state store: {exc}") from exc
+        self._open_sqlite(path)
         # write buffers are keyed dicts, so reads can be served from them
         # without forcing a premature flush (INSERT OR REPLACE semantics);
         # shapes keep (tuple or None, digest, canonical encoding) so the
@@ -401,6 +442,9 @@ class SqliteStore(StateStore):
         self.checkpoint_saves = 0
         self.id_lookups = 0
         self.id_lookup_hits = 0
+
+    def _after_tables(self) -> None:
+        self._migrate_shape_hash_column()
 
     def _migrate_shape_hash_column(self) -> None:
         """One-shot migration: add and backfill ``shape_hash`` on old stores.
@@ -523,17 +567,6 @@ class SqliteStore(StateStore):
     def _maybe_flush(self) -> None:
         if self._pending_rows() >= self.batch_size:
             self.flush()
-
-    # -- meta ----------------------------------------------------------- #
-
-    def _get_meta(self, key: str) -> Optional[str]:
-        row = self._conn.execute("SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
-        return row[0] if row else None
-
-    def _set_meta(self, key: str, value: str) -> None:
-        self._conn.execute(
-            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)", (key, value)
-        )
 
     # -- interned shapes ----------------------------------------------- #
 

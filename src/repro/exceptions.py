@@ -90,3 +90,9 @@ class ExplorationInterrupted(ReproError):
 
 class EngineError(ReproError):
     """The form-based web information system engine rejected an operation."""
+
+
+class CampaignError(ReproError):
+    """A scenario campaign is misconfigured or its store is unusable: unknown
+    family or oracle names, or a resume whose configuration (families, count,
+    seed, oracle stack) does not match what the campaign store recorded."""

@@ -1,0 +1,160 @@
+"""Runner semantics: batching, crash-and-resume, worker parity, config guard.
+
+The crash contract under test: a campaign killed between batches (here: a
+real subprocess that exits after ``--max-batches``, i.e. the process dies
+with committed batches on disk) can be resumed by re-running the identical
+command, and the resumed store's rows equal an uninterrupted run's rows —
+modulo the machine-dependent perf fields (seconds, states/sec, RSS), which
+measure the same explorations but not the same wall clock.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignStore,
+    run_campaign,
+)
+from repro.exceptions import CampaignError
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: A cheap deterministic configuration shared by the tests below.
+CONFIG = CampaignConfig(
+    families=("chain", "sat"),
+    count=8,
+    oracles=("legacy",),
+    smoke=True,
+    batch_size=3,
+)
+
+PERF_FIELDS = ("elapsed", "states_per_second", "peak_rss_kb")
+
+
+def stable_rows(store_path) -> list:
+    """The store's rows with the machine-dependent fields stripped."""
+    with CampaignStore(store_path) as store:
+        rows = [row.to_json_dict() for row in store.rows()]
+    for row in rows:
+        for field in PERF_FIELDS:
+            row.pop(field)
+    return rows
+
+
+def test_interrupted_then_resumed_matches_cold_run(tmp_path):
+    interrupted = tmp_path / "interrupted.db"
+    cold = tmp_path / "cold.db"
+
+    first = run_campaign(CONFIG, interrupted, max_batches=1)
+    assert first.interrupted
+    assert first.executed == CONFIG.batch_size
+    with CampaignStore(interrupted) as store:
+        assert store.row_count() == CONFIG.batch_size
+
+    resumed = run_campaign(CONFIG, interrupted)
+    assert not resumed.interrupted
+    assert resumed.skipped == CONFIG.batch_size
+    assert resumed.executed == CONFIG.count - CONFIG.batch_size
+
+    run_campaign(CONFIG, cold)
+    assert stable_rows(interrupted) == stable_rows(cold)
+
+
+def test_killed_subprocess_resumes_via_cli(tmp_path):
+    """The real thing: the runner process dies between batches, a second
+    process resumes, and the store converges to an uninterrupted run's."""
+    killed = tmp_path / "killed.db"
+    cold = tmp_path / "cold.db"
+    base_cmd = [
+        sys.executable,
+        "-m",
+        "repro",
+        "campaign",
+        "run",
+        "--families", "chain,sat",
+        "--count", "8",
+        "--oracles", "legacy",
+        "--smoke",
+        "--batch-size", "3",
+        "--store", str(killed),
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    first = subprocess.run(
+        base_cmd + ["--max-batches", "1"], capture_output=True, text=True, env=env
+    )
+    assert first.returncode == 0, first.stderr
+    assert "[interrupted]" in first.stdout
+    with CampaignStore(killed) as store:
+        assert 0 < store.row_count() < 8
+
+    second = subprocess.run(base_cmd, capture_output=True, text=True, env=env)
+    assert second.returncode == 0, second.stderr
+    assert "all oracles agreed" in second.stdout
+
+    run_campaign(CONFIG, cold)
+    assert stable_rows(killed) == stable_rows(cold)
+
+
+def test_worker_pool_rows_match_serial(tmp_path):
+    serial = tmp_path / "serial.db"
+    pooled = tmp_path / "pooled.db"
+    run_campaign(CONFIG, serial)
+    pooled_config = CampaignConfig(
+        families=CONFIG.families,
+        count=CONFIG.count,
+        oracles=CONFIG.oracles,
+        smoke=CONFIG.smoke,
+        batch_size=CONFIG.batch_size,
+        workers=2,
+    )
+    run_campaign(pooled_config, pooled)
+    assert stable_rows(serial) == stable_rows(pooled)
+
+
+def test_worker_count_does_not_change_store_identity(tmp_path):
+    """A campaign interrupted at one worker count resumes at another."""
+    store = tmp_path / "campaign.db"
+    run_campaign(CONFIG, store, max_batches=1)
+    pooled_config = CampaignConfig(
+        families=CONFIG.families,
+        count=CONFIG.count,
+        oracles=CONFIG.oracles,
+        smoke=CONFIG.smoke,
+        batch_size=CONFIG.batch_size,
+        workers=2,
+    )
+    summary = run_campaign(pooled_config, store)
+    assert summary.skipped == CONFIG.batch_size
+
+
+def test_mismatched_config_is_rejected(tmp_path):
+    store = tmp_path / "campaign.db"
+    run_campaign(CONFIG, store, max_batches=1)
+    other = CampaignConfig(
+        families=("chain",), count=8, oracles=("legacy",), smoke=True
+    )
+    with pytest.raises(CampaignError):
+        run_campaign(other, store)
+
+
+def test_custom_stack_requires_serial(tmp_path):
+    from repro.campaign.oracles import Oracle
+
+    class Noop(Oracle):
+        name = "noop"
+
+        def check(self, ctx):
+            return self._agree()
+
+    config = CampaignConfig(families=("chain",), count=2, workers=2, smoke=True)
+    with pytest.raises(CampaignError):
+        run_campaign(config, tmp_path / "c.db", oracle_stack=[Noop()])

@@ -1,0 +1,90 @@
+"""Replay the committed seed corpus against the campaign generator.
+
+The files under ``tests/campaign/seed_corpus/`` were written by
+:func:`repro.campaign.generator.write_seed_corpus` — one representative form
+per family at a fixed seed.  Regenerating them must be a byte-for-byte no-op:
+the generator is the single source of campaign forms, and any drift in it
+(or in the deterministic JSON serialisation underneath) silently invalidates
+every committed artifact keyed by ``(family, seed)`` — campaign stores,
+disagreement repros, promoted benchmark workloads.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import FAMILIES, campaign_specs, generate_form, seed_corpus_specs
+from repro.campaign.generator import FormSpec, form_digest
+from repro.engine import ExplorationEngine
+from repro.io.serialization import guarded_form_to_dict, load_guarded_form, save_guarded_form
+
+CORPUS_DIR = Path(__file__).parent / "seed_corpus"
+
+
+def corpus_files() -> list:
+    return sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_covers_every_family():
+    names = {path.name.rsplit("_seed", 1)[0] for path in corpus_files()}
+    assert names == set(FAMILIES)
+
+
+@pytest.mark.parametrize("spec", seed_corpus_specs(), ids=lambda s: s.family)
+def test_regeneration_is_byte_identical(spec, tmp_path):
+    committed = CORPUS_DIR / f"{spec.family}_seed{spec.seed}.json"
+    fresh = tmp_path / committed.name
+    save_guarded_form(generate_form(spec), fresh)
+    assert fresh.read_bytes() == committed.read_bytes(), (
+        f"the {spec.family} generator drifted: regenerate the corpus with "
+        "write_seed_corpus() and review what changed"
+    )
+
+
+@pytest.mark.parametrize("path", corpus_files(), ids=lambda p: p.stem)
+def test_corpus_forms_load_and_explore(path):
+    form = load_guarded_form(path)
+    family = FAMILIES[path.name.rsplit("_seed", 1)[0]]
+    engine = ExplorationEngine(form)
+    if family.kind == "depth1":
+        graph = engine.explore_depth1()
+    else:
+        from repro.analysis.results import ExplorationLimits
+
+        engine = ExplorationEngine(form, limits=ExplorationLimits(max_states=50))
+        graph = engine.explore()
+    assert len(graph.states) >= 1
+
+
+class TestGeneratorDeterminism:
+    def test_same_spec_same_form(self):
+        for family in FAMILIES:
+            spec = FormSpec(family, 11)
+            a, b = generate_form(spec), generate_form(spec)
+            assert guarded_form_to_dict(a) == guarded_form_to_dict(b)
+            assert form_digest(a) == form_digest(b)
+
+    def test_queue_is_deterministic_and_round_robin(self):
+        specs = campaign_specs(["chain", "sat"], 6, base_seed=3)
+        assert [s.family for s in specs] == ["chain", "sat"] * 3
+        assert [s.seed for s in specs] == [3, 4, 5, 6, 7, 8]
+        assert [s.index for s in specs] == list(range(6))
+        assert specs == campaign_specs(["chain", "sat"], 6, base_seed=3)
+
+    def test_scale_shrinks_below_default(self):
+        # a minimized spec (explicit smaller scale) must change the draw
+        # bounds, not be ignored — the minimizer depends on it
+        from repro.campaign.generator import shrink_scales
+
+        for family in FAMILIES.values():
+            scales = shrink_scales(FormSpec(family.name, 0))
+            assert scales[0] == family.min_scale
+            assert scales[-1] == family.scale
+
+    def test_unknown_family_rejected(self):
+        from repro.exceptions import CampaignError
+
+        with pytest.raises(CampaignError):
+            generate_form(FormSpec("nope", 0))
+        with pytest.raises(CampaignError):
+            campaign_specs(["nope"], 3)

@@ -1,0 +1,185 @@
+"""Oracle plumbing: agreement on real forms, disagreement surfacing, sampling.
+
+The central test injects a deliberately-wrong oracle into a campaign and
+checks the full disagreement pipeline end to end: the row records the
+disagreement, the summary surfaces it, and a minimized failing-seed artifact
+lands on disk — replayable, i.e. the artifact's spec regenerates exactly the
+form the artifact embeds.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignStore,
+    run_campaign,
+)
+from repro.campaign.generator import FAMILIES, FormSpec, generate_form
+from repro.campaign.oracles import (
+    DEFAULT_STACK,
+    ORACLES,
+    ExecutionContext,
+    Oracle,
+    OracleOutcome,
+    resolve_stack,
+)
+from repro.campaign.runner import campaign_limits, evaluate_spec
+from repro.exceptions import CampaignError
+from repro.io.serialization import guarded_form_to_dict
+
+
+class AlwaysWrong(Oracle):
+    """Disagrees with every form — the canonical broken oracle."""
+
+    name = "always-wrong"
+
+    def check(self, ctx):
+        return OracleOutcome(self.name, False, "deliberately wrong")
+
+
+class TestStack:
+    def test_registry_matches_default_stack(self):
+        assert set(DEFAULT_STACK) == set(ORACLES)
+
+    def test_resolve_preserves_order(self):
+        stack = resolve_stack(["resume", "legacy"])
+        assert [oracle.name for oracle in stack] == ["resume", "legacy"]
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(CampaignError):
+            resolve_stack(["legacy", "nope"])
+
+    def test_smoke_samples_the_pool_oracle(self):
+        from repro.campaign.oracles import SMOKE_PARALLEL_SAMPLE
+
+        stack = resolve_stack(list(DEFAULT_STACK), smoke=True)
+        by_name = {oracle.name: oracle for oracle in stack}
+        assert by_name["serial-parallel"].sample_every == SMOKE_PARALLEL_SAMPLE
+        assert by_name["legacy"].sample_every == 1
+
+    def test_sampled_oracle_skips_off_indices(self):
+        class Counting(Oracle):
+            name = "counting"
+            sample_every = 3
+
+            def __init__(self):
+                self.calls = []
+
+            def check(self, ctx):
+                self.calls.append(True)
+                return self._agree()
+
+        oracle = Counting()
+        limits = campaign_limits(smoke=True)
+        for index in range(4):
+            evaluate_spec(
+                FormSpec("chain", index, index=index), [oracle], limits
+            )
+        assert len(oracle.calls) == 2  # indices 0 and 3
+
+
+class TestAgreementOnRealForms:
+    @pytest.mark.parametrize("family", ["chain", "deep"])
+    def test_full_stack_agrees(self, family):
+        limits = campaign_limits(smoke=True)
+        stack = resolve_stack(list(DEFAULT_STACK))
+        row = evaluate_spec(FormSpec(family, 4), stack, limits)
+        assert row.disagreements == []
+        assert set(row.oracles_run) == set(DEFAULT_STACK)
+        assert row.states >= 1
+        assert row.kind == FAMILIES[family].kind
+
+
+class TestDisagreementPipeline:
+    def test_wrong_oracle_produces_row_summary_and_artifact(self, tmp_path):
+        config = CampaignConfig(
+            families=("chain",), count=2, oracles=("always-wrong",), smoke=True
+        )
+        store_path = tmp_path / "campaign.db"
+        artifacts = tmp_path / "artifacts"
+        summary = run_campaign(
+            config,
+            store_path,
+            oracle_stack=[AlwaysWrong()],
+            artifacts_dir=artifacts,
+        )
+
+        # the rows record the disagreement
+        with CampaignStore(store_path) as store:
+            rows = store.rows()
+        assert len(rows) == 2
+        for row in rows:
+            assert row.disagreements == [
+                {"oracle": "always-wrong", "detail": "deliberately wrong"}
+            ]
+            assert not row.agreed
+
+        # the summary surfaces it
+        assert len(summary.disagreements) == 2
+        assert len(summary.artifacts) == 2
+
+        # the artifact is a minimized, replayable repro
+        for artifact_path in summary.artifacts:
+            payload = json.loads(Path(artifact_path).read_text())
+            assert payload["oracle"] == "always-wrong"
+            # AlwaysWrong fails at every scale, so minimization bottoms out
+            assert payload["minimized_scale"] == FAMILIES[payload["family"]].min_scale
+            respun = generate_form(
+                FormSpec(
+                    payload["family"],
+                    payload["seed"],
+                    scale=payload["minimized_scale"],
+                )
+            )
+            assert guarded_form_to_dict(respun) == payload["form"]
+
+    def test_threshold_oracle_minimizes_to_smallest_failing_scale(self, tmp_path):
+        """An oracle failing only above a size threshold minimizes to the
+        smallest scale that still crosses it — not all the way down."""
+
+        class FailsAboveThreshold(Oracle):
+            name = "threshold"
+            threshold = 6
+
+            def check(self, ctx):
+                states = len(ctx.depth1_graph().states)
+                if states > self.threshold:
+                    return self._disagree(f"{states} states > {self.threshold}")
+                return self._agree()
+
+        # chain at seed 0 draws size >= min_scale; find a seed whose default
+        # draw exceeds the threshold but whose minimum scale stays below it
+        limits = campaign_limits(smoke=True)
+        oracle = FailsAboveThreshold()
+        seed = next(
+            s
+            for s in range(50)
+            if len(
+                ExecutionContext(
+                    generate_form(FormSpec("chain", s)), "depth1", limits
+                )
+                .depth1_graph()
+                .states
+            )
+            > oracle.threshold
+        )
+        from repro.campaign.runner import minimize_disagreement
+
+        spec = FormSpec("chain", seed)
+        minimized, form, outcome = minimize_disagreement(spec, oracle, limits)
+        assert outcome is not None and not outcome.agree
+        states = len(
+            ExecutionContext(form, "depth1", limits).depth1_graph().states
+        )
+        assert states > oracle.threshold
+        # one scale down must agree (that's what "minimized" means here)
+        if minimized.scale > FAMILIES["chain"].min_scale:
+            smaller = generate_form(
+                FormSpec("chain", seed, scale=minimized.scale - 1)
+            )
+            assert oracle.check(
+                ExecutionContext(smaller, "depth1", limits)
+            ).agree

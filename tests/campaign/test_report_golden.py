@@ -1,0 +1,98 @@
+"""The campaign report is a pure function of the campaign configuration.
+
+Two pins:
+
+* a golden file: the deterministic (``include_perf=False``) report of a
+  fixed small campaign must equal ``tests/campaign/golden_report.json``
+  byte-for-byte — any drift in the generator, the explorers or the report
+  layout shows up as a reviewable diff here;
+* insert-order independence: a store whose rows landed in scrambled batch
+  order (the wall-clock order of a parallel or resumed campaign) reports
+  identically to one filled in queue order.  Reports sort by
+  ``(family, seed)``; wall-clock ordering must never leak in.
+"""
+
+import json
+from pathlib import Path
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignStore,
+    build_report,
+    render_report,
+    run_campaign,
+)
+
+GOLDEN = Path(__file__).parent / "golden_report.json"
+
+#: The pinned campaign: cheap, deterministic, two families, legacy oracle.
+GOLDEN_CONFIG = CampaignConfig(
+    families=("chain", "sat"),
+    count=6,
+    oracles=("legacy",),
+    smoke=True,
+    batch_size=3,
+)
+
+
+def golden_report(tmp_path) -> dict:
+    store = tmp_path / "golden.db"
+    summary = run_campaign(GOLDEN_CONFIG, store)
+    assert summary.disagreements == []
+    return build_report(store, include_perf=False)
+
+
+def test_report_matches_golden_file(tmp_path):
+    report = golden_report(tmp_path)
+    rendered = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    assert rendered == GOLDEN.read_text(), (
+        "the deterministic campaign report drifted; regenerate "
+        "tests/campaign/golden_report.json and review what changed"
+    )
+
+
+def test_report_is_insert_order_independent(tmp_path):
+    ordered = tmp_path / "ordered.db"
+    run_campaign(GOLDEN_CONFIG, ordered)
+    with CampaignStore(ordered) as store:
+        rows = store.rows()
+        config = store.config()
+
+    scrambled_path = tmp_path / "scrambled.db"
+    scrambled = CampaignStore(scrambled_path)
+    scrambled.bind_config(config)
+    # commit in reversed order, one row per batch — the most wall-clock-ish
+    # landing order a resumed or pooled campaign could produce
+    for row in reversed(rows):
+        scrambled.record_rows([row])
+    scrambled.close()
+
+    assert build_report(scrambled_path, include_perf=False) == build_report(
+        ordered, include_perf=False
+    )
+
+
+def test_perf_sections_are_segregated(tmp_path):
+    store = tmp_path / "golden.db"
+    run_campaign(GOLDEN_CONFIG, store)
+    with_perf = build_report(store, include_perf=True)
+    without = build_report(store, include_perf=False)
+    for family_entry in with_perf["families"].values():
+        assert "states_per_second" in family_entry
+        assert "peak_rss_kb" in family_entry
+    for family_entry in without["families"].values():
+        assert "states_per_second" not in family_entry
+        assert "peak_rss_kb" not in family_entry
+    # the deterministic remainder is unaffected by the perf flag
+    for family, entry in without["families"].items():
+        rich = dict(with_perf["families"][family])
+        for key in ("elapsed_seconds", "states_per_second", "peak_rss_kb", "guard_hit_rate"):
+            rich.pop(key)
+        assert rich == entry
+
+
+def test_render_mentions_every_family(tmp_path):
+    report = golden_report(tmp_path)
+    text = render_report(report)
+    assert "chain" in text and "sat" in text
+    assert "0 disagreements" in text

@@ -1,107 +1,31 @@
-"""Shared hypothesis strategies for the property-based tests."""
+"""Shared hypothesis strategies for the property-based tests.
+
+The strategies themselves moved to :mod:`repro.campaign.strategies` so the
+campaign generator is the single source of scenario vocabulary (forms,
+schemas, formulas) for both the property suite and the campaign runner; this
+module re-exports them unchanged for the existing test imports.
+"""
 
 from __future__ import annotations
 
-from functools import reduce
-
-from hypothesis import strategies as st
-
-from repro.core.formulas.ast import (
-    And,
-    Exists,
-    Filter,
-    Formula,
-    Not,
-    Or,
-    Parent,
-    Slash,
-    Step,
-    Top,
+from repro.campaign.strategies import (
+    PROPERTY_LABELS,
+    PROPERTY_SCHEMA_DICT,
+    campaign_forms,
+    formulas,
+    instances,
+    path_expressions,
+    positive_formulas,
+    property_schema,
 )
-from repro.core.instance import Instance
-from repro.core.schema import Schema
 
-#: The schema most property tests build instances of: small but featuring
-#: nesting, sibling variety and reused labels at different positions.
-PROPERTY_SCHEMA_DICT = {
-    "a": {"x": {}, "y": {"z": {}}},
-    "b": {"x": {}},
-    "c": {},
-}
-
-PROPERTY_LABELS = ["a", "b", "c", "x", "y", "z"]
-
-
-def property_schema() -> Schema:
-    """A fresh copy of the shared property-test schema."""
-    return Schema.from_dict(PROPERTY_SCHEMA_DICT)
-
-
-@st.composite
-def instances(draw, schema: Schema | None = None, max_copies: int = 2) -> Instance:
-    """Random instances of *schema* with up to *max_copies* copies per field."""
-    target = schema or property_schema()
-    instance = Instance.empty(target)
-
-    def populate(schema_node, instance_node, depth):
-        for schema_child in schema_node.children:
-            copies = draw(st.integers(min_value=0, max_value=max_copies))
-            for _ in range(copies):
-                child = instance.add_field(instance_node, schema_child.label)
-                populate(schema_child, child, depth + 1)
-
-    populate(target.root, instance.root, 0)
-    return instance
-
-
-@st.composite
-def path_expressions(draw, labels=None, depth: int = 2):
-    """Random path expressions over *labels*.
-
-    Paths are generated in the shape the concrete syntax produces — a
-    ``/``-separated sequence of ``..`` / label steps, each optionally carrying
-    filters — so rendering and re-parsing reproduces the exact AST (the parser
-    has no syntax for grouping a composite path before a filter).
-    """
-    pool = labels or PROPERTY_LABELS
-    num_steps = draw(st.integers(min_value=1, max_value=3))
-    steps = []
-    for _ in range(num_steps):
-        base = draw(
-            st.one_of(
-                st.builds(Step, st.sampled_from(pool)),
-                st.just(Parent()),
-            )
-        )
-        if depth > 0 and draw(st.booleans()):
-            condition = draw(formulas(labels=pool, depth=depth - 1))
-            base = Filter(base, condition)
-        steps.append(base)
-    return reduce(Slash, steps)
-
-
-@st.composite
-def formulas(draw, labels=None, depth: int = 2, allow_negation: bool = True) -> Formula:
-    """Random formulas over *labels* with bounded connective depth."""
-    pool = labels or PROPERTY_LABELS
-    if depth <= 0:
-        return Exists(draw(st.builds(Step, st.sampled_from(pool))))
-    options = ["atom", "and", "or", "top"]
-    if allow_negation:
-        options.append("not")
-    choice = draw(st.sampled_from(options))
-    if choice == "atom":
-        return Exists(draw(path_expressions(labels=pool, depth=depth - 1)))
-    if choice == "top":
-        return Top()
-    if choice == "not":
-        return Not(draw(formulas(labels=pool, depth=depth - 1, allow_negation=allow_negation)))
-    left = draw(formulas(labels=pool, depth=depth - 1, allow_negation=allow_negation))
-    right = draw(formulas(labels=pool, depth=depth - 1, allow_negation=allow_negation))
-    return And(left, right) if choice == "and" else Or(left, right)
-
-
-@st.composite
-def positive_formulas(draw, labels=None, depth: int = 2) -> Formula:
-    """Random negation-free formulas."""
-    return draw(formulas(labels=labels, depth=depth, allow_negation=False))
+__all__ = [
+    "PROPERTY_LABELS",
+    "PROPERTY_SCHEMA_DICT",
+    "campaign_forms",
+    "formulas",
+    "instances",
+    "path_expressions",
+    "positive_formulas",
+    "property_schema",
+]
