@@ -47,6 +47,13 @@ _COLUMNS = (
     # also populated for the classic engine workloads where recorded
     ("states", "states", False),
     ("transitions", "transitions", False),
+    # telemetry fields (PR 8): enabled-vs-disabled overhead and the merged
+    # trace's shape; pre-PR-8 reports render them as —
+    ("telemetry_overhead_fraction", "telemetry overhead", True),
+    ("disabled_states_per_second", "untraced states/s", False),
+    ("trace_events", "trace events", False),
+    ("worker_snapshots_merged", "worker snapshots", False),
+    ("eviction_sweeps", "eviction sweeps", False),
 )
 
 
@@ -97,6 +104,9 @@ def diff_reports(baseline: dict, fresh: dict) -> str:
             "attach_parallel_parity",
             "attach_pure_parity",
             "pure_parallel_parity",
+            "telemetry_parity",
+            "traced_parallel_parity",
+            "trace_has_worker_spans",
         ):
             if new.get(flag) is False:
                 status.append(f"**{flag} BROKEN**")

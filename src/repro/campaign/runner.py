@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import json
 import resource
+import statistics
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence
@@ -44,11 +46,20 @@ from repro.campaign.oracles import (
 from repro.campaign.store import CampaignRow, CampaignStore
 from repro.engine.parallel import drain_task_queue
 from repro.io.serialization import guarded_form_to_dict
+from repro.obs import default_telemetry
 
 #: State caps for a campaign's per-form explorations.  Smoke keeps each form
 #: in the hundreds-of-states range so thousands of forms stay tractable.
 SMOKE_MAX_STATES = 400
 FULL_MAX_STATES = 1500
+
+#: Stall detection needs this many committed same-family wall times before a
+#: family median is trusted (a median of one or two forms flags noise).
+STALL_MIN_SAMPLES = 3
+
+#: Forms faster than this are never stalls, whatever the family median says —
+#: at sub-50ms scales scheduler jitter alone produces large multiples.
+STALL_FLOOR_SECONDS = 0.05
 
 
 def campaign_limits(smoke: bool) -> ExplorationLimits:
@@ -65,7 +76,10 @@ class CampaignConfig:
     ``workers`` and ``batch_size`` shape *how* the queue is drained, not
     what the rows contain, so they are excluded from the store-bound
     configuration payload — a campaign interrupted at ``--workers 4`` may
-    resume at ``--workers 1``.
+    resume at ``--workers 1``.  The observability knobs
+    (``heartbeat_every``, ``stall_multiple``) are likewise non-semantic and
+    stay out of the payload: turning heartbeats on must not invalidate a
+    resumable store.
     """
 
     families: Sequence[str] = ("all",)
@@ -75,6 +89,11 @@ class CampaignConfig:
     smoke: bool = False
     workers: int = 1
     batch_size: int = 25
+    #: Emit a structured heartbeat event every N completed forms (0 = off).
+    heartbeat_every: int = 0
+    #: Flag a form as stalled when its wall clock exceeds this multiple of
+    #: the family median (needs :data:`STALL_MIN_SAMPLES` prior samples).
+    stall_multiple: float = 4.0
 
     def payload(self) -> dict:
         """The row-determining configuration (the store's resume guard)."""
@@ -98,6 +117,77 @@ class CampaignSummary:
     disagreements: list = field(default_factory=list)  # CampaignRow dicts
     artifacts: list = field(default_factory=list)  # Path strings
     interrupted: bool = False  # stopped early by max_batches
+    stalls: list = field(default_factory=list)  # stall event dicts
+
+
+class CampaignPulse:
+    """Heartbeat and stall bookkeeping for one :func:`run_campaign` call.
+
+    Wall-clock times are fed per completed form; a form counts as stalled
+    when its wall time exceeds ``stall_multiple`` × the median of the wall
+    times its family committed *before* it (so one pathological form cannot
+    dilute the very median that should flag it).  Heartbeats and stalls are
+    handed to the ``on_event`` callback as plain dicts — the CLI prints them
+    as JSON lines — and, when a telemetry recorder is active, mirrored as a
+    queue-depth gauge and trace instants.
+    """
+
+    def __init__(self, config: CampaignConfig, total: int, done: int, on_event) -> None:
+        self.every = max(0, config.heartbeat_every)
+        self.multiple = config.stall_multiple
+        self.total = total
+        self.done = done
+        self.on_event = on_event
+        self.obs = default_telemetry()
+        self.started = time.perf_counter()
+        self.stalls: list = []
+        self._wall: dict = {}  # family -> wall seconds of committed forms
+        self._last_beat = done
+
+    def form_done(self, spec: FormSpec, wall: float) -> None:
+        self.done += 1
+        prior = self._wall.setdefault(spec.family, [])
+        median = (
+            statistics.median(prior) if len(prior) >= STALL_MIN_SAMPLES else None
+        )
+        prior.append(wall)
+        if (
+            median is not None
+            and wall > STALL_FLOOR_SECONDS
+            and wall > self.multiple * median
+        ):
+            event = {
+                "event": "stall",
+                "family": spec.family,
+                "seed": spec.seed,
+                "elapsed": round(wall, 4),
+                "family_median": round(median, 4),
+                "multiple": round(wall / median, 1) if median else None,
+            }
+            self.stalls.append(event)
+            self._emit(event)
+            if self.obs.enabled:
+                self.obs.instant("campaign.stall", family=spec.family, seed=spec.seed)
+        if self.obs.enabled:
+            self.obs.metrics.gauge("campaign_queue_depth").set(
+                self.total - self.done, sample=True
+            )
+        if self.every and self.done - self._last_beat >= self.every:
+            self._last_beat = self.done
+            event = {
+                "event": "heartbeat",
+                "done": self.done,
+                "total": self.total,
+                "queue_depth": self.total - self.done,
+                "elapsed": round(time.perf_counter() - self.started, 3),
+            }
+            self._emit(event)
+            if self.obs.enabled:
+                self.obs.instant("campaign.heartbeat", done=self.done, total=self.total)
+
+    def _emit(self, event: dict) -> None:
+        if self.on_event is not None:
+            self.on_event(event)
 
 
 def evaluate_spec(spec: FormSpec, stack, limits: ExplorationLimits) -> CampaignRow:
@@ -216,6 +306,7 @@ def run_campaign(
     artifacts_dir: Optional[Path] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     max_batches: Optional[int] = None,
+    on_event: Optional[Callable[[dict], None]] = None,
 ) -> CampaignSummary:
     """Drain the campaign queue into the store; return the summary.
 
@@ -232,6 +323,9 @@ def run_campaign(
         progress: optional ``(done, total)`` callback per batch.
         max_batches: stop after this many batches (the crash-simulation
             hook; the store is left consistent and resumable).
+        on_event: optional callback receiving heartbeat/stall event dicts
+            (see :class:`CampaignPulse`); stalls are also collected on the
+            summary regardless.
     """
     from repro.exceptions import CampaignError
 
@@ -257,6 +351,7 @@ def run_campaign(
         summary = CampaignSummary(
             total=len(specs), executed=0, skipped=len(done)
         )
+        pulse = CampaignPulse(config, len(specs), len(done), on_event)
         batch_size = max(1, config.batch_size)
         batches = [
             todo[i : i + batch_size] for i in range(0, len(todo), batch_size)
@@ -274,8 +369,16 @@ def run_campaign(
                     _pool_task,
                     workers=config.workers,
                 )
+                # pool workers don't report wall clock; the reference
+                # exploration time is the closest committed proxy
+                for spec, row in zip(batch, rows):
+                    pulse.form_done(spec, row.elapsed)
             else:
-                rows = [evaluate_spec(spec, stack, limits) for spec in batch]
+                rows = []
+                for spec in batch:
+                    form_started = time.perf_counter()
+                    rows.append(evaluate_spec(spec, stack, limits))
+                    pulse.form_done(spec, time.perf_counter() - form_started)
             store.record_rows(rows)
             summary.executed += len(rows)
             for spec, row in zip(batch, rows):
@@ -301,6 +404,7 @@ def run_campaign(
                     summary.artifacts.append(str(artifact))
             if progress is not None:
                 progress(summary.skipped + summary.executed, len(specs))
+        summary.stalls = pulse.stalls
     finally:
         store.close()
     return summary

@@ -23,6 +23,9 @@ The CLI exposes the workflows a form designer needs without writing Python:
     per-form outcome/perf rows (see :mod:`repro.campaign`); ``campaign
     report`` prints distributions, outliers and disagreements, ``campaign
     promote`` commits the hardest instances as benchmark workloads;
+``guarded-forms trace report TRACE.json``
+    summarize a telemetry trace written by ``--trace`` (per-process span
+    totals, counters, wall span);
 ``guarded-forms table1``
     print the paper's complexity table.
 
@@ -46,6 +49,15 @@ work against a very large store.  A Ctrl-C during a store-backed
 exploration checkpoints before exiting, so ``--resume`` always has something
 to pick up.  See :mod:`repro.engine.store`.
 
+``analyze``, ``invariant`` and ``workflow`` also share one observability
+flag family (:mod:`repro.obs`): ``--trace PATH`` records engine / store /
+worker spans into a Chrome trace-event JSON file (load it in Perfetto or
+``chrome://tracing``, or summarize it with ``trace report``), ``--metrics``
+prints the metric registry snapshot after the run, and ``--profile`` wraps
+the command in cProfile.  All three are off by default and the disabled
+telemetry path costs one attribute check, so results are bit-identical
+either way.
+
 The module is usable both through the ``guarded-forms`` console script and as
 ``python -m repro``.
 """
@@ -55,6 +67,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
@@ -83,6 +96,14 @@ from repro.fbwis.catalog import (
 from repro.io.dot import lts_to_dot
 from repro.io.render import render_rule_table, render_schema, render_table1
 from repro.io.serialization import guarded_form_to_dict, load_guarded_form, save_guarded_form
+from repro.obs import (
+    Telemetry,
+    load_trace_events,
+    maybe_profiled,
+    render_trace_report,
+    summarize_trace,
+    use_telemetry,
+)
 from repro.workflow.extraction import extract_workflow
 from repro.workflow.soundness import analyse_workflow
 
@@ -215,6 +236,70 @@ def _add_limit_arguments(parser: argparse.ArgumentParser) -> None:
         help="checkpoint a store-backed exploration every N state "
         "expansions (default: 1000)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record engine/store/worker telemetry spans into a Chrome "
+        "trace-event JSON file at PATH (Perfetto-loadable; summarize with "
+        "'trace report PATH'; results are bit-identical with or without)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the telemetry metric snapshot (counters, gauges, "
+        "latency histograms) after the run",
+    )
+
+
+@contextmanager
+def _telemetry_scope(args: argparse.Namespace, out):
+    """Activate a telemetry recorder for a command when asked to.
+
+    With ``--trace PATH`` and/or ``--metrics`` a live
+    :class:`~repro.obs.Telemetry` is pushed for the duration of the command
+    body, so every engine/store the command builds internally picks it up
+    through :func:`~repro.obs.default_telemetry`.  The trace file is written
+    (and the metric snapshot printed) even when the body raises — an
+    interrupted exploration still leaves an inspectable trace.
+    """
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if not trace_path and not want_metrics:
+        yield None
+        return
+    telemetry = Telemetry(process="repro-cli")
+    try:
+        with use_telemetry(telemetry):
+            yield telemetry
+    finally:
+        if trace_path:
+            count = telemetry.write_chrome_trace(trace_path)
+            print(f"trace: {count} event(s) written to {trace_path}", file=sys.stderr)
+        if want_metrics:
+            _print_metrics(telemetry, out)
+
+
+def _print_metrics(telemetry, out) -> None:
+    snapshot = telemetry.metrics.snapshot()
+    if not snapshot:
+        print("metrics: (none recorded)", file=out)
+        return
+    print("metrics:", file=out)
+    for name in sorted(snapshot):
+        if name.endswith("_series"):
+            continue  # gauge time series are trace material, not summary
+        value = snapshot[name]
+        if isinstance(value, dict):
+            print(
+                f"  {name}: count={value['count']} sum={value['sum']:.6f} "
+                f"mean={value['mean']:.6f}",
+                file=out,
+            )
+        elif isinstance(value, float):
+            print(f"  {name}: {value:.6f}", file=out)
+        else:
+            print(f"  {name}: {value}", file=out)
 
 
 def _check_workers(args: argparse.Namespace) -> None:
@@ -319,23 +404,9 @@ def _cmd_render(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace, out) -> int:
-    if not getattr(args, "profile", False):
+    profile_path = "analyze.pstats" if getattr(args, "profile", False) else None
+    with maybe_profiled(profile_path), _telemetry_scope(args, out):
         return _run_analyze(args, out)
-    import cProfile
-    import pstats
-
-    profiler = cProfile.Profile()
-    profiler.enable()
-    try:
-        return _run_analyze(args, out)
-    finally:
-        profiler.disable()
-        pstats_path = "analyze.pstats"
-        profiler.dump_stats(pstats_path)
-        print(f"profile written to {pstats_path}", file=sys.stderr)
-        pstats.Stats(profiler, stream=sys.stderr).sort_stats("cumulative").print_stats(
-            20
-        )
 
 
 def _run_analyze(args: argparse.Namespace, out) -> int:
@@ -460,16 +531,17 @@ def _cmd_invariant(args: argparse.Namespace, out) -> int:
     _check_workers(args)
     store = open_store(args.store, checkpoint_every=args.checkpoint_every)
     try:
-        result = always_holds(
-            form,
-            args.formula,
-            limits=_limits_from_args(args),
-            frontier=args.frontier,
-            store=store,
-            resume=args.resume,
-            workers=args.workers,
-            resident_budget=args.resident_budget,
-        )
+        with _telemetry_scope(args, out):
+            result = always_holds(
+                form,
+                args.formula,
+                limits=_limits_from_args(args),
+                frontier=args.frontier,
+                store=store,
+                resume=args.resume,
+                workers=args.workers,
+                resident_budget=args.resident_budget,
+            )
     except KeyboardInterrupt:
         _print_interrupt_hint(args)
         return 130
@@ -493,15 +565,16 @@ def _cmd_workflow(args: argparse.Namespace, out) -> int:
     _check_workers(args)
     store = open_store(args.store, checkpoint_every=args.checkpoint_every)
     try:
-        lts = extract_workflow(
-            form,
-            limits=_limits_from_args(args),
-            frontier=args.frontier,
-            store=store,
-            resume=args.resume,
-            workers=args.workers,
-            resident_budget=args.resident_budget,
-        )
+        with _telemetry_scope(args, out):
+            lts = extract_workflow(
+                form,
+                limits=_limits_from_args(args),
+                frontier=args.frontier,
+                store=store,
+                resume=args.resume,
+                workers=args.workers,
+                resident_budget=args.resident_budget,
+            )
     except KeyboardInterrupt:
         _print_interrupt_hint(args)
         return 130
@@ -551,6 +624,23 @@ def _cmd_store_info(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_trace_report(args: argparse.Namespace, out) -> int:
+    path = Path(args.trace_file)
+    if not path.exists():
+        print(f"error: no trace file at {args.trace_file}", file=sys.stderr)
+        return 2
+    try:
+        events = load_trace_events(path)
+    except (ValueError, OSError) as exc:
+        print(f"error: cannot parse {args.trace_file}: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"error: no trace events in {args.trace_file}", file=sys.stderr)
+        return 2
+    print(render_trace_report(summarize_trace(events)), file=out)
+    return 0
+
+
 def _cmd_campaign_run(args: argparse.Namespace, out) -> int:
     from repro.campaign import CampaignConfig, run_campaign
 
@@ -562,10 +652,16 @@ def _cmd_campaign_run(args: argparse.Namespace, out) -> int:
         smoke=args.smoke,
         workers=args.workers,
         batch_size=args.batch_size,
+        heartbeat_every=args.heartbeat_every,
+        stall_multiple=args.stall_multiple,
     )
 
     def progress(done: int, total: int) -> None:
         print(f"  {done}/{total} forms", file=out)
+        out.flush() if hasattr(out, "flush") else None
+
+    def on_event(event: dict) -> None:
+        print(json.dumps(event, sort_keys=True), file=out)
         out.flush() if hasattr(out, "flush") else None
 
     summary = run_campaign(
@@ -574,6 +670,7 @@ def _cmd_campaign_run(args: argparse.Namespace, out) -> int:
         artifacts_dir=Path(args.artifacts) if args.artifacts else None,
         progress=progress if args.progress else None,
         max_batches=args.max_batches,
+        on_event=on_event if (args.heartbeat_every or args.progress) else None,
     )
     print(
         f"campaign: {summary.total} forms ({summary.skipped} already in store, "
@@ -581,6 +678,12 @@ def _cmd_campaign_run(args: argparse.Namespace, out) -> int:
         + (" [interrupted]" if summary.interrupted else ""),
         file=out,
     )
+    if summary.stalls:
+        print(
+            f"{len(summary.stalls)} form(s) exceeded {config.stall_multiple}x "
+            "their family's median wall clock (see stall events above)",
+            file=out,
+        )
     if summary.disagreements:
         print(
             f"{len(summary.disagreements)} ORACLE DISAGREEMENT(S); artifacts:",
@@ -785,6 +888,22 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument(
         "--progress", action="store_true", help="print per-batch progress"
     )
+    campaign_run.add_argument(
+        "--heartbeat-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print a structured JSON heartbeat line every N completed "
+        "forms (done/total/queue depth/elapsed; default 0 = off)",
+    )
+    campaign_run.add_argument(
+        "--stall-multiple",
+        type=float,
+        default=4.0,
+        metavar="X",
+        help="flag a form as stalled when its wall clock exceeds X times "
+        "its family's median (needs 3 prior samples; default 4.0)",
+    )
     campaign_run.set_defaults(handler=_cmd_campaign_run)
 
     campaign_report = campaign_sub.add_parser(
@@ -822,6 +941,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict promotion to these comma-separated families",
     )
     campaign_promote.set_defaults(handler=_cmd_campaign_promote)
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect telemetry traces written by --trace"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_report = trace_sub.add_parser(
+        "report",
+        help="summarize a Chrome trace-event file (per-process span totals, "
+        "counters, wall span)",
+    )
+    trace_report.add_argument("trace_file", help="path to the trace JSON file")
+    trace_report.set_defaults(handler=_cmd_trace_report)
 
     table1 = subparsers.add_parser("table1", help="print the paper's Table 1")
     table1.set_defaults(handler=_cmd_table1)

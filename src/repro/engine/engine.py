@@ -89,6 +89,7 @@ from repro.io.serialization import (
     encode_instance_with_ids,
     encode_update,
 )
+from repro.obs import default_telemetry
 
 #: A memoized successor candidate:
 #: (update, successor state id, is_addition, successor size, sibling copies
@@ -403,11 +404,18 @@ class ExplorationEngine:
         store: Optional[StateStore] = None,
         checkpoint_every: int = 1000,
         resident_budget: Optional[int] = None,
+        telemetry=None,
     ) -> None:
         self.guarded_form = guarded_form
         self.strategy = strategy
         self._limits = limits
+        #: Telemetry recorder (``repro.obs``).  ``None`` resolves through
+        #: :func:`~repro.obs.default_telemetry` — the innermost
+        #: ``use_telemetry`` context, then ``REPRO_TRACE``, then the no-op
+        #: default — so dispatcher-built engines inherit the CLI's recorder.
+        self.telemetry = telemetry if telemetry is not None else default_telemetry()
         self.store = store if store is not None else InMemoryStore()
+        self.store.telemetry = self.telemetry
         self.store.attach(guarded_form)
         store_cadence = getattr(self.store, "checkpoint_every", None)
         self.checkpoint_every = max(
@@ -430,7 +438,7 @@ class ExplorationEngine:
         backing = self.store if self.store.persistent else None
         self.interner = ShapeInterner(store=backing)
         self.shaper = IncrementalShaper(self.interner)
-        self.guards = GuardCache(guarded_form, store=backing)
+        self.guards = GuardCache(guarded_form, store=backing, telemetry=self.telemetry)
         #: StateId -> resident representative Instance, in recency-of-access
         #: order (front = coldest; eviction pops from the front).
         self._reps: OrderedDict = OrderedDict()
@@ -478,21 +486,22 @@ class ExplorationEngine:
         """
         if self._hydrated:
             return
-        raw_rows = self.store.load_guards_raw()
-        if raw_rows is not None:
-            # binary rows stay undecoded until a key is probed (the decode
-            # used to dominate large-store attach); JSON rows still decode —
-            # and surface corruption — here
-            for row, value in raw_rows:
-                self.guards.restore_raw(row, value)
-        else:
-            for key, value in self.store.load_guards():
-                self.guards.restore(key, value)
-        max_id = self.store.max_state_id()
-        if max_id is not None:
-            rows = self.store.shape_row_count()
-            self.interner.bind_persisted(max_id, rows)
-            self._persisted_rows_at_attach = rows
+        with self.telemetry.span("engine.hydrate"):
+            raw_rows = self.store.load_guards_raw()
+            if raw_rows is not None:
+                # binary rows stay undecoded until a key is probed (the decode
+                # used to dominate large-store attach); JSON rows still decode —
+                # and surface corruption — here
+                for row, value in raw_rows:
+                    self.guards.restore_raw(row, value)
+            else:
+                for key, value in self.store.load_guards():
+                    self.guards.restore(key, value)
+            max_id = self.store.max_state_id()
+            if max_id is not None:
+                rows = self.store.shape_row_count()
+                self.interner.bind_persisted(max_id, rows)
+                self._persisted_rows_at_attach = rows
         self._hydrated = True
 
     # ------------------------------------------------------------------ #
@@ -558,6 +567,13 @@ class ExplorationEngine:
         budget = self.resident_budget
         if budget is None or not self.store.persistent:
             return
+        obs = self.telemetry
+        # only an actual sweep (resident set over budget) earns a span;
+        # the within-budget probe stays uninstrumented — it runs between
+        # every pair of expansions
+        sweeping = obs.enabled and len(self._reps) > budget
+        sweep_started = obs.now() if sweeping else 0.0
+        evicted_before = self.reps_evicted
         while len(self._reps) > budget:
             state_id, _ = self._reps.popitem(last=False)
             self._shape_maps.pop(state_id, None)
@@ -565,6 +581,13 @@ class ExplorationEngine:
                 self.expansions_evicted += 1
             self.reps_evicted += 1
         self.interner.evict_states(keep=budget)
+        if sweeping:
+            obs.metrics.counter("eviction_sweeps").inc()
+            obs.metrics.histogram("eviction_sweep_seconds").observe(
+                obs.end_span(
+                    "engine.evict", sweep_started, evicted=self.reps_evicted - evicted_before
+                )
+            )
         # the subtree cons table grows with every distinct subtree ever seen;
         # rebuild it from the resident tier when it has doubled since the
         # last prune (cheap len check per enforcement, O(resident) to prune)
@@ -699,6 +722,9 @@ class ExplorationEngine:
         states = graph._states
         expanded_this_call = 0
         in_flight: Optional[StateId] = None
+        obs = self.telemetry
+        obs_enabled = obs.enabled
+        explore_started = obs.now()
         try:
             while frontier:
                 if step_limit is not None and expanded_this_call >= step_limit:
@@ -770,17 +796,38 @@ class ExplorationEngine:
                 if found_complete:
                     graph.stopped_on_complete = True
                     break
-                if (
-                    self.store.persistent
-                    and expanded_this_call % self.checkpoint_every == 0
-                ):
-                    self._save_checkpoint(run_key, graph, frontier)
+                if expanded_this_call % self.checkpoint_every == 0:
+                    if self.store.persistent:
+                        self._save_checkpoint(run_key, graph, frontier)
+                    if obs_enabled:
+                        # periodic residency sample: eviction churn shows up
+                        # as a time series, not just an end-of-run peak
+                        obs.sample_rss(
+                            reps_resident=len(self._reps),
+                            states_resident=self.interner.resident,
+                        )
         except KeyboardInterrupt:
             if in_flight is not None and in_flight not in graph.transitions:
                 frontier.requeue(in_flight)  # re-expand it first on resume
             self._save_checkpoint(run_key, graph, frontier)
             self.store.flush()
             raise
+        finally:
+            if obs_enabled:
+                obs.end_span(
+                    "engine.explore",
+                    explore_started,
+                    strategy=strategy_name,
+                    states=len(states),
+                    expanded=expanded_this_call,
+                )
+                obs.sample_rss(
+                    reps_resident=len(self._reps),
+                    states_resident=self.interner.resident,
+                )
+                drained = self.guards.take_eval_seconds()
+                if drained:
+                    obs.metrics.counter("guard_eval_seconds").inc(drained)
         self._finish_exploration(run_key, graph)
         return graph
 
@@ -1066,4 +1113,7 @@ class ExplorationEngine:
         )
         for key, value in self.store.stats().items():
             snapshot[f"store_{key}"] = value
+        snapshot["telemetry_enabled"] = self.telemetry.enabled
+        if self.telemetry.enabled:
+            snapshot["obs"] = self.telemetry.snapshot()
         return snapshot

@@ -47,6 +47,7 @@ from repro.core.formulas.semantics import evaluate
 from repro.core.guarded_form import GuardedForm
 from repro.core.tree import Node, Shape
 from repro.io.serialization import decode_guard_key, encode_guard_key_binary
+from repro.obs import NO_TELEMETRY
 
 #: Sentinel distinguishing "not restored" from a restored ``False`` value.
 _MISSING = object()
@@ -108,10 +109,19 @@ def navigates_upward(formula: "Formula | PathExpr") -> bool:
 class GuardCache:
     """Memoizes access-rule and completion-formula evaluations for one form."""
 
-    def __init__(self, guarded_form: GuardedForm, store=None) -> None:
+    def __init__(self, guarded_form: GuardedForm, store=None, telemetry=None) -> None:
         self._form = guarded_form
         self._rules = guarded_form.rules
         self._cache: dict = {}
+        #: Telemetry recorder; the cache-hit path never touches it, and the
+        #: miss path pays two clock reads only when tracing is enabled.
+        self._obs = telemetry if telemetry is not None else NO_TELEMETRY
+        #: Wall seconds spent in actual formula evaluations (miss path),
+        #: accumulated only while telemetry is enabled.  ``eval_seconds`` is
+        #: cumulative (stats); ``_eval_unreported`` is the drainable delta
+        #: :meth:`take_eval_seconds` hands to the metrics registry.
+        self.eval_seconds = 0.0
+        self._eval_unreported = 0.0
         #: (AccessRight, path) -> (rule formula, upward?, support labels)
         self._rule_info: dict = {}
         completion = guarded_form.completion
@@ -149,7 +159,15 @@ class GuardCache:
             if value is not _MISSING:
                 return value
             self.misses += 1
-            value = evaluate(node, rule)
+            obs = self._obs
+            if obs.enabled:
+                started = obs.now()
+                value = evaluate(node, rule)
+                elapsed = obs.now() - started
+                self.eval_seconds += elapsed
+                self._eval_unreported += elapsed
+            else:
+                value = evaluate(node, rule)
             self._cache[key] = value
             if self._store is not None:
                 self._store.put_guard(key, value)
@@ -250,8 +268,17 @@ class GuardCache:
             if value is not _MISSING:
                 return value
             self.misses += 1
-            materialised = depth1_state_to_instance(self._form.schema, projection)
-            value = evaluate(materialised.root, rule)
+            obs = self._obs
+            if obs.enabled:
+                started = obs.now()
+                materialised = depth1_state_to_instance(self._form.schema, projection)
+                value = evaluate(materialised.root, rule)
+                elapsed = obs.now() - started
+                self.eval_seconds += elapsed
+                self._eval_unreported += elapsed
+            else:
+                materialised = depth1_state_to_instance(self._form.schema, projection)
+                value = evaluate(materialised.root, rule)
             self._cache[key] = value
             if self._store is not None:
                 self._store.put_guard(key, value)
@@ -282,6 +309,16 @@ class GuardCache:
         expansion (the legacy explorers would have re-evaluated each)."""
         self.hits += queries
 
+    def take_eval_seconds(self) -> float:
+        """Drain the not-yet-reported miss-path evaluation time (telemetry).
+
+        The cumulative :attr:`eval_seconds` (what :meth:`stats` reports) is
+        untouched; this hands out each second exactly once, so callers can
+        feed a counter without double-counting.
+        """
+        drained, self._eval_unreported = self._eval_unreported, 0.0
+        return drained
+
     @property
     def hit_rate(self) -> float:
         """Fraction of guard queries served from the cache."""
@@ -297,4 +334,5 @@ class GuardCache:
             "formula_evaluations": self.misses,
             "formula_evaluations_saved": self.hits,
             "guard_entries_restored": self.entries_restored,
+            "guard_eval_seconds": round(self.eval_seconds, 6),
         }

@@ -119,6 +119,7 @@ class ParallelExplorationEngine(ExplorationEngine):
         workers: int = 2,
         min_wave: Optional[int] = None,
         resident_budget: Optional[int] = None,
+        telemetry=None,
     ) -> None:
         super().__init__(
             guarded_form,
@@ -127,6 +128,7 @@ class ParallelExplorationEngine(ExplorationEngine):
             store=store,
             checkpoint_every=checkpoint_every,
             resident_budget=resident_budget,
+            telemetry=telemetry,
         )
         if workers < 1:
             raise AnalysisError("workers must be a positive integer")
@@ -148,6 +150,7 @@ class ParallelExplorationEngine(ExplorationEngine):
         self.wire_shape_refs = 0  # candidates received, i.e. shape-table references
         self.wire_shape_table_entries = 0  # distinct shapes actually serialised
         self.wire_decode_seconds = 0.0
+        self.worker_snapshots_merged = 0  # telemetry sections merged from frames
 
     # ------------------------------------------------------------------ #
     # pool lifecycle
@@ -171,6 +174,7 @@ class ParallelExplorationEngine(ExplorationEngine):
                 self.workers,
                 store_path=self._store_path(),
                 binary_guards=getattr(self.store, "binary_guards", False),
+                telemetry_enabled=self.telemetry.enabled,
             )
         return self._pool
 
@@ -255,6 +259,8 @@ class ParallelExplorationEngine(ExplorationEngine):
             if budget is not None and len(self._reps) > budget:
                 self._enforce_budget()
         pool = self._ensure_pool()
+        obs = self.telemetry
+        wave_started = obs.now()
         try:
             raw_frames = pool.run_wave(batches)
         except BaseException:
@@ -279,10 +285,25 @@ class ParallelExplorationEngine(ExplorationEngine):
             for staged_id in frame.state_ids():
                 self._staged[staged_id] = frame
             self.wire_decode_seconds += frame.take_decode_seconds()
+            if frame.telemetry is not None and obs.enabled:
+                # per-worker spans land on the shared timeline, metric
+                # deltas under a worker=<index> label — the cross-process
+                # view a single merged trace file renders
+                obs.merge_remote(frame.telemetry)
+                self.worker_snapshots_merged += 1
         self.wire_bytes_received += wave_bytes
         self.wire_bytes_last_wave = wave_bytes
         self.waves_dispatched += 1
         self.states_prefetched += len(wave)
+        if obs.enabled:
+            obs.end_span(
+                "engine.prefetch_wave",
+                wave_started,
+                states=len(wave),
+                workers=self.workers,
+                bytes=wave_bytes,
+            )
+            obs.sample_rss(reps_resident=len(self._reps))
 
     # ------------------------------------------------------------------ #
     # staged-expansion adoption
@@ -374,4 +395,5 @@ class ParallelExplorationEngine(ExplorationEngine):
             round(self.wire_expansion_bytes / refs, 2) if refs else None
         )
         snapshot["wire_decode_seconds"] = round(self.wire_decode_seconds, 6)
+        snapshot["worker_snapshots_merged"] = self.worker_snapshots_merged
         return snapshot

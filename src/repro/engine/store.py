@@ -43,6 +43,7 @@ from __future__ import annotations
 import hashlib
 import json
 import sqlite3
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Iterator, Optional
@@ -63,6 +64,7 @@ from repro.io.serialization import (
     stable_shape_hash,
     stable_shape_hash_of_encoding,
 )
+from repro.obs import NO_TELEMETRY
 
 #: Version stamp written to store metadata; bumped on layout changes.  The
 #: ``shape_hash`` reverse-lookup column did not bump it: old stores are
@@ -147,6 +149,11 @@ class StateStore:
     #: explorations backed by this store (the CLI plumbs its
     #: ``--checkpoint-every`` through here).
     checkpoint_every: Optional[int] = None
+
+    #: Telemetry recorder.  The engine that owns the store assigns its own
+    #: recorder here on construction; the class default is the free no-op,
+    #: so standalone stores pay one attribute check per instrumented call.
+    telemetry = NO_TELEMETRY
 
     # -- lifecycle ----------------------------------------------------- #
 
@@ -425,6 +432,7 @@ class SqliteStore(SqliteBacked, StateStore):
         self.binary_shapes = binary_shapes
         self.binary_guards = binary_guards
         self.shape_hash_rows_migrated = 0
+        self.migration_seconds = 0.0
         self._open_sqlite(path)
         # write buffers are keyed dicts, so reads can be served from them
         # without forcing a premature flush (INSERT OR REPLACE semantics);
@@ -442,6 +450,8 @@ class SqliteStore(SqliteBacked, StateStore):
         self.checkpoint_saves = 0
         self.id_lookups = 0
         self.id_lookup_hits = 0
+        self.flush_seconds = 0.0
+        self.checkpoint_seconds = 0.0
 
     def _after_tables(self) -> None:
         self._migrate_shape_hash_column()
@@ -455,6 +465,7 @@ class SqliteStore(SqliteBacked, StateStore):
         open.  New rows always carry their digest, so the backfill runs at
         most once per store lifetime.
         """
+        started = time.perf_counter()
         columns = {row[1] for row in self._conn.execute("PRAGMA table_info(shapes)")}
         if "shape_hash" not in columns:
             self._conn.execute("ALTER TABLE shapes ADD COLUMN shape_hash INTEGER")
@@ -487,6 +498,15 @@ class SqliteStore(SqliteBacked, StateStore):
             self._conn.commit()
             self.shape_hash_rows_migrated += len(rows)
             last_id = rows[-1][0]
+        elapsed = time.perf_counter() - started
+        self.migration_seconds += elapsed
+        obs = self.telemetry
+        if obs.enabled and self.shape_hash_rows_migrated:
+            obs.end_span(
+                "store.migrate_shape_hash",
+                obs.now() - elapsed,
+                rows=self.shape_hash_rows_migrated,
+            )
 
     # -- lifecycle ----------------------------------------------------- #
 
@@ -514,6 +534,8 @@ class SqliteStore(SqliteBacked, StateStore):
     def flush(self) -> None:
         if not (self._pending_shapes or self._pending_reps or self._pending_guards):
             return
+        started = time.perf_counter()
+        pending = self._pending_rows()
         if self._pending_shapes:
             if self.binary_shapes:
                 rows = [
@@ -552,6 +574,12 @@ class SqliteStore(SqliteBacked, StateStore):
             self._pending_guards.clear()
         self._conn.commit()
         self.flushes += 1
+        elapsed = time.perf_counter() - started
+        self.flush_seconds += elapsed
+        obs = self.telemetry
+        if obs.enabled:
+            obs.end_span("store.flush", obs.now() - elapsed, rows=pending)
+            obs.metrics.histogram("store_flush_seconds").observe(elapsed)
 
     def close(self) -> None:
         self.flush()
@@ -739,6 +767,7 @@ class SqliteStore(SqliteBacked, StateStore):
     # -- exploration checkpoints --------------------------------------- #
 
     def save_checkpoint(self, run_key: str, payload: dict) -> None:
+        started = time.perf_counter()
         self.flush()  # the checkpoint must only reference persisted rows
         self._conn.execute(
             "INSERT OR REPLACE INTO checkpoints (run_key, payload) VALUES (?, ?)",
@@ -746,6 +775,13 @@ class SqliteStore(SqliteBacked, StateStore):
         )
         self._conn.commit()
         self.checkpoint_saves += 1
+        elapsed = time.perf_counter() - started
+        self.checkpoint_seconds += elapsed
+        obs = self.telemetry
+        if obs.enabled:
+            # flush + WAL-synced commit: the store's durability point
+            obs.end_span("store.checkpoint", obs.now() - elapsed)
+            obs.metrics.histogram("store_checkpoint_seconds").observe(elapsed)
 
     def load_checkpoint(self, run_key: str) -> Optional[dict]:
         self.flush()
@@ -772,7 +808,10 @@ class SqliteStore(SqliteBacked, StateStore):
             "rows_written": self.rows_written,
             "rows_read": self.rows_read,
             "flushes": self.flushes,
+            "flush_seconds": round(self.flush_seconds, 6),
             "checkpoint_saves": self.checkpoint_saves,
+            "checkpoint_seconds": round(self.checkpoint_seconds, 6),
+            "migration_seconds": round(self.migration_seconds, 6),
             "id_lookups": self.id_lookups,
             "id_lookup_hits": self.id_lookup_hits,
             "shape_hash_rows_migrated": self.shape_hash_rows_migrated,

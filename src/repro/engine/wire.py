@@ -32,11 +32,20 @@ The varint-run decoder itself is dispatched through
 available, pure Python otherwise (``REPRO_PURE=1`` forces it), bit-identical
 either way.
 
-Frame layout (version 2; all integers unsigned LEB128 varints, strings
+Version 3 adds an **optional telemetry section** directly after the version
+byte: a varint byte length followed by a UTF-8 JSON blob — the worker's
+span/metric snapshot (:meth:`repro.obs.tracing.Telemetry.export_payload`)
+that the coordinator merges into its cross-process recorder.  With
+telemetry disabled the section is a single zero byte, so the instrumented
+protocol costs untraced runs nothing measurable; ``guard_nbytes`` /
+``expansion_nbytes`` metrics both exclude it.
+
+Frame layout (version 3; all integers unsigned LEB128 varints, strings
 length-prefixed UTF-8)::
 
     magic       2 bytes  b"GW"
     version     1 byte   WIRE_VERSION
+    telemetry   byte length (0 when absent), then that many bytes of JSON
     guards      string-table count, then each distinct key string; entry
                 count, then per entry: interned term-coded key tuple
                 (strings as table indices), value byte
@@ -106,7 +115,7 @@ __all__ = [
 WIRE_MAGIC = b"GW"
 
 #: Frame layout version; a coordinator refuses frames from any other.
-WIRE_VERSION = 2
+WIRE_VERSION = 3
 
 # Candidate kind bytes.
 _KIND_DELETION = 0
@@ -147,6 +156,7 @@ class FrameEncoder:
         self._guards = bytearray()
         self._guard_count = 0
         self._state_count = 0
+        self._telemetry_blob = b""
         self.candidates_encoded = 0
 
     def label_ref(self, label: str) -> int:
@@ -235,10 +245,24 @@ class FrameEncoder:
             self._guards.append(1 if value else 0)
             self._guard_count += 1
 
+    def add_telemetry(self, payload: dict) -> None:
+        """Attach the worker's telemetry payload (spans + metric deltas).
+
+        Encoded as compact JSON; the section stays a single zero byte when
+        this is never called (telemetry disabled).
+        """
+        import json
+
+        self._telemetry_blob = json.dumps(
+            payload, separators=(",", ":"), sort_keys=True, default=str
+        ).encode("utf-8")
+
     def finish(self) -> bytes:
         """The finished frame."""
         out = bytearray(WIRE_MAGIC)
         out.append(WIRE_VERSION)
+        write_uvarint(out, len(self._telemetry_blob))
+        out.extend(self._telemetry_blob)
         write_uvarint(out, len(self._guard_str_index))
         out.extend(self._guard_str_table)
         write_uvarint(out, self._guard_count)
@@ -293,6 +317,27 @@ class WireFrame:
                 f"wire frame version {version}, this build speaks {WIRE_VERSION}"
             )
         pos = len(WIRE_MAGIC) + 1
+        telemetry_start = pos
+        telemetry_nbytes, pos = read_uvarint(data, pos)
+        #: The worker's telemetry payload (spans + metric deltas) as a dict,
+        #: or ``None`` when the frame carries none (telemetry disabled).
+        self.telemetry = None
+        if telemetry_nbytes:
+            if pos + telemetry_nbytes > len(data):
+                raise WireFormatError("truncated telemetry section")
+            import json
+
+            try:
+                blob = json.loads(bytes(data[pos : pos + telemetry_nbytes]).decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise WireFormatError(f"malformed telemetry section: {exc}") from None
+            if not isinstance(blob, dict):
+                raise WireFormatError("malformed telemetry section: not an object")
+            self.telemetry = blob
+            pos += telemetry_nbytes
+        #: Bytes spent on the telemetry section, length prefix included
+        #: (excluded from both guard and expansion byte metrics).
+        self.telemetry_nbytes = pos - telemetry_start
         guard_section_start = pos
         guard_str_count, pos = read_uvarint(data, pos)
         guard_strings = []
@@ -335,9 +380,11 @@ class WireFrame:
                 f"frame has {len(data)}"
             )
         #: Bytes carrying the expansion payloads: label/shape tables, state
-        #: directory and candidate records (everything but the guard section
-        #: and the 3-byte envelope).
-        self.expansion_nbytes = len(data) - self.guard_nbytes - len(WIRE_MAGIC) - 1
+        #: directory and candidate records (everything but the guard and
+        #: telemetry sections and the 3-byte envelope).
+        self.expansion_nbytes = (
+            len(data) - self.guard_nbytes - self.telemetry_nbytes - len(WIRE_MAGIC) - 1
+        )
         self._preorder: Optional[tuple[list, list]] = None
         self._shapes: Optional[list] = None
         self._arena_rows: Optional[list] = None

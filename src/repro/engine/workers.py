@@ -55,6 +55,7 @@ from repro.engine.store import (
 from repro.engine.wire import FrameEncoder
 from repro.exceptions import AnalysisError
 from repro.io.serialization import decode_instance_with_ids
+from repro.obs import NO_TELEMETRY, Telemetry
 
 #: Sentinel telling a worker's task loop to exit.
 _SHUTDOWN = None
@@ -106,12 +107,14 @@ class FrontierWorker:
         shard: Optional[int] = None,
         nshards: Optional[int] = None,
         binary_guards: bool = False,
+        telemetry=None,
     ) -> None:
         self._form = guarded_form
         self._interner = ShapeInterner()
         self._shaper = IncrementalShaper(self._interner)
         self._journal = _GuardJournal()
-        self._guards = GuardCache(guarded_form, store=self._journal)
+        self.telemetry = telemetry if telemetry is not None else NO_TELEMETRY
+        self._guards = GuardCache(guarded_form, store=self._journal, telemetry=self.telemetry)
         self._store_path = store_path
         self._binary_guards = binary_guards
         #: Persisted shapes pre-consed into this worker's local interner —
@@ -120,15 +123,16 @@ class FrontierWorker:
         #: residency stays proportional to the shard and bounded.
         self.shapes_hydrated = 0
         if store_path is not None:
-            if shard is not None and nshards:
-                for shape in load_shard_shape_rows(
-                    store_path, shard, nshards, limit=SHARD_HYDRATION_LIMIT
-                ):
-                    self._interner.cons_tree(shape)
-                    self.shapes_hydrated += 1
-            for row, value in load_guard_rows_raw(store_path):
-                self._guards.restore_raw(row, value)
-            self._journal.drain()  # hydration is not news to report back
+            with self.telemetry.span("worker.hydrate", shard=shard, nshards=nshards):
+                if shard is not None and nshards:
+                    for shape in load_shard_shape_rows(
+                        store_path, shard, nshards, limit=SHARD_HYDRATION_LIMIT
+                    ):
+                        self._interner.cons_tree(shape)
+                        self.shapes_hydrated += 1
+                for row, value in load_guard_rows_raw(store_path):
+                    self._guards.restore_raw(row, value)
+                self._journal.drain()  # hydration is not news to report back
 
     def expand(self, state_id: int, blob: str) -> tuple:
         """Expansion payload for one state: ``(candidates, queries)``.
@@ -157,15 +161,37 @@ class FrontierWorker:
         Newly evaluated guard entries are drained from the journal, written
         through to the store's WAL (when one backs the exploration) and
         packed into the frame so the coordinator can merge them either way.
+        With telemetry enabled the batch's spans and metric deltas ride in
+        the frame's telemetry section for the coordinator to merge.
         """
+        obs = self.telemetry
+        batch_started = obs.now()
         encoder = FrameEncoder()
         for state_id, blob in batch:
             candidates, queries = self.expand(state_id, blob)
             encoder.add_state(state_id, candidates, queries)
         entries = self._journal.drain()
         if entries and self._store_path is not None:
-            write_guard_rows(self._store_path, entries, binary=self._binary_guards)
+            if obs.enabled:
+                write_started = obs.now()
+                write_guard_rows(self._store_path, entries, binary=self._binary_guards)
+                obs.end_span("worker.write_guard_rows", write_started, rows=len(entries))
+            else:
+                write_guard_rows(self._store_path, entries, binary=self._binary_guards)
         encoder.add_guard_entries(entries)
+        if obs.enabled:
+            obs.end_span(
+                "worker.batch",
+                batch_started,
+                states=len(batch),
+                candidates=encoder.candidates_encoded,
+                guard_entries=len(entries),
+            )
+            metrics = obs.metrics
+            metrics.counter("worker_states_expanded").inc(len(batch))
+            metrics.counter("worker_candidates_encoded").inc(encoder.candidates_encoded)
+            metrics.counter("guard_eval_seconds").inc(self._guards.take_eval_seconds())
+            encoder.add_telemetry(obs.export_payload(drain=True))
         return encoder.finish()
 
 
@@ -177,6 +203,7 @@ def worker_main(
     store_path,
     nshards=None,
     binary_guards=False,
+    telemetry_enabled=False,
 ) -> None:
     """Entry point of one worker process: loop over task batches until told
     to shut down, reporting each batch (or the failure that killed it).
@@ -186,7 +213,13 @@ def worker_main(
     result echoes the wave id its task carried, so the coordinator can
     discard answers to a wave it abandoned (e.g. a ``KeyboardInterrupt``
     landing mid-collection) instead of mistaking them for the next wave's.
+
+    With ``telemetry_enabled`` the worker builds its own
+    :class:`~repro.obs.Telemetry` (real pid, process name
+    ``frontier-worker-<index>``) whose spans and metric deltas each frame
+    ships back for the coordinator's cross-process merge.
     """
+    telemetry = Telemetry(process=f"frontier-worker-{index}") if telemetry_enabled else None
     try:
         worker = FrontierWorker(
             guarded_form,
@@ -194,6 +227,7 @@ def worker_main(
             shard=index,
             nshards=nshards,
             binary_guards=binary_guards,
+            telemetry=telemetry,
         )
     except BaseException:  # noqa: BLE001 - report startup failures, don't hang the pool
         results.put((index, None, None, traceback.format_exc()))
@@ -226,6 +260,7 @@ class WorkerPool:
         workers: int,
         store_path: Optional[str] = None,
         binary_guards: bool = False,
+        telemetry_enabled: bool = False,
     ) -> None:
         if workers < 1:
             raise AnalysisError("a worker pool needs at least one worker")
@@ -245,6 +280,7 @@ class WorkerPool:
                     store_path,
                     workers,
                     binary_guards,
+                    telemetry_enabled,
                 ),
                 daemon=True,
                 name=f"repro-frontier-worker-{index}",

@@ -1,0 +1,54 @@
+"""Unified telemetry layer: metrics registry, span tracing, profiling.
+
+Zero-dependency observability shared by the engine, store, frontier
+workers, campaign runner, CLI, and benchmarks:
+
+* :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket histograms
+  with labeled series and cross-process merge;
+* :mod:`repro.obs.tracing` — monotonic-clock span tracing in Chrome
+  trace-event format, with :data:`NO_TELEMETRY` as the free disabled
+  default and ``REPRO_TRACE`` as the process-wide opt-in;
+* :mod:`repro.obs.report` — trace-file summarisation for
+  ``repro trace report``;
+* :mod:`repro.obs.profiling` — the shared ``--profile`` cProfile hook.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_rss_kb,
+    format_series,
+)
+from repro.obs.profiling import maybe_profiled
+from repro.obs.report import load_trace_events, render_trace_report, summarize_trace
+from repro.obs.tracing import (
+    NO_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    default_telemetry,
+    use_telemetry,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NO_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+    "current_rss_kb",
+    "default_telemetry",
+    "format_series",
+    "load_trace_events",
+    "maybe_profiled",
+    "render_trace_report",
+    "summarize_trace",
+    "use_telemetry",
+    "write_chrome_trace",
+]

@@ -1,0 +1,313 @@
+"""Zero-dependency metrics primitives for the telemetry layer.
+
+Three instrument kinds, all plain Python and allocation-light:
+
+* :class:`Counter` — monotonically increasing totals (``inc``);
+* :class:`Gauge` — last-write-wins values with an optional bounded
+  ``(timestamp, value)`` sample series, used for the periodic RSS /
+  residency time series recorded between waves;
+* :class:`Histogram` — fixed-bucket latency distributions (``observe``),
+  e.g. store batch-flush latency.
+
+A :class:`MetricsRegistry` owns labeled series: ``registry.counter(
+"guard_eval_seconds", worker=3)`` names the series
+``guard_eval_seconds{worker=3}`` in snapshots.  Registries are
+JSON-serialisable both ways — :meth:`MetricsRegistry.export` produces the
+wire payload a frontier worker ships back inside a frame, and
+:meth:`MetricsRegistry.absorb` merges such payloads (with extra labels,
+e.g. ``worker=<index>``) into the coordinator's cross-process view.
+
+Nothing here imports from :mod:`repro.engine`; the engine imports us.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import sys
+import time
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_rss_kb",
+    "format_series",
+]
+
+#: Default histogram bucket upper bounds, in seconds — tuned for the
+#: latencies this engine actually produces (sub-ms guard evaluations up
+#: to multi-second explorations).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+_page_kb: Optional[int] = None
+
+
+def current_rss_kb() -> int:
+    """Best-effort *current* resident set size in KiB.
+
+    Reads ``/proc/self/statm`` where available (Linux), so repeated calls
+    see eviction churn rather than the monotone ``ru_maxrss`` high-water
+    mark; falls back to ``ru_maxrss`` elsewhere.
+    """
+    global _page_kb
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            resident_pages = int(fh.read().split()[1])
+        if _page_kb is None:
+            _page_kb = os.sysconf("SC_PAGE_SIZE") // 1024
+        return resident_pages * _page_kb
+    except (OSError, ValueError, IndexError):
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":  # bytes, not KiB
+            peak //= 1024
+        return int(peak)
+
+
+def format_series(name: str, labels: Sequence[Tuple[str, object]]) -> str:
+    """Render ``name{k=v,...}`` (labels sorted by key; bare name if none)."""
+    if not labels:
+        return name
+    rendered = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, object], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins value with an optional bounded sample series.
+
+    ``set(value, sample=True)`` also appends a ``(monotonic_ts, value)``
+    pair; when the series would exceed ``max_samples`` it is decimated
+    (every other retained point dropped) so long runs keep a bounded,
+    evenly thinned time series instead of growing without limit.
+    """
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value", "samples", "max_samples")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Tuple[Tuple[str, object], ...] = (),
+        max_samples: int = 4096,
+    ):
+        self.name = name
+        self.labels = labels
+        self.value: Optional[float] = None
+        self.samples: List[Tuple[float, float]] = []
+        self.max_samples = max_samples
+
+    def set(self, value: float, sample: bool = False, ts: Optional[float] = None) -> None:
+        self.value = value
+        if sample:
+            if len(self.samples) >= self.max_samples:
+                del self.samples[::2]
+            self.samples.append((time.monotonic() if ts is None else ts, value))
+
+
+class Histogram:
+    """A fixed-bucket distribution of observed values (seconds, usually).
+
+    ``counts[i]`` is the number of observations ``<= bounds[i]``; the
+    final slot counts the overflow bucket.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "counts", "count", "total")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Tuple[Tuple[str, object], ...] = (),
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.counts[bisect_left(self.bounds, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Owns labeled metric series and merges remote snapshots.
+
+    Series identity is ``(name, sorted(labels.items()))``; asking for an
+    existing series with a different instrument kind raises ``TypeError``
+    (a counter cannot silently become a gauge between layers).
+    """
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple[str, Tuple[Tuple[str, object], ...]], object] = {}
+
+    @staticmethod
+    def _key(name: str, labels: Mapping[str, object]) -> Tuple[str, Tuple[Tuple[str, object], ...]]:
+        return (name, tuple(sorted(labels.items())))
+
+    def _get(self, cls, name: str, labels: Mapping[str, object], **kwargs):
+        key = self._key(name, labels)
+        instrument = self._series.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1], **kwargs)
+            self._series[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric series {format_series(name, key[1])!r} is a "
+                f"{instrument.kind}, not a {cls.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS, **labels: object
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, bounds=bounds)
+
+    def series(self) -> List[object]:
+        return list(self._series.values())
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def snapshot(self, include_series: bool = False) -> Dict[str, object]:
+        """Flat JSON-safe view: ``{"name{k=v}": value_or_dict}``.
+
+        Counters flatten to their value, gauges to their last value
+        (plus a ``…_series`` entry of ``[ts, value]`` pairs when
+        ``include_series`` is set and samples exist), histograms to a
+        ``{count, sum, mean, buckets}`` dict.
+        """
+        out: Dict[str, object] = {}
+        for (name, labels), instrument in sorted(self._series.items()):
+            series = format_series(name, labels)
+            if isinstance(instrument, Counter):
+                out[series] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out[series] = instrument.value
+                if include_series and instrument.samples:
+                    out[series + "_series"] = [
+                        [round(ts, 6), value] for ts, value in instrument.samples
+                    ]
+            else:
+                out[series] = {
+                    "count": instrument.count,
+                    "sum": round(instrument.total, 6),
+                    "mean": round(instrument.mean, 6),
+                    "buckets": list(instrument.counts),
+                }
+        return out
+
+    def export(self, drain: bool = False) -> List[Dict[str, object]]:
+        """Structured JSON-safe entries for cross-process shipping.
+
+        With ``drain`` set, counters and histograms reset to zero and
+        gauge sample series clear after export, so repeated exports (one
+        per worker batch) carry *deltas* that the coordinator can simply
+        add — cumulative re-ships would double-count.
+        """
+        entries: List[Dict[str, object]] = []
+        for (name, labels), instrument in sorted(self._series.items()):
+            entry: Dict[str, object] = {
+                "name": name,
+                "labels": [[key, value] for key, value in labels],
+                "kind": instrument.kind,
+            }
+            if isinstance(instrument, Counter):
+                entry["value"] = instrument.value
+                if drain:
+                    instrument.value = 0
+            elif isinstance(instrument, Gauge):
+                entry["value"] = instrument.value
+                if instrument.samples:
+                    entry["samples"] = [[ts, value] for ts, value in instrument.samples]
+                if drain:
+                    instrument.samples = []
+            else:
+                entry["bounds"] = list(instrument.bounds)
+                entry["counts"] = list(instrument.counts)
+                entry["count"] = instrument.count
+                entry["sum"] = instrument.total
+                if drain:
+                    instrument.counts = [0] * (len(instrument.bounds) + 1)
+                    instrument.count = 0
+                    instrument.total = 0.0
+            entries.append(entry)
+        return entries
+
+    def absorb(self, entries: Iterable[Mapping[str, object]], **extra_labels: object) -> None:
+        """Merge exported entries, adding ``extra_labels`` to every series.
+
+        Counters and histograms accumulate (delta semantics — see
+        :meth:`export`), gauges take the remote value and append remote
+        samples.  Histograms with mismatched bounds still accumulate
+        their ``count``/``sum`` so totals stay honest.
+        """
+        for entry in entries:
+            name = str(entry.get("name", ""))
+            if not name:
+                continue
+            labels = dict(entry.get("labels") or ())
+            labels.update(extra_labels)
+            kind = entry.get("kind")
+            if kind == "counter":
+                self.counter(name, **labels).inc(entry.get("value") or 0)
+            elif kind == "gauge":
+                gauge = self.gauge(name, **labels)
+                gauge.value = entry.get("value")
+                for ts, value in entry.get("samples") or ():
+                    gauge.set(value, sample=True, ts=ts)
+            elif kind == "histogram":
+                bounds = tuple(entry.get("bounds") or DEFAULT_BUCKETS)
+                histogram = self._get(Histogram, name, labels, bounds=bounds)
+                counts = list(entry.get("counts") or ())
+                if len(counts) == len(histogram.counts):
+                    for index, value in enumerate(counts):
+                        histogram.counts[index] += value
+                histogram.count += int(entry.get("count") or 0)
+                histogram.total += float(entry.get("sum") or 0.0)

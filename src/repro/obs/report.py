@@ -1,0 +1,128 @@
+"""Trace-file loading and summarisation for ``repro trace report``.
+
+Accepts anything :func:`repro.obs.tracing.write_chrome_trace` produces —
+a full JSON array, a ``{"traceEvents": [...]}`` object (the other Chrome
+trace container), or the line-per-event degradation left behind by an
+interrupted run — and renders a per-process span/counter summary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["load_trace_events", "render_trace_report", "summarize_trace"]
+
+
+def load_trace_events(path) -> List[Dict[str, object]]:
+    """Parse a trace file into a list of event dicts.
+
+    Tries a whole-file ``json.loads`` first (array or ``traceEvents``
+    object); falls back to line-by-line parsing, tolerating the trailing
+    commas and stray brackets of a truncated array.
+    """
+    with open(os.fspath(path), "r", encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        data = json.loads(text)
+    except ValueError:
+        data = None
+    if isinstance(data, dict):
+        data = data.get("traceEvents")
+    if isinstance(data, list):
+        return [event for event in data if isinstance(event, dict)]
+    events: List[Dict[str, object]] = []
+    for line in text.splitlines():
+        line = line.strip().rstrip(",")
+        if not line or line in ("[", "]"):
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(obj, dict):
+            events.append(obj)
+    return events
+
+
+def summarize_trace(events: Sequence[Mapping[str, object]]) -> Dict[str, object]:
+    """Aggregate events into per-process span and counter statistics."""
+    processes: Dict[int, str] = {}
+    spans: Dict[tuple, Dict[str, float]] = {}
+    counters: Dict[tuple, int] = {}
+    instants = 0
+    first_ts = None
+    last_ts = None
+    for event in events:
+        ph = event.get("ph")
+        pid = int(event.get("pid") or 0)
+        if ph == "M":
+            args = event.get("args")
+            if event.get("name") == "process_name" and isinstance(args, dict):
+                processes.setdefault(pid, str(args.get("name")))
+            continue
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            end = ts + (event.get("dur") or 0 if ph == "X" else 0)
+            first_ts = ts if first_ts is None else min(first_ts, ts)
+            last_ts = end if last_ts is None else max(last_ts, end)
+        if ph == "X":
+            key = (pid, str(event.get("name")))
+            stat = spans.setdefault(key, {"count": 0, "total_us": 0, "max_us": 0})
+            dur = int(event.get("dur") or 0)
+            stat["count"] += 1
+            stat["total_us"] += dur
+            stat["max_us"] = max(stat["max_us"], dur)
+        elif ph == "C":
+            counters[(pid, str(event.get("name")))] = (
+                counters.get((pid, str(event.get("name"))), 0) + 1
+            )
+        elif ph == "i":
+            instants += 1
+    return {
+        "events": len(events),
+        "processes": processes,
+        "spans": spans,
+        "counters": counters,
+        "instants": instants,
+        "wall_us": (last_ts - first_ts) if first_ts is not None and last_ts is not None else 0,
+    }
+
+
+def _ms(us: float) -> str:
+    return f"{us / 1000:.3f}ms" if us < 1_000_000 else f"{us / 1e6:.3f}s"
+
+
+def render_trace_report(summary: Mapping[str, object]) -> str:
+    """Render a :func:`summarize_trace` result as aligned text."""
+    processes: Dict[int, str] = dict(summary.get("processes") or {})
+    spans: Dict[tuple, Dict[str, float]] = dict(summary.get("spans") or {})
+    counters: Dict[tuple, int] = dict(summary.get("counters") or {})
+    pids = sorted(set(processes) | {pid for pid, _ in spans} | {pid for pid, _ in counters})
+    lines = [
+        f"trace: {summary.get('events', 0)} events, "
+        f"{len(pids)} process(es), wall span {_ms(summary.get('wall_us') or 0)}"
+    ]
+    for pid in pids:
+        lines.append(f"process {processes.get(pid, '?')} (pid {pid}):")
+        pid_spans = sorted(
+            ((name, stat) for (span_pid, name), stat in spans.items() if span_pid == pid),
+            key=lambda item: -item[1]["total_us"],
+        )
+        for name, stat in pid_spans:
+            count = int(stat["count"])
+            total = stat["total_us"]
+            mean = total / count if count else 0
+            lines.append(
+                f"  span {name:<28} count {count:>6}  total {_ms(total):>10}  "
+                f"mean {_ms(mean):>10}  max {_ms(stat['max_us']):>10}"
+            )
+        pid_counters = sorted(
+            (name, n) for (counter_pid, name), n in counters.items() if counter_pid == pid
+        )
+        for name, n in pid_counters:
+            lines.append(f"  counter {name:<25} samples {n:>6}")
+        if not pid_spans and not pid_counters:
+            lines.append("  (no spans or counters)")
+    return "\n".join(lines)

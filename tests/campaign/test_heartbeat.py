@@ -1,0 +1,200 @@
+"""Campaign heartbeats and family-median stall detection (PR 8).
+
+Two layers of coverage: :class:`CampaignPulse` is unit-tested with synthetic
+wall times (deterministic — no sleeps), and the end-to-end contract is pinned
+with an injected slow oracle: a campaign whose oracle stack sleeps on one
+form must surface exactly that form as a stall, both on the summary and via
+the ``on_event`` callback.  A third group pins the resume contract: the
+observability knobs (``heartbeat_every``, ``stall_multiple``) stay out of the
+store's configuration fingerprint, so turning heartbeats on cannot
+invalidate a resumable store.
+"""
+
+import time
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignPulse,
+    run_campaign,
+)
+from repro.campaign.generator import FormSpec
+from repro.campaign.oracles import Oracle
+from repro.campaign.runner import STALL_MIN_SAMPLES
+
+
+def _pulse(total=10, done=0, events=None, **config_kwargs):
+    config = CampaignConfig(families=("chain",), smoke=True, **config_kwargs)
+    return CampaignPulse(
+        config, total, done, events.append if events is not None else None
+    )
+
+
+def _spec(index=0, family="chain"):
+    return FormSpec(family, seed=index, index=index)
+
+
+class TestPulseStallDetection:
+    def test_outlier_after_warmup_is_flagged(self):
+        events = []
+        pulse = _pulse(events=events, stall_multiple=2.0)
+        for index in range(STALL_MIN_SAMPLES):
+            pulse.form_done(_spec(index), 0.1)
+        assert pulse.stalls == []
+        pulse.form_done(_spec(9), 0.5)  # 5x the 0.1 median
+        assert len(pulse.stalls) == 1
+        (stall,) = pulse.stalls
+        assert stall["event"] == "stall"
+        assert stall["family"] == "chain"
+        assert stall["seed"] == 9
+        assert stall["family_median"] == 0.1
+        assert stall["multiple"] == 5.0
+        assert events == pulse.stalls
+
+    def test_median_ignores_the_form_it_judges(self):
+        # the slow form's own wall time must not dilute the median that
+        # should flag it: 3 fast forms then a slow one, then another slow
+        # one — the second slow form is judged against a median that now
+        # includes the first, but the first was judged against fast-only
+        pulse = _pulse(stall_multiple=2.0)
+        for index in range(STALL_MIN_SAMPLES):
+            pulse.form_done(_spec(index), 0.1)
+        pulse.form_done(_spec(3), 1.0)
+        assert len(pulse.stalls) == 1
+
+    def test_no_stall_before_min_samples(self):
+        pulse = _pulse(stall_multiple=2.0)
+        for index in range(STALL_MIN_SAMPLES - 1):
+            pulse.form_done(_spec(index), 0.1)
+        pulse.form_done(_spec(5), 10.0)  # huge, but the median isn't trusted yet
+        assert pulse.stalls == []
+
+    def test_floor_suppresses_microsecond_jitter(self):
+        # 10x the family median but under the absolute floor: not a stall
+        pulse = _pulse(stall_multiple=2.0)
+        for index in range(STALL_MIN_SAMPLES):
+            pulse.form_done(_spec(index), 0.001)
+        pulse.form_done(_spec(5), 0.01)
+        assert pulse.stalls == []
+
+    def test_families_have_independent_medians(self):
+        pulse = _pulse(stall_multiple=2.0)
+        for index in range(STALL_MIN_SAMPLES):
+            pulse.form_done(_spec(index, family="chain"), 0.1)
+        # 'sat' has no committed samples; a slow sat form is not judged
+        # against chain's median
+        pulse.form_done(_spec(5, family="sat"), 1.0)
+        assert pulse.stalls == []
+
+
+class TestPulseHeartbeat:
+    def test_cadence_and_payload(self):
+        events = []
+        pulse = _pulse(total=5, events=events, heartbeat_every=2)
+        for index in range(5):
+            pulse.form_done(_spec(index), 0.01)
+        beats = [e for e in events if e["event"] == "heartbeat"]
+        assert [b["done"] for b in beats] == [2, 4]
+        assert all(b["total"] == 5 for b in beats)
+        assert [b["queue_depth"] for b in beats] == [3, 1]
+        assert all(b["elapsed"] >= 0 for b in beats)
+
+    def test_resume_counts_from_skipped(self):
+        # a resumed campaign starts its beat counter at the skipped rows,
+        # so the first heartbeat lands heartbeat_every forms later
+        events = []
+        pulse = _pulse(total=10, done=6, events=events, heartbeat_every=3)
+        for index in range(4):
+            pulse.form_done(_spec(index), 0.01)
+        beats = [e for e in events if e["event"] == "heartbeat"]
+        assert [b["done"] for b in beats] == [9]
+
+    def test_disabled_by_default(self):
+        events = []
+        pulse = _pulse(total=5, events=events)
+        for index in range(5):
+            pulse.form_done(_spec(index), 0.01)
+        assert events == []
+
+
+class SlowOnNthCall(Oracle):
+    """Agrees always; sleeps on its Nth check — the injected stall."""
+
+    name = "slow-once"
+
+    def __init__(self, slow_call: int, delay: float) -> None:
+        self.slow_call = slow_call
+        self.delay = delay
+        self.calls = 0
+
+    def check(self, ctx):
+        self.calls += 1
+        if self.calls == self.slow_call:
+            time.sleep(self.delay)
+        return self._agree()
+
+
+class TestInjectedSlowOracle:
+    def test_slow_oracle_surfaces_as_stall(self, tmp_path):
+        count = STALL_MIN_SAMPLES + 2
+        config = CampaignConfig(
+            families=("chain",),
+            count=count,
+            smoke=True,
+            batch_size=count,
+            stall_multiple=1.5,
+            heartbeat_every=2,
+        )
+        events = []
+        summary = run_campaign(
+            config,
+            tmp_path / "c.db",
+            # sleep on the last form, long enough to dominate whatever the
+            # fast chain forms' median turns out to be on this machine
+            oracle_stack=[SlowOnNthCall(slow_call=count, delay=2.0)],
+            on_event=events.append,
+        )
+        assert summary.executed == count
+        assert summary.disagreements == []
+        stalls = [e for e in events if e["event"] == "stall"]
+        assert summary.stalls == stalls
+        assert len(stalls) == 1
+        (stall,) = stalls
+        assert stall["family"] == "chain"
+        assert stall["elapsed"] >= 2.0
+        assert stall["elapsed"] > 1.5 * stall["family_median"]
+        beats = [e for e in events if e["event"] == "heartbeat"]
+        assert [b["done"] for b in beats] == [2, 4]
+
+
+class TestResumeFingerprint:
+    def test_observability_knobs_stay_out_of_payload(self):
+        quiet = CampaignConfig(families=("chain",), count=4, smoke=True)
+        loud = CampaignConfig(
+            families=("chain",),
+            count=4,
+            smoke=True,
+            heartbeat_every=3,
+            stall_multiple=2.0,
+        )
+        assert quiet.payload() == loud.payload()
+
+    def test_resume_with_different_knobs(self, tmp_path):
+        store = tmp_path / "campaign.db"
+        quiet = CampaignConfig(
+            families=("chain",), count=4, smoke=True, batch_size=2
+        )
+        run_campaign(quiet, store, max_batches=1)
+        loud = CampaignConfig(
+            families=("chain",),
+            count=4,
+            smoke=True,
+            batch_size=2,
+            heartbeat_every=1,
+            stall_multiple=2.0,
+        )
+        events = []
+        summary = run_campaign(loud, store, on_event=events.append)
+        assert summary.skipped == 2
+        assert summary.executed == 2
+        beats = [e for e in events if e["event"] == "heartbeat"]
+        assert [b["done"] for b in beats] == [3, 4]

@@ -1,0 +1,94 @@
+"""CLI observability surface: --trace, --metrics, --profile, trace report."""
+
+import json
+import pstats
+
+import pytest
+
+from repro.cli import main
+from repro.obs import load_trace_events
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    import io
+
+    buffer = io.StringIO()
+    code = main(list(argv), out=buffer)
+    return code, buffer.getvalue()
+
+
+class TestTraceFlag:
+    def test_analyze_writes_perfetto_loadable_trace(self, tmp_path):
+        trace = tmp_path / "analyze-trace.json"
+        code, _ = run_cli("analyze", "leave-application-finite", "--trace", str(trace))
+        assert code == 0
+        events = json.loads(trace.read_text())  # strict JSON array
+        assert isinstance(events, list) and events
+        names = {e.get("name") for e in events}
+        assert "engine.explore" in names
+        processes = {
+            e["args"]["name"] for e in events if e.get("ph") == "M"
+        }
+        assert "repro-cli" in processes
+
+    def test_trace_written_even_when_analysis_is_cut_short(self, tmp_path):
+        # a budget so small the analysis is inconclusive (exit 3); the
+        # trace must still land on the way out
+        trace = tmp_path / "t.json"
+        code, _ = run_cli(
+            "analyze", "purchase-order", "--trace", str(trace), "--max-states", "5"
+        )
+        assert code == 3
+        assert load_trace_events(trace)
+
+
+class TestMetricsFlag:
+    def test_metrics_snapshot_printed(self):
+        code, output = run_cli("analyze", "leave-application-finite", "--metrics")
+        assert code == 0
+        assert "metrics:" in output
+        assert "guard_eval_seconds" in output
+
+    def test_no_flags_prints_no_telemetry(self):
+        code, output = run_cli("analyze", "leave-application-finite")
+        assert code == 0
+        assert "metrics:" not in output
+
+
+class TestProfileFlag:
+    def test_profile_lands_where_documented(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        code, _ = run_cli("analyze", "leave-application-finite", "--profile")
+        assert code == 0
+        pstats_file = tmp_path / "analyze.pstats"
+        assert pstats_file.exists()
+        stats = pstats.Stats(str(pstats_file))
+        assert stats.total_calls > 0
+        err = capsys.readouterr().err
+        assert "analyze.pstats" in err
+        assert "cumulative" in err
+
+
+class TestTraceReport:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        code, _ = run_cli("analyze", "leave-application-finite", "--trace", str(trace))
+        assert code == 0
+        return trace
+
+    def test_report_summarizes_spans(self, trace_path):
+        code, output = run_cli("trace", "report", str(trace_path))
+        assert code == 0
+        assert "engine.explore" in output
+        assert "repro-cli" in output
+
+    def test_missing_file_is_an_error(self, tmp_path):
+        code, _ = run_cli("trace", "report", str(tmp_path / "nope.json"))
+        assert code == 2
+
+    def test_unparseable_file_is_an_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("this is not a trace")
+        code, _ = run_cli("trace", "report", str(bad))
+        assert code == 2

@@ -1,0 +1,18 @@
+"""Shared fixtures for the observability suite."""
+
+import pytest
+
+from repro.obs import tracing
+
+
+@pytest.fixture
+def no_env_telemetry(monkeypatch):
+    """Force the REPRO_TRACE env default off for one test.
+
+    The CI matrix runs the whole suite with ``REPRO_TRACE=1``; tests that
+    assert the *absence* of a default recorder opt out of the env-derived
+    one explicitly (monkeypatch restores the lazy cache afterwards).
+    """
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    monkeypatch.setattr(tracing, "_env_checked", True)
+    monkeypatch.setattr(tracing, "_env_telemetry", None)

@@ -1,0 +1,138 @@
+"""Unit tests for the metrics primitives (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    current_rss_kb,
+    format_series,
+)
+
+
+class TestFormatSeries:
+    def test_bare_name(self):
+        assert format_series("x", ()) == "x"
+
+    def test_labels_rendered_sorted(self):
+        assert format_series("x", (("a", 1), ("b", "y"))) == "x{a=1,b=y}"
+
+
+class TestCurrentRss:
+    def test_positive_and_current(self):
+        kb = current_rss_kb()
+        assert isinstance(kb, int)
+        assert kb > 0
+        # current RSS, not the peak: must stay at or below ru_maxrss
+        import resource
+
+        assert kb <= resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 2
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.snapshot()["hits"] == 5
+
+    def test_labeled_series_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("evals", worker=0).inc(2)
+        registry.counter("evals", worker=1).inc(3)
+        snapshot = registry.snapshot()
+        assert snapshot["evals{worker=0}"] == 2
+        assert snapshot["evals{worker=1}"] == 3
+        assert len(registry) == 2
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="counter"):
+            registry.gauge("x")
+
+    def test_gauge_series_and_snapshot(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("rss_kb")
+        gauge.set(10, sample=True, ts=1.0)
+        gauge.set(20, sample=True, ts=2.0)
+        gauge.set(30)  # no sample
+        snapshot = registry.snapshot(include_series=True)
+        assert snapshot["rss_kb"] == 30
+        assert snapshot["rss_kb_series"] == [[1.0, 10], [2.0, 20]]
+        # without include_series the series stays out
+        assert "rss_kb_series" not in registry.snapshot()
+
+    def test_gauge_series_decimates_at_cap(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.max_samples = 8
+        for index in range(20):
+            gauge.set(index, sample=True, ts=float(index))
+        assert len(gauge.samples) <= 8
+        # thinned, not truncated: both early and late samples survive
+        timestamps = [ts for ts, _ in gauge.samples]
+        assert timestamps == sorted(timestamps)
+        assert timestamps[-1] == 19.0
+
+    def test_histogram_buckets_and_mean(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("flush_seconds", bounds=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.counts == [1, 1, 1, 1]
+        assert histogram.mean == pytest.approx(5.555 / 4)
+        snapshot = registry.snapshot()["flush_seconds"]
+        assert snapshot["count"] == 4
+        assert snapshot["buckets"] == [1, 1, 1, 1]
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestExportAbsorb:
+    def test_round_trip_with_extra_labels(self):
+        source = MetricsRegistry()
+        source.counter("states").inc(7)
+        source.gauge("depth").set(3, sample=True, ts=1.5)
+        source.histogram("lat", bounds=(0.1, 1.0)).observe(0.05)
+
+        target = MetricsRegistry()
+        target.absorb(source.export(), worker=2)
+        snapshot = target.snapshot(include_series=True)
+        assert snapshot["states{worker=2}"] == 7
+        assert snapshot["depth{worker=2}"] == 3
+        assert snapshot["depth{worker=2}_series"] == [[1.5, 3]]
+        assert snapshot["lat{worker=2}"]["count"] == 1
+
+    def test_drain_gives_delta_semantics(self):
+        source = MetricsRegistry()
+        target = MetricsRegistry()
+        source.counter("c").inc(5)
+        target.absorb(source.export(drain=True))
+        # nothing new since the drain: re-absorbing must not double-count
+        target.absorb(source.export(drain=True))
+        assert target.snapshot()["c"] == 5
+        source.counter("c").inc(2)
+        target.absorb(source.export(drain=True))
+        assert target.snapshot()["c"] == 7
+
+    def test_histogram_bounds_mismatch_keeps_totals(self):
+        source = MetricsRegistry()
+        source.histogram("h", bounds=(0.5,)).observe(0.25)
+        target = MetricsRegistry()
+        target.histogram("h", bounds=(0.1, 1.0)).observe(0.05)
+        target.absorb(source.export())
+        merged = target.snapshot()["h"]
+        assert merged["count"] == 2
+        assert merged["sum"] == pytest.approx(0.30)
+
+    def test_export_is_json_safe(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c", worker=1).inc()
+        registry.gauge("g").set(1.5, sample=True, ts=0.5)
+        registry.histogram("h").observe(0.2)
+        json.dumps(registry.export())

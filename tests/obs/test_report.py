@@ -1,0 +1,78 @@
+"""Unit tests for trace summarisation (repro.obs.report)."""
+
+import json
+
+from repro.obs import (
+    Telemetry,
+    load_trace_events,
+    render_trace_report,
+    summarize_trace,
+)
+
+
+def _sample_events():
+    return [
+        {"ph": "M", "name": "process_name", "pid": 1, "tid": 0, "args": {"name": "coordinator"}},
+        {"ph": "M", "name": "process_name", "pid": 2, "tid": 0, "args": {"name": "frontier-worker-0"}},
+        {"ph": "X", "name": "engine.explore", "ts": 100, "dur": 900, "pid": 1, "tid": 0, "args": {}},
+        {"ph": "X", "name": "worker.batch", "ts": 200, "dur": 300, "pid": 2, "tid": 0, "args": {}},
+        {"ph": "X", "name": "worker.batch", "ts": 600, "dur": 100, "pid": 2, "tid": 0, "args": {}},
+        {"ph": "C", "name": "rss_kb", "ts": 500, "pid": 1, "args": {"kb": 1000}},
+        {"ph": "i", "s": "p", "name": "campaign.stall", "ts": 700, "pid": 1, "tid": 0, "args": {}},
+    ]
+
+
+class TestSummarize:
+    def test_aggregates_per_process(self):
+        summary = summarize_trace(_sample_events())
+        assert summary["events"] == 7
+        assert summary["processes"] == {1: "coordinator", 2: "frontier-worker-0"}
+        assert summary["spans"][(1, "engine.explore")]["count"] == 1
+        batch = summary["spans"][(2, "worker.batch")]
+        assert batch["count"] == 2
+        assert batch["total_us"] == 400
+        assert batch["max_us"] == 300
+        assert summary["counters"][(1, "rss_kb")] == 1
+        assert summary["instants"] == 1
+        assert summary["wall_us"] == 900  # 100 .. 100+900
+
+    def test_empty_trace(self):
+        summary = summarize_trace([])
+        assert summary["events"] == 0
+        assert summary["wall_us"] == 0
+
+
+class TestRender:
+    def test_render_mentions_processes_and_spans(self):
+        text = render_trace_report(summarize_trace(_sample_events()))
+        assert "2 process(es)" in text
+        assert "coordinator" in text
+        assert "frontier-worker-0" in text
+        assert "engine.explore" in text
+        assert "worker.batch" in text
+        assert "rss_kb" in text
+
+    def test_render_empty(self):
+        assert "0 events" in render_trace_report(summarize_trace([]))
+
+
+class TestLoadTraceEvents:
+    def test_loads_array_file(self, tmp_path):
+        path = tmp_path / "t.json"
+        telemetry = Telemetry(pid=3)
+        telemetry.instant("x")
+        telemetry.write_chrome_trace(path)
+        events = load_trace_events(path)
+        assert any(e.get("name") == "x" for e in events)
+
+    def test_loads_trace_events_container(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"traceEvents": _sample_events()}))
+        assert len(load_trace_events(path)) == 7
+
+    def test_skips_garbage_lines(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text('[\n{"ph":"i","name":"a","ts":1,"pid":1},\nnot json\n')
+        events = load_trace_events(path)
+        assert len(events) == 1
+        assert events[0]["name"] == "a"

@@ -1,0 +1,195 @@
+"""Unit tests for span tracing and the cross-process merge (repro.obs)."""
+
+import json
+
+from repro.obs import (
+    NO_TELEMETRY,
+    Telemetry,
+    default_telemetry,
+    load_trace_events,
+    use_telemetry,
+)
+from repro.obs import tracing as tracing_module
+
+
+class TestNullTelemetry:
+    def test_disabled_and_inert(self):
+        assert NO_TELEMETRY.enabled is False
+        assert NO_TELEMETRY.now() == 0.0
+        with NO_TELEMETRY.span("anything", k=1):
+            pass
+        assert NO_TELEMETRY.end_span("x", 0.0) == 0.0
+        NO_TELEMETRY.instant("i")
+        NO_TELEMETRY.sample_rss()
+        NO_TELEMETRY.metrics.counter("c").inc()
+        assert NO_TELEMETRY.metrics.snapshot() == {}
+        assert NO_TELEMETRY.events() == []
+        assert NO_TELEMETRY.export_payload() == {}
+
+    def test_null_trace_write_is_empty_array(self, tmp_path):
+        path = tmp_path / "null.json"
+        assert NO_TELEMETRY.write_chrome_trace(path) == 0
+        assert json.loads(path.read_text()) == []
+
+
+class TestTelemetry:
+    def test_span_records_complete_event(self):
+        telemetry = Telemetry(process="p", pid=42)
+        with telemetry.span("work", items=3):
+            pass
+        spans = [e for e in telemetry.events() if e.get("ph") == "X"]
+        assert len(spans) == 1
+        (span,) = spans
+        assert span["name"] == "work"
+        assert span["pid"] == 42
+        assert span["args"] == {"items": 3}
+        assert span["dur"] >= 0
+
+    def test_span_records_error_on_exception(self):
+        telemetry = Telemetry(pid=1)
+        try:
+            with telemetry.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        (span,) = [e for e in telemetry.events() if e.get("ph") == "X"]
+        assert span["args"]["error"] == "ValueError"
+
+    def test_end_span_returns_elapsed(self):
+        telemetry = Telemetry(pid=1)
+        started = telemetry.now()
+        elapsed = telemetry.end_span("x", started, n=1)
+        assert elapsed >= 0.0
+
+    def test_process_metadata_announced_once(self):
+        telemetry = Telemetry(process="coordinator", pid=7)
+        metadata = [e for e in telemetry.events() if e.get("ph") == "M"]
+        assert metadata == [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": 7,
+                "tid": 0,
+                "args": {"name": "coordinator"},
+            }
+        ]
+
+    def test_event_cap_counts_drops(self):
+        telemetry = Telemetry(pid=1, max_events=3)
+        for index in range(10):
+            telemetry.instant(f"e{index}")
+        assert len(telemetry.events()) == 3
+        assert telemetry.dropped_events == 8  # 1 metadata + 2 instants kept
+
+    def test_sample_rss_updates_gauge_and_trace(self):
+        telemetry = Telemetry(pid=1)
+        kb = telemetry.sample_rss(reps_resident=5)
+        assert kb > 0
+        snapshot = telemetry.metrics.snapshot(include_series=True)
+        assert snapshot["rss_kb"] == kb
+        assert snapshot["reps_resident"] == 5
+        assert len(snapshot["rss_kb_series"]) == 1
+        counters = [e for e in telemetry.events() if e.get("ph") == "C"]
+        assert {e["name"] for e in counters} == {"rss_kb", "reps_resident"}
+
+
+class TestMergeRemote:
+    def test_worker_payload_merges_onto_timeline(self):
+        worker = Telemetry(process="frontier-worker-3", pid=101)
+        with worker.span("worker.batch", states=4):
+            pass
+        worker.metrics.counter("worker_states_expanded").inc(4)
+        payload = json.loads(json.dumps(worker.export_payload(drain=True)))
+
+        coordinator = Telemetry(process="coordinator", pid=1)
+        coordinator.merge_remote(payload)
+        names = {e.get("name") for e in coordinator.events() if e.get("ph") == "X"}
+        assert "worker.batch" in names
+        processes = {
+            e["args"]["name"] for e in coordinator.events() if e.get("ph") == "M"
+        }
+        assert processes == {"coordinator", "frontier-worker-3"}
+        # metrics gain the worker label derived from the process name
+        assert (
+            coordinator.metrics.snapshot()["worker_states_expanded{worker=3}"] == 4
+        )
+
+    def test_drained_payloads_do_not_double_count(self):
+        worker = Telemetry(process="frontier-worker-0", pid=50)
+        coordinator = Telemetry(process="coordinator", pid=1)
+        worker.metrics.counter("n").inc(2)
+        coordinator.merge_remote(worker.export_payload(drain=True))
+        coordinator.merge_remote(worker.export_payload(drain=True))  # empty delta
+        worker.metrics.counter("n").inc(1)
+        coordinator.merge_remote(worker.export_payload(drain=True))
+        assert coordinator.metrics.snapshot()["n{worker=0}"] == 3
+
+    def test_merge_tolerates_empty_payload(self):
+        coordinator = Telemetry(pid=1)
+        coordinator.merge_remote({})
+        coordinator.merge_remote({"events": None, "metrics": None})
+
+
+class TestChromeTraceFile:
+    def test_write_and_load_round_trip(self, tmp_path):
+        telemetry = Telemetry(process="p", pid=9)
+        with telemetry.span("a"):
+            pass
+        telemetry.instant("b")
+        path = tmp_path / "trace.json"
+        count = telemetry.write_chrome_trace(path)
+        assert count == len(telemetry.events())
+        # a strictly valid JSON array (Perfetto-loadable)...
+        events = json.loads(path.read_text())
+        assert len(events) == count
+        # ...that load_trace_events also reads
+        assert load_trace_events(path) == events
+
+    def test_truncated_file_still_line_parseable(self, tmp_path):
+        telemetry = Telemetry(pid=9)
+        for index in range(5):
+            telemetry.instant(f"e{index}")
+        path = tmp_path / "trace.json"
+        telemetry.write_chrome_trace(path)
+        lines = path.read_text().splitlines()
+        truncated = tmp_path / "cut.json"
+        truncated.write_text("\n".join(lines[:4]))  # killed mid-write
+        recovered = load_trace_events(truncated)
+        assert 1 <= len(recovered) <= 4
+
+
+class TestDefaultResolution:
+    def test_default_is_noop(self, no_env_telemetry):
+        assert default_telemetry() is NO_TELEMETRY
+
+    def test_use_telemetry_stack(self, no_env_telemetry):
+        telemetry = Telemetry(pid=1)
+        with use_telemetry(telemetry):
+            assert default_telemetry() is telemetry
+            inner = Telemetry(pid=2)
+            with use_telemetry(inner):
+                assert default_telemetry() is inner
+            assert default_telemetry() is telemetry
+        assert default_telemetry() is NO_TELEMETRY
+
+    def test_use_telemetry_none_is_noop_context(self, no_env_telemetry):
+        with use_telemetry(None) as scope:
+            assert scope is NO_TELEMETRY
+            assert default_telemetry() is NO_TELEMETRY
+
+    def test_env_flag_enables_default(self, monkeypatch):
+        monkeypatch.setattr(tracing_module, "_env_checked", False)
+        monkeypatch.setattr(tracing_module, "_env_telemetry", None)
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        resolved = default_telemetry()
+        assert resolved.enabled is True
+        monkeypatch.setattr(tracing_module, "_env_checked", False)
+        monkeypatch.setattr(tracing_module, "_env_telemetry", None)
+
+    def test_env_off_values_stay_disabled(self, monkeypatch):
+        for value in ("", "0", "off", "false", "no"):
+            monkeypatch.setattr(tracing_module, "_env_checked", False)
+            monkeypatch.setattr(tracing_module, "_env_telemetry", None)
+            monkeypatch.setenv("REPRO_TRACE", value)
+            assert default_telemetry() is NO_TELEMETRY
+        monkeypatch.setattr(tracing_module, "_env_checked", False)

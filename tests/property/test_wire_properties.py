@@ -202,8 +202,9 @@ class TestFrameRejection:
             WireFrame(data)
 
     def test_unknown_guard_term_tag_is_rejected(self):
-        # empty label table, one guard entry whose key starts with tag 200
-        data = WIRE_MAGIC + bytes([WIRE_VERSION, 0, 1, 200])
+        # no telemetry, empty label table, one guard entry whose key starts
+        # with tag 200
+        data = WIRE_MAGIC + bytes([WIRE_VERSION, 0, 0, 1, 200])
         with pytest.raises(WireFormatError) as excinfo:
             WireFrame(data)
         assert "term tag" in str(excinfo.value)
