@@ -37,7 +37,12 @@ Two sections are produced:
   verdict for both traced serial and traced 2-worker runs, whether the
   merged trace contains per-worker spans, and a periodic RSS time series
   sampled between waves (``--trace PATH`` additionally writes the merged
-  Chrome trace-event file for Perfetto).
+  Chrome trace-event file for Perfetto).  A *service* workload boots the
+  analysis pod server (``repro serve``'s machinery) on an ephemeral port,
+  drains a batch of HTTP-submitted jobs and records job throughput plus two
+  gated verdicts: every wire result matches the direct library call
+  (``service_parity``) and two jobs whose declared budgets exceed the pod's
+  capacity are never resident together (``admission_serialized``).
 
 * ``pytest_benchmarks`` — the per-test timings of every ``bench_*.py``
   module, collected through ``pytest-benchmark``'s JSON output.  Skipped
@@ -729,6 +734,7 @@ def measure_engine(
     if attach_states:  # --attach-states 0 skips the large-store workload
         results.append(measure_residency_attach(frontier, attach_states, attach_budget))
     results.append(measure_telemetry(frontier, trace_path=trace_path))
+    results.append(measure_service(frontier))
     if str(BENCH_DIR) not in sys.path:
         sys.path.insert(0, str(BENCH_DIR))
     from micro_codec import measure_micro_codec
@@ -739,6 +745,128 @@ def measure_engine(
         "limits": {"max_states": limits.max_states, "max_instance_nodes": limits.max_instance_nodes},
         "cpu_count": os.cpu_count(),
         "workloads": results,
+    }
+
+
+#: Parity-gated fields of an ``analysis-result/1`` wire dict: the service
+#: workload compares these between the HTTP round trip and the direct
+#: library call (wire stats also carry non-semantic fields like ``resumed``,
+#: which legitimately differ for sliced pod runs).
+_SERVICE_PARITY_FIELDS = ("problem", "decided", "answer", "procedure")
+_SERVICE_PARITY_STATS = ("states_explored", "transitions", "truncated")
+
+
+def _service_parity_view(result_wire: dict) -> dict:
+    view = {field: result_wire[field] for field in _SERVICE_PARITY_FIELDS}
+    stats = result_wire.get("stats") or {}
+    view.update({key: stats.get(key) for key in _SERVICE_PARITY_STATS})
+    return view
+
+
+def measure_service(frontier: str) -> dict:
+    """The analysis pod: HTTP job throughput, result parity, admission.
+
+    Two legs against in-process :class:`~repro.service.PodServer` instances
+    on ephemeral ports (the CLI's ``repro serve`` path, minus the process
+    boundary):
+
+    * **throughput + parity** — a batch of completability jobs submitted
+      over HTTP and drained by two pod workers; every wire result must
+      match the direct ``run_analysis`` call on the parity-gated fields
+      (answer, decided, procedure, states/transitions) — the ``--check``
+      gate fails on any divergence.
+    * **admission** — two jobs whose declared budgets (600 KiB each) cannot
+      both fit a 1000 KiB pod; the leg polls the job table and records
+      whether the pod ever let them be resident together.  The gate
+      enforces it never does.
+    """
+    from repro.service import AnalysisRequest, PodServer, ServerConfig, ServiceClient
+    from repro.service.dispatch import result_to_wire, run_analysis
+
+    request = AnalysisRequest(
+        form="leave-application-finite", kind="completability", frontier=frontier
+    )
+    reference = result_to_wire(run_analysis(request))
+    job_count = 8
+
+    with tempfile.TemporaryDirectory() as tmp:
+        server = PodServer(
+            ServerConfig(store_dir=str(Path(tmp) / "pod"), port=0, workers=2)
+        )
+        server.start()
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{server.port}")
+            started = time.perf_counter()
+            submitted = [
+                client.submit(request)["job_id"] for _ in range(job_count)
+            ]
+            finals = [
+                client.wait(job_id, poll_seconds=0.005) for job_id in submitted
+            ]
+            elapsed = time.perf_counter() - started
+            results = [client.result(job_id) for job_id in submitted]
+            parity = all(final["state"] == "done" for final in finals) and all(
+                _service_parity_view(result) == _service_parity_view(reference)
+                for result in results
+            )
+            metrics = client.metrics()
+            slices = sum(
+                count
+                for name, count in metrics["metrics"].items()
+                if name.startswith("service.job.slices")
+            )
+        finally:
+            server.shutdown()
+
+    # admission leg: a pod too small for both declared budgets at once
+    with tempfile.TemporaryDirectory() as tmp:
+        server = PodServer(
+            ServerConfig(
+                store_dir=str(Path(tmp) / "pod"),
+                port=0,
+                workers=2,
+                capacity_kb=1000,
+                slice_steps=50,
+            )
+        )
+        server.start()
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{server.port}")
+            big = AnalysisRequest(
+                form="leave-application",
+                kind="completability",
+                frontier=frontier,
+                max_states=300,
+                budget_kb=600,
+            )
+            ids = [client.submit(big)["job_id"] for _ in range(2)]
+            serialized = True
+            while True:
+                states = [server.jobs.get(job_id).state for job_id in ids]
+                if states.count("running") > 1:
+                    serialized = False
+                if all(state == "done" for state in states):
+                    break
+                time.sleep(0.002)
+        finally:
+            server.shutdown()
+
+    states = reference["stats"]["states_explored"]
+    return {
+        "workload": f"analysis service pod [{job_count} jobs, 2 workers]",
+        "kind": "service",
+        "frontier": frontier,
+        "states": states,
+        "jobs": job_count,
+        "explore_seconds": round(elapsed, 6),
+        "jobs_per_second": round(job_count / elapsed, 2) if elapsed else None,
+        "states_per_second": (
+            round(job_count * states / elapsed, 1) if elapsed else None
+        ),
+        "job_slices": slices,
+        "service_parity": parity,
+        "admission_serialized": serialized,
+        "peak_rss_kb": _peak_rss_kb(),
     }
 
 
@@ -917,6 +1045,17 @@ def check_regressions(report: dict, baseline: dict, threshold: float) -> list[st
                         f"workload {name!r} finished with {field}={value}, above "
                         f"its resident budget of {budget}"
                     )
+        # the pod server is a transport, never a semantics change: an HTTP
+        # round trip must answer exactly what the library answers, and two
+        # jobs whose budgets exceed capacity must never be resident together
+        if fresh.get("service_parity") is False:
+            failures.append(
+                f"workload {name!r} broke HTTP-vs-library result parity"
+            )
+        if fresh.get("admission_serialized") is False:
+            failures.append(
+                f"workload {name!r} admitted two over-capacity jobs concurrently"
+            )
         wire_bpc = fresh.get("wire_bytes_per_candidate")
         legacy_bpc = fresh.get("legacy_wire_bytes_per_candidate")
         if wire_bpc and legacy_bpc:
@@ -1216,7 +1355,7 @@ def main(argv=None) -> int:
         )
 
     report = {
-        "schema": "bench-engine/7",
+        "schema": "bench-engine/8",
         "generated_by": "benchmarks/run_all.py",
         "quick": args.quick,
         "engine": engine_metrics,
@@ -1289,6 +1428,21 @@ def main(argv=None) -> int:
                     par_parity=workload["traced_parallel_parity"],
                     events=workload["trace_events"],
                     procs=len(workload["trace_processes"]),
+                )
+            )
+            continue
+        if workload.get("kind") == "service":
+            print(
+                "[run_all]   {workload}: {jobs} jobs in {secs}s "
+                "({jps} jobs/s, {slices} slice(s)), parity={parity}, "
+                "admission serialized={serialized}".format(
+                    workload=workload["workload"],
+                    jobs=workload["jobs"],
+                    secs=workload["explore_seconds"],
+                    jps=workload["jobs_per_second"],
+                    slices=workload["job_slices"],
+                    parity=workload["service_parity"],
+                    serialized=workload["admission_serialized"],
                 )
             )
             continue

@@ -56,9 +56,40 @@ from repro.core.guarded_form import Addition, GuardedForm
 from repro.core.instance import Instance
 from repro.core.runs import Run
 from repro.engine import ExplorationEngine, StateStore, engine_for
-from repro.exceptions import AnalysisError
+from repro.exceptions import AnalysisError, RequestError
 
 _PROBLEM = "completability"
+
+
+def delegate_to_request(dispatcher_name: str, kind: str, request, guarded_form):
+    """The shared ``request=`` shim of the analysis dispatchers.
+
+    Every dispatcher accepts either its classic keyword surface *or* a
+    single :class:`~repro.service.AnalysisRequest`; with a request it
+    becomes a thin shim over :func:`repro.service.dispatch.run_analysis` —
+    the same dispatcher the HTTP API and the CLI go through, pinned
+    equivalent to the kwargs path by the parity tests.  Mixing both
+    surfaces, or handing a request whose ``kind`` names a different verb,
+    is rejected outright.
+    """
+    if guarded_form is not None:
+        raise RequestError(
+            f"{dispatcher_name} takes either a guarded form (with keyword "
+            "arguments) or request=, not both"
+        )
+    if request.kind != kind:
+        raise RequestError(
+            f"{dispatcher_name} expects a request of kind {kind!r}, got "
+            f"{request.kind!r}"
+        )
+    from repro.service.dispatch import run_analysis
+
+    return run_analysis(request)
+
+
+def transition_count(graph) -> int:
+    """Total transitions of an explored graph (any graph flavour)."""
+    return sum(len(edges) for edges in graph.transitions.values())
 
 
 def completability_by_saturation(
@@ -155,6 +186,7 @@ def completability_depth1(
             stats={
                 "canonical_states": len(graph.states),
                 "complete_states": len(complete_states & reachable),
+                "transitions": transition_count(graph),
                 "engine": engine.stats_snapshot(),
             },
         )
@@ -175,6 +207,7 @@ def completability_bounded(
     stop_on_complete: bool = False,
     workers: int = 1,
     resident_budget: Optional[int] = None,
+    step_limit: Optional[int] = None,
 ) -> AnalysisResult:
     """Bounded explicit-state completability for arbitrary guarded forms.
 
@@ -192,7 +225,11 @@ def completability_bounded(
     ``workers > 1`` expands frontier waves on a
     :class:`~repro.engine.parallel.ParallelExplorationEngine` worker pool;
     the explored graph — and hence the verdict — is bit-identical to the
-    serial engine's.
+    serial engine's.  *step_limit* bounds how many states this call may
+    expand: on a store-backed engine the exploration checkpoints and raises
+    :class:`~repro.exceptions.ExplorationInterrupted` when the budget runs
+    out, and an identical call with *resume* continues — the service's
+    slice-wise execution mode.
     """
     limits = limits or ExplorationLimits()
     owns_engine = engine is None
@@ -204,10 +241,12 @@ def completability_bounded(
             strategy=frontier,
             stop_on_complete=stop_on_complete,
             resume=resume,
+            step_limit=step_limit,
         )
         complete_states = engine.complete_ids(graph)
         stats = {
             "states_explored": len(graph.states),
+            "transitions": transition_count(graph),
             "truncated": graph.truncated,
             "truncated_by_states": graph.truncated_by_states,
             "truncated_by_size": graph.truncated_by_size,
@@ -260,7 +299,7 @@ def positive_rules_copy_bound(guarded_form: GuardedForm) -> int:
 
 
 def decide_completability(
-    guarded_form: GuardedForm,
+    guarded_form: Optional[GuardedForm] = None,
     start: Optional[Instance] = None,
     strategy: str = "auto",
     limits: Optional[ExplorationLimits] = None,
@@ -271,6 +310,8 @@ def decide_completability(
     stop_on_complete: bool = False,
     workers: int = 1,
     resident_budget: Optional[int] = None,
+    step_limit: Optional[int] = None,
+    request=None,
 ) -> AnalysisResult:
     """Decide completability, selecting a procedure from the fragment.
 
@@ -300,7 +341,20 @@ def decide_completability(
             procedure (``1`` — the default — keeps the serial engine; the
             parallel engine's answers are bit-identical, see
             :mod:`repro.engine.parallel`).
+        step_limit: state-expansion budget per call for the bounded
+            procedure (checkpoint + :class:`ExplorationInterrupted` when
+            exhausted; resume to continue).
+        request: a single :class:`~repro.service.AnalysisRequest` of kind
+            ``"completability"`` carrying the whole configuration instead
+            of the keyword surface; the call becomes a thin shim over
+            :func:`repro.service.dispatch.run_analysis`.
     """
+    if request is not None:
+        return delegate_to_request(
+            "decide_completability", "completability", request, guarded_form
+        )
+    if guarded_form is None:
+        raise RequestError("decide_completability needs a guarded form or request=")
     if strategy == "saturation":
         return completability_by_saturation(guarded_form, start)
     if strategy == "depth1":
@@ -321,6 +375,7 @@ def decide_completability(
             stop_on_complete=stop_on_complete,
             workers=workers,
             resident_budget=resident_budget,
+            step_limit=step_limit,
         )
     if strategy != "auto":
         raise AnalysisError(f"unknown completability strategy {strategy!r}")
@@ -355,6 +410,7 @@ def decide_completability(
             stop_on_complete=stop_on_complete,
             workers=workers,
             resident_budget=resident_budget,
+            step_limit=step_limit,
         )
     return completability_bounded(
         guarded_form,
@@ -367,4 +423,5 @@ def decide_completability(
         stop_on_complete=stop_on_complete,
         workers=workers,
         resident_budget=resident_budget,
+        step_limit=step_limit,
     )

@@ -12,18 +12,19 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.analysis.completability import decide_completability
+from repro.analysis.completability import decide_completability, delegate_to_request
 from repro.analysis.results import AnalysisResult, ExplorationLimits
 from repro.core.formulas.ast import Formula, Not
 from repro.core.formulas.parser import parse_formula
 from repro.core.guarded_form import GuardedForm
 from repro.core.instance import Instance
 from repro.engine import StateStore
+from repro.exceptions import RequestError
 
 
 def can_reach(
-    guarded_form: GuardedForm,
-    condition: "Formula | str",
+    guarded_form: Optional[GuardedForm] = None,
+    condition: "Formula | str | None" = None,
     start: Optional[Instance] = None,
     limits: Optional[ExplorationLimits] = None,
     frontier: Optional[str] = None,
@@ -32,6 +33,8 @@ def can_reach(
     stop_on_complete: bool = False,
     workers: int = 1,
     resident_budget: Optional[int] = None,
+    step_limit: Optional[int] = None,
+    request=None,
 ) -> AnalysisResult:
     """Whether some reachable instance satisfies *condition* (at the root).
 
@@ -46,7 +49,20 @@ def can_reach(
     *resume* picks up an interrupted probe exploration, and
     *stop_on_complete* opts into returning on the first satisfying state
     instead of exhausting the budget.
+
+    Alternatively pass a single ``request`` of kind ``"reach"`` (its
+    ``formula`` field carries *condition*); the call then delegates to
+    :func:`repro.service.dispatch.run_analysis`.
     """
+    if request is not None:
+        if condition is not None:
+            raise RequestError(
+                "can_reach takes either a condition (with keyword arguments) "
+                "or request=, not both"
+            )
+        return delegate_to_request("can_reach", "reach", request, guarded_form)
+    if guarded_form is None or condition is None:
+        raise RequestError("can_reach needs a guarded form and condition, or request=")
     probe = guarded_form.with_completion(
         parse_formula(condition), name=f"{guarded_form.name} [reach probe]"
     )
@@ -60,14 +76,15 @@ def can_reach(
         stop_on_complete=stop_on_complete,
         workers=workers,
         resident_budget=resident_budget,
+        step_limit=step_limit,
     )
     result.stats["query"] = "can_reach"
     return result
 
 
 def always_holds(
-    guarded_form: GuardedForm,
-    invariant: "Formula | str",
+    guarded_form: Optional[GuardedForm] = None,
+    invariant: "Formula | str | None" = None,
     start: Optional[Instance] = None,
     limits: Optional[ExplorationLimits] = None,
     frontier: Optional[str] = None,
@@ -76,6 +93,8 @@ def always_holds(
     stop_on_complete: bool = False,
     workers: int = 1,
     resident_budget: Optional[int] = None,
+    step_limit: Optional[int] = None,
+    request=None,
 ) -> AnalysisResult:
     """Whether *invariant* holds at the root of **every** reachable instance.
 
@@ -85,7 +104,22 @@ def always_holds(
     *stop_on_complete* lets the underlying reachability probe return on the
     first violating state (the verdict is unchanged; only the exploration
     effort and the reported stats shrink).
+
+    Alternatively pass a single ``request`` of kind ``"invariant"`` (its
+    ``formula`` field carries *invariant*); the call then delegates to
+    :func:`repro.service.dispatch.run_analysis`.
     """
+    if request is not None:
+        if invariant is not None:
+            raise RequestError(
+                "always_holds takes either an invariant (with keyword "
+                "arguments) or request=, not both"
+            )
+        return delegate_to_request("always_holds", "invariant", request, guarded_form)
+    if guarded_form is None or invariant is None:
+        raise RequestError(
+            "always_holds needs a guarded form and invariant, or request="
+        )
     violation = can_reach(
         guarded_form,
         Not(parse_formula(invariant)),
@@ -97,6 +131,7 @@ def always_holds(
         stop_on_complete=stop_on_complete,
         workers=workers,
         resident_budget=resident_budget,
+        step_limit=step_limit,
     )
     answer: Optional[bool]
     if violation.decided:

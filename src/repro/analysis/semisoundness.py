@@ -31,7 +31,9 @@ from typing import Optional
 
 from repro.analysis.completability import (
     decide_completability,
+    delegate_to_request,
     positive_rules_copy_bound,
+    transition_count,
 )
 from repro.analysis.results import AnalysisResult, ExplorationLimits
 from repro.core.canonical import depth1_state_to_instance
@@ -39,7 +41,7 @@ from repro.core.fragments import classify
 from repro.core.guarded_form import GuardedForm
 from repro.core.instance import Instance
 from repro.engine import ExplorationEngine, StateStore, engine_for
-from repro.exceptions import AnalysisError
+from repro.exceptions import AnalysisError, RequestError
 
 _PROBLEM = "semisoundness"
 
@@ -84,6 +86,7 @@ def semisoundness_depth1(
             counterexample=counterexample,
             stats={
                 "canonical_states": len(graph.states),
+                "transitions": transition_count(graph),
                 "reachable_states": len(reachable),
                 "incompletable_reachable_states": len(stuck),
                 "engine": engine.stats_snapshot(),
@@ -105,6 +108,7 @@ def semisoundness_bounded(
     resume: bool = False,
     workers: int = 1,
     resident_budget: Optional[int] = None,
+    step_limit: Optional[int] = None,
 ) -> AnalysisResult:
     """Bounded semi-soundness for guarded forms of arbitrary depth.
 
@@ -132,12 +136,19 @@ def semisoundness_bounded(
     owns_engine = engine is None
     engine = engine_for(guarded_form, engine, frontier, store=store, workers=workers, resident_budget=resident_budget)
     try:
-        graph = engine.explore(start=start, limits=limits, strategy=frontier, resume=resume)
+        graph = engine.explore(
+            start=start,
+            limits=limits,
+            strategy=frontier,
+            resume=resume,
+            step_limit=step_limit,
+        )
         complete_states = engine.complete_ids(graph)
         can_complete = graph.backward_closure(complete_states)
         suspicious = [state_id for state_id in graph.states if state_id not in can_complete]
         stats = {
             "states_explored": len(graph.states),
+            "transitions": transition_count(graph),
             "truncated": graph.truncated,
             "suspicious_states": len(suspicious),
             "limits": limits,
@@ -198,7 +209,7 @@ def semisoundness_bounded(
 
 
 def decide_semisoundness(
-    guarded_form: GuardedForm,
+    guarded_form: Optional[GuardedForm] = None,
     start: Optional[Instance] = None,
     strategy: str = "auto",
     limits: Optional[ExplorationLimits] = None,
@@ -208,6 +219,8 @@ def decide_semisoundness(
     resume: bool = False,
     workers: int = 1,
     resident_budget: Optional[int] = None,
+    step_limit: Optional[int] = None,
+    request=None,
 ) -> AnalysisResult:
     """Decide semi-soundness, selecting a procedure from the fragment.
 
@@ -228,7 +241,21 @@ def decide_semisoundness(
         workers: number of frontier worker processes for the bounded
             procedure (``1`` keeps the serial engine; parallel verdicts are
             bit-identical — see :mod:`repro.engine.parallel`).
+        step_limit: for the bounded procedure, checkpoint and raise
+            :class:`~repro.exceptions.ExplorationInterrupted` after this many
+            state expansions of the reachability sweep (requires a store).
+        request: a single :class:`~repro.service.AnalysisRequest` instead of
+            the keyword surface; delegates to
+            :func:`repro.service.dispatch.run_analysis`.
     """
+    if request is not None:
+        return delegate_to_request(
+            "decide_semisoundness", "semisoundness", request, guarded_form
+        )
+    if guarded_form is None:
+        raise RequestError(
+            "decide_semisoundness needs a guarded form or request="
+        )
     if strategy == "depth1":
         return semisoundness_depth1(
             guarded_form, start, frontier=frontier, engine=engine, store=store,
@@ -246,6 +273,7 @@ def decide_semisoundness(
             resume=resume,
             workers=workers,
             resident_budget=resident_budget,
+            step_limit=step_limit,
         )
     if strategy != "auto":
         raise AnalysisError(f"unknown semi-soundness strategy {strategy!r}")
@@ -272,4 +300,5 @@ def decide_semisoundness(
         resume=resume,
         workers=workers,
         resident_budget=resident_budget,
+        step_limit=step_limit,
     )

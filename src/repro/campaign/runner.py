@@ -94,6 +94,12 @@ class CampaignConfig:
     #: Flag a form as stalled when its wall clock exceeds this multiple of
     #: the family median (needs :data:`STALL_MIN_SAMPLES` prior samples).
     stall_multiple: float = 4.0
+    #: Drain the queue through a pod server instead of in-process: every
+    #: form is submitted to this base URL as an inlined ``completability``
+    #: request and the committed row is built from the service's wire
+    #: result.  Like ``workers``, this changes the *vehicle*, not the row
+    #: semantics, so it stays out of the resume fingerprint.
+    submit_url: Optional[str] = None
 
     def payload(self) -> dict:
         """The row-determining configuration (the store's resume guard)."""
@@ -244,6 +250,85 @@ def evaluate_spec(spec: FormSpec, stack, limits: ExplorationLimits) -> CampaignR
     )
 
 
+def evaluate_specs_via_service(
+    specs: Sequence[FormSpec], submit_url: str, limits: ExplorationLimits
+) -> "list[CampaignRow]":
+    """Evaluate a batch of specs through a pod server (``--submit-url``).
+
+    The whole batch is submitted up front — the server's queue and workers
+    provide the pipelining — then each job is awaited in order.  A job that
+    ends anywhere but ``done`` (failed, cancelled, evicted past tolerance)
+    is committed as a ``service`` disagreement, so service-side faults
+    surface exactly like oracle disagreements in reports.
+    """
+    from repro.service.client import ServiceClient
+    from repro.service.request import AnalysisRequest
+
+    client = ServiceClient(submit_url)
+    submitted = []
+    for spec in specs:
+        form = generate_form(spec)
+        request = AnalysisRequest(
+            form=guarded_form_to_dict(form),
+            kind="completability",
+            max_states=limits.max_states,
+            max_instance_nodes=limits.max_instance_nodes,
+            max_sibling_copies=limits.max_sibling_copies,
+        )
+        submitted.append((spec, form, client.submit(request)))
+
+    rows = []
+    for spec, form, job in submitted:
+        family = FAMILIES[spec.family]
+        final = client.wait(job["job_id"])
+        disagreements = []
+        stats: dict = {}
+        decided: bool = False
+        answer: Optional[bool] = None
+        if final["state"] == "done":
+            result = client.result(job["job_id"])
+            stats = result.get("stats") or {}
+            decided = bool(result["decided"])
+            answer = result["answer"]
+        else:
+            error = final.get("error") or {}
+            disagreements.append(
+                {
+                    "oracle": "service",
+                    "detail": (
+                        f"job {job['job_id']} ended {final['state']}: "
+                        f"{error.get('code', 'unknown')}: {error.get('message', '')}"
+                    ),
+                }
+            )
+        elapsed = max(
+            0.0, (final.get("finished_at") or 0.0) - (final.get("started_at") or 0.0)
+        )
+        states = int(stats.get("states_explored") or stats.get("canonical_states") or 0)
+        engine_stats = stats.get("engine") or {}
+        rows.append(
+            CampaignRow(
+                family=spec.family,
+                seed=spec.seed,
+                index=spec.index,
+                kind=family.kind,
+                digest=form_digest(form),
+                states=states,
+                transitions=int(stats.get("transitions") or 0),
+                truncated=bool(stats.get("truncated", False)),
+                decided=decided,
+                answer=answer,
+                elapsed=elapsed,
+                states_per_second=round(states / elapsed, 2) if elapsed else 0.0,
+                guard_hit_rate=float(engine_stats.get("guard_cache_hit_rate") or 0.0),
+                peak_rss_kb=0,  # resident cost is the pod's, not this process's
+                oracles_run=["service"],
+                disagreements=disagreements,
+            )
+        )
+    return rows
+
+
 def _pool_task(payload: tuple) -> CampaignRow:
     """Picklable per-spec task for the process pool (named oracles only)."""
     family, seed, index, scale, oracle_names, smoke = payload
@@ -360,7 +445,11 @@ def run_campaign(
             if max_batches is not None and batch_index >= max_batches:
                 summary.interrupted = True
                 break
-            if config.workers > 1:
+            if config.submit_url:
+                rows = evaluate_specs_via_service(batch, config.submit_url, limits)
+                for spec, row in zip(batch, rows):
+                    pulse.form_done(spec, row.elapsed)
+            elif config.workers > 1:
                 rows = drain_task_queue(
                     [
                         (s.family, s.seed, s.index, s.scale, list(config.oracles), config.smoke)

@@ -1,0 +1,105 @@
+"""The built-in form catalogue, addressable by name.
+
+Form *references* appear in three places that must agree: CLI positional
+arguments, :class:`~repro.service.AnalysisRequest.form` fields travelling
+over the service wire, and library calls.  This module is the single
+resolver behind all three:
+
+* a **catalogue name** (``leave-application``, ``tax-declaration``, …, plus
+  the ``bench-*`` benchgen families) builds the named example form;
+* a **dict** is decoded as the JSON form format of
+  :mod:`repro.io.serialization` (this is how forms travel over the service
+  wire — the client inlines the file so the server never needs the client's
+  filesystem);
+* any other **string** is treated as a path to a JSON form file.
+
+Historically the catalogue lived in :mod:`repro.cli`, which re-exports it
+for compatibility.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from repro.core.guarded_form import GuardedForm
+from repro.exceptions import RequestError
+from repro.fbwis.catalog import (
+    leave_application,
+    leave_application_incompletable,
+    leave_application_not_semisound,
+    purchase_order,
+    tax_declaration,
+)
+from repro.io.serialization import guarded_form_from_dict, load_guarded_form
+
+
+def _bench_counter_machine() -> GuardedForm:
+    from repro.benchgen.families import counter_machine_family
+
+    return counter_machine_family(3)[0]
+
+
+def _bench_positive_deep() -> GuardedForm:
+    from repro.benchgen.families import positive_deep_family
+
+    return positive_deep_family(4, width=2)
+
+
+def _bench_positive_chain() -> GuardedForm:
+    from repro.benchgen.families import positive_chain_family
+
+    return positive_chain_family(16)
+
+
+def _bench_sat() -> GuardedForm:
+    from repro.benchgen.families import sat_completability_family
+
+    return sat_completability_family(8, seed=8)[0]
+
+
+#: Built-in forms addressable by name on the command line and in service
+#: requests.  The ``bench-*`` entries expose benchgen workload families (the
+#: counter machine is the deepest — its unbounded state space is the intended
+#: target for ``analyze --store … --max-states N`` / ``--resume`` sessions).
+CATALOG: dict[str, Callable[[], GuardedForm]] = {
+    "leave-application": lambda: leave_application(single_period=False),
+    "leave-application-finite": lambda: leave_application(single_period=True),
+    "leave-application-incompletable": lambda: leave_application_incompletable(single_period=True),
+    "leave-application-not-semisound": lambda: leave_application_not_semisound(single_period=True),
+    "tax-declaration": tax_declaration,
+    "purchase-order": purchase_order,
+    "bench-counter-machine": _bench_counter_machine,
+    "bench-positive-deep": _bench_positive_deep,
+    "bench-positive-chain": _bench_positive_chain,
+    "bench-sat": _bench_sat,
+}
+
+
+def resolve_form(ref: "str | dict | GuardedForm") -> GuardedForm:
+    """Materialise a form reference: name, inline dict, path, or the form.
+
+    Raises:
+        RequestError: the reference is neither a catalogue name, an inline
+            form dict, an existing JSON file, nor a
+            :class:`~repro.core.guarded_form.GuardedForm` — the
+            ``malformed-form`` case of the service error taxonomy.
+    """
+    if isinstance(ref, GuardedForm):
+        return ref
+    if isinstance(ref, dict):
+        return guarded_form_from_dict(ref)
+    if not isinstance(ref, str):
+        raise RequestError(
+            f"a form reference must be a catalogue name, a form dict or a "
+            f"file path, not {type(ref).__name__}"
+        )
+    if ref in CATALOG:
+        return CATALOG[ref]()
+    path = Path(ref)
+    if not path.exists():
+        raise RequestError(
+            f"{ref!r} is neither a catalogue form ({', '.join(sorted(CATALOG))}) "
+            "nor an existing file"
+        )
+    return load_guarded_form(path)

@@ -69,12 +69,13 @@ import json
 import sys
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.completability import decide_completability
 from repro.analysis.invariants import always_holds
 from repro.analysis.results import AnalysisResult, ExplorationLimits
 from repro.analysis.semisoundness import decide_semisoundness
+from repro.catalog import CATALOG, resolve_form
 from repro.core.fragments import classify
 from repro.core.guarded_form import GuardedForm
 from repro.engine import (
@@ -85,14 +86,7 @@ from repro.engine import (
     SqliteStore,
     open_store,
 )
-from repro.exceptions import ReproError
-from repro.fbwis.catalog import (
-    leave_application,
-    leave_application_incompletable,
-    leave_application_not_semisound,
-    purchase_order,
-    tax_declaration,
-)
+from repro.exceptions import CampaignError, ReproError, StoreError
 from repro.io.dot import lts_to_dot
 from repro.io.render import render_rule_table, render_schema, render_table1
 from repro.io.serialization import guarded_form_to_dict, load_guarded_form, save_guarded_form
@@ -107,60 +101,10 @@ from repro.obs import (
 from repro.workflow.extraction import extract_workflow
 from repro.workflow.soundness import analyse_workflow
 
-def _bench_counter_machine() -> GuardedForm:
-    from repro.benchgen.families import counter_machine_family
-
-    return counter_machine_family(3)[0]
-
-
-def _bench_positive_deep() -> GuardedForm:
-    from repro.benchgen.families import positive_deep_family
-
-    return positive_deep_family(4, width=2)
-
-
-def _bench_positive_chain() -> GuardedForm:
-    from repro.benchgen.families import positive_chain_family
-
-    return positive_chain_family(16)
-
-
-def _bench_sat() -> GuardedForm:
-    from repro.benchgen.families import sat_completability_family
-
-    return sat_completability_family(8, seed=8)[0]
-
-
-#: Built-in forms addressable by name on the command line.  The ``bench-*``
-#: entries expose benchgen workload families (the counter machine is the
-#: deepest — its unbounded state space is the intended target for
-#: ``analyze --store … --max-states N`` / ``--resume`` sessions).
-CATALOG: dict[str, Callable[[], GuardedForm]] = {
-    "leave-application": lambda: leave_application(single_period=False),
-    "leave-application-finite": lambda: leave_application(single_period=True),
-    "leave-application-incompletable": lambda: leave_application_incompletable(single_period=True),
-    "leave-application-not-semisound": lambda: leave_application_not_semisound(single_period=True),
-    "tax-declaration": tax_declaration,
-    "purchase-order": purchase_order,
-    "bench-counter-machine": _bench_counter_machine,
-    "bench-positive-deep": _bench_positive_deep,
-    "bench-positive-chain": _bench_positive_chain,
-    "bench-sat": _bench_sat,
-}
-
-
-def _load_form(source: str) -> GuardedForm:
-    """Load a guarded form from a catalogue name or a JSON file path."""
-    if source in CATALOG:
-        return CATALOG[source]()
-    path = Path(source)
-    if not path.exists():
-        raise ReproError(
-            f"{source!r} is neither a catalogue form ({', '.join(sorted(CATALOG))}) "
-            "nor an existing file"
-        )
-    return load_guarded_form(path)
-
+#: Re-exported from :mod:`repro.catalog` (the catalogue's home since the
+#: service API made form references a shared concern); importing it from
+#: here keeps existing ``from repro.cli import CATALOG`` users working.
+_load_form = resolve_form
 
 def _limits_from_args(args: argparse.Namespace) -> ExplorationLimits:
     return ExplorationLimits(
@@ -603,8 +547,7 @@ def _cmd_table1(args: argparse.Namespace, out) -> int:
 def _cmd_store_info(args: argparse.Namespace, out) -> int:
     path = Path(args.store)
     if not path.exists():
-        print(f"error: no state store at {args.store}", file=sys.stderr)
-        return 2
+        raise StoreError(f"no state store at {args.store}")
     store = SqliteStore(path)
     try:
         info = store.describe()
@@ -627,16 +570,13 @@ def _cmd_store_info(args: argparse.Namespace, out) -> int:
 def _cmd_trace_report(args: argparse.Namespace, out) -> int:
     path = Path(args.trace_file)
     if not path.exists():
-        print(f"error: no trace file at {args.trace_file}", file=sys.stderr)
-        return 2
+        raise ReproError(f"no trace file at {args.trace_file}")
     try:
         events = load_trace_events(path)
     except (ValueError, OSError) as exc:
-        print(f"error: cannot parse {args.trace_file}: {exc}", file=sys.stderr)
-        return 2
+        raise ReproError(f"cannot parse {args.trace_file}: {exc}") from exc
     if not events:
-        print(f"error: no trace events in {args.trace_file}", file=sys.stderr)
-        return 2
+        raise ReproError(f"no trace events in {args.trace_file}")
     print(render_trace_report(summarize_trace(events)), file=out)
     return 0
 
@@ -654,6 +594,7 @@ def _cmd_campaign_run(args: argparse.Namespace, out) -> int:
         batch_size=args.batch_size,
         heartbeat_every=args.heartbeat_every,
         stall_multiple=args.stall_multiple,
+        submit_url=args.submit_url,
     )
 
     def progress(done: int, total: int) -> None:
@@ -700,8 +641,7 @@ def _cmd_campaign_report(args: argparse.Namespace, out) -> int:
     from repro.campaign import build_report, render_report
 
     if not Path(args.store).exists():
-        print(f"error: no campaign store at {args.store}", file=sys.stderr)
-        return 2
+        raise CampaignError(f"no campaign store at {args.store}")
     report = build_report(args.store, include_perf=not args.no_perf)
     if args.json:
         Path(args.json).write_text(
@@ -716,8 +656,7 @@ def _cmd_campaign_promote(args: argparse.Namespace, out) -> int:
     from repro.campaign import promote_outliers
 
     if not Path(args.store).exists():
-        print(f"error: no campaign store at {args.store}", file=sys.stderr)
-        return 2
+        raise CampaignError(f"no campaign store at {args.store}")
     written = promote_outliers(
         args.store,
         args.dest,
@@ -727,6 +666,166 @@ def _cmd_campaign_promote(args: argparse.Namespace, out) -> int:
     for path in written:
         print(f"promoted {path}", file=out)
     print(f"{len(written)} workload(s) in {args.dest}", file=out)
+    return 0
+
+
+
+# --------------------------------------------------------------------------- #
+# service commands
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    import signal
+
+    from repro.service import PodServer, ServerConfig
+
+    config = ServerConfig(
+        store_dir=args.store_dir,
+        host=args.host,
+        port=args.port,
+        capacity_kb=args.capacity_kb,
+        overcommit=args.overcommit,
+        default_budget_kb=args.default_budget_kb,
+        workers=args.job_workers,
+        slice_steps=args.slice_steps,
+        max_queue=args.max_queue,
+        max_evictions=args.max_evictions,
+        stall_multiple=args.stall_multiple,
+        stall_floor_seconds=args.stall_floor_seconds,
+        trace_path=args.trace,
+    )
+    server = PodServer(config)
+    server.start()
+    print(
+        f"pod server listening on http://{args.host}:{server.port} "
+        f"(store-dir {args.store_dir}, capacity {args.capacity_kb} KiB "
+        f"× {args.overcommit} overcommit, {args.job_workers} job workers)",
+        file=out,
+        flush=True,
+    )
+    handler = lambda signum, frame: server.request_shutdown()  # noqa: E731
+    signal.signal(signal.SIGTERM, handler)
+    signal.signal(signal.SIGINT, handler)
+    server.wait()
+    server.shutdown()
+    if args.trace:
+        print(f"trace written to {args.trace}", file=out)
+    print("pod server stopped", file=out)
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.url, timeout=args.http_timeout)
+
+
+def _request_from_args(args: argparse.Namespace):
+    from repro.service import AnalysisRequest
+
+    return AnalysisRequest(
+        form=args.form,
+        kind=args.kind,
+        formula=args.formula,
+        strategy=args.strategy,
+        frontier=args.frontier,
+        workers=args.workers,
+        max_states=args.max_states,
+        max_instance_nodes=args.max_instance_nodes,
+        max_sibling_copies=args.max_sibling_copies,
+        resident_budget=args.resident_budget,
+        store=args.store,
+        resume=args.resume,
+        stop_on_complete=args.stop_on_complete,
+        step_limit=args.step_limit,
+        checkpoint_every=args.checkpoint_every,
+        budget_kb=args.budget_kb,
+    )
+
+
+def _print_job(job: dict, out) -> None:
+    line = f"{job['job_id']}: {job['state']}"
+    extras = []
+    if job.get("states_explored"):
+        extras.append(f"{job['states_explored']} states explored")
+    if job.get("evictions"):
+        extras.append(f"{job['evictions']} eviction(s)")
+    if job.get("error"):
+        extras.append(f"error[{job['error'].get('code', '?')}]")
+    if extras:
+        line += " (" + ", ".join(extras) + ")"
+    print(line, file=out)
+
+
+def _print_wire_result(result: dict, out) -> None:
+    """Render an ``analysis-result/1`` dict like the local commands do."""
+    if not result.get("decided"):
+        verdict = "undecided (limits reached)"
+    elif result.get("answer") is None:
+        verdict = "extracted"
+    else:
+        verdict = "yes" if result["answer"] else "no"
+    print(f"{result['problem']} [{result['procedure']}]: {verdict}", file=out)
+    stats = result.get("stats") or {}
+    for key in (
+        "states_explored",
+        "canonical_states",
+        "states",
+        "transitions",
+        "suspicious_states",
+    ):
+        if key in stats:
+            print(f"  {key}: {stats[key]}", file=out)
+    if result.get("witness_run"):
+        print(f"  witness run: {len(result['witness_run'])} update(s)", file=out)
+
+
+def _wire_result_exit(result: dict) -> int:
+    """Map a wire result onto the CLI's exit-code convention."""
+    if not result.get("decided"):
+        return 3
+    return 1 if result.get("answer") is False else 0
+
+
+def _fetch_and_print_result(client, job_id: str, args, out) -> int:
+    result = client.result(job_id)
+    json_path = getattr(args, "json", None)
+    if json_path:
+        import json
+
+        Path(json_path).write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {json_path}", file=out)
+    _print_wire_result(result, out)
+    return _wire_result_exit(result)
+
+
+def _cmd_submit(args: argparse.Namespace, out) -> int:
+    client = _service_client(args)
+    job = client.submit(_request_from_args(args))
+    _print_job(job, out)
+    if not args.wait:
+        return 0
+    final = client.wait(
+        job["job_id"], poll_seconds=args.poll_seconds, timeout=args.timeout
+    )
+    _print_job(final, out)
+    return _fetch_and_print_result(client, final["job_id"], args, out)
+
+
+def _cmd_status(args: argparse.Namespace, out) -> int:
+    _print_job(_service_client(args).status(args.job_id), out)
+    return 0
+
+
+def _cmd_result(args: argparse.Namespace, out) -> int:
+    return _fetch_and_print_result(_service_client(args), args.job_id, args, out)
+
+
+def _cmd_cancel(args: argparse.Namespace, out) -> int:
+    _print_job(_service_client(args).cancel(args.job_id), out)
     return 0
 
 
@@ -897,6 +996,14 @@ def build_parser() -> argparse.ArgumentParser:
         "forms (done/total/queue depth/elapsed; default 0 = off)",
     )
     campaign_run.add_argument(
+        "--submit-url",
+        default=None,
+        metavar="URL",
+        help="drain the campaign through a pod server at URL instead of "
+        "in-process (forms are inlined; failed jobs commit as 'service' "
+        "disagreements)",
+    )
+    campaign_run.add_argument(
         "--stall-multiple",
         type=float,
         default=4.0,
@@ -942,6 +1049,139 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_promote.set_defaults(handler=_cmd_campaign_promote)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the analysis pod server",
+        epilog=(
+            "The pod accepts analysis-request/1 jobs over HTTP "
+            "(POST /v1/jobs), queues them durably under --store-dir, and "
+            "admits them against a declared-budget capacity model: a job "
+            "runs only while the sum of admitted budgets stays within "
+            "--capacity-kb × --overcommit.  SIGTERM/SIGINT shut down "
+            "gracefully: running jobs re-queue at their next slice "
+            "checkpoint and a restarted server resumes them."
+        ),
+    )
+    serve.add_argument("--store-dir", required=True, metavar="DIR",
+                       help="directory for the job queue and per-job engine stores")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8350,
+                       help="bind port (default 8350; 0 picks an ephemeral port, printed on startup)")
+    serve.add_argument("--capacity-kb", type=int, default=262_144, metavar="N",
+                       help="pod resident capacity in KiB (default 262144 = 256 MiB)")
+    serve.add_argument("--overcommit", type=float, default=1.0, metavar="R",
+                       help="admit declared budgets up to capacity × R (default 1.0)")
+    serve.add_argument("--default-budget-kb", type=int, default=65_536, metavar="N",
+                       help="budget accounted for jobs that declare none (default 65536)")
+    serve.add_argument("--job-workers", type=int, default=2, metavar="N",
+                       help="worker threads draining the job queue (default 2)")
+    serve.add_argument("--slice-steps", type=int, default=2_000, metavar="N",
+                       help="states explored per job slice between checkpoint/cancel/"
+                       "eviction points (default 2000)")
+    serve.add_argument("--max-queue", type=int, default=64, metavar="N",
+                       help="queued-job cap; submissions beyond it get 429 (default 64)")
+    serve.add_argument("--max-evictions", type=int, default=3, metavar="N",
+                       help="stall evictions tolerated before a job fails (default 3)")
+    serve.add_argument("--stall-multiple", type=float, default=8.0, metavar="X",
+                       help="evict a job whose slice exceeds X times its family's "
+                       "median slice time (default 8.0)")
+    serve.add_argument("--stall-floor-seconds", type=float, default=2.0, metavar="S",
+                       help="slices faster than S seconds never count as stalled (default 2.0)")
+    serve.add_argument("--trace", metavar="PATH", default=None,
+                       help="write the server's merged Chrome trace to PATH on shutdown")
+    serve.set_defaults(handler=_cmd_serve)
+
+    def _add_client_arguments(client_parser: argparse.ArgumentParser) -> None:
+        client_parser.add_argument(
+            "--url", required=True, metavar="URL",
+            help="pod server base URL (e.g. http://127.0.0.1:8350)",
+        )
+        client_parser.add_argument(
+            "--http-timeout", type=float, default=30.0, metavar="S",
+            help="per-request HTTP timeout in seconds (default 30)",
+        )
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit an analysis job to a pod server",
+        epilog=(
+            "Builds one analysis-request/1 payload from the flags — the same "
+            "object the library dispatchers accept via request= — and POSTs "
+            "it.  A form file path is inlined client-side, so the server "
+            "never needs this machine's filesystem; --store names a store "
+            "under the server's --store-dir.  With --wait the command polls "
+            "to completion and exits like 'analyze' does: 0 yes, 1 no, "
+            "3 undecided, 2 on errors (including failed jobs)."
+        ),
+    )
+    submit.add_argument("form", help="catalogue name or JSON form file (inlined before upload)")
+    submit.add_argument("--kind", default="completability",
+                        choices=("completability", "semisoundness", "invariant", "reach", "workflow"),
+                        help="analysis verb (default completability)")
+    submit.add_argument("--formula", default=None,
+                        help="formula for --kind invariant/reach")
+    submit.add_argument("--strategy", default="auto",
+                        choices=("auto", "saturation", "depth1", "bounded"),
+                        help="procedure selector for completability/semisoundness (default auto)")
+    submit.add_argument("--frontier", choices=STRATEGIES, default="bfs",
+                        help="frontier strategy (default bfs)")
+    submit.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="frontier worker processes on the server (default 1)")
+    submit.add_argument("--max-states", type=int, default=50_000,
+                        help="state budget (default 50000)")
+    submit.add_argument("--max-instance-nodes", type=int, default=40,
+                        help="largest instance expanded (default 40)")
+    submit.add_argument("--max-sibling-copies", type=int, default=None,
+                        help="same-label sibling cap (default unlimited)")
+    submit.add_argument("--resident-budget", type=int, default=None, metavar="N",
+                        help="server-side resident-state cap (requires --store)")
+    submit.add_argument("--store", default=None, metavar="NAME",
+                        help="name of a persistent store under the server's --store-dir "
+                        "(lets resubmissions share caches; default: per-job store)")
+    submit.add_argument("--resume", action="store_true",
+                        help="continue from the named store's checkpoint")
+    submit.add_argument("--stop-on-complete", action="store_true",
+                        help="early-exit completability on the first complete state")
+    submit.add_argument("--step-limit", type=int, default=None, metavar="N",
+                        help="override the server's per-slice step budget for this job")
+    submit.add_argument("--checkpoint-every", type=int, default=1000, metavar="N",
+                        help="store checkpoint cadence (default 1000)")
+    submit.add_argument("--budget-kb", type=int, default=None, metavar="N",
+                        help="declared admission budget in KiB (default: the "
+                        "server's --default-budget-kb)")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job is terminal and print its result")
+    submit.add_argument("--poll-seconds", type=float, default=0.2, metavar="S",
+                        help="--wait polling interval (default 0.2)")
+    submit.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="--wait deadline in seconds (default: none)")
+    submit.add_argument("--json", default=None, metavar="PATH",
+                        help="with --wait: also write the raw analysis-result/1 JSON here")
+    _add_client_arguments(submit)
+    submit.set_defaults(handler=_cmd_submit)
+
+    status = subparsers.add_parser("status", help="print a submitted job's state")
+    status.add_argument("job_id", help="job id returned by submit")
+    _add_client_arguments(status)
+    status.set_defaults(handler=_cmd_status)
+
+    result = subparsers.add_parser(
+        "result", help="fetch and print a finished job's analysis result"
+    )
+    result.add_argument("job_id", help="job id returned by submit")
+    result.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the raw analysis-result/1 JSON here")
+    _add_client_arguments(result)
+    result.set_defaults(handler=_cmd_result)
+
+    cancel = subparsers.add_parser(
+        "cancel",
+        help="cancel a job (immediately when queued, at the next slice when running)",
+    )
+    cancel.add_argument("job_id", help="job id returned by submit")
+    _add_client_arguments(cancel)
+    cancel.set_defaults(handler=_cmd_cancel)
+
     trace = subparsers.add_parser(
         "trace", help="inspect telemetry traces written by --trace"
     )
@@ -976,7 +1216,11 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     try:
         return args.handler(args, out)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        from repro.service.errors import classify_error
+
+        code, _, retryable = classify_error(error)
+        suffix = " (retryable)" if retryable else ""
+        print(f"error[{code}]: {error}{suffix}", file=sys.stderr)
         return 2
 
 

@@ -337,10 +337,13 @@ class SqliteBacked:
     _TABLES: tuple = ()
     _INDEXES: tuple = ()
 
-    def _open_sqlite(self, path: "str | Path") -> None:
+    def _open_sqlite(self, path: "str | Path", check_same_thread: bool = True) -> None:
         self.path = str(path)
         try:
-            self._conn = sqlite3.connect(self.path)
+            # check_same_thread=False lets a subclass share one connection
+            # across threads behind its own lock (the service job store does;
+            # engine stores keep sqlite's same-thread guard).
+            self._conn = sqlite3.connect(self.path, check_same_thread=check_same_thread)
             self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
             # WAL lets concurrent processes read while a writer streams its

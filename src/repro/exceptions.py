@@ -96,3 +96,65 @@ class CampaignError(ReproError):
     """A scenario campaign is misconfigured or its store is unusable: unknown
     family or oracle names, or a resume whose configuration (families, count,
     seed, oracle stack) does not match what the campaign store recorded."""
+
+
+class ServiceError(ReproError):
+    """Base class for analysis-service failures.
+
+    Service errors carry the stable error taxonomy the HTTP layer and
+    ``run_analysis`` share (see :mod:`repro.service.errors`): a machine
+    ``code``, the HTTP status the server answers with, and whether retrying
+    the identical request can succeed (``retryable``).  Library exceptions
+    outside this hierarchy are classified by
+    :func:`repro.service.errors.classify_error`.
+    """
+
+    code = "internal"
+    http_status = 500
+    retryable = False
+
+
+class RequestError(ServiceError):
+    """An :class:`~repro.service.AnalysisRequest` is malformed: unknown
+    analysis kind, missing formula, bad field types, an unresolvable form
+    reference, or an unsupported codec version."""
+
+    code = "bad-request"
+    http_status = 400
+
+
+class UnknownJobError(ServiceError):
+    """A job id names no job the service knows about."""
+
+    code = "unknown-job"
+    http_status = 404
+
+
+class JobNotReadyError(ServiceError):
+    """A job's result was requested before the job reached a terminal
+    state; polling again later can succeed."""
+
+    code = "not-ready"
+    http_status = 409
+    retryable = True
+
+
+class EvictionError(ServiceError):
+    """A job was evicted as stalled more times than the pod tolerates.
+
+    Each eviction re-queued the job to resume from its checkpoint, so a
+    retry elsewhere (or with a larger budget) can still succeed."""
+
+    code = "evicted"
+    http_status = 500
+    retryable = True
+
+
+class AdmissionError(ServiceError):
+    """The pod rejected a job at admission: the queue is full, or the
+    declared resident budget can never fit under
+    ``capacity * overcommit``."""
+
+    code = "admission-rejected"
+    http_status = 429
+    retryable = True

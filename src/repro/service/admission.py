@@ -1,0 +1,152 @@
+"""Pod capacity accounting: budget admission and stall eviction.
+
+The pod model is declared-budget admission control.  Every job states (or
+inherits) a resident budget in KiB — what its peak resident set is expected
+to cost the pod — and the server admits the head-of-line job only while
+
+    sum(budgets of running jobs) + budget  <=  capacity_kb * overcommit
+
+Jobs that can *never* fit (budget alone above the admittable total) are
+rejected at submission with a 429 :class:`~repro.exceptions.AdmissionError`;
+jobs that merely don't fit *now* wait in the queue.  Overcommit reflects
+that declared budgets are peaks, not averages: concurrent jobs rarely peak
+together, so a pod may promise more than its physical capacity by a
+configurable factor.
+
+Stall eviction reuses the campaign runner's family-median heuristic
+(:class:`~repro.campaign.runner.CampaignPulse`): the detector learns how
+long a job family's slices normally take, and a running job whose current
+slice exceeds ``multiple × median`` (with a floor, and only after enough
+samples to trust the median) is evicted — re-queued so its next slices
+resume from the checkpoint, with a retry cap so a pathological job cannot
+cycle forever.
+"""
+
+from __future__ import annotations
+
+import threading
+from statistics import median
+from typing import Optional
+
+from repro.exceptions import AdmissionError
+from repro.service.request import AnalysisRequest
+
+#: A family needs at least this many completed slices before its median is
+#: trusted for eviction decisions (mirrors the campaign pulse).
+STALL_MIN_SAMPLES = 3
+
+#: Slices faster than this never trigger eviction regardless of the median.
+STALL_FLOOR_SECONDS = 2.0
+
+#: Per-family slice-duration samples kept (older ones age out).
+_MAX_SAMPLES = 256
+
+
+def request_family(request: AnalysisRequest) -> str:
+    """The stall-statistics family of a request: analysis kind + form name.
+
+    Slices of the same analysis against the same form have comparable
+    durations; mixing families would let one slow family's median mask a
+    stall in a fast one.
+    """
+    if isinstance(request.form, str):
+        form_name = request.form
+    else:
+        form_name = str(request.form.get("name", "inline"))
+    return f"{request.kind}:{form_name}"
+
+
+class AdmissionController:
+    """Declared-budget admission against ``capacity_kb * overcommit``."""
+
+    def __init__(
+        self,
+        capacity_kb: int,
+        overcommit: float = 1.0,
+        default_budget_kb: int = 65_536,
+    ) -> None:
+        if capacity_kb < 1:
+            raise AdmissionError(f"capacity_kb must be positive, got {capacity_kb!r}")
+        if overcommit <= 0:
+            raise AdmissionError(f"overcommit must be positive, got {overcommit!r}")
+        self.capacity_kb = capacity_kb
+        self.overcommit = overcommit
+        self.default_budget_kb = default_budget_kb
+
+    @property
+    def admittable_kb(self) -> int:
+        """The total budget the pod will concurrently admit."""
+        return int(self.capacity_kb * self.overcommit)
+
+    def effective_budget_kb(self, request: AnalysisRequest) -> int:
+        """The budget a request is accounted at (its own, or the default)."""
+        return request.budget_kb if request.budget_kb is not None else self.default_budget_kb
+
+    def check_submittable(self, budget_kb: int) -> None:
+        """Reject (429) a job whose budget can never fit, even alone."""
+        if budget_kb > self.admittable_kb:
+            raise AdmissionError(
+                f"declared budget {budget_kb} KiB exceeds the pod's admittable "
+                f"capacity {self.admittable_kb} KiB "
+                f"({self.capacity_kb} KiB × {self.overcommit} overcommit); "
+                "this job can never be admitted here"
+            )
+
+    def can_admit(self, budget_kb: int, admitted_kb: int) -> bool:
+        """Whether a job of *budget_kb* fits next to *admitted_kb* running."""
+        return admitted_kb + budget_kb <= self.admittable_kb
+
+
+class StallDetector:
+    """Family-median slice-duration watchdog (thread-safe).
+
+    Workers :meth:`record` every completed slice; the server's watchdog asks
+    :meth:`is_stalled` about each running job's current slice age.  With
+    fewer than :data:`STALL_MIN_SAMPLES` samples a family never stalls —
+    a cold pod must not evict its first slow-but-honest job.
+    """
+
+    def __init__(
+        self,
+        multiple: float = 8.0,
+        floor_seconds: float = STALL_FLOOR_SECONDS,
+        min_samples: int = STALL_MIN_SAMPLES,
+    ) -> None:
+        self.multiple = multiple
+        self.floor_seconds = floor_seconds
+        self.min_samples = min_samples
+        self._samples: dict = {}
+        self._lock = threading.Lock()
+
+    def record(self, family: str, seconds: float) -> None:
+        """Record one completed slice of *family* taking *seconds*."""
+        with self._lock:
+            samples = self._samples.setdefault(family, [])
+            samples.append(seconds)
+            if len(samples) > _MAX_SAMPLES:
+                del samples[: len(samples) - _MAX_SAMPLES]
+
+    def threshold(self, family: str) -> Optional[float]:
+        """Seconds after which a slice of *family* counts as stalled
+        (``None`` while the family's sample base is too small)."""
+        with self._lock:
+            samples = self._samples.get(family, ())
+            if len(samples) < self.min_samples:
+                return None
+            return max(self.floor_seconds, self.multiple * median(samples))
+
+    def is_stalled(self, family: str, slice_age_seconds: float) -> bool:
+        limit = self.threshold(family)
+        return limit is not None and slice_age_seconds > limit
+
+    def snapshot(self) -> dict:
+        """Per-family sample counts and thresholds (for ``/metricsz``)."""
+        with self._lock:
+            families = list(self._samples)
+        return {
+            family: {
+                "samples": len(self._samples.get(family, ())),
+                "threshold_seconds": self.threshold(family),
+            }
+            for family in families
+        }

@@ -1,0 +1,187 @@
+"""The HTTP client behind ``repro submit|status|result|cancel``.
+
+Stdlib-only (``urllib``), sharing the request/result codecs with the server
+so a round trip is wire-exact.  Error payloads from the service surface as
+:class:`ServiceRemoteError` carrying the taxonomy triple (code, HTTP
+status, retryable) — the CLI prints them exactly like local library errors.
+
+Form references are inlined before submission: a path to a local form file
+becomes the form's JSON dict on the wire (:func:`inline_form`), so the
+server never needs the client's filesystem.  Catalogue names travel as
+names (both sides ship the catalogue).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Optional
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from repro.catalog import CATALOG
+from repro.exceptions import RequestError, ServiceError
+from repro.service.request import AnalysisRequest, request_to_wire
+
+
+class ServiceRemoteError(ServiceError):
+    """An error payload answered by the pod, rehydrated client-side.
+
+    Carries the wire triple so callers (and the CLI's exit path) can
+    dispatch on ``code``/``retryable`` exactly as they would on a local
+    :class:`~repro.exceptions.ServiceError`.
+    """
+
+    def __init__(self, code: str, message: str, status: int, retryable: bool) -> None:
+        super().__init__(message)
+        self.code = code
+        self.http_status = status
+        self.retryable = retryable
+
+    @classmethod
+    def from_payload(cls, status: int, payload: object) -> "ServiceRemoteError":
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        return cls(
+            code=str(error.get("code", "internal")),
+            message=str(error.get("message", f"service answered HTTP {status}")),
+            status=status,
+            retryable=bool(error.get("retryable", False)),
+        )
+
+
+def inline_form(request: AnalysisRequest) -> AnalysisRequest:
+    """Replace a file-path form reference with the file's form dict.
+
+    Catalogue names and already-inline dicts pass through unchanged; a
+    string that is neither a catalogue name nor a readable JSON file is
+    rejected here, client-side, before any bytes travel.
+    """
+    form = request.form
+    if not isinstance(form, str) or form in CATALOG:
+        return request
+    path = Path(form)
+    if not path.exists():
+        raise RequestError(
+            f"{form!r} is neither a catalogue form ({', '.join(sorted(CATALOG))}) "
+            "nor an existing file"
+        )
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise RequestError(f"{form!r} is not a readable JSON form file: {exc}") from exc
+    if not isinstance(data, dict):
+        raise RequestError(f"{form!r} does not contain a JSON form object")
+    return request.replace(form=data)
+
+
+class ServiceClient:
+    """A minimal blocking client for one pod server."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # endpoint wrappers
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: AnalysisRequest) -> dict:
+        """Submit an analysis; returns the queued job's wire dict."""
+        payload = request_to_wire(inline_form(request))
+        body = self._call("POST", "/v1/jobs", payload)
+        return body["job"]
+
+    def status(self, job_id: str) -> dict:
+        return self._call("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def result(self, job_id: str) -> dict:
+        """The finished job's ``analysis-result/1`` dict.
+
+        Raises :class:`ServiceRemoteError` when the job failed, was
+        cancelled, or is not terminal yet (code ``not-ready``, retryable).
+        """
+        return self._call("GET", f"/v1/jobs/{job_id}/result")["result"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._call("POST", f"/v1/jobs/{job_id}/cancel")["job"]
+
+    def health(self) -> dict:
+        return self._call("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._call("GET", "/metricsz")
+
+    def jobs(self) -> "list[dict]":
+        return self._call("GET", "/v1/jobs")["jobs"]
+
+    def wait(
+        self,
+        job_id: str,
+        poll_seconds: float = 0.2,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Poll until the job is terminal; returns its final wire dict."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["state"] not in ("queued", "running"):
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceRemoteError(
+                    code="not-ready",
+                    message=f"{job_id} still {job['state']} after {timeout}s",
+                    status=409,
+                    retryable=True,
+                )
+            time.sleep(poll_seconds)
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+
+    def _call(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        http_request = Request(url, data=data, headers=headers, method=method)
+        try:
+            with urlopen(http_request, timeout=self.timeout) as response:
+                return _decode_body(response.status, response.read())
+        except HTTPError as exc:
+            body = exc.read()
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                payload = {}
+            raise ServiceRemoteError.from_payload(exc.code, payload) from exc
+        except URLError as exc:
+            raise ServiceRemoteError(
+                code="unreachable",
+                message=f"cannot reach {url}: {exc.reason}",
+                status=0,
+                retryable=True,
+            ) from exc
+
+
+def _decode_body(status: int, raw: bytes) -> dict:
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceRemoteError(
+            code="internal",
+            message=f"service answered HTTP {status} with a non-JSON body",
+            status=status,
+            retryable=False,
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ServiceRemoteError(
+            code="internal",
+            message=f"service answered HTTP {status} with a non-object body",
+            status=status,
+            retryable=False,
+        )
+    return payload

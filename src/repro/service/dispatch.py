@@ -1,0 +1,215 @@
+"""``run_analysis``: the one dispatcher behind every analysis entry point.
+
+The library dispatchers (``decide_completability``, ``decide_semisoundness``,
+``always_holds``, ``can_reach``, ``extract_workflow``), the CLI and the pod
+server all funnel a :class:`~repro.service.AnalysisRequest` through
+:func:`run_analysis`, which resolves the form reference, opens the optional
+persistent store, and dispatches on the request's ``kind``.  The parity
+tests pin this path bit-identical to the classic keyword surfaces.
+
+The result travels as the versioned ``analysis-result/1`` wire shape
+(:func:`result_to_wire`); :func:`run_analysis_wire` is the full wire-to-wire
+boundary — decode, run, encode, with every failure mapped onto the stable
+error taxonomy of :mod:`repro.service.errors` instead of raising.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.completability import decide_completability
+from repro.analysis.invariants import always_holds, can_reach
+from repro.analysis.results import AnalysisResult, ExplorationLimits
+from repro.analysis.semisoundness import decide_semisoundness
+from repro.catalog import resolve_form
+from repro.engine.store import open_store
+from repro.exceptions import RequestError
+from repro.io.serialization import encode_update, instance_to_dict
+from repro.obs import default_telemetry
+from repro.service.errors import error_payload, http_status
+from repro.service.request import AnalysisRequest, request_from_wire
+from repro.workflow.extraction import extract_workflow
+
+#: Version tag of the result wire format; bumped on incompatible changes.
+RESULT_API_VERSION = "analysis-result/1"
+
+#: Request fields the exploration-based kinds share (keyword name =
+#: dispatcher parameter name).
+_COMMON_FIELDS = (
+    "frontier",
+    "resume",
+    "workers",
+    "resident_budget",
+    "step_limit",
+)
+
+
+def run_analysis(request: AnalysisRequest) -> AnalysisResult:
+    """Run the analysis *request* describes and return its result.
+
+    This is the single dispatcher every entry point shims onto: form
+    references resolve through :func:`repro.catalog.resolve_form`, a
+    ``store`` field opens (and owns) a persistent
+    :class:`~repro.engine.store.SqliteStore`, and the ``kind`` selects the
+    procedure.  Raises the same library exceptions the keyword surfaces
+    raise; use :func:`run_analysis_wire` for the never-raising boundary.
+    """
+    if request.kind in ("invariant", "reach", "workflow") and request.strategy != "auto":
+        raise RequestError(
+            f"analysis kind {request.kind!r} has no strategy selector; leave "
+            "strategy at 'auto'"
+        )
+    if request.kind in ("semisoundness", "workflow") and request.stop_on_complete:
+        raise RequestError(
+            f"stop_on_complete does not apply to analysis kind {request.kind!r}"
+        )
+    form = resolve_form(request.form)
+    telemetry = default_telemetry()
+    store = None
+    try:
+        with telemetry.span(
+            "service.run_analysis",
+            kind=request.kind,
+            form=form.name,
+            strategy=request.strategy,
+        ):
+            if request.store is not None:
+                store = open_store(
+                    request.store, checkpoint_every=request.checkpoint_every
+                )
+            common = {name: getattr(request, name) for name in _COMMON_FIELDS}
+            common["limits"] = request.limits()
+            common["store"] = store
+            if request.kind == "completability":
+                result = decide_completability(
+                    form,
+                    strategy=request.strategy,
+                    stop_on_complete=request.stop_on_complete,
+                    **common,
+                )
+            elif request.kind == "semisoundness":
+                result = decide_semisoundness(
+                    form, strategy=request.strategy, **common
+                )
+            elif request.kind == "invariant":
+                result = always_holds(
+                    form,
+                    request.formula,
+                    stop_on_complete=request.stop_on_complete,
+                    **common,
+                )
+            elif request.kind == "reach":
+                result = can_reach(
+                    form,
+                    request.formula,
+                    stop_on_complete=request.stop_on_complete,
+                    **common,
+                )
+            else:  # workflow — the only non-decision kind
+                result = _run_workflow(form, common)
+            if request.metrics:
+                result.stats["telemetry"] = telemetry.snapshot()
+            return result
+    finally:
+        if store is not None:
+            store.close()
+
+
+def _run_workflow(form, common: dict) -> AnalysisResult:
+    """Workflow extraction wrapped as an :class:`AnalysisResult`.
+
+    Extraction has no yes/no answer; ``decided`` reports whether the
+    transition system is exact (not truncated), and the system itself rides
+    in ``stats["lts"]`` as a JSON-safe wire dict.
+    """
+    lts = extract_workflow(form, **common)
+    meta = lts.state_annotations.get("__meta__", {})
+    truncated = bool(meta.get("truncated"))
+    return AnalysisResult(
+        problem="workflow",
+        decided=not truncated,
+        answer=None,
+        procedure=f"workflow_extraction_{meta.get('representation', 'unknown')}",
+        stats={
+            "states": len(lts),
+            "transitions": len(lts.transitions),
+            "complete_states": len(lts.accepting),
+            "truncated": truncated,
+            "lts": lts_to_wire(lts),
+        },
+    )
+
+
+def lts_to_wire(lts) -> dict:
+    """A deterministic JSON-safe dict of a labelled transition system."""
+    return {
+        "initial": str(lts.initial),
+        "states": sorted(str(state) for state in lts.states),
+        "accepting": sorted(str(state) for state in lts.accepting),
+        "transitions": sorted(
+            [str(t.source), t.action, str(t.target)] for t in lts.transitions
+        ),
+    }
+
+
+def _json_safe(value):
+    """Recursively coerce *value* into JSON-representable primitives.
+
+    Stats dicts carry a few library objects (``ExplorationLimits``, interned
+    keys); limits become their field dict, unknown objects their ``repr`` —
+    lossy but stable, and the parity-relevant numbers (states, transitions,
+    answer) are plain ints/bools already.
+    """
+    if isinstance(value, ExplorationLimits):
+        return dataclasses.asdict(value)
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_json_safe(item) for item in value]
+        return sorted(items, key=repr) if isinstance(value, (set, frozenset)) else items
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def result_to_wire(result: AnalysisResult) -> dict:
+    """Encode an :class:`AnalysisResult` as its versioned JSON-safe wire dict.
+
+    The parity-gated fields — ``answer``, ``decided`` and the states /
+    transitions counts inside ``stats`` — survive the trip exactly; witness
+    runs travel as their update lists
+    (:func:`repro.io.serialization.encode_update`) and counterexample
+    instances as their instance dicts.
+    """
+    witness = None
+    if result.witness_run is not None:
+        witness = [encode_update(update) for update in result.witness_run.updates]
+    counterexample = None
+    if result.counterexample is not None:
+        counterexample = instance_to_dict(result.counterexample)
+    return {
+        "api": RESULT_API_VERSION,
+        "problem": result.problem,
+        "decided": result.decided,
+        "answer": result.answer,
+        "procedure": result.procedure,
+        "stats": _json_safe(result.stats),
+        "witness_run": witness,
+        "counterexample": counterexample,
+    }
+
+
+def run_analysis_wire(payload: object) -> "tuple[int, dict]":
+    """The wire-to-wire boundary: decode, run, encode — never raises.
+
+    Returns ``(http_status, body)``: ``(200, result_to_wire(...))`` on
+    success, ``(status, {"error": {...}})`` from the taxonomy on any
+    failure.  The server and the in-process tests share this function, so
+    HTTP answers are pinned identical to library behaviour.
+    """
+    try:
+        request = request_from_wire(payload)
+        result = run_analysis(request)
+    except Exception as error:  # noqa: BLE001 — the boundary encodes, never raises
+        return http_status(error), error_payload(error)
+    return 200, result_to_wire(result)

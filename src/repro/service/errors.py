@@ -1,0 +1,98 @@
+"""The stable error taxonomy shared by ``run_analysis`` and the HTTP layer.
+
+Every failure — library exception or service-level rejection — maps onto
+one wire shape::
+
+    {"error": {"code": "...", "message": "...", "retryable": false}}
+
+with a matching HTTP status: 400 for malformed requests/forms, 404 for
+unknown jobs, 409 for not-yet-ready results, 429 for admission rejections,
+500 for internal faults.  The codes are part of the API contract (clients
+dispatch on them), the messages are not.
+
+:class:`~repro.exceptions.ServiceError` subclasses carry their own
+``code``/``http_status``/``retryable``; the rest of the
+:class:`~repro.exceptions.ReproError` hierarchy is classified here, so the
+CLI and the server never invent ad-hoc stringly errors.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import (
+    AccessRuleError,
+    AnalysisError,
+    CampaignError,
+    EngineError,
+    ExplorationInterrupted,
+    ExplorationLimitError,
+    FormulaError,
+    FormulaParseError,
+    InstanceError,
+    LabelError,
+    ReproError,
+    RunError,
+    ReductionError,
+    SchemaError,
+    SerializationError,
+    ServiceError,
+    StoreError,
+)
+
+#: Classification table for non-``ServiceError`` library exceptions, most
+#: specific class first (the classifier walks it with ``isinstance``).
+#: ``(code, http_status, retryable)``.
+_TAXONOMY: tuple = (
+    # the caller's form (or formula) is unusable — a 400, never retryable
+    (FormulaParseError, ("malformed-form", 400, False)),
+    (FormulaError, ("malformed-form", 400, False)),
+    (SchemaError, ("malformed-form", 400, False)),
+    (LabelError, ("malformed-form", 400, False)),
+    (InstanceError, ("malformed-form", 400, False)),
+    (AccessRuleError, ("malformed-form", 400, False)),
+    (RunError, ("malformed-form", 400, False)),
+    (ReductionError, ("malformed-form", 400, False)),
+    (SerializationError, ("malformed-form", 400, False)),
+    # the request asked for an analysis the fragment does not support
+    (AnalysisError, ("unsupported-analysis", 400, False)),
+    (ExplorationLimitError, ("exploration-limit", 400, False)),
+    # checkpointed mid-flight: the identical request with resume continues
+    (ExplorationInterrupted, ("exploration-interrupted", 409, True)),
+    # server-side state is broken, not the caller's input
+    (StoreError, ("store-unusable", 500, False)),
+    (EngineError, ("engine-rejected", 400, False)),
+    (CampaignError, ("campaign-misconfigured", 400, False)),
+    # unmapped library errors are still the caller's input
+    (ReproError, ("invalid-input", 400, False)),
+)
+
+
+def classify_error(error: BaseException) -> tuple:
+    """``(code, http_status, retryable)`` for any exception.
+
+    :class:`~repro.exceptions.ServiceError` subclasses answer for
+    themselves; other library errors go through the taxonomy table;
+    anything else is an ``internal`` 500.
+    """
+    if isinstance(error, ServiceError):
+        return (error.code, error.http_status, error.retryable)
+    for cls, verdict in _TAXONOMY:
+        if isinstance(error, cls):
+            return verdict
+    return ("internal", 500, False)
+
+
+def error_payload(error: BaseException) -> dict:
+    """The wire shape of *error*: ``{"error": {code, message, retryable}}``."""
+    code, _, retryable = classify_error(error)
+    return {
+        "error": {
+            "code": code,
+            "message": str(error) or error.__class__.__name__,
+            "retryable": retryable,
+        }
+    }
+
+
+def http_status(error: BaseException) -> int:
+    """The HTTP status the server answers *error* with."""
+    return classify_error(error)[1]

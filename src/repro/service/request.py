@@ -1,0 +1,220 @@
+"""``AnalysisRequest``: the one configuration object every entry point shares.
+
+Before this module existed each dispatcher took a dozen keyword arguments
+(mirrored by CLI flags), and there was no way to ship "run this analysis
+with these knobs" across a process boundary.  :class:`AnalysisRequest`
+packages the whole configuration — form reference, analysis kind, engine
+knobs, persistence, telemetry — as one frozen dataclass with a versioned
+JSON codec, so the identical object is
+
+* accepted by the library dispatchers (``decide_completability(request=r)``
+  and friends are thin shims over
+  :func:`repro.service.dispatch.run_analysis`),
+* built by the CLI from its flags (``repro submit``),
+* and carried over the HTTP wire to the pod server (``POST /v1/jobs``).
+
+The codec is strict: ``request_from_wire`` rejects unknown fields, wrong
+types and unsupported ``api`` versions with
+:class:`~repro.exceptions.RequestError` — a malformed request must fail at
+the edge, not halfway into a worker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.analysis.results import ExplorationLimits
+from repro.exceptions import RequestError
+
+#: Version tag of the request wire format; bumped on incompatible changes.
+REQUEST_API_VERSION = "analysis-request/1"
+
+#: The analysis verbs a request can name, mapping 1:1 onto the library
+#: dispatchers: ``completability`` → ``decide_completability``,
+#: ``semisoundness`` → ``decide_semisoundness``, ``invariant`` →
+#: ``always_holds``, ``reach`` → ``can_reach``, ``workflow`` →
+#: ``extract_workflow``.
+ANALYSIS_KINDS = ("completability", "semisoundness", "invariant", "reach", "workflow")
+
+#: Kinds whose procedures take a formula argument.
+_FORMULA_KINDS = ("invariant", "reach")
+
+#: Completability/semisoundness procedure selectors (``strategy=`` of the
+#: dispatchers); ``auto`` is fragment-based dispatch.
+_STRATEGIES = ("auto", "saturation", "depth1", "bounded")
+
+_FRONTIERS = ("bfs", "dfs", "guided")
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """A complete, immutable description of one analysis invocation.
+
+    Attributes:
+        form: form reference — a catalogue name, an inline form dict (the
+            JSON format of :mod:`repro.io.serialization`; how forms travel
+            over the service wire) or, for local library/CLI use, a path to
+            a form file.
+        kind: the analysis verb, one of :data:`ANALYSIS_KINDS`.
+        formula: the formula text for ``invariant`` / ``reach`` kinds.
+        strategy: procedure selector for completability/semisoundness
+            (``auto``/``saturation``/``depth1``/``bounded``).
+        frontier: exploration frontier order (``bfs``/``dfs``/``guided``).
+        workers: frontier worker processes (1 = serial; bit-identical).
+        max_states / max_instance_nodes / max_sibling_copies: the
+            :class:`~repro.analysis.results.ExplorationLimits` fields.
+        resident_budget: LRU residency cap for store-backed explorations
+            (states; requires a store).
+        store: persistent state store.  In a library call this is a path;
+            submitted to the service it is a plain *store name* resolved
+            under the server's ``--store-dir`` (so resubmissions may share
+            caches); ``None`` lets the service assign a per-job store.
+        resume: continue from the checkpoint an identically parameterised
+            earlier run left in the store.
+        stop_on_complete: early-exit completability (first complete state).
+        step_limit: expand at most this many states per ``run_analysis``
+            call, then checkpoint and raise
+            :class:`~repro.exceptions.ExplorationInterrupted` — the
+            service's slice size for cooperative cancellation/eviction.
+        checkpoint_every: store checkpoint cadence (state expansions).
+        budget_kb: the *declared admission budget* — what the job claims
+            its peak resident set will cost the pod.  The server admits a
+            job only while the sum of admitted budgets stays within
+            ``capacity_kb * overcommit``; ``None`` accepts the server's
+            default.
+        trace / metrics: telemetry opt-ins (span recording / metric
+            snapshot in the result).
+    """
+
+    form: "str | dict"
+    kind: str
+    formula: Optional[str] = None
+    strategy: str = "auto"
+    frontier: str = "bfs"
+    workers: int = 1
+    max_states: int = 50_000
+    max_instance_nodes: Optional[int] = 40
+    max_sibling_copies: Optional[int] = None
+    resident_budget: Optional[int] = None
+    store: Optional[str] = None
+    resume: bool = False
+    stop_on_complete: bool = False
+    step_limit: Optional[int] = None
+    checkpoint_every: int = 1000
+    budget_kb: Optional[int] = None
+    trace: bool = False
+    metrics: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.form, (str, dict)) or self.form == "":
+            raise RequestError(
+                "form must be a catalogue name, a form dict or a file path"
+            )
+        if self.kind not in ANALYSIS_KINDS:
+            raise RequestError(
+                f"unknown analysis kind {self.kind!r}; expected one of "
+                f"{', '.join(ANALYSIS_KINDS)}"
+            )
+        if self.kind in _FORMULA_KINDS and not self.formula:
+            raise RequestError(f"analysis kind {self.kind!r} requires a formula")
+        if self.kind not in _FORMULA_KINDS and self.formula is not None:
+            raise RequestError(
+                f"analysis kind {self.kind!r} takes no formula, got "
+                f"{self.formula!r}"
+            )
+        if self.strategy not in _STRATEGIES:
+            raise RequestError(
+                f"unknown strategy {self.strategy!r}; expected one of "
+                f"{', '.join(_STRATEGIES)}"
+            )
+        if self.frontier not in _FRONTIERS:
+            raise RequestError(
+                f"unknown frontier {self.frontier!r}; expected one of "
+                f"{', '.join(_FRONTIERS)}"
+            )
+        for name in ("workers", "max_states", "checkpoint_every"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise RequestError(f"{name} must be a positive integer, got {value!r}")
+        for name in (
+            "max_instance_nodes",
+            "max_sibling_copies",
+            "resident_budget",
+            "step_limit",
+            "budget_kb",
+        ):
+            value = getattr(self, name)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool) or value < 1
+            ):
+                raise RequestError(
+                    f"{name} must be a positive integer or null, got {value!r}"
+                )
+        if self.resident_budget is not None and self.store is None:
+            raise RequestError(
+                "resident_budget needs a store: without a persistent store "
+                "there is nowhere to evict resident state to"
+            )
+        for name in ("resume", "stop_on_complete", "trace", "metrics"):
+            if not isinstance(getattr(self, name), bool):
+                raise RequestError(f"{name} must be a boolean")
+
+    def limits(self) -> ExplorationLimits:
+        """The request's exploration limits as the engine's limits object."""
+        return ExplorationLimits(
+            max_states=self.max_states,
+            max_instance_nodes=self.max_instance_nodes,
+            max_sibling_copies=self.max_sibling_copies,
+        )
+
+    def replace(self, **changes) -> "AnalysisRequest":
+        """A copy with *changes* applied (requests are frozen)."""
+        return dataclasses.replace(self, **changes)
+
+
+_FIELD_NAMES = tuple(f.name for f in fields(AnalysisRequest))
+
+
+def request_to_wire(request: AnalysisRequest) -> dict:
+    """Encode *request* as its versioned JSON-safe wire dict.
+
+    Every field is emitted explicitly (no default elision): a wire request
+    is self-describing, and a reader never needs this build's defaults to
+    interpret an older writer's output within one ``api`` version.
+    """
+    payload = {"api": REQUEST_API_VERSION}
+    for name in _FIELD_NAMES:
+        payload[name] = getattr(request, name)
+    return payload
+
+
+def request_from_wire(payload: object) -> AnalysisRequest:
+    """Decode and validate a wire dict back into an :class:`AnalysisRequest`.
+
+    Strict by design: a non-dict payload, a missing/unsupported ``api``
+    version, unknown fields, or any field validation failure raises
+    :class:`~repro.exceptions.RequestError` (the taxonomy's
+    ``bad-request``).  Absent optional fields take the dataclass defaults,
+    so a minimal ``{"api": ..., "form": ..., "kind": ...}`` is a complete
+    request.
+    """
+    if not isinstance(payload, dict):
+        raise RequestError(
+            f"a wire request must be a JSON object, got {type(payload).__name__}"
+        )
+    version = payload.get("api")
+    if version != REQUEST_API_VERSION:
+        raise RequestError(
+            f"unsupported request api {version!r}; this build speaks "
+            f"{REQUEST_API_VERSION}"
+        )
+    unknown = sorted(set(payload) - set(_FIELD_NAMES) - {"api"})
+    if unknown:
+        raise RequestError(f"unknown request field(s): {', '.join(unknown)}")
+    kwargs = {name: payload[name] for name in _FIELD_NAMES if name in payload}
+    missing = [name for name in ("form", "kind") if name not in kwargs]
+    if missing:
+        raise RequestError(f"missing required request field(s): {', '.join(missing)}")
+    return AnalysisRequest(**kwargs)

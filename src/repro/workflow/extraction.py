@@ -24,16 +24,18 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.analysis.completability import delegate_to_request
 from repro.analysis.results import ExplorationLimits
 from repro.core.guarded_form import GuardedForm
 from repro.core.instance import Instance
 from repro.core.schema import format_schema_path
 from repro.engine import ExplorationEngine, StateStore, engine_for
+from repro.exceptions import RequestError
 from repro.workflow.lts import LabelledTransitionSystem
 
 
 def extract_workflow(
-    guarded_form: GuardedForm,
+    guarded_form: Optional[GuardedForm] = None,
     start: Optional[Instance] = None,
     limits: Optional[ExplorationLimits] = None,
     frontier: Optional[str] = None,
@@ -42,7 +44,9 @@ def extract_workflow(
     resume: bool = False,
     workers: int = 1,
     resident_budget: Optional[int] = None,
-) -> LabelledTransitionSystem:
+    step_limit: Optional[int] = None,
+    request=None,
+):
     """Build the labelled transition system implied by *guarded_form*.
 
     Accepting states are those whose instance satisfies the completion
@@ -55,7 +59,16 @@ def extract_workflow(
     extraction from its checkpoint.  ``workers > 1`` runs the bounded
     exploration on a frontier worker pool
     (:mod:`repro.engine.parallel`); the extracted system is identical.
+
+    Alternatively pass a single ``request`` of kind ``"workflow"``; the call
+    then delegates to :func:`repro.service.dispatch.run_analysis` and returns
+    its :class:`~repro.analysis.results.AnalysisResult` (the extracted system
+    rides in ``stats["lts"]`` as its wire dict).
     """
+    if request is not None:
+        return delegate_to_request("extract_workflow", "workflow", request, guarded_form)
+    if guarded_form is None:
+        raise RequestError("extract_workflow needs a guarded form or request=")
     owns_engine = engine is None
     engine = engine_for(
         guarded_form, engine, frontier, store=store, workers=workers,
@@ -64,7 +77,9 @@ def extract_workflow(
     try:
         if guarded_form.schema_depth() <= 1:
             return _extract_depth1(engine, guarded_form, start, frontier)
-        return _extract_bounded(engine, guarded_form, start, limits, frontier, resume)
+        return _extract_bounded(
+            engine, guarded_form, start, limits, frontier, resume, step_limit
+        )
     finally:
         if owns_engine:
             engine.shutdown_workers()
@@ -106,8 +121,12 @@ def _extract_bounded(
     limits: Optional[ExplorationLimits],
     frontier: Optional[str],
     resume: bool = False,
+    step_limit: Optional[int] = None,
 ) -> LabelledTransitionSystem:
-    graph = engine.explore(start=start, limits=limits, strategy=frontier, resume=resume)
+    graph = engine.explore(
+        start=start, limits=limits, strategy=frontier, resume=resume,
+        step_limit=step_limit,
+    )
     names: dict = {}
     for index, state_id in enumerate(
         sorted(graph.states, key=lambda state_id: repr(graph.shape_of(state_id)))

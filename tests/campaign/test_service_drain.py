@@ -1,0 +1,78 @@
+"""Campaign ``--submit-url`` mode: the queue drains through a pod server.
+
+The vehicle changes — forms are inlined into ``analysis-request/1``
+payloads and evaluated by pod workers — but the row semantics must not:
+verdicts and form digests equal the in-process run's, and a store started
+in-process can resume through the service (``submit_url`` stays out of the
+resume fingerprint).
+"""
+
+import pytest
+
+from repro.campaign import CampaignConfig, CampaignStore, run_campaign
+from repro.service import PodServer, ServerConfig
+
+#: Verdict fields that must not depend on the drain vehicle.
+SEMANTIC_FIELDS = ("family", "seed", "index", "digest", "decided", "answer")
+
+
+@pytest.fixture
+def pod(tmp_path):
+    server = PodServer(
+        ServerConfig(store_dir=str(tmp_path / "pod"), port=0, workers=2)
+    )
+    server.start()
+    yield server
+    server.shutdown()
+
+
+def config(**overrides) -> CampaignConfig:
+    defaults = {
+        "families": ("chain", "sat"),
+        "count": 6,
+        "oracles": ("legacy",),
+        "smoke": True,
+        "batch_size": 3,
+    }
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+def verdicts(store_path) -> list:
+    with CampaignStore(store_path) as store:
+        rows = [row.to_json_dict() for row in store.rows()]
+    return [{field: row[field] for field in SEMANTIC_FIELDS} for row in rows]
+
+
+def test_service_drain_matches_in_process_verdicts(pod, tmp_path):
+    url = f"http://127.0.0.1:{pod.port}"
+    local = tmp_path / "local.db"
+    via_service = tmp_path / "service.db"
+
+    run_campaign(config(), local)
+    summary = run_campaign(config(submit_url=url), via_service)
+
+    assert summary.executed == 6
+    assert verdicts(via_service) == verdicts(local)
+    with CampaignStore(via_service) as store:
+        for row in store.rows():
+            assert row.oracles_run == ["service"]
+            assert row.peak_rss_kb == 0  # resident cost is the pod's
+            assert row.agreed
+
+
+def test_submit_url_is_not_part_of_the_resume_fingerprint(pod, tmp_path):
+    url = f"http://127.0.0.1:{pod.port}"
+    store_path = tmp_path / "mixed.db"
+
+    first = run_campaign(config(), store_path, max_batches=1)
+    assert first.interrupted
+
+    resumed = run_campaign(config(submit_url=url), store_path)
+    assert not resumed.interrupted
+    assert resumed.skipped == 3
+    assert resumed.executed == 3
+
+    cold = tmp_path / "cold.db"
+    run_campaign(config(), cold)
+    assert verdicts(store_path) == verdicts(cold)

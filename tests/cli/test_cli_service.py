@@ -1,0 +1,191 @@
+"""The service CLI surface: serve wiring, submit/status/result/cancel.
+
+An in-process :class:`~repro.service.PodServer` on an ephemeral port plays
+the live pod; the commands talk to it over real HTTP exactly as a remote
+client would.  The tests pin the exit-code convention (0 yes, 1 no, 2
+error, 3 undecided) and the ``error[code]`` taxonomy formatting.
+"""
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.serialization import save_guarded_form
+from repro.fbwis.catalog import leave_application
+from repro.service import PodServer, ServerConfig
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    buffer = io.StringIO()
+    code = main(list(argv), out=buffer)
+    return code, buffer.getvalue()
+
+
+@pytest.fixture
+def pod(tmp_path):
+    server = PodServer(
+        ServerConfig(
+            store_dir=str(tmp_path / "pod"), port=0, workers=2, slice_steps=25
+        )
+    )
+    server.start()
+    yield server
+    server.shutdown()
+
+
+def url(pod: PodServer) -> str:
+    return f"http://127.0.0.1:{pod.port}"
+
+
+class TestSubmitWait:
+    def test_completable_form_exits_zero(self, pod):
+        code, output = run_cli(
+            "submit", "leave-application-finite", "--wait", "--poll-seconds", "0.02",
+            "--url", url(pod),
+        )
+        assert code == 0
+        assert "job-000001: queued" in output
+        assert "done" in output
+        assert "completability [bounded_exploration]: yes" in output
+        assert "states_explored: 29" in output
+
+    def test_incompletable_form_exits_one(self, pod):
+        code, output = run_cli(
+            "submit", "leave-application-incompletable", "--wait",
+            "--poll-seconds", "0.02", "--url", url(pod),
+        )
+        assert code == 1
+        assert ": no" in output
+
+    def test_undecided_exits_three(self, pod):
+        code, output = run_cli(
+            "submit", "leave-application", "--max-states", "60", "--wait",
+            "--poll-seconds", "0.02", "--url", url(pod),
+        )
+        assert code == 3
+        assert "undecided (limits reached)" in output
+
+    def test_form_file_is_inlined(self, pod, tmp_path):
+        path = tmp_path / "leave.json"
+        save_guarded_form(leave_application(single_period=True), path)
+        code, output = run_cli(
+            "submit", str(path), "--wait", "--poll-seconds", "0.02",
+            "--url", url(pod),
+        )
+        assert code == 0
+        assert ": yes" in output
+
+    def test_json_dump(self, pod, tmp_path):
+        target = tmp_path / "result.json"
+        code, output = run_cli(
+            "submit", "leave-application-finite", "--wait",
+            "--poll-seconds", "0.02", "--json", str(target), "--url", url(pod),
+        )
+        assert code == 0
+        assert f"wrote {target}" in output
+        payload = json.loads(target.read_text())
+        assert payload["api"] == "analysis-result/1"
+        assert payload["answer"] is True
+
+
+class TestJobLifecycleCommands:
+    def test_submit_status_result(self, pod):
+        code, output = run_cli(
+            "submit", "leave-application-finite", "--url", url(pod)
+        )
+        assert code == 0
+        job_id = output.split(":", 1)[0]
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            code, output = run_cli("status", job_id, "--url", url(pod))
+            assert code == 0
+            if "done" in output:
+                break
+            time.sleep(0.02)
+        code, output = run_cli("result", job_id, "--url", url(pod))
+        assert code == 0
+        assert "completability [bounded_exploration]: yes" in output
+
+    def test_cancel_running_job(self, pod, capsys):
+        code, output = run_cli(
+            "submit", "leave-application", "--max-states", "5000",
+            "--url", url(pod),
+        )
+        assert code == 0
+        job_id = output.split(":", 1)[0]
+        code, _ = run_cli("cancel", job_id, "--url", url(pod))
+        assert code == 0
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            _, output = run_cli("status", job_id, "--url", url(pod))
+            if "cancelled" in output:
+                break
+            time.sleep(0.02)
+        assert "cancelled" in output
+        code, _ = run_cli("result", job_id, "--url", url(pod))
+        assert code == 2
+        assert "error[cancelled]" in capsys.readouterr().err
+
+
+class TestErrorFormatting:
+    def test_unknown_form_is_bad_request(self, pod, capsys):
+        code, _ = run_cli("submit", "no-such-form", "--url", url(pod))
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error[bad-request]")
+
+    def test_never_fitting_budget_is_admission_rejected(self, pod, capsys):
+        code, _ = run_cli(
+            "submit", "leave-application-finite",
+            "--budget-kb", str(pod.admission.admittable_kb + 1),
+            "--url", url(pod),
+        )
+        assert code == 2
+        error = capsys.readouterr().err
+        assert error.startswith("error[admission-rejected]")
+        assert "(retryable)" in error
+
+    def test_unknown_job(self, pod, capsys):
+        code, _ = run_cli("status", "job-999999", "--url", url(pod))
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error[unknown-job]")
+
+    def test_result_before_terminal_is_not_ready(self, pod, capsys):
+        code, output = run_cli(
+            "submit", "leave-application", "--max-states", "20000",
+            "--url", url(pod),
+        )
+        assert code == 0
+        job_id = output.split(":", 1)[0]
+        code, _ = run_cli("result", job_id, "--url", url(pod))
+        assert code == 2
+        error = capsys.readouterr().err
+        assert error.startswith("error[not-ready]")
+        assert "(retryable)" in error
+        run_cli("cancel", job_id, "--url", url(pod))
+
+    def test_unreachable_server(self, capsys):
+        code, _ = run_cli(
+            "status", "job-000001", "--url", "http://127.0.0.1:9",
+            "--http-timeout", "2",
+        )
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error[unreachable]")
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve", "--store-dir", "/tmp/pod"])
+        assert args.port == 8350
+        assert args.capacity_kb == 262_144
+        assert args.overcommit == 1.0
+        assert args.job_workers == 2
+        assert args.slice_steps == 2000
+        assert args.trace is None
+
+    def test_store_dir_is_required(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+        capsys.readouterr()

@@ -1,0 +1,103 @@
+"""Admission accounting and the family-median stall detector."""
+
+import pytest
+
+from repro.exceptions import AdmissionError
+from repro.service.admission import (
+    AdmissionController,
+    StallDetector,
+    request_family,
+)
+from repro.service.request import AnalysisRequest
+
+
+class TestAdmissionController:
+    def test_admittable_applies_overcommit(self):
+        assert AdmissionController(1000).admittable_kb == 1000
+        assert AdmissionController(1000, overcommit=1.5).admittable_kb == 1500
+
+    def test_effective_budget_defaults(self):
+        controller = AdmissionController(1000, default_budget_kb=64)
+        declared = AnalysisRequest(form="t", kind="completability", budget_kb=512)
+        silent = AnalysisRequest(form="t", kind="completability")
+        assert controller.effective_budget_kb(declared) == 512
+        assert controller.effective_budget_kb(silent) == 64
+
+    def test_check_submittable_rejects_never_fitting(self):
+        controller = AdmissionController(1000, overcommit=1.5)
+        controller.check_submittable(1500)
+        with pytest.raises(AdmissionError, match="can never be admitted"):
+            controller.check_submittable(1501)
+
+    def test_can_admit_boundary(self):
+        controller = AdmissionController(1000)
+        assert controller.can_admit(600, admitted_kb=0)
+        assert controller.can_admit(400, admitted_kb=600)
+        assert not controller.can_admit(401, admitted_kb=600)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(AdmissionError, match="capacity_kb"):
+            AdmissionController(0)
+        with pytest.raises(AdmissionError, match="overcommit"):
+            AdmissionController(1000, overcommit=0)
+
+
+class TestRequestFamily:
+    def test_name_form(self):
+        request = AnalysisRequest(form="leave-application", kind="completability")
+        assert request_family(request) == "completability:leave-application"
+
+    def test_inline_form_uses_its_name(self):
+        request = AnalysisRequest(form={"name": "custom"}, kind="workflow")
+        assert request_family(request) == "workflow:custom"
+
+    def test_anonymous_inline_form(self):
+        request = AnalysisRequest(form={"schema": {}}, kind="workflow")
+        assert request_family(request) == "workflow:inline"
+
+
+class TestStallDetector:
+    def test_cold_family_never_stalls(self):
+        detector = StallDetector(multiple=2.0, floor_seconds=0.1, min_samples=3)
+        detector.record("f", 0.01)
+        detector.record("f", 0.01)
+        assert detector.threshold("f") is None
+        assert not detector.is_stalled("f", 1e9)
+
+    def test_threshold_is_multiple_of_median(self):
+        detector = StallDetector(multiple=4.0, floor_seconds=0.1, min_samples=3)
+        for seconds in (1.0, 2.0, 3.0):
+            detector.record("f", seconds)
+        assert detector.threshold("f") == pytest.approx(8.0)
+        assert detector.is_stalled("f", 8.1)
+        assert not detector.is_stalled("f", 7.9)
+
+    def test_floor_protects_fast_families(self):
+        detector = StallDetector(multiple=2.0, floor_seconds=5.0, min_samples=3)
+        for _ in range(3):
+            detector.record("f", 0.001)
+        assert detector.threshold("f") == pytest.approx(5.0)
+        assert not detector.is_stalled("f", 4.0)
+
+    def test_families_are_independent(self):
+        detector = StallDetector(multiple=2.0, floor_seconds=0.1, min_samples=1)
+        detector.record("slow", 10.0)
+        detector.record("fast", 0.1)
+        assert detector.is_stalled("fast", 1.0)
+        assert not detector.is_stalled("slow", 1.0)
+
+    def test_old_samples_age_out(self):
+        detector = StallDetector(multiple=1.0, floor_seconds=0.0, min_samples=1)
+        detector.record("f", 1000.0)
+        for _ in range(256):
+            detector.record("f", 1.0)
+        assert detector.threshold("f") == pytest.approx(1.0)
+
+    def test_snapshot_reports_families(self):
+        detector = StallDetector(multiple=2.0, floor_seconds=0.5, min_samples=2)
+        detector.record("f", 1.0)
+        snapshot = detector.snapshot()
+        assert snapshot["f"]["samples"] == 1
+        assert snapshot["f"]["threshold_seconds"] is None
+        detector.record("f", 1.0)
+        assert detector.snapshot()["f"]["threshold_seconds"] == pytest.approx(2.0)

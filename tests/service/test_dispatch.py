@@ -1,0 +1,187 @@
+"""``run_analysis`` parity: one dispatcher behind every entry point.
+
+The contract these tests pin: calling a classic keyword surface, calling
+the same surface with ``request=``, and calling :func:`run_analysis`
+directly all produce **bit-identical** wire results (``result_to_wire``),
+so an HTTP round trip through the pod server cannot drift from a library
+call.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.completability import decide_completability
+from repro.analysis.invariants import always_holds, can_reach
+from repro.analysis.semisoundness import decide_semisoundness
+from repro.catalog import CATALOG
+from repro.exceptions import RequestError
+from repro.service.dispatch import (
+    RESULT_API_VERSION,
+    result_to_wire,
+    run_analysis,
+    run_analysis_wire,
+)
+from repro.service.request import REQUEST_API_VERSION, AnalysisRequest
+from repro.workflow.extraction import extract_workflow
+
+FORM_NAME = "leave-application-finite"
+
+
+def form():
+    return CATALOG[FORM_NAME]()
+
+
+def request(kind: str, **overrides) -> AnalysisRequest:
+    formula = overrides.pop(
+        "formula", "s" if kind in ("invariant", "reach") else None
+    )
+    return AnalysisRequest(form=FORM_NAME, kind=kind, formula=formula, **overrides)
+
+
+class TestKeywordParity:
+    """kwargs surface == run_analysis(request), field for field."""
+
+    def test_completability(self):
+        req = request("completability")
+        via_request = result_to_wire(run_analysis(req))
+        via_kwargs = result_to_wire(decide_completability(form(), limits=req.limits()))
+        assert via_request == via_kwargs
+        assert via_request["answer"] is True
+        assert via_request["stats"]["states_explored"] == 29
+        assert via_request["stats"]["transitions"] == 94
+
+    def test_semisoundness(self):
+        req = request("semisoundness")
+        via_request = result_to_wire(run_analysis(req))
+        via_kwargs = result_to_wire(decide_semisoundness(form(), limits=req.limits()))
+        assert via_request == via_kwargs
+        assert via_request["answer"] is True
+
+    def test_invariant(self):
+        req = request("invariant", formula="¬f ∨ s")
+        via_request = result_to_wire(run_analysis(req))
+        via_kwargs = result_to_wire(
+            always_holds(form(), "¬f ∨ s", limits=req.limits())
+        )
+        assert via_request == via_kwargs
+
+    def test_reach(self):
+        req = request("reach", formula="f")
+        via_request = result_to_wire(run_analysis(req))
+        via_kwargs = result_to_wire(can_reach(form(), "f", limits=req.limits()))
+        assert via_request == via_kwargs
+        assert via_request["answer"] is True
+        assert via_request["witness_run"]
+
+    def test_workflow(self):
+        req = request("workflow")
+        via_request = result_to_wire(run_analysis(req))
+        lts = extract_workflow(form(), limits=req.limits())
+        assert via_request["problem"] == "workflow"
+        assert via_request["stats"]["states"] == len(lts)
+        assert via_request["stats"]["transitions"] == len(lts.transitions)
+        assert via_request["answer"] is None
+
+
+class TestRequestShims:
+    """``surface(request=...)`` is exactly ``run_analysis(request)``."""
+
+    @pytest.mark.parametrize(
+        "surface, kind",
+        [
+            (decide_completability, "completability"),
+            (decide_semisoundness, "semisoundness"),
+            (always_holds, "invariant"),
+            (can_reach, "reach"),
+            (extract_workflow, "workflow"),
+        ],
+    )
+    def test_shim_matches_run_analysis(self, surface, kind):
+        req = request(kind)
+        assert result_to_wire(surface(request=req)) == result_to_wire(
+            run_analysis(req)
+        )
+
+    def test_both_surfaces_rejected(self):
+        with pytest.raises(RequestError, match="either"):
+            decide_completability(form(), request=request("completability"))
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(RequestError, match="kind"):
+            decide_semisoundness(request=request("completability"))
+        with pytest.raises(RequestError, match="kind"):
+            can_reach(request=request("invariant"))
+
+    def test_formula_alongside_request_rejected(self):
+        with pytest.raises(RequestError):
+            can_reach(condition="f", request=request("reach"))
+
+    def test_neither_surface_rejected(self):
+        with pytest.raises(RequestError):
+            decide_completability()
+
+
+class TestRunAnalysisValidation:
+    def test_strategy_only_for_decision_kinds(self):
+        with pytest.raises(RequestError, match="no strategy selector"):
+            run_analysis(request("workflow", strategy="bounded"))
+        run_analysis(request("completability", strategy="bounded"))
+
+    def test_stop_on_complete_rejected_where_meaningless(self):
+        for kind in ("semisoundness", "workflow"):
+            with pytest.raises(RequestError, match="stop_on_complete"):
+                run_analysis(request(kind, stop_on_complete=True))
+
+    def test_unknown_form_reference(self):
+        with pytest.raises(RequestError, match="neither a catalogue form"):
+            run_analysis(
+                AnalysisRequest(form="no-such-form-anywhere", kind="completability")
+            )
+
+    def test_metrics_opt_in_attaches_snapshot(self):
+        result = run_analysis(request("completability", metrics=True))
+        assert "telemetry" in result.stats
+
+
+class TestWireBoundary:
+    def test_wire_to_wire_success(self):
+        status, body = run_analysis_wire(
+            {"api": REQUEST_API_VERSION, "form": FORM_NAME, "kind": "completability"}
+        )
+        assert status == 200
+        assert body["api"] == RESULT_API_VERSION
+        assert body["answer"] is True
+        json.dumps(body)
+
+    def test_wire_to_wire_never_raises(self):
+        status, body = run_analysis_wire({"api": "analysis-request/0"})
+        assert status == 400
+        assert body["error"]["code"] == "bad-request"
+        status, body = run_analysis_wire(
+            {"api": REQUEST_API_VERSION, "form": "missing.json", "kind": "workflow"}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "bad-request"
+
+    def test_results_are_deterministic(self):
+        req = request("workflow")
+        assert result_to_wire(run_analysis(req)) == result_to_wire(run_analysis(req))
+
+    def test_workflow_lts_travels_sorted(self):
+        _, body = run_analysis_wire(
+            {"api": REQUEST_API_VERSION, "form": FORM_NAME, "kind": "workflow"}
+        )
+        lts = body["stats"]["lts"]
+        assert lts["states"] == sorted(lts["states"])
+        assert lts["transitions"] == sorted(lts["transitions"])
+        assert set(lts["accepting"]) <= set(lts["states"])
+
+    def test_counterexample_travels_as_instance_dict(self):
+        broken = "leave-application-not-semisound"
+        _, body = run_analysis_wire(
+            {"api": REQUEST_API_VERSION, "form": broken, "kind": "semisoundness"}
+        )
+        assert body["answer"] is False
+        assert body["counterexample"] is not None
+        json.dumps(body["counterexample"])

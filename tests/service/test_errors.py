@@ -1,0 +1,83 @@
+"""The stable error taxonomy: classification, payload shape, HTTP statuses."""
+
+import json
+
+import pytest
+
+from repro.exceptions import (
+    AdmissionError,
+    AnalysisError,
+    CampaignError,
+    EvictionError,
+    ExplorationInterrupted,
+    ExplorationLimitError,
+    FormulaParseError,
+    JobNotReadyError,
+    ReproError,
+    RequestError,
+    SchemaError,
+    ServiceError,
+    StoreError,
+    UnknownJobError,
+)
+from repro.service.errors import classify_error, error_payload, http_status
+
+
+class TestServiceErrorsSelfDescribe:
+    @pytest.mark.parametrize(
+        "cls, code, status, retryable",
+        [
+            (RequestError, "bad-request", 400, False),
+            (UnknownJobError, "unknown-job", 404, False),
+            (JobNotReadyError, "not-ready", 409, True),
+            (AdmissionError, "admission-rejected", 429, True),
+            (EvictionError, "evicted", 500, True),
+            (ServiceError, "internal", 500, False),
+        ],
+    )
+    def test_triple(self, cls, code, status, retryable):
+        assert classify_error(cls("boom")) == (code, status, retryable)
+
+
+class TestTaxonomyTable:
+    @pytest.mark.parametrize(
+        "error, code, status, retryable",
+        [
+            (FormulaParseError("bad formula"), "malformed-form", 400, False),
+            (SchemaError("bad schema"), "malformed-form", 400, False),
+            (AnalysisError("no procedure"), "unsupported-analysis", 400, False),
+            (ExplorationLimitError("too big"), "exploration-limit", 400, False),
+            (ExplorationInterrupted("paused"), "exploration-interrupted", 409, True),
+            (StoreError("corrupt"), "store-unusable", 500, False),
+            (CampaignError("bad config"), "campaign-misconfigured", 400, False),
+            (ReproError("other"), "invalid-input", 400, False),
+        ],
+    )
+    def test_library_errors(self, error, code, status, retryable):
+        assert classify_error(error) == (code, status, retryable)
+
+    def test_unmapped_exceptions_are_internal(self):
+        assert classify_error(ValueError("oops")) == ("internal", 500, False)
+        assert classify_error(KeyError("x")) == ("internal", 500, False)
+
+
+class TestWireShape:
+    def test_payload_shape(self):
+        payload = error_payload(AdmissionError("queue full"))
+        assert payload == {
+            "error": {
+                "code": "admission-rejected",
+                "message": "queue full",
+                "retryable": True,
+            }
+        }
+        json.dumps(payload)
+
+    def test_empty_message_falls_back_to_class_name(self):
+        payload = error_payload(StoreError())
+        assert payload["error"]["message"] == "StoreError"
+
+    def test_http_status(self):
+        assert http_status(RequestError("x")) == 400
+        assert http_status(UnknownJobError("x")) == 404
+        assert http_status(ValueError("x")) == 500

@@ -1,0 +1,187 @@
+"""The durable sqlite job queue: lifecycle transitions and crash recovery."""
+
+import pytest
+
+from repro.exceptions import UnknownJobError
+from repro.service.jobs import JOB_STATES, LIVE_STATES, JobStore
+
+REQUEST = {"api": "analysis-request/1", "form": "tiny", "kind": "completability"}
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = JobStore(tmp_path / "jobs.sqlite")
+    yield store
+    store.close()
+
+
+class TestSubmitAndClaim:
+    def test_submit_queues_with_dense_ids(self, store):
+        first = store.submit(REQUEST, budget_kb=100)
+        second = store.submit(REQUEST, budget_kb=200)
+        assert first.job_id == "job-000001"
+        assert second.job_id == "job-000002"
+        assert first.state == "queued"
+        assert first.budget_kb == 100
+        assert first.request == REQUEST
+        assert not first.terminal
+
+    def test_claim_is_fifo(self, store):
+        store.submit(REQUEST, 1)
+        store.submit(REQUEST, 1)
+        assert store.claim_next().job_id == "job-000001"
+        assert store.claim_next().job_id == "job-000002"
+        assert store.claim_next() is None
+
+    def test_claim_marks_running(self, store):
+        store.submit(REQUEST, 1)
+        job = store.claim_next()
+        assert job.state == "running"
+        assert job.started_at is not None
+        assert store.get(job.job_id).state == "running"
+
+    def test_head_of_line_peeks_without_claiming(self, store):
+        store.submit(REQUEST, 1)
+        assert store.head_of_line().job_id == "job-000001"
+        assert store.get("job-000001").state == "queued"
+        store.claim_next()
+        assert store.head_of_line() is None
+
+
+class TestTerminalStates:
+    def test_finish_stores_result(self, store):
+        job = store.submit(REQUEST, 1)
+        store.claim_next()
+        store.finish(job.job_id, {"api": "analysis-result/1", "answer": True})
+        done = store.get(job.job_id)
+        assert done.state == "done"
+        assert done.terminal
+        assert done.finished_at is not None
+        assert done.result["answer"] is True
+
+    def test_fail_stores_error_and_status(self, store):
+        job = store.submit(REQUEST, 1)
+        store.claim_next()
+        error = {"error": {"code": "bad-request", "message": "x", "retryable": False}}
+        store.fail(job.job_id, error, 400)
+        failed = store.get(job.job_id)
+        assert failed.state == "failed"
+        assert failed.error == error
+        assert failed.error_status == 400
+        assert failed.to_wire()["error"]["code"] == "bad-request"
+
+    def test_unknown_job(self, store):
+        with pytest.raises(UnknownJobError, match="job-999999"):
+            store.get("job-999999")
+
+
+class TestCancel:
+    def test_cancel_queued_is_immediate(self, store):
+        job = store.submit(REQUEST, 1)
+        cancelled = store.cancel(job.job_id)
+        assert cancelled.state == "cancelled"
+        assert cancelled.cancel_requested
+        assert cancelled.finished_at is not None
+
+    def test_cancel_running_is_cooperative(self, store):
+        job = store.submit(REQUEST, 1)
+        store.claim_next()
+        record = store.cancel(job.job_id)
+        assert record.state == "running"
+        assert record.cancel_requested
+        store.mark_cancelled(job.job_id)
+        assert store.get(job.job_id).state == "cancelled"
+
+    def test_cancel_terminal_is_idempotent(self, store):
+        job = store.submit(REQUEST, 1)
+        store.claim_next()
+        store.finish(job.job_id, {})
+        assert store.cancel(job.job_id).state == "done"
+
+
+class TestRequeueAndRecovery:
+    def test_requeue_eviction_counts(self, store):
+        job = store.submit(REQUEST, 1)
+        store.claim_next()
+        store.requeue(job.job_id, evicted=True)
+        record = store.get(job.job_id)
+        assert record.state == "queued"
+        assert record.started_at is None
+        assert record.evictions == 1
+        store.claim_next()
+        store.requeue(job.job_id)
+        assert store.get(job.job_id).evictions == 1
+
+    def test_requeue_only_touches_running_jobs(self, store):
+        job = store.submit(REQUEST, 1)
+        store.claim_next()
+        store.finish(job.job_id, {})
+        store.requeue(job.job_id)
+        assert store.get(job.job_id).state == "done"
+
+    def test_recover_requeues_running_jobs(self, store):
+        running = store.submit(REQUEST, 1)
+        queued = store.submit(REQUEST, 1)
+        done = store.submit(REQUEST, 1)
+        store.claim_next()  # running
+        store.update_progress(running.job_id, 42)
+        store._terminal(done.job_id, "done", result="{}")
+        assert store.recover() == 1
+        assert store.get(running.job_id).state == "queued"
+        # recovery keeps the progress marker — the next slice resumes
+        assert store.get(running.job_id).states_explored == 42
+        assert store.get(queued.job_id).state == "queued"
+        assert store.get(done.job_id).state == "done"
+
+    def test_queue_survives_reopen(self, tmp_path):
+        path = tmp_path / "jobs.sqlite"
+        first = JobStore(path)
+        job = first.submit(REQUEST, 7)
+        first.close()
+        second = JobStore(path)
+        try:
+            record = second.get(job.job_id)
+            assert record.state == "queued"
+            assert record.budget_kb == 7
+            assert record.request == REQUEST
+        finally:
+            second.close()
+
+
+class TestAccounting:
+    def test_counts_are_zero_filled(self, store):
+        assert store.counts() == {state: 0 for state in JOB_STATES}
+        store.submit(REQUEST, 1)
+        store.submit(REQUEST, 1)
+        store.claim_next()
+        counts = store.counts()
+        assert counts["queued"] == 1
+        assert counts["running"] == 1
+
+    def test_admitted_budget_sums_running_only(self, store):
+        store.submit(REQUEST, 100)
+        store.submit(REQUEST, 250)
+        assert store.admitted_budget_kb() == 0
+        store.claim_next()
+        assert store.admitted_budget_kb() == 100
+        store.claim_next()
+        assert store.admitted_budget_kb() == 350
+        store.finish("job-000001", {})
+        assert store.admitted_budget_kb() == 250
+
+    def test_queue_length(self, store):
+        assert store.queue_length() == 0
+        store.submit(REQUEST, 1)
+        store.submit(REQUEST, 1)
+        assert store.queue_length() == 2
+        store.claim_next()
+        assert store.queue_length() == 1
+
+    def test_jobs_listing_filters_by_state(self, store):
+        store.submit(REQUEST, 1)
+        store.submit(REQUEST, 1)
+        store.claim_next()
+        assert [job.job_id for job in store.jobs()] == ["job-000001", "job-000002"]
+        assert [job.job_id for job in store.jobs("queued")] == ["job-000002"]
+        for job in store.jobs():
+            assert (job.state in LIVE_STATES) == (not job.terminal)

@@ -1,0 +1,177 @@
+"""``AnalysisRequest`` validation and the strict ``analysis-request/1`` codec."""
+
+import json
+
+import pytest
+
+from repro.analysis.results import ExplorationLimits
+from repro.exceptions import RequestError
+from repro.service.request import (
+    ANALYSIS_KINDS,
+    REQUEST_API_VERSION,
+    AnalysisRequest,
+    request_from_wire,
+    request_to_wire,
+)
+
+
+class TestValidation:
+    def test_minimal_request(self):
+        request = AnalysisRequest(form="leave-application", kind="completability")
+        assert request.strategy == "auto"
+        assert request.frontier == "bfs"
+        assert request.max_states == 50_000
+
+    def test_every_kind_is_constructible(self):
+        for kind in ANALYSIS_KINDS:
+            formula = "f" if kind in ("invariant", "reach") else None
+            AnalysisRequest(form="tiny", kind=kind, formula=formula)
+
+    def test_unknown_kind(self):
+        with pytest.raises(RequestError, match="unknown analysis kind"):
+            AnalysisRequest(form="tiny", kind="prove")
+
+    def test_empty_form(self):
+        with pytest.raises(RequestError, match="form must be"):
+            AnalysisRequest(form="", kind="completability")
+
+    def test_non_string_form(self):
+        with pytest.raises(RequestError, match="form must be"):
+            AnalysisRequest(form=42, kind="completability")
+
+    def test_formula_required_for_formula_kinds(self):
+        for kind in ("invariant", "reach"):
+            with pytest.raises(RequestError, match="requires a formula"):
+                AnalysisRequest(form="tiny", kind=kind)
+
+    def test_formula_rejected_elsewhere(self):
+        with pytest.raises(RequestError, match="takes no formula"):
+            AnalysisRequest(form="tiny", kind="completability", formula="f")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(RequestError, match="unknown strategy"):
+            AnalysisRequest(form="tiny", kind="completability", strategy="magic")
+
+    def test_unknown_frontier(self):
+        with pytest.raises(RequestError, match="unknown frontier"):
+            AnalysisRequest(form="tiny", kind="completability", frontier="random")
+
+    @pytest.mark.parametrize("field", ["workers", "max_states", "checkpoint_every"])
+    def test_positive_int_fields(self, field):
+        with pytest.raises(RequestError, match="positive integer"):
+            AnalysisRequest(form="tiny", kind="completability", **{field: 0})
+        with pytest.raises(RequestError, match="positive integer"):
+            AnalysisRequest(form="tiny", kind="completability", **{field: True})
+
+    @pytest.mark.parametrize(
+        "field",
+        ["max_instance_nodes", "max_sibling_copies", "step_limit", "budget_kb"],
+    )
+    def test_optional_int_fields(self, field):
+        AnalysisRequest(form="tiny", kind="completability", **{field: None})
+        with pytest.raises(RequestError, match="positive integer or null"):
+            AnalysisRequest(form="tiny", kind="completability", **{field: -1})
+
+    def test_resident_budget_needs_store(self):
+        with pytest.raises(RequestError, match="needs a store"):
+            AnalysisRequest(form="tiny", kind="completability", resident_budget=100)
+        AnalysisRequest(
+            form="tiny", kind="completability", resident_budget=100, store="cache"
+        )
+
+    def test_flags_must_be_booleans(self):
+        with pytest.raises(RequestError, match="must be a boolean"):
+            AnalysisRequest(form="tiny", kind="completability", resume="yes")
+
+    def test_limits_object(self):
+        request = AnalysisRequest(
+            form="tiny",
+            kind="completability",
+            max_states=7,
+            max_instance_nodes=None,
+            max_sibling_copies=2,
+        )
+        assert request.limits() == ExplorationLimits(
+            max_states=7, max_instance_nodes=None, max_sibling_copies=2
+        )
+
+    def test_replace_returns_validated_copy(self):
+        request = AnalysisRequest(form="tiny", kind="completability")
+        changed = request.replace(max_states=9)
+        assert changed.max_states == 9
+        assert request.max_states == 50_000
+        with pytest.raises(RequestError):
+            request.replace(kind="nope")
+
+
+class TestWireCodec:
+    def test_round_trip(self):
+        request = AnalysisRequest(
+            form={"name": "inline"},
+            kind="reach",
+            formula="a ∧ b",
+            frontier="guided",
+            workers=3,
+            max_states=123,
+            store="cache",
+            resident_budget=64,
+            step_limit=10,
+            budget_kb=2048,
+            trace=True,
+        )
+        assert request_from_wire(request_to_wire(request)) == request
+
+    def test_wire_is_json_safe_and_versioned(self):
+        payload = request_to_wire(
+            AnalysisRequest(form="leave-application", kind="completability")
+        )
+        assert payload["api"] == REQUEST_API_VERSION
+        # every field is explicit: a reader never needs this build's defaults
+        assert "max_states" in payload and "stop_on_complete" in payload
+        json.dumps(payload)
+
+    def test_minimal_wire_decodes_with_defaults(self):
+        request = request_from_wire(
+            {"api": REQUEST_API_VERSION, "form": "tiny", "kind": "workflow"}
+        )
+        assert request == AnalysisRequest(form="tiny", kind="workflow")
+
+    def test_non_dict_payload(self):
+        with pytest.raises(RequestError, match="JSON object"):
+            request_from_wire([1, 2, 3])
+
+    def test_missing_api(self):
+        with pytest.raises(RequestError, match="unsupported request api"):
+            request_from_wire({"form": "tiny", "kind": "completability"})
+
+    def test_wrong_api_version(self):
+        with pytest.raises(RequestError, match="unsupported request api"):
+            request_from_wire(
+                {"api": "analysis-request/99", "form": "tiny", "kind": "completability"}
+            )
+
+    def test_unknown_field(self):
+        with pytest.raises(RequestError, match="unknown request field.*turbo"):
+            request_from_wire(
+                {
+                    "api": REQUEST_API_VERSION,
+                    "form": "tiny",
+                    "kind": "completability",
+                    "turbo": True,
+                }
+            )
+
+    def test_missing_required_fields(self):
+        with pytest.raises(RequestError, match="missing required request field"):
+            request_from_wire({"api": REQUEST_API_VERSION, "kind": "completability"})
+
+    def test_field_validation_applies_on_decode(self):
+        with pytest.raises(RequestError, match="positive integer"):
+            request_from_wire(
+                {
+                    "api": REQUEST_API_VERSION,
+                    "form": "tiny",
+                    "kind": "completability",
+                    "max_states": "lots",
+                }
+            )
