@@ -122,6 +122,12 @@ ATTACH_SPEEDUP_FLOOR = 2.0
 #: workload when lazy hydration restores more than this.
 ATTACH_HYDRATION_CEILING = 0.50
 
+#: Required speedup of a warm result-cache hit over the cold analysis run;
+#: the --check gate fails the cache workload below it.  The warm path is a
+#: single KV read + JSON decode, so 10x is conservative — the observed
+#: figure is orders of magnitude higher.
+CACHE_SPEEDUP_FLOOR = 10.0
+
 #: Ceiling on the telemetry-enabled vs -disabled states/sec overhead; the
 #: --check gate fails the telemetry workload when tracing a serial
 #: exploration costs more than this fraction of throughput (min-of-N
@@ -735,6 +741,7 @@ def measure_engine(
         results.append(measure_residency_attach(frontier, attach_states, attach_budget))
     results.append(measure_telemetry(frontier, trace_path=trace_path))
     results.append(measure_service(frontier))
+    results.append(measure_cache(frontier))
     if str(BENCH_DIR) not in sys.path:
         sys.path.insert(0, str(BENCH_DIR))
     from micro_codec import measure_micro_codec
@@ -866,6 +873,69 @@ def measure_service(frontier: str) -> dict:
         "job_slices": slices,
         "service_parity": parity,
         "admission_serialized": serialized,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def measure_cache(frontier: str) -> dict:
+    """The memoized analysis-result cache: warm-hit speedup, bit-identity.
+
+    One cold ``run_analysis_wire`` against a fresh :class:`SqliteKV` (the
+    ``--cache DIR`` default backend), then repeated warm hits on the same
+    request.  Two gates: the warm body must be byte-for-byte the cold body
+    (unconditional), and the warm hit must be at least
+    :data:`CACHE_SPEEDUP_FLOOR` times faster than the cold run.  The cold
+    leg also records states/sec, so the ordinary ``--threshold`` drift check
+    bounds how much overhead publishing into the cache may add to an
+    uncached-speed run.
+    """
+    from repro.cache import SqliteKV, use_cache
+    from repro.service.dispatch import run_analysis_wire
+    from repro.service.request import REQUEST_API_VERSION
+
+    payload = {
+        "api": REQUEST_API_VERSION,
+        "form": "leave-application",
+        "kind": "completability",
+        "max_states": 3_000,
+        "frontier": frontier,
+    }
+    warm_rounds = 5
+    with tempfile.TemporaryDirectory() as tmp:
+        kv = SqliteKV(str(Path(tmp) / "cache.db"))
+        with use_cache(kv):
+            started = time.perf_counter()
+            status, cold = run_analysis_wire(dict(payload))
+            cold_elapsed = time.perf_counter() - started
+            assert status == 200, cold
+            warm_times = []
+            warm_bodies = []
+            for _ in range(warm_rounds):
+                started = time.perf_counter()
+                status, warm = run_analysis_wire(dict(payload))
+                warm_times.append(time.perf_counter() - started)
+                assert status == 200, warm
+                warm_bodies.append(warm)
+        hits = kv.stats()["namespaces"]["results"]["hits"]
+        kv.close()
+
+    canonical = lambda body: json.dumps(body, sort_keys=True)  # noqa: E731
+    identical = all(canonical(body) == canonical(cold) for body in warm_bodies)
+    warm_elapsed = min(warm_times)  # best-of-N: gate on capability, not noise
+    states = cold["stats"]["states_explored"]
+    return {
+        "workload": "memoized result cache [leave application]",
+        "kind": "result-cache",
+        "frontier": frontier,
+        "states": states,
+        "explore_seconds": round(cold_elapsed, 6),
+        "states_per_second": round(states / cold_elapsed, 1) if cold_elapsed else None,
+        "warm_hit_seconds": round(warm_elapsed, 6),
+        "cache_warm_speedup": (
+            round(cold_elapsed / warm_elapsed, 1) if warm_elapsed else None
+        ),
+        "cache_payload_identical": identical,
+        "cache_result_hits": hits,
         "peak_rss_kb": _peak_rss_kb(),
     }
 
@@ -1055,6 +1125,20 @@ def check_regressions(report: dict, baseline: dict, threshold: float) -> list[st
         if fresh.get("admission_serialized") is False:
             failures.append(
                 f"workload {name!r} admitted two over-capacity jobs concurrently"
+            )
+        # the result cache is a pure observer with teeth: a warm hit must
+        # return the cold bytes, and must actually be a cache-speed answer
+        if fresh.get("cache_payload_identical") is False:
+            failures.append(
+                f"workload {name!r} served a warm cached result that differs "
+                f"from the cold run's bytes"
+            )
+        cache_speedup = fresh.get("cache_warm_speedup")
+        if cache_speedup is not None and cache_speedup < CACHE_SPEEDUP_FLOOR:
+            failures.append(
+                f"workload {name!r} answered a warm cache hit only "
+                f"{cache_speedup:.1f}x faster than the cold run; the gate "
+                f"requires >={CACHE_SPEEDUP_FLOOR:.0f}x"
             )
         wire_bpc = fresh.get("wire_bytes_per_candidate")
         legacy_bpc = fresh.get("legacy_wire_bytes_per_candidate")
@@ -1355,7 +1439,7 @@ def main(argv=None) -> int:
         )
 
     report = {
-        "schema": "bench-engine/8",
+        "schema": "bench-engine/9",
         "generated_by": "benchmarks/run_all.py",
         "quick": args.quick,
         "engine": engine_metrics,
@@ -1443,6 +1527,19 @@ def main(argv=None) -> int:
                     slices=workload["job_slices"],
                     parity=workload["service_parity"],
                     serialized=workload["admission_serialized"],
+                )
+            )
+            continue
+        if workload.get("kind") == "result-cache":
+            print(
+                "[run_all]   {workload}: cold {cold}s, warm hit {warm}s "
+                "({speedup}x, {hits} hit(s)), payload identical={identical}".format(
+                    workload=workload["workload"],
+                    cold=workload["explore_seconds"],
+                    warm=workload["warm_hit_seconds"],
+                    speedup=workload["cache_warm_speedup"],
+                    hits=workload["cache_result_hits"],
+                    identical=workload["cache_payload_identical"],
                 )
             )
             continue

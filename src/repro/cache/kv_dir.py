@@ -1,0 +1,108 @@
+"""Filesystem KV backend: one file per entry, shared by atomic rename.
+
+Two pods on one host point at the same directory and share entries with no
+daemon and no lock: writes go to a temp file in the same directory and are
+published with :func:`os.replace`, so a reader either sees the whole entry
+or the previous one — never a torn write.  Each entry file embeds its own
+key (keys are hashed into filenames, so the name alone cannot recover
+them), which is what lets :meth:`scan` enumerate a namespace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import time
+import uuid
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.cache.kv import KVCache
+
+#: Entry file magic + layout version. Layout after the magic: an 8-byte
+#: big-endian float expiry (NaN = no expiry), a 4-byte big-endian key
+#: length, the key bytes, then the value bytes to EOF.
+_MAGIC = b"RKV1"
+
+_NO_EXPIRY = float("nan")
+
+
+class DirKV(KVCache):
+    """A one-file-per-key directory cache (no daemon, cross-process)."""
+
+    backend = "dir"
+
+    def __init__(self, path: "str | Path", clock=time.time) -> None:
+        super().__init__(clock=clock)
+        self.root = Path(path)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.spec = f"dir://{self.root}"
+
+    def _entry_path(self, namespace: str, key: bytes) -> Path:
+        return self.root / namespace / hashlib.sha256(key).hexdigest()
+
+    @staticmethod
+    def _parse(blob: bytes) -> Optional[tuple[bytes, bytes, Optional[float]]]:
+        """``(key, value, expires_at)`` from an entry file, or ``None``."""
+        if len(blob) < 16 or not blob.startswith(_MAGIC):
+            return None
+        (expiry,) = struct.unpack(">d", blob[4:12])
+        (key_len,) = struct.unpack(">I", blob[12:16])
+        if len(blob) < 16 + key_len:
+            return None
+        key = blob[16 : 16 + key_len]
+        value = blob[16 + key_len :]
+        return key, value, None if expiry != expiry else expiry
+
+    def _read(self, path: Path) -> Optional[tuple[bytes, bytes, Optional[float]]]:
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        return self._parse(blob)
+
+    def _get_entry(self, namespace: str, key: bytes) -> Optional[tuple[bytes, Optional[float]]]:
+        entry = self._read(self._entry_path(namespace, key))
+        if entry is None or entry[0] != key:
+            return None
+        return entry[1], entry[2]
+
+    def _put_entry(
+        self, namespace: str, key: bytes, value: bytes, expires_at: Optional[float]
+    ) -> None:
+        path = self._entry_path(namespace, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        expiry = _NO_EXPIRY if expires_at is None else expires_at
+        blob = _MAGIC + struct.pack(">d", expiry) + struct.pack(">I", len(key)) + key + value
+        tmp = path.parent / f".{path.name}.{uuid.uuid4().hex}.tmp"
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except OSError:
+            # a full disk or a concurrently removed directory must not take
+            # down the computation the cache is merely observing
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def _drop_entry(self, namespace: str, key: bytes) -> bool:
+        try:
+            self._entry_path(namespace, key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def _scan_entries(self, namespace: str) -> Iterator[tuple[bytes, bytes, Optional[float]]]:
+        ns_dir = self.root / namespace
+        try:
+            names = os.listdir(ns_dir)
+        except OSError:
+            return
+        for name in names:
+            if name.startswith("."):
+                continue  # in-flight temp files
+            entry = self._read(ns_dir / name)
+            if entry is not None:
+                yield entry

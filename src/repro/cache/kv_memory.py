@@ -1,0 +1,63 @@
+"""In-process KV backend: one bounded LRU over every namespace."""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from repro.cache.kv import KVCache
+
+
+class MemoryKV(KVCache):
+    """A bounded least-recently-used in-memory cache.
+
+    The bound covers all namespaces together (*capacity* entries), so one
+    hot namespace can use the whole budget; evictions are charged to the
+    namespace of the entry that fell out.  Process-local by definition —
+    ``spec`` stays the portable ``"memory"`` string, but two processes
+    opening it get distinct caches.
+    """
+
+    backend = "memory"
+    spec = "memory"
+
+    def __init__(self, capacity: int = 65536, clock=time.time) -> None:
+        super().__init__(clock=clock)
+        if capacity < 1:
+            raise ValueError("MemoryKV capacity must be positive")
+        self.capacity = capacity
+        self._items: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+
+    def _get_entry(self, namespace: str, key: bytes) -> Optional[tuple[bytes, Optional[float]]]:
+        with self._lock:
+            entry = self._items.get((namespace, key))
+            if entry is not None:
+                self._items.move_to_end((namespace, key))
+            return entry
+
+    def _put_entry(
+        self, namespace: str, key: bytes, value: bytes, expires_at: Optional[float]
+    ) -> None:
+        with self._lock:
+            self._items[(namespace, key)] = (value, expires_at)
+            self._items.move_to_end((namespace, key))
+            if len(self._items) > self.capacity:
+                (evicted_ns, _key), _entry = self._items.popitem(last=False)
+                self._ns_counters(evicted_ns)["evictions"] += 1
+
+    def _drop_entry(self, namespace: str, key: bytes) -> bool:
+        with self._lock:
+            return self._items.pop((namespace, key), None) is not None
+
+    def _scan_entries(self, namespace: str) -> Iterator[tuple[bytes, bytes, Optional[float]]]:
+        with self._lock:
+            snapshot = list(self._items.items())
+        for (entry_ns, key), (value, expires_at) in snapshot:
+            if entry_ns == namespace:
+                yield key, value, expires_at
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -20,7 +20,10 @@ campaign rather than by a hand-written regression test:
     ``resident_budget``-bounded store-backed run vs the unbounded reference;
 ``codec``
     the pure-Python codec vs the C-accelerated one (trivially agreeing, with
-    a note, when the accelerator is unavailable).
+    a note, when the accelerator is unavailable);
+``cache``
+    cold and warm runs against one shared KV cache (:mod:`repro.cache`) vs
+    the uncached reference — the cache must be a pure observer.
 
 Oracles receive a shared :class:`ExecutionContext` so the serial reference
 (and the depth-1 canonical graph, where the form allows one) is computed once
@@ -39,6 +42,7 @@ from typing import Optional
 
 from repro.analysis.completability import decide_completability
 from repro.analysis.results import ExplorationLimits
+from repro.cache import MemoryKV, use_cache
 from repro.core.guarded_form import GuardedForm
 from repro.engine import ExplorationEngine, ParallelExplorationEngine, SqliteStore
 from repro.engine import _codec
@@ -293,6 +297,31 @@ class CodecOracle(Oracle):
         return self._agree()
 
 
+class CacheOracle(Oracle):
+    """Cached vs uncached exploration bit-identity (the PR 10 contract).
+
+    Runs the form twice under one shared in-memory KV — cold, then warm, so
+    the second run's guard probes are served by the cache — and requires both
+    graphs node-id-exact against the uncached serial reference.
+    """
+
+    name = "cache"
+
+    def check(self, ctx: ExecutionContext) -> OracleOutcome:
+        reference = ctx.reference()
+        kv = MemoryKV()
+        with use_cache(kv):
+            cold = ExplorationEngine(ctx.form, limits=ctx.limits).explore()
+            warm_engine = ExplorationEngine(ctx.form, limits=ctx.limits)
+            warm = warm_engine.explore()
+        if not engine_graphs_identical(cold, reference):
+            return self._disagree("cold cached graph diverged from uncached")
+        if not engine_graphs_identical(warm, reference):
+            return self._disagree("warm cached graph diverged from uncached")
+        kv_hits = warm_engine.guards.kv_hits
+        return self._agree(f"{kv_hits} warm guard probes served by the KV")
+
+
 #: Registry keyed by oracle name (the ``--oracles`` vocabulary).
 ORACLES: dict[str, type] = {
     oracle.name: oracle
@@ -302,11 +331,12 @@ ORACLES: dict[str, type] = {
         ResumeOracle,
         BudgetOracle,
         CodecOracle,
+        CacheOracle,
     )
 }
 
 #: The default stack: every oracle, on every form.
-DEFAULT_STACK = ("legacy", "serial-parallel", "resume", "budget", "codec")
+DEFAULT_STACK = ("legacy", "serial-parallel", "resume", "budget", "codec", "cache")
 
 #: How often the worker-pool oracle runs under ``--smoke`` (spawning a pool
 #: per form dominates a large smoke campaign's wall time; sampling keeps the

@@ -28,7 +28,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.engine.store import SqliteBacked
+from repro.engine.sqlite_base import SqliteBacked
 from repro.exceptions import CampaignError
 
 #: Bumped when the results schema changes incompatibly.

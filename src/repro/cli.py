@@ -181,6 +181,15 @@ def _add_limit_arguments(parser: argparse.ArgumentParser) -> None:
         "expansions (default: 1000)",
     )
     parser.add_argument(
+        "--cache",
+        metavar="DIR|URL",
+        default=None,
+        help="share guard/shape/result rows through a KV cache: a directory "
+        "(sqlite inside), sqlite://PATH, dir://PATH, or 'memory' (see "
+        "repro.cache; REPRO_CACHE sets the same default for every command; "
+        "results are bit-identical with or without)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -194,6 +203,29 @@ def _add_limit_arguments(parser: argparse.ArgumentParser) -> None:
         help="print the telemetry metric snapshot (counters, gauges, "
         "latency histograms) after the run",
     )
+
+
+@contextmanager
+def _cache_scope(args: argparse.Namespace):
+    """Open ``--cache`` (when given) as the ambient KV for the command body.
+
+    Without the flag this is a no-op — :func:`repro.cache.default_cache`
+    still resolves ``REPRO_CACHE`` on its own, so the env-var path needs no
+    scope here.  The flag-opened backend is flushed and closed when the
+    command finishes.
+    """
+    spec = getattr(args, "cache", None)
+    if not spec:
+        yield None
+        return
+    from repro.cache import open_kv, use_cache
+
+    cache = open_kv(spec)
+    try:
+        with use_cache(cache):
+            yield cache
+    finally:
+        cache.close()
 
 
 @contextmanager
@@ -349,7 +381,9 @@ def _cmd_render(args: argparse.Namespace, out) -> int:
 
 def _cmd_analyze(args: argparse.Namespace, out) -> int:
     profile_path = "analyze.pstats" if getattr(args, "profile", False) else None
-    with maybe_profiled(profile_path), _telemetry_scope(args, out):
+    with maybe_profiled(profile_path), _telemetry_scope(args, out), _cache_scope(
+        args
+    ):
         return _run_analyze(args, out)
 
 
@@ -475,7 +509,7 @@ def _cmd_invariant(args: argparse.Namespace, out) -> int:
     _check_workers(args)
     store = open_store(args.store, checkpoint_every=args.checkpoint_every)
     try:
-        with _telemetry_scope(args, out):
+        with _telemetry_scope(args, out), _cache_scope(args):
             result = always_holds(
                 form,
                 args.formula,
@@ -509,7 +543,7 @@ def _cmd_workflow(args: argparse.Namespace, out) -> int:
     _check_workers(args)
     store = open_store(args.store, checkpoint_every=args.checkpoint_every)
     try:
-        with _telemetry_scope(args, out):
+        with _telemetry_scope(args, out), _cache_scope(args):
             lts = extract_workflow(
                 form,
                 limits=_limits_from_args(args),
@@ -564,7 +598,36 @@ def _cmd_store_info(args: argparse.Namespace, out) -> int:
     print(f"  guard entries         : {info['guard_entries']}", file=out)
     print(f"  checkpoints           : {info['checkpoints']}", file=out)
     print(f"  resumable (unfinished): {info['resumable_checkpoints']}", file=out)
+    _print_cache_info(args, out)
     return 0
+
+
+def _print_cache_info(args: argparse.Namespace, out) -> None:
+    """Append the KV cache view to ``store info`` when a cache is reachable
+    (``--cache`` or ``REPRO_CACHE``): entry counts per namespace plus this
+    handle's counter snapshot, labeled by namespace."""
+    from repro.cache import default_cache, open_kv
+
+    spec = getattr(args, "cache", None)
+    cache = open_kv(spec) if spec else default_cache()
+    if cache is None:
+        return
+    try:
+        stats = cache.stats()
+        print(f"cache ({stats['spec']}):", file=out)
+        for namespace, counters in sorted(stats["namespaces"].items()):
+            entries = sum(1 for _ in cache.scan(namespace))
+            counter_text = " ".join(
+                f"{name}={counters[name]}"
+                for name in ("hits", "misses", "puts", "evictions", "expirations")
+            )
+            print(
+                f"  {namespace:<10}: {entries} entries  [{counter_text}]",
+                file=out,
+            )
+    finally:
+        if spec:
+            cache.close()
 
 
 def _cmd_trace_report(args: argparse.Namespace, out) -> int:
@@ -694,6 +757,7 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         stall_multiple=args.stall_multiple,
         stall_floor_seconds=args.stall_floor_seconds,
         trace_path=args.trace,
+        cache=args.cache,
     )
     server = PodServer(config)
     server.start()
@@ -914,6 +978,13 @@ def build_parser() -> argparse.ArgumentParser:
         "info", help="print a store's row counts, owning form and checkpoints"
     )
     store_info.add_argument("store", help="path to the sqlite state store")
+    store_info.add_argument(
+        "--cache",
+        metavar="DIR|URL",
+        default=None,
+        help="also report this KV cache's per-namespace entry and counter "
+        "view (default: REPRO_CACHE when set)",
+    )
     store_info.set_defaults(handler=_cmd_store_info)
 
     campaign = subparsers.add_parser(
@@ -947,7 +1018,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument(
         "--oracles",
         default=",".join(
-            ("legacy", "serial-parallel", "resume", "budget", "codec")
+            ("legacy", "serial-parallel", "resume", "budget", "codec", "cache")
         ),
         help="comma-separated oracle stack (default: all oracles)",
     )
@@ -1089,6 +1160,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="slices faster than S seconds never count as stalled (default 2.0)")
     serve.add_argument("--trace", metavar="PATH", default=None,
                        help="write the server's merged Chrome trace to PATH on shutdown")
+    serve.add_argument("--cache", metavar="DIR|URL", default=None,
+                       help="KV cache shared by every job this pod runs — guard rows, "
+                       "shape rows and whole memoized results (see repro.cache; "
+                       "default: REPRO_CACHE, else none)")
     serve.set_defaults(handler=_cmd_serve)
 
     def _add_client_arguments(client_parser: argparse.ArgumentParser) -> None:

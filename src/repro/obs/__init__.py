@@ -21,6 +21,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     current_rss_kb,
     format_series,
+    publish_cache_stats,
 )
 from repro.obs.profiling import maybe_profiled
 from repro.obs.report import load_trace_events, render_trace_report, summarize_trace
@@ -47,6 +48,7 @@ __all__ = [
     "format_series",
     "load_trace_events",
     "maybe_profiled",
+    "publish_cache_stats",
     "render_trace_report",
     "summarize_trace",
     "use_telemetry",

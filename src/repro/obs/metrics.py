@@ -311,3 +311,22 @@ class MetricsRegistry:
                         histogram.counts[index] += value
                 histogram.count += int(entry.get("count") or 0)
                 histogram.total += float(entry.get("sum") or 0.0)
+
+#: The per-namespace counters a KV cache reports (repro.cache); mirrored
+#: verbatim into labeled series by :func:`publish_cache_stats`.
+CACHE_COUNTER_NAMES = ("hits", "misses", "puts", "deletes", "evictions", "expirations")
+
+
+def publish_cache_stats(registry: "MetricsRegistry", stats: dict) -> None:
+    """Mirror one KV cache's counters into *registry*, labeled by namespace.
+
+    The cache owns the cumulative values, so each scrape republishes the
+    snapshot as last-write-wins gauges (``cache_hits{namespace=guards}``,
+    ...) rather than incrementing counters — calling this twice is
+    idempotent, and a merged registry never double-counts.
+    """
+    for namespace, counters in (stats.get("namespaces") or {}).items():
+        for name in CACHE_COUNTER_NAMES:
+            registry.gauge(f"cache_{name}", namespace=namespace).set(
+                int(counters.get(name, 0))
+            )

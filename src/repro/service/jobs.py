@@ -31,7 +31,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.engine.store import SqliteBacked
+from repro.engine.sqlite_base import SqliteBacked
 from repro.exceptions import UnknownJobError
 
 #: Every state a job can be in; the first three are live, the rest terminal.

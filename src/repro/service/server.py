@@ -39,6 +39,7 @@ from pathlib import Path
 from typing import Optional
 from urllib.parse import urlparse
 
+from repro.cache import default_cache, open_kv, use_cache
 from repro.exceptions import (
     AdmissionError,
     EvictionError,
@@ -46,9 +47,15 @@ from repro.exceptions import (
     JobNotReadyError,
     RequestError,
 )
+from repro.obs import publish_cache_stats
 from repro.obs.tracing import Telemetry, use_telemetry
 from repro.service.admission import AdmissionController, StallDetector, request_family
-from repro.service.dispatch import result_to_wire, run_analysis
+from repro.service.dispatch import (
+    result_cache_probe,
+    result_cache_store,
+    result_to_wire,
+    run_analysis,
+)
 from repro.service.errors import error_payload, http_status
 from repro.service.jobs import JobStore
 from repro.service.request import request_from_wire, request_to_wire
@@ -74,6 +81,9 @@ class ServerConfig:
         stall_multiple / stall_floor_seconds: the family-median stall
             detector's knobs (see :mod:`repro.service.admission`).
         trace_path: write the server's merged Chrome trace here on shutdown.
+        cache: shared KV-cache spec (``repro serve --cache DIR|URL``; see
+            :func:`repro.cache.open_kv`).  When unset, the ambient
+            ``REPRO_CACHE`` cache — if any — is used instead.
     """
 
     store_dir: str
@@ -89,6 +99,7 @@ class ServerConfig:
     stall_multiple: float = 8.0
     stall_floor_seconds: float = 2.0
     trace_path: Optional[str] = None
+    cache: Optional[str] = None
 
 
 class PodServer:
@@ -106,6 +117,9 @@ class PodServer:
             multiple=config.stall_multiple, floor_seconds=config.stall_floor_seconds
         )
         self.telemetry = Telemetry(process="pod-server")
+        #: Shared KV cache (guards/shapes/results): the configured spec, or
+        #: whatever ``REPRO_CACHE`` resolves to, or ``None`` (no caching).
+        self.cache = open_kv(config.cache) if config.cache else default_cache()
         recovered = self.jobs.recover()
         if recovered:
             self.telemetry.instant("server.recovered_jobs", count=recovered)
@@ -183,6 +197,11 @@ class PodServer:
         self.telemetry.instant("server.stopped")
         if self.config.trace_path:
             self.telemetry.write_chrome_trace(self.config.trace_path)
+        if self.cache is not None:
+            if self.config.cache:
+                self.cache.close()  # ours: flush and release the connection
+            else:
+                self.cache.flush()  # ambient (REPRO_CACHE): others may share it
         self.jobs.close()
 
     # ------------------------------------------------------------------ #
@@ -274,16 +293,24 @@ class PodServer:
         }
 
     def _metricsz(self) -> "tuple[int, dict]":
+        cache_stats = self.cache.stats() if self.cache is not None else None
         with self._telemetry_lock:
             self.telemetry.sample_rss()
+            if cache_stats is not None:
+                # labeled series (cache_hits{namespace=guards}, ...) beside
+                # the raw per-namespace block below
+                publish_cache_stats(self.telemetry.metrics, cache_stats)
             snapshot = self.telemetry.metrics.snapshot(include_series=False)
-        return 200, {
+        body = {
             "metrics": snapshot,
             "jobs": self.jobs.counts(),
             "admitted_kb": self.jobs.admitted_budget_kb(),
             "admittable_kb": self.admission.admittable_kb,
             "stall_families": self.stalls.snapshot(),
         }
+        if cache_stats is not None:
+            body["cache"] = cache_stats
+        return 200, body
 
     # ------------------------------------------------------------------ #
     # workers
@@ -328,6 +355,21 @@ class PodServer:
             self.jobs.fail(job.job_id, error_payload(error), http_status(error))
             return
         family = request_family(request)
+        # a memoized identical submission needs no worker slices at all: the
+        # probe keys on the *original* request (the slice/store rewrites
+        # below are execution detail), and the stored body is byte-exact
+        # what a cold run of this job announced
+        with use_cache(self.cache):
+            cached = result_cache_probe(request)
+        if cached is not None:
+            self.jobs.finish(job.job_id, cached)
+            self.telemetry.metrics.counter("service.jobs.done", kind=request.kind).inc()
+            self.telemetry.metrics.counter(
+                "service.result_cache.hits", kind=request.kind
+            ).inc()
+            self.telemetry.instant("job.done", job=job.job_id, cached=True)
+            self._wake.set()
+            return
         store_name = request.store if request.store is not None else job.job_id
         store_path = self.store_dir / f"{store_name}.store.sqlite"
         slice_steps = request.step_limit or self.config.slice_steps
@@ -353,7 +395,9 @@ class PodServer:
                     return
                 started = time.monotonic()
                 try:
-                    with use_telemetry(recorder):
+                    # the cache context also hands the engine layers (guard
+                    # and shape KV tiers) the pod's shared cache
+                    with use_telemetry(recorder), use_cache(self.cache):
                         result = run_analysis(base.replace(resume=resume))
                 except ExplorationInterrupted as pause:
                     self.stalls.record(family, time.monotonic() - started)
@@ -372,7 +416,10 @@ class PodServer:
                     )
                     return
                 self.stalls.record(family, time.monotonic() - started)
-                self.jobs.finish(job.job_id, result_to_wire(result))
+                body = result_to_wire(result)
+                with use_cache(self.cache):
+                    result_cache_store(request, body)
+                self.jobs.finish(job.job_id, body)
                 self.telemetry.metrics.counter(
                     "service.jobs.done", kind=request.kind
                 ).inc()

@@ -57,7 +57,22 @@ def build_store(path, form, limits=BUILD_LIMITS):
 
 
 class TestCrashMidHydration:
-    def test_corrupt_guard_row_raises_on_every_exploration(self, tmp_path):
+    @pytest.fixture
+    def no_ambient_cache(self, monkeypatch):
+        """These tests pin *store* corruption semantics: a warm shared KV
+        (``REPRO_CACHE``) would transparently serve the pre-corruption rows
+        and the corruption would — correctly, but unhelpfully here — never
+        surface."""
+        from repro.cache.runtime import reset_cache_runtime
+
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        reset_cache_runtime()
+        yield
+        reset_cache_runtime()
+
+    def test_corrupt_guard_row_raises_on_every_exploration(
+        self, tmp_path, no_ambient_cache
+    ):
         """Hydration failure must not leave a half-hydrated engine: the
         hydrated flag is only set after every restore step succeeded, so a
         second explore() retries the hydration and fails the same way."""
@@ -82,7 +97,9 @@ class TestCrashMidHydration:
         assert not engine._hydrated
         store.close()
 
-    def test_corrupt_shape_row_raises_on_touch_and_keeps_raising(self, tmp_path):
+    def test_corrupt_shape_row_raises_on_touch_and_keeps_raising(
+        self, tmp_path, no_ambient_cache
+    ):
         """A corrupt shape row surfaces when the run touches it (lazy
         hydration decodes on demand) — and keeps surfacing, never silently
         assigning the shape a fresh id."""

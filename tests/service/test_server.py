@@ -74,7 +74,14 @@ def idle_pod(tmp_path):
 
 
 def live_pod(tmp_path, **overrides):
-    defaults = {"store_dir": str(tmp_path / "pod"), "port": 0, "workers": 2}
+    # each pod gets its own result cache so an ambient REPRO_CACHE (the
+    # cached CI leg) cannot leak warm results across tests
+    defaults = {
+        "store_dir": str(tmp_path / "pod"),
+        "port": 0,
+        "workers": 2,
+        "cache": str(tmp_path / "kv"),
+    }
     defaults.update(overrides)
     server = PodServer(ServerConfig(**defaults))
     server.start()
